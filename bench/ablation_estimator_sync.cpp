@@ -1,0 +1,83 @@
+// Ablation A2: the estimator variant (Listing III.2's argmin-F cell vs
+// the min-over-rows ratio), shared vs per-instance billing, and the
+// synchronization protocol on/off.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+
+using namespace posg;
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 6));
+  const auto m = static_cast<std::size_t>(args.get_int("m", 32'768));
+
+  bench::print_header(
+      "Ablation A2 — estimator variant, billing source, synchronization",
+      "the marker/Δ synchronization and instance-independent billing both carry weight; the "
+      "two cell-selection variants are close");
+
+  common::CsvWriter csv(bench::output_dir(args) + "/ablation_estimator_sync.csv",
+                        {"variant", "speedup_mean", "speedup_min", "speedup_max"});
+
+  struct Case {
+    std::string name;
+    sim::ExperimentConfig config;
+  };
+  std::vector<Case> cases;
+  {
+    Case base;
+    base.name = "default (argmin-F, shared billing, sync on)";
+    base.config.m = m;
+    cases.push_back(base);
+
+    Case min_ratio = base;
+    min_ratio.name = "min-ratio estimator";
+    min_ratio.config.posg.estimator = sketch::EstimatorVariant::kMinRatio;
+    cases.push_back(min_ratio);
+
+    Case per_instance = base;
+    per_instance.name = "per-instance billing (Listing III.2)";
+    per_instance.config.posg.shared_billing = false;
+    cases.push_back(per_instance);
+
+    Case no_sync = base;
+    no_sync.name = "sync disabled";
+    no_sync.config.posg.sync_enabled = false;
+    cases.push_back(no_sync);
+
+    Case conservative = base;
+    conservative.name = "conservative Count-Min updates";
+    conservative.config.posg.conservative_update = true;
+    cases.push_back(conservative);
+
+    Case neither = base;
+    neither.name = "per-instance billing + sync disabled";
+    neither.config.posg.shared_billing = false;
+    neither.config.posg.sync_enabled = false;
+    cases.push_back(neither);
+  }
+
+  std::vector<bench::Summary> results;
+  std::printf("%-45s | %8s %8s %8s\n", "variant", "min", "mean", "max");
+  for (const auto& test_case : cases) {
+    const auto summary = bench::seeded_speedup(test_case.config, seeds);
+    results.push_back(summary);
+    std::printf("%-45s | %8.3f %8.3f %8.3f\n", test_case.name.c_str(), summary.min, summary.mean,
+                summary.max);
+    csv.row_values(test_case.name, summary.mean, summary.min, summary.max);
+  }
+
+  bench::ShapeChecks checks;
+  checks.check("default configuration is a win", results[0].mean > 1.2,
+               "mean=" + std::to_string(results[0].mean));
+  checks.check("sync carries weight", results[0].mean >= results[3].mean * 0.95,
+               "with=" + std::to_string(results[0].mean) +
+                   " without=" + std::to_string(results[3].mean));
+  checks.check("estimator variants are close",
+               std::abs(results[0].mean - results[1].mean) < 0.35,
+               "argminF=" + std::to_string(results[0].mean) +
+                   " minratio=" + std::to_string(results[1].mean));
+  return checks.exit_code();
+}

@@ -1,0 +1,76 @@
+// Ablation A1: sensitivity of POSG to the window size N, the stability
+// tolerance mu, and the liveness cap — the calibration knobs DESIGN.md §5
+// documents. Not a paper figure; it substantiates the repository's
+// parameter choices.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+
+using namespace posg;
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 6));
+  const auto m = static_cast<std::size_t>(args.get_int("m", 32'768));
+
+  bench::print_header(
+      "Ablation A1 — window size N, tolerance mu, liveness cap",
+      "smaller windows synchronize more often and bound estimation drift; the liveness cap "
+      "keeps POSG out of permanent ROUND_ROBIN on hard universes");
+
+  common::CsvWriter csv(bench::output_dir(args) + "/ablation_window_mu.csv",
+                        {"window", "mu", "cap", "speedup_mean", "speedup_min", "speedup_max"});
+
+  bench::ShapeChecks checks;
+  std::printf("%8s %6s %5s | %8s %8s %8s\n", "window N", "mu", "cap", "min", "mean", "max");
+
+  std::vector<std::pair<std::size_t, bench::Summary>> window_sweep;
+  for (std::size_t window : {64, 128, 256, 512, 1024, 2048}) {
+    sim::ExperimentConfig config;
+    config.m = m;
+    config.posg.window = window;
+    const auto summary = bench::seeded_speedup(config, seeds);
+    window_sweep.emplace_back(window, summary);
+    std::printf("%8zu %6.2f %5zu | %8.3f %8.3f %8.3f\n", window, config.posg.mu,
+                config.posg.max_windows_per_epoch, summary.min, summary.mean, summary.max);
+    csv.row_values(window, config.posg.mu, config.posg.max_windows_per_epoch, summary.mean,
+                   summary.min, summary.max);
+  }
+  checks.check("moderate windows beat huge windows",
+               window_sweep[2].second.mean > window_sweep.back().second.mean,
+               "N=256 -> " + std::to_string(window_sweep[2].second.mean) + ", N=2048 -> " +
+                   std::to_string(window_sweep.back().second.mean));
+
+  std::printf("---- mu sweep (N = 256) ----\n");
+  for (double mu : {0.01, 0.05, 0.2, 0.5, 2.0}) {
+    sim::ExperimentConfig config;
+    config.m = m;
+    config.posg.mu = mu;
+    const auto summary = bench::seeded_speedup(config, seeds);
+    std::printf("%8zu %6.2f %5zu | %8.3f %8.3f %8.3f\n", config.posg.window, mu,
+                config.posg.max_windows_per_epoch, summary.min, summary.mean, summary.max);
+    csv.row_values(config.posg.window, mu, config.posg.max_windows_per_epoch, summary.mean,
+                   summary.min, summary.max);
+  }
+
+  std::printf("---- liveness cap sweep (strict paper rule = cap 0) ----\n");
+  std::vector<std::pair<std::size_t, bench::Summary>> cap_sweep;
+  for (std::size_t cap : {std::size_t{0}, std::size_t{2}, std::size_t{4}, std::size_t{8},
+                          std::size_t{16}}) {
+    sim::ExperimentConfig config;
+    config.m = m;
+    config.posg.max_windows_per_epoch = cap;
+    const auto summary = bench::seeded_speedup(config, seeds);
+    cap_sweep.emplace_back(cap, summary);
+    std::printf("%8zu %6.2f %5zu | %8.3f %8.3f %8.3f\n", config.posg.window, config.posg.mu, cap,
+                summary.min, summary.mean, summary.max);
+    csv.row_values(config.posg.window, config.posg.mu, cap, summary.mean, summary.min,
+                   summary.max);
+  }
+  checks.check("default cap is not worse than strict paper rule",
+               cap_sweep[3].second.mean >= cap_sweep[0].second.mean * 0.9,
+               "cap8=" + std::to_string(cap_sweep[3].second.mean) +
+                   " cap0=" + std::to_string(cap_sweep[0].second.mean));
+  return checks.exit_code();
+}

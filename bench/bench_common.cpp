@@ -1,0 +1,65 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+namespace posg::bench {
+
+Summary summarize(const std::vector<double>& samples) {
+  common::require(!samples.empty(), "summarize: empty sample");
+  Summary summary;
+  summary.min = *std::min_element(samples.begin(), samples.end());
+  summary.max = *std::max_element(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double s : samples) {
+    sum += s;
+  }
+  summary.mean = sum / static_cast<double>(samples.size());
+  return summary;
+}
+
+Summary seeded_average_completion(const sim::ExperimentConfig& base, sim::Policy policy,
+                                  std::size_t seeds) {
+  return summarize(sim::run_seeded(base, policy, seeds));
+}
+
+Summary seeded_speedup(const sim::ExperimentConfig& base, std::size_t seeds) {
+  std::vector<double> speedups;
+  speedups.reserve(seeds);
+  for (std::size_t s = 0; s < seeds; ++s) {
+    sim::ExperimentConfig config = base;
+    config.stream_seed = base.stream_seed + 1000 * s + 17;
+    config.assignment_seed = base.assignment_seed + 1000 * s + 71;
+    sim::Experiment experiment(config);
+    const double rr = experiment.run(sim::Policy::kRoundRobin).average_completion;
+    const double posg = experiment.run(sim::Policy::kPosg).average_completion;
+    speedups.push_back(rr / posg);
+  }
+  return summarize(speedups);
+}
+
+void ShapeChecks::check(const std::string& name, bool ok, const std::string& detail) {
+  std::printf("# shape-check: %-40s %s  (%s)\n", name.c_str(), ok ? "PASS" : "FAIL",
+              detail.c_str());
+  if (!ok) {
+    ++failures_;
+  }
+}
+
+int ShapeChecks::exit_code() const { return failures_ == 0 ? 0 : 1; }
+
+void print_header(const std::string& figure, const std::string& claim) {
+  std::printf("==========================================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("==========================================================================\n");
+}
+
+std::string output_dir(const common::CliArgs& args) {
+  const std::string dir = args.get_string("out", "bench_results");
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace posg::bench

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "metrics/stats.hpp"
+#include "sim/experiment.hpp"
+
+/// Shared plumbing for the figure-reproduction harnesses.
+///
+/// Every harness prints (a) the same rows/series the paper's figure
+/// reports, (b) a CSV copy for re-plotting, and (c) `# shape-check:`
+/// lines that assert the figure's qualitative claims — so running the
+/// bench suite doubles as a regression harness for the reproduction.
+namespace posg::bench {
+
+/// Aggregate of one sweep point over seeds (the paper reports max, mean
+/// and min over its 100 stream randomizations).
+struct Summary {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(const std::vector<double>& samples);
+
+/// Mean completion time of `policy` over `seeds` stream randomizations.
+Summary seeded_average_completion(const sim::ExperimentConfig& base, sim::Policy policy,
+                                  std::size_t seeds);
+
+/// Per-seed speedup of POSG over round-robin (sum-of-completions ratio on
+/// identical streams), summarized.
+Summary seeded_speedup(const sim::ExperimentConfig& base, std::size_t seeds);
+
+/// Collects `# shape-check:` assertions; exit_code() is non-zero when any
+/// failed, so the bench binary fails loudly on a regression.
+class ShapeChecks {
+ public:
+  void check(const std::string& name, bool ok, const std::string& detail);
+  int exit_code() const;
+
+ private:
+  int failures_ = 0;
+};
+
+/// Standard header: figure id, paper claim, repo configuration.
+void print_header(const std::string& figure, const std::string& claim);
+
+/// Directory for CSV copies (created on demand): --out <dir>, default
+/// "bench_results".
+std::string output_dir(const common::CliArgs& args);
+
+}  // namespace posg::bench

@@ -1,0 +1,69 @@
+// Extension E2 — proactive vs reactive (the introduction's argument).
+//
+// Sec. I: "Another common alternative is to periodically collect at the
+// scheduler the load of the operator instances. However, this solution
+// only allows for reactive scheduling, where input tuples are scheduled
+// on the basis of a previous, possibly stale, load state."
+//
+// This harness makes that claim quantitative: reactive join-shortest-
+// queue with queue reports every T against POSG, sweeping the report
+// period. It also places two stronger reference points: power-of-two-
+// choices with an exact cost oracle, and the full backlog oracle.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+
+using namespace posg;
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 8));
+  const auto m = static_cast<std::size_t>(args.get_int("m", 32'768));
+
+  bench::print_header(
+      "Extension E2 — proactive (POSG) vs reactive (JSQ with stale reports)",
+      "reactive scheduling degrades as its reports get staler; POSG pays control traffic only "
+      "when the load profile changes and does not depend on a polling period");
+
+  common::CsvWriter csv(bench::output_dir(args) + "/extension_reactive.csv",
+                        {"report_period_ms", "L_reactive_jsq", "L_posg", "L_round_robin",
+                         "L_two_choices_oracle", "L_backlog_oracle"});
+
+  // Baselines that do not depend on the report period.
+  sim::ExperimentConfig base;
+  base.m = m;
+  const auto rr = bench::seeded_average_completion(base, sim::Policy::kRoundRobin, seeds);
+  const auto posg = bench::seeded_average_completion(base, sim::Policy::kPosg, seeds);
+  const auto two_choices =
+      bench::seeded_average_completion(base, sim::Policy::kTwoChoices, seeds);
+  const auto backlog = bench::seeded_average_completion(base, sim::Policy::kBacklogOracle, seeds);
+  std::printf("period-independent means: RR %.1f | POSG %.1f | two-choices(oracle) %.1f | "
+              "backlog-oracle %.1f\n\n",
+              rr.mean, posg.mean, two_choices.mean, backlog.mean);
+
+  std::printf("%12s | %14s | vs POSG\n", "period (ms)", "reactive JSQ L");
+  std::vector<std::pair<double, double>> sweep;
+  for (double period : {2.0, 8.0, 32.0, 128.0, 512.0, 2048.0}) {
+    sim::ExperimentConfig config = base;
+    config.load_report_period = period;
+    const auto jsq = bench::seeded_average_completion(config, sim::Policy::kReactiveJsq, seeds);
+    sweep.emplace_back(period, jsq.mean);
+    std::printf("%12.0f | %14.1f | %6.3f\n", period, jsq.mean, jsq.mean / posg.mean);
+    csv.row_values(period, jsq.mean, posg.mean, rr.mean, two_choices.mean, backlog.mean);
+  }
+
+  bench::ShapeChecks checks;
+  checks.check("fresh reports beat stale reports", sweep.front().second < sweep.back().second,
+               "2ms=" + std::to_string(sweep.front().second) +
+                   " 2048ms=" + std::to_string(sweep.back().second));
+  checks.check("POSG beats JSQ at coarse periods", posg.mean < sweep.back().second,
+               "posg=" + std::to_string(posg.mean) +
+                   " jsq@2048ms=" + std::to_string(sweep.back().second));
+  checks.check("POSG beats round-robin", posg.mean < rr.mean,
+               "posg=" + std::to_string(posg.mean) + " rr=" + std::to_string(rr.mean));
+  checks.check("oracle baselines bound POSG", backlog.mean <= posg.mean * 1.02,
+               "backlog=" + std::to_string(backlog.mean) +
+                   " posg=" + std::to_string(posg.mean));
+  return checks.exit_code();
+}

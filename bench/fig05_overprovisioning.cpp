@@ -1,0 +1,51 @@
+// Figure 5: completion-time speedup of POSG over round-robin as a function
+// of the percentage of over-provisioning.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+
+using namespace posg;
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 10));
+  const auto m = static_cast<std::size_t>(args.get_int("m", 32'768));
+
+  bench::print_header(
+      "Figure 5 — speedup vs percentage of over-provisioning",
+      "speedup ~1 when strongly undersized (95-98%), peaks near 100-109% (paper: mean >=1.15, "
+      "peak 1.26 at 102%), still >1 when largely oversized (115%)");
+
+  common::CsvWriter csv(bench::output_dir(args) + "/fig05_overprovisioning.csv",
+                        {"overprovisioning_pct", "speedup_mean", "speedup_min", "speedup_max"});
+
+  const std::vector<double> points{0.95, 0.97, 0.98, 1.0, 1.02, 1.05, 1.07, 1.09, 1.12, 1.15};
+  std::vector<bench::Summary> summaries;
+  std::printf("%8s | %8s %8s %8s\n", "overprov", "min", "mean", "max");
+  for (double overprovisioning : points) {
+    sim::ExperimentConfig config;
+    config.m = m;
+    config.overprovisioning = overprovisioning;
+    const auto summary = bench::seeded_speedup(config, seeds);
+    summaries.push_back(summary);
+    std::printf("%7.0f%% | %8.3f %8.3f %8.3f\n", overprovisioning * 100, summary.min,
+                summary.mean, summary.max);
+    csv.row_values(overprovisioning * 100, summary.mean, summary.min, summary.max);
+  }
+
+  bench::ShapeChecks checks;
+  const auto& undersized = summaries[0];   // 95%
+  const auto& at_capacity = summaries[3];  // 100%
+  const auto& oversized = summaries.back();  // 115%
+  checks.check("undersized ~ parity", undersized.mean > 0.93 && undersized.mean < 1.1,
+               "mean@95%=" + std::to_string(undersized.mean));
+  checks.check("peak in the correctly-sized band", at_capacity.mean >= 1.15,
+               "mean@100%=" + std::to_string(at_capacity.mean));
+  checks.check("oversized still >= ~1", oversized.mean >= 1.0,
+               "mean@115%=" + std::to_string(oversized.mean));
+  checks.check("peak exceeds oversized tail", at_capacity.mean > oversized.mean,
+               "peak=" + std::to_string(at_capacity.mean) +
+                   " tail=" + std::to_string(oversized.mean));
+  return checks.exit_code();
+}

@@ -1,0 +1,46 @@
+// Figure 8: completion-time speedup vs the number of parallel operator
+// instances k.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+
+using namespace posg;
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const auto seeds = static_cast<std::size_t>(args.get_int("seeds", 8));
+  const auto m = static_cast<std::size_t>(args.get_int("m", 32'768));
+
+  bench::print_header(
+      "Figure 8 — speedup vs number of operator instances k",
+      "speedup = 1 at k = 1 (POSG adds no delay), grows with k and saturates by k ~ 10");
+
+  common::CsvWriter csv(bench::output_dir(args) + "/fig08_instances.csv",
+                        {"k", "speedup_mean", "speedup_min", "speedup_max"});
+
+  std::vector<bench::Summary> summaries;
+  std::printf("%4s | %8s %8s %8s\n", "k", "min", "mean", "max");
+  for (std::size_t k = 1; k <= 10; ++k) {
+    sim::ExperimentConfig config;
+    config.m = m;
+    config.k = k;
+    // Per the paper, the input rate is re-provisioned to 100% for each k.
+    const auto summary = bench::seeded_speedup(config, seeds);
+    summaries.push_back(summary);
+    std::printf("%4zu | %8.3f %8.3f %8.3f\n", k, summary.min, summary.mean, summary.max);
+    csv.row_values(k, summary.mean, summary.min, summary.max);
+  }
+
+  bench::ShapeChecks checks;
+  checks.check("k = 1 is parity", std::abs(summaries[0].mean - 1.0) < 0.02,
+               "mean@k1=" + std::to_string(summaries[0].mean));
+  checks.check("k >= 2 gains", summaries[2].mean > 1.05,
+               "mean@k3=" + std::to_string(summaries[2].mean));
+  // Saturation: the k=9..10 delta is small relative to the k=2..3 delta.
+  const double early_delta = summaries[2].mean - summaries[1].mean;
+  const double late_delta = std::abs(summaries[9].mean - summaries[8].mean);
+  checks.check("growth saturates", late_delta <= std::max(0.08, 2.0 * std::abs(early_delta)),
+               "early=" + std::to_string(early_delta) + " late=" + std::to_string(late_delta));
+  return checks.exit_code();
+}

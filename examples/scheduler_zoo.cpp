@@ -1,0 +1,81 @@
+// The scheduler zoo: run every scheduling policy in the library on one
+// configurable workload and print a comparison table — a one-stop CLI for
+// exploring the design space.
+//
+//   ./scheduler_zoo [--m 32768] [--k 5] [--distribution zipf-1.0]
+//                   [--overprov 1.0] [--report-period 16]
+//                   [--seeds 3] [--trace stream.trace] [--save-trace out.trace]
+//
+// With --trace the zoo replays a captured stream (see workload/trace.hpp)
+// instead of drawing a synthetic one; --save-trace captures the stream of
+// the first seed for later replay.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "metrics/stats.hpp"
+#include "sim/experiment.hpp"
+#include "workload/trace.hpp"
+
+using namespace posg;
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+
+  sim::ExperimentConfig config;
+  config.m = static_cast<std::size_t>(args.get_int("m", 32'768));
+  config.k = static_cast<std::size_t>(args.get_int("k", 5));
+  config.distribution = args.get_string("distribution", "zipf-1.0");
+  config.overprovisioning = args.get_double("overprov", 1.0);
+  config.load_report_period = args.get_double("report-period", 16.0);
+  config.trace_path = args.get_string("trace", "");
+  auto seeds = static_cast<std::size_t>(args.get_int("seeds", 3));
+  if (!config.trace_path.empty()) {
+    seeds = 1;  // a trace is one fixed stream
+  }
+  const std::string save_trace = args.get_string("save-trace", "");
+  if (!save_trace.empty()) {
+    workload::save_trace(save_trace, sim::Experiment(config).stream());
+    std::printf("captured stream -> %s\n", save_trace.c_str());
+  }
+
+  std::printf("workload: %s over %zu items, m = %zu, k = %zu, %.0f%% provisioning, "
+              "%zu seed(s)\n\n",
+              config.distribution.c_str(), config.n, config.m, config.k,
+              config.overprovisioning * 100, seeds);
+
+  struct Entry {
+    sim::Policy policy;
+    const char* needs;  // what information the policy consumes
+  };
+  const Entry zoo[] = {
+      {sim::Policy::kRoundRobin, "nothing (stock shuffle grouping)"},
+      {sim::Policy::kPosg, "sketch estimates + sync protocol (the paper)"},
+      {sim::Policy::kReactiveJsq, "periodic queue reports (reactive strawman)"},
+      {sim::Policy::kTwoChoices, "exact costs, 2 random candidates"},
+      {sim::Policy::kBacklogOracle, "exact costs + instant execution feedback"},
+      {sim::Policy::kFullKnowledge, "exact costs (greedy upper bound)"},
+  };
+
+  std::printf("%-16s %14s %10s   %s\n", "policy", "avg completion", "vs RR", "information used");
+  double round_robin = 0.0;
+  for (const auto& entry : zoo) {
+    metrics::RunningStats stats;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      auto seeded = config;
+      seeded.stream_seed = 1000 * s + 17;
+      seeded.assignment_seed = 1000 * s + 71;
+      stats.add(sim::Experiment(seeded).run(entry.policy).average_completion);
+    }
+    if (entry.policy == sim::Policy::kRoundRobin) {
+      round_robin = stats.mean();
+    }
+    std::printf("%-16s %11.1f ms %9.2fx   %s\n", sim::policy_name(entry.policy).c_str(),
+                stats.mean(), round_robin / stats.mean(), entry.needs);
+  }
+
+  std::printf("\nReading guide: POSG needs no cost oracle and no polling — only what the\n"
+              "instances measure about their own tuples — yet lands between the reactive\n"
+              "strawman (fresh reports flatter it; try --report-period 512) and the\n"
+              "oracle-powered greedies.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Tour of the sketch substrate as a standalone library: 2-universal
+// hashing, Count-Min frequency estimation, the dual (F, W) execution-time
+// sketch, stability snapshots, and the wire codec.
+//
+// Useful if you want to reuse the building blocks (e.g. for heavy-hitter
+// detection or per-key cost tracking) without the scheduling machinery.
+#include <cstdio>
+
+#include "common/prng.hpp"
+#include "sketch/analysis.hpp"
+#include "sketch/dual_sketch.hpp"
+#include "sketch/serialize.hpp"
+#include "sketch/snapshot.hpp"
+#include "workload/distributions.hpp"
+
+using namespace posg;
+
+int main() {
+  // 1. Size a sketch from an accuracy target, exactly as the paper does:
+  //    eps = 0.05 -> 54 columns, delta = 0.1 -> 4 rows.
+  const auto dims = sketch::SketchDims::from_accuracy(0.05, 0.1);
+  std::printf("sketch for (eps=0.05, delta=0.1): %zu rows x %zu columns\n", dims.rows, dims.cols);
+
+  // 2. Track execution times of a skewed stream. The same seed on both
+  //    sides of a network link yields identical hash functions.
+  sketch::DualSketch sketch(dims, /*seed=*/0xC0FFEE);
+  workload::ZipfItems zipf(4096, 1.0);
+  common::Xoshiro256StarStar rng(7);
+  for (int i = 0; i < 50'000; ++i) {
+    const common::Item item = zipf.sample(rng);
+    const common::TimeMs execution_time = 1.0 + static_cast<double>(item % 64);
+    sketch.update(item, execution_time);
+  }
+
+  // 3. Query per-item cost estimates (W/F at the least-collided cell).
+  std::printf("\n%8s %12s %12s\n", "item", "true (ms)", "estimate");
+  for (common::Item item : {0ULL, 1ULL, 5ULL, 50ULL, 500ULL}) {
+    const double truth = 1.0 + static_cast<double>(item % 64);
+    const auto estimate = sketch.estimate(item);
+    std::printf("%8llu %12.1f %12.1f\n", static_cast<unsigned long long>(item), truth,
+                estimate.value_or(-1.0));
+  }
+  std::printf("(frequent items are accurate; tail items inherit their cells' mixtures —\n"
+              " Theorem 4.3 quantifies that: with uniform frequencies every estimate\n"
+              " collapses to about the global mean %.1f ms)\n",
+              sketch.mean_execution_time().value_or(0.0));
+
+  // 4. The closed-form expectation from the paper's analysis.
+  std::vector<common::TimeMs> weights;
+  for (int value = 1; value <= 64; ++value) {
+    for (int rep = 0; rep < 64; ++rep) {
+      weights.push_back(value);
+    }
+  }
+  std::printf("\nTheorem 4.3, paper setup, item with w=1:  E{W/C} = %.2f\n",
+              sketch::expected_ratio_uniform_frequencies(weights, 55, 0));
+  std::printf("Theorem 4.3, paper setup, item with w=64: E{W/C} = %.2f\n",
+              sketch::expected_ratio_uniform_frequencies(weights, 55, 63 * 64));
+
+  // 5. Stability detection (Eq. 1): unchanged load -> eta ~ 0.
+  sketch::Snapshot snapshot(sketch);
+  for (int i = 0; i < 5'000; ++i) {
+    const common::Item item = zipf.sample(rng);
+    sketch.update(item, 1.0 + static_cast<double>(item % 64));
+  }
+  std::printf("\nrelative error eta after 5k more identical-load updates: %.4f\n",
+              snapshot.relative_error(sketch));
+
+  // 6. Ship it: the byte codec a distributed deployment would use.
+  const auto bytes = sketch::serialize(sketch);
+  const auto restored = sketch::deserialize(bytes);
+  std::printf("serialized sketch: %zu bytes; restored tracks %llu updates\n", bytes.size(),
+              static_cast<unsigned long long>(restored.update_count()));
+  return 0;
+}

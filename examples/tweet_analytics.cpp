@@ -1,0 +1,98 @@
+// Tweet analytics on the engine: the paper's motivating application
+// (Sec. I / V-C). A source replays a stream of tweets; an enrichment
+// operator decorates each one, at a cost that depends on the mentioned
+// entity's class (media mentions hit an external store and take ~25x
+// longer than ordinary ones). POSG routes tuples by estimated cost;
+// the stock shuffle grouping round-robins them.
+//
+//   ./tweet_analytics [--m 6000] [--k 4] [--scale 0.2] [--prov 1.12]
+#include <cstdio>
+#include <memory>
+
+#include "common/cli.hpp"
+#include "engine/builtin.hpp"
+#include "engine/engine.hpp"
+#include "engine/posg_grouping.hpp"
+#include "metrics/stats.hpp"
+#include "workload/tweets.hpp"
+
+using namespace posg;
+
+namespace {
+
+/// Runs the two-stage topology (tweets -> enrich) with one grouping and
+/// returns the average completion time plus per-instance tuple counts.
+double run(const workload::TweetDataset& dataset, std::size_t m, std::size_t k, double scale,
+           double provisioning, bool use_posg, std::vector<std::uint64_t>* per_instance) {
+  const std::vector<common::Item> items(dataset.stream().begin(), dataset.stream().begin() + m);
+  const auto inter_arrival = std::chrono::microseconds(static_cast<std::int64_t>(
+      dataset.mean_execution_time() * scale * 1000.0 * provisioning / static_cast<double>(k)));
+
+  engine::TopologyBuilder builder;
+  builder.add_spout("tweets", [&items, inter_arrival](const engine::ComponentContext&) {
+    return std::make_unique<engine::SyntheticSpout>(items, inter_arrival);
+  });
+  std::shared_ptr<engine::Grouping> grouping;
+  if (use_posg) {
+    grouping = std::make_shared<engine::PosgGrouping>(k, core::PosgConfig{});
+  } else {
+    grouping = std::make_shared<engine::ShuffleGrouping>();
+  }
+  // The enrichment operator blocks for the class-dependent cost, exactly
+  // like a remote store lookup would.
+  auto cost = [&dataset, scale](common::Item entity, common::InstanceId, common::SeqNo) {
+    return dataset.execution_time(entity) * scale;
+  };
+  builder.add_bolt("enrich",
+                   [cost](const engine::ComponentContext&) {
+                     return std::make_unique<engine::SleepBolt>(cost);
+                   },
+                   k, {{"tweets", grouping}});
+
+  engine::Engine engine(builder.build());
+  engine.run();
+  if (per_instance != nullptr) {
+    *per_instance = engine.stats("enrich").per_instance;
+  }
+  return engine.completions().series().average();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv);
+  const auto m = static_cast<std::size_t>(args.get_int("m", 6000));
+  const auto k = static_cast<std::size_t>(args.get_int("k", 4));
+  const double scale = args.get_double("scale", 0.2);
+  const double provisioning = args.get_double("prov", 1.12);
+
+  workload::TweetDatasetConfig dataset_config;
+  dataset_config.stream_length = m;
+  const workload::TweetDataset dataset(dataset_config);
+
+  std::printf("tweet stream: %zu tweets, %zu distinct entities (top entity p=%.3f)\n", m,
+              dataset_config.entities, dataset.distribution().probability(0));
+  std::printf("costs: media %.1f ms / politician %.1f ms / other %.1f ms (mean %.2f ms)\n\n",
+              dataset_config.media_cost * scale, dataset_config.politician_cost * scale,
+              dataset_config.other_cost * scale, dataset.mean_execution_time() * scale);
+
+  std::vector<std::uint64_t> shuffle_split;
+  std::vector<std::uint64_t> posg_split;
+  const double shuffle_latency = run(dataset, m, k, scale, provisioning, false, &shuffle_split);
+  const double posg_latency = run(dataset, m, k, scale, provisioning, true, &posg_split);
+
+  auto print_split = [](const char* name, double latency, const std::vector<std::uint64_t>& split) {
+    std::printf("%-8s avg completion %8.2f ms | tuples per instance:", name, latency);
+    for (std::uint64_t count : split) {
+      std::printf(" %llu", static_cast<unsigned long long>(count));
+    }
+    std::printf("\n");
+  };
+  print_split("shuffle", shuffle_latency, shuffle_split);
+  print_split("posg", posg_latency, posg_split);
+  std::printf("\nspeedup: %.2fx — note POSG's *uneven tuple counts*: it balances estimated\n"
+              "work, not tuple numbers, so instances receiving media-heavy mixes get fewer\n"
+              "tuples.\n",
+              shuffle_latency / posg_latency);
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "common/csv.hpp"
+
+#include <stdexcept>
+
+#include "common/types.hpp"
+
+namespace posg::common {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path, std::ios::trunc), width_(header.size()) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  require(!header.empty(), "CsvWriter: header must not be empty");
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i != 0) {
+      out_ << ',';
+    }
+    out_ << escape(header[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  require(cells.size() == width_,
+          "CsvWriter: row width mismatch (" + std::to_string(cells.size()) + " vs header " +
+              std::to_string(width_) + ")");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) {
+      out_ << ',';
+    }
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+  ++rows_;
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quotes = cell.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quotes) {
+    return std::string(cell);
+  }
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') {
+      quoted += '"';
+    }
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace posg::common

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Minimal CSV emission used by the benchmark harnesses so that every
+/// figure's data series can be re-plotted outside the repository.
+namespace posg::common {
+
+/// Writes rows to a CSV file; quoting is applied only when needed.
+///
+/// The writer is intentionally append-only and line-oriented: benchmark
+/// harnesses stream one row per parameter point as the sweep progresses,
+/// so a crash still leaves a usable partial file.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  /// Throws std::runtime_error when the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Appends one row; the number of cells must match the header width.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats arithmetic values with full round-trip precision.
+  template <typename... Ts>
+  void row_values(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(format_cell(values)), ...);
+    row(cells);
+  }
+
+  /// Number of data rows written so far (excluding the header).
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  template <typename T>
+  static std::string format_cell(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string_view>) {
+      return std::string(std::string_view(value));
+    } else {
+      std::ostringstream os;
+      os.precision(17);
+      os << value;
+      return os.str();
+    }
+  }
+
+  static std::string escape(std::string_view cell);
+
+  std::ofstream out_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace posg::common

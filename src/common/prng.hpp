@@ -1,0 +1,62 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+/// Small deterministic pseudo-random generators.
+///
+/// Experiments must be reproducible across runs and platforms, so the
+/// repository does not rely on std::mt19937's unspecified seeding helpers;
+/// it uses SplitMix64 (seed expansion / cheap stateless use) and
+/// xoshiro256** (bulk generation), both with fully specified behaviour.
+namespace posg::common {
+
+/// SplitMix64: tiny, high-quality 64-bit generator.
+///
+/// Primarily used to expand a single user seed into independent sub-seeds
+/// for hash functions, stream shuffles, etc.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64 random bits.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast general-purpose generator (Blackman & Vigna).
+///
+/// Satisfies the C++ UniformRandomBitGenerator requirements so it can be
+/// plugged into <random> distributions.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four words of state via SplitMix64, as recommended by the
+  /// xoshiro authors (avoids all-zero and low-entropy states).
+  explicit Xoshiro256StarStar(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1): 53 high bits scaled.
+  double next_double() noexcept;
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method
+  /// with rejection).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace posg::common

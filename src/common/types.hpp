@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+/// Fundamental vocabulary types shared by every POSG module.
+namespace posg::common {
+
+/// A stream item drawn from the universe [n] = {0, ..., n-1}.
+///
+/// The paper models tuples as carrying a single non-negative integer
+/// attribute that drives the execution time; an `Item` is that attribute.
+using Item = std::uint64_t;
+
+/// Index of a parallel operator instance, in [0, k).
+using InstanceId = std::size_t;
+
+/// Simulated / measured wall-clock time, in milliseconds.
+///
+/// The simulator uses a continuous virtual clock; the engine converts
+/// steady-clock durations to the same unit so that core-code (sketches,
+/// schedulers) is agnostic of where the measurement came from.
+using TimeMs = double;
+
+/// Monotonically increasing identifier of a sketch-shipment round.
+///
+/// Each time an operator instance ships a stable (F, W) pair to the
+/// scheduler the scheduler opens a new synchronization epoch; replies
+/// from older epochs are discarded.
+using Epoch = std::uint64_t;
+
+/// Sequence number of a tuple within a stream (0-based).
+using SeqNo = std::uint64_t;
+
+/// Sentinel meaning "no instance".
+inline constexpr InstanceId kNoInstance = std::numeric_limits<InstanceId>::max();
+
+/// 128-bit unsigned integer for exact modular arithmetic and unbiased
+/// bounded random draws (GCC/Clang builtin; __extension__ silences the
+/// pedantic-mode diagnostic).
+__extension__ typedef unsigned __int128 Uint128;
+
+/// Throws std::logic_error when `condition` is false.
+///
+/// Used for internal invariants that indicate a programming error rather
+/// than a recoverable runtime condition (per CppCoreGuidelines I.6/E.12,
+/// expressed as a function instead of a macro).
+inline void ensure(bool condition, const std::string& message) {
+  if (!condition) {
+    throw std::logic_error(message);
+  }
+}
+
+/// Throws std::invalid_argument when a caller-supplied precondition fails.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) {
+    throw std::invalid_argument(message);
+  }
+}
+
+}  // namespace posg::common

@@ -1,0 +1,30 @@
+#include "core/full_knowledge.hpp"
+
+#include <algorithm>
+
+namespace posg::core {
+
+FullKnowledgeScheduler::FullKnowledgeScheduler(std::size_t instances, Oracle oracle)
+    : oracle_(std::move(oracle)), cumulated_(instances, 0.0) {
+  common::require(instances >= 1, "FullKnowledgeScheduler: need at least one instance");
+  common::require(static_cast<bool>(oracle_), "FullKnowledgeScheduler: oracle must be callable");
+}
+
+Decision FullKnowledgeScheduler::schedule(common::Item item, common::SeqNo seq) {
+  // Greedy Online Scheduler with exact knowledge: the candidate cost may
+  // differ per instance (non-uniform machines), so minimize the resulting
+  // cumulated load Ĉ[op] + w(t, op) rather than Ĉ[op] alone.
+  common::InstanceId best = 0;
+  common::TimeMs best_load = cumulated_[0] + oracle_(item, 0, seq);
+  for (common::InstanceId op = 1; op < cumulated_.size(); ++op) {
+    const common::TimeMs load = cumulated_[op] + oracle_(item, op, seq);
+    if (load < best_load) {
+      best_load = load;
+      best = op;
+    }
+  }
+  cumulated_[best] = best_load;
+  return Decision{best, std::nullopt};
+}
+
+}  // namespace posg::core

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/scheduler.hpp"
+
+namespace posg::core {
+
+/// The paper's "Full Knowledge" reference (Fig. 4): the Greedy Online
+/// Scheduler fed with the *exact* execution time of every tuple — an
+/// upper bound on what POSG's estimated scheduling can achieve.
+///
+/// The oracle receives (item, candidate instance, sequence number) so it
+/// can reflect non-uniform instances and load-drift phases.
+class FullKnowledgeScheduler final : public Scheduler {
+ public:
+  using Oracle =
+      std::function<common::TimeMs(common::Item, common::InstanceId, common::SeqNo)>;
+
+  FullKnowledgeScheduler(std::size_t instances, Oracle oracle);
+
+  Decision schedule(common::Item item, common::SeqNo seq) override;
+  std::size_t instances() const override { return cumulated_.size(); }
+  std::string name() const override { return "full-knowledge"; }
+
+  /// True cumulated execution time assigned per instance (the greedy
+  /// state), exposed for the Theorem 4.2 bound checks.
+  const std::vector<common::TimeMs>& cumulated_loads() const noexcept { return cumulated_; }
+
+ private:
+  Oracle oracle_;
+  std::vector<common::TimeMs> cumulated_;
+};
+
+}  // namespace posg::core

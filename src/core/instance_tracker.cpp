@@ -1,0 +1,59 @@
+#include "core/instance_tracker.hpp"
+
+namespace posg::core {
+
+InstanceTracker::InstanceTracker(common::InstanceId id, const PosgConfig& config)
+    : id_(id),
+      config_(config),
+      sketch_(config.dims(), config.sketch_seed, config.heavy_hitter_capacity,
+              config.conservative_update) {
+  common::require(config.window >= 1, "InstanceTracker: window must be >= 1");
+  common::require(config.mu >= 0.0, "InstanceTracker: mu must be non-negative");
+}
+
+std::optional<SketchShipment> InstanceTracker::on_executed(common::Item item,
+                                                           common::TimeMs execution_time) {
+  common::require(execution_time >= 0.0, "InstanceTracker: negative execution time");
+  sketch_.update(item, execution_time);
+  cumulated_ += execution_time;
+  ++executed_;
+  ++window_fill_;
+
+  if (window_fill_ < config_.window) {
+    return std::nullopt;
+  }
+  window_fill_ = 0;
+
+  if (state_ == State::kStart) {
+    // Fig. 2.A: first full window — take the reference snapshot and start
+    // watching for stability.
+    snapshot_.emplace(sketch_);
+    state_ = State::kStabilizing;
+    windows_this_epoch_ = 1;
+    return std::nullopt;
+  }
+
+  ++windows_this_epoch_;
+  last_eta_ = snapshot_->relative_error(sketch_);
+  const bool force_ship = config_.max_windows_per_epoch != 0 &&
+                          windows_this_epoch_ >= config_.max_windows_per_epoch;
+  if (last_eta_ > config_.mu && !force_ship) {
+    // Fig. 2.B: still drifting — refresh the snapshot and keep observing.
+    snapshot_.emplace(sketch_);
+    return std::nullopt;
+  }
+
+  // Fig. 2.C: stable — ship a copy of the matrices, reset, back to START.
+  SketchShipment shipment{id_, sketch_};
+  sketch_.reset();
+  snapshot_.reset();
+  state_ = State::kStart;
+  ++shipments_;
+  return shipment;
+}
+
+SyncReply InstanceTracker::on_sync_request(const SyncRequest& request) const noexcept {
+  return SyncReply{id_, request.epoch, cumulated_ - request.estimated_cumulated};
+}
+
+}  // namespace posg::core

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <optional>
+
+#include "common/types.hpp"
+#include "sketch/dual_sketch.hpp"
+
+/// The three message kinds exchanged between operator instances and the
+/// scheduler (Fig. 1.B/D/E). Transport is left to the substrate: the
+/// simulator delivers them as timed events, the engine over its control
+/// bus; a distributed deployment would serialize them (see
+/// sketch/serialize.hpp for the matrix codec).
+namespace posg::core {
+
+/// Instance -> scheduler: a stable (F, W) pair, shipped when the window
+/// relative error drops below µ (Fig. 1.B). The instance resets its
+/// matrices right after shipping, so each shipment covers one epoch of
+/// observations.
+struct SketchShipment {
+  common::InstanceId instance;
+  sketch::DualSketch sketch;
+};
+
+/// Scheduler -> instance: synchronization marker, piggy-backed on a data
+/// tuple during SEND_ALL (Fig. 1.D). `estimated_cumulated` is the
+/// scheduler's Ĉ[op] *including* the carrying tuple's own estimate;
+/// because instance queues are FIFO this makes the marker a consistent
+/// cut over exactly the tuples Ĉ[op] accounts for.
+struct SyncRequest {
+  common::Epoch epoch;
+  common::TimeMs estimated_cumulated;
+};
+
+/// Instance -> scheduler: Δop = C_op − Ĉ[op] where C_op is the instance's
+/// true cumulated execution time measured right after executing the marker
+/// tuple (Fig. 1.E).
+struct SyncReply {
+  common::InstanceId instance;
+  common::Epoch epoch;
+  common::TimeMs delta;
+};
+
+/// The scheduler's routing decision for one tuple: target instance plus
+/// an optional piggy-backed synchronization marker.
+struct Decision {
+  common::InstanceId instance;
+  std::optional<SyncRequest> sync_request;
+};
+
+}  // namespace posg::core

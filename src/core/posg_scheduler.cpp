@@ -1,0 +1,196 @@
+#include "core/posg_scheduler.hpp"
+
+#include <algorithm>
+
+namespace posg::core {
+
+PosgScheduler::PosgScheduler(std::size_t instances, const PosgConfig& config)
+    : k_(instances),
+      config_(config),
+      sketches_(instances),
+      c_est_(instances, 0.0),
+      marker_pending_(instances, false),
+      reply_received_(instances, false),
+      reply_delta_(instances, 0.0) {
+  common::require(instances >= 1, "PosgScheduler: need at least one instance");
+}
+
+common::TimeMs PosgScheduler::scheduling_estimate(common::InstanceId instance,
+                                                  common::Item item) const {
+  const auto& sketch = config_.shared_billing ? merged_ : sketches_[instance];
+  common::ensure(sketch.has_value(), "PosgScheduler: estimating without a sketch");
+  if (auto estimate = sketch->estimate(item, config_.estimator)) {
+    return *estimate;
+  }
+  // Never-seen item: bill the *global* mean execution time over all
+  // instances' shipped sketches. Using each instance's own epoch mean
+  // here would be differentially biased — instances whose last epoch
+  // sampled fewer heavy tuples would look cheaper for every unseen item,
+  // attract them, truly get slower, and force large (bursty) corrections
+  // at the next synchronization. A common fallback keeps the billing of
+  // unseen items instance-independent, so their estimation error cancels
+  // in the greedy comparison.
+  return global_mean_;
+}
+
+void PosgScheduler::refresh_global_mean() noexcept {
+  std::uint64_t updates = 0;
+  common::TimeMs total = 0.0;
+  merged_.reset();
+  for (const auto& sketch : sketches_) {
+    if (!sketch) {
+      continue;
+    }
+    updates += sketch->update_count();
+    total += sketch->total_execution_time();
+    if (!merged_) {
+      merged_ = *sketch;
+    } else {
+      merged_->merge_from(*sketch);
+    }
+  }
+  global_mean_ = updates > 0 ? total / static_cast<double>(updates) : 0.0;
+}
+
+std::optional<common::TimeMs> PosgScheduler::estimate(common::Item item) const {
+  if (state_ == State::kRoundRobin) {
+    return std::nullopt;
+  }
+  // Diagnostic view: average the per-instance estimates is not meaningful;
+  // report the estimate against the instance the greedy pick would use.
+  return scheduling_estimate(greedy_pick(), item);
+}
+
+common::InstanceId PosgScheduler::greedy_pick() const noexcept {
+  if (latency_hints_.empty()) {
+    return static_cast<common::InstanceId>(
+        std::min_element(c_est_.begin(), c_est_.end()) - c_est_.begin());
+  }
+  // Latency-aware variant: minimize the placed tuple's estimated
+  // completion, Ĉ[op] + latency[op].
+  common::InstanceId best = 0;
+  common::TimeMs best_score = c_est_[0] + latency_hints_[0];
+  for (common::InstanceId op = 1; op < k_; ++op) {
+    const common::TimeMs score = c_est_[op] + latency_hints_[op];
+    if (score < best_score) {
+      best_score = score;
+      best = op;
+    }
+  }
+  return best;
+}
+
+void PosgScheduler::set_latency_hints(std::vector<common::TimeMs> hints) {
+  common::require(hints.empty() || hints.size() == k_,
+                  "PosgScheduler: latency hints must cover every instance");
+  latency_hints_ = std::move(hints);
+}
+
+Decision PosgScheduler::schedule(common::Item item, common::SeqNo seq) {
+  (void)seq;
+  switch (state_) {
+    case State::kRoundRobin: {
+      const common::InstanceId target = rr_next_;
+      rr_next_ = (rr_next_ + 1) % k_;
+      return Decision{target, std::nullopt};
+    }
+    case State::kSendAll: {
+      // Keep round-robin so every instance receives exactly one marker
+      // within the next k tuples (Fig. 1.D), while Ĉ starts accumulating
+      // estimates.
+      const common::InstanceId target = rr_next_;
+      rr_next_ = (rr_next_ + 1) % k_;
+      c_est_[target] += scheduling_estimate(target, item);
+
+      std::optional<SyncRequest> marker;
+      if (marker_pending_[target]) {
+        marker_pending_[target] = false;
+        --markers_outstanding_;
+        // Piggy-back Ĉ[op] *including* this tuple: FIFO queues make the
+        // marker a consistent cut (see messages.hpp).
+        marker = SyncRequest{epoch_, c_est_[target]};
+        if (markers_outstanding_ == 0) {
+          state_ = State::kWaitAll;  // Fig. 3.C
+          // The last reply can only follow the last marker, so completion
+          // is always detected in on_sync_reply.
+        }
+      }
+      return Decision{target, marker};
+    }
+    case State::kWaitAll:
+    case State::kRun: {
+      // Greedy Online Scheduler (Listing III.2: SUBMIT then UPDATE-Ĉ).
+      const common::InstanceId target = greedy_pick();
+      c_est_[target] += scheduling_estimate(target, item);
+      return Decision{target, std::nullopt};
+    }
+  }
+  common::ensure(false, "PosgScheduler: unreachable state");
+  return Decision{0, std::nullopt};
+}
+
+void PosgScheduler::enter_send_all() noexcept {
+  ++epoch_;
+  std::fill(marker_pending_.begin(), marker_pending_.end(), true);
+  markers_outstanding_ = k_;
+  std::fill(reply_received_.begin(), reply_received_.end(), false);
+  std::fill(reply_delta_.begin(), reply_delta_.end(), 0.0);
+  replies_received_count_ = 0;
+  state_ = State::kSendAll;
+}
+
+void PosgScheduler::on_sketches(const SketchShipment& shipment) {
+  common::require(shipment.instance < k_, "PosgScheduler: shipment from unknown instance");
+  common::require(shipment.sketch.dims() == config_.dims() &&
+                      shipment.sketch.seed() == config_.sketch_seed &&
+                      shipment.sketch.heavy_capacity() == config_.heavy_hitter_capacity &&
+                      shipment.sketch.conservative() == config_.conservative_update,
+                  "PosgScheduler: shipment sketch layout mismatch");
+  sketches_[shipment.instance] = shipment.sketch;
+  refresh_global_mean();
+
+  if (state_ == State::kRoundRobin) {
+    // Fig. 3.A/B: collect until every instance shipped once.
+    const bool all_present =
+        std::all_of(sketches_.begin(), sketches_.end(), [](const auto& s) { return s.has_value(); });
+    if (!all_present) {
+      return;
+    }
+    if (!config_.sync_enabled) {
+      state_ = State::kRun;  // ablation: skip the synchronization protocol
+      return;
+    }
+    enter_send_all();
+    return;
+  }
+
+  // Fig. 3.F: any other state returns to SEND_ALL with a fresh epoch;
+  // replies still in flight for the old epoch will be discarded.
+  if (config_.sync_enabled) {
+    enter_send_all();
+  }
+}
+
+void PosgScheduler::on_sync_reply(const SyncReply& reply) {
+  common::require(reply.instance < k_, "PosgScheduler: reply from unknown instance");
+  const bool epoch_active = state_ == State::kSendAll || state_ == State::kWaitAll;
+  if (reply.epoch != epoch_ || !epoch_active) {
+    return;  // stale epoch or protocol restarted — ignore
+  }
+  if (reply_received_[reply.instance]) {
+    return;  // duplicate delivery
+  }
+  reply_received_[reply.instance] = true;
+  reply_delta_[reply.instance] = reply.delta;
+  ++replies_received_count_;
+
+  if (state_ == State::kWaitAll && replies_received_count_ == k_) {
+    // Fig. 3.E: resynchronize Ĉ — add each instance's measured drift.
+    for (std::size_t op = 0; op < k_; ++op) {
+      c_est_[op] += reply_delta_[op];
+    }
+    state_ = State::kRun;
+  }
+}
+
+}  // namespace posg::core

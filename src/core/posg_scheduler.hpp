@@ -1,0 +1,104 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/scheduler.hpp"
+
+namespace posg::core {
+
+/// The scheduler side of POSG (Fig. 3, Listing III.2).
+///
+/// Four-state machine:
+///
+///   ROUND_ROBIN ──(F,W received from every instance)──► SEND_ALL
+///   SEND_ALL    ──(markers piggy-backed to all k)─────► WAIT_ALL
+///   WAIT_ALL    ──(all Δop replies for this epoch)────► RUN
+///   any state except ROUND_ROBIN ──(new F,W arrive)───► SEND_ALL
+///
+/// ROUND_ROBIN: no cost information yet; schedule i mod k.
+/// SEND_ALL: keep round-robin for the next k tuples, piggy-backing on
+///   each a SyncRequest carrying Ĉ[op] (marker; see messages.hpp), and
+///   start accumulating Ĉ with estimated execution times.
+/// WAIT_ALL / RUN: Greedy Online Scheduler — assign to
+///   argmin_op Ĉ[op], then Ĉ[op] += ŵ_t (Listing III.2's SUBMIT +
+///   UPDATE-Ĉ).
+///
+/// Synchronization (Fig. 3.E): when every instance replied for the current
+/// epoch, Ĉ[op] += Δop cancels the accumulated estimation drift without
+/// touching the estimates of tuples scheduled after the markers.
+class PosgScheduler final : public Scheduler {
+ public:
+  enum class State { kRoundRobin, kSendAll, kWaitAll, kRun };
+
+  PosgScheduler(std::size_t instances, const PosgConfig& config);
+
+  Decision schedule(common::Item item, common::SeqNo seq) override;
+  void on_sketches(const SketchShipment& shipment) override;
+  void on_sync_reply(const SyncReply& reply) override;
+  std::size_t instances() const override { return k_; }
+  std::string name() const override { return "posg"; }
+
+  State state() const noexcept { return state_; }
+  common::Epoch epoch() const noexcept { return epoch_; }
+
+  /// Extension (the paper's stated future work, Sec. VII): make the
+  /// greedy pick latency-aware. `hints[op]` is the one-way data-path
+  /// latency toward instance op; the greedy then minimizes
+  /// Ĉ[op] + hints[op] — the estimated completion of the tuple being
+  /// placed — instead of Ĉ[op] alone. Pass an empty vector to disable.
+  void set_latency_hints(std::vector<common::TimeMs> hints);
+  const std::vector<common::TimeMs>& latency_hints() const noexcept { return latency_hints_; }
+
+  /// Ĉ — estimated cumulated execution time per instance.
+  const std::vector<common::TimeMs>& estimated_loads() const noexcept { return c_est_; }
+
+  /// Estimated execution time the scheduler would use for `item` right
+  /// now (nullopt while in ROUND_ROBIN or for a never-seen item with an
+  /// empty fallback). Exposed for tests and diagnostics.
+  std::optional<common::TimeMs> estimate(common::Item item) const;
+
+  const PosgConfig& config() const noexcept { return config_; }
+
+ private:
+  /// ŵ for scheduling purposes: sketch estimate, falling back to the
+  /// shipped sketch's mean execution time for never-seen items.
+  common::TimeMs scheduling_estimate(common::InstanceId instance, common::Item item) const;
+
+  common::InstanceId greedy_pick() const noexcept;
+  void enter_send_all() noexcept;
+  void refresh_global_mean() noexcept;
+
+  std::size_t k_;
+  PosgConfig config_;
+  State state_ = State::kRoundRobin;
+  std::size_t rr_next_ = 0;
+  common::Epoch epoch_ = 0;
+
+  /// Latest stable sketch shipped by each instance (empty until first
+  /// shipment).
+  std::vector<std::optional<sketch::DualSketch>> sketches_;
+  /// Sum of the latest sketches (rebuilt on every shipment); billing
+  /// source when config.shared_billing is set.
+  std::optional<sketch::DualSketch> merged_;
+  /// Ĉ (Listing III.2).
+  std::vector<common::TimeMs> c_est_;
+  /// Mean execution time across all shipped sketches — the
+  /// instance-independent fallback for never-seen items.
+  common::TimeMs global_mean_ = 0.0;
+  /// Optional per-instance latency bias for the greedy pick (empty =
+  /// latency-oblivious, the paper's behaviour).
+  std::vector<common::TimeMs> latency_hints_;
+  /// SEND_ALL bookkeeping: which instances still need a marker this epoch.
+  std::vector<bool> marker_pending_;
+  std::size_t markers_outstanding_ = 0;
+  /// Reply bookkeeping for the current epoch. Replies may legitimately
+  /// arrive while later markers are still unsent (low-latency paths), so
+  /// they are accepted in both SEND_ALL and WAIT_ALL.
+  std::vector<bool> reply_received_;
+  std::vector<common::TimeMs> reply_delta_;
+  std::size_t replies_received_count_ = 0;
+};
+
+}  // namespace posg::core

@@ -1,0 +1,17 @@
+#include "core/round_robin.hpp"
+
+namespace posg::core {
+
+RoundRobinScheduler::RoundRobinScheduler(std::size_t instances) : instances_(instances) {
+  common::require(instances >= 1, "RoundRobinScheduler: need at least one instance");
+}
+
+Decision RoundRobinScheduler::schedule(common::Item item, common::SeqNo seq) {
+  (void)item;
+  (void)seq;
+  const common::InstanceId target = next_;
+  next_ = (next_ + 1) % instances_;
+  return Decision{target, std::nullopt};
+}
+
+}  // namespace posg::core

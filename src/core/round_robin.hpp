@@ -1,0 +1,23 @@
+#pragma once
+
+#include "core/scheduler.hpp"
+
+namespace posg::core {
+
+/// The baseline every stream engine ships: assign tuple i to instance
+/// i mod k. Balances tuple *counts* perfectly and tuple *work* only when
+/// execution times are content-independent — the imbalance POSG removes.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  explicit RoundRobinScheduler(std::size_t instances);
+
+  Decision schedule(common::Item item, common::SeqNo seq) override;
+  std::size_t instances() const override { return instances_; }
+  std::string name() const override { return "round-robin"; }
+
+ private:
+  std::size_t instances_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace posg::core

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "core/messages.hpp"
+
+namespace posg::core {
+
+/// A shuffle-grouping scheduling policy: maps each incoming tuple to one
+/// of the k parallel instances of the downstream operator.
+///
+/// The interface is transport-agnostic and single-threaded by contract —
+/// the simulator calls it from its event loop, the engine wraps it behind
+/// a mutex (one grouping object lives in the upstream executor, exactly as
+/// the paper's custom Storm grouping does).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Routes tuple `item` (the attribute value driving its cost); `seq` is
+  /// its stream sequence number. Returns the target instance and an
+  /// optional piggy-backed synchronization marker that the substrate must
+  /// deliver to that instance along with the tuple.
+  virtual Decision schedule(common::Item item, common::SeqNo seq) = 0;
+
+  /// Delivery of a stable (F, W) pair from an operator instance.
+  /// Policies that do not use feedback ignore it.
+  virtual void on_sketches(const SketchShipment& shipment) { (void)shipment; }
+
+  /// Delivery of a synchronization reply from an operator instance.
+  virtual void on_sync_reply(const SyncReply& reply) { (void)reply; }
+
+  /// Execution feedback: `instance` finished a tuple that took
+  /// `execution_time`. Only backlog-style policies need this; POSG itself
+  /// deliberately does not (its feedback channel is the sketch shipment).
+  virtual void on_tuple_executed(common::InstanceId instance, common::TimeMs execution_time) {
+    (void)instance;
+    (void)execution_time;
+  }
+
+  /// Delivery of a periodic queue-state report (reactive policies only;
+  /// see core/reactive_jsq.hpp). `backlog` is the work queued at the
+  /// instance when the report was taken, `mean_execution_time` the
+  /// instance's observed per-tuple mean.
+  virtual void on_load_report(common::InstanceId instance, common::TimeMs backlog,
+                              common::TimeMs mean_execution_time) {
+    (void)instance;
+    (void)backlog;
+    (void)mean_execution_time;
+  }
+
+  /// Number of downstream instances k.
+  virtual std::size_t instances() const = 0;
+
+  /// Human-readable policy tag used in benchmark tables.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace posg::core

@@ -1,0 +1,32 @@
+#include "core/two_choices.hpp"
+
+namespace posg::core {
+
+TwoChoicesScheduler::TwoChoicesScheduler(std::size_t instances, Oracle oracle,
+                                         std::size_t choices, std::uint64_t seed)
+    : oracle_(std::move(oracle)), cumulated_(instances, 0.0), choices_(choices), rng_(seed) {
+  common::require(instances >= 1, "TwoChoicesScheduler: need at least one instance");
+  common::require(choices >= 1 && choices <= instances,
+                  "TwoChoicesScheduler: need 1 <= choices <= instances");
+  common::require(static_cast<bool>(oracle_), "TwoChoicesScheduler: oracle must be callable");
+}
+
+Decision TwoChoicesScheduler::schedule(common::Item item, common::SeqNo seq) {
+  common::InstanceId best = common::kNoInstance;
+  common::TimeMs best_load = 0.0;
+  // Sample `choices_` candidates with replacement (the classic analysis's
+  // model; duplicates just waste a draw).
+  for (std::size_t c = 0; c < choices_; ++c) {
+    const auto candidate =
+        static_cast<common::InstanceId>(rng_.next_below(cumulated_.size()));
+    const common::TimeMs load = cumulated_[candidate] + oracle_(item, candidate, seq);
+    if (best == common::kNoInstance || load < best_load) {
+      best = candidate;
+      best_load = load;
+    }
+  }
+  cumulated_[best] = best_load;
+  return Decision{best, std::nullopt};
+}
+
+}  // namespace posg::core

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "core/scheduler.hpp"
+
+namespace posg::core {
+
+/// "Power of two choices" shuffle grouping (Azar et al.; the mechanism
+/// behind Partial Key Grouping in the stream-processing literature).
+///
+/// For each tuple, sample d instances uniformly at random and pick the
+/// one with the smaller tracked load. The load signal here is the same
+/// cumulated-executed-work feedback the backlog oracle uses; the point of
+/// the baseline is to separate *how much choice* the scheduler needs
+/// (d = 2 vs POSG's global argmin) from *how good its cost information
+/// is* (exact here vs sketch-estimated in POSG).
+class TwoChoicesScheduler final : public Scheduler {
+ public:
+  using Oracle =
+      std::function<common::TimeMs(common::Item, common::InstanceId, common::SeqNo)>;
+
+  /// `choices` = d (>= 1; d = instances degenerates to global greedy).
+  TwoChoicesScheduler(std::size_t instances, Oracle oracle, std::size_t choices = 2,
+                      std::uint64_t seed = 0xD1CE);
+
+  Decision schedule(common::Item item, common::SeqNo seq) override;
+  std::size_t instances() const override { return cumulated_.size(); }
+  std::string name() const override { return "two-choices"; }
+
+  const std::vector<common::TimeMs>& cumulated_loads() const noexcept { return cumulated_; }
+
+ private:
+  Oracle oracle_;
+  std::vector<common::TimeMs> cumulated_;
+  std::size_t choices_;
+  common::Xoshiro256StarStar rng_;
+};
+
+}  // namespace posg::core

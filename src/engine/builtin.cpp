@@ -1,0 +1,88 @@
+#include "engine/builtin.hpp"
+
+#include <thread>
+
+namespace posg::engine {
+
+void busy_wait_for(common::TimeMs duration) {
+  if (duration <= 0.0) {
+    return;
+  }
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(duration));
+  while (Clock::now() < deadline) {
+    // spin
+  }
+}
+
+SyntheticSpout::SyntheticSpout(std::vector<common::Item> items,
+                               std::chrono::microseconds inter_arrival)
+    : items_(std::move(items)), inter_arrival_(inter_arrival) {
+  common::require(inter_arrival_.count() >= 0, "SyntheticSpout: negative inter-arrival");
+}
+
+void SyntheticSpout::open(const ComponentContext& context) {
+  (void)context;
+  start_ = Clock::now();
+}
+
+bool SyntheticSpout::next(OutputCollector& collector) {
+  if (cursor_ >= items_.size()) {
+    return false;
+  }
+  // Absolute deadline for this emission.
+  const auto due = start_ + inter_arrival_ * static_cast<std::int64_t>(cursor_);
+  auto now = Clock::now();
+  if (due > now) {
+    const auto gap = due - now;
+    if (gap > std::chrono::microseconds(60)) {
+      std::this_thread::sleep_until(due - std::chrono::microseconds(30));
+    }
+    while (Clock::now() < due) {
+      // close the residual gap precisely
+    }
+  }
+  Tuple tuple;
+  tuple.item = items_[cursor_];
+  collector.emit(std::move(tuple));
+  ++cursor_;
+  return true;
+}
+
+BusyWaitBolt::BusyWaitBolt(CostFunction cost) : cost_(std::move(cost)) {
+  common::require(static_cast<bool>(cost_), "BusyWaitBolt: cost function must be callable");
+}
+
+void BusyWaitBolt::prepare(const ComponentContext& context) { instance_ = context.instance; }
+
+void BusyWaitBolt::execute(const Tuple& tuple, OutputCollector& collector) {
+  (void)collector;
+  busy_wait_for(cost_(tuple.item, instance_, tuple.seq));
+}
+
+SleepBolt::SleepBolt(CostFunction cost) : cost_(std::move(cost)) {
+  common::require(static_cast<bool>(cost_), "SleepBolt: cost function must be callable");
+}
+
+void SleepBolt::prepare(const ComponentContext& context) { instance_ = context.instance; }
+
+void SleepBolt::execute(const Tuple& tuple, OutputCollector& collector) {
+  (void)collector;
+  const common::TimeMs duration = cost_(tuple.item, instance_, tuple.seq);
+  if (duration > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(duration));
+  }
+}
+
+LambdaBolt::LambdaBolt(Fn fn) : fn_(std::move(fn)) {
+  common::require(static_cast<bool>(fn_), "LambdaBolt: callable required");
+}
+
+void LambdaBolt::prepare(const ComponentContext& context) { context_ = context; }
+
+void LambdaBolt::execute(const Tuple& tuple, OutputCollector& collector) {
+  fn_(tuple, collector, context_);
+}
+
+}  // namespace posg::engine

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/topology.hpp"
+
+/// Ready-made components used by the prototype experiments (Sec. V-C) and
+/// the examples.
+namespace posg::engine {
+
+/// Emits a pre-materialized stream of items at a fixed rate.
+///
+/// Pacing uses absolute deadlines (emit i at start + i * inter_arrival) so
+/// transient scheduling hiccups do not stretch the whole run; sub-200 µs
+/// gaps are closed by spinning because OS sleep granularity would
+/// otherwise quantize the arrival process.
+class SyntheticSpout final : public Spout {
+ public:
+  SyntheticSpout(std::vector<common::Item> items, std::chrono::microseconds inter_arrival);
+
+  void open(const ComponentContext& context) override;
+  bool next(OutputCollector& collector) override;
+
+ private:
+  std::vector<common::Item> items_;
+  std::chrono::microseconds inter_arrival_;
+  std::size_t cursor_ = 0;
+  Clock::time_point start_{};
+};
+
+/// CPU-bound operator: busy-waits for a content-dependent duration — the
+/// engine stand-in for the paper's enrichment bolt whose cost depends on
+/// the mentioned entity (Sec. V-C). The cost function receives
+/// (item, instance, seq) so non-uniform instances and load-drift phases
+/// are expressible.
+class BusyWaitBolt final : public Bolt {
+ public:
+  using CostFunction =
+      std::function<common::TimeMs(common::Item, common::InstanceId, common::SeqNo)>;
+
+  explicit BusyWaitBolt(CostFunction cost);
+
+  void prepare(const ComponentContext& context) override;
+  void execute(const Tuple& tuple, OutputCollector& collector) override;
+
+ private:
+  CostFunction cost_;
+  common::InstanceId instance_ = 0;
+};
+
+/// I/O-bound operator: blocks (sleeps) for a content-dependent duration.
+///
+/// The paper's motivating workload is an enrichment operator whose cost
+/// is dominated by a database access — blocking I/O, not CPU. SleepBolt
+/// models exactly that, and has a practical property BusyWaitBolt lacks:
+/// sleeping instances overlap even on a single-core host, so the
+/// prototype experiments (Figs. 11/12) remain meaningful on small CI
+/// machines. See DESIGN.md §2.
+class SleepBolt final : public Bolt {
+ public:
+  using CostFunction =
+      std::function<common::TimeMs(common::Item, common::InstanceId, common::SeqNo)>;
+
+  explicit SleepBolt(CostFunction cost);
+
+  void prepare(const ComponentContext& context) override;
+  void execute(const Tuple& tuple, OutputCollector& collector) override;
+
+ private:
+  CostFunction cost_;
+  common::InstanceId instance_ = 0;
+};
+
+/// Test/diagnostic bolt running an arbitrary callable.
+class LambdaBolt final : public Bolt {
+ public:
+  using Fn = std::function<void(const Tuple&, OutputCollector&, const ComponentContext&)>;
+
+  explicit LambdaBolt(Fn fn);
+
+  void prepare(const ComponentContext& context) override;
+  void execute(const Tuple& tuple, OutputCollector& collector) override;
+
+ private:
+  Fn fn_;
+  ComponentContext context_;
+};
+
+/// Busy-waits for `duration` on the calling thread (spin on the steady
+/// clock; no syscalls, so the measured execution time is deterministic to
+/// a few microseconds).
+void busy_wait_for(common::TimeMs duration);
+
+}  // namespace posg::engine

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "metrics/completion.hpp"
+
+namespace posg::engine {
+
+/// Thread-safe collector of per-tuple completion times.
+///
+/// Terminal bolts' executors call record() concurrently; after the run,
+/// series() folds the raw samples into a metrics::CompletionSeries. When
+/// a tuple fans out and reaches several terminal executions, the paper's
+/// definition applies — completion is when the *last* operator concludes
+/// — so the maximum per sequence number wins.
+class CompletionRecorder {
+ public:
+  void record(common::SeqNo seq, common::TimeMs completion) {
+    std::lock_guard lock(mutex_);
+    samples_.emplace_back(seq, completion);
+  }
+
+  std::size_t count() const {
+    std::lock_guard lock(mutex_);
+    return samples_.size();
+  }
+
+  metrics::CompletionSeries series() const {
+    std::lock_guard lock(mutex_);
+    // Fold duplicates (fan-out) by keeping the latest completion per seq.
+    std::vector<common::TimeMs> best;
+    std::vector<bool> seen;
+    for (const auto& [seq, completion] : samples_) {
+      if (seq >= best.size()) {
+        best.resize(seq + 1, 0.0);
+        seen.resize(seq + 1, false);
+      }
+      if (!seen[seq] || completion > best[seq]) {
+        best[seq] = completion;
+        seen[seq] = true;
+      }
+    }
+    metrics::CompletionSeries series(best.size());
+    for (common::SeqNo seq = 0; seq < best.size(); ++seq) {
+      if (seen[seq]) {
+        series.record(seq, best[seq]);
+      }
+    }
+    return series;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<common::SeqNo, common::TimeMs>> samples_;
+};
+
+}  // namespace posg::engine

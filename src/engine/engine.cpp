@@ -1,0 +1,211 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+
+namespace posg::engine {
+
+void OutputCollector::emit(Tuple tuple) {
+  if (is_spout_) {
+    tuple.seq = engine_.next_seq_.fetch_add(1, std::memory_order_relaxed);
+    tuple.emitted_at = Clock::now();
+    auto& spout = *engine_.spouts_[component_index_];
+    engine_.route_emit(spout.outputs, std::move(tuple));
+    spout.emitted.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    auto& bolt = *engine_.bolts_[component_index_];
+    engine_.route_emit(bolt.outputs, std::move(tuple));
+    bolt.emitted.fetch_add(1, std::memory_order_relaxed);
+  }
+  ++emitted_;
+}
+
+Engine::Engine(Topology topology, EngineConfig config)
+    : config_(config), topology_(std::move(topology)) {
+  common::require(config_.queue_capacity >= 1, "Engine: queue capacity must be >= 1");
+
+  spouts_.reserve(topology_.spouts.size());
+  for (const auto& spec : topology_.spouts) {
+    auto runtime = std::make_unique<SpoutRuntime>();
+    runtime->spec = spec;
+    spouts_.push_back(std::move(runtime));
+  }
+  bolts_.reserve(topology_.bolts.size());
+  for (const auto& spec : topology_.bolts) {
+    auto runtime = std::make_unique<BoltRuntime>();
+    runtime->spec = spec;
+    for (std::size_t i = 0; i < spec.parallelism; ++i) {
+      runtime->queues.push_back(std::make_unique<BoundedQueue<Tuple>>(config_.queue_capacity));
+    }
+    runtime->per_instance_executed.assign(spec.parallelism, 0);
+    runtime->per_instance_busy_ms.assign(spec.parallelism, 0.0);
+    runtime->per_instance_queue_peak.assign(spec.parallelism, 0);
+    bolts_.push_back(std::move(runtime));
+  }
+
+  // Wire streams: for every bolt input, register this bolt as a target of
+  // the upstream component, and detect the feedback grouping.
+  for (std::size_t b = 0; b < bolts_.size(); ++b) {
+    for (const auto& input : bolts_[b]->spec.inputs) {
+      StreamTarget target{input.grouping.get(), b};
+      bool wired = false;
+      for (auto& spout : spouts_) {
+        if (spout->spec.name == input.from) {
+          spout->outputs.push_back(target);
+          wired = true;
+        }
+      }
+      for (auto& upstream : bolts_) {
+        if (upstream->spec.name == input.from) {
+          upstream->outputs.push_back(target);
+          wired = true;
+        }
+      }
+      common::ensure(wired, "Engine: unwired input (builder validation should prevent this)");
+
+      if (input.grouping->wants_feedback()) {
+        common::require(
+            bolts_[b]->feedback == nullptr || bolts_[b]->feedback == input.grouping.get(),
+            "Engine: bolt '" + bolts_[b]->spec.name + "' has multiple feedback-wanting groupings");
+        common::require(input.grouping->feedback_config() != nullptr,
+                        "Engine: feedback grouping without a tracker config");
+        bolts_[b]->feedback = input.grouping.get();
+      }
+    }
+  }
+  for (auto& bolt : bolts_) {
+    bolt->terminal = bolt->outputs.empty();
+  }
+}
+
+void Engine::route_emit(const std::vector<StreamTarget>& targets, Tuple tuple) {
+  common::require(!targets.empty(), "Engine: emitting from a terminal component");
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const StreamTarget& target = targets[i];
+    BoltRuntime& bolt = *bolts_[target.bolt_index];
+    const Route route = target.grouping->route(tuple, bolt.spec.parallelism);
+    common::ensure(route.instance < bolt.spec.parallelism, "Engine: grouping routed out of range");
+    // Copy for all targets but the last; move into the last.
+    Tuple out = (i + 1 == targets.size()) ? std::move(tuple) : tuple;
+    out.marker = route.marker;
+    bolt.queues[route.instance]->push(std::move(out));
+  }
+}
+
+void Engine::spout_main(std::size_t index, common::InstanceId instance) {
+  SpoutRuntime& spout = *spouts_[index];
+  ComponentContext context{spout.spec.name, instance, spout.spec.parallelism};
+  const auto spout_impl = spout.spec.factory(context);
+  OutputCollector collector(*this, index, true);
+  spout_impl->open(context);
+  while (spout_impl->next(collector)) {
+  }
+  spout_impl->close();
+}
+
+void Engine::bolt_main(std::size_t index, common::InstanceId instance) {
+  BoltRuntime& bolt = *bolts_[index];
+  ComponentContext context{bolt.spec.name, instance, bolt.spec.parallelism};
+  const auto bolt_impl = bolt.spec.factory(context);
+  OutputCollector collector(*this, index, false);
+  bolt_impl->prepare(context);
+
+  // POSG feedback: instance tracker whose sketch layout comes from the
+  // grouping's config, so scheduler and instances stay consistent.
+  std::optional<core::InstanceTracker> tracker;
+  if (bolt.feedback != nullptr) {
+    tracker.emplace(instance, *bolt.feedback->feedback_config());
+  }
+
+  BoundedQueue<Tuple>& queue = *bolt.queues[instance];
+  while (auto tuple = queue.pop()) {
+    bolt.per_instance_queue_peak[instance] =
+        std::max(bolt.per_instance_queue_peak[instance], queue.size() + 1);
+    const auto started = Clock::now();
+    try {
+      bolt_impl->execute(*tuple, collector);
+    } catch (const std::exception&) {
+      bolt.errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    const auto finished = Clock::now();
+    bolt.executed.fetch_add(1, std::memory_order_relaxed);
+    ++bolt.per_instance_executed[instance];
+    bolt.per_instance_busy_ms[instance] += elapsed_ms(started, finished);
+
+    if (tracker) {
+      const common::TimeMs duration = elapsed_ms(started, finished);
+      if (auto shipment = tracker->on_executed(tuple->item, duration)) {
+        bolt.feedback->on_sketches(*shipment);
+      }
+      if (tuple->marker) {
+        // Contract: the marker's reply uses C_op *including* this tuple,
+        // hence on_executed above runs first.
+        bolt.feedback->on_sync_reply(tracker->on_sync_request(*tuple->marker));
+      }
+    }
+
+    if (bolt.terminal) {
+      recorder_.record(tuple->seq, elapsed_ms(tuple->emitted_at, finished));
+    }
+  }
+  bolt_impl->cleanup();
+}
+
+void Engine::run() {
+  common::require(!ran_, "Engine: run() may be called once");
+  ran_ = true;
+
+  // Start all bolt executors first so queues have consumers, then spouts.
+  for (std::size_t b = 0; b < bolts_.size(); ++b) {
+    for (common::InstanceId i = 0; i < bolts_[b]->spec.parallelism; ++i) {
+      bolts_[b]->threads.emplace_back([this, b, i] { bolt_main(b, i); });
+    }
+  }
+  for (std::size_t s = 0; s < spouts_.size(); ++s) {
+    for (common::InstanceId i = 0; i < spouts_[s]->spec.parallelism; ++i) {
+      spouts_[s]->threads.emplace_back([this, s, i] { spout_main(s, i); });
+    }
+  }
+
+  // Drain: spouts finish on their own; then close each bolt's queues in
+  // declaration order (a topological order by construction: inputs only
+  // reference earlier components), letting each stage fully drain before
+  // its consumers shut down.
+  for (auto& spout : spouts_) {
+    for (auto& thread : spout->threads) {
+      thread.join();
+    }
+  }
+  for (auto& bolt : bolts_) {
+    for (auto& queue : bolt->queues) {
+      queue->close();
+    }
+    for (auto& thread : bolt->threads) {
+      thread.join();
+    }
+  }
+}
+
+Engine::ComponentStats Engine::stats(const std::string& component) const {
+  for (const auto& spout : spouts_) {
+    if (spout->spec.name == component) {
+      ComponentStats stats;
+      stats.emitted = spout->emitted.load();
+      return stats;
+    }
+  }
+  for (const auto& bolt : bolts_) {
+    if (bolt->spec.name == component) {
+      ComponentStats stats;
+      stats.executed = bolt->executed.load();
+      stats.emitted = bolt->emitted.load();
+      stats.errors = bolt->errors.load();
+      stats.per_instance = bolt->per_instance_executed;
+      stats.busy_ms = bolt->per_instance_busy_ms;
+      stats.queue_peak = bolt->per_instance_queue_peak;
+      return stats;
+    }
+  }
+  throw std::invalid_argument("Engine: unknown component '" + component + "'");
+}
+
+}  // namespace posg::engine

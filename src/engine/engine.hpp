@@ -1,0 +1,127 @@
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/instance_tracker.hpp"
+#include "engine/completion_recorder.hpp"
+#include "engine/queue.hpp"
+#include "engine/topology.hpp"
+
+namespace posg::engine {
+
+struct EngineConfig {
+  /// Capacity of each executor's input queue; producers block when full
+  /// (backpressure).
+  std::size_t queue_capacity = 1 << 16;
+};
+
+class Engine;
+
+/// Emission interface handed to spouts and bolts. Routes each emitted
+/// tuple through the grouping of every downstream stream and enqueues it
+/// at the chosen instance.
+class OutputCollector {
+ public:
+  /// Emits `tuple` downstream. For spout emissions the engine assigns the
+  /// sequence number and injection timestamp; bolt emissions keep both
+  /// (the tuple lineage shares one completion measurement).
+  void emit(Tuple tuple);
+
+  /// Number of tuples emitted through this collector.
+  std::uint64_t emitted() const noexcept { return emitted_; }
+
+ private:
+  friend class Engine;
+  OutputCollector(Engine& engine, std::size_t component_index, bool is_spout)
+      : engine_(engine), component_index_(component_index), is_spout_(is_spout) {}
+
+  Engine& engine_;
+  std::size_t component_index_;  // index into the engine's component table
+  bool is_spout_;
+  std::uint64_t emitted_ = 0;
+};
+
+/// Multi-threaded runtime for a Topology: one executor thread per
+/// component instance, bounded queues in between, POSG feedback wiring
+/// when a stream uses a feedback-wanting grouping.
+///
+/// Lifecycle: construct, run() (blocking; spouts run to exhaustion, then
+/// bolts drain in topological order), then read completions() and stats.
+class Engine {
+ public:
+  struct ComponentStats {
+    std::uint64_t executed = 0;
+    std::uint64_t emitted = 0;
+    std::uint64_t errors = 0;
+    /// Per-instance executed-tuple counts.
+    std::vector<std::uint64_t> per_instance;
+    /// Per-instance total execution (busy) time, ms.
+    std::vector<common::TimeMs> busy_ms;
+    /// Per-instance input-queue high-watermark (max occupancy observed at
+    /// dequeue time).
+    std::vector<std::size_t> queue_peak;
+  };
+
+  Engine(Topology topology, EngineConfig config = {});
+
+  /// Runs the topology to completion. May be called once.
+  void run();
+
+  /// Completion times recorded at terminal bolts (valid after run()).
+  const CompletionRecorder& completions() const noexcept { return recorder_; }
+
+  /// Post-run statistics for one component.
+  ComponentStats stats(const std::string& component) const;
+
+ private:
+  friend class OutputCollector;
+
+  struct StreamTarget {
+    Grouping* grouping;        // owned by the topology's shared_ptr
+    std::size_t bolt_index;    // index into bolts_
+  };
+
+  struct BoltRuntime {
+    Topology::BoltSpec spec;
+    std::vector<std::unique_ptr<BoundedQueue<Tuple>>> queues;
+    std::vector<std::thread> threads;
+    std::vector<StreamTarget> outputs;
+    /// The single feedback-wanting grouping among this bolt's inputs
+    /// (nullptr when none). Executors then run instance trackers.
+    Grouping* feedback = nullptr;
+    bool terminal = false;
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> emitted{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::vector<std::uint64_t> per_instance_executed;  // written by owner thread
+    std::vector<common::TimeMs> per_instance_busy_ms;  // written by owner thread
+    std::vector<std::size_t> per_instance_queue_peak;  // written by owner thread
+  };
+
+  struct SpoutRuntime {
+    Topology::SpoutSpec spec;
+    std::vector<std::thread> threads;
+    std::vector<StreamTarget> outputs;
+    std::atomic<std::uint64_t> emitted{0};
+  };
+
+  void route_emit(const std::vector<StreamTarget>& targets, Tuple tuple);
+  void spout_main(std::size_t index, common::InstanceId instance);
+  void bolt_main(std::size_t index, common::InstanceId instance);
+
+  EngineConfig config_;
+  Topology topology_;
+  std::vector<std::unique_ptr<SpoutRuntime>> spouts_;
+  std::vector<std::unique_ptr<BoltRuntime>> bolts_;
+  CompletionRecorder recorder_;
+  std::atomic<common::SeqNo> next_seq_{0};
+  bool ran_ = false;
+};
+
+}  // namespace posg::engine

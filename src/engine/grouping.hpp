@@ -1,0 +1,75 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "engine/value.hpp"
+
+namespace posg::engine {
+
+/// Where a grouping sends one tuple: target instance index plus POSG's
+/// optional piggy-backed marker.
+struct Route {
+  common::InstanceId instance;
+  std::optional<core::SyncRequest> marker;
+};
+
+/// A grouping function: the sender-side policy that partitions a stream
+/// over the k instances of the receiving bolt (Sec. II). Implementations
+/// must be thread-safe — a grouping object is shared by all instances of
+/// the emitting component.
+class Grouping {
+ public:
+  virtual ~Grouping() = default;
+
+  /// Chooses the destination instance among [0, k) for `tuple`.
+  virtual Route route(const Tuple& tuple, std::size_t k) = 0;
+
+  /// True when the receiving executors should run POSG instance trackers
+  /// and feed shipments/replies back to this grouping.
+  virtual bool wants_feedback() const { return false; }
+
+  /// Feedback delivery (only called when wants_feedback()).
+  virtual void on_sketches(const core::SketchShipment& shipment) { (void)shipment; }
+  virtual void on_sync_reply(const core::SyncReply& reply) { (void)reply; }
+
+  /// Configuration the receiving executors' instance trackers must use
+  /// (sketch layout and hash seed must match the scheduler's). Non-null
+  /// exactly when wants_feedback().
+  virtual const core::PosgConfig* feedback_config() const { return nullptr; }
+
+  virtual std::string name() const = 0;
+};
+
+/// Stock shuffle grouping — round-robin, what Apache Storm ships (the
+/// paper's "ASSG" baseline in Figs. 11/12).
+class ShuffleGrouping final : public Grouping {
+ public:
+  Route route(const Tuple& tuple, std::size_t k) override;
+  std::string name() const override { return "shuffle"; }
+
+ private:
+  std::atomic<std::uint64_t> next_{0};
+};
+
+/// Key grouping: hash of the tuple's item — same item always reaches the
+/// same instance (Storm's fields grouping). Included for completeness of
+/// the engine substrate; not used by POSG itself.
+class FieldsGrouping final : public Grouping {
+ public:
+  Route route(const Tuple& tuple, std::size_t k) override;
+  std::string name() const override { return "fields"; }
+};
+
+/// Everything to instance 0 (Storm's global grouping).
+class GlobalGrouping final : public Grouping {
+ public:
+  Route route(const Tuple& tuple, std::size_t k) override;
+  std::string name() const override { return "global"; }
+};
+
+}  // namespace posg::engine

@@ -1,0 +1,102 @@
+#include "engine/posg_grouping.hpp"
+
+namespace posg::engine {
+
+PosgGrouping::PosgGrouping(std::size_t k, const core::PosgConfig& config,
+                           std::chrono::microseconds control_delay)
+    : config_(config), control_delay_(control_delay), scheduler_(k, config) {
+  if (control_delay_.count() > 0) {
+    delay_thread_ = std::thread([this] { delay_worker(); });
+  }
+}
+
+PosgGrouping::~PosgGrouping() {
+  if (delay_thread_.joinable()) {
+    {
+      std::lock_guard lock(delay_mutex_);
+      stopping_ = true;
+    }
+    delay_cv_.notify_all();
+    delay_thread_.join();
+  }
+}
+
+Route PosgGrouping::route(const Tuple& tuple, std::size_t k) {
+  std::lock_guard lock(mutex_);
+  common::require(k == scheduler_.instances(), "PosgGrouping: instance count mismatch");
+  const core::Decision decision = scheduler_.schedule(tuple.item, tuple.seq);
+  return Route{decision.instance, decision.sync_request};
+}
+
+void PosgGrouping::deliver_now(const Delivery& delivery) {
+  std::lock_guard lock(mutex_);
+  if (delivery.shipment) {
+    scheduler_.on_sketches(*delivery.shipment);
+  }
+  if (delivery.reply) {
+    scheduler_.on_sync_reply(*delivery.reply);
+  }
+}
+
+void PosgGrouping::on_sketches(const core::SketchShipment& shipment) {
+  Delivery delivery{Clock::now() + control_delay_, shipment, std::nullopt};
+  if (control_delay_.count() == 0) {
+    deliver_now(delivery);
+    return;
+  }
+  {
+    std::lock_guard lock(delay_mutex_);
+    delayed_.push_back(std::move(delivery));
+  }
+  delay_cv_.notify_one();
+}
+
+void PosgGrouping::on_sync_reply(const core::SyncReply& reply) {
+  Delivery delivery{Clock::now() + control_delay_, std::nullopt, reply};
+  if (control_delay_.count() == 0) {
+    deliver_now(delivery);
+    return;
+  }
+  {
+    std::lock_guard lock(delay_mutex_);
+    delayed_.push_back(std::move(delivery));
+  }
+  delay_cv_.notify_one();
+}
+
+void PosgGrouping::delay_worker() {
+  std::unique_lock lock(delay_mutex_);
+  while (true) {
+    if (delayed_.empty()) {
+      delay_cv_.wait(lock, [&] { return stopping_ || !delayed_.empty(); });
+    } else {
+      delay_cv_.wait_until(lock, delayed_.front().due,
+                           [&] { return stopping_ || Clock::now() >= delayed_.front().due; });
+    }
+    if (stopping_) {
+      // Flush whatever is queued so no control message is lost on shutdown.
+      while (!delayed_.empty()) {
+        const Delivery delivery = std::move(delayed_.front());
+        delayed_.pop_front();
+        lock.unlock();
+        deliver_now(delivery);
+        lock.lock();
+      }
+      return;
+    }
+    while (!delayed_.empty() && Clock::now() >= delayed_.front().due) {
+      const Delivery delivery = std::move(delayed_.front());
+      delayed_.pop_front();
+      lock.unlock();
+      deliver_now(delivery);
+      lock.lock();
+    }
+  }
+}
+
+core::PosgScheduler::State PosgGrouping::scheduler_state() const {
+  std::lock_guard lock(mutex_);
+  return scheduler_.state();
+}
+
+}  // namespace posg::engine

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "core/posg_scheduler.hpp"
+#include "engine/grouping.hpp"
+
+namespace posg::engine {
+
+/// POSG as an engine grouping — the equivalent of the paper's custom
+/// Apache Storm grouping (Sec. V-C).
+///
+/// Wraps a core::PosgScheduler behind a mutex: route() runs in the
+/// emitting executor's thread, feedback (sketch shipments, sync replies)
+/// arrives from the receiving bolts' executor threads. An optional
+/// artificial control-path delay emulates scheduler/instance placement on
+/// different machines; with the default of zero the only control latency
+/// is the genuine thread/queue asynchrony.
+class PosgGrouping final : public Grouping {
+ public:
+  explicit PosgGrouping(std::size_t k, const core::PosgConfig& config,
+                        std::chrono::microseconds control_delay = std::chrono::microseconds{0});
+  ~PosgGrouping() override;
+
+  PosgGrouping(const PosgGrouping&) = delete;
+  PosgGrouping& operator=(const PosgGrouping&) = delete;
+
+  Route route(const Tuple& tuple, std::size_t k) override;
+  bool wants_feedback() const override { return true; }
+  void on_sketches(const core::SketchShipment& shipment) override;
+  void on_sync_reply(const core::SyncReply& reply) override;
+  const core::PosgConfig* feedback_config() const override { return &config_; }
+  std::string name() const override { return "posg"; }
+
+  /// The POSG configuration the receiving executors must use for their
+  /// instance trackers (sketch layout and seed must match).
+  const core::PosgConfig& config() const noexcept { return config_; }
+
+  core::PosgScheduler::State scheduler_state() const;
+
+ private:
+  struct Delivery {
+    Clock::time_point due;
+    std::optional<core::SketchShipment> shipment;
+    std::optional<core::SyncReply> reply;
+  };
+
+  void deliver_now(const Delivery& delivery);
+  void delay_worker();
+
+  core::PosgConfig config_;
+  std::chrono::microseconds control_delay_;
+
+  mutable std::mutex mutex_;
+  core::PosgScheduler scheduler_;
+
+  // Delayed-delivery machinery (only active when control_delay_ > 0).
+  std::mutex delay_mutex_;
+  std::condition_variable delay_cv_;
+  std::deque<Delivery> delayed_;
+  bool stopping_ = false;
+  std::thread delay_thread_;
+};
+
+}  // namespace posg::engine

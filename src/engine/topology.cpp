@@ -1,0 +1,52 @@
+#include "engine/topology.hpp"
+
+#include <algorithm>
+
+namespace posg::engine {
+
+bool TopologyBuilder::known(const std::string& name) const {
+  const auto spout_hit =
+      std::any_of(topology_.spouts.begin(), topology_.spouts.end(),
+                  [&](const auto& s) { return s.name == name; });
+  const auto bolt_hit = std::any_of(topology_.bolts.begin(), topology_.bolts.end(),
+                                    [&](const auto& b) { return b.name == name; });
+  return spout_hit || bolt_hit;
+}
+
+TopologyBuilder& TopologyBuilder::add_spout(const std::string& name, SpoutFactory factory,
+                                            std::size_t parallelism) {
+  common::require(!name.empty(), "TopologyBuilder: component name must not be empty");
+  common::require(!known(name), "TopologyBuilder: duplicate component '" + name + "'");
+  common::require(static_cast<bool>(factory), "TopologyBuilder: spout factory must be callable");
+  common::require(parallelism >= 1, "TopologyBuilder: parallelism must be >= 1");
+  topology_.spouts.push_back({name, std::move(factory), parallelism});
+  return *this;
+}
+
+TopologyBuilder& TopologyBuilder::add_bolt(const std::string& name, BoltFactory factory,
+                                           std::size_t parallelism,
+                                           std::vector<Topology::InputSpec> inputs) {
+  common::require(!name.empty(), "TopologyBuilder: component name must not be empty");
+  common::require(!known(name), "TopologyBuilder: duplicate component '" + name + "'");
+  common::require(static_cast<bool>(factory), "TopologyBuilder: bolt factory must be callable");
+  common::require(parallelism >= 1, "TopologyBuilder: parallelism must be >= 1");
+  common::require(!inputs.empty(), "TopologyBuilder: bolt '" + name + "' needs at least one input");
+  for (const auto& input : inputs) {
+    // Requiring inputs to reference already-declared components makes the
+    // declaration order a topological order and rules out cycles.
+    common::require(known(input.from), "TopologyBuilder: bolt '" + name +
+                                           "' consumes unknown component '" + input.from + "'");
+    common::require(static_cast<bool>(input.grouping),
+                    "TopologyBuilder: bolt '" + name + "' has a null grouping");
+  }
+  topology_.bolts.push_back({name, std::move(factory), parallelism, std::move(inputs)});
+  return *this;
+}
+
+Topology TopologyBuilder::build() {
+  common::require(!topology_.spouts.empty(), "TopologyBuilder: topology needs at least one spout");
+  common::require(!topology_.bolts.empty(), "TopologyBuilder: topology needs at least one bolt");
+  return std::move(topology_);
+}
+
+}  // namespace posg::engine

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/grouping.hpp"
+#include "engine/value.hpp"
+
+namespace posg::engine {
+
+class OutputCollector;
+
+/// Context handed to a component instance at startup.
+struct ComponentContext {
+  std::string component;
+  common::InstanceId instance = 0;
+  std::size_t parallelism = 1;
+};
+
+/// A data source. next() emits zero or more tuples through the collector
+/// and returns false when the stream is exhausted (the engine then begins
+/// draining). Sources own their pacing: a rate-limited spout sleeps
+/// inside next().
+class Spout {
+ public:
+  virtual ~Spout() = default;
+  virtual void open(const ComponentContext& context) { (void)context; }
+  virtual bool next(OutputCollector& collector) = 0;
+  virtual void close() {}
+};
+
+/// A processing operator. execute() consumes one tuple and may emit
+/// downstream tuples through the collector. Stateless bolts (the paper's
+/// setting) keep no cross-tuple state, but the interface does not forbid
+/// it.
+class Bolt {
+ public:
+  virtual ~Bolt() = default;
+  virtual void prepare(const ComponentContext& context) { (void)context; }
+  virtual void execute(const Tuple& tuple, OutputCollector& collector) = 0;
+  virtual void cleanup() {}
+};
+
+using SpoutFactory = std::function<std::unique_ptr<Spout>(const ComponentContext&)>;
+using BoltFactory = std::function<std::unique_ptr<Bolt>(const ComponentContext&)>;
+
+/// Static description of a stream processing application: a DAG of spouts
+/// and bolts connected by grouped streams (Sec. II's "topology").
+struct Topology {
+  struct SpoutSpec {
+    std::string name;
+    SpoutFactory factory;
+    std::size_t parallelism;
+  };
+  struct InputSpec {
+    std::string from;
+    std::shared_ptr<Grouping> grouping;
+  };
+  struct BoltSpec {
+    std::string name;
+    BoltFactory factory;
+    std::size_t parallelism;
+    std::vector<InputSpec> inputs;
+  };
+
+  std::vector<SpoutSpec> spouts;
+  std::vector<BoltSpec> bolts;
+};
+
+/// Fluent topology construction with eager validation (unique names,
+/// known inputs, acyclicity via definition order: a bolt may only consume
+/// streams of components declared before it).
+class TopologyBuilder {
+ public:
+  TopologyBuilder& add_spout(const std::string& name, SpoutFactory factory,
+                             std::size_t parallelism = 1);
+
+  TopologyBuilder& add_bolt(const std::string& name, BoltFactory factory,
+                            std::size_t parallelism, std::vector<Topology::InputSpec> inputs);
+
+  /// Validates and returns the immutable description.
+  Topology build();
+
+ private:
+  bool known(const std::string& name) const;
+
+  Topology topology_;
+};
+
+}  // namespace posg::engine

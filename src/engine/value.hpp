@@ -1,0 +1,46 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/messages.hpp"
+
+/// Data model of the mini stream-processing engine (the Apache Storm
+/// substitute — see DESIGN.md §2).
+namespace posg::engine {
+
+/// A tuple field. Real engines carry arbitrary serializable values; three
+/// primitive kinds cover every workload in this repository.
+using Value = std::variant<std::int64_t, double, std::string>;
+
+/// Engine clock. All latency accounting uses the monotonic clock.
+using Clock = std::chrono::steady_clock;
+
+/// A unit of stream data.
+///
+/// Mirrors the paper's model (Sec. II): tuples carry a set of values, one
+/// distinguished non-negative integer attribute (`item`) drives the
+/// execution time, and the engine tracks injection time for
+/// completion-time measurement. `marker` is POSG's piggy-backed
+/// synchronization request (Fig. 1.D) — attached by the grouping, consumed
+/// by the receiving executor.
+struct Tuple {
+  common::SeqNo seq = 0;
+  common::Item item = 0;
+  std::vector<Value> fields;
+  Clock::time_point emitted_at{};
+  std::optional<core::SyncRequest> marker;
+};
+
+/// Milliseconds between two engine clock points, as the shared TimeMs
+/// type used by metrics and core.
+inline common::TimeMs elapsed_ms(Clock::time_point from, Clock::time_point to) noexcept {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace posg::engine

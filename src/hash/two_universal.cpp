@@ -1,0 +1,29 @@
+#include "hash/two_universal.hpp"
+
+namespace posg::hash {
+
+TwoUniversalHash::TwoUniversalHash(std::uint64_t a, std::uint64_t b, std::uint64_t codomain)
+    : a_(a), b_(b), codomain_(codomain) {
+  common::require(codomain >= 1, "TwoUniversalHash: codomain must be >= 1");
+  common::require(a >= 1 && a < kPrime, "TwoUniversalHash: need 1 <= a < p");
+  common::require(b < kPrime, "TwoUniversalHash: need 0 <= b < p");
+}
+
+TwoUniversalHash TwoUniversalHash::sample(common::Xoshiro256StarStar& rng,
+                                          std::uint64_t codomain) {
+  const std::uint64_t a = 1 + rng.next_below(kPrime - 1);
+  const std::uint64_t b = rng.next_below(kPrime);
+  return TwoUniversalHash(a, b, codomain);
+}
+
+HashSet::HashSet(std::uint64_t seed, std::size_t rows, std::uint64_t codomain)
+    : seed_(seed), codomain_(codomain) {
+  common::require(rows >= 1, "HashSet: need at least one row");
+  common::Xoshiro256StarStar rng(seed);
+  hashes_.reserve(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    hashes_.push_back(TwoUniversalHash::sample(rng, codomain));
+  }
+}
+
+}  // namespace posg::hash

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "common/types.hpp"
+
+/// Carter–Wegman 2-universal hash functions [Carter & Wegman, JCSS 1979].
+///
+/// A family H of functions h : [n] -> [c] is 2-universal when for every
+/// pair of distinct items x != y and h drawn uniformly from H,
+/// Pr{h(x) = h(y)} <= 1/c. The Count-Min sketch's accuracy guarantees
+/// (Cormode & Muthukrishnan 2005) rest on exactly this property.
+namespace posg::hash {
+
+/// One member of the Carter–Wegman family:
+///   h(x) = (((a*x + b) mod p) mod c)   with p = 2^61 - 1 (Mersenne prime),
+/// a in [1, p), b in [0, p).
+///
+/// The modular arithmetic is done in 128-bit intermediates with the usual
+/// Mersenne-prime fold, so evaluation is a handful of cycles and exact.
+class TwoUniversalHash {
+ public:
+  /// Mersenne prime used as the field order; any item universe [n] with
+  /// n < kPrime is supported.
+  static constexpr std::uint64_t kPrime = (1ULL << 61) - 1;
+
+  /// Constructs h(x) = ((a*x + b) mod p) mod codomain.
+  /// Requires 1 <= a < p, 0 <= b < p, codomain >= 1.
+  TwoUniversalHash(std::uint64_t a, std::uint64_t b, std::uint64_t codomain);
+
+  /// Draws a uniformly random member of the family with range `codomain`.
+  static TwoUniversalHash sample(common::Xoshiro256StarStar& rng, std::uint64_t codomain);
+
+  /// Evaluates the hash. noexcept and branch-light: this sits on the
+  /// per-tuple fast path of both operator instances and the scheduler.
+  std::uint64_t operator()(common::Item x) const noexcept {
+    return mod_prime(mul_mod(a_, x) + b_) % codomain_;
+  }
+
+  std::uint64_t a() const noexcept { return a_; }
+  std::uint64_t b() const noexcept { return b_; }
+  std::uint64_t codomain() const noexcept { return codomain_; }
+
+ private:
+  /// (x mod 2^61-1) for x < 2^62 + 2^61: fold high bits once, then a
+  /// conditional subtract.
+  static std::uint64_t mod_prime(std::uint64_t x) noexcept {
+    std::uint64_t r = (x & kPrime) + (x >> 61);
+    if (r >= kPrime) {
+      r -= kPrime;
+    }
+    return r;
+  }
+
+  /// (a*x) mod p via 128-bit product and two folds.
+  static std::uint64_t mul_mod(std::uint64_t a, std::uint64_t x) noexcept {
+    const common::Uint128 prod = static_cast<common::Uint128>(a) * x;
+    const std::uint64_t lo = static_cast<std::uint64_t>(prod) & kPrime;
+    const std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+    return mod_prime(lo + hi);
+  }
+
+  std::uint64_t a_;
+  std::uint64_t b_;
+  std::uint64_t codomain_;
+};
+
+/// An ordered set of `rows` independent hash functions sharing one codomain
+/// — the per-row hashes of a Count-Min sketch.
+///
+/// The whole set is derived deterministically from a single seed so that
+/// the scheduler and every operator instance can construct *identical*
+/// hash sets from configuration alone (the paper requires all parties to
+/// share the hash functions; shipping only a seed keeps messages small).
+class HashSet {
+ public:
+  /// Derives `rows` functions with range `codomain` from `seed`.
+  HashSet(std::uint64_t seed, std::size_t rows, std::uint64_t codomain);
+
+  std::size_t rows() const noexcept { return hashes_.size(); }
+  std::uint64_t codomain() const noexcept { return codomain_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Row `row`'s bucket for item `x`.
+  std::uint64_t bucket(std::size_t row, common::Item x) const noexcept {
+    return hashes_[row](x);
+  }
+
+  const TwoUniversalHash& function(std::size_t row) const { return hashes_.at(row); }
+
+  /// Two hash sets agree iff they were derived from the same
+  /// (seed, rows, codomain) triple.
+  friend bool operator==(const HashSet& lhs, const HashSet& rhs) noexcept {
+    return lhs.seed_ == rhs.seed_ && lhs.codomain_ == rhs.codomain_ &&
+           lhs.hashes_.size() == rhs.hashes_.size();
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t codomain_;
+  std::vector<TwoUniversalHash> hashes_;
+};
+
+}  // namespace posg::hash

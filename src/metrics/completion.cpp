@@ -1,0 +1,82 @@
+#include "metrics/completion.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace posg::metrics {
+
+namespace {
+constexpr common::TimeMs kUnset = std::numeric_limits<common::TimeMs>::quiet_NaN();
+}
+
+void CompletionSeries::record(common::SeqNo seq, common::TimeMs completion_time) {
+  common::require(completion_time >= 0.0, "CompletionSeries: negative completion time");
+  if (seq >= completions_.size()) {
+    completions_.resize(seq + 1, kUnset);
+  }
+  common::require(std::isnan(completions_[seq]), "CompletionSeries: duplicate sequence number");
+  completions_[seq] = completion_time;
+  ++recorded_;
+}
+
+common::TimeMs CompletionSeries::average() const {
+  common::require(recorded_ > 0, "CompletionSeries: no samples");
+  double sum = 0.0;
+  for (common::TimeMs value : completions_) {
+    if (!std::isnan(value)) {
+      sum += value;
+    }
+  }
+  return sum / static_cast<double>(recorded_);
+}
+
+common::TimeMs CompletionSeries::at(common::SeqNo seq) const {
+  if (seq >= completions_.size()) {
+    return kUnset;
+  }
+  return completions_[seq];
+}
+
+std::vector<CompletionSeries::WindowPoint> CompletionSeries::windowed(std::size_t window) const {
+  common::require(window >= 1, "CompletionSeries: window must be >= 1");
+  std::vector<WindowPoint> points;
+  for (std::size_t start = 0; start < completions_.size(); start += window) {
+    RunningStats stats;
+    const std::size_t end = std::min(start + window, completions_.size());
+    for (std::size_t seq = start; seq < end; ++seq) {
+      if (!std::isnan(completions_[seq])) {
+        stats.add(completions_[seq]);
+      }
+    }
+    if (stats.count() > 0) {
+      points.push_back(WindowPoint{start, stats.min(), stats.mean(), stats.max()});
+    }
+  }
+  return points;
+}
+
+std::vector<common::TimeMs> CompletionSeries::values() const {
+  std::vector<common::TimeMs> out;
+  out.reserve(recorded_);
+  for (common::TimeMs value : completions_) {
+    if (!std::isnan(value)) {
+      out.push_back(value);
+    }
+  }
+  return out;
+}
+
+double speedup(const CompletionSeries& baseline, const CompletionSeries& candidate) {
+  double baseline_sum = 0.0;
+  for (common::TimeMs value : baseline.values()) {
+    baseline_sum += value;
+  }
+  double candidate_sum = 0.0;
+  for (common::TimeMs value : candidate.values()) {
+    candidate_sum += value;
+  }
+  common::require(candidate_sum > 0.0, "speedup: candidate sum must be positive");
+  return baseline_sum / candidate_sum;
+}
+
+}  // namespace posg::metrics

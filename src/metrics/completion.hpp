@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "metrics/stats.hpp"
+
+/// Per-tuple completion-time bookkeeping — the paper's primary metric
+/// (Sec. II): l(i) is the time from tuple i's injection at the source to
+/// the end of its processing at the operator instance, and
+/// L = sum_i l(i) / m is the average completion time.
+namespace posg::metrics {
+
+/// Records l(i) indexed by tuple sequence number and derives the figures'
+/// summaries.
+class CompletionSeries {
+ public:
+  CompletionSeries() = default;
+  explicit CompletionSeries(std::size_t expected) { completions_.reserve(expected); }
+
+  /// Records tuple `seq`'s completion time. Out-of-order recording is
+  /// allowed (the engine's instances finish asynchronously); the series
+  /// grows to fit.
+  void record(common::SeqNo seq, common::TimeMs completion_time);
+
+  /// Average completion time L over all recorded tuples.
+  common::TimeMs average() const;
+
+  /// Number of recorded tuples.
+  std::size_t size() const noexcept { return recorded_; }
+
+  /// Completion time of tuple `seq` (NaN when not recorded).
+  common::TimeMs at(common::SeqNo seq) const;
+
+  /// One point of the Fig. 10/11 time series: min/mean/max of completion
+  /// times over a window of consecutive tuples.
+  struct WindowPoint {
+    common::SeqNo window_start;
+    common::TimeMs min;
+    common::TimeMs mean;
+    common::TimeMs max;
+  };
+
+  /// Aggregates the series into consecutive windows of `window` tuples
+  /// (the paper plots min/mean/max over the previous 2000 tuples).
+  std::vector<WindowPoint> windowed(std::size_t window) const;
+
+  /// All recorded completion times in sequence order (unrecorded gaps are
+  /// skipped), for percentile computations.
+  std::vector<common::TimeMs> values() const;
+
+ private:
+  std::vector<common::TimeMs> completions_;  // NaN == not recorded
+  std::size_t recorded_ = 0;
+};
+
+/// Speed-up of `candidate` relative to `baseline` as the paper defines it:
+/// S_L = sum_i l_baseline(i) / sum_i l_candidate(i).
+double speedup(const CompletionSeries& baseline, const CompletionSeries& candidate);
+
+}  // namespace posg::metrics

@@ -1,0 +1,151 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+
+#include "sketch/serialize.hpp"
+
+namespace posg::net {
+
+namespace {
+
+enum class Tag : std::uint8_t {
+  kHello = 1,
+  kTuple = 2,
+  kShipment = 3,
+  kSyncReply = 4,
+  kEndOfStream = 5,
+};
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::byte>& out) : out_(out) {}
+
+  template <typename T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto offset = out_.size();
+    out_.resize(offset + sizeof(T));
+    std::memcpy(out_.data() + offset, &value, sizeof(T));
+  }
+
+  void put_bytes(std::span<const std::byte> bytes) {
+    const auto offset = out_.size();
+    out_.resize(offset + bytes.size());
+    std::memcpy(out_.data() + offset, bytes.data(), bytes.size());
+  }
+
+ private:
+  std::vector<std::byte>& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  T take() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (offset_ + sizeof(T) > bytes_.size()) {
+      throw std::invalid_argument("net::decode: truncated message");
+    }
+    T value;
+    std::memcpy(&value, bytes_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return value;
+  }
+
+  std::span<const std::byte> rest() const { return bytes_.subspan(offset_); }
+
+  void expect_exhausted() const {
+    if (offset_ != bytes_.size()) {
+      throw std::invalid_argument("net::decode: trailing bytes");
+    }
+  }
+
+ private:
+  std::span<const std::byte> bytes_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::byte> encode(const Message& message) {
+  std::vector<std::byte> payload;
+  Writer writer(payload);
+  std::visit(
+      [&](const auto& value) {
+        using T = std::decay_t<decltype(value)>;
+        if constexpr (std::is_same_v<T, Hello>) {
+          writer.put(Tag::kHello);
+          writer.put(static_cast<std::uint64_t>(value.instance));
+        } else if constexpr (std::is_same_v<T, TupleMessage>) {
+          writer.put(Tag::kTuple);
+          writer.put(value.seq);
+          writer.put(value.item);
+          writer.put(static_cast<std::uint8_t>(value.marker.has_value() ? 1 : 0));
+          if (value.marker) {
+            writer.put(value.marker->epoch);
+            writer.put(value.marker->estimated_cumulated);
+          }
+        } else if constexpr (std::is_same_v<T, core::SketchShipment>) {
+          writer.put(Tag::kShipment);
+          writer.put(static_cast<std::uint64_t>(value.instance));
+          writer.put_bytes(sketch::serialize(value.sketch));
+        } else if constexpr (std::is_same_v<T, core::SyncReply>) {
+          writer.put(Tag::kSyncReply);
+          writer.put(static_cast<std::uint64_t>(value.instance));
+          writer.put(value.epoch);
+          writer.put(value.delta);
+        } else if constexpr (std::is_same_v<T, EndOfStream>) {
+          writer.put(Tag::kEndOfStream);
+        }
+      },
+      message);
+  return payload;
+}
+
+Message decode(std::span<const std::byte> payload) {
+  Reader reader(payload);
+  const auto tag = reader.take<Tag>();
+  switch (tag) {
+    case Tag::kHello: {
+      Hello hello{static_cast<common::InstanceId>(reader.take<std::uint64_t>())};
+      reader.expect_exhausted();
+      return hello;
+    }
+    case Tag::kTuple: {
+      TupleMessage tuple;
+      tuple.seq = reader.take<common::SeqNo>();
+      tuple.item = reader.take<common::Item>();
+      const auto has_marker = reader.take<std::uint8_t>();
+      if (has_marker == 1) {
+        core::SyncRequest marker;
+        marker.epoch = reader.take<common::Epoch>();
+        marker.estimated_cumulated = reader.take<common::TimeMs>();
+        tuple.marker = marker;
+      } else if (has_marker != 0) {
+        throw std::invalid_argument("net::decode: bad marker flag");
+      }
+      reader.expect_exhausted();
+      return tuple;
+    }
+    case Tag::kShipment: {
+      const auto instance = static_cast<common::InstanceId>(reader.take<std::uint64_t>());
+      return core::SketchShipment{instance, sketch::deserialize(reader.rest())};
+    }
+    case Tag::kSyncReply: {
+      core::SyncReply reply;
+      reply.instance = static_cast<common::InstanceId>(reader.take<std::uint64_t>());
+      reply.epoch = reader.take<common::Epoch>();
+      reply.delta = reader.take<common::TimeMs>();
+      reader.expect_exhausted();
+      return reply;
+    }
+    case Tag::kEndOfStream:
+      reader.expect_exhausted();
+      return EndOfStream{};
+  }
+  throw std::invalid_argument("net::decode: unknown tag");
+}
+
+}  // namespace posg::net

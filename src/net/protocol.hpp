@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "core/messages.hpp"
+
+/// Wire protocol between a POSG scheduler process and operator-instance
+/// processes — the distributed deployment the in-process substrates
+/// emulate. Five message kinds:
+///
+///   instance -> scheduler:  Hello (registration), SketchShipment
+///                           (Fig. 1.B, via sketch/serialize.hpp),
+///                           SyncReply (Fig. 1.E)
+///   scheduler -> instance:  TupleMessage (data + optional piggy-backed
+///                           SyncRequest, Fig. 1.D), EndOfStream
+///
+/// Every message is one length-prefixed socket frame (net/socket.hpp)
+/// starting with a one-byte tag.
+namespace posg::net {
+
+/// Instance registration: "instance `id` is ready on this connection".
+struct Hello {
+  common::InstanceId instance;
+};
+
+/// One data tuple routed to an instance, with POSG's optional marker.
+struct TupleMessage {
+  common::SeqNo seq = 0;
+  common::Item item = 0;
+  std::optional<core::SyncRequest> marker;
+};
+
+/// Orderly shutdown of the data stream.
+struct EndOfStream {};
+
+using Message = std::variant<Hello, TupleMessage, core::SketchShipment, core::SyncReply,
+                             EndOfStream>;
+
+/// Encodes a message into one frame payload.
+std::vector<std::byte> encode(const Message& message);
+
+/// Decodes a frame payload. Throws std::invalid_argument on unknown tags
+/// or malformed payloads.
+Message decode(std::span<const std::byte> payload);
+
+}  // namespace posg::net

@@ -1,0 +1,184 @@
+#include "net/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <system_error>
+#include <thread>
+
+#include "common/types.hpp"
+
+namespace posg::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void write_all(int fd, const std::byte* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("socket write");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads exactly `size` bytes. Returns false on EOF before the first byte
+/// (when allow_eof), throws on mid-read EOF.
+bool read_all(int fd, std::byte* data, std::size_t size, bool allow_eof) {
+  std::size_t read_so_far = 0;
+  while (read_so_far < size) {
+    const ssize_t n = ::read(fd, data + read_so_far, size - read_so_far);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("socket read");
+    }
+    if (n == 0) {
+      if (read_so_far == 0 && allow_eof) {
+        return false;
+      }
+      throw std::runtime_error("socket read: unexpected EOF mid-frame");
+    }
+    read_so_far += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  common::require(path.size() < sizeof(address.sun_path),
+                  "net: socket path too long: " + path);
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+  return address;
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::send_frame(std::span<const std::byte> payload) {
+  common::require(valid(), "net: send on closed socket");
+  common::require(payload.size() <= kMaxFrameBytes, "net: frame too large");
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::byte header[sizeof(length)];
+  std::memcpy(header, &length, sizeof(length));
+  write_all(fd_, header, sizeof(length));
+  write_all(fd_, payload.data(), payload.size());
+}
+
+std::optional<std::vector<std::byte>> Socket::recv_frame() {
+  common::require(valid(), "net: recv on closed socket");
+  std::uint32_t length = 0;
+  std::byte header[sizeof(length)];
+  if (!read_all(fd_, header, sizeof(length), /*allow_eof=*/true)) {
+    return std::nullopt;
+  }
+  std::memcpy(&length, header, sizeof(length));
+  if (length > kMaxFrameBytes) {
+    throw std::runtime_error("net: incoming frame exceeds the size bound");
+  }
+  std::vector<std::byte> payload(length);
+  if (length > 0) {
+    read_all(fd_, payload.data(), payload.size(), /*allow_eof=*/false);
+  }
+  return payload;
+}
+
+Listener::Listener(const std::string& path) : path_(path) {
+  ::unlink(path.c_str());
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw_errno("net: socket");
+  }
+  const sockaddr_un address = make_address(path);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("net: bind");
+  }
+  if (::listen(fd_, 16) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw_errno("net: listen");
+  }
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+  ::unlink(path_.c_str());
+}
+
+Socket Listener::accept() {
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      return Socket(fd);
+    }
+    if (errno != EINTR) {
+      throw_errno("net: accept");
+    }
+  }
+}
+
+Socket connect(const std::string& path, int max_attempts) {
+  const sockaddr_un address = make_address(path);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw_errno("net: socket");
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) == 0) {
+      return Socket(fd);
+    }
+    ::close(fd);
+    if (errno != ENOENT && errno != ECONNREFUSED) {
+      throw_errno("net: connect");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  throw std::runtime_error("net: connect: server at " + path + " never came up");
+}
+
+std::pair<Socket, Socket> socket_pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw_errno("net: socketpair");
+  }
+  return {Socket(fds[0]), Socket(fds[1])};
+}
+
+}  // namespace posg::net

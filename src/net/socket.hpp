@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+/// Minimal RAII socket layer for running POSG's scheduler and operator
+/// instances as separate processes.
+///
+/// Scope: Unix-domain stream sockets with length-prefixed frames — enough
+/// to demonstrate and test the wire protocol (net/protocol.hpp) without
+/// pulling in an async runtime. Blocking I/O; one socket per peer; every
+/// syscall failure surfaces as std::system_error.
+namespace posg::net {
+
+/// Owning file descriptor (move-only).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+
+  /// Sends one length-prefixed frame (u32 little-endian length + payload).
+  /// Blocks until fully written.
+  void send_frame(std::span<const std::byte> payload);
+
+  /// Receives one frame. Returns std::nullopt on orderly peer shutdown
+  /// (EOF at a frame boundary); throws on mid-frame EOF or I/O errors.
+  std::optional<std::vector<std::byte>> recv_frame();
+
+  void close() noexcept;
+
+  /// Maximum accepted frame size (defensive bound against corrupt length
+  /// prefixes).
+  static constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening Unix-domain socket bound to a filesystem path.
+class Listener {
+ public:
+  /// Binds and listens on `path` (unlinking a stale socket file first).
+  explicit Listener(const std::string& path);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Blocks until a peer connects.
+  Socket accept();
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Connects to a listening Unix-domain socket, retrying briefly so a
+/// client may start before its server finishes binding.
+Socket connect(const std::string& path, int max_attempts = 50);
+
+/// Connected socket pair (in-process tests).
+std::pair<Socket, Socket> socket_pair();
+
+}  // namespace posg::net

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/instance_tracker.hpp"
+#include "core/scheduler.hpp"
+#include "metrics/completion.hpp"
+
+/// Discrete-event simulator of the paper's system model (Sec. II): a
+/// source injecting tuples at a fixed rate into a scheduler S that routes
+/// them to k parallel operator instances, each a FIFO, work-conserving
+/// server.
+namespace posg::sim {
+
+/// Per-run message accounting (the measurable side of Theorem 3.3).
+struct MessageCounts {
+  std::uint64_t sketch_shipments = 0;
+  std::uint64_t sync_markers = 0;  // piggy-backed, but counted
+  std::uint64_t sync_replies = 0;
+
+  std::uint64_t control_total() const noexcept {
+    return sketch_shipments + sync_markers + sync_replies;
+  }
+};
+
+/// One simulation run.
+class Simulator {
+ public:
+  /// True execution time of `item` when instance `instance` processes the
+  /// tuple with sequence number `seq`.
+  using CostFunction =
+      std::function<common::TimeMs(common::Item, common::InstanceId, common::SeqNo)>;
+
+  struct Config {
+    std::size_t instances = 5;
+    /// Fixed inter-tuple arrival delay at the source.
+    common::TimeMs inter_arrival = 1.0;
+    /// One-way latency on the data path (scheduler -> instance).
+    common::TimeMs data_latency = 0.0;
+    /// Optional per-instance data-path latencies (heterogeneous
+    /// placement, e.g. some instances on remote racks). When non-empty it
+    /// overrides `data_latency` and must have one entry per instance.
+    std::vector<common::TimeMs> per_instance_data_latency;
+    /// One-way latency on the control path (instance -> scheduler:
+    /// sketch shipments, sync replies, load reports).
+    common::TimeMs control_latency = 1.0;
+    /// Period of the instances' queue-state reports (reactive policies;
+    /// Sec. I's "periodically collect the load" strategy). 0 disables
+    /// reporting.
+    common::TimeMs load_report_period = 0.0;
+    /// POSG parameters used by the instance-side trackers. Trackers run
+    /// for every scheduling policy (they are part of the operator
+    /// instances); non-POSG schedulers simply ignore their shipments.
+    core::PosgConfig posg;
+  };
+
+  struct Result {
+    metrics::CompletionSeries completions;
+    MessageCounts messages;
+    /// Makespan: time the last instance goes idle.
+    common::TimeMs makespan = 0.0;
+    /// Total executed work per instance (for balance diagnostics).
+    std::vector<common::TimeMs> instance_work;
+    /// Tuples routed per instance.
+    std::vector<std::uint64_t> instance_tuples;
+  };
+
+  Simulator(Config config, CostFunction cost);
+
+  /// Replays `stream` through `scheduler` and returns the metrics.
+  /// The scheduler is driven exactly as a deployment would: tuples in
+  /// timestamp order, control messages delivered after control_latency.
+  Result run(const std::vector<common::Item>& stream, core::Scheduler& scheduler);
+
+ private:
+  Config config_;
+  CostFunction cost_;
+};
+
+}  // namespace posg::sim

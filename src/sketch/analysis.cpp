@@ -1,0 +1,30 @@
+#include "sketch/analysis.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace posg::sketch {
+
+double expected_ratio_uniform_frequencies(const std::vector<common::TimeMs>& weights,
+                                          std::size_t buckets, std::size_t v) {
+  common::require(weights.size() >= 2, "expected_ratio: need at least two items");
+  common::require(buckets >= 1, "expected_ratio: need at least one bucket");
+  common::require(v < weights.size(), "expected_ratio: item index out of range");
+  const double n = static_cast<double>(weights.size());
+  const double k = static_cast<double>(buckets);
+  const double s = std::accumulate(weights.begin(), weights.end(), 0.0);
+  const double wv = weights[v];
+  const double head = (s - wv) / (n - 1.0);
+  const double tail =
+      k * (s - n * wv) / (n * (n - 1.0)) * (1.0 - std::pow(1.0 - 1.0 / k, n));
+  return head - tail;
+}
+
+double markov_min_rows_bound(double expectation, double threshold, std::size_t rows) {
+  common::require(threshold > 0.0, "markov bound: threshold must be positive");
+  common::require(rows >= 1, "markov bound: need at least one row");
+  const double single = std::min(1.0, expectation / threshold);
+  return std::pow(single, static_cast<double>(rows));
+}
+
+}  // namespace posg::sketch

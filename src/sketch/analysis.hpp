@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// Closed-form accuracy analysis of the W/C ratio estimator (Sec. IV-B of
+/// the paper), made executable so the theory can be checked against
+/// Monte-Carlo simulation (tests) and reported next to measurements
+/// (bench/theory_estimation).
+namespace posg::sketch {
+
+/// Theorem 4.3: expected value of W_v / C_v for one sketch row under
+/// idealized uniform hashing into `buckets` cells, when every item of the
+/// universe occurs equally often (the empirically-worst case):
+///
+///   E{W_v/C_v} = (S - w_v)/(n - 1)
+///              - buckets (S - n w_v) / (n (n - 1)) (1 - (1 - 1/buckets)^n)
+///
+/// with S = sum of all execution times and n = |weights|. Notably the
+/// result does not depend on the stream length m.
+double expected_ratio_uniform_frequencies(const std::vector<common::TimeMs>& weights,
+                                          std::size_t buckets, std::size_t v);
+
+/// Markov tail bound used in the paper's numerical application:
+///   Pr{ W_v/C_v >= x } <= E{W_v/C_v} / x
+/// and across r independent rows
+///   Pr{ min_rows >= x } <= (E{W_v/C_v} / x)^r.
+double markov_min_rows_bound(double expectation, double threshold, std::size_t rows);
+
+}  // namespace posg::sketch

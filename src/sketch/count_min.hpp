@@ -1,0 +1,156 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hash/two_universal.hpp"
+
+/// Count-Min sketch [Cormode & Muthukrishnan, J. Algorithms 2005].
+///
+/// An r x c matrix of counters, one 2-universal hash per row. Point
+/// queries are (eps, delta)-additive-approximations of the true frequency:
+///   Pr{ f̂_t - f_t >= eps * (m - f_t) } <= delta,    f̂_t >= f_t always.
+namespace posg::sketch {
+
+/// Matrix dimensions, optionally derived from the (eps, delta) accuracy
+/// target exactly the way the paper sizes its examples:
+///   rows r = ceil(log2(1/delta))   (delta = 0.25 -> 2, delta = 0.1 -> 4)
+///   cols c = round(e / eps)        (eps = 0.7 -> 4,  eps = 0.05 -> 54)
+struct SketchDims {
+  std::size_t rows;
+  std::size_t cols;
+
+  static SketchDims from_accuracy(double epsilon, double delta) {
+    common::require(epsilon > 0.0 && epsilon <= 1.0, "SketchDims: need 0 < epsilon <= 1");
+    common::require(delta > 0.0 && delta < 1.0, "SketchDims: need 0 < delta < 1");
+    const auto rows = static_cast<std::size_t>(std::ceil(std::log2(1.0 / delta)));
+    const auto cols = static_cast<std::size_t>(std::llround(std::exp(1.0) / epsilon));
+    return SketchDims{std::max<std::size_t>(rows, 1), std::max<std::size_t>(cols, 1)};
+  }
+
+  friend bool operator==(const SketchDims&, const SketchDims&) = default;
+};
+
+/// Count-Min sketch with counter type `Counter` (integral for frequencies,
+/// floating point for the cumulated-execution-time variant of Sec. III-A).
+///
+/// The hash set is stored by value; it is derived from a seed so equality
+/// of (seed, dims) implies identical bucketing — which is how the scheduler
+/// and the operator instances stay consistent without shipping functions.
+template <typename Counter>
+class CountMin {
+ public:
+  /// Builds an empty sketch with `dims.rows` hashes derived from `seed`.
+  CountMin(SketchDims dims, std::uint64_t seed)
+      : dims_(dims),
+        hashes_(seed, dims.rows, dims.cols),
+        cells_(dims.rows * dims.cols, Counter{0}) {}
+
+  /// Builds from an explicit accuracy target; see SketchDims.
+  CountMin(double epsilon, double delta, std::uint64_t seed)
+      : CountMin(SketchDims::from_accuracy(epsilon, delta), seed) {}
+
+  std::size_t rows() const noexcept { return dims_.rows; }
+  std::size_t cols() const noexcept { return dims_.cols; }
+  const SketchDims& dims() const noexcept { return dims_; }
+  const hash::HashSet& hashes() const noexcept { return hashes_; }
+
+  /// Adds `value` to item `t`'s cell in every row (the generalized update
+  /// of Sec. III-A; plain frequency counting passes value = 1).
+  void update(common::Item t, Counter value) noexcept {
+    for (std::size_t i = 0; i < dims_.rows; ++i) {
+      cells_[i * dims_.cols + hashes_.bucket(i, t)] += value;
+    }
+  }
+
+  /// Conservative update (Estan & Varghese): only raise the cells that
+  /// are at the item's current minimum, never past min + value. Point
+  /// queries remain overestimates but collision inflation shrinks
+  /// substantially on skewed streams. Returns, per row, whether the cell
+  /// was raised (callers keeping a parallel matrix — the weight sketch —
+  /// must mirror the same cells to keep per-cell ratios meaningful).
+  std::uint32_t update_conservative(common::Item t, Counter value) noexcept {
+    Counter current_min = std::numeric_limits<Counter>::max();
+    for (std::size_t i = 0; i < dims_.rows; ++i) {
+      current_min = std::min(current_min, cells_[i * dims_.cols + hashes_.bucket(i, t)]);
+    }
+    const Counter target = current_min + value;
+    std::uint32_t raised_mask = 0;
+    for (std::size_t i = 0; i < dims_.rows; ++i) {
+      Counter& cell = cells_[i * dims_.cols + hashes_.bucket(i, t)];
+      if (cell < target) {
+        cell = target;
+        raised_mask |= (1u << i);
+      }
+    }
+    return raised_mask;
+  }
+
+  /// Adds `value` only to the rows whose bit is set in `mask` — the
+  /// weight-matrix side of a conservative dual update.
+  void update_masked(common::Item t, Counter value, std::uint32_t mask) noexcept {
+    for (std::size_t i = 0; i < dims_.rows; ++i) {
+      if (mask & (1u << i)) {
+        cells_[i * dims_.cols + hashes_.bucket(i, t)] += value;
+      }
+    }
+  }
+
+  /// Point query: min over rows — never underestimates (for non-negative
+  /// updates).
+  Counter estimate(common::Item t) const noexcept {
+    Counter best = std::numeric_limits<Counter>::max();
+    for (std::size_t i = 0; i < dims_.rows; ++i) {
+      best = std::min(best, cells_[i * dims_.cols + hashes_.bucket(i, t)]);
+    }
+    return best;
+  }
+
+  /// Cell value at (row, col); used by the dual-sketch ratio estimator and
+  /// by tests.
+  Counter cell(std::size_t row, std::size_t col) const {
+    common::require(row < dims_.rows && col < dims_.cols, "CountMin: cell out of range");
+    return cells_[row * dims_.cols + col];
+  }
+
+  /// Sum of one row == total mass inserted (every update touches every
+  /// row exactly once).
+  Counter row_total(std::size_t row) const {
+    common::require(row < dims_.rows, "CountMin: row out of range");
+    const auto begin = cells_.begin() + static_cast<std::ptrdiff_t>(row * dims_.cols);
+    return std::accumulate(begin, begin + static_cast<std::ptrdiff_t>(dims_.cols), Counter{0});
+  }
+
+  /// Zeroes every counter, keeping dims and hashes (the instance-side
+  /// reset after shipping matrices to the scheduler).
+  void reset() noexcept { std::fill(cells_.begin(), cells_.end(), Counter{0}); }
+
+  /// Merges another sketch built with the same seed and dims (linearity of
+  /// Count-Min). Throws std::invalid_argument on mismatched layout.
+  void merge(const CountMin& other) {
+    common::require(dims_ == other.dims_ && hashes_ == other.hashes_,
+                    "CountMin: merge requires identical dims and hash seed");
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      cells_[i] += other.cells_[i];
+    }
+  }
+
+  /// Raw cell storage in row-major order (serialization).
+  const std::vector<Counter>& raw_cells() const noexcept { return cells_; }
+  std::vector<Counter>& raw_cells() noexcept { return cells_; }
+
+ private:
+  SketchDims dims_;
+  hash::HashSet hashes_;
+  std::vector<Counter> cells_;
+};
+
+using FrequencySketch = CountMin<std::uint64_t>;
+using WeightSketch = CountMin<double>;
+
+}  // namespace posg::sketch

@@ -1,0 +1,133 @@
+#include "sketch/dual_sketch.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace posg::sketch {
+
+DualSketch::DualSketch(SketchDims dims, std::uint64_t seed, std::size_t heavy_capacity,
+                       bool conservative)
+    : freq_(dims, seed), weight_(dims, seed), conservative_(conservative) {
+  common::require(!conservative || dims.rows <= 32,
+                  "DualSketch: conservative mode supports at most 32 rows");
+  if (heavy_capacity > 0) {
+    heavy_.emplace(heavy_capacity);
+  }
+}
+
+DualSketch::DualSketch(double epsilon, double delta, std::uint64_t seed,
+                       std::size_t heavy_capacity, bool conservative)
+    : DualSketch(SketchDims::from_accuracy(epsilon, delta), seed, heavy_capacity, conservative) {
+}
+
+void DualSketch::update(common::Item t, common::TimeMs execution_time) noexcept {
+  if (conservative_) {
+    const std::uint32_t raised = freq_.update_conservative(t, 1);
+    weight_.update_masked(t, execution_time, raised);
+  } else {
+    freq_.update(t, 1);
+    weight_.update(t, execution_time);
+  }
+  if (heavy_) {
+    heavy_->update(t, execution_time);
+  }
+  ++updates_;
+  total_time_ += execution_time;
+}
+
+std::optional<common::TimeMs> DualSketch::estimate(common::Item t,
+                                                   EstimatorVariant variant) const noexcept {
+  // Hybrid path: heavy items are answered from exact observed samples.
+  if (heavy_) {
+    if (auto exact = heavy_->mean_time(t)) {
+      return exact;
+    }
+  }
+  const auto& hashes = freq_.hashes();
+  const std::size_t rows = freq_.rows();
+
+  if (variant == EstimatorVariant::kArgMinFrequency) {
+    // Listing III.2: i* = argmin_i F[i, h_i(t)], return W[i*]/F[i*].
+    std::uint64_t best_freq = std::numeric_limits<std::uint64_t>::max();
+    double best_weight = 0.0;
+    for (std::size_t i = 0; i < rows; ++i) {
+      const std::uint64_t bucket = hashes.bucket(i, t);
+      const std::uint64_t f = freq_.cell(i, bucket);
+      if (f < best_freq) {
+        best_freq = f;
+        best_weight = weight_.cell(i, bucket);
+      }
+    }
+    if (best_freq == 0) {
+      return std::nullopt;
+    }
+    return best_weight / static_cast<double>(best_freq);
+  }
+
+  // kMinRatio: min over rows of W[i]/F[i], skipping empty cells.
+  std::optional<common::TimeMs> best;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::uint64_t bucket = hashes.bucket(i, t);
+    const std::uint64_t f = freq_.cell(i, bucket);
+    if (f == 0) {
+      continue;
+    }
+    const double ratio = weight_.cell(i, bucket) / static_cast<double>(f);
+    if (!best || ratio < *best) {
+      best = ratio;
+    }
+  }
+  return best;
+}
+
+std::optional<common::TimeMs> DualSketch::mean_execution_time() const noexcept {
+  if (updates_ == 0) {
+    return std::nullopt;
+  }
+  return total_time_ / static_cast<double>(updates_);
+}
+
+void DualSketch::reset() noexcept {
+  freq_.reset();
+  weight_.reset();
+  if (heavy_) {
+    heavy_->clear();
+  }
+  updates_ = 0;
+  total_time_ = 0.0;
+}
+
+void DualSketch::merge_from(const DualSketch& other) {
+  common::require(heavy_capacity() == other.heavy_capacity(),
+                  "DualSketch: merge requires matching heavy capacities");
+  common::require(conservative_ == other.conservative_,
+                  "DualSketch: merge requires matching update policies");
+  freq_.merge(other.frequencies());
+  weight_.merge(other.weights());
+  if (heavy_ && other.heavy_) {
+    // Sum entries item-wise, then keep the heaviest `capacity` by count.
+    auto combined = heavy_->entries();
+    for (const auto& [item, entry] : other.heavy_->entries()) {
+      auto& slot = combined[item];
+      slot.count += entry.count;
+      slot.error += entry.error;
+      slot.observed += entry.observed;
+      slot.time_sum += entry.time_sum;
+    }
+    if (combined.size() > heavy_->capacity()) {
+      std::vector<std::pair<common::Item, SpaceSaving::Entry>> ranked(combined.begin(),
+                                                                      combined.end());
+      std::nth_element(ranked.begin(), ranked.begin() + heavy_->capacity() - 1, ranked.end(),
+                       [](const auto& a, const auto& b) { return a.second.count > b.second.count; });
+      ranked.resize(heavy_->capacity());
+      combined.clear();
+      combined.insert(ranked.begin(), ranked.end());
+    }
+    heavy_->restore(combined);
+  }
+  updates_ += other.updates_;
+  total_time_ += other.total_time_;
+}
+
+}  // namespace posg::sketch

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+#include "sketch/count_min.hpp"
+#include "sketch/space_saving.hpp"
+
+namespace posg::sketch {
+
+/// How the scheduler turns the (F, W) cell pair into a per-tuple execution
+/// time estimate ŵ_t = W/F.
+enum class EstimatorVariant {
+  /// Listing III.2 of the paper: pick the row with the smallest frequency
+  /// cell (least collision mass), return that row's W/F ratio.
+  kArgMinFrequency,
+  /// Analysis variant (Sec. IV-B): take the minimum of the per-row ratios
+  /// W[i]/F[i]. Exposed for the estimator ablation bench.
+  kMinRatio,
+};
+
+/// The pair of Count-Min matrices every operator instance maintains
+/// (Fig. 1.A): F tracks tuple frequencies, W tracks cumulated execution
+/// times W_t = w_t * f_t. Both share dimensions and hash functions, so a
+/// single hash evaluation per row serves both updates.
+class DualSketch {
+ public:
+  /// `heavy_capacity` > 0 enables the hybrid estimator (extension, see
+  /// sketch/space_saving.hpp): the top items are tracked exactly in a
+  /// Space-Saving table and answered from it, the tail from the
+  /// Count-Min matrices. 0 = pure paper behaviour.
+  DualSketch(SketchDims dims, std::uint64_t seed, std::size_t heavy_capacity = 0,
+             bool conservative = false);
+  DualSketch(double epsilon, double delta, std::uint64_t seed, std::size_t heavy_capacity = 0,
+             bool conservative = false);
+
+  /// Records one execution of item `t` that took `execution_time`
+  /// (Listing III.1: F += 1, W += w in every row).
+  void update(common::Item t, common::TimeMs execution_time) noexcept;
+
+  /// Estimated execution time of item `t`, or std::nullopt when `t` maps
+  /// only to empty cells (never-seen item on a fresh sketch).
+  std::optional<common::TimeMs> estimate(
+      common::Item t, EstimatorVariant variant = EstimatorVariant::kArgMinFrequency) const noexcept;
+
+  /// Mean execution time over everything recorded (row-0 totals W/F);
+  /// the scheduler's fallback for unseen items. nullopt when empty.
+  std::optional<common::TimeMs> mean_execution_time() const noexcept;
+
+  /// Number of updates recorded (== any row's frequency total).
+  std::uint64_t update_count() const noexcept { return updates_; }
+
+  /// Cumulated execution time recorded (== any row's weight total).
+  common::TimeMs total_execution_time() const noexcept { return total_time_; }
+
+  void reset() noexcept;
+
+  const FrequencySketch& frequencies() const noexcept { return freq_; }
+  const WeightSketch& weights() const noexcept { return weight_; }
+
+  /// Mutable matrix access for the deserializer only — regular clients
+  /// must go through update()/reset() so the totals stay consistent.
+  FrequencySketch& frequencies_mutable() noexcept { return freq_; }
+  WeightSketch& weights_mutable() noexcept { return weight_; }
+
+  /// Restores the totals bookkeeping after raw cells were rebuilt from a
+  /// wire buffer (deserializer only).
+  void restore_totals(std::uint64_t updates, common::TimeMs total_time) noexcept {
+    updates_ = updates;
+    total_time_ = total_time;
+  }
+  const SketchDims& dims() const noexcept { return freq_.dims(); }
+  std::uint64_t seed() const noexcept { return freq_.hashes().seed(); }
+
+  /// Hybrid-estimator side table (nullptr when disabled).
+  const SpaceSaving* heavy_hitters() const noexcept { return heavy_ ? &*heavy_ : nullptr; }
+  SpaceSaving* heavy_hitters_mutable() noexcept { return heavy_ ? &*heavy_ : nullptr; }
+  std::size_t heavy_capacity() const noexcept { return heavy_ ? heavy_->capacity() : 0; }
+
+  /// Conservative-update mode (Estan & Varghese): F raises only the cells
+  /// at the item's current minimum and W mirrors exactly those cells, so
+  /// per-cell ratios keep averaging only the contributions that actually
+  /// landed there. Reduces collision inflation on skewed streams.
+  bool conservative() const noexcept { return conservative_; }
+
+  /// Adds another sketch's contents (linearity of Count-Min; heavy-hitter
+  /// tables are merged by summing entries and keeping the heaviest).
+  /// Layouts (dims, seed, heavy capacity) must match.
+  void merge_from(const DualSketch& other);
+
+ private:
+  FrequencySketch freq_;
+  WeightSketch weight_;
+  std::optional<SpaceSaving> heavy_;
+  bool conservative_ = false;
+  std::uint64_t updates_ = 0;
+  common::TimeMs total_time_ = 0.0;
+};
+
+}  // namespace posg::sketch

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sketch/dual_sketch.hpp"
+
+/// Wire format for shipping a (F, W) matrix pair from an operator instance
+/// to the scheduler (Fig. 1.B).
+///
+/// In-process transports could hand the object over directly; the byte
+/// codec exists so the engine's control bus mirrors what a distributed
+/// deployment would send, and so the message-size accounting of
+/// Theorem 3.3 can be measured rather than assumed.
+///
+/// Layout (little-endian):
+///   u32 magic 'POSG' | u32 version | u64 seed | u64 rows | u64 cols |
+///   u64 update_count | f64 total_time | rows*cols u64 (F) | rows*cols f64 (W)
+namespace posg::sketch {
+
+/// Encodes `sketch` into a self-describing byte buffer.
+std::vector<std::byte> serialize(const DualSketch& sketch);
+
+/// Decodes a buffer produced by `serialize`. Throws std::invalid_argument
+/// on a truncated or corrupt buffer.
+DualSketch deserialize(std::span<const std::byte> bytes);
+
+/// Exact encoded size of a sketch with the given dims and number of
+/// monitored heavy-hitter entries, in bytes — the quantity that appears
+/// in the communication-cost analysis (Thm. 3.3).
+std::size_t serialized_size(const SketchDims& dims, std::size_t heavy_entries = 0) noexcept;
+
+}  // namespace posg::sketch

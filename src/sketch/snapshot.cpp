@@ -1,0 +1,61 @@
+#include "sketch/snapshot.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace posg::sketch {
+
+Snapshot::Snapshot(const DualSketch& sketch) : dims_(sketch.dims()) {
+  ratios_.reserve(dims_.rows * dims_.cols);
+  for (std::size_t i = 0; i < dims_.rows; ++i) {
+    for (std::size_t j = 0; j < dims_.cols; ++j) {
+      ratios_.push_back(ratio_of(sketch, i, j));
+    }
+  }
+}
+
+double Snapshot::ratio_of(const DualSketch& sketch, std::size_t row, std::size_t col) noexcept {
+  const std::uint64_t f = sketch.frequencies().cell(row, col);
+  if (f == 0) {
+    return 0.0;
+  }
+  return sketch.weights().cell(row, col) / static_cast<double>(f);
+}
+
+double Snapshot::cell(std::size_t row, std::size_t col) const {
+  common::require(row < dims_.rows && col < dims_.cols, "Snapshot: cell out of range");
+  return ratios_[row * dims_.cols + col];
+}
+
+double Snapshot::relative_error(const DualSketch& sketch) const {
+  common::require(sketch.dims() == dims_, "Snapshot: sketch dims changed");
+  // Cells that were empty in the snapshot are excluded from the
+  // comparison: with fine sketches (small epsilon) the stream's item tail
+  // keeps lighting up previously-empty cells long after the per-item
+  // ratios converged, and counting those cells as error would keep eta
+  // above any tolerance forever (the matrices would never ship — which
+  // contradicts the paper's epsilon sweep, Fig. 9). A genuine change in
+  // the load profile moves the ratios of already-populated cells, which
+  // is exactly what the retained terms measure. See DESIGN.md §5.
+  double abs_diff = 0.0;
+  double snapshot_mass = 0.0;
+  double current_mass = 0.0;
+  for (std::size_t i = 0; i < dims_.rows; ++i) {
+    for (std::size_t j = 0; j < dims_.cols; ++j) {
+      const double previous = ratios_[i * dims_.cols + j];
+      const double current = ratio_of(sketch, i, j);
+      current_mass += current;
+      if (previous == 0.0) {
+        continue;
+      }
+      abs_diff += std::abs(previous - current);
+      snapshot_mass += previous;
+    }
+  }
+  if (snapshot_mass == 0.0) {
+    return current_mass == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return abs_diff / snapshot_mass;
+}
+
+}  // namespace posg::sketch

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "sketch/dual_sketch.hpp"
+
+namespace posg::sketch {
+
+/// The per-window stability snapshot of Sec. III-B.
+///
+/// A snapshot S is the r x c matrix of per-cell mean execution times
+/// S[i,j] = W[i,j] / F[i,j] (0 for empty cells) taken at the end of an
+/// observation window. The instance declares its matrices *stable* — and
+/// ships them to the scheduler — when the relative error between the
+/// previous snapshot and the current ratios drops to the tolerance µ:
+///
+///   η = Σ_{i,j} |S[i,j] − W[i,j]/F[i,j]| / Σ_{i,j} S[i,j]  <=  µ     (Eq. 1)
+class Snapshot {
+ public:
+  /// Captures the current ratio matrix of `sketch`.
+  explicit Snapshot(const DualSketch& sketch);
+
+  /// Relative error η between this snapshot and the current state of
+  /// `sketch` (Eq. 1). When the snapshot is all-zero, returns 0 if the
+  /// sketch ratios are also all zero and +infinity otherwise (a brand-new
+  /// load appearing is maximally unstable).
+  double relative_error(const DualSketch& sketch) const;
+
+  std::size_t rows() const noexcept { return dims_.rows; }
+  std::size_t cols() const noexcept { return dims_.cols; }
+  double cell(std::size_t row, std::size_t col) const;
+
+ private:
+  static double ratio_of(const DualSketch& sketch, std::size_t row, std::size_t col) noexcept;
+
+  SketchDims dims_;
+  std::vector<double> ratios_;
+};
+
+}  // namespace posg::sketch

@@ -1,0 +1,128 @@
+#include "workload/distributions.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace posg::workload {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  common::require(!weights.empty(), "AliasTable: weights must not be empty");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  common::require(total > 0.0, "AliasTable: total weight must be positive");
+  for (double w : weights) {
+    common::require(w >= 0.0, "AliasTable: weights must be non-negative");
+  }
+
+  const std::size_t n = weights.size();
+  normalized_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    normalized_[i] = weights[i] / total;
+  }
+
+  // Vose's stable construction: split buckets into under-/over-full work
+  // lists and pair them until every bucket has an acceptance threshold and
+  // an alias.
+  probability_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+  }
+  std::vector<std::size_t> small;
+  std::vector<std::size_t> large;
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    small.pop_back();
+    const std::size_t l = large.back();
+    large.pop_back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers are exactly-full buckets.
+  for (std::size_t i : small) {
+    probability_[i] = 1.0;
+  }
+  for (std::size_t i : large) {
+    probability_[i] = 1.0;
+  }
+}
+
+std::size_t AliasTable::sample(common::Xoshiro256StarStar& rng) const noexcept {
+  const std::size_t bucket = static_cast<std::size_t>(rng.next_below(probability_.size()));
+  return rng.next_double() < probability_[bucket] ? bucket : alias_[bucket];
+}
+
+UniformItems::UniformItems(std::size_t n) : n_(n) {
+  common::require(n >= 1, "UniformItems: need n >= 1");
+}
+
+common::Item UniformItems::sample(common::Xoshiro256StarStar& rng) const {
+  return rng.next_below(n_);
+}
+
+double UniformItems::probability(common::Item item) const {
+  return item < n_ ? 1.0 / static_cast<double>(n_) : 0.0;
+}
+
+namespace {
+
+std::vector<double> zipf_weights(std::size_t n, double alpha) {
+  common::require(n >= 1, "ZipfItems: need n >= 1");
+  common::require(alpha >= 0.0, "ZipfItems: need alpha >= 0");
+  std::vector<double> weights(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    weights[i] = std::pow(static_cast<double>(i + 1), -alpha);
+  }
+  return weights;
+}
+
+}  // namespace
+
+ZipfItems::ZipfItems(std::size_t n, double alpha)
+    : alpha_(alpha), alias_(zipf_weights(n, alpha)) {}
+
+common::Item ZipfItems::sample(common::Xoshiro256StarStar& rng) const {
+  return alias_.sample(rng);
+}
+
+double ZipfItems::probability(common::Item item) const {
+  return item < alias_.size() ? alias_.probability(item) : 0.0;
+}
+
+std::string ZipfItems::name() const {
+  std::ostringstream os;
+  os << "zipf-" << alpha_;
+  return os.str();
+}
+
+EmpiricalItems::EmpiricalItems(std::vector<double> weights, std::string name)
+    : name_(std::move(name)), alias_(weights) {}
+
+common::Item EmpiricalItems::sample(common::Xoshiro256StarStar& rng) const {
+  return alias_.sample(rng);
+}
+
+double EmpiricalItems::probability(common::Item item) const {
+  return item < alias_.size() ? alias_.probability(item) : 0.0;
+}
+
+std::unique_ptr<ItemDistribution> make_distribution(const std::string& tag, std::size_t n) {
+  if (tag == "uniform") {
+    return std::make_unique<UniformItems>(n);
+  }
+  constexpr std::string_view prefix = "zipf-";
+  if (tag.rfind(prefix, 0) == 0) {
+    const double alpha = std::stod(tag.substr(prefix.size()));
+    return std::make_unique<ZipfItems>(n, alpha);
+  }
+  throw std::invalid_argument("make_distribution: unknown tag '" + tag + "'");
+}
+
+}  // namespace posg::workload

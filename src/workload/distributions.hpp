@@ -1,0 +1,105 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "common/types.hpp"
+
+/// Item (tuple attribute value) distributions for synthetic streams.
+///
+/// The paper's synthetic streams draw each tuple's attribute independently
+/// from either a Uniform or a Zipf-alpha distribution over a universe of
+/// n = 4096 distinct items (Sec. V-A).
+namespace posg::workload {
+
+/// Walker's alias method: O(n) preprocessing, O(1) sampling from an
+/// arbitrary discrete distribution. Used by every item distribution so
+/// stream generation cost is independent of skew.
+class AliasTable {
+ public:
+  /// Builds the table for (unnormalized, non-negative) `weights`.
+  /// Throws std::invalid_argument when weights are empty or all zero.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()) with probability proportional to its
+  /// weight.
+  std::size_t sample(common::Xoshiro256StarStar& rng) const noexcept;
+
+  std::size_t size() const noexcept { return probability_.size(); }
+
+  /// Normalized probability of index `i` (for tests and analytic means).
+  double probability(std::size_t i) const { return normalized_.at(i); }
+
+ private:
+  std::vector<double> probability_;   // acceptance threshold per bucket
+  std::vector<std::size_t> alias_;    // fallback index per bucket
+  std::vector<double> normalized_;    // exact normalized pmf
+};
+
+/// A discrete distribution over the item universe [n].
+class ItemDistribution {
+ public:
+  virtual ~ItemDistribution() = default;
+
+  virtual common::Item sample(common::Xoshiro256StarStar& rng) const = 0;
+  /// Exact probability of drawing `item`.
+  virtual double probability(common::Item item) const = 0;
+  /// Universe size n.
+  virtual std::size_t universe() const = 0;
+  /// Human-readable tag used in benchmark tables ("uniform", "zipf-1.0"...).
+  virtual std::string name() const = 0;
+};
+
+/// Uniform over [n].
+class UniformItems final : public ItemDistribution {
+ public:
+  explicit UniformItems(std::size_t n);
+
+  common::Item sample(common::Xoshiro256StarStar& rng) const override;
+  double probability(common::Item item) const override;
+  std::size_t universe() const override { return n_; }
+  std::string name() const override { return "uniform"; }
+
+ private:
+  std::size_t n_;
+};
+
+/// Zipf with exponent alpha over [n]: Pr{item = i} proportional to
+/// 1/(i+1)^alpha (item 0 is the most frequent).
+class ZipfItems final : public ItemDistribution {
+ public:
+  ZipfItems(std::size_t n, double alpha);
+
+  common::Item sample(common::Xoshiro256StarStar& rng) const override;
+  double probability(common::Item item) const override;
+  std::size_t universe() const override { return alias_.size(); }
+  std::string name() const override;
+  double alpha() const noexcept { return alpha_; }
+
+ private:
+  double alpha_;
+  AliasTable alias_;
+};
+
+/// Arbitrary empirical pmf (used by the tweet-dataset synthesizer).
+class EmpiricalItems final : public ItemDistribution {
+ public:
+  EmpiricalItems(std::vector<double> weights, std::string name);
+
+  common::Item sample(common::Xoshiro256StarStar& rng) const override;
+  double probability(common::Item item) const override;
+  std::size_t universe() const override { return alias_.size(); }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  AliasTable alias_;
+};
+
+/// Parses the paper's distribution tags: "uniform" or "zipf-<alpha>"
+/// (e.g. "zipf-1.5"). Throws std::invalid_argument on an unknown tag.
+std::unique_ptr<ItemDistribution> make_distribution(const std::string& tag, std::size_t n);
+
+}  // namespace posg::workload

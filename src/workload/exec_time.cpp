@@ -1,0 +1,113 @@
+#include "workload/exec_time.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/prng.hpp"
+
+namespace posg::workload {
+
+namespace {
+
+std::vector<common::TimeMs> make_values(std::size_t wn, common::TimeMs wmin, common::TimeMs wmax,
+                                        ValueSpacing spacing) {
+  common::require(wn >= 1, "ExecutionTimeAssignment: need wn >= 1");
+  common::require(wmin > 0.0 && wmax >= wmin, "ExecutionTimeAssignment: need 0 < wmin <= wmax");
+  std::vector<common::TimeMs> values(wn);
+  if (wn == 1) {
+    values[0] = wmin;
+    return values;
+  }
+  for (std::size_t j = 0; j < wn; ++j) {
+    const double fraction = static_cast<double>(j) / static_cast<double>(wn - 1);
+    if (spacing == ValueSpacing::kLinear) {
+      values[j] = wmin + fraction * (wmax - wmin);
+    } else {
+      values[j] = wmin * std::pow(wmax / wmin, fraction);
+    }
+  }
+  return values;
+}
+
+}  // namespace
+
+ExecutionTimeAssignment::ExecutionTimeAssignment(std::size_t n, std::size_t wn,
+                                                 common::TimeMs wmin, common::TimeMs wmax,
+                                                 ValueSpacing spacing, std::uint64_t seed)
+    : values_(make_values(wn, wmin, wmax, spacing)) {
+  common::require(n >= wn, "ExecutionTimeAssignment: need n >= wn");
+
+  // Randomize the item -> value association (Sec. V-A): shuffle the
+  // universe, then give each value a contiguous slice of n/wn items (the
+  // first n % wn values absorb one extra item each when wn does not
+  // divide n).
+  std::vector<common::Item> items(n);
+  std::iota(items.begin(), items.end(), common::Item{0});
+  common::Xoshiro256StarStar rng(seed);
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(i + 1));
+    std::swap(items[i], items[j]);
+  }
+
+  value_index_.assign(n, 0);
+  const std::size_t base_share = n / wn;
+  const std::size_t extras = n % wn;
+  std::size_t cursor = 0;
+  for (std::size_t j = 0; j < wn; ++j) {
+    const std::size_t share = base_share + (j < extras ? 1 : 0);
+    for (std::size_t s = 0; s < share; ++s) {
+      value_index_[items[cursor++]] = j;
+    }
+  }
+}
+
+common::TimeMs ExecutionTimeAssignment::mean_under(const ItemDistribution& dist) const {
+  common::require(dist.universe() == value_index_.size(),
+                  "ExecutionTimeAssignment: distribution universe mismatch");
+  common::TimeMs mean = 0.0;
+  for (common::Item item = 0; item < value_index_.size(); ++item) {
+    mean += dist.probability(item) * base_time(item);
+  }
+  return mean;
+}
+
+InstanceLoadModel::InstanceLoadModel(std::size_t instances) : instances_(instances) {
+  common::require(instances >= 1, "InstanceLoadModel: need at least one instance");
+}
+
+InstanceLoadModel::InstanceLoadModel(std::size_t instances, std::vector<Phase> phases)
+    : instances_(instances), phases_(std::move(phases)) {
+  common::require(instances >= 1, "InstanceLoadModel: need at least one instance");
+  common::require(!phases_.empty() && phases_.front().from_seq == 0,
+                  "InstanceLoadModel: first phase must start at sequence 0");
+  common::SeqNo previous = 0;
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    common::require(phases_[i].multipliers.size() == instances,
+                    "InstanceLoadModel: phase multiplier count must equal instance count");
+    common::require(i == 0 || phases_[i].from_seq > previous,
+                    "InstanceLoadModel: phases must be strictly ordered by from_seq");
+    previous = phases_[i].from_seq;
+  }
+}
+
+double InstanceLoadModel::multiplier(common::InstanceId instance, common::SeqNo seq) const {
+  common::require(instance < instances_, "InstanceLoadModel: instance out of range");
+  if (phases_.empty()) {
+    return 1.0;
+  }
+  // Phases are few (typically 1-2); a linear scan from the back is both
+  // simple and fast.
+  for (auto it = phases_.rbegin(); it != phases_.rend(); ++it) {
+    if (seq >= it->from_seq) {
+      return it->multipliers[instance];
+    }
+  }
+  return 1.0;
+}
+
+ExecutionTimeModel::ExecutionTimeModel(ExecutionTimeAssignment assignment,
+                                       InstanceLoadModel load_model)
+    : assignment_(std::move(assignment)), load_model_(std::move(load_model)) {}
+
+}  // namespace posg::workload

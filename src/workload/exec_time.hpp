@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workload/distributions.hpp"
+
+/// Execution-time models: which item costs how much, on which instance,
+/// and when (Sec. V-A of the paper).
+namespace posg::workload {
+
+/// How the `wn` distinct execution-time values are spread over
+/// [wmin, wmax]: equally spaced (paper default) or geometric steps (the
+/// paper reports both behave alike; we keep both for the same check).
+enum class ValueSpacing { kLinear, kGeometric };
+
+/// Maps each item of the universe [n] to one of `wn` execution-time
+/// values.
+///
+/// Following Sec. V-A, the values are picked at constant (or geometric)
+/// distance in [wmin, wmax] and the association item -> value is
+/// randomized per stream: each value gets n/wn distinct items, chosen
+/// uniformly at random (so different seeds change both which items are
+/// costly and how cost correlates with frequency).
+class ExecutionTimeAssignment {
+ public:
+  ExecutionTimeAssignment(std::size_t n, std::size_t wn, common::TimeMs wmin, common::TimeMs wmax,
+                          ValueSpacing spacing, std::uint64_t seed);
+
+  /// Base execution time of `item` (before any per-instance multiplier).
+  common::TimeMs base_time(common::Item item) const {
+    return values_[value_index_.at(item)];
+  }
+
+  /// The wn distinct values, ascending.
+  const std::vector<common::TimeMs>& values() const noexcept { return values_; }
+
+  std::size_t universe() const noexcept { return value_index_.size(); }
+
+  /// Analytic mean execution time W̄ = sum_t p_t * w_t under `dist` — the
+  /// quantity the paper uses to size the input throughput (k / W̄ is the
+  /// maximum sustainable rate).
+  common::TimeMs mean_under(const ItemDistribution& dist) const;
+
+ private:
+  std::vector<common::TimeMs> values_;
+  std::vector<std::size_t> value_index_;  // item -> index into values_
+};
+
+/// Per-instance, per-stream-phase execution-time multipliers.
+///
+/// Models non-uniform and time-varying instances: Fig. 10/11 multiply the
+/// execution times on instances 0..4 by (1.05, 1.025, 1.0, 0.975, 0.95)
+/// for the first 75 000 tuples and by (0.90, 0.95, 1.0, 1.05, 1.10)
+/// afterwards. An empty phase list means all-uniform (multiplier 1).
+class InstanceLoadModel {
+ public:
+  struct Phase {
+    /// First tuple sequence number at which this phase applies.
+    common::SeqNo from_seq;
+    /// One multiplier per instance.
+    std::vector<double> multipliers;
+  };
+
+  /// Uniform instances (every multiplier 1.0 forever).
+  explicit InstanceLoadModel(std::size_t instances);
+
+  /// Phased model; phases must be sorted by from_seq, the first starting
+  /// at 0, and each must carry exactly `instances` multipliers.
+  InstanceLoadModel(std::size_t instances, std::vector<Phase> phases);
+
+  /// Multiplier applied to tuple `seq` when it executes on `instance`.
+  double multiplier(common::InstanceId instance, common::SeqNo seq) const;
+
+  std::size_t instances() const noexcept { return instances_; }
+
+ private:
+  std::size_t instances_;
+  std::vector<Phase> phases_;
+};
+
+/// The full cost model used by simulator and engine: base time by content,
+/// scaled by the instance/phase multiplier.
+class ExecutionTimeModel {
+ public:
+  ExecutionTimeModel(ExecutionTimeAssignment assignment, InstanceLoadModel load_model);
+
+  common::TimeMs execution_time(common::Item item, common::InstanceId instance,
+                                common::SeqNo seq) const {
+    return assignment_.base_time(item) * load_model_.multiplier(instance, seq);
+  }
+
+  const ExecutionTimeAssignment& assignment() const noexcept { return assignment_; }
+  const InstanceLoadModel& load_model() const noexcept { return load_model_; }
+
+ private:
+  ExecutionTimeAssignment assignment_;
+  InstanceLoadModel load_model_;
+};
+
+}  // namespace posg::workload

@@ -1,0 +1,28 @@
+#include "workload/stream.hpp"
+
+#include "common/prng.hpp"
+
+namespace posg::workload {
+
+std::vector<common::Item> StreamGenerator::generate(const ItemDistribution& dist, std::size_t m,
+                                                    std::uint64_t seed) {
+  common::Xoshiro256StarStar rng(seed);
+  std::vector<common::Item> stream;
+  stream.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    stream.push_back(dist.sample(rng));
+  }
+  return stream;
+}
+
+std::vector<std::uint64_t> item_frequencies(const std::vector<common::Item>& stream,
+                                            std::size_t universe) {
+  std::vector<std::uint64_t> freq(universe, 0);
+  for (common::Item item : stream) {
+    common::require(item < universe, "item_frequencies: item outside universe");
+    ++freq[item];
+  }
+  return freq;
+}
+
+}  // namespace posg::workload

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workload/distributions.hpp"
+
+/// Materialized synthetic streams.
+namespace posg::workload {
+
+/// Generates a finite stream of m items drawn i.i.d. from a distribution.
+///
+/// Streams are materialized up front (m <= a few hundred thousand in every
+/// experiment) so the same sequence can be replayed against multiple
+/// scheduling algorithms — the paper compares POSG / Round-Robin /
+/// Full-Knowledge on identical streams.
+class StreamGenerator {
+ public:
+  /// Draws `m` items from `dist` using `seed`.
+  static std::vector<common::Item> generate(const ItemDistribution& dist, std::size_t m,
+                                            std::uint64_t seed);
+};
+
+/// Empirical frequency of each item in a materialized stream (tests and
+/// workload statistics).
+std::vector<std::uint64_t> item_frequencies(const std::vector<common::Item>& stream,
+                                            std::size_t universe);
+
+}  // namespace posg::workload

@@ -1,0 +1,127 @@
+#include "workload/tweets.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "workload/stream.hpp"
+
+namespace posg::workload {
+
+namespace {
+
+/// Probability of rank 0 under Zipf-alpha over [n]: 1 / H_{n,alpha}.
+double zipf_top_probability(std::size_t n, double alpha) {
+  double harmonic = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    harmonic += std::pow(static_cast<double>(i), -alpha);
+  }
+  return 1.0 / harmonic;
+}
+
+}  // namespace
+
+double calibrate_zipf_alpha(std::size_t entities, double top_probability) {
+  common::require(entities >= 2, "calibrate_zipf_alpha: need at least two entities");
+  common::require(top_probability > 1.0 / static_cast<double>(entities) && top_probability < 1.0,
+                  "calibrate_zipf_alpha: top probability out of reachable range");
+  // zipf_top_probability is strictly increasing in alpha (mass concentrates
+  // on low ranks), so plain bisection converges.
+  double lo = 0.0;
+  double hi = 8.0;
+  for (int iteration = 0; iteration < 60; ++iteration) {
+    const double mid = 0.5 * (lo + hi);
+    if (zipf_top_probability(entities, mid) < top_probability) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+TweetDataset::TweetDataset(const TweetDatasetConfig& config)
+    : config_(config), alpha_(calibrate_zipf_alpha(config.entities, config.top_probability)) {
+  common::require(config.media_fraction >= 0.0 && config.politician_fraction >= 0.0 &&
+                      config.media_fraction + config.politician_fraction <= 1.0,
+                  "TweetDataset: class fractions must be non-negative and sum to <= 1");
+
+  common::require(config.prominence_bias >= 0.0 && config.prominence_bias <= 1.0,
+                  "TweetDataset: prominence_bias must be in [0, 1]");
+
+  distribution_ = std::make_unique<ZipfItems>(config.entities, alpha_);
+
+  // Assign entity classes. Rank 0 ("Beppe Grillo") is pinned to the
+  // politician class; a prominence_bias fraction of the remaining media
+  // and politician entities is shuffled into the next frequency ranks,
+  // the rest scattered uniformly over the tail.
+  classes_.assign(config.entities, EntityClass::kOther);
+  classes_[0] = EntityClass::kPolitician;
+  common::Xoshiro256StarStar rng(config.seed ^ 0x7e7e7e7e7e7e7e7eULL);
+
+  const auto n = config.entities;
+  const auto media_total = static_cast<std::size_t>(std::llround(config.media_fraction * n));
+  auto politician_total =
+      static_cast<std::size_t>(std::llround(config.politician_fraction * n));
+  politician_total = politician_total > 0 ? politician_total - 1 : 0;  // rank 0 already assigned
+
+  const auto media_top = static_cast<std::size_t>(config.prominence_bias * media_total);
+  const auto politician_top =
+      static_cast<std::size_t>(config.prominence_bias * politician_total);
+
+  // Head block: ranks [1, 1 + media_top + politician_top), classes
+  // shuffled within the block.
+  std::vector<EntityClass> head;
+  head.insert(head.end(), media_top, EntityClass::kMedia);
+  head.insert(head.end(), politician_top, EntityClass::kPolitician);
+  for (std::size_t i = head.size(); i > 1; --i) {
+    std::swap(head[i - 1], head[rng.next_below(i)]);
+  }
+  common::require(1 + head.size() <= n, "TweetDataset: class fractions too large for universe");
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    classes_[1 + i] = head[i];
+  }
+
+  // Tail: scatter the remaining media/politician entities uniformly over
+  // the still-unassigned ranks.
+  std::size_t media_left = media_total - media_top;
+  std::size_t politician_left = politician_total - politician_top;
+  const std::size_t tail_start = 1 + head.size();
+  while (media_left + politician_left > 0) {
+    const common::Item entity = tail_start + rng.next_below(n - tail_start);
+    if (classes_[entity] != EntityClass::kOther) {
+      continue;
+    }
+    if (media_left > 0) {
+      classes_[entity] = EntityClass::kMedia;
+      --media_left;
+    } else {
+      classes_[entity] = EntityClass::kPolitician;
+      --politician_left;
+    }
+  }
+
+  stream_ = StreamGenerator::generate(*distribution_, config.stream_length, config.seed);
+}
+
+common::TimeMs TweetDataset::class_cost(EntityClass c) const noexcept {
+  switch (c) {
+    case EntityClass::kMedia:
+      return config_.media_cost;
+    case EntityClass::kPolitician:
+      return config_.politician_cost;
+    case EntityClass::kOther:
+      return config_.other_cost;
+  }
+  return config_.other_cost;  // unreachable; keeps -Wreturn-type quiet
+}
+
+common::TimeMs TweetDataset::mean_execution_time() const {
+  common::TimeMs mean = 0.0;
+  for (common::Item entity = 0; entity < config_.entities; ++entity) {
+    mean += distribution_->probability(entity) * execution_time(entity);
+  }
+  return mean;
+}
+
+}  // namespace posg::workload

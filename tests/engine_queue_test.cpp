@@ -1,0 +1,129 @@
+// Tests for the engine's bounded blocking queue.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "engine/queue.hpp"
+
+namespace {
+
+using posg::engine::BoundedQueue;
+
+TEST(BoundedQueue, FifoOrder) {
+  BoundedQueue<int> queue(10);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(queue.push(i));
+  }
+  for (int i = 0; i < 5; ++i) {
+    const auto value = queue.pop();
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, i);
+  }
+}
+
+TEST(BoundedQueue, SizeTracksContents) {
+  BoundedQueue<int> queue(10);
+  EXPECT_EQ(queue.size(), 0u);
+  queue.push(1);
+  queue.push(2);
+  EXPECT_EQ(queue.size(), 2u);
+  queue.pop();
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(BoundedQueue, PopBlocksUntilPush) {
+  BoundedQueue<int> queue(4);
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    const auto value = queue.pop();
+    EXPECT_TRUE(value.has_value());
+    EXPECT_EQ(*value, 7);
+    got = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());
+  queue.push(7);
+  consumer.join();
+  EXPECT_TRUE(got.load());
+}
+
+TEST(BoundedQueue, PushBlocksWhenFull) {
+  BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.push(2));
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());  // backpressure: producer waits
+  EXPECT_EQ(queue.pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.pop().value(), 2);
+}
+
+TEST(BoundedQueue, CloseDrainsRemainingThenSignalsEnd) {
+  BoundedQueue<int> queue(10);
+  queue.push(1);
+  queue.push(2);
+  queue.close();
+  EXPECT_EQ(queue.pop().value(), 1);
+  EXPECT_EQ(queue.pop().value(), 2);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BoundedQueue, CloseRejectsNewPushes) {
+  BoundedQueue<int> queue(10);
+  queue.close();
+  EXPECT_FALSE(queue.push(1));
+  EXPECT_TRUE(queue.closed());
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> queue(4);
+  std::thread consumer([&] { EXPECT_FALSE(queue.pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  consumer.join();
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducer) {
+  BoundedQueue<int> queue(1);
+  queue.push(1);
+  std::thread producer([&] { EXPECT_FALSE(queue.push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  producer.join();
+}
+
+TEST(BoundedQueue, ManyProducersOneConsumer) {
+  BoundedQueue<int> queue(8);
+  const int per_producer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < per_producer; ++i) {
+        queue.push(p * per_producer + i);
+      }
+    });
+  }
+  std::vector<bool> seen(4 * per_producer, false);
+  for (int i = 0; i < 4 * per_producer; ++i) {
+    const auto value = queue.pop();
+    ASSERT_TRUE(value.has_value());
+    ASSERT_FALSE(seen[*value]);
+    seen[*value] = true;
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+}
+
+TEST(BoundedQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(BoundedQueue<int>(0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// Tests for the experiment runner that builds the paper's setups.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+namespace {
+
+using namespace posg;
+using sim::Experiment;
+using sim::ExperimentConfig;
+using sim::Policy;
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config;
+  config.n = 256;
+  config.m = 4000;
+  config.wn = 16;
+  config.wmax = 16.0;
+  config.k = 3;
+  config.posg.window = 64;
+  return config;
+}
+
+TEST(Experiment, InterArrivalMatchesOverprovisioningFormula) {
+  auto config = tiny_config();
+  config.overprovisioning = 1.25;
+  Experiment experiment(config);
+  EXPECT_NEAR(experiment.inter_arrival(),
+              1.25 * experiment.mean_execution_time() / static_cast<double>(config.k), 1e-12);
+}
+
+TEST(Experiment, StreamIsDeterministicPerSeed) {
+  const auto config = tiny_config();
+  Experiment a(config);
+  Experiment b(config);
+  EXPECT_EQ(a.stream(), b.stream());
+  auto other = config;
+  other.stream_seed = config.stream_seed + 1;
+  Experiment c(other);
+  EXPECT_NE(a.stream(), c.stream());
+}
+
+TEST(Experiment, RunsEveryPolicy) {
+  Experiment experiment(tiny_config());
+  for (Policy policy : {Policy::kRoundRobin, Policy::kPosg, Policy::kFullKnowledge,
+                        Policy::kBacklogOracle}) {
+    const auto result = experiment.run(policy);
+    EXPECT_EQ(result.policy, policy);
+    EXPECT_GT(result.average_completion, 0.0);
+    EXPECT_EQ(result.raw.completions.size(), tiny_config().m);
+  }
+}
+
+TEST(Experiment, SameConfigSameResult) {
+  Experiment experiment(tiny_config());
+  const auto a = experiment.run(Policy::kRoundRobin);
+  const auto b = experiment.run(Policy::kRoundRobin);
+  EXPECT_DOUBLE_EQ(a.average_completion, b.average_completion);
+}
+
+TEST(Experiment, FullKnowledgeBeatsRoundRobinOnSkewedStreams) {
+  auto config = tiny_config();
+  config.m = 8000;
+  config.distribution = "zipf-1.0";
+  Experiment experiment(config);
+  const double rr = experiment.run(Policy::kRoundRobin).average_completion;
+  const double fk = experiment.run(Policy::kFullKnowledge).average_completion;
+  EXPECT_LT(fk, rr);
+}
+
+TEST(Experiment, PhasesReachTheCostModel) {
+  auto config = tiny_config();
+  config.wn = 1;
+  config.wmin = config.wmax = 10.0;
+  config.phases = {{0, {1.0, 1.0, 1.0}}, {100, {2.0, 2.0, 2.0}}};
+  Experiment experiment(config);
+  EXPECT_DOUBLE_EQ(experiment.model().execution_time(0, 0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(experiment.model().execution_time(0, 0, 100), 20.0);
+}
+
+TEST(Experiment, PolicyNames) {
+  EXPECT_EQ(sim::policy_name(Policy::kRoundRobin), "round-robin");
+  EXPECT_EQ(sim::policy_name(Policy::kPosg), "posg");
+  EXPECT_EQ(sim::policy_name(Policy::kFullKnowledge), "full-knowledge");
+  EXPECT_EQ(sim::policy_name(Policy::kBacklogOracle), "backlog-oracle");
+  EXPECT_EQ(sim::policy_name(Policy::kReactiveJsq), "reactive-jsq");
+  EXPECT_EQ(sim::policy_name(Policy::kTwoChoices), "two-choices");
+}
+
+TEST(Experiment, ReactiveJsqRequiresReportPeriod) {
+  auto config = tiny_config();
+  Experiment experiment(config);
+  EXPECT_THROW(experiment.run(Policy::kReactiveJsq), std::invalid_argument);
+  config.load_report_period = 5.0;
+  Experiment with_reports(config);
+  const auto result = with_reports.run(Policy::kReactiveJsq);
+  EXPECT_EQ(result.raw.completions.size(), config.m);
+}
+
+TEST(Experiment, TwoChoicesRunsEndToEnd) {
+  Experiment experiment(tiny_config());
+  const auto result = experiment.run(Policy::kTwoChoices);
+  EXPECT_EQ(result.raw.completions.size(), tiny_config().m);
+}
+
+TEST(Experiment, LatencyAwarePosgRuns) {
+  auto config = tiny_config();
+  config.instance_latencies = {0.0, 5.0, 10.0};
+  config.posg_latency_hints = true;
+  Experiment experiment(config);
+  const auto result = experiment.run(Policy::kPosg);
+  EXPECT_EQ(result.raw.completions.size(), config.m);
+}
+
+TEST(Experiment, RunSeededVariesStreams) {
+  auto config = tiny_config();
+  const auto averages = sim::run_seeded(config, Policy::kRoundRobin, 4);
+  ASSERT_EQ(averages.size(), 4u);
+  // Different stream/assignment seeds should not all coincide.
+  const bool all_equal = averages[0] == averages[1] && averages[1] == averages[2] &&
+                         averages[2] == averages[3];
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(Experiment, RejectsBadOverprovisioning) {
+  auto config = tiny_config();
+  config.overprovisioning = 0.0;
+  EXPECT_THROW(Experiment{config}, std::invalid_argument);
+}
+
+}  // namespace

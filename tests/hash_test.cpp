@@ -1,0 +1,126 @@
+// Unit + property tests for the Carter-Wegman 2-universal hash family.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/prng.hpp"
+#include "hash/two_universal.hpp"
+
+namespace {
+
+using namespace posg;
+using hash::HashSet;
+using hash::TwoUniversalHash;
+
+TEST(TwoUniversalHash, StaysInCodomain) {
+  common::Xoshiro256StarStar rng(1);
+  for (std::uint64_t c : {1ULL, 2ULL, 54ULL, 1000ULL}) {
+    const auto h = TwoUniversalHash::sample(rng, c);
+    for (common::Item x = 0; x < 5000; ++x) {
+      EXPECT_LT(h(x), c);
+    }
+  }
+}
+
+TEST(TwoUniversalHash, IsDeterministic) {
+  TwoUniversalHash h(12345, 678, 54);
+  for (common::Item x = 0; x < 100; ++x) {
+    EXPECT_EQ(h(x), h(x));
+  }
+}
+
+TEST(TwoUniversalHash, RejectsBadParameters) {
+  EXPECT_THROW(TwoUniversalHash(0, 0, 10), std::invalid_argument);          // a = 0
+  EXPECT_THROW(TwoUniversalHash(1, 0, 0), std::invalid_argument);           // codomain = 0
+  EXPECT_THROW(TwoUniversalHash(TwoUniversalHash::kPrime, 0, 10),
+               std::invalid_argument);                                      // a >= p
+  EXPECT_THROW(TwoUniversalHash(1, TwoUniversalHash::kPrime, 10),
+               std::invalid_argument);                                      // b >= p
+}
+
+TEST(TwoUniversalHash, ModularArithmeticMatchesNaive) {
+  // Cross-check the Mersenne folding against a slow 128-bit computation.
+  common::Xoshiro256StarStar rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t a = 1 + rng.next_below(TwoUniversalHash::kPrime - 1);
+    const std::uint64_t b = rng.next_below(TwoUniversalHash::kPrime);
+    const std::uint64_t c = 1 + rng.next_below(10'000);
+    const std::uint64_t x = rng.next_below(1ULL << 62);
+    TwoUniversalHash h(a, b, c);
+    const auto expected = static_cast<std::uint64_t>(
+        ((static_cast<common::Uint128>(a) * x + b) % TwoUniversalHash::kPrime) % c);
+    EXPECT_EQ(h(x), expected);
+  }
+}
+
+/// Property: empirical collision probability over random family members is
+/// at most ~1/c (2-universality). Parameterized over codomain sizes.
+class CollisionProbability : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CollisionProbability, IsAtMostOneOverC) {
+  const std::uint64_t c = GetParam();
+  common::Xoshiro256StarStar rng(c * 31 + 7);
+  const int families = 4000;
+  int collisions = 0;
+  // Fixed pair of distinct items; the randomness is over the family draw.
+  const common::Item x = 17;
+  const common::Item y = 4242;
+  for (int f = 0; f < families; ++f) {
+    const auto h = TwoUniversalHash::sample(rng, c);
+    collisions += h(x) == h(y);
+  }
+  const double rate = static_cast<double>(collisions) / families;
+  // 1/c plus generous sampling slack (3 sigma of a Bernoulli(1/c) mean).
+  const double slack = 3.0 * std::sqrt((1.0 / c) / families);
+  EXPECT_LE(rate, 1.0 / static_cast<double>(c) + slack + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Codomains, CollisionProbability,
+                         ::testing::Values(2, 4, 8, 54, 256, 544));
+
+TEST(HashSet, DerivesSameFunctionsFromSameSeed) {
+  HashSet a(99, 4, 54);
+  HashSet b(99, 4, 54);
+  EXPECT_EQ(a, b);
+  for (std::size_t row = 0; row < 4; ++row) {
+    for (common::Item x = 0; x < 500; ++x) {
+      EXPECT_EQ(a.bucket(row, x), b.bucket(row, x));
+    }
+  }
+}
+
+TEST(HashSet, DifferentSeedsGiveDifferentFunctions) {
+  HashSet a(1, 4, 54);
+  HashSet b(2, 4, 54);
+  EXPECT_FALSE(a == b);
+  int agreements = 0;
+  for (common::Item x = 0; x < 1000; ++x) {
+    agreements += a.bucket(0, x) == b.bucket(0, x);
+  }
+  // Unrelated functions agree with probability ~1/54.
+  EXPECT_LT(agreements, 100);
+}
+
+TEST(HashSet, RowsAreIndependentFunctions) {
+  HashSet set(5, 4, 54);
+  int agreements = 0;
+  for (common::Item x = 0; x < 1000; ++x) {
+    agreements += set.bucket(0, x) == set.bucket(1, x);
+  }
+  EXPECT_LT(agreements, 100);
+}
+
+TEST(HashSet, RejectsZeroRows) {
+  EXPECT_THROW(HashSet(1, 0, 10), std::invalid_argument);
+}
+
+TEST(HashSet, ExposesParameters) {
+  HashSet set(5, 4, 54);
+  EXPECT_EQ(set.rows(), 4u);
+  EXPECT_EQ(set.codomain(), 54u);
+  EXPECT_EQ(set.seed(), 5u);
+  EXPECT_EQ(set.function(0).codomain(), 54u);
+  EXPECT_THROW(set.function(4), std::out_of_range);
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+// Cross-module integration tests: the headline claims of the paper,
+// exercised end-to-end on the simulator (and kept fast enough for CI).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/stats.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+
+using namespace posg;
+using sim::Experiment;
+using sim::ExperimentConfig;
+using sim::Policy;
+
+ExperimentConfig fast_paper_config() {
+  ExperimentConfig config;  // paper defaults, shrunk for test wall-time
+  config.m = 16'384;
+  return config;
+}
+
+double mean_speedup(const ExperimentConfig& base, Policy baseline, Policy candidate,
+                    int seeds) {
+  metrics::RunningStats stats;
+  for (int s = 0; s < seeds; ++s) {
+    ExperimentConfig config = base;
+    config.stream_seed = 1000 * s + 17;
+    config.assignment_seed = 1000 * s + 71;
+    Experiment experiment(config);
+    stats.add(experiment.run(baseline).average_completion /
+              experiment.run(candidate).average_completion);
+  }
+  return stats.mean();
+}
+
+TEST(Headline, PosgBeatsRoundRobinOnZipf1) {
+  // Fig. 4's core claim at the default workload.
+  const double speedup = mean_speedup(fast_paper_config(), Policy::kRoundRobin, Policy::kPosg, 5);
+  EXPECT_GT(speedup, 1.1);
+}
+
+TEST(Headline, FullKnowledgeUpperBoundsPosg) {
+  metrics::RunningStats posg;
+  metrics::RunningStats fk;
+  for (int s = 0; s < 5; ++s) {
+    ExperimentConfig config = fast_paper_config();
+    config.stream_seed = 1000 * s + 17;
+    config.assignment_seed = 1000 * s + 71;
+    Experiment experiment(config);
+    posg.add(experiment.run(Policy::kPosg).average_completion);
+    fk.add(experiment.run(Policy::kFullKnowledge).average_completion);
+  }
+  EXPECT_LT(fk.mean(), posg.mean());
+}
+
+TEST(Headline, GainShrinksOnUniformStreams) {
+  auto uniform = fast_paper_config();
+  uniform.distribution = "uniform";
+  const double uniform_speedup =
+      mean_speedup(uniform, Policy::kRoundRobin, Policy::kPosg, 5);
+  const double zipf_speedup =
+      mean_speedup(fast_paper_config(), Policy::kRoundRobin, Policy::kPosg, 5);
+  // The paper: ~6% at uniform vs >= 25% at Zipf-1.0.
+  EXPECT_LT(uniform_speedup, zipf_speedup);
+  EXPECT_GT(uniform_speedup, 0.9);  // never catastrophically worse
+}
+
+TEST(Headline, SyncProtocolCarriesItsWeight) {
+  // Ablation: disabling the marker/Δ synchronization must not help.
+  auto with_sync = fast_paper_config();
+  auto without_sync = fast_paper_config();
+  without_sync.posg.sync_enabled = false;
+  metrics::RunningStats with_stats;
+  metrics::RunningStats without_stats;
+  for (int s = 0; s < 5; ++s) {
+    auto config = with_sync;
+    config.stream_seed = 1000 * s + 17;
+    config.assignment_seed = 1000 * s + 71;
+    with_stats.add(Experiment(config).run(Policy::kPosg).average_completion);
+    auto config2 = without_sync;
+    config2.stream_seed = 1000 * s + 17;
+    config2.assignment_seed = 1000 * s + 71;
+    without_stats.add(Experiment(config2).run(Policy::kPosg).average_completion);
+  }
+  EXPECT_LE(with_stats.mean(), without_stats.mean() * 1.05);
+}
+
+TEST(Adaptation, PosgRecoversFromLoadDrift) {
+  // The Fig. 10 scenario, shrunk: instance speeds change mid-stream; POSG
+  // must end the run no worse than round-robin in the final stretch.
+  ExperimentConfig config = fast_paper_config();
+  config.m = 24'000;
+  config.phases = {{0, {1.05, 1.025, 1.0, 0.975, 0.95}},
+                   {12'000, {0.90, 0.95, 1.0, 1.05, 1.10}}};
+  config.stream_seed = 4321;
+  config.assignment_seed = 1234;
+  Experiment experiment(config);
+  const auto rr = experiment.run(Policy::kRoundRobin);
+  const auto posg = experiment.run(Policy::kPosg);
+
+  auto tail_mean = [&](const sim::ExperimentResult& result) {
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (common::SeqNo seq = 20'000; seq < 24'000; ++seq) {
+      const double value = result.raw.completions.at(seq);
+      if (!std::isnan(value)) {
+        sum += value;
+        ++count;
+      }
+    }
+    return sum / static_cast<double>(count);
+  };
+  EXPECT_LT(tail_mean(posg), tail_mean(rr) * 1.05);
+}
+
+TEST(Communication, ShipmentCountMatchesTheorem33Scale) {
+  // Thm 3.3: O(m/N) control messages. Verify the measured count is within
+  // a small constant of m/N (per instance pair of matrices counted once).
+  ExperimentConfig config = fast_paper_config();
+  config.m = 16'384;
+  Experiment experiment(config);
+  const auto result = experiment.run(Policy::kPosg);
+  // Each shipment opens an epoch of k markers + k replies, and shipments
+  // happen at most once per window per instance: <= (2k+1) * m/N total.
+  const double mn = static_cast<double>(config.m) / static_cast<double>(config.posg.window);
+  EXPECT_LE(result.raw.messages.control_total(), (2.0 * config.k + 1.0) * mn);
+  EXPECT_GT(result.raw.messages.sketch_shipments, 0u);
+}
+
+TEST(SharedBillingAblation, PerInstanceBillingStillFunctions) {
+  auto config = fast_paper_config();
+  config.posg.shared_billing = false;
+  Experiment experiment(config);
+  const auto result = experiment.run(Policy::kPosg);
+  EXPECT_EQ(result.raw.completions.size(), config.m);
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Unit tests for the metrics substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/completion.hpp"
+#include "metrics/stats.hpp"
+
+namespace {
+
+using namespace posg;
+using metrics::CompletionSeries;
+using metrics::RunningStats;
+
+TEST(RunningStats, MatchesDirectComputation) {
+  RunningStats stats;
+  const std::vector<double> samples{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  double sum = 0.0;
+  for (double s : samples) {
+    stats.add(s);
+    sum += s;
+  }
+  const double mean = sum / samples.size();
+  double var = 0.0;
+  for (double s : samples) {
+    var += (s - mean) * (s - mean);
+  }
+  var /= samples.size();
+  EXPECT_EQ(stats.count(), samples.size());
+  EXPECT_NEAR(stats.mean(), mean, 1e-12);
+  EXPECT_NEAR(stats.variance(), var, 1e-12);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_NEAR(stats.sum(), sum, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats left;
+  RunningStats right;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10;
+    (i % 2 == 0 ? left : right).add(v);
+    all.add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats empty;
+  RunningStats some;
+  some.add(2.0);
+  some.add(4.0);
+  RunningStats copy = some;
+  copy.merge(empty);
+  EXPECT_EQ(copy.count(), 2u);
+  EXPECT_DOUBLE_EQ(copy.mean(), 3.0);
+  empty.merge(some);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(RunningStats, VarianceOfSingleSampleIsZero) {
+  RunningStats stats;
+  stats.add(42.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  const std::vector<double> samples{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(metrics::percentile(samples, 0), 10.0);
+  EXPECT_DOUBLE_EQ(metrics::percentile(samples, 100), 40.0);
+  EXPECT_DOUBLE_EQ(metrics::percentile(samples, 50), 25.0);
+  EXPECT_DOUBLE_EQ(metrics::percentile(samples, 25), 17.5);
+}
+
+TEST(Percentile, HandlesUnsortedInputAndSingleSample) {
+  EXPECT_DOUBLE_EQ(metrics::percentile({5.0, 1.0, 3.0}, 50), 3.0);
+  EXPECT_DOUBLE_EQ(metrics::percentile({7.0}, 99), 7.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW(metrics::percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW(metrics::percentile({1.0}, 101), std::invalid_argument);
+}
+
+TEST(CompletionSeries, AverageOverRecordedTuples) {
+  CompletionSeries series;
+  series.record(0, 10.0);
+  series.record(1, 20.0);
+  series.record(2, 30.0);
+  EXPECT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series.average(), 20.0);
+}
+
+TEST(CompletionSeries, SupportsOutOfOrderRecording) {
+  CompletionSeries series;
+  series.record(5, 50.0);
+  series.record(2, 20.0);
+  EXPECT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.at(5), 50.0);
+  EXPECT_DOUBLE_EQ(series.at(2), 20.0);
+  EXPECT_TRUE(std::isnan(series.at(3)));
+  EXPECT_TRUE(std::isnan(series.at(99)));
+}
+
+TEST(CompletionSeries, RejectsDuplicatesAndNegatives) {
+  CompletionSeries series;
+  series.record(0, 1.0);
+  EXPECT_THROW(series.record(0, 2.0), std::logic_error);
+  EXPECT_THROW(series.record(1, -1.0), std::invalid_argument);
+}
+
+TEST(CompletionSeries, AverageOfEmptyThrows) {
+  CompletionSeries series;
+  EXPECT_THROW(series.average(), std::invalid_argument);
+}
+
+TEST(CompletionSeries, WindowedMinMeanMax) {
+  CompletionSeries series;
+  for (common::SeqNo i = 0; i < 6; ++i) {
+    series.record(i, static_cast<double>(i * 10));
+  }
+  const auto points = series.windowed(3);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].window_start, 0u);
+  EXPECT_DOUBLE_EQ(points[0].min, 0.0);
+  EXPECT_DOUBLE_EQ(points[0].mean, 10.0);
+  EXPECT_DOUBLE_EQ(points[0].max, 20.0);
+  EXPECT_EQ(points[1].window_start, 3u);
+  EXPECT_DOUBLE_EQ(points[1].mean, 40.0);
+}
+
+TEST(CompletionSeries, WindowedSkipsGaps) {
+  CompletionSeries series;
+  series.record(0, 5.0);
+  series.record(4, 15.0);
+  const auto points = series.windowed(2);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].mean, 5.0);
+  EXPECT_DOUBLE_EQ(points[1].mean, 15.0);
+}
+
+TEST(CompletionSeries, ValuesSkipsUnrecorded) {
+  CompletionSeries series;
+  series.record(0, 1.0);
+  series.record(3, 4.0);
+  EXPECT_EQ(series.values(), (std::vector<double>{1.0, 4.0}));
+}
+
+TEST(Speedup, IsBaselineOverCandidate) {
+  CompletionSeries baseline;
+  CompletionSeries candidate;
+  baseline.record(0, 30.0);
+  baseline.record(1, 30.0);
+  candidate.record(0, 20.0);
+  candidate.record(1, 20.0);
+  EXPECT_DOUBLE_EQ(metrics::speedup(baseline, candidate), 1.5);
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+// Randomized robustness test of the POSG scheduler protocol: drive the
+// four-state machine with arbitrary interleavings of tuple submissions,
+// sketch shipments and (partly garbage) synchronization replies, and
+// check the state-machine invariants after every step.
+//
+// This is the "message reordering / duplication / loss" test a
+// distributed deployment needs: the scheduler must stay well-formed no
+// matter how the network mangles delivery order.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/prng.hpp"
+#include "core/instance_tracker.hpp"
+#include "core/posg_scheduler.hpp"
+
+namespace {
+
+using namespace posg;
+using core::PosgConfig;
+using core::PosgScheduler;
+
+class ProtocolFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProtocolFuzz, InvariantsHoldUnderRandomInterleavings) {
+  const std::uint64_t seed = GetParam();
+  common::Xoshiro256StarStar rng(seed);
+  const std::size_t k = 2 + rng.next_below(6);
+
+  PosgConfig config;
+  config.window = 8;
+  config.mu = 0.5;
+  config.max_windows_per_epoch = 2;
+  PosgScheduler scheduler(k, config);
+
+  // Real trackers provide well-formed shipments on demand.
+  std::vector<core::InstanceTracker> trackers;
+  for (common::InstanceId op = 0; op < k; ++op) {
+    trackers.emplace_back(op, config);
+  }
+  auto make_shipment = [&](common::InstanceId op) {
+    for (int i = 0; i < 1000; ++i) {
+      if (auto shipment = trackers[op].on_executed(rng.next_below(32),
+                                                   1.0 + static_cast<double>(rng.next_below(8)))) {
+        return *shipment;
+      }
+    }
+    throw std::logic_error("fuzz: tracker never shipped");
+  };
+
+  bool left_round_robin = false;
+  std::vector<bool> marker_seen_this_epoch(k, false);
+  common::Epoch marker_epoch = 0;
+
+  for (int step = 0; step < 3000; ++step) {
+    const auto action = rng.next_below(100);
+    const auto state_before = scheduler.state();
+
+    if (action < 60) {
+      // Submit a tuple.
+      const auto decision = scheduler.schedule(rng.next_below(32), step);
+      ASSERT_LT(decision.instance, k);
+      if (decision.sync_request) {
+        // Markers only while in SEND_ALL, exactly one per instance per epoch.
+        ASSERT_EQ(state_before, PosgScheduler::State::kSendAll);
+        if (decision.sync_request->epoch != marker_epoch) {
+          marker_epoch = decision.sync_request->epoch;
+          std::fill(marker_seen_this_epoch.begin(), marker_seen_this_epoch.end(), false);
+        }
+        ASSERT_FALSE(marker_seen_this_epoch[decision.instance])
+            << "duplicate marker for instance " << decision.instance;
+        marker_seen_this_epoch[decision.instance] = true;
+        ASSERT_TRUE(std::isfinite(decision.sync_request->estimated_cumulated));
+      }
+    } else if (action < 80) {
+      // Ship fresh matrices from a random instance.
+      scheduler.on_sketches(make_shipment(rng.next_below(k)));
+    } else {
+      // Deliver a reply that may be stale, duplicated, or for a future
+      // epoch; the scheduler must absorb all of them.
+      core::SyncReply reply;
+      reply.instance = rng.next_below(k);
+      reply.epoch = scheduler.epoch() + rng.next_below(4) - 2;  // epoch-2 .. epoch+1
+      reply.delta = static_cast<double>(rng.next_below(2000)) - 1000.0;
+      scheduler.on_sync_reply(reply);
+    }
+
+    // Global invariants.
+    const auto state = scheduler.state();
+    if (state != PosgScheduler::State::kRoundRobin) {
+      left_round_robin = true;
+    }
+    if (left_round_robin) {
+      ASSERT_NE(state, PosgScheduler::State::kRoundRobin)
+          << "scheduler fell back to ROUND_ROBIN after leaving it";
+    }
+    for (const common::TimeMs load : scheduler.estimated_loads()) {
+      ASSERT_TRUE(std::isfinite(load));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace

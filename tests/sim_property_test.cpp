@@ -1,0 +1,93 @@
+// Property tests of the simulator's queueing semantics, parameterized
+// over scheduling policies: whatever the policy does, physics must hold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "sim/experiment.hpp"
+
+namespace {
+
+using namespace posg;
+using sim::Experiment;
+using sim::ExperimentConfig;
+using sim::Policy;
+
+class SimPhysics : public ::testing::TestWithParam<Policy> {};
+
+ExperimentConfig property_config() {
+  ExperimentConfig config;
+  config.n = 512;
+  config.m = 6000;
+  config.wn = 16;
+  config.wmax = 16.0;
+  config.k = 4;
+  config.posg.window = 64;
+  config.load_report_period = 8.0;  // lets reactive-jsq run too
+  config.stream_seed = 77;
+  config.assignment_seed = 99;
+  return config;
+}
+
+TEST_P(SimPhysics, WorkIsConserved) {
+  const auto config = property_config();
+  Experiment experiment(config);
+  const auto result = experiment.run(GetParam());
+
+  // Total executed work equals the true cost of the stream, wherever the
+  // tuples went.
+  double true_total = 0.0;
+  for (common::SeqNo seq = 0; seq < experiment.stream().size(); ++seq) {
+    // Policies may route anywhere; uniform instances make the cost
+    // instance-independent in this configuration.
+    true_total += experiment.model().execution_time(experiment.stream()[seq], 0, seq);
+  }
+  const double executed_total =
+      std::accumulate(result.raw.instance_work.begin(), result.raw.instance_work.end(), 0.0);
+  EXPECT_NEAR(executed_total, true_total, 1e-6 * true_total);
+
+  // Every tuple accounted for exactly once.
+  const auto routed = std::accumulate(result.raw.instance_tuples.begin(),
+                                      result.raw.instance_tuples.end(), std::uint64_t{0});
+  EXPECT_EQ(routed, config.m);
+  EXPECT_EQ(result.raw.completions.size(), config.m);
+}
+
+TEST_P(SimPhysics, MakespanBounds) {
+  const auto config = property_config();
+  Experiment experiment(config);
+  const auto result = experiment.run(GetParam());
+
+  const double total =
+      std::accumulate(result.raw.instance_work.begin(), result.raw.instance_work.end(), 0.0);
+  const double busiest =
+      *std::max_element(result.raw.instance_work.begin(), result.raw.instance_work.end());
+  // The run cannot finish before the busiest instance's work, nor before
+  // the stream finished arriving.
+  EXPECT_GE(result.raw.makespan + 1e-9, busiest);
+  EXPECT_GE(result.raw.makespan + 1e-9,
+            static_cast<double>(config.m - 1) * experiment.inter_arrival());
+  // And total work / k lower-bounds any schedule's makespan.
+  EXPECT_GE(result.raw.makespan + 1e-9, total / static_cast<double>(config.k));
+}
+
+TEST_P(SimPhysics, NoCompletionBeatsItsOwnServiceTime) {
+  const auto config = property_config();
+  Experiment experiment(config);
+  const auto result = experiment.run(GetParam());
+  for (common::SeqNo seq = 0; seq < config.m; seq += 7) {
+    const double completion = result.raw.completions.at(seq);
+    ASSERT_FALSE(std::isnan(completion));
+    // The cost is instance-independent here (uniform instances).
+    const double service = experiment.model().execution_time(experiment.stream()[seq], 0, seq);
+    EXPECT_GE(completion + 1e-9, service);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, SimPhysics,
+                         ::testing::Values(Policy::kRoundRobin, Policy::kPosg,
+                                           Policy::kFullKnowledge, Policy::kBacklogOracle,
+                                           Policy::kReactiveJsq, Policy::kTwoChoices));
+
+}  // namespace

@@ -1,0 +1,353 @@
+// Unit + property tests for the Count-Min sketch, the dual (F, W) sketch,
+// the stability snapshot, and the wire codec.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/prng.hpp"
+#include "sketch/count_min.hpp"
+#include "sketch/dual_sketch.hpp"
+#include "sketch/serialize.hpp"
+#include "sketch/snapshot.hpp"
+
+namespace {
+
+using namespace posg;
+using sketch::CountMin;
+using sketch::DualSketch;
+using sketch::EstimatorVariant;
+using sketch::SketchDims;
+using sketch::Snapshot;
+
+TEST(SketchDims, MatchesPaperExamples) {
+  // Fig. 1: delta = 0.25 -> r = 2, eps = 0.70 -> c = 4.
+  const auto fig1 = SketchDims::from_accuracy(0.70, 0.25);
+  EXPECT_EQ(fig1.rows, 2u);
+  EXPECT_EQ(fig1.cols, 4u);
+  // Sec. V-A: delta = 0.1 -> r = 4, eps = 0.05 -> c = 54.
+  const auto defaults = SketchDims::from_accuracy(0.05, 0.1);
+  EXPECT_EQ(defaults.rows, 4u);
+  EXPECT_EQ(defaults.cols, 54u);
+}
+
+TEST(SketchDims, RejectsOutOfRangeParameters) {
+  EXPECT_THROW(SketchDims::from_accuracy(0.0, 0.1), std::invalid_argument);
+  EXPECT_THROW(SketchDims::from_accuracy(1.5, 0.1), std::invalid_argument);
+  EXPECT_THROW(SketchDims::from_accuracy(0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW(SketchDims::from_accuracy(0.1, 1.0), std::invalid_argument);
+}
+
+TEST(CountMin, ExactWhenNoCollisions) {
+  // Universe smaller than the column count: with 4 rows the min over rows
+  // is exact with overwhelming probability for any fixed small universe.
+  CountMin<std::uint64_t> cm(SketchDims{4, 1024}, 42);
+  for (common::Item x = 0; x < 8; ++x) {
+    for (common::Item reps = 0; reps <= x; ++reps) {
+      cm.update(x, 1);
+    }
+  }
+  for (common::Item x = 0; x < 8; ++x) {
+    EXPECT_EQ(cm.estimate(x), x + 1);
+  }
+}
+
+TEST(CountMin, NeverUnderestimates) {
+  CountMin<std::uint64_t> cm(SketchDims{4, 8}, 7);  // tiny: heavy collisions
+  std::map<common::Item, std::uint64_t> truth;
+  common::Xoshiro256StarStar rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const common::Item x = rng.next_below(256);
+    cm.update(x, 1);
+    ++truth[x];
+  }
+  for (const auto& [item, freq] : truth) {
+    EXPECT_GE(cm.estimate(item), freq);
+  }
+}
+
+TEST(CountMin, RowTotalsEqualInsertedMass) {
+  CountMin<std::uint64_t> cm(SketchDims{3, 16}, 1);
+  for (int i = 0; i < 100; ++i) {
+    cm.update(static_cast<common::Item>(i % 11), 2);
+  }
+  for (std::size_t row = 0; row < 3; ++row) {
+    EXPECT_EQ(cm.row_total(row), 200u);
+  }
+}
+
+TEST(CountMin, ResetZeroesEverything) {
+  CountMin<double> cm(SketchDims{2, 4}, 9);
+  cm.update(3, 1.5);
+  cm.reset();
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_DOUBLE_EQ(cm.row_total(r), 0.0);
+  }
+}
+
+TEST(CountMin, MergeIsLinear) {
+  CountMin<std::uint64_t> a(SketchDims{4, 16}, 5);
+  CountMin<std::uint64_t> b(SketchDims{4, 16}, 5);
+  CountMin<std::uint64_t> both(SketchDims{4, 16}, 5);
+  for (int i = 0; i < 500; ++i) {
+    const common::Item x = i % 37;
+    if (i % 2 == 0) {
+      a.update(x, 1);
+    } else {
+      b.update(x, 1);
+    }
+    both.update(x, 1);
+  }
+  a.merge(b);
+  for (common::Item x = 0; x < 37; ++x) {
+    EXPECT_EQ(a.estimate(x), both.estimate(x));
+  }
+}
+
+TEST(CountMin, MergeRejectsMismatchedLayouts) {
+  CountMin<std::uint64_t> a(SketchDims{4, 16}, 5);
+  CountMin<std::uint64_t> different_seed(SketchDims{4, 16}, 6);
+  CountMin<std::uint64_t> different_dims(SketchDims{4, 32}, 5);
+  EXPECT_THROW(a.merge(different_seed), std::invalid_argument);
+  EXPECT_THROW(a.merge(different_dims), std::invalid_argument);
+}
+
+/// Property (Cormode & Muthukrishnan): Pr{ f̂ - f >= eps (m - f) } <= delta.
+/// Checked empirically over independent sketch seeds, parameterized on
+/// (eps, delta).
+class CountMinAccuracy
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(CountMinAccuracy, AdditiveErrorBoundHolds) {
+  const auto [eps, delta] = GetParam();
+  const std::size_t n = 256;
+  const std::size_t m = 4096;
+  common::Xoshiro256StarStar stream_rng(11);
+  std::vector<common::Item> stream(m);
+  std::vector<std::uint64_t> truth(n, 0);
+  for (auto& x : stream) {
+    x = stream_rng.next_below(n);
+    ++truth[x];
+  }
+  int violations = 0;
+  int queries = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    CountMin<std::uint64_t> cm(eps, delta, 1000 + t);
+    for (common::Item x : stream) {
+      cm.update(x, 1);
+    }
+    for (common::Item v = 0; v < n; ++v) {
+      ++queries;
+      const double bound = eps * static_cast<double>(m - truth[v]);
+      violations += static_cast<double>(cm.estimate(v) - truth[v]) > bound;
+    }
+  }
+  const double rate = static_cast<double>(violations) / queries;
+  // The bound is delta per query; allow sampling slack.
+  EXPECT_LE(rate, delta + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Accuracy, CountMinAccuracy,
+                         ::testing::Values(std::pair{0.05, 0.1}, std::pair{0.1, 0.1},
+                                           std::pair{0.05, 0.25}, std::pair{0.2, 0.05}));
+
+TEST(CountMin, ConservativeUpdateNeverUnderestimates) {
+  CountMin<std::uint64_t> cm(SketchDims{4, 8}, 7);
+  std::map<common::Item, std::uint64_t> truth;
+  common::Xoshiro256StarStar rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const common::Item x = rng.next_below(256);
+    cm.update_conservative(x, 1);
+    ++truth[x];
+  }
+  for (const auto& [item, freq] : truth) {
+    EXPECT_GE(cm.estimate(item), freq);
+  }
+}
+
+TEST(CountMin, ConservativeUpdateTightensEstimates) {
+  // Same skewed stream through both update rules: conservative estimates
+  // are never larger, and strictly smaller in aggregate.
+  CountMin<std::uint64_t> standard(SketchDims{4, 16}, 7);
+  CountMin<std::uint64_t> conservative(SketchDims{4, 16}, 7);
+  common::Xoshiro256StarStar rng(5);
+  for (int i = 0; i < 20'000; ++i) {
+    // Zipf-ish skew via modulo trick.
+    const common::Item x = rng.next_below(1 + rng.next_below(256));
+    standard.update(x, 1);
+    conservative.update_conservative(x, 1);
+  }
+  std::uint64_t standard_sum = 0;
+  std::uint64_t conservative_sum = 0;
+  for (common::Item x = 0; x < 256; ++x) {
+    EXPECT_LE(conservative.estimate(x), standard.estimate(x));
+    standard_sum += standard.estimate(x);
+    conservative_sum += conservative.estimate(x);
+  }
+  EXPECT_LT(conservative_sum, standard_sum);
+}
+
+TEST(DualSketch, ConservativeModeKeepsRatiosMeaningful) {
+  // One heavy item and colliding tail: the conservative dual sketch's
+  // estimate for the heavy item is at least as accurate as the standard
+  // one's on this construction, and exact when collisions are absent.
+  DualSketch conservative(SketchDims{4, 1024}, 21, 0, true);
+  for (int i = 0; i < 100; ++i) {
+    conservative.update(5, 10.0);
+  }
+  EXPECT_DOUBLE_EQ(conservative.estimate(5).value(), 10.0);
+  EXPECT_TRUE(conservative.conservative());
+}
+
+TEST(DualSketch, ConservativeSerializesAndMergesOnlyWithItself) {
+  DualSketch a(SketchDims{2, 8}, 5, 0, true);
+  a.update(1, 3.0);
+  const auto bytes = serialize(a);
+  const auto restored = sketch::deserialize(bytes);
+  EXPECT_TRUE(restored.conservative());
+  DualSketch standard(SketchDims{2, 8}, 5, 0, false);
+  EXPECT_THROW(a.merge_from(standard), std::invalid_argument);
+}
+
+TEST(DualSketch, TracksFrequenciesAndWeightsTogether) {
+  DualSketch ds(SketchDims{4, 512}, 21);
+  ds.update(5, 10.0);
+  ds.update(5, 20.0);
+  ds.update(9, 7.0);
+  EXPECT_EQ(ds.update_count(), 3u);
+  EXPECT_DOUBLE_EQ(ds.total_execution_time(), 37.0);
+  const auto w5 = ds.estimate(5);
+  ASSERT_TRUE(w5.has_value());
+  EXPECT_DOUBLE_EQ(*w5, 15.0);  // (10+20)/2
+  const auto w9 = ds.estimate(9);
+  ASSERT_TRUE(w9.has_value());
+  EXPECT_DOUBLE_EQ(*w9, 7.0);
+}
+
+TEST(DualSketch, UnseenItemHasNoEstimate) {
+  DualSketch ds(SketchDims{4, 512}, 21);
+  ds.update(5, 10.0);
+  // With 512 columns and 1 occupied cell per row, a random other item has
+  // ~ (1/512)^4 probability of mapping to occupied cells in all rows; item
+  // 123456 is deterministic for the fixed seed, verify it's unseen.
+  EXPECT_FALSE(ds.estimate(123456).has_value());
+}
+
+TEST(DualSketch, MeanExecutionTime) {
+  DualSketch ds(SketchDims{2, 8}, 3);
+  EXPECT_FALSE(ds.mean_execution_time().has_value());
+  ds.update(1, 4.0);
+  ds.update(2, 8.0);
+  EXPECT_DOUBLE_EQ(ds.mean_execution_time().value(), 6.0);
+}
+
+TEST(DualSketch, MinRatioVariantIsNotAboveArgMinFrequency) {
+  // Build collisions deliberately with a tiny sketch: the min-ratio
+  // estimate is by construction <= the ratio at the argmin-F cell of any
+  // single sketch state? Not in general — but both must be within
+  // [min ratio, max ratio] over the item's cells. Here we just verify
+  // the variants agree on a collision-free sketch.
+  DualSketch ds(SketchDims{4, 1024}, 77);
+  ds.update(10, 3.0);
+  ds.update(10, 5.0);
+  EXPECT_DOUBLE_EQ(ds.estimate(10, EstimatorVariant::kArgMinFrequency).value(), 4.0);
+  EXPECT_DOUBLE_EQ(ds.estimate(10, EstimatorVariant::kMinRatio).value(), 4.0);
+}
+
+TEST(DualSketch, ResetClearsTotals) {
+  DualSketch ds(SketchDims{2, 8}, 3);
+  ds.update(1, 4.0);
+  ds.reset();
+  EXPECT_EQ(ds.update_count(), 0u);
+  EXPECT_DOUBLE_EQ(ds.total_execution_time(), 0.0);
+  EXPECT_FALSE(ds.estimate(1).has_value());
+}
+
+TEST(Snapshot, RelativeErrorZeroWhenUnchanged) {
+  DualSketch ds(SketchDims{2, 16}, 4);
+  ds.update(1, 10.0);
+  ds.update(2, 20.0);
+  Snapshot snap(ds);
+  EXPECT_DOUBLE_EQ(snap.relative_error(ds), 0.0);
+}
+
+TEST(Snapshot, RelativeErrorZeroWhenRatiosUnchanged) {
+  // Doubling every item's occurrences keeps all W/F ratios identical.
+  DualSketch ds(SketchDims{2, 16}, 4);
+  ds.update(1, 10.0);
+  ds.update(2, 20.0);
+  Snapshot snap(ds);
+  ds.update(1, 10.0);
+  ds.update(2, 20.0);
+  EXPECT_NEAR(snap.relative_error(ds), 0.0, 1e-12);
+}
+
+TEST(Snapshot, DetectsRatioShift) {
+  DualSketch ds(SketchDims{1, 64}, 4);
+  ds.update(1, 10.0);
+  Snapshot snap(ds);
+  ds.update(1, 30.0);  // ratio of item 1's cell moves from 10 to 20
+  EXPECT_NEAR(snap.relative_error(ds), 1.0, 1e-12);  // |10-20| / 10
+}
+
+TEST(Snapshot, IgnoresCellsEmptyAtSnapshotTime) {
+  // See DESIGN.md §5: cells that were empty in the snapshot are excluded,
+  // otherwise the item tail would keep eta above any tolerance forever.
+  DualSketch ds(SketchDims{1, 64}, 4);
+  ds.update(1, 10.0);
+  Snapshot snap(ds);
+  ds.update(2, 50.0);  // new cell (with high probability) — excluded
+  EXPECT_NEAR(snap.relative_error(ds), 0.0, 1e-12);
+}
+
+TEST(Snapshot, EmptySnapshotAgainstNonEmptySketchIsInfinite) {
+  DualSketch ds(SketchDims{1, 8}, 4);
+  Snapshot snap(ds);
+  EXPECT_DOUBLE_EQ(snap.relative_error(ds), 0.0);
+  ds.update(1, 5.0);
+  EXPECT_TRUE(std::isinf(snap.relative_error(ds)));
+}
+
+TEST(Serialize, RoundTripsExactly) {
+  DualSketch ds(SketchDims{4, 54}, 1234);
+  common::Xoshiro256StarStar rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    ds.update(rng.next_below(4096), 1.0 + static_cast<double>(rng.next_below(64)));
+  }
+  const auto bytes = serialize(ds);
+  EXPECT_EQ(bytes.size(), sketch::serialized_size(ds.dims()));
+  const DualSketch restored = sketch::deserialize(bytes);
+  EXPECT_EQ(restored.update_count(), ds.update_count());
+  EXPECT_DOUBLE_EQ(restored.total_execution_time(), ds.total_execution_time());
+  for (common::Item x = 0; x < 4096; x += 17) {
+    EXPECT_EQ(restored.estimate(x).has_value(), ds.estimate(x).has_value());
+    if (ds.estimate(x)) {
+      EXPECT_DOUBLE_EQ(*restored.estimate(x), *ds.estimate(x));
+    }
+  }
+}
+
+TEST(Serialize, RejectsTruncatedBuffer) {
+  DualSketch ds(SketchDims{2, 8}, 5);
+  ds.update(1, 2.0);
+  auto bytes = serialize(ds);
+  bytes.pop_back();
+  EXPECT_THROW(sketch::deserialize(bytes), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  DualSketch ds(SketchDims{2, 8}, 5);
+  auto bytes = serialize(ds);
+  bytes[0] = std::byte{0x00};
+  EXPECT_THROW(sketch::deserialize(bytes), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsTrailingGarbage) {
+  DualSketch ds(SketchDims{2, 8}, 5);
+  auto bytes = serialize(ds);
+  bytes.push_back(std::byte{0x42});
+  EXPECT_THROW(sketch::deserialize(bytes), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,186 @@
+// Tests for the Space-Saving heavy-hitter tracker and the hybrid
+// (exact-head + sketch-tail) estimator built on it.
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "sketch/dual_sketch.hpp"
+#include "sketch/serialize.hpp"
+#include "sketch/space_saving.hpp"
+#include "workload/distributions.hpp"
+
+namespace {
+
+using namespace posg;
+using sketch::DualSketch;
+using sketch::SketchDims;
+using sketch::SpaceSaving;
+
+TEST(SpaceSaving, TracksWithinCapacityExactly) {
+  SpaceSaving tracker(4);
+  for (int i = 0; i < 3; ++i) {
+    tracker.update(7, 2.0);
+  }
+  tracker.update(9, 5.0);
+  ASSERT_EQ(tracker.size(), 2u);
+  const auto seven = tracker.lookup(7);
+  ASSERT_TRUE(seven.has_value());
+  EXPECT_EQ(seven->count, 3u);
+  EXPECT_EQ(seven->error, 0u);
+  EXPECT_EQ(seven->observed, 3u);
+  EXPECT_DOUBLE_EQ(seven->time_sum, 6.0);
+  EXPECT_FALSE(tracker.lookup(42).has_value());
+}
+
+TEST(SpaceSaving, TakeoverInheritsMinimumCount) {
+  SpaceSaving tracker(2);
+  tracker.update(1, 1.0);
+  tracker.update(1, 1.0);
+  tracker.update(2, 1.0);
+  // Table full {1:2, 2:1}; item 3 takes over item 2's slot.
+  tracker.update(3, 9.0);
+  EXPECT_FALSE(tracker.lookup(2).has_value());
+  const auto three = tracker.lookup(3);
+  ASSERT_TRUE(three.has_value());
+  EXPECT_EQ(three->count, 2u);   // 1 (inherited) + 1
+  EXPECT_EQ(three->error, 1u);
+  EXPECT_EQ(three->observed, 1u);
+  EXPECT_DOUBLE_EQ(three->time_sum, 9.0);
+}
+
+TEST(SpaceSaving, CountNeverUnderestimates) {
+  SpaceSaving tracker(8);
+  common::Xoshiro256StarStar rng(3);
+  std::vector<std::uint64_t> truth(64, 0);
+  for (int i = 0; i < 20'000; ++i) {
+    const common::Item item = rng.next_below(64);
+    tracker.update(item, 1.0);
+    ++truth[item];
+  }
+  for (common::Item item = 0; item < 64; ++item) {
+    if (auto entry = tracker.lookup(item)) {
+      EXPECT_GE(entry->count, truth[item]);
+      EXPECT_LE(entry->count - entry->error, truth[item]);
+    }
+  }
+}
+
+TEST(SpaceSaving, GuaranteesHeavyHittersAreMonitored) {
+  // Classic guarantee: every item with frequency > m / capacity is in the
+  // table at the end.
+  const std::size_t capacity = 16;
+  SpaceSaving tracker(capacity);
+  workload::ZipfItems zipf(1024, 1.2);
+  common::Xoshiro256StarStar rng(17);
+  const int m = 50'000;
+  std::vector<std::uint64_t> truth(1024, 0);
+  for (int i = 0; i < m; ++i) {
+    const common::Item item = zipf.sample(rng);
+    tracker.update(item, 1.0);
+    ++truth[item];
+  }
+  for (common::Item item = 0; item < 1024; ++item) {
+    if (truth[item] > m / capacity) {
+      EXPECT_TRUE(tracker.lookup(item).has_value()) << "heavy item " << item << " evicted";
+    }
+  }
+}
+
+TEST(SpaceSaving, MeanTimeUsesOnlyObservedSamples) {
+  SpaceSaving tracker(1);
+  tracker.update(1, 10.0);
+  tracker.update(2, 99.0);  // takes over; inherits count 1 but not the 10.0
+  tracker.update(2, 101.0);
+  tracker.update(2, 100.0);
+  tracker.update(2, 100.0);
+  const auto mean = tracker.mean_time(2, 4);
+  ASSERT_TRUE(mean.has_value());
+  EXPECT_DOUBLE_EQ(*mean, 100.0);
+  // Below the min_observed threshold: no estimate.
+  EXPECT_FALSE(tracker.mean_time(2, 5).has_value());
+}
+
+TEST(SpaceSaving, ClearAndRestoreRoundTrip) {
+  SpaceSaving tracker(4);
+  tracker.update(1, 2.0);
+  tracker.update(1, 4.0);
+  tracker.update(9, 7.0);
+  SpaceSaving copy(4);
+  copy.restore(tracker.entries());
+  EXPECT_EQ(copy.size(), 2u);
+  EXPECT_DOUBLE_EQ(copy.mean_time(1, 1).value(), 3.0);
+  copy.clear();
+  EXPECT_EQ(copy.size(), 0u);
+  SpaceSaving small(1);
+  EXPECT_THROW(small.restore(tracker.entries()), std::invalid_argument);
+}
+
+TEST(HybridEstimator, HeavyItemsAreExactDespiteCoarseSketch) {
+  // A 1-column sketch is pure mush; with the heavy table the frequent
+  // item still gets its exact mean.
+  DualSketch hybrid(SketchDims{2, 1}, 5, /*heavy_capacity=*/4);
+  for (int i = 0; i < 100; ++i) {
+    hybrid.update(7, 10.0);
+    hybrid.update(static_cast<common::Item>(100 + i % 3), 1.0);
+  }
+  const auto heavy = hybrid.estimate(7);
+  ASSERT_TRUE(heavy.has_value());
+  EXPECT_DOUBLE_EQ(*heavy, 10.0);
+
+  DualSketch plain(SketchDims{2, 1}, 5);
+  for (int i = 0; i < 100; ++i) {
+    plain.update(7, 10.0);
+    plain.update(static_cast<common::Item>(100 + i % 3), 1.0);
+  }
+  const auto mush = plain.estimate(7);
+  ASSERT_TRUE(mush.has_value());
+  EXPECT_NEAR(*mush, 5.5, 0.1);  // everything collides: global mean
+}
+
+TEST(HybridEstimator, MergePreservesHeavyInformation) {
+  DualSketch a(SketchDims{2, 8}, 5, 4);
+  DualSketch b(SketchDims{2, 8}, 5, 4);
+  for (int i = 0; i < 10; ++i) {
+    a.update(1, 4.0);
+    b.update(1, 6.0);
+  }
+  a.merge_from(b);
+  const auto merged = a.estimate(1);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_DOUBLE_EQ(*merged, 5.0);  // (10*4 + 10*6) / 20
+  EXPECT_EQ(a.update_count(), 20u);
+
+  DualSketch mismatched(SketchDims{2, 8}, 5, 8);
+  EXPECT_THROW(a.merge_from(mismatched), std::invalid_argument);
+}
+
+TEST(HybridEstimator, SerializationCarriesTheHeavyTable) {
+  DualSketch sketch(SketchDims{4, 54}, 99, 16);
+  common::Xoshiro256StarStar rng(8);
+  for (int i = 0; i < 5000; ++i) {
+    const common::Item item = rng.next_below(256);
+    sketch.update(item, 1.0 + static_cast<double>(item % 8));
+  }
+  const auto bytes = sketch::serialize(sketch);
+  EXPECT_EQ(bytes.size(),
+            sketch::serialized_size(sketch.dims(), sketch.heavy_hitters()->size()));
+  const DualSketch restored = sketch::deserialize(bytes);
+  EXPECT_EQ(restored.heavy_capacity(), 16u);
+  ASSERT_NE(restored.heavy_hitters(), nullptr);
+  EXPECT_EQ(restored.heavy_hitters()->size(), sketch.heavy_hitters()->size());
+  for (const auto& [item, entry] : sketch.heavy_hitters()->entries()) {
+    const auto restored_entry = restored.heavy_hitters()->lookup(item);
+    ASSERT_TRUE(restored_entry.has_value());
+    EXPECT_EQ(restored_entry->count, entry.count);
+    EXPECT_DOUBLE_EQ(restored_entry->time_sum, entry.time_sum);
+  }
+}
+
+TEST(HybridEstimator, ResetClearsTheHeavyTable) {
+  DualSketch sketch(SketchDims{2, 8}, 5, 4);
+  sketch.update(1, 5.0);
+  sketch.reset();
+  EXPECT_EQ(sketch.heavy_hitters()->size(), 0u);
+  EXPECT_FALSE(sketch.estimate(1).has_value());
+}
+
+}  // namespace

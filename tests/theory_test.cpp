@@ -1,0 +1,162 @@
+// Executable checks of the paper's analytical results (Sec. IV).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/prng.hpp"
+#include "sketch/analysis.hpp"
+
+namespace {
+
+using namespace posg;
+using sketch::expected_ratio_uniform_frequencies;
+using sketch::markov_min_rows_bound;
+
+/// The paper's numerical application setup (Sec. IV-B): 55 buckets,
+/// n = 4096 items whose execution times are 1..64, each value shared by
+/// 64 items, uniform frequencies.
+std::vector<common::TimeMs> paper_weights() {
+  std::vector<common::TimeMs> weights;
+  weights.reserve(4096);
+  for (int value = 1; value <= 64; ++value) {
+    for (int rep = 0; rep < 64; ++rep) {
+      weights.push_back(static_cast<double>(value));
+    }
+  }
+  return weights;
+}
+
+TEST(Theorem43, PaperNumericalApplicationRange) {
+  // "we get for v = 1,...,64, E{Wv/Cv} in [32.08, 32.92]".
+  const auto weights = paper_weights();
+  double lo = 1e18;
+  double hi = -1e18;
+  for (std::size_t v = 0; v < weights.size(); v += 64) {  // one item per distinct value
+    const double e = expected_ratio_uniform_frequencies(weights, 55, v);
+    lo = std::min(lo, e);
+    hi = std::max(hi, e);
+  }
+  EXPECT_NEAR(lo, 32.08, 0.01);
+  EXPECT_NEAR(hi, 32.92, 0.01);
+}
+
+TEST(Theorem43, ExpectationIsBoundedByWminWmax) {
+  const auto weights = paper_weights();
+  for (std::size_t v : {std::size_t{0}, std::size_t{100}, std::size_t{4095}}) {
+    const double e = expected_ratio_uniform_frequencies(weights, 55, v);
+    EXPECT_GE(e, 1.0);
+    EXPECT_LE(e, 64.0);
+  }
+}
+
+TEST(Theorem43, SingleBucketGivesGlobalMean) {
+  // With one bucket every item collides with everything: the ratio is the
+  // global mean regardless of v.
+  const std::vector<common::TimeMs> weights{1.0, 2.0, 3.0, 10.0};
+  const double mean = (1.0 + 2.0 + 3.0 + 10.0) / 4.0;
+  for (std::size_t v = 0; v < 4; ++v) {
+    EXPECT_NEAR(expected_ratio_uniform_frequencies(weights, 1, v), mean, 1e-9);
+  }
+}
+
+TEST(Theorem43, ManyBucketsApproachTrueWeight) {
+  // With buckets >> n collisions vanish and E{Wv/Cv} -> wv.
+  const std::vector<common::TimeMs> weights{1.0, 5.0, 9.0, 13.0};
+  for (std::size_t v = 0; v < 4; ++v) {
+    const double e = expected_ratio_uniform_frequencies(weights, 1'000'000, v);
+    EXPECT_NEAR(e, weights[v], 0.01);
+  }
+}
+
+TEST(Theorem43, MatchesMonteCarloUnderIdealHashing) {
+  // Directly simulate the analysis's model: items hashed uniformly at
+  // random, all frequencies equal; compare the empirical mean of W_v/C_v
+  // with the closed form.
+  const std::size_t n = 64;
+  const std::size_t buckets = 8;
+  std::vector<common::TimeMs> weights(n);
+  common::Xoshiro256StarStar weight_rng(5);
+  for (auto& w : weights) {
+    w = 1.0 + static_cast<double>(weight_rng.next_below(16));
+  }
+  const std::size_t v = 3;
+
+  common::Xoshiro256StarStar rng(99);
+  const int trials = 200'000;
+  double sum = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t hv = rng.next_below(buckets);
+    double c = 1.0;  // frequencies all equal: count items, weight by w
+    double w = weights[v];
+    for (std::size_t u = 0; u < n; ++u) {
+      if (u == v) {
+        continue;
+      }
+      if (rng.next_below(buckets) == hv) {
+        c += 1.0;
+        w += weights[u];
+      }
+    }
+    sum += w / c;
+  }
+  const double empirical = sum / trials;
+  const double analytic = expected_ratio_uniform_frequencies(weights, buckets, v);
+  EXPECT_NEAR(empirical, analytic, 0.03);
+}
+
+TEST(MarkovBound, PaperNumericalApplication) {
+  // With a = 3/4 (threshold 48) and r = 10 rows: (33/48)^10 <= 0.024.
+  const double bound = markov_min_rows_bound(33.0, 48.0, 10);
+  EXPECT_LE(bound, 0.024);
+  EXPECT_NEAR(bound, std::pow(33.0 / 48.0, 10.0), 1e-12);
+}
+
+TEST(MarkovBound, ClampsAtOne) {
+  EXPECT_DOUBLE_EQ(markov_min_rows_bound(100.0, 10.0, 3), 1.0);
+}
+
+TEST(MarkovBound, EmpiricalTailRespectsBound) {
+  // Monte-Carlo the min-over-rows ratio in the paper's setup and check the
+  // tail mass at 48 stays under the bound.
+  const auto weights = paper_weights();
+  const std::size_t buckets = 55;
+  const std::size_t rows = 10;
+  const std::size_t v = 63 * 64;  // an item with w_v = 64 (worst tail)
+  common::Xoshiro256StarStar rng(7);
+  const int trials = 300;
+  int exceed = 0;
+  for (int t = 0; t < trials; ++t) {
+    double min_ratio = 1e18;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::uint64_t hv = rng.next_below(buckets);
+      double c = 1.0;
+      double w = weights[v];
+      for (std::size_t u = 0; u < weights.size(); ++u) {
+        if (u == v) {
+          continue;
+        }
+        if (rng.next_below(buckets) == hv) {
+          c += 1.0;
+          w += weights[u];
+        }
+      }
+      min_ratio = std::min(min_ratio, w / c);
+    }
+    exceed += min_ratio >= 48.0;
+  }
+  const double expectation = expected_ratio_uniform_frequencies(weights, buckets, v);
+  const double bound = markov_min_rows_bound(expectation, 48.0, rows);
+  EXPECT_LE(static_cast<double>(exceed) / trials, bound + 0.02);
+}
+
+TEST(Theorem43, RejectsBadArguments) {
+  const std::vector<common::TimeMs> weights{1.0, 2.0};
+  EXPECT_THROW(expected_ratio_uniform_frequencies({1.0}, 4, 0), std::invalid_argument);
+  EXPECT_THROW(expected_ratio_uniform_frequencies(weights, 0, 0), std::invalid_argument);
+  EXPECT_THROW(expected_ratio_uniform_frequencies(weights, 4, 2), std::invalid_argument);
+  EXPECT_THROW(markov_min_rows_bound(1.0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(markov_min_rows_bound(1.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace

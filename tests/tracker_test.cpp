@@ -1,0 +1,151 @@
+// Unit tests for the operator-instance side of POSG: the START/STABILIZING
+// state machine, shipment conditions, and the synchronization replies.
+#include <gtest/gtest.h>
+
+#include "core/instance_tracker.hpp"
+
+namespace {
+
+using namespace posg;
+using core::InstanceTracker;
+using core::PosgConfig;
+using core::SyncRequest;
+
+PosgConfig small_config() {
+  PosgConfig config;
+  config.window = 4;
+  config.mu = 0.05;
+  config.max_windows_per_epoch = 0;  // strict paper behaviour by default here
+  return config;
+}
+
+TEST(InstanceTracker, StartsInStartState) {
+  InstanceTracker tracker(0, small_config());
+  EXPECT_EQ(tracker.state(), InstanceTracker::State::kStart);
+  EXPECT_EQ(tracker.executed_count(), 0u);
+  EXPECT_DOUBLE_EQ(tracker.cumulated_execution_time(), 0.0);
+}
+
+TEST(InstanceTracker, FirstWindowCreatesSnapshotAndMovesToStabilizing) {
+  InstanceTracker tracker(0, small_config());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(tracker.on_executed(1, 1.0).has_value());
+    EXPECT_EQ(tracker.state(), InstanceTracker::State::kStart);
+  }
+  EXPECT_FALSE(tracker.on_executed(1, 1.0).has_value());  // 4th tuple: window full
+  EXPECT_EQ(tracker.state(), InstanceTracker::State::kStabilizing);
+}
+
+TEST(InstanceTracker, ShipsWhenStableAndResets) {
+  InstanceTracker tracker(3, small_config());
+  // Constant load: the second window's ratios equal the first snapshot, so
+  // the check at tuple 8 ships.
+  std::optional<core::SketchShipment> shipment;
+  for (int i = 0; i < 8; ++i) {
+    shipment = tracker.on_executed(1, 2.0);
+  }
+  ASSERT_TRUE(shipment.has_value());
+  EXPECT_EQ(shipment->instance, 3u);
+  EXPECT_EQ(shipment->sketch.update_count(), 8u);
+  EXPECT_DOUBLE_EQ(shipment->sketch.total_execution_time(), 16.0);
+  // After shipping: reset, back to START; cumulated time is NOT reset.
+  EXPECT_EQ(tracker.state(), InstanceTracker::State::kStart);
+  EXPECT_DOUBLE_EQ(tracker.cumulated_execution_time(), 16.0);
+  EXPECT_EQ(tracker.shipments(), 1u);
+}
+
+TEST(InstanceTracker, DoesNotShipWhileUnstable) {
+  auto config = small_config();
+  InstanceTracker tracker(0, config);
+  // Window 1: item 1 at cost 1. Window 2: same item at cost 100 — the
+  // cell ratio moves a lot, eta >> mu.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(tracker.on_executed(1, 1.0).has_value());
+  }
+  std::optional<core::SketchShipment> shipment;
+  for (int i = 0; i < 4; ++i) {
+    shipment = tracker.on_executed(1, 100.0);
+  }
+  EXPECT_FALSE(shipment.has_value());
+  EXPECT_GT(tracker.last_relative_error(), config.mu);
+  EXPECT_EQ(tracker.state(), InstanceTracker::State::kStabilizing);
+  // Window 3 at the new ratio's neighbourhood: ratios stabilize (cumulated
+  // mean moves less and less), eventually shipping.
+}
+
+TEST(InstanceTracker, ForceShipCapBoundsEpochLength) {
+  auto config = small_config();
+  config.max_windows_per_epoch = 3;
+  InstanceTracker tracker(0, config);
+  std::size_t shipped_at = 0;
+  // Alternate wildly different costs per window so eta never settles.
+  for (std::size_t i = 1; i <= 40; ++i) {
+    const double cost = (i / 4) % 2 == 0 ? 1.0 : 100.0;
+    if (tracker.on_executed(static_cast<common::Item>(i % 3), cost)) {
+      shipped_at = i;
+      break;
+    }
+  }
+  // Cap of 3 windows of 4 tuples: shipment no later than tuple 12.
+  ASSERT_NE(shipped_at, 0u);
+  EXPECT_LE(shipped_at, 12u);
+}
+
+TEST(InstanceTracker, CumulatedTimeIsMonotoneAcrossEpochs) {
+  InstanceTracker tracker(0, small_config());
+  double total = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    total += 2.0;
+    tracker.on_executed(1, 2.0);
+    EXPECT_DOUBLE_EQ(tracker.cumulated_execution_time(), total);
+  }
+  EXPECT_GE(tracker.shipments(), 2u);
+}
+
+TEST(InstanceTracker, SyncReplyReportsDriftAgainstCumulated) {
+  InstanceTracker tracker(2, small_config());
+  tracker.on_executed(1, 5.0);
+  tracker.on_executed(1, 7.0);
+  const SyncRequest request{4, 10.0};  // scheduler thought 10, truth is 12
+  const auto reply = tracker.on_sync_request(request);
+  EXPECT_EQ(reply.instance, 2u);
+  EXPECT_EQ(reply.epoch, 4u);
+  EXPECT_DOUBLE_EQ(reply.delta, 2.0);
+}
+
+TEST(InstanceTracker, NegativeDriftWhenOverestimated) {
+  InstanceTracker tracker(0, small_config());
+  tracker.on_executed(1, 1.0);
+  const auto reply = tracker.on_sync_request(SyncRequest{1, 3.0});
+  EXPECT_DOUBLE_EQ(reply.delta, -2.0);
+}
+
+TEST(InstanceTracker, RejectsNegativeExecutionTime) {
+  InstanceTracker tracker(0, small_config());
+  EXPECT_THROW(tracker.on_executed(1, -1.0), std::invalid_argument);
+}
+
+TEST(InstanceTracker, WindowOfOneStillNeedsTwoWindows) {
+  auto config = small_config();
+  config.window = 1;
+  InstanceTracker tracker(0, config);
+  EXPECT_FALSE(tracker.on_executed(1, 1.0).has_value());  // snapshot
+  EXPECT_TRUE(tracker.on_executed(1, 1.0).has_value());   // stable, ship
+}
+
+TEST(InstanceTracker, ShipmentSketchLayoutMatchesConfig) {
+  auto config = small_config();
+  config.epsilon = 0.7;
+  config.delta = 0.25;
+  InstanceTracker tracker(0, config);
+  std::optional<core::SketchShipment> shipment;
+  for (int i = 0; i < 8 && !shipment; ++i) {
+    shipment = tracker.on_executed(1, 1.0);
+  }
+  ASSERT_TRUE(shipment.has_value());
+  EXPECT_EQ(shipment->sketch.dims().rows, 2u);
+  EXPECT_EQ(shipment->sketch.dims().cols, 4u);
+  EXPECT_EQ(shipment->sketch.seed(), config.sketch_seed);
+}
+
+}  // namespace

@@ -1,0 +1,295 @@
+// Unit + property tests for the workload substrate: item distributions,
+// execution-time models, stream generation, and the tweet synthesizer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/prng.hpp"
+#include "workload/distributions.hpp"
+#include "workload/exec_time.hpp"
+#include "workload/stream.hpp"
+#include "workload/tweets.hpp"
+
+namespace {
+
+using namespace posg;
+using namespace posg::workload;
+
+TEST(AliasTable, ProbabilitiesAreNormalized) {
+  AliasTable table({1.0, 2.0, 3.0, 4.0});
+  double total = 0.0;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    total += table.probability(i);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_NEAR(table.probability(3), 0.4, 1e-12);
+}
+
+TEST(AliasTable, SamplesMatchWeights) {
+  AliasTable table({1.0, 0.0, 3.0});
+  common::Xoshiro256StarStar rng(5);
+  std::vector<int> counts(3, 0);
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[table.sample(rng)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.75, 0.01);
+}
+
+TEST(AliasTable, RejectsDegenerateInput) {
+  EXPECT_THROW(AliasTable({}), std::invalid_argument);
+  EXPECT_THROW(AliasTable({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(AliasTable({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(UniformItems, HasFlatPmf) {
+  UniformItems dist(100);
+  EXPECT_DOUBLE_EQ(dist.probability(0), 0.01);
+  EXPECT_DOUBLE_EQ(dist.probability(99), 0.01);
+  EXPECT_DOUBLE_EQ(dist.probability(100), 0.0);
+  EXPECT_EQ(dist.universe(), 100u);
+  EXPECT_EQ(dist.name(), "uniform");
+}
+
+TEST(ZipfItems, PmfIsMonotoneAndNormalized) {
+  ZipfItems dist(1000, 1.0);
+  double total = 0.0;
+  for (common::Item i = 0; i < 1000; ++i) {
+    total += dist.probability(i);
+    if (i > 0) {
+      EXPECT_LE(dist.probability(i), dist.probability(i - 1));
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfItems, AlphaZeroIsUniform) {
+  ZipfItems dist(10, 0.0);
+  for (common::Item i = 0; i < 10; ++i) {
+    EXPECT_NEAR(dist.probability(i), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfItems, RatioFollowsPowerLaw) {
+  ZipfItems dist(100, 2.0);
+  EXPECT_NEAR(dist.probability(0) / dist.probability(1), 4.0, 1e-9);  // (2/1)^2
+  EXPECT_NEAR(dist.probability(1) / dist.probability(3), 4.0, 1e-9);  // (4/2)^2
+}
+
+/// Empirical frequencies of sampled streams follow the pmf (parameterized
+/// over distribution tags — the paper's Fig. 4 x-axis).
+class DistributionSampling : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DistributionSampling, EmpiricalMatchesAnalytic) {
+  const std::size_t n = 128;
+  const auto dist = make_distribution(GetParam(), n);
+  const auto stream = StreamGenerator::generate(*dist, 100'000, 99);
+  const auto freq = item_frequencies(stream, n);
+  // Check the head items (rare tail items have too few samples).
+  for (common::Item i = 0; i < 5; ++i) {
+    const double expected = dist->probability(i) * 100'000;
+    if (expected > 100) {
+      EXPECT_NEAR(freq[i], expected, 5 * std::sqrt(expected) + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tags, DistributionSampling,
+                         ::testing::Values("uniform", "zipf-0.5", "zipf-1.0", "zipf-2.0",
+                                           "zipf-3.0"));
+
+TEST(MakeDistribution, RejectsUnknownTag) {
+  EXPECT_THROW(make_distribution("pareto-1", 10), std::invalid_argument);
+}
+
+TEST(ExecutionTimeAssignment, LinearValuesMatchPaperDefaults) {
+  // wn = 64 values at constant distance in [1, 64] -> {1, 2, ..., 64}.
+  ExecutionTimeAssignment assignment(4096, 64, 1.0, 64.0, ValueSpacing::kLinear, 7);
+  ASSERT_EQ(assignment.values().size(), 64u);
+  for (std::size_t j = 0; j < 64; ++j) {
+    EXPECT_NEAR(assignment.values()[j], 1.0 + j, 1e-9);
+  }
+}
+
+TEST(ExecutionTimeAssignment, GeometricValuesAreMultiplicative) {
+  ExecutionTimeAssignment assignment(64, 4, 1.0, 8.0, ValueSpacing::kGeometric, 7);
+  const auto& v = assignment.values();
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_NEAR(v[1] / v[0], 2.0, 1e-9);
+  EXPECT_NEAR(v[2] / v[1], 2.0, 1e-9);
+  EXPECT_NEAR(v[3] / v[2], 2.0, 1e-9);
+}
+
+TEST(ExecutionTimeAssignment, EachValueGetsEqualShareOfItems) {
+  const std::size_t n = 4096;
+  const std::size_t wn = 64;
+  ExecutionTimeAssignment assignment(n, wn, 1.0, 64.0, ValueSpacing::kLinear, 13);
+  std::vector<int> counts(wn, 0);
+  for (common::Item item = 0; item < n; ++item) {
+    const double value = assignment.base_time(item);
+    const auto index = static_cast<std::size_t>(std::lround(value - 1.0));
+    ASSERT_LT(index, wn);
+    ++counts[index];
+  }
+  for (std::size_t j = 0; j < wn; ++j) {
+    EXPECT_EQ(counts[j], static_cast<int>(n / wn));
+  }
+}
+
+TEST(ExecutionTimeAssignment, DifferentSeedsShuffleDifferently) {
+  ExecutionTimeAssignment a(256, 16, 1.0, 16.0, ValueSpacing::kLinear, 1);
+  ExecutionTimeAssignment b(256, 16, 1.0, 16.0, ValueSpacing::kLinear, 2);
+  int same = 0;
+  for (common::Item item = 0; item < 256; ++item) {
+    same += a.base_time(item) == b.base_time(item);
+  }
+  EXPECT_LT(same, 64);  // expected ~16 under independence
+}
+
+TEST(ExecutionTimeAssignment, MeanUnderUniformIsValueMean) {
+  ExecutionTimeAssignment assignment(64, 4, 1.0, 4.0, ValueSpacing::kLinear, 3);
+  UniformItems uniform(64);
+  EXPECT_NEAR(assignment.mean_under(uniform), 2.5, 1e-9);
+}
+
+TEST(ExecutionTimeAssignment, SingleValueDegenerate) {
+  ExecutionTimeAssignment assignment(16, 1, 5.0, 5.0, ValueSpacing::kLinear, 3);
+  for (common::Item item = 0; item < 16; ++item) {
+    EXPECT_DOUBLE_EQ(assignment.base_time(item), 5.0);
+  }
+}
+
+TEST(ExecutionTimeAssignment, RejectsBadParameters) {
+  EXPECT_THROW(ExecutionTimeAssignment(4, 8, 1.0, 2.0, ValueSpacing::kLinear, 1),
+               std::invalid_argument);  // wn > n
+  EXPECT_THROW(ExecutionTimeAssignment(8, 4, 0.0, 2.0, ValueSpacing::kLinear, 1),
+               std::invalid_argument);  // wmin <= 0
+  EXPECT_THROW(ExecutionTimeAssignment(8, 4, 3.0, 2.0, ValueSpacing::kLinear, 1),
+               std::invalid_argument);  // wmax < wmin
+}
+
+TEST(InstanceLoadModel, UniformByDefault) {
+  InstanceLoadModel model(5);
+  EXPECT_DOUBLE_EQ(model.multiplier(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(model.multiplier(4, 1'000'000), 1.0);
+}
+
+TEST(InstanceLoadModel, PhasesSwitchAtBoundaries) {
+  // The Fig. 10 scenario: multipliers change at tuple 75 000.
+  InstanceLoadModel model(
+      5, {{0, {1.05, 1.025, 1.0, 0.975, 0.95}}, {75'000, {0.90, 0.95, 1.0, 1.05, 1.10}}});
+  EXPECT_DOUBLE_EQ(model.multiplier(0, 0), 1.05);
+  EXPECT_DOUBLE_EQ(model.multiplier(0, 74'999), 1.05);
+  EXPECT_DOUBLE_EQ(model.multiplier(0, 75'000), 0.90);
+  EXPECT_DOUBLE_EQ(model.multiplier(4, 75'000), 1.10);
+}
+
+TEST(InstanceLoadModel, ValidatesPhases) {
+  EXPECT_THROW(InstanceLoadModel(2, {}), std::invalid_argument);
+  EXPECT_THROW(InstanceLoadModel(2, {{5, {1.0, 1.0}}}), std::invalid_argument);  // first != 0
+  EXPECT_THROW(InstanceLoadModel(2, {{0, {1.0}}}), std::invalid_argument);  // wrong width
+  EXPECT_THROW(InstanceLoadModel(2, {{0, {1.0, 1.0}}, {0, {1.0, 1.0}}}),
+               std::invalid_argument);  // not strictly ordered
+}
+
+TEST(ExecutionTimeModel, CombinesBaseAndMultiplier) {
+  ExecutionTimeAssignment assignment(16, 1, 10.0, 10.0, ValueSpacing::kLinear, 3);
+  InstanceLoadModel load(2, {{0, {1.0, 2.0}}});
+  ExecutionTimeModel model(std::move(assignment), std::move(load));
+  EXPECT_DOUBLE_EQ(model.execution_time(3, 0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(model.execution_time(3, 1, 0), 20.0);
+}
+
+TEST(StreamGenerator, SameSeedSameStream) {
+  UniformItems dist(64);
+  const auto a = StreamGenerator::generate(dist, 1000, 5);
+  const auto b = StreamGenerator::generate(dist, 1000, 5);
+  EXPECT_EQ(a, b);
+  const auto c = StreamGenerator::generate(dist, 1000, 6);
+  EXPECT_NE(a, c);
+}
+
+TEST(ItemFrequencies, CountsAndValidates) {
+  const std::vector<common::Item> stream{0, 1, 1, 2, 2, 2};
+  const auto freq = item_frequencies(stream, 4);
+  EXPECT_EQ(freq, (std::vector<std::uint64_t>{1, 2, 3, 0}));
+  EXPECT_THROW(item_frequencies({9}, 4), std::invalid_argument);
+}
+
+TEST(TweetDataset, CalibratesTopProbability) {
+  // The paper's figure: most frequent entity ("Beppe Grillo") at 0.065
+  // over ~35 000 entities.
+  const double alpha = calibrate_zipf_alpha(35'000, 0.065);
+  ZipfItems check(35'000, alpha);
+  EXPECT_NEAR(check.probability(0), 0.065, 1e-4);
+}
+
+TEST(TweetDataset, MatchesConfiguredMarginals) {
+  TweetDatasetConfig config;
+  config.entities = 5000;
+  config.stream_length = 50'000;
+  TweetDataset dataset(config);
+  EXPECT_EQ(dataset.stream().size(), 50'000u);
+  EXPECT_NEAR(dataset.distribution().probability(0), 0.065, 1e-3);
+  // Rank 0 pinned to the politician class.
+  EXPECT_EQ(dataset.entity_class(0), EntityClass::kPolitician);
+  EXPECT_DOUBLE_EQ(dataset.execution_time(0), config.politician_cost);
+  // Class counts match fractions.
+  std::size_t media = 0;
+  std::size_t politicians = 0;
+  for (common::Item e = 0; e < config.entities; ++e) {
+    media += dataset.entity_class(e) == EntityClass::kMedia;
+    politicians += dataset.entity_class(e) == EntityClass::kPolitician;
+  }
+  EXPECT_EQ(media, static_cast<std::size_t>(std::llround(config.media_fraction * 5000)));
+  EXPECT_EQ(politicians, static_cast<std::size_t>(std::llround(config.politician_fraction * 5000)));
+}
+
+TEST(TweetDataset, ProminenceBiasFillsHeadRanks) {
+  TweetDatasetConfig config;
+  config.entities = 5000;
+  config.stream_length = 10;
+  config.prominence_bias = 1.0;
+  TweetDataset dataset(config);
+  // With bias 1.0 every media/politician entity sits in the head block.
+  const auto head = static_cast<std::size_t>(
+      std::llround((config.media_fraction + config.politician_fraction) * 5000));
+  for (common::Item e = 0; e < head; ++e) {
+    EXPECT_NE(dataset.entity_class(e), EntityClass::kOther) << "rank " << e;
+  }
+  for (common::Item e = head; e < 5000; ++e) {
+    EXPECT_EQ(dataset.entity_class(e), EntityClass::kOther) << "rank " << e;
+  }
+}
+
+TEST(TweetDataset, ZeroBiasScattersClasses) {
+  TweetDatasetConfig config;
+  config.entities = 5000;
+  config.stream_length = 10;
+  config.prominence_bias = 0.0;
+  TweetDataset dataset(config);
+  // The head block (beyond rank 0) should be mostly "other" now.
+  std::size_t head_special = 0;
+  for (common::Item e = 1; e < 350; ++e) {
+    head_special += dataset.entity_class(e) != EntityClass::kOther;
+  }
+  EXPECT_LT(head_special, 80);  // ~7% expected under uniform scattering
+}
+
+TEST(TweetDataset, MeanExecutionTimeIsMassWeighted) {
+  TweetDatasetConfig config;
+  config.entities = 2000;
+  config.stream_length = 10;
+  TweetDataset dataset(config);
+  double expected = 0.0;
+  for (common::Item e = 0; e < config.entities; ++e) {
+    expected += dataset.distribution().probability(e) * dataset.execution_time(e);
+  }
+  EXPECT_NEAR(dataset.mean_execution_time(), expected, 1e-9);
+}
+
+}  // namespace
