@@ -1,26 +1,31 @@
 // Distributed POSG over real processes: forks k operator-instance
 // processes, connects them to the scheduler over Unix-domain sockets, and
 // runs the full protocol — the deployment shape the wire codec
-// (sketch/serialize.hpp) and transport (src/net/) exist for.
+// (sketch/serialize.hpp) and transport (src/net/) exist for. The event
+// loops themselves live in src/runtime/ (SchedulerRuntime /
+// InstanceRuntime), so this file is only process plumbing; the in-process
+// tests in tests/runtime_test.cpp drive the very same loops.
 //
-//   ./distributed_posg [--k 3] [--m 20000]
+//   ./distributed_posg [--k 3] [--m 20000] [--kill ID] [--kill-epoch E]
 //
-// Each instance process simulates content-dependent execution costs,
-// tracks them in its (F, W) sketches, ships stable matrices back over its
-// socket, and answers synchronization markers. The parent process runs
-// the POSG scheduler and prints the resulting work split.
+// `--kill ID` demonstrates the fault-tolerance path: instance ID crashes
+// upon receiving the synchronization marker of epoch E (default 1) —
+// between the marker and its SyncReply, the exact window that would
+// deadlock a scheduler without failure detection. The run still drains
+// the full stream on the survivors.
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
-#include <mutex>
-#include <thread>
+#include <string>
+#include <vector>
 
 #include "common/cli.hpp"
-#include "core/instance_tracker.hpp"
-#include "core/posg_scheduler.hpp"
-#include "net/protocol.hpp"
 #include "net/socket.hpp"
+#include "net/transport.hpp"
+#include "runtime/instance_runtime.hpp"
+#include "runtime/scheduler_runtime.hpp"
 #include "workload/distributions.hpp"
 #include "workload/stream.hpp"
 
@@ -28,33 +33,20 @@ using namespace posg;
 
 namespace {
 
-/// The operator-instance process: executes tuples until EndOfStream.
+/// The operator-instance process: run the instance event loop, then exit.
 [[noreturn]] void instance_process(common::InstanceId id, const std::string& socket_path,
-                                   const core::PosgConfig& config) {
-  auto socket = net::connect(socket_path);
-  socket.send_frame(net::encode(net::Hello{id}));
-  core::InstanceTracker tracker(id, config);
-  std::uint64_t executed = 0;
-  while (auto frame = socket.recv_frame()) {
-    const auto message = net::decode(*frame);
-    if (std::holds_alternative<net::EndOfStream>(message)) {
-      break;
-    }
-    const auto& tuple = std::get<net::TupleMessage>(message);
-    // Content-dependent cost (simulated; a real operator would just be
-    // timed). Items 0..63 cost 1..64 "units".
-    const common::TimeMs cost = 1.0 + static_cast<double>(tuple.item % 64);
-    if (auto shipment = tracker.on_executed(tuple.item, cost)) {
-      socket.send_frame(net::encode(*shipment));
-    }
-    if (tuple.marker) {
-      socket.send_frame(net::encode(tracker.on_sync_request(*tuple.marker)));
-    }
-    ++executed;
+                                   const runtime::InstanceRuntimeConfig& config) {
+  net::SocketTransport link(net::connect(socket_path));
+  runtime::InstanceRuntime instance(id, config);
+  const auto stats = instance.run(link);
+  if (stats.crashed) {
+    std::printf("  [instance %zu, pid %d] CRASHED (scripted) after %llu tuples\n", id, getpid(),
+                static_cast<unsigned long long>(stats.executed));
+    std::exit(2);
   }
-  std::printf("  [instance %zu, pid %d] executed %llu tuples, simulated work %.0f units\n", id,
-              getpid(), static_cast<unsigned long long>(executed),
-              tracker.cumulated_execution_time());
+  std::printf("  [instance %zu, pid %d] executed %llu tuples, simulated work %.0f units%s\n", id,
+              getpid(), static_cast<unsigned long long>(stats.executed), stats.simulated_work,
+              stats.peer_failures_seen > 0 ? " (saw peer failure)" : "");
   std::exit(0);
 }
 
@@ -64,92 +56,91 @@ int main(int argc, char** argv) {
   const common::CliArgs args(argc, argv);
   const auto k = static_cast<std::size_t>(args.get_int("k", 3));
   const auto m = static_cast<std::size_t>(args.get_int("m", 20'000));
+  const auto kill_id = args.get_int("kill", -1);
+  const auto kill_epoch = static_cast<common::Epoch>(args.get_int("kill-epoch", 1));
 
-  core::PosgConfig config;  // calibrated defaults
+  runtime::SchedulerRuntimeConfig config;
+  config.instances = k;  // PosgConfig keeps its calibrated defaults
   const std::string socket_path = "/tmp/posg_distributed_" + std::to_string(getpid()) + ".sock";
   net::Listener listener(socket_path);
 
   std::printf("forking %zu operator-instance processes (socket %s)\n", k, socket_path.c_str());
+  if (kill_id >= 0) {
+    std::printf("instance %lld is scripted to crash on the epoch-%llu marker\n",
+                static_cast<long long>(kill_id), static_cast<unsigned long long>(kill_epoch));
+  }
   std::fflush(stdout);  // children inherit the stdio buffer otherwise
+  std::vector<pid_t> children;
   for (common::InstanceId op = 0; op < k; ++op) {
+    runtime::InstanceRuntimeConfig instance_config;
+    instance_config.posg = config.posg;
+    if (kill_id >= 0 && static_cast<common::InstanceId>(kill_id) == op) {
+      instance_config.crash_on_marker_epoch = kill_epoch;
+    }
     const pid_t pid = fork();
     if (pid == 0) {
-      instance_process(op, socket_path, config);  // never returns
+      instance_process(op, socket_path, instance_config);  // never returns
     }
     if (pid < 0) {
+      // Partial startup: reap what was already forked instead of leaking
+      // orphans that would spin in connect-retry against a dying parent.
       std::perror("fork");
+      for (const pid_t child : children) {
+        kill(child, SIGTERM);
+      }
+      for (const pid_t child : children) {
+        waitpid(child, nullptr, 0);
+      }
       return 1;
     }
+    children.push_back(pid);
   }
 
-  // Accept the k registrations; index the connections by instance id.
-  std::vector<net::Socket> sockets(k);
-  for (std::size_t accepted = 0; accepted < k; ++accepted) {
-    auto socket = listener.accept();
-    const auto frame = socket.recv_frame();
-    const auto hello = std::get<net::Hello>(net::decode(frame.value()));
-    sockets[hello.instance] = std::move(socket);
-  }
-
-  // Scheduler loop + one reader thread per instance for the feedback path.
-  core::PosgScheduler scheduler(k, config);
-  std::mutex scheduler_mutex;
-  std::vector<std::thread> readers;
-  for (common::InstanceId op = 0; op < k; ++op) {
-    readers.emplace_back([&scheduler, &scheduler_mutex, &sockets, op] {
-      while (true) {
-        std::optional<std::vector<std::byte>> frame;
-        try {
-          frame = sockets[op].recv_frame();
-        } catch (const std::exception&) {
-          return;
-        }
-        if (!frame) {
-          return;
-        }
-        const auto message = net::decode(*frame);
-        std::lock_guard lock(scheduler_mutex);
-        if (const auto* shipment = std::get_if<core::SketchShipment>(&message)) {
-          scheduler.on_sketches(*shipment);
-        } else if (const auto* reply = std::get_if<core::SyncReply>(&message)) {
-          scheduler.on_sync_reply(*reply);
-        }
-      }
-    });
-  }
+  runtime::SchedulerRuntime scheduler(config);
+  scheduler.accept_registrations(listener);
+  scheduler.start();
 
   workload::ZipfItems zipf(4096, 1.0);
   const auto stream = workload::StreamGenerator::generate(zipf, m, 42);
-  std::vector<std::uint64_t> routed(k, 0);
-  for (common::SeqNo seq = 0; seq < stream.size(); ++seq) {
-    net::TupleMessage tuple;
-    tuple.seq = seq;
-    tuple.item = stream[seq];
-    core::Decision decision;
-    {
-      std::lock_guard lock(scheduler_mutex);
-      decision = scheduler.schedule(tuple.item, seq);
+  int rc = 0;
+  try {
+    for (common::SeqNo seq = 0; seq < stream.size(); ++seq) {
+      scheduler.route(stream[seq], seq);
     }
-    tuple.marker = decision.sync_request;
-    ++routed[decision.instance];
-    sockets[decision.instance].send_frame(net::encode(tuple));
-  }
-  for (common::InstanceId op = 0; op < k; ++op) {
-    sockets[op].send_frame(net::encode(net::EndOfStream{}));
-  }
-  for (auto& reader : readers) {
-    reader.join();
+    scheduler.finish();
+  } catch (const std::exception& error) {
+    // Fatal degradation (e.g. the last live instance died). Still print
+    // the final report below: the quarantine log explains what happened.
+    std::printf("\nfatal: %s\n", error.what());
+    try {
+      scheduler.finish();
+    } catch (const std::exception&) {
+    }
+    rc = 1;
   }
   while (wait(nullptr) > 0) {
   }
 
-  std::printf("\nscheduler: state=%s, epoch=%llu\n",
-              scheduler.state() == core::PosgScheduler::State::kRun ? "RUN" : "mid-epoch",
-              static_cast<unsigned long long>(scheduler.epoch()));
+  const char* state_name = "mid-epoch";
+  switch (scheduler.state()) {
+    case core::PosgScheduler::State::kRun:
+      state_name = "RUN";
+      break;
+    case core::PosgScheduler::State::kRoundRobin:
+      state_name = "ROUND_ROBIN";
+      break;
+    default:
+      break;
+  }
+  std::printf("\nscheduler: state=%s, epoch=%llu, live=%zu/%zu\n", state_name,
+              static_cast<unsigned long long>(scheduler.epoch()), scheduler.live_instances(), k);
+  for (const auto& event : scheduler.quarantine_log()) {
+    std::printf("quarantined instance %zu: %s\n", event.instance, event.reason.c_str());
+  }
   std::printf("tuples routed per instance (POSG balances estimated *work*, not counts):");
-  for (std::uint64_t count : routed) {
+  for (const std::uint64_t count : scheduler.routed_counts()) {
     std::printf(" %llu", static_cast<unsigned long long>(count));
   }
   std::printf("\n");
-  return 0;
+  return rc;
 }

@@ -11,7 +11,9 @@ PosgScheduler::PosgScheduler(std::size_t instances, const PosgConfig& config)
       c_est_(instances, 0.0),
       marker_pending_(instances, false),
       reply_received_(instances, false),
-      reply_delta_(instances, 0.0) {
+      reply_delta_(instances, 0.0),
+      failed_(instances, false),
+      live_count_(instances) {
   common::require(instances >= 1, "PosgScheduler: need at least one instance");
 }
 
@@ -62,22 +64,32 @@ std::optional<common::TimeMs> PosgScheduler::estimate(common::Item item) const {
 }
 
 common::InstanceId PosgScheduler::greedy_pick() const noexcept {
-  if (latency_hints_.empty()) {
-    return static_cast<common::InstanceId>(
-        std::min_element(c_est_.begin(), c_est_.end()) - c_est_.begin());
-  }
-  // Latency-aware variant: minimize the placed tuple's estimated
-  // completion, Ĉ[op] + latency[op].
-  common::InstanceId best = 0;
-  common::TimeMs best_score = c_est_[0] + latency_hints_[0];
-  for (common::InstanceId op = 1; op < k_; ++op) {
-    const common::TimeMs score = c_est_[op] + latency_hints_[op];
-    if (score < best_score) {
+  common::InstanceId best = common::kNoInstance;
+  common::TimeMs best_score = 0.0;
+  for (common::InstanceId op = 0; op < k_; ++op) {
+    if (failed_[op]) {
+      continue;
+    }
+    // Latency-aware variant (paper's Sec. VII future work): minimize the
+    // placed tuple's estimated completion, Ĉ[op] + latency[op].
+    const common::TimeMs score =
+        c_est_[op] + (latency_hints_.empty() ? 0.0 : latency_hints_[op]);
+    if (best == common::kNoInstance || score < best_score) {
       best_score = score;
       best = op;
     }
   }
   return best;
+}
+
+common::InstanceId PosgScheduler::next_round_robin() noexcept {
+  // live_count_ >= 1 always holds, so the rotation terminates.
+  while (failed_[rr_next_]) {
+    rr_next_ = (rr_next_ + 1) % k_;
+  }
+  const common::InstanceId target = rr_next_;
+  rr_next_ = (rr_next_ + 1) % k_;
+  return target;
 }
 
 void PosgScheduler::set_latency_hints(std::vector<common::TimeMs> hints) {
@@ -90,16 +102,13 @@ Decision PosgScheduler::schedule(common::Item item, common::SeqNo seq) {
   (void)seq;
   switch (state_) {
     case State::kRoundRobin: {
-      const common::InstanceId target = rr_next_;
-      rr_next_ = (rr_next_ + 1) % k_;
-      return Decision{target, std::nullopt};
+      return Decision{next_round_robin(), std::nullopt};
     }
     case State::kSendAll: {
-      // Keep round-robin so every instance receives exactly one marker
-      // within the next k tuples (Fig. 1.D), while Ĉ starts accumulating
-      // estimates.
-      const common::InstanceId target = rr_next_;
-      rr_next_ = (rr_next_ + 1) % k_;
+      // Keep round-robin so every live instance receives exactly one
+      // marker within the next k' tuples (Fig. 1.D), while Ĉ starts
+      // accumulating estimates.
+      const common::InstanceId target = next_round_robin();
       c_est_[target] += scheduling_estimate(target, item);
 
       std::optional<SyncRequest> marker;
@@ -112,7 +121,8 @@ Decision PosgScheduler::schedule(common::Item item, common::SeqNo seq) {
         if (markers_outstanding_ == 0) {
           state_ = State::kWaitAll;  // Fig. 3.C
           // The last reply can only follow the last marker, so completion
-          // is always detected in on_sync_reply.
+          // is always detected in on_sync_reply (or in mark_failed when
+          // the replying instance died instead).
         }
       }
       return Decision{target, marker};
@@ -131,16 +141,29 @@ Decision PosgScheduler::schedule(common::Item item, common::SeqNo seq) {
 
 void PosgScheduler::enter_send_all() noexcept {
   ++epoch_;
-  std::fill(marker_pending_.begin(), marker_pending_.end(), true);
-  markers_outstanding_ = k_;
-  std::fill(reply_received_.begin(), reply_received_.end(), false);
-  std::fill(reply_delta_.begin(), reply_delta_.end(), 0.0);
-  replies_received_count_ = 0;
+  for (std::size_t op = 0; op < k_; ++op) {
+    marker_pending_[op] = !failed_[op];
+    reply_received_[op] = false;
+    reply_delta_[op] = 0.0;
+  }
+  markers_outstanding_ = live_count_;
   state_ = State::kSendAll;
+}
+
+bool PosgScheduler::all_live_shipped() const noexcept {
+  for (std::size_t op = 0; op < k_; ++op) {
+    if (!failed_[op] && !sketches_[op].has_value()) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void PosgScheduler::on_sketches(const SketchShipment& shipment) {
   common::require(shipment.instance < k_, "PosgScheduler: shipment from unknown instance");
+  if (failed_[shipment.instance]) {
+    return;  // late frame from a quarantined instance — its epoch is over
+  }
   common::require(shipment.sketch.dims() == config_.dims() &&
                       shipment.sketch.seed() == config_.sketch_seed &&
                       shipment.sketch.heavy_capacity() == config_.heavy_hitter_capacity &&
@@ -150,10 +173,8 @@ void PosgScheduler::on_sketches(const SketchShipment& shipment) {
   refresh_global_mean();
 
   if (state_ == State::kRoundRobin) {
-    // Fig. 3.A/B: collect until every instance shipped once.
-    const bool all_present =
-        std::all_of(sketches_.begin(), sketches_.end(), [](const auto& s) { return s.has_value(); });
-    if (!all_present) {
+    // Fig. 3.A/B: collect until every live instance shipped once.
+    if (!all_live_shipped()) {
       return;
     }
     if (!config_.sync_enabled) {
@@ -171,26 +192,131 @@ void PosgScheduler::on_sketches(const SketchShipment& shipment) {
   }
 }
 
+void PosgScheduler::maybe_complete_epoch() noexcept {
+  if (state_ != State::kWaitAll) {
+    return;
+  }
+  for (std::size_t op = 0; op < k_; ++op) {
+    if (!failed_[op] && !reply_received_[op]) {
+      return;
+    }
+  }
+  // Fig. 3.E: resynchronize Ĉ — add each survivor's measured drift. A
+  // quarantined instance's Δ (if it replied before dying) is dropped: its
+  // Ĉ was already zeroed and redistributed.
+  for (std::size_t op = 0; op < k_; ++op) {
+    if (!failed_[op]) {
+      c_est_[op] += reply_delta_[op];
+    }
+  }
+  state_ = State::kRun;
+}
+
 void PosgScheduler::on_sync_reply(const SyncReply& reply) {
   common::require(reply.instance < k_, "PosgScheduler: reply from unknown instance");
+  if (failed_[reply.instance]) {
+    return;  // reply raced with the quarantine — already abandoned
+  }
   const bool epoch_active = state_ == State::kSendAll || state_ == State::kWaitAll;
   if (reply.epoch != epoch_ || !epoch_active) {
-    return;  // stale epoch or protocol restarted — ignore
+    // Stale epoch or protocol restarted: count and discard. Folding a
+    // delayed Δ from epoch e−1 into epoch e would double-correct drift
+    // the newer markers already measured.
+    ++stale_replies_;
+    return;
   }
   if (reply_received_[reply.instance]) {
     return;  // duplicate delivery
   }
   reply_received_[reply.instance] = true;
   reply_delta_[reply.instance] = reply.delta;
-  ++replies_received_count_;
+  maybe_complete_epoch();
+}
 
-  if (state_ == State::kWaitAll && replies_received_count_ == k_) {
-    // Fig. 3.E: resynchronize Ĉ — add each instance's measured drift.
-    for (std::size_t op = 0; op < k_; ++op) {
-      c_est_[op] += reply_delta_[op];
-    }
-    state_ = State::kRun;
+void PosgScheduler::mark_failed(common::InstanceId op) {
+  common::require(op < k_, "PosgScheduler: mark_failed on unknown instance");
+  if (failed_[op]) {
+    return;  // idempotent: EOF and epoch deadline may both report the crash
   }
+  common::require(live_count_ >= 2,
+                  "PosgScheduler: cannot quarantine the last live instance");
+  failed_[op] = true;
+  --live_count_;
+
+  // Redistribute the dead instance's Ĉ share evenly over the survivors.
+  // The absolute shift is identical for every survivor, so the greedy
+  // ordering among them is preserved; what matters is that op itself no
+  // longer competes and that total Ĉ (the global accounting the next
+  // synchronization corrects against) is conserved.
+  const common::TimeMs share = c_est_[op] / static_cast<double>(live_count_);
+  for (std::size_t other = 0; other < k_; ++other) {
+    if (!failed_[other]) {
+      c_est_[other] += share;
+    }
+  }
+  c_est_[op] = 0.0;
+
+  // Drop the dead instance's matrices from billing: on heterogeneous
+  // clusters its per-item costs describe a replica that no longer executes
+  // anything, and keeping them would skew the merged estimates.
+  sketches_[op].reset();
+  refresh_global_mean();
+
+  // Abandon its outstanding marker and reply so the in-flight epoch can
+  // complete on the survivors alone (the WAIT_ALL liveness hole).
+  if (state_ == State::kSendAll && marker_pending_[op]) {
+    marker_pending_[op] = false;
+    --markers_outstanding_;
+    if (markers_outstanding_ == 0) {
+      state_ = State::kWaitAll;
+    }
+  }
+  maybe_complete_epoch();
+
+  if (state_ == State::kRoundRobin) {
+    // Bootstrap liveness: the dead instance may have been the only one
+    // whose sketch was still missing.
+    if (all_live_shipped() && merged_.has_value()) {
+      if (config_.sync_enabled) {
+        enter_send_all();
+      } else {
+        state_ = State::kRun;
+      }
+    }
+  } else if (!merged_.has_value()) {
+    // Degradation ladder, bottom rung: every sketch-bearing instance is
+    // gone, so no estimates exist — fall back to round-robin over the
+    // survivors until fresh sketches arrive.
+    state_ = State::kRoundRobin;
+  }
+}
+
+bool PosgScheduler::is_failed(common::InstanceId op) const {
+  common::require(op < k_, "PosgScheduler: unknown instance");
+  return failed_[op];
+}
+
+std::vector<common::InstanceId> PosgScheduler::failed_instances() const {
+  std::vector<common::InstanceId> out;
+  for (common::InstanceId op = 0; op < k_; ++op) {
+    if (failed_[op]) {
+      out.push_back(op);
+    }
+  }
+  return out;
+}
+
+std::vector<common::InstanceId> PosgScheduler::pending_replies() const {
+  std::vector<common::InstanceId> out;
+  if (state_ != State::kSendAll && state_ != State::kWaitAll) {
+    return out;
+  }
+  for (common::InstanceId op = 0; op < k_; ++op) {
+    if (!failed_[op] && !reply_received_[op]) {
+      out.push_back(op);
+    }
+  }
+  return out;
 }
 
 }  // namespace posg::core

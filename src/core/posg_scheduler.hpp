@@ -28,6 +28,19 @@ namespace posg::core {
 /// Synchronization (Fig. 3.E): when every instance replied for the current
 /// epoch, Ĉ[op] += Δop cancels the accumulated estimation drift without
 /// touching the estimates of tuples scheduled after the markers.
+///
+/// Failure tolerance (extension; DESIGN.md "Fault model and degradation
+/// ladder"): the paper assumes every instance eventually ships sketches
+/// and answers every marker, which turns a single crash into a permanent
+/// WAIT_ALL deadlock. `mark_failed(op)` quarantines a dead instance: it
+/// leaves the candidate set for good, its Ĉ share is redistributed over
+/// the k' survivors, its outstanding marker/reply is abandoned (so an
+/// in-flight epoch completes on the survivors' replies alone), and its
+/// sketch is dropped from billing. If quarantine ever leaves no live
+/// sketch-bearing instance, the scheduler degrades back to ROUND_ROBIN
+/// over the survivors. Failure *detection* is the runtime's job
+/// (runtime/scheduler_runtime.hpp): EOF or an epoch deadline on a
+/// connection is what triggers the call.
 class PosgScheduler final : public Scheduler {
  public:
   enum class State { kRoundRobin, kSendAll, kWaitAll, kRun };
@@ -42,6 +55,29 @@ class PosgScheduler final : public Scheduler {
 
   State state() const noexcept { return state_; }
   common::Epoch epoch() const noexcept { return epoch_; }
+
+  /// Quarantines instance `op`: removes it from every candidate set,
+  /// redistributes its Ĉ share over the survivors, abandons its pending
+  /// marker/reply so the current epoch can complete, and drops its sketch
+  /// from billing. Idempotent. Throws std::invalid_argument when `op` is
+  /// out of range or when it is the last live instance (an empty cluster
+  /// cannot schedule — callers must treat that as a fatal error).
+  void mark_failed(common::InstanceId op);
+
+  bool is_failed(common::InstanceId op) const;
+  /// k' — number of instances still in the candidate set.
+  std::size_t live_instances() const noexcept { return live_count_; }
+  /// Quarantined instances in increasing id order.
+  std::vector<common::InstanceId> failed_instances() const;
+  /// Synchronization replies discarded because they carried a stale epoch
+  /// (or arrived outside an active epoch) — late/duplicate deliveries a
+  /// distributed transport produces; they must never fold into the current
+  /// epoch's bookkeeping.
+  std::uint64_t stale_reply_count() const noexcept { return stale_replies_; }
+  /// Live instances whose SyncReply for the current epoch is still
+  /// outstanding (empty outside SEND_ALL/WAIT_ALL). The runtime's epoch
+  /// deadline uses this to decide whom to quarantine.
+  std::vector<common::InstanceId> pending_replies() const;
 
   /// Extension (the paper's stated future work, Sec. VII): make the
   /// greedy pick latency-aware. `hints[op]` is the one-way data-path
@@ -67,8 +103,11 @@ class PosgScheduler final : public Scheduler {
   common::TimeMs scheduling_estimate(common::InstanceId instance, common::Item item) const;
 
   common::InstanceId greedy_pick() const noexcept;
+  common::InstanceId next_round_robin() noexcept;
   void enter_send_all() noexcept;
   void refresh_global_mean() noexcept;
+  void maybe_complete_epoch() noexcept;
+  bool all_live_shipped() const noexcept;
 
   std::size_t k_;
   PosgConfig config_;
@@ -98,7 +137,10 @@ class PosgScheduler final : public Scheduler {
   /// they are accepted in both SEND_ALL and WAIT_ALL.
   std::vector<bool> reply_received_;
   std::vector<common::TimeMs> reply_delta_;
-  std::size_t replies_received_count_ = 0;
+  /// Quarantine bookkeeping (mark_failed).
+  std::vector<bool> failed_;
+  std::size_t live_count_;
+  std::uint64_t stale_replies_ = 0;
 };
 
 }  // namespace posg::core

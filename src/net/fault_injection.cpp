@@ -1,0 +1,202 @@
+#include "net/fault_injection.hpp"
+
+#include <cerrno>
+#include <system_error>
+#include <thread>
+
+#include "common/prng.hpp"
+#include "common/types.hpp"
+
+namespace posg::net {
+
+namespace {
+
+const char* dir_name(FaultDir dir) { return dir == FaultDir::kSend ? "send" : "recv"; }
+
+}  // namespace
+
+std::string FaultAction::describe() const {
+  const std::string target = std::string(dir_name(dir)) + "#" + std::to_string(frame);
+  switch (kind) {
+    case Kind::kDrop:
+      return "drop " + target;
+    case Kind::kDelay:
+      return "delay " + target + " by " + std::to_string(delay.count()) + "ms";
+    case Kind::kCorrupt:
+      return "corrupt " + target + " byte " + std::to_string(byte_offset) + " xor " +
+             std::to_string(static_cast<unsigned>(xor_mask));
+    case Kind::kDisconnect:
+      return "disconnect after " + target;
+  }
+  return "unknown " + target;
+}
+
+FaultPlan& FaultPlan::drop(FaultDir dir, std::uint64_t frame) {
+  actions_.push_back(FaultAction{FaultAction::Kind::kDrop, dir, frame, {}, 0, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay(FaultDir dir, std::uint64_t frame, std::chrono::milliseconds by) {
+  common::require(by.count() >= 0, "FaultPlan: negative delay");
+  actions_.push_back(FaultAction{FaultAction::Kind::kDelay, dir, frame, by, 0, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt(FaultDir dir, std::uint64_t frame, std::size_t byte_offset,
+                              std::uint8_t xor_mask) {
+  common::require(xor_mask != 0, "FaultPlan: corrupt with a zero mask is a no-op");
+  actions_.push_back(
+      FaultAction{FaultAction::Kind::kCorrupt, dir, frame, {}, byte_offset, xor_mask});
+  return *this;
+}
+
+FaultPlan& FaultPlan::disconnect_after(FaultDir dir, std::uint64_t frame) {
+  actions_.push_back(FaultAction{FaultAction::Kind::kDisconnect, dir, frame, {}, 0, 0});
+  return *this;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, std::uint64_t horizon, std::size_t faults) {
+  common::require(horizon >= 1, "FaultPlan::random: empty horizon");
+  common::Xoshiro256StarStar rng(seed);
+  FaultPlan plan;
+  for (std::size_t i = 0; i < faults; ++i) {
+    const auto dir = rng.next_below(2) == 0 ? FaultDir::kSend : FaultDir::kRecv;
+    const std::uint64_t frame = rng.next_below(horizon);
+    switch (rng.next_below(4)) {
+      case 0:
+        plan.drop(dir, frame);
+        break;
+      case 1:
+        plan.delay(dir, frame, std::chrono::milliseconds(1 + rng.next_below(20)));
+        break;
+      case 2:
+        plan.corrupt(dir, frame, rng.next_below(64),
+                     static_cast<std::uint8_t>(1 + rng.next_below(255)));
+        break;
+      default:
+        plan.disconnect_after(dir, frame);
+        break;
+    }
+  }
+  return plan;
+}
+
+std::vector<const FaultAction*> FaultPlan::for_frame(FaultDir dir, std::uint64_t frame) const {
+  std::vector<const FaultAction*> matches;
+  for (const auto& action : actions_) {
+    if (action.dir == dir && action.frame == frame) {
+      matches.push_back(&action);
+    }
+  }
+  return matches;
+}
+
+FaultInjector::FaultInjector(Socket socket, FaultPlan plan)
+    : socket_(std::move(socket)), plan_(std::move(plan)) {}
+
+void FaultInjector::record(const FaultAction& action) {
+  std::lock_guard lock(mutex_);
+  log_.push_back(action.describe());
+}
+
+void FaultInjector::send_frame(std::span<const std::byte> payload) {
+  if (!socket_.valid()) {
+    // A scripted disconnect already severed the link; behave like a dead
+    // peer rather than like a programming error.
+    throw std::system_error(EPIPE, std::generic_category(), "fault injector: link severed");
+  }
+  const std::uint64_t frame = sent_.fetch_add(1);
+  bool drop = false;
+  bool disconnect = false;
+  std::vector<std::byte> mutated;
+  std::span<const std::byte> outgoing = payload;
+  for (const FaultAction* action : plan_.for_frame(FaultDir::kSend, frame)) {
+    record(*action);
+    switch (action->kind) {
+      case FaultAction::Kind::kDrop:
+        drop = true;
+        break;
+      case FaultAction::Kind::kDelay:
+        std::this_thread::sleep_for(action->delay);
+        break;
+      case FaultAction::Kind::kCorrupt:
+        if (!payload.empty()) {
+          if (mutated.empty()) {
+            mutated.assign(payload.begin(), payload.end());
+          }
+          mutated[action->byte_offset % mutated.size()] ^= std::byte{action->xor_mask};
+          outgoing = mutated;
+        }
+        break;
+      case FaultAction::Kind::kDisconnect:
+        disconnect = true;
+        break;
+    }
+  }
+  if (!drop) {
+    socket_.send_frame(outgoing);
+  }
+  if (disconnect) {
+    socket_.close();
+  }
+}
+
+RecvResult FaultInjector::recv_frame(std::chrono::milliseconds deadline) {
+  while (true) {
+    if (!socket_.valid()) {
+      return RecvResult{RecvStatus::kEof, {}};
+    }
+    RecvResult result = socket_.recv_frame(deadline);
+    if (result.status != RecvStatus::kFrame) {
+      return result;
+    }
+    const std::uint64_t frame = received_.fetch_add(1);
+    bool drop = false;
+    bool disconnect = false;
+    for (const FaultAction* action : plan_.for_frame(FaultDir::kRecv, frame)) {
+      record(*action);
+      switch (action->kind) {
+        case FaultAction::Kind::kDrop:
+          drop = true;
+          break;
+        case FaultAction::Kind::kDelay:
+          std::this_thread::sleep_for(action->delay);
+          break;
+        case FaultAction::Kind::kCorrupt:
+          if (!result.payload.empty()) {
+            result.payload[action->byte_offset % result.payload.size()] ^=
+                std::byte{action->xor_mask};
+          }
+          break;
+        case FaultAction::Kind::kDisconnect:
+          disconnect = true;
+          break;
+      }
+    }
+    if (disconnect) {
+      // Deliver this frame, then sever: the next receive sees EOF — the
+      // exact shape of a peer crashing right after a write.
+      socket_.close();
+    }
+    if (!drop) {
+      return result;
+    }
+    // Dropped: consume the next frame within the same call. The deadline
+    // restarts, which is fine — drops model frame loss, not silence.
+  }
+}
+
+void FaultInjector::close() noexcept { socket_.close(); }
+
+bool FaultInjector::valid() const noexcept { return socket_.valid(); }
+
+std::vector<std::string> FaultInjector::event_log() const {
+  std::lock_guard lock(mutex_);
+  return log_;
+}
+
+std::uint64_t FaultInjector::frames_sent() const noexcept { return sent_.load(); }
+
+std::uint64_t FaultInjector::frames_received() const noexcept { return received_.load(); }
+
+}  // namespace posg::net

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/transport.hpp"
+
+/// Deterministic fault injection for the distributed runtime.
+///
+/// A FaultInjector wraps a Socket behind the FrameTransport interface and
+/// applies a scripted FaultPlan keyed on per-direction frame indices:
+/// drop frame N, delay frame N by D, corrupt byte B of frame N, disconnect
+/// after frame N. Plans are either hand-built (regression tests pinning
+/// one failure mode) or derived from a PRNG seed (FaultPlan::random), so
+/// every failure scenario in ctest is exactly reproducible: the same plan
+/// produces the same fault sequence on every run, asserted via the
+/// injector's event log.
+namespace posg::net {
+
+/// Direction of a frame relative to the wrapped endpoint.
+enum class FaultDir : std::uint8_t {
+  kSend,  ///< frames this endpoint writes
+  kRecv,  ///< frames this endpoint reads
+};
+
+struct FaultAction {
+  enum class Kind : std::uint8_t { kDrop, kDelay, kCorrupt, kDisconnect };
+
+  Kind kind = Kind::kDrop;
+  FaultDir dir = FaultDir::kSend;
+  /// 0-based index of the targeted frame within its direction.
+  std::uint64_t frame = 0;
+  std::chrono::milliseconds delay{0};  ///< kDelay only
+  std::size_t byte_offset = 0;         ///< kCorrupt: offset into the payload (mod size)
+  std::uint8_t xor_mask = 0xFF;        ///< kCorrupt: flipped bits
+
+  /// Stable human-readable form, e.g. "drop send#3"; the injector's event
+  /// log is a sequence of these, which is what the determinism tests
+  /// compare across runs.
+  std::string describe() const;
+};
+
+/// An ordered fault script. Actions targeting the same frame apply in
+/// registration order (so "corrupt then disconnect" is expressible).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& drop(FaultDir dir, std::uint64_t frame);
+  FaultPlan& delay(FaultDir dir, std::uint64_t frame, std::chrono::milliseconds by);
+  FaultPlan& corrupt(FaultDir dir, std::uint64_t frame, std::size_t byte_offset,
+                     std::uint8_t xor_mask = 0xFF);
+  FaultPlan& disconnect_after(FaultDir dir, std::uint64_t frame);
+
+  /// Derives a plan of `faults` scripted actions over the first `horizon`
+  /// frames of each direction from `seed`. Equal seeds yield equal plans
+  /// (bit-for-bit), which makes randomized fault campaigns replayable from
+  /// a single integer.
+  static FaultPlan random(std::uint64_t seed, std::uint64_t horizon, std::size_t faults);
+
+  const std::vector<FaultAction>& actions() const noexcept { return actions_; }
+  bool empty() const noexcept { return actions_.empty(); }
+
+  /// Actions targeting frame `frame` in direction `dir`, in plan order.
+  std::vector<const FaultAction*> for_frame(FaultDir dir, std::uint64_t frame) const;
+
+ private:
+  std::vector<FaultAction> actions_;
+};
+
+/// FrameTransport decorator that executes a FaultPlan against an owned
+/// socket. Thread contract matches Socket: one sender thread and one
+/// receiver thread may operate concurrently; the event log is internally
+/// synchronized.
+class FaultInjector final : public FrameTransport {
+ public:
+  FaultInjector(Socket socket, FaultPlan plan);
+
+  /// Applies any send-direction faults scheduled for this frame. A
+  /// scripted disconnect closes the socket after the write; later sends
+  /// then throw std::system_error(EPIPE) exactly like a dead peer.
+  void send_frame(std::span<const std::byte> payload) override;
+
+  /// Applies recv-direction faults. Dropped frames are consumed off the
+  /// wire and silently skipped; a scripted disconnect delivers the frame,
+  /// then closes the socket so the next receive reports EOF.
+  RecvResult recv_frame(std::chrono::milliseconds deadline) override;
+
+  void close() noexcept override;
+  bool valid() const noexcept override;
+
+  /// Faults applied so far, in application order (FaultAction::describe
+  /// strings). Deterministic for a given plan and frame sequence.
+  std::vector<std::string> event_log() const;
+
+  std::uint64_t frames_sent() const noexcept;
+  std::uint64_t frames_received() const noexcept;
+
+ private:
+  void record(const FaultAction& action);
+
+  Socket socket_;
+  FaultPlan plan_;
+  mutable std::mutex mutex_;  // guards log_ (send/recv threads both append)
+  std::vector<std::string> log_;
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> received_{0};
+};
+
+}  // namespace posg::net

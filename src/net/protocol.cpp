@@ -14,6 +14,7 @@ enum class Tag : std::uint8_t {
   kShipment = 3,
   kSyncReply = 4,
   kEndOfStream = 5,
+  kInstanceFailed = 6,
 };
 
 class Writer {
@@ -98,6 +99,10 @@ std::vector<std::byte> encode(const Message& message) {
           writer.put(value.delta);
         } else if constexpr (std::is_same_v<T, EndOfStream>) {
           writer.put(Tag::kEndOfStream);
+        } else if constexpr (std::is_same_v<T, InstanceFailed>) {
+          writer.put(Tag::kInstanceFailed);
+          writer.put(static_cast<std::uint64_t>(value.instance));
+          writer.put(value.epoch);
         }
       },
       message);
@@ -144,6 +149,13 @@ Message decode(std::span<const std::byte> payload) {
     case Tag::kEndOfStream:
       reader.expect_exhausted();
       return EndOfStream{};
+    case Tag::kInstanceFailed: {
+      InstanceFailed failed;
+      failed.instance = static_cast<common::InstanceId>(reader.take<std::uint64_t>());
+      failed.epoch = reader.take<common::Epoch>();
+      reader.expect_exhausted();
+      return failed;
+    }
   }
   throw std::invalid_argument("net::decode: unknown tag");
 }

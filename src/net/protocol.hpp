@@ -9,13 +9,14 @@
 
 /// Wire protocol between a POSG scheduler process and operator-instance
 /// processes — the distributed deployment the in-process substrates
-/// emulate. Five message kinds:
+/// emulate. Six message kinds:
 ///
 ///   instance -> scheduler:  Hello (registration), SketchShipment
 ///                           (Fig. 1.B, via sketch/serialize.hpp),
 ///                           SyncReply (Fig. 1.E)
 ///   scheduler -> instance:  TupleMessage (data + optional piggy-backed
-///                           SyncRequest, Fig. 1.D), EndOfStream
+///                           SyncRequest, Fig. 1.D), EndOfStream,
+///                           InstanceFailed (quarantine notification)
 ///
 /// Every message is one length-prefixed socket frame (net/socket.hpp)
 /// starting with a one-byte tag.
@@ -24,6 +25,15 @@ namespace posg::net {
 /// Instance registration: "instance `id` is ready on this connection".
 struct Hello {
   common::InstanceId instance;
+};
+
+/// Scheduler -> surviving instances: peer `instance` was quarantined
+/// while epoch `epoch` was current (failure detection; see
+/// runtime/scheduler_runtime.hpp). Informational — survivors may log it
+/// or adjust local expectations; the scheduler has already rebalanced.
+struct InstanceFailed {
+  common::InstanceId instance;
+  common::Epoch epoch;
 };
 
 /// One data tuple routed to an instance, with POSG's optional marker.
@@ -37,7 +47,7 @@ struct TupleMessage {
 struct EndOfStream {};
 
 using Message = std::variant<Hello, TupleMessage, core::SketchShipment, core::SyncReply,
-                             EndOfStream>;
+                             EndOfStream, InstanceFailed>;
 
 /// Encodes a message into one frame payload.
 std::vector<std::byte> encode(const Message& message);

@@ -1,15 +1,18 @@
 #include "net/socket.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
-#include <chrono>
 #include <cstring>
+#include <limits>
 #include <system_error>
 #include <thread>
 
+#include "common/prng.hpp"
 #include "common/types.hpp"
 
 namespace posg::net {
@@ -23,7 +26,9 @@ namespace {
 void write_all(int fd, const std::byte* data, std::size_t size) {
   std::size_t written = 0;
   while (written < size) {
-    const ssize_t n = ::write(fd, data + written, size - written);
+    // MSG_NOSIGNAL: a peer that died mid-stream must surface as an EPIPE
+    // error the scheduler can quarantine, not as a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) {
         continue;
@@ -55,6 +60,31 @@ bool read_all(int fd, std::byte* data, std::size_t size, bool allow_eof) {
     read_so_far += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+/// Waits for the fd to become readable (or EOF/error-readable). Returns
+/// false when `deadline` elapsed first.
+bool wait_readable(int fd, std::chrono::milliseconds deadline) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (true) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        until - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      return false;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(std::min<long long>(
+                                       remaining.count(), std::numeric_limits<int>::max())));
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("socket poll");
+    }
+    if (rc > 0) {
+      return true;  // readable, EOF, or a pending error — read() resolves which
+    }
+  }
 }
 
 sockaddr_un make_address(const std::string& path) {
@@ -116,6 +146,22 @@ std::optional<std::vector<std::byte>> Socket::recv_frame() {
   return payload;
 }
 
+RecvResult Socket::recv_frame(std::chrono::milliseconds deadline) {
+  common::require(valid(), "net: recv on closed socket");
+  // The deadline guards the *start* of the frame only: an idle connection
+  // times out with zero bytes consumed (retry-safe); once the length
+  // prefix starts flowing, the peer is alive and the remainder is read to
+  // completion with plain blocking reads.
+  if (!wait_readable(fd_, deadline)) {
+    return RecvResult{RecvStatus::kTimeout, {}};
+  }
+  auto frame = recv_frame();
+  if (!frame) {
+    return RecvResult{RecvStatus::kEof, {}};
+  }
+  return RecvResult{RecvStatus::kFrame, std::move(*frame)};
+}
+
 Listener::Listener(const std::string& path) : path_(path) {
   ::unlink(path.c_str());
   fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -154,9 +200,13 @@ Socket Listener::accept() {
   }
 }
 
-Socket connect(const std::string& path, int max_attempts) {
+Socket connect(const std::string& path, const ConnectRetryPolicy& policy) {
+  common::require(policy.max_attempts >= 1, "net: connect needs at least one attempt");
+  common::require(policy.multiplier >= 1.0, "net: backoff multiplier must be >= 1");
   const sockaddr_un address = make_address(path);
-  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+  common::SplitMix64 jitter(policy.jitter_seed);
+  double backoff_ms = static_cast<double>(policy.initial_backoff.count());
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) {
       throw_errno("net: socket");
@@ -168,7 +218,18 @@ Socket connect(const std::string& path, int max_attempts) {
     if (errno != ENOENT && errno != ECONNREFUSED) {
       throw_errno("net: connect");
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (attempt + 1 == policy.max_attempts) {
+      break;  // no point sleeping after the last refusal
+    }
+    // Full sleep in [backoff/2, backoff): jitter decorrelates a herd of
+    // clients hammering one listener; the SplitMix64 stream keeps the
+    // schedule reproducible for a given seed.
+    const double uniform =
+        0.5 + 0.5 * (static_cast<double>(jitter.next() >> 11) * 0x1.0p-53);
+    const auto sleep_ms = static_cast<long long>(backoff_ms * uniform);
+    std::this_thread::sleep_for(std::chrono::milliseconds(std::max(1LL, sleep_ms)));
+    backoff_ms = std::min(backoff_ms * policy.multiplier,
+                          static_cast<double>(policy.max_backoff.count()));
   }
   throw std::runtime_error("net: connect: server at " + path + " never came up");
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -14,7 +15,26 @@
 /// to demonstrate and test the wire protocol (net/protocol.hpp) without
 /// pulling in an async runtime. Blocking I/O; one socket per peer; every
 /// syscall failure surfaces as std::system_error.
+///
+/// Fault-tolerance hardening (see DESIGN.md "Fault model"):
+///   - sends never raise SIGPIPE (MSG_NOSIGNAL) — a dead peer surfaces as
+///     std::system_error(EPIPE) the caller can turn into a quarantine,
+///   - receives accept an optional poll-based deadline so a reader thread
+///     can distinguish "peer is silent" from "peer is gone",
+///   - connect retries with exponential backoff + deterministic jitter.
 namespace posg::net {
+
+/// Outcome of a deadline-bounded receive.
+enum class RecvStatus {
+  kFrame,    ///< one complete frame received
+  kEof,      ///< orderly peer shutdown at a frame boundary
+  kTimeout,  ///< deadline expired before the frame's first byte
+};
+
+struct RecvResult {
+  RecvStatus status = RecvStatus::kEof;
+  std::vector<std::byte> payload;  ///< filled only when status == kFrame
+};
 
 /// Owning file descriptor (move-only).
 class Socket {
@@ -32,12 +52,20 @@ class Socket {
   int fd() const noexcept { return fd_; }
 
   /// Sends one length-prefixed frame (u32 little-endian length + payload).
-  /// Blocks until fully written.
+  /// Blocks until fully written. A closed/reset peer surfaces as
+  /// std::system_error(EPIPE/ECONNRESET), never as SIGPIPE.
   void send_frame(std::span<const std::byte> payload);
 
   /// Receives one frame. Returns std::nullopt on orderly peer shutdown
   /// (EOF at a frame boundary); throws on mid-frame EOF or I/O errors.
   std::optional<std::vector<std::byte>> recv_frame();
+
+  /// Deadline-bounded receive. Waits at most `deadline` for the frame to
+  /// *start*; once the length prefix begins arriving the frame is read to
+  /// completion (a peer that stalls mid-frame past the deadline has broken
+  /// framing and raises std::runtime_error). Returns kTimeout with no
+  /// bytes consumed when the connection stayed idle — safe to retry.
+  RecvResult recv_frame(std::chrono::milliseconds deadline);
 
   void close() noexcept;
 
@@ -69,9 +97,24 @@ class Listener {
   int fd_ = -1;
 };
 
-/// Connects to a listening Unix-domain socket, retrying briefly so a
-/// client may start before its server finishes binding.
-Socket connect(const std::string& path, int max_attempts = 50);
+/// Retry schedule for `connect`: exponential backoff with deterministic
+/// jitter (SplitMix64 from `jitter_seed`), capped at `max_backoff`.
+/// The defaults cover ~6 s of server startup slack — the same budget the
+/// old fixed 50 × 20 ms loop gave — while probing aggressively early.
+struct ConnectRetryPolicy {
+  int max_attempts = 12;
+  std::chrono::milliseconds initial_backoff{5};
+  std::chrono::milliseconds max_backoff{1000};
+  double multiplier = 2.0;
+  /// Seed of the jitter stream; equal seeds reproduce the exact sleep
+  /// schedule (each sleep is backoff × uniform[0.5, 1.0)).
+  std::uint64_t jitter_seed = 0x9E3779B9ULL;
+};
+
+/// Connects to a listening Unix-domain socket, retrying with exponential
+/// backoff + jitter so a client may start before its server finishes
+/// binding. Throws std::runtime_error once the schedule is exhausted.
+Socket connect(const std::string& path, const ConnectRetryPolicy& policy = {});
 
 /// Connected socket pair (in-process tests).
 std::pair<Socket, Socket> socket_pair();

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "net/socket.hpp"
+
+/// Frame-oriented transport abstraction.
+///
+/// The runtime layer (src/runtime/) drives scheduler ↔ instance links
+/// through this interface so the same code paths run over a plain socket
+/// in production and over a net::FaultInjector (net/fault_injection.hpp)
+/// in the deterministic failure tests.
+namespace posg::net {
+
+class FrameTransport {
+ public:
+  virtual ~FrameTransport() = default;
+
+  /// Sends one frame; throws on a dead peer (EPIPE/ECONNRESET), never
+  /// raises SIGPIPE.
+  virtual void send_frame(std::span<const std::byte> payload) = 0;
+
+  /// Deadline-bounded receive (see Socket::recv_frame(deadline)).
+  virtual RecvResult recv_frame(std::chrono::milliseconds deadline) = 0;
+
+  virtual void close() noexcept = 0;
+  virtual bool valid() const noexcept = 0;
+};
+
+/// Pass-through adapter over an owned socket.
+class SocketTransport final : public FrameTransport {
+ public:
+  explicit SocketTransport(Socket socket) noexcept : socket_(std::move(socket)) {}
+
+  void send_frame(std::span<const std::byte> payload) override { socket_.send_frame(payload); }
+  RecvResult recv_frame(std::chrono::milliseconds deadline) override {
+    return socket_.recv_frame(deadline);
+  }
+  void close() noexcept override { socket_.close(); }
+  bool valid() const noexcept override { return socket_.valid(); }
+
+  Socket& socket() noexcept { return socket_; }
+
+ private:
+  Socket socket_;
+};
+
+}  // namespace posg::net

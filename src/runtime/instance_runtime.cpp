@@ -1,0 +1,104 @@
+#include "runtime/instance_runtime.hpp"
+
+#include <utility>
+
+#include "core/instance_tracker.hpp"
+#include "net/protocol.hpp"
+
+namespace posg::runtime {
+
+InstanceRuntime::InstanceRuntime(common::InstanceId id, InstanceRuntimeConfig config)
+    : id_(id), config_(std::move(config)) {
+  if (!config_.cost_model) {
+    config_.cost_model = [](common::Item item) {
+      return 1.0 + static_cast<common::TimeMs>(item % 64);
+    };
+  }
+}
+
+InstanceRuntime::Stats InstanceRuntime::run(net::FrameTransport& link) {
+  Stats stats;
+  link.send_frame(net::encode(net::Hello{id_}));
+  core::InstanceTracker tracker(id_, config_.posg);
+
+  const auto crash = [&] {
+    // A crash is the *absence* of protocol: sever the link with no
+    // EndOfStream handshake, exactly what the scheduler's failure
+    // detector must cope with.
+    stats.crashed = true;
+    link.close();
+  };
+
+  bool muted = false;
+  while (!stop_.load()) {
+    net::RecvResult received;
+    try {
+      received = link.recv_frame(config_.recv_deadline);
+    } catch (const std::exception&) {
+      break;  // transport error — scheduler side is gone
+    }
+    if (received.status == net::RecvStatus::kTimeout) {
+      continue;
+    }
+    if (received.status == net::RecvStatus::kEof) {
+      break;
+    }
+
+    net::Message message;
+    try {
+      message = net::decode(received.payload);
+    } catch (const std::invalid_argument&) {
+      ++stats.decode_errors;  // corrupt frame: drop it, stay alive
+      continue;
+    }
+
+    if (std::holds_alternative<net::EndOfStream>(message)) {
+      break;
+    }
+    if (std::holds_alternative<net::InstanceFailed>(message)) {
+      ++stats.peer_failures_seen;
+      continue;
+    }
+    const auto* tuple = std::get_if<net::TupleMessage>(&message);
+    if (tuple == nullptr) {
+      continue;  // scheduler-bound message echoed back? ignore defensively
+    }
+
+    if (config_.crash_after_executed != 0 && stats.executed + 1 == config_.crash_after_executed) {
+      crash();
+      return stats;
+    }
+
+    const common::TimeMs cost = config_.cost_model(tuple->item);
+    try {
+      if (auto shipment = tracker.on_executed(tuple->item, cost)) {
+        if (!muted) {
+          link.send_frame(net::encode(*shipment));
+          ++stats.shipments;
+        }
+      }
+      ++stats.executed;
+      stats.simulated_work += cost;
+      if (tuple->marker) {
+        if (config_.crash_on_marker_epoch != 0 &&
+            tuple->marker->epoch >= config_.crash_on_marker_epoch) {
+          crash();  // die between the marker's execution and its SyncReply
+          return stats;
+        }
+        if (config_.mute_from_epoch != 0 && tuple->marker->epoch >= config_.mute_from_epoch) {
+          muted = true;  // alive and executing, but feedback-silent
+        }
+        if (muted) {
+          continue;
+        }
+        link.send_frame(net::encode(tracker.on_sync_request(*tuple->marker)));
+        ++stats.replies_sent;
+      }
+    } catch (const std::system_error&) {
+      break;  // feedback path severed — nothing left to report to
+    }
+  }
+  return stats;
+}
+
+}  // namespace posg::runtime

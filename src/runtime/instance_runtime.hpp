@@ -1,0 +1,85 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "net/transport.hpp"
+
+namespace posg::runtime {
+
+/// Configuration of one operator-instance event loop.
+struct InstanceRuntimeConfig {
+  core::PosgConfig posg;
+
+  /// Simulated content-dependent execution cost (a real operator would be
+  /// timed instead). Default: items 0..63 cost 1..64 units.
+  std::function<common::TimeMs(common::Item)> cost_model;
+
+  /// Receive poll tick — bounds how fast run() notices request_stop().
+  std::chrono::milliseconds recv_deadline{200};
+
+  /// Deterministic fault injection at the process level: crash (sever the
+  /// link without the EndOfStream handshake) right before executing tuple
+  /// number `crash_after_executed` (1-based count; 0 disables).
+  std::uint64_t crash_after_executed = 0;
+
+  /// Crash upon receiving the first synchronization marker of this epoch
+  /// or any later one, *between* the marker's execution and its SyncReply —
+  /// the exact window the scheduler's WAIT_ALL liveness hole lives in.
+  /// (At-or-after, not exact-match: epoch churn can supersede epoch E
+  /// before this instance's piggybacked marker arrives, so the first
+  /// marker it sees may already carry E+1. Epochs start at 1; 0 disables.)
+  common::Epoch crash_on_marker_epoch = 0;
+
+  /// Go permanently mute upon receiving this epoch's synchronization
+  /// marker: keep executing tuples, but ship no sketches and send no
+  /// replies from then on. A merely *lost* reply self-heals (the mute
+  /// instance's next shipment supersedes the stalled epoch); a mute peer
+  /// starves WAIT_ALL forever, which is exactly what the scheduler's
+  /// epoch deadline exists for (epochs start at 1; 0 disables).
+  common::Epoch mute_from_epoch = 0;
+};
+
+/// The operator-instance side of the distributed runtime: one event loop
+/// over a FrameTransport, extracted from examples/distributed_posg.cpp so
+/// tests can drive a full distributed run in-process (threads + socket
+/// pairs) and the example can run it in forked processes — same code path.
+class InstanceRuntime {
+ public:
+  struct Stats {
+    std::uint64_t executed = 0;
+    common::TimeMs simulated_work = 0.0;
+    std::uint64_t shipments = 0;
+    std::uint64_t replies_sent = 0;
+    /// InstanceFailed notifications received (peers quarantined by the
+    /// scheduler while we were running).
+    std::uint64_t peer_failures_seen = 0;
+    /// Frames that failed to decode (dropped, not fatal — a corrupt frame
+    /// must not take the instance down with it).
+    std::uint64_t decode_errors = 0;
+    /// True when a scripted crash (InstanceRuntimeConfig) ended the run.
+    bool crashed = false;
+  };
+
+  InstanceRuntime(common::InstanceId id, InstanceRuntimeConfig config);
+
+  /// Registers (Hello), then executes tuples until EndOfStream, link EOF
+  /// (scheduler gone), a scripted crash, or request_stop().
+  Stats run(net::FrameTransport& link);
+
+  /// Asynchronously asks run() to return at its next poll tick.
+  void request_stop() noexcept { stop_.store(true); }
+
+  common::InstanceId id() const noexcept { return id_; }
+
+ private:
+  common::InstanceId id_;
+  InstanceRuntimeConfig config_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace posg::runtime

@@ -1,0 +1,315 @@
+#include "runtime/scheduler_runtime.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "net/protocol.hpp"
+
+namespace posg::runtime {
+
+SchedulerRuntime::SchedulerRuntime(const SchedulerRuntimeConfig& config)
+    : config_(config),
+      k_(config.instances),
+      scheduler_(config.instances, config.posg),
+      links_(config.instances),
+      send_mutexes_(config.instances),
+      dead_(config.instances),
+      routed_(config.instances, 0) {
+  common::require(k_ >= 1, "SchedulerRuntime: need at least one instance");
+  for (std::size_t op = 0; op < k_; ++op) {
+    send_mutexes_[op] = std::make_unique<std::mutex>();
+    dead_[op] = std::make_unique<std::atomic<bool>>(false);
+  }
+}
+
+SchedulerRuntime::~SchedulerRuntime() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructor shutdown is best-effort; readers are joined regardless.
+  }
+}
+
+void SchedulerRuntime::attach(common::InstanceId op, std::unique_ptr<net::FrameTransport> link) {
+  common::require(op < k_, "SchedulerRuntime: attach out of range");
+  common::require(!started_, "SchedulerRuntime: attach after start");
+  common::require(links_[op] == nullptr, "SchedulerRuntime: instance already attached");
+  common::require(link != nullptr && link->valid(), "SchedulerRuntime: invalid link");
+  links_[op] = std::move(link);
+}
+
+void SchedulerRuntime::accept_registrations(net::Listener& listener) {
+  const std::size_t max_attempts =
+      config_.max_registration_attempts != 0 ? config_.max_registration_attempts : 2 * k_ + 8;
+  std::size_t attached = 0;
+  for (std::size_t op = 0; op < k_; ++op) {
+    if (links_[op] != nullptr) {
+      ++attached;
+    }
+  }
+  std::size_t attempts = 0;
+  while (attached < k_) {
+    if (++attempts > max_attempts) {
+      throw std::runtime_error("SchedulerRuntime: registration attempts exhausted (" +
+                               std::to_string(attached) + "/" + std::to_string(k_) +
+                               " instances registered)");
+    }
+    net::Socket socket = listener.accept();
+    // The Hello's instance id is an unvalidated wire value: bound-check it
+    // and reject duplicates before it ever indexes the link table.
+    try {
+      net::RecvResult first = socket.recv_frame(config_.hello_deadline);
+      if (first.status != net::RecvStatus::kFrame) {
+        continue;  // silent or instantly-dead peer
+      }
+      const auto message = net::decode(first.payload);
+      const auto* hello = std::get_if<net::Hello>(&message);
+      if (hello == nullptr || hello->instance >= k_ || links_[hello->instance] != nullptr) {
+        continue;  // wrong message kind, out-of-range id, or duplicate id
+      }
+      links_[hello->instance] = std::make_unique<net::SocketTransport>(std::move(socket));
+      ++attached;
+    } catch (const std::exception&) {
+      continue;  // malformed first frame / transport error — reject peer
+    }
+  }
+}
+
+void SchedulerRuntime::start() {
+  common::require(!started_, "SchedulerRuntime: started twice");
+  for (std::size_t op = 0; op < k_; ++op) {
+    common::require(links_[op] != nullptr,
+                    "SchedulerRuntime: start with unattached instance " + std::to_string(op));
+  }
+  started_ = true;
+  last_feedback_.assign(k_, std::chrono::steady_clock::now());
+  readers_.reserve(k_);
+  for (common::InstanceId op = 0; op < k_; ++op) {
+    readers_.emplace_back([this, op] { reader_loop(op); });
+  }
+}
+
+void SchedulerRuntime::send_locked(common::InstanceId op, const std::vector<std::byte>& frame) {
+  std::lock_guard lock(*send_mutexes_[op]);
+  links_[op]->send_frame(frame);
+}
+
+bool SchedulerRuntime::handle_failure(common::InstanceId op, const std::string& reason) {
+  common::Epoch failed_epoch = 0;
+  std::vector<common::InstanceId> survivors;
+  {
+    std::lock_guard lock(mutex_);
+    if (scheduler_.is_failed(op)) {
+      return true;  // EOF and epoch deadline may both report the same crash
+    }
+    if (scheduler_.live_instances() <= 1) {
+      fatal_.store(true);
+      quarantine_log_.push_back({op, reason + " (last live instance)"});
+      return false;
+    }
+    scheduler_.mark_failed(op);
+    dead_[op]->store(true);
+    failed_epoch = scheduler_.epoch();
+    quarantine_log_.push_back({op, reason});
+    for (common::InstanceId other = 0; other < k_; ++other) {
+      if (!scheduler_.is_failed(other)) {
+        survivors.push_back(other);
+      }
+    }
+  }
+  if (config_.announce_failures && !draining_.load()) {
+    const auto frame = net::encode(net::InstanceFailed{op, failed_epoch});
+    for (const common::InstanceId other : survivors) {
+      try {
+        send_locked(other, frame);
+      } catch (const std::exception&) {
+        // The survivor may itself be dying; its own reader/send path will
+        // quarantine it — never recurse from an announcement.
+      }
+    }
+  }
+  return true;
+}
+
+void SchedulerRuntime::check_epoch_deadline_locked() {
+  if (config_.epoch_deadline.count() <= 0) {
+    return;
+  }
+  // Epoch churn makes a fixed (state, epoch) watch useless: any survivor's
+  // shipment opens a fresh epoch (Fig. 3.F), so a feedback-mute peer never
+  // pins one epoch — it just keeps *every* epoch from completing. What
+  // identifies it is recency: it owes the in-flight epoch a reply and has
+  // said nothing at all for the whole deadline, while healthy instances
+  // keep shipping and replying.
+  const auto state = scheduler_.state();
+  if (state != core::PosgScheduler::State::kSendAll &&
+      state != core::PosgScheduler::State::kWaitAll) {
+    return;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  for (const common::InstanceId op : scheduler_.pending_replies()) {
+    if (scheduler_.live_instances() <= 1) {
+      break;  // keep the last survivor even if its reply was lost
+    }
+    if (now - last_feedback_[op] < config_.epoch_deadline) {
+      continue;
+    }
+    scheduler_.mark_failed(op);
+    dead_[op]->store(true);
+    quarantine_log_.push_back({op, "epoch deadline: no feedback since the epoch started"});
+  }
+}
+
+common::InstanceId SchedulerRuntime::route(common::Item item, common::SeqNo seq) {
+  common::require(started_, "SchedulerRuntime: route before start");
+  // One attempt per instance is enough: each failed send quarantines its
+  // target, strictly shrinking the candidate set.
+  for (std::size_t attempt = 0; attempt < k_; ++attempt) {
+    if (fatal_.load()) {
+      break;
+    }
+    core::Decision decision;
+    {
+      std::lock_guard lock(mutex_);
+      check_epoch_deadline_locked();
+      decision = scheduler_.schedule(item, seq);
+    }
+    net::TupleMessage tuple;
+    tuple.seq = seq;
+    tuple.item = item;
+    tuple.marker = decision.sync_request;
+    try {
+      send_locked(decision.instance, net::encode(tuple));
+      ++routed_[decision.instance];
+      return decision.instance;
+    } catch (const std::exception&) {
+      ++reroutes_;
+      if (!handle_failure(decision.instance, "send failed: tuple " + std::to_string(seq))) {
+        break;
+      }
+      // Ĉ already billed the failed attempt; the next synchronization
+      // absorbs that skew (and mark_failed zeroed the dead instance's Ĉ).
+    }
+  }
+  throw std::runtime_error("SchedulerRuntime: no live instance left to route to");
+}
+
+void SchedulerRuntime::reader_loop(common::InstanceId op) {
+  net::FrameTransport& link = *links_[op];
+  while (true) {
+    if (dead_[op]->load()) {
+      return;  // quarantined: nothing this link says matters any more
+    }
+    net::RecvResult received;
+    try {
+      received = link.recv_frame(config_.recv_deadline);
+    } catch (const std::exception&) {
+      handle_failure(op, "transport error on feedback path");
+      return;
+    }
+    if (received.status == net::RecvStatus::kTimeout) {
+      if (draining_.load() && std::chrono::steady_clock::now() > drain_deadline_) {
+        return;  // shutdown grace period expired; stop waiting for EOF
+      }
+      continue;
+    }
+    if (received.status == net::RecvStatus::kEof) {
+      if (!draining_.load()) {
+        handle_failure(op, "connection EOF");
+      }
+      return;
+    }
+    net::Message message;
+    try {
+      message = net::decode(received.payload);
+    } catch (const std::invalid_argument&) {
+      // A peer speaking garbage is as gone as a dead one — quarantine
+      // rather than risk folding corrupt feedback into Ĉ.
+      handle_failure(op, "undecodable frame");
+      return;
+    }
+    try {
+      std::lock_guard lock(mutex_);
+      last_feedback_[op] = std::chrono::steady_clock::now();
+      if (const auto* shipment = std::get_if<core::SketchShipment>(&message)) {
+        scheduler_.on_sketches(*shipment);
+      } else if (const auto* reply = std::get_if<core::SyncReply>(&message)) {
+        scheduler_.on_sync_reply(*reply);
+      }
+      // Data-path messages echoed at the scheduler are ignored.
+    } catch (const std::invalid_argument&) {
+      handle_failure(op, "protocol violation in feedback message");
+      return;
+    }
+  }
+}
+
+void SchedulerRuntime::finish() {
+  if (!started_ || finished_) {
+    finished_ = true;
+    return;
+  }
+  finished_ = true;
+  drain_deadline_ = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  draining_.store(true);
+  const auto eos = net::encode(net::EndOfStream{});
+  for (common::InstanceId op = 0; op < k_; ++op) {
+    bool failed;
+    {
+      std::lock_guard lock(mutex_);
+      failed = scheduler_.is_failed(op);
+    }
+    if (failed) {
+      continue;
+    }
+    try {
+      send_locked(op, eos);
+    } catch (const std::exception&) {
+      // Died at the finish line; its reader observes the EOF.
+    }
+  }
+  for (auto& reader : readers_) {
+    if (reader.joinable()) {
+      reader.join();
+    }
+  }
+  for (auto& link : links_) {
+    if (link) {
+      link->close();
+    }
+  }
+}
+
+core::PosgScheduler::State SchedulerRuntime::state() const {
+  std::lock_guard lock(mutex_);
+  return scheduler_.state();
+}
+
+common::Epoch SchedulerRuntime::epoch() const {
+  std::lock_guard lock(mutex_);
+  return scheduler_.epoch();
+}
+
+std::size_t SchedulerRuntime::live_instances() const {
+  std::lock_guard lock(mutex_);
+  return scheduler_.live_instances();
+}
+
+std::vector<common::InstanceId> SchedulerRuntime::quarantined() const {
+  std::lock_guard lock(mutex_);
+  return scheduler_.failed_instances();
+}
+
+std::vector<SchedulerRuntime::QuarantineEvent> SchedulerRuntime::quarantine_log() const {
+  std::lock_guard lock(mutex_);
+  return quarantine_log_;
+}
+
+std::vector<std::uint64_t> SchedulerRuntime::routed_counts() const { return routed_; }
+
+std::uint64_t SchedulerRuntime::stale_replies() const {
+  std::lock_guard lock(mutex_);
+  return scheduler_.stale_reply_count();
+}
+
+}  // namespace posg::runtime

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/posg_scheduler.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+
+namespace posg::runtime {
+
+/// Configuration of the scheduler-side runtime.
+struct SchedulerRuntimeConfig {
+  std::size_t instances = 3;
+  core::PosgConfig posg;
+
+  /// Reader poll tick: bounds how fast a reader notices shutdown.
+  std::chrono::milliseconds recv_deadline{100};
+
+  /// Synchronization liveness bound: while an epoch is in flight
+  /// (SEND_ALL / WAIT_ALL), an instance that still owes the current
+  /// epoch's reply *and* has produced no feedback at all (no shipment, no
+  /// reply) for this long is quarantined. A single lost reply self-heals
+  /// — the next shipment from that instance opens a fresh epoch (Fig.
+  /// 3.F) — so this only fires for peers that went feedback-mute, the one
+  /// failure mode EOF detection cannot see. 0 disables the deadline.
+  std::chrono::milliseconds epoch_deadline{2000};
+
+  /// Wait budget for each Hello during registration.
+  std::chrono::milliseconds hello_deadline{2000};
+
+  /// Broadcast net::InstanceFailed to survivors on quarantine.
+  bool announce_failures = true;
+
+  /// Registration attempts allowed before giving up (0 = 2k + 8).
+  std::size_t max_registration_attempts = 0;
+};
+
+/// The scheduler side of the distributed runtime, extracted from
+/// examples/distributed_posg.cpp: owns one FrameTransport per instance,
+/// one reader thread per link for the feedback path (shipments, replies),
+/// and the PosgScheduler behind a mutex.
+///
+/// Failure detection: EOF or a transport/decode error on a link, a failed
+/// send, or the epoch deadline each quarantine the instance via
+/// PosgScheduler::mark_failed; routing continues on the k' survivors and
+/// a tuple whose send failed is transparently rerouted. Only the death of
+/// the *last* live instance is fatal (route() then throws).
+class SchedulerRuntime {
+ public:
+  struct QuarantineEvent {
+    common::InstanceId instance;
+    std::string reason;
+  };
+
+  explicit SchedulerRuntime(const SchedulerRuntimeConfig& config);
+  ~SchedulerRuntime();
+
+  SchedulerRuntime(const SchedulerRuntime&) = delete;
+  SchedulerRuntime& operator=(const SchedulerRuntime&) = delete;
+
+  /// Attaches an established link for instance `op` (in-process tests).
+  void attach(common::InstanceId op, std::unique_ptr<net::FrameTransport> link);
+
+  /// Accepts registrations until every instance is attached: each peer
+  /// must open with a Hello carrying an unclaimed id in [0, k). A
+  /// connection whose first frame is missing, malformed, out of range, or
+  /// a duplicate id is rejected (closed) — a wire value never indexes the
+  /// link table unvalidated. Throws std::runtime_error once the attempt
+  /// budget is exhausted.
+  void accept_registrations(net::Listener& listener);
+
+  /// Spawns the reader threads. All k links must be attached.
+  void start();
+
+  /// Routes one tuple: schedules, sends (with any piggy-backed marker),
+  /// and on a dead target quarantines + reroutes until a live instance
+  /// accepts it. Returns the instance that received the tuple. Throws
+  /// std::runtime_error when no live instance remains.
+  common::InstanceId route(common::Item item, common::SeqNo seq);
+
+  /// Sends EndOfStream to the survivors, drains the feedback path, joins
+  /// the readers and closes every link. Idempotent.
+  void finish();
+
+  // --- observability (all safe to call concurrently with the readers) ---
+  core::PosgScheduler::State state() const;
+  common::Epoch epoch() const;
+  std::size_t live_instances() const;
+  std::vector<common::InstanceId> quarantined() const;
+  std::vector<QuarantineEvent> quarantine_log() const;
+  std::vector<std::uint64_t> routed_counts() const;
+  std::uint64_t reroutes() const noexcept { return reroutes_; }
+  std::uint64_t stale_replies() const;
+
+  /// Access to the scheduler for single-threaded phases (before start()
+  /// or after finish()).
+  core::PosgScheduler& scheduler() noexcept { return scheduler_; }
+
+ private:
+  void reader_loop(common::InstanceId op);
+  /// Quarantines `op` (idempotent) and broadcasts InstanceFailed to the
+  /// survivors. Returns false when `op` was the last live instance (the
+  /// run is lost; callers decide whether that is fatal).
+  bool handle_failure(common::InstanceId op, const std::string& reason);
+  void check_epoch_deadline_locked();
+  void send_locked(common::InstanceId op, const std::vector<std::byte>& frame);
+
+  SchedulerRuntimeConfig config_;
+  std::size_t k_;
+  core::PosgScheduler scheduler_;
+  mutable std::mutex mutex_;  // guards scheduler_ and quarantine_log_
+  std::vector<std::unique_ptr<net::FrameTransport>> links_;
+  /// Per-link send serialization: route(), failure announcements and
+  /// EndOfStream may write to the same link from different threads, and
+  /// interleaved write_all calls would shear frames.
+  std::vector<std::unique_ptr<std::mutex>> send_mutexes_;
+  /// Set when an instance is quarantined; its reader exits at the next
+  /// poll tick instead of waiting on a link that may never close (the
+  /// link itself is only closed in finish(), after the readers joined, so
+  /// no thread ever closes a socket another thread is polling).
+  std::vector<std::unique_ptr<std::atomic<bool>>> dead_;
+  std::vector<std::thread> readers_;
+  std::vector<QuarantineEvent> quarantine_log_;
+  std::atomic<bool> draining_{false};
+  std::chrono::steady_clock::time_point drain_deadline_{};
+  std::atomic<bool> fatal_{false};
+  bool started_ = false;
+  bool finished_ = false;
+  std::vector<std::uint64_t> routed_;
+  std::uint64_t reroutes_ = 0;
+  /// Epoch-deadline tracking: when each instance last produced feedback
+  /// (any decodable frame on its reader). Guarded by mutex_.
+  std::vector<std::chrono::steady_clock::time_point> last_feedback_;
+};
+
+}  // namespace posg::runtime

@@ -347,7 +347,10 @@ TEST(BusyWait, WaitsApproximatelyTheRequestedTime) {
   busy_wait_for(2.0);
   const auto elapsed = elapsed_ms(start, Clock::now());
   EXPECT_GE(elapsed, 2.0);
-  EXPECT_LT(elapsed, 10.0);
+  // The contract is a lower bound; the ceiling only guards against an
+  // unbounded spin. Keep it loose: on a loaded CI machine (parallel ctest,
+  // sanitizer builds) the waiting thread can lose the CPU for tens of ms.
+  EXPECT_LT(elapsed, 200.0);
 }
 
 TEST(SyntheticSpout, EmitsAllItemsWithPacing) {

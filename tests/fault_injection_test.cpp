@@ -1,0 +1,232 @@
+// Tests of the hardened transport layer (src/net/socket.*) and the
+// deterministic fault injector (src/net/fault_injection.*): deadline
+// receives, connect retry with backoff, and scripted drop / delay /
+// corrupt / disconnect faults whose sequence is reproducible from a seed.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/fault_injection.hpp"
+#include "net/socket.hpp"
+
+namespace {
+
+using namespace posg;
+using net::FaultDir;
+using net::FaultInjector;
+using net::FaultPlan;
+using Clock = std::chrono::steady_clock;
+
+std::vector<std::byte> bytes(std::initializer_list<int> values) {
+  std::vector<std::byte> out;
+  for (int v : values) {
+    out.push_back(static_cast<std::byte>(v));
+  }
+  return out;
+}
+
+TEST(SocketDeadline, DistinguishesSilenceFromShutdown) {
+  auto [a, b] = net::socket_pair();
+  // Idle peer: timeout, no bytes consumed, safe to retry.
+  auto idle = b.recv_frame(std::chrono::milliseconds(30));
+  EXPECT_EQ(idle.status, net::RecvStatus::kTimeout);
+  // A frame sent later is still delivered intact by the retried call.
+  a.send_frame(bytes({1, 2, 3}));
+  auto framed = b.recv_frame(std::chrono::milliseconds(1000));
+  ASSERT_EQ(framed.status, net::RecvStatus::kFrame);
+  EXPECT_EQ(framed.payload, bytes({1, 2, 3}));
+  // Orderly shutdown: EOF, not timeout, not an exception.
+  a.close();
+  auto eof = b.recv_frame(std::chrono::milliseconds(1000));
+  EXPECT_EQ(eof.status, net::RecvStatus::kEof);
+}
+
+TEST(SocketDeadline, SendToClosedPeerThrowsInsteadOfSigpipe) {
+  auto [a, b] = net::socket_pair();
+  b.close();
+  // Without MSG_NOSIGNAL this would kill the process with SIGPIPE; the
+  // hardened send surfaces a catchable error instead.
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 64; ++i) {
+          a.send_frame(bytes({9}));
+        }
+      },
+      std::system_error);
+}
+
+TEST(ConnectRetry, GivesUpAfterExhaustedSchedule) {
+  net::ConnectRetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff = std::chrono::milliseconds(1);
+  policy.max_backoff = std::chrono::milliseconds(4);
+  EXPECT_THROW(net::connect("/tmp/posg_no_such_listener.sock", policy), std::runtime_error);
+}
+
+TEST(ConnectRetry, SurvivesServerThatBindsLate) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "posg_late_bind_test.sock").string();
+  std::remove(path.c_str());
+  net::Socket client;
+  std::thread connector([&] {
+    net::ConnectRetryPolicy policy;
+    policy.initial_backoff = std::chrono::milliseconds(2);
+    client = net::connect(path, policy);
+  });
+  // Bind only after the client has started (and failed) its first attempts.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  net::Listener listener(path);
+  net::Socket server = listener.accept();
+  connector.join();
+  client.send_frame(bytes({42}));
+  auto received = server.recv_frame();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(*received, bytes({42}));
+}
+
+TEST(FaultPlan, SameSeedReproducesIdenticalPlan) {
+  const auto first = FaultPlan::random(42, 100, 10);
+  const auto second = FaultPlan::random(42, 100, 10);
+  ASSERT_EQ(first.actions().size(), second.actions().size());
+  ASSERT_EQ(first.actions().size(), 10u);
+  for (std::size_t i = 0; i < first.actions().size(); ++i) {
+    EXPECT_EQ(first.actions()[i].describe(), second.actions()[i].describe());
+  }
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  const auto first = FaultPlan::random(1, 100, 10);
+  const auto second = FaultPlan::random(2, 100, 10);
+  std::vector<std::string> a, b;
+  for (const auto& action : first.actions()) {
+    a.push_back(action.describe());
+  }
+  for (const auto& action : second.actions()) {
+    b.push_back(action.describe());
+  }
+  EXPECT_NE(a, b);
+}
+
+TEST(FaultInjector, DropSwallowsExactlyTheScriptedFrame) {
+  auto [a, b] = net::socket_pair();
+  FaultPlan plan;
+  plan.drop(FaultDir::kSend, 1);
+  FaultInjector injector(std::move(a), plan);
+  injector.send_frame(bytes({0}));
+  injector.send_frame(bytes({1}));  // dropped
+  injector.send_frame(bytes({2}));
+  injector.close();
+  EXPECT_EQ(*b.recv_frame(), bytes({0}));
+  EXPECT_EQ(*b.recv_frame(), bytes({2}));
+  EXPECT_FALSE(b.recv_frame().has_value());
+  EXPECT_EQ(injector.frames_sent(), 3u);
+  ASSERT_EQ(injector.event_log().size(), 1u);
+  EXPECT_EQ(injector.event_log().front(), plan.actions().front().describe());
+}
+
+TEST(FaultInjector, CorruptFlipsTheScriptedByte) {
+  auto [a, b] = net::socket_pair();
+  FaultPlan plan;
+  plan.corrupt(FaultDir::kSend, 0, 2, 0x01);
+  FaultInjector injector(std::move(a), plan);
+  injector.send_frame(bytes({10, 20, 30}));
+  injector.close();
+  EXPECT_EQ(*b.recv_frame(), bytes({10, 20, 30 ^ 0x01}));
+}
+
+TEST(FaultInjector, DelayHoldsTheFrameBack) {
+  auto [a, b] = net::socket_pair();
+  FaultPlan plan;
+  plan.delay(FaultDir::kSend, 0, std::chrono::milliseconds(40));
+  FaultInjector injector(std::move(a), plan);
+  const auto start = Clock::now();
+  injector.send_frame(bytes({5}));
+  const auto elapsed = Clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(40));
+  EXPECT_EQ(*b.recv_frame(), bytes({5}));
+}
+
+TEST(FaultInjector, DisconnectAfterSendSeversTheLink) {
+  auto [a, b] = net::socket_pair();
+  FaultPlan plan;
+  plan.disconnect_after(FaultDir::kSend, 1);
+  FaultInjector injector(std::move(a), plan);
+  injector.send_frame(bytes({0}));
+  injector.send_frame(bytes({1}));  // delivered, then the link dies
+  EXPECT_FALSE(injector.valid());
+  EXPECT_THROW(injector.send_frame(bytes({2})), std::system_error);
+  EXPECT_EQ(*b.recv_frame(), bytes({0}));
+  EXPECT_EQ(*b.recv_frame(), bytes({1}));
+  EXPECT_FALSE(b.recv_frame().has_value());  // peer observes a crash-style EOF
+}
+
+TEST(FaultInjector, RecvDropSkipsToTheNextFrame) {
+  auto [a, b] = net::socket_pair();
+  FaultPlan plan;
+  plan.drop(FaultDir::kRecv, 0);
+  FaultInjector injector(std::move(a), plan);
+  b.send_frame(bytes({0}));  // consumed and discarded
+  b.send_frame(bytes({1}));
+  auto received = injector.recv_frame(std::chrono::milliseconds(1000));
+  ASSERT_EQ(received.status, net::RecvStatus::kFrame);
+  EXPECT_EQ(received.payload, bytes({1}));
+  EXPECT_EQ(injector.frames_received(), 2u);
+}
+
+TEST(FaultInjector, RecvDisconnectDeliversThenReportsEof) {
+  auto [a, b] = net::socket_pair();
+  FaultPlan plan;
+  plan.disconnect_after(FaultDir::kRecv, 0);
+  FaultInjector injector(std::move(a), plan);
+  b.send_frame(bytes({7}));
+  b.send_frame(bytes({8}));  // never seen: the injector kills the link first
+  auto first = injector.recv_frame(std::chrono::milliseconds(1000));
+  ASSERT_EQ(first.status, net::RecvStatus::kFrame);
+  EXPECT_EQ(first.payload, bytes({7}));
+  auto second = injector.recv_frame(std::chrono::milliseconds(1000));
+  EXPECT_EQ(second.status, net::RecvStatus::kEof);
+}
+
+/// Acceptance: the same FaultPlan produces the same fault sequence (and
+/// the same surviving traffic) on every run — asserted by executing one
+/// randomized plan twice over identical streams and comparing the event
+/// logs and the frames the peer actually received.
+TEST(FaultInjector, SamePlanSameTrafficSameFaultSequence) {
+  const auto plan = FaultPlan::random(7, 16, 12);
+  ASSERT_FALSE(plan.empty());
+
+  const auto run_once = [&plan] {
+    auto [a, b] = net::socket_pair();
+    FaultInjector injector(std::move(a), plan);
+    std::vector<std::vector<std::byte>> delivered;
+    std::thread receiver([&b, &delivered] {
+      while (auto frame = b.recv_frame()) {
+        delivered.push_back(std::move(*frame));
+      }
+    });
+    for (int i = 0; i < 16; ++i) {
+      try {
+        injector.send_frame(bytes({i, i + 1, i + 2}));
+      } catch (const std::system_error&) {
+        break;  // scripted disconnect — part of the sequence under test
+      }
+    }
+    injector.close();
+    receiver.join();
+    return std::make_pair(injector.event_log(), delivered);
+  };
+
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_FALSE(first.first.empty());  // the seed's plan fires at least once
+  EXPECT_EQ(first.first, second.first);    // identical fault sequence
+  EXPECT_EQ(first.second, second.second);  // identical surviving traffic
+}
+
+}  // namespace

@@ -18,7 +18,9 @@ using namespace posg;
 
 std::vector<std::byte> bytes_of(const std::string& text) {
   std::vector<std::byte> out(text.size());
-  std::memcpy(out.data(), text.data(), text.size());
+  if (!text.empty()) {
+    std::memcpy(out.data(), text.data(), text.size());
+  }
   return out;
 }
 
@@ -123,6 +125,13 @@ TEST(Protocol, AllMessageKindsRoundTrip) {
   {
     EXPECT_TRUE(std::holds_alternative<net::EndOfStream>(
         net::decode(net::encode(net::EndOfStream{}))));
+  }
+  // InstanceFailed
+  {
+    const auto decoded =
+        std::get<net::InstanceFailed>(net::decode(net::encode(net::InstanceFailed{4, 11})));
+    EXPECT_EQ(decoded.instance, 4u);
+    EXPECT_EQ(decoded.epoch, 11u);
   }
 }
 

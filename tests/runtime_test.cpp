@@ -1,0 +1,369 @@
+// In-process tests of the distributed runtime (src/runtime/): the same
+// SchedulerRuntime / InstanceRuntime event loops the forked example runs,
+// driven here over socket pairs with instance threads — including the
+// failure drills: crash mid-epoch, silent lost reply (epoch deadline),
+// corrupt feedback (quarantine), and registration validation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <numeric>
+#include <thread>
+
+#include "net/fault_injection.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+#include "runtime/instance_runtime.hpp"
+#include "runtime/scheduler_runtime.hpp"
+
+namespace {
+
+using namespace posg;
+using runtime::InstanceRuntime;
+using runtime::InstanceRuntimeConfig;
+using runtime::SchedulerRuntime;
+using runtime::SchedulerRuntimeConfig;
+
+SchedulerRuntimeConfig test_runtime_config(std::size_t k) {
+  SchedulerRuntimeConfig config;
+  config.instances = k;
+  config.posg.window = 32;
+  config.posg.mu = 0.5;
+  config.posg.max_windows_per_epoch = 2;
+  config.recv_deadline = std::chrono::milliseconds(20);
+  config.epoch_deadline = std::chrono::milliseconds(2000);
+  return config;
+}
+
+/// One in-process instance: a thread running the InstanceRuntime loop
+/// over its half of a socket pair (optionally behind a FaultInjector).
+struct TestInstance {
+  InstanceRuntime::Stats stats;
+  std::thread thread;
+
+  void join() {
+    if (thread.joinable()) {
+      thread.join();
+    }
+  }
+};
+
+std::unique_ptr<TestInstance> spawn_instance(common::InstanceId op,
+                                             const InstanceRuntimeConfig& config,
+                                             net::Socket socket) {
+  auto instance = std::make_unique<TestInstance>();
+  instance->thread = std::thread(
+      [op, config, &stats = instance->stats, socket = std::move(socket)]() mutable {
+        net::SocketTransport link(std::move(socket));
+        InstanceRuntime loop(op, config);
+        stats = loop.run(link);
+      });
+  return instance;
+}
+
+/// Routes the stream with light pacing so the instances keep up. An
+/// unpaced loop can push the entire stream through ROUND_ROBIN before the
+/// first sketch shipment even arrives, which would skip the epochs the
+/// failure drills rely on; a brief yield every few tuples models the
+/// backpressure any real source has.
+void route_stream(SchedulerRuntime& rt, common::SeqNo begin, common::SeqNo end) {
+  for (common::SeqNo seq = begin; seq < end; ++seq) {
+    rt.route((seq * 37) % 64, seq);
+    if ((seq & 31) == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+    if (rt.state() == core::PosgScheduler::State::kWaitAll) {
+      // Replies arrive on the reader threads; give them wall-clock.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+/// Routes extra tuples until the scheduler settles in RUN *and stays
+/// there once the instances' backlog has drained*: epochs only progress
+/// through tuple traffic, and a shipment arriving from a still-draining
+/// instance can reopen SEND_ALL right after RUN was observed — so reach
+/// RUN, wait out the in-flight feedback, and re-flush if it reopened.
+void flush_to_run(SchedulerRuntime& rt, common::SeqNo from) {
+  common::SeqNo seq = from;
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 2000 && rt.state() != core::PosgScheduler::State::kRun; ++i) {
+      rt.route(seq % 64, seq);
+      ++seq;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (rt.state() != core::PosgScheduler::State::kRun) {
+      return;  // budget exhausted; the caller's state assertion reports it
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (rt.state() == core::PosgScheduler::State::kRun) {
+      return;  // quiescent: no tuples in flight, no epoch reopened
+    }
+  }
+}
+
+TEST(SchedulerRuntime, FullProtocolCompletesInProcess) {
+  const std::size_t k = 3;
+  const common::SeqNo m = 6000;
+  auto config = test_runtime_config(k);
+  SchedulerRuntime rt(config);
+
+  InstanceRuntimeConfig instance_config;
+  instance_config.posg = config.posg;
+  instance_config.cost_model = [](common::Item item) { return 1.0 + double(item % 8); };
+  std::vector<std::unique_ptr<TestInstance>> instances;
+  for (common::InstanceId op = 0; op < k; ++op) {
+    auto [sched_end, inst_end] = net::socket_pair();
+    rt.attach(op, std::make_unique<net::SocketTransport>(std::move(sched_end)));
+    instances.push_back(spawn_instance(op, instance_config, std::move(inst_end)));
+  }
+  rt.start();
+  route_stream(rt, 0, m);
+  flush_to_run(rt, m);
+  rt.finish();
+  for (auto& instance : instances) {
+    instance->join();
+  }
+
+  std::uint64_t executed = 0;
+  for (const auto& instance : instances) {
+    executed += instance->stats.executed;
+    EXPECT_FALSE(instance->stats.crashed);
+  }
+  EXPECT_GE(executed, m);  // m stream tuples + the flush tail
+  EXPECT_EQ(rt.state(), core::PosgScheduler::State::kRun);
+  EXPECT_EQ(rt.live_instances(), k);
+  EXPECT_TRUE(rt.quarantined().empty());
+  const auto routed = rt.routed_counts();
+  EXPECT_GE(std::accumulate(routed.begin(), routed.end(), std::uint64_t{0}), m);
+}
+
+/// Acceptance drill: with k = 3, one instance dies mid-epoch — after the
+/// scheduler sent its marker, before the SyncReply. The run must drain
+/// the full stream on the 2 survivors with no hang and no crash, report
+/// the quarantined instance, and finish in RUN with k' = 2.
+TEST(SchedulerRuntime, KilledInstanceMidEpochIsQuarantinedAndRunDrains) {
+  const std::size_t k = 3;
+  const common::SeqNo m = 9000;
+  auto config = test_runtime_config(k);
+  SchedulerRuntime rt(config);
+
+  std::vector<std::unique_ptr<TestInstance>> instances;
+  for (common::InstanceId op = 0; op < k; ++op) {
+    InstanceRuntimeConfig instance_config;
+    instance_config.posg = config.posg;
+    if (op == 2) {
+      instance_config.crash_on_marker_epoch = 1;  // die between marker and reply
+    }
+    auto [sched_end, inst_end] = net::socket_pair();
+    rt.attach(op, std::make_unique<net::SocketTransport>(std::move(sched_end)));
+    instances.push_back(spawn_instance(op, instance_config, std::move(inst_end)));
+  }
+  rt.start();
+  route_stream(rt, 0, m);  // must never throw: survivors absorb the work
+  flush_to_run(rt, m);
+  rt.finish();
+  for (auto& instance : instances) {
+    instance->join();
+  }
+
+  EXPECT_TRUE(instances[2]->stats.crashed);
+  EXPECT_EQ(rt.quarantined(), (std::vector<common::InstanceId>{2}));
+  EXPECT_EQ(rt.live_instances(), 2u);
+  EXPECT_EQ(rt.state(), core::PosgScheduler::State::kRun);
+  ASSERT_FALSE(rt.quarantine_log().empty());
+  EXPECT_EQ(rt.quarantine_log().front().instance, 2u);
+  // Delivery accounting (at-most-once): every tuple routed to a survivor
+  // was executed; the only losses are tuples already queued at the dead
+  // instance when it crashed. route() accepted the full stream (it never
+  // threw above), so the survivors drained everything re-routable.
+  const auto routed = rt.routed_counts();
+  const std::uint64_t survivors = instances[0]->stats.executed + instances[1]->stats.executed;
+  EXPECT_EQ(survivors, routed[0] + routed[1]);
+  EXPECT_GE(routed[0] + routed[1] + routed[2], m);
+  // Nothing was routed to instance 2 after its quarantine: its tuple
+  // count stops near the crash point, far below an even share.
+  EXPECT_LT(routed[2], m / k);
+}
+
+/// The WAIT_ALL liveness hole, silent variant: the instance stays alive
+/// and keeps executing but goes feedback-mute (no replies, no shipments).
+/// EOF never comes and no fresh shipment set can supersede the stalled
+/// epoch — only the epoch deadline can unblock the scheduler.
+TEST(SchedulerRuntime, EpochDeadlineQuarantinesSilentlyLostReply) {
+  const std::size_t k = 3;
+  const common::SeqNo m = 6000;
+  auto config = test_runtime_config(k);
+  config.epoch_deadline = std::chrono::milliseconds(600);
+  SchedulerRuntime rt(config);
+
+  std::vector<std::unique_ptr<TestInstance>> instances;
+  for (common::InstanceId op = 0; op < k; ++op) {
+    InstanceRuntimeConfig instance_config;
+    instance_config.posg = config.posg;
+    if (op == 1) {
+      instance_config.mute_from_epoch = 1;  // alive, but feedback-silent
+    }
+    auto [sched_end, inst_end] = net::socket_pair();
+    rt.attach(op, std::make_unique<net::SocketTransport>(std::move(sched_end)));
+    instances.push_back(spawn_instance(op, instance_config, std::move(inst_end)));
+  }
+  rt.start();
+  route_stream(rt, 0, m);  // the kWaitAll pacing gives the deadline wall-clock
+  flush_to_run(rt, m);
+  rt.finish();
+  for (auto& instance : instances) {
+    instance->join();
+  }
+
+  // The mute instance must be quarantined by the deadline. A timeout
+  // detector may legitimately also catch a healthy instance that a loaded
+  // CI machine starved past the deadline, so assert containment, not
+  // exact equality.
+  const auto quarantined = rt.quarantined();
+  EXPECT_TRUE(std::find(quarantined.begin(), quarantined.end(), 1u) != quarantined.end())
+      << "mute instance not quarantined";
+  EXPECT_EQ(rt.live_instances(), k - quarantined.size());
+  EXPECT_GE(rt.live_instances(), 1u);
+  EXPECT_EQ(rt.state(), core::PosgScheduler::State::kRun);
+  bool deadline_reason = false;
+  for (const auto& event : rt.quarantine_log()) {
+    deadline_reason |= event.instance == 1 &&
+                       event.reason.find("epoch deadline") != std::string::npos;
+  }
+  EXPECT_TRUE(deadline_reason);
+  EXPECT_FALSE(instances[1]->stats.crashed);  // it was healthy, just mute
+}
+
+/// A peer that starts speaking garbage on the feedback path is as gone as
+/// a dead one: quarantine, don't fold corrupt bytes into Ĉ.
+TEST(SchedulerRuntime, CorruptFeedbackFrameQuarantinesSender) {
+  const std::size_t k = 3;
+  const common::SeqNo m = 6000;
+  auto config = test_runtime_config(k);
+  SchedulerRuntime rt(config);
+
+  InstanceRuntimeConfig instance_config;
+  instance_config.posg = config.posg;
+  std::vector<std::unique_ptr<TestInstance>> instances;
+  for (common::InstanceId op = 0; op < k; ++op) {
+    auto [sched_end, inst_end] = net::socket_pair();
+    if (op == 0) {
+      // Scheduler-side recv frame #0 is instance 0's Hello; frame #1 is
+      // its first feedback message — corrupt that one.
+      net::FaultPlan plan;
+      plan.corrupt(net::FaultDir::kRecv, 1, 3, 0xFF);
+      rt.attach(op, std::make_unique<net::FaultInjector>(std::move(sched_end), plan));
+    } else {
+      rt.attach(op, std::make_unique<net::SocketTransport>(std::move(sched_end)));
+    }
+    instances.push_back(spawn_instance(op, instance_config, std::move(inst_end)));
+  }
+  rt.start();
+  route_stream(rt, 0, m);
+  flush_to_run(rt, m);
+  rt.finish();
+  for (auto& instance : instances) {
+    instance->join();
+  }
+
+  EXPECT_EQ(rt.quarantined(), (std::vector<common::InstanceId>{0}));
+  EXPECT_EQ(rt.state(), core::PosgScheduler::State::kRun);
+  EXPECT_EQ(rt.live_instances(), 2u);
+}
+
+TEST(SchedulerRuntime, RegistrationValidatesHelloIds) {
+  const std::size_t k = 2;
+  auto config = test_runtime_config(k);
+  SchedulerRuntime rt(config);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "posg_runtime_reg_test.sock").string();
+  net::Listener listener(path);
+  std::thread registrar([&] { rt.accept_registrations(listener); });
+
+  // Out-of-range id, duplicate id, and a non-Hello first frame must all
+  // be rejected (closed), never indexed into the link table.
+  auto rogue = net::connect(path);
+  rogue.send_frame(net::encode(net::Hello{99}));
+  auto real0 = net::connect(path);
+  real0.send_frame(net::encode(net::Hello{0}));
+  auto duplicate = net::connect(path);
+  duplicate.send_frame(net::encode(net::Hello{0}));
+  auto garbled = net::connect(path);
+  garbled.send_frame(std::vector<std::byte>{std::byte{0x7F}, std::byte{0x01}});
+  auto real1 = net::connect(path);
+  real1.send_frame(net::encode(net::Hello{1}));
+  registrar.join();
+
+  // Rejected peers see their connection closed.
+  EXPECT_FALSE(rogue.recv_frame().has_value());
+  EXPECT_FALSE(duplicate.recv_frame().has_value());
+  EXPECT_FALSE(garbled.recv_frame().has_value());
+  // The accepted peers' links are live: start() succeeds with all k
+  // attached (it would throw on a hole in the table).
+  rt.start();
+  // Orderly client exit: wait for EndOfStream, then close, so finish()
+  // observes a clean EOF instead of burning its drain grace period.
+  std::thread drainer([&] {
+    real0.recv_frame();
+    real0.close();
+    real1.recv_frame();
+    real1.close();
+  });
+  rt.finish();
+  drainer.join();
+  EXPECT_TRUE(rt.quarantined().empty());
+}
+
+TEST(SchedulerRuntime, RegistrationGivesUpAfterAttemptBudget) {
+  auto config = test_runtime_config(1);
+  config.max_registration_attempts = 2;
+  SchedulerRuntime rt(config);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "posg_runtime_budget_test.sock").string();
+  net::Listener listener(path);
+
+  std::thread rogues([&path] {
+    for (int i = 0; i < 2; ++i) {
+      auto socket = net::connect(path);
+      socket.send_frame(net::encode(net::Hello{5}));  // k = 1: out of range
+      socket.recv_frame();                            // wait for the rejection (EOF)
+    }
+  });
+  EXPECT_THROW(rt.accept_registrations(listener), std::runtime_error);
+  rogues.join();
+}
+
+TEST(InstanceRuntime, SurvivesCorruptTupleFrames) {
+  // Satellite of the fault model: a corrupt frame reaching an instance is
+  // dropped and counted; the instance keeps executing.
+  auto [sched_end, inst_end] = net::socket_pair();
+  InstanceRuntimeConfig config;
+  config.recv_deadline = std::chrono::milliseconds(20);
+  InstanceRuntime instance(7, config);
+  InstanceRuntime::Stats stats;
+  std::thread thread([&] {
+    net::SocketTransport link(std::move(inst_end));
+    stats = instance.run(link);
+  });
+
+  const auto hello = sched_end.recv_frame();
+  ASSERT_TRUE(hello.has_value());
+  net::TupleMessage tuple;
+  tuple.seq = 0;
+  tuple.item = 3;
+  sched_end.send_frame(net::encode(tuple));
+  sched_end.send_frame(std::vector<std::byte>{std::byte{0xEE}, std::byte{0xAA}});
+  tuple.seq = 1;
+  sched_end.send_frame(net::encode(tuple));
+  sched_end.send_frame(net::encode(net::EndOfStream{}));
+  thread.join();
+
+  EXPECT_EQ(stats.executed, 2u);
+  EXPECT_EQ(stats.decode_errors, 1u);
+  EXPECT_FALSE(stats.crashed);
+}
+
+}  // namespace

@@ -1,5 +1,6 @@
 // Tests for stream trace record/replay and its Experiment integration.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -18,7 +19,10 @@ class TraceTest : public ::testing::Test {
  protected:
   std::string path(const char* name) { return (dir_ / name).string(); }
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "posg_trace_test";
+    // Suffix with the pid: under `ctest -j`, concurrent test processes
+    // sharing one directory race against each other's TearDown.
+    dir_ = fs::temp_directory_path() /
+           ("posg_trace_test_" + std::to_string(::getpid()));
     fs::create_directories(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }
