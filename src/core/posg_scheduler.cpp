@@ -1,6 +1,9 @@
 #include "core/posg_scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
 
 namespace posg::core {
 
@@ -148,6 +151,9 @@ void PosgScheduler::enter_send_all() noexcept {
   }
   markers_outstanding_ = live_count_;
   state_ = State::kSendAll;
+#if POSG_DCHECK_IS_ON
+  debug_validate();
+#endif
 }
 
 bool PosgScheduler::all_live_shipped() const noexcept {
@@ -206,10 +212,17 @@ void PosgScheduler::maybe_complete_epoch() noexcept {
   // Ĉ was already zeroed and redistributed.
   for (std::size_t op = 0; op < k_; ++op) {
     if (!failed_[op]) {
-      c_est_[op] += reply_delta_[op];
+      // In exact arithmetic the corrected value is C_real + post-marker
+      // estimates >= 0; the clamp only absorbs float rounding from the
+      // (Ĉ_marker + post) + (C_real − Ĉ_marker) evaluation order so the
+      // Ĉ >= 0 invariant (debug_validate) holds bit-for-bit.
+      c_est_[op] = std::max(0.0, c_est_[op] + reply_delta_[op]);
     }
   }
   state_ = State::kRun;
+#if POSG_DCHECK_IS_ON
+  debug_validate();
+#endif
 }
 
 void PosgScheduler::on_sync_reply(const SyncReply& reply) {
@@ -286,8 +299,99 @@ void PosgScheduler::mark_failed(common::InstanceId op) {
   } else if (!merged_.has_value()) {
     // Degradation ladder, bottom rung: every sketch-bearing instance is
     // gone, so no estimates exist — fall back to round-robin over the
-    // survivors until fresh sketches arrive.
+    // survivors until fresh sketches arrive. Abandon the in-flight epoch
+    // wholesale (markers and replies alike): without sketches there is no
+    // Ĉ left for a late Δ to correct.
+    for (std::size_t other = 0; other < k_; ++other) {
+      marker_pending_[other] = false;
+    }
+    markers_outstanding_ = 0;
     state_ = State::kRoundRobin;
+  }
+#if POSG_DCHECK_IS_ON
+  debug_validate();
+#endif
+}
+
+void PosgScheduler::debug_validate() const {
+  POSG_CHECK(k_ >= 1, "PosgScheduler: empty cluster");
+  POSG_CHECK(rr_next_ < k_, "PosgScheduler: round-robin cursor out of range");
+  POSG_CHECK(latency_hints_.empty() || latency_hints_.size() == k_,
+             "PosgScheduler: latency hints do not cover every instance");
+
+  std::size_t live = 0;
+  std::size_t markers = 0;
+  for (std::size_t op = 0; op < k_; ++op) {
+    // Ĉ[op] >= 0: scheduling only adds non-negative estimates and the
+    // epoch correction Ĉ += Δop lands on true-cumulated-time-plus-
+    // post-marker-estimates, both non-negative. A tiny negative float
+    // here means drift cancellation is broken, which voids the greedy
+    // bound of Theorem 4.2.
+    POSG_CHECK(std::isfinite(c_est_[op]), "PosgScheduler: C_hat is not finite");
+    POSG_CHECK(c_est_[op] >= 0.0, "PosgScheduler: C_hat went negative");
+    if (failed_[op]) {
+      // Quarantine exclusivity: a failed instance has fully left the
+      // candidate set — its Ĉ share was redistributed, its sketch dropped
+      // from billing, and no marker may remain addressed to it.
+      POSG_CHECK(c_est_[op] == 0.0, "PosgScheduler: quarantined instance still holds C_hat");
+      POSG_CHECK(!sketches_[op].has_value(),
+                 "PosgScheduler: quarantined instance still bills a sketch");
+      POSG_CHECK(!marker_pending_[op],
+                 "PosgScheduler: quarantined instance still owes a marker");
+    } else {
+      ++live;
+    }
+    if (marker_pending_[op]) {
+      ++markers;
+    }
+    if (sketches_[op].has_value()) {
+      sketches_[op]->debug_validate();
+    }
+  }
+  POSG_CHECK(live == live_count_, "PosgScheduler: live count out of sync with failed set");
+  POSG_CHECK(live_count_ >= 1, "PosgScheduler: no live instance left");
+  POSG_CHECK(markers == markers_outstanding_,
+             "PosgScheduler: marker counter out of sync with pending set");
+
+  // Rotation exclusivity: the greedy pick must never name a quarantined
+  // instance (the rotation itself is checked structurally above — a failed
+  // instance never holds a pending marker, and next_round_robin skips the
+  // failed set by construction).
+  POSG_CHECK(!failed_[greedy_pick()], "PosgScheduler: greedy pick chose a quarantined instance");
+
+  POSG_CHECK(std::isfinite(global_mean_) && global_mean_ >= 0.0,
+             "PosgScheduler: global mean execution time must be finite and non-negative");
+  if (merged_.has_value()) {
+    merged_->debug_validate();
+  }
+
+  // State-machine consistency (Fig. 3).
+  switch (state_) {
+    case State::kRoundRobin:
+      POSG_CHECK(markers_outstanding_ == 0, "PosgScheduler: markers pending in ROUND_ROBIN");
+      break;
+    case State::kSendAll:
+      POSG_CHECK(config_.sync_enabled, "PosgScheduler: SEND_ALL with synchronization disabled");
+      POSG_CHECK(epoch_ >= 1, "PosgScheduler: SEND_ALL before the first epoch");
+      POSG_CHECK(markers_outstanding_ >= 1, "PosgScheduler: SEND_ALL with no marker left to send");
+      POSG_CHECK(merged_.has_value(), "PosgScheduler: SEND_ALL without any billed sketch");
+      for (std::size_t op = 0; op < k_; ++op) {
+        // An instance replies only after its marker was piggy-backed, so a
+        // received reply and a still-pending marker are mutually exclusive.
+        POSG_CHECK(!(reply_received_[op] && marker_pending_[op]),
+                   "PosgScheduler: reply received before its marker was sent");
+      }
+      break;
+    case State::kWaitAll:
+      POSG_CHECK(config_.sync_enabled, "PosgScheduler: WAIT_ALL with synchronization disabled");
+      POSG_CHECK(epoch_ >= 1, "PosgScheduler: WAIT_ALL before the first epoch");
+      POSG_CHECK(markers_outstanding_ == 0, "PosgScheduler: WAIT_ALL with markers still pending");
+      POSG_CHECK(merged_.has_value(), "PosgScheduler: WAIT_ALL without any billed sketch");
+      break;
+    case State::kRun:
+      POSG_CHECK(markers_outstanding_ == 0, "PosgScheduler: markers pending in RUN");
+      POSG_CHECK(merged_.has_value(), "PosgScheduler: RUN without any billed sketch");
+      break;
   }
 }
 

@@ -97,7 +97,25 @@ class PosgScheduler final : public Scheduler {
 
   const PosgConfig& config() const noexcept { return config_; }
 
+  /// Machine-checked paper-level invariants (aborts via POSG_CHECK):
+  /// Ĉ[op] >= 0 for every instance (Listing III.2 only ever adds
+  /// non-negative estimates; the Δop correction restores the *true*
+  /// cumulated time, which is non-negative too), quarantine/rotation
+  /// exclusivity (a failed instance holds no Ĉ share, no sketch, no
+  /// pending marker, and is never the greedy pick nor a round-robin
+  /// candidate), marker/reply bookkeeping consistency with the four-state
+  /// machine, and live-count agreement. Called from tests unconditionally
+  /// and at every epoch boundary under POSG_DCHECK_IS_ON. Also validates
+  /// every shipped sketch.
+  void debug_validate() const;
+
+  /// Test-only backdoor (tests/check_test.cpp) that corrupts private state
+  /// to drive debug_validate's abort paths; production code must never
+  /// define or use it.
+  struct TestCorruptor;
+
  private:
+  friend struct TestCorruptor;
   /// ŵ for scheduling purposes: sketch estimate, falling back to the
   /// shipped sketch's mean execution time for never-seen items.
   common::TimeMs scheduling_estimate(common::InstanceId instance, common::Item item) const;

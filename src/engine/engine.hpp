@@ -87,6 +87,13 @@ class Engine {
     std::size_t bolt_index;    // index into bolts_
   };
 
+  // Locking discipline: queues are internally synchronized (BoundedQueue
+  // owns its mutex); executed/emitted/errors are atomics shared by all of
+  // the bolt's executor threads; the per_instance_* vectors are each
+  // written only by the executor thread that owns that instance slot and
+  // read by stats() after run() joined every thread (the join provides the
+  // happens-before edge). Groupings are shared by all emitting threads and
+  // must be internally thread-safe (see Grouping's contract).
   struct BoltRuntime {
     Topology::BoltSpec spec;
     std::vector<std::unique_ptr<BoundedQueue<Tuple>>> queues;

@@ -52,6 +52,16 @@ class PosgGrouping final : public Grouping {
   void deliver_now(const Delivery& delivery);
   void delay_worker();
 
+  // Locking discipline (threads involved: the emitting executor calling
+  // route(), the receiving bolts' executors delivering feedback, and —
+  // when control_delay_ > 0 — the delay thread):
+  //   - mutex_ guards scheduler_ alone; every scheduler call (route,
+  //     deliver_now, scheduler_state) takes it.
+  //   - delay_mutex_ guards delayed_ and stopping_; delay_cv_ is its
+  //     condition. deliver_now is always called with delay_mutex_
+  //     *released* (delay_worker unlocks around it), so the two mutexes
+  //     are never held together and no lock-order cycle exists.
+  //   - config_ and control_delay_ are immutable after construction.
   core::PosgConfig config_;
   std::chrono::microseconds control_delay_;
 

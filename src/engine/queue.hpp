@@ -1,10 +1,12 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
 
+#include "common/check.hpp"
 #include "common/types.hpp"
 
 namespace posg::engine {
@@ -15,6 +17,11 @@ namespace posg::engine {
 /// max.spout.pending does); the consumer blocks when it is empty. close()
 /// wakes everyone: producers fail fast, the consumer drains what is left
 /// and then sees std::nullopt.
+///
+/// Locking discipline: every member — items_, closed_ and the accounting
+/// counters — is guarded by mutex_; the condition variables are signalled
+/// after the lock is dropped. No member is ever read outside the lock, so
+/// the queue is safe for any number of producer and consumer threads.
 template <typename T>
 class BoundedQueue {
  public:
@@ -28,9 +35,11 @@ class BoundedQueue {
     std::unique_lock lock(mutex_);
     not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
     if (closed_) {
+      ++rejected_;
       return false;
     }
     items_.push_back(std::move(value));
+    ++pushed_;
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -46,12 +55,14 @@ class BoundedQueue {
     }
     T value = std::move(items_.front());
     items_.pop_front();
+    ++popped_;
     lock.unlock();
     not_full_.notify_one();
     return value;
   }
 
   /// Stops accepting new elements; pending ones remain poppable.
+  /// Idempotent: the open -> closed transition happens at most once.
   void close() {
     {
       std::lock_guard lock(mutex_);
@@ -71,13 +82,52 @@ class BoundedQueue {
     return closed_;
   }
 
+  /// Elements accepted / delivered / refused over the queue's lifetime.
+  std::uint64_t pushed() const {
+    std::lock_guard lock(mutex_);
+    return pushed_;
+  }
+  std::uint64_t popped() const {
+    std::lock_guard lock(mutex_);
+    return popped_;
+  }
+  std::uint64_t rejected() const {
+    std::lock_guard lock(mutex_);
+    return rejected_;
+  }
+
+  /// Machine-checked open/close state-machine invariants (aborts via
+  /// POSG_CHECK): occupancy never exceeds capacity, conservation of
+  /// elements (pushed == popped + in flight), and rejections only ever
+  /// happen in the closed state. Takes the lock, so it may be called
+  /// concurrently with producers and consumers.
+  void debug_validate() const {
+    std::lock_guard lock(mutex_);
+    POSG_CHECK(capacity_ >= 1, "BoundedQueue: capacity must be >= 1");
+    POSG_CHECK(items_.size() <= capacity_, "BoundedQueue: occupancy exceeds capacity");
+    POSG_CHECK(popped_ <= pushed_, "BoundedQueue: popped more elements than were pushed");
+    POSG_CHECK(pushed_ - popped_ == items_.size(),
+               "BoundedQueue: element conservation violated (pushed != popped + in flight)");
+    POSG_CHECK(closed_ || rejected_ == 0, "BoundedQueue: push rejected while the queue was open");
+  }
+
+  /// Test-only backdoor (tests/check_test.cpp) that corrupts the private
+  /// counters to drive debug_validate's abort paths; production code must
+  /// never define or use it.
+  struct TestCorruptor;
+
  private:
+  friend struct TestCorruptor;
+
   std::size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> items_;
   bool closed_ = false;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t popped_ = 0;
+  std::uint64_t rejected_ = 0;
 };
 
 }  // namespace posg::engine

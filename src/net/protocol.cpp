@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/check.hpp"
 #include "sketch/serialize.hpp"
 
 namespace posg::net {
@@ -106,7 +107,50 @@ std::vector<std::byte> encode(const Message& message) {
         }
       },
       message);
+#if POSG_DCHECK_IS_ON
+  debug_validate_frame(payload);
+#endif
   return payload;
+}
+
+void debug_validate_frame(std::span<const std::byte> payload) {
+  POSG_CHECK(!payload.empty(), "net frame: empty payload (every frame starts with a tag byte)");
+  const auto tag = static_cast<std::uint8_t>(payload[0]);
+  POSG_CHECK(tag >= static_cast<std::uint8_t>(Tag::kHello) &&
+                 tag <= static_cast<std::uint8_t>(Tag::kInstanceFailed),
+             "net frame: unknown tag");
+  const std::size_t size = payload.size();
+  switch (static_cast<Tag>(tag)) {
+    case Tag::kHello:
+      POSG_CHECK(size == 1 + 8, "net frame: Hello must be exactly tag + u64 instance");
+      break;
+    case Tag::kTuple: {
+      // tag + seq + item + marker flag, optionally + epoch + Ĉ.
+      POSG_CHECK(size == 1 + 8 + 8 + 1 || size == 1 + 8 + 8 + 1 + 8 + 8,
+                 "net frame: TupleMessage size matches neither the bare nor the marker layout");
+      const auto flag = static_cast<std::uint8_t>(payload[17]);
+      POSG_CHECK(flag == 0 || flag == 1, "net frame: TupleMessage marker flag must be 0 or 1");
+      POSG_CHECK((flag == 1) == (size == 1 + 8 + 8 + 1 + 8 + 8),
+                 "net frame: TupleMessage marker flag disagrees with the payload size");
+      break;
+    }
+    case Tag::kShipment:
+      // tag + u64 instance + self-describing sketch buffer (whose own
+      // 56-byte header carries magic/version/seed/dims/totals/flags).
+      POSG_CHECK(size >= 1 + 8 + 56, "net frame: SketchShipment shorter than its fixed header");
+      break;
+    case Tag::kSyncReply:
+      POSG_CHECK(size == 1 + 8 + 8 + 8,
+                 "net frame: SyncReply must be exactly tag + instance + epoch + delta");
+      break;
+    case Tag::kEndOfStream:
+      POSG_CHECK(size == 1, "net frame: EndOfStream carries no payload");
+      break;
+    case Tag::kInstanceFailed:
+      POSG_CHECK(size == 1 + 8 + 8,
+                 "net frame: InstanceFailed must be exactly tag + instance + epoch");
+      break;
+  }
 }
 
 Message decode(std::span<const std::byte> payload) {

@@ -48,6 +48,12 @@ struct InstanceRuntimeConfig {
 /// over a FrameTransport, extracted from examples/distributed_posg.cpp so
 /// tests can drive a full distributed run in-process (threads + socket
 /// pairs) and the example can run it in forked processes — same code path.
+///
+/// Locking discipline: run() is single-threaded and owns all its state
+/// (including the Stats it returns); the only cross-thread member is the
+/// `stop_` atomic flag, set by request_stop() from any thread and polled
+/// by run() at its receive deadline. `id_` and `config_` are immutable
+/// after construction. No mutexes, so no lock-ordering concerns.
 class InstanceRuntime {
  public:
   struct Stats {

@@ -14,7 +14,7 @@ SchedulerRuntime::SchedulerRuntime(const SchedulerRuntimeConfig& config)
       links_(config.instances),
       send_mutexes_(config.instances),
       dead_(config.instances),
-      routed_(config.instances, 0) {
+      routed_(config.instances) {
   common::require(k_ >= 1, "SchedulerRuntime: need at least one instance");
   for (std::size_t op = 0; op < k_; ++op) {
     send_mutexes_[op] = std::make_unique<std::mutex>();
@@ -180,10 +180,10 @@ common::InstanceId SchedulerRuntime::route(common::Item item, common::SeqNo seq)
     tuple.marker = decision.sync_request;
     try {
       send_locked(decision.instance, net::encode(tuple));
-      ++routed_[decision.instance];
+      routed_[decision.instance].fetch_add(1, std::memory_order_relaxed);
       return decision.instance;
     } catch (const std::exception&) {
-      ++reroutes_;
+      reroutes_.fetch_add(1, std::memory_order_relaxed);
       if (!handle_failure(decision.instance, "send failed: tuple " + std::to_string(seq))) {
         break;
       }
@@ -305,7 +305,13 @@ std::vector<SchedulerRuntime::QuarantineEvent> SchedulerRuntime::quarantine_log(
   return quarantine_log_;
 }
 
-std::vector<std::uint64_t> SchedulerRuntime::routed_counts() const { return routed_; }
+std::vector<std::uint64_t> SchedulerRuntime::routed_counts() const {
+  std::vector<std::uint64_t> counts(routed_.size());
+  for (std::size_t op = 0; op < routed_.size(); ++op) {
+    counts[op] = routed_[op].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
 
 std::uint64_t SchedulerRuntime::stale_replies() const {
   std::lock_guard lock(mutex_);

@@ -97,7 +97,7 @@ class SchedulerRuntime {
   std::vector<common::InstanceId> quarantined() const;
   std::vector<QuarantineEvent> quarantine_log() const;
   std::vector<std::uint64_t> routed_counts() const;
-  std::uint64_t reroutes() const noexcept { return reroutes_; }
+  std::uint64_t reroutes() const noexcept { return reroutes_.load(std::memory_order_relaxed); }
   std::uint64_t stale_replies() const;
 
   /// Access to the scheduler for single-threaded phases (before start()
@@ -113,10 +113,27 @@ class SchedulerRuntime {
   void check_epoch_deadline_locked();
   void send_locked(common::InstanceId op, const std::vector<std::byte>& frame);
 
+  // Locking discipline (threads involved: the routing caller, k reader
+  // threads, and any observer thread):
+  //   - mutex_ guards scheduler_, quarantine_log_ and last_feedback_ —
+  //     everything the feedback path and the routing path both touch.
+  //     Never held across a socket operation (sends/receives can block on
+  //     a dead peer for the full deadline).
+  //   - send_mutexes_[op] serializes writers of link op only; acquired
+  //     after (never while holding) mutex_.
+  //   - dead_[op], draining_, fatal_ and the counters (routed_, reroutes_)
+  //     are atomics: flags read at poll frequency in reader loops, counters
+  //     written by the router and read by observers.
+  //   - links_, config_, k_ are immutable after start(); drain_deadline_
+  //     is written once in finish() before the draining_ store and only
+  //     read by readers after they observe draining_ == true (the seq_cst
+  //     store/load pair orders it).
+  //   - started_ / finished_ are confined to the single control thread
+  //     that calls start()/finish().
   SchedulerRuntimeConfig config_;
   std::size_t k_;
   core::PosgScheduler scheduler_;
-  mutable std::mutex mutex_;  // guards scheduler_ and quarantine_log_
+  mutable std::mutex mutex_;  // guards scheduler_, quarantine_log_, last_feedback_
   std::vector<std::unique_ptr<net::FrameTransport>> links_;
   /// Per-link send serialization: route(), failure announcements and
   /// EndOfStream may write to the same link from different threads, and
@@ -134,8 +151,11 @@ class SchedulerRuntime {
   std::atomic<bool> fatal_{false};
   bool started_ = false;
   bool finished_ = false;
-  std::vector<std::uint64_t> routed_;
-  std::uint64_t reroutes_ = 0;
+  /// Per-instance routed-tuple counters. Atomic because route() runs in
+  /// the caller's thread while routed_counts() is documented safe from any
+  /// observer thread.
+  std::vector<std::atomic<std::uint64_t>> routed_;
+  std::atomic<std::uint64_t> reroutes_{0};
   /// Epoch-deadline tracking: when each instance last produced feedback
   /// (any decodable frame on its reader). Guarded by mutex_.
   std::vector<std::chrono::steady_clock::time_point> last_feedback_;

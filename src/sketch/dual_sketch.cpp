@@ -1,8 +1,11 @@
 #include "sketch/dual_sketch.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <vector>
+
+#include "common/check.hpp"
 
 namespace posg::sketch {
 
@@ -128,6 +131,69 @@ void DualSketch::merge_from(const DualSketch& other) {
   }
   updates_ += other.updates_;
   total_time_ += other.total_time_;
+}
+
+void DualSketch::debug_validate() const {
+  // Shared-layout invariant: scheduler-side estimation reads F and W at
+  // the same (row, bucket) coordinates, which is only meaningful when both
+  // matrices use identical dims and hash functions.
+  POSG_CHECK(freq_.dims() == weight_.dims(), "DualSketch: F/W dims diverged");
+  POSG_CHECK(freq_.hashes() == weight_.hashes(), "DualSketch: F/W hash sets diverged");
+
+  POSG_CHECK(std::isfinite(total_time_) && total_time_ >= 0.0,
+             "DualSketch: total execution time must be finite and non-negative");
+  POSG_CHECK(updates_ > 0 || total_time_ == 0.0,
+             "DualSketch: non-zero execution time with zero updates");
+
+  const std::size_t rows = freq_.rows();
+  const std::size_t cols = freq_.cols();
+  // Relative tolerance for the W row totals: each row is a sum of doubles
+  // accumulated in arbitrary order, so exact equality is not expected.
+  const double w_tolerance = 1e-6 * std::max(1.0, total_time_);
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::uint64_t f_row_total = 0;
+    double w_row_total = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double w = weight_.cell(i, j);
+      POSG_CHECK(std::isfinite(w), "DualSketch: W cell is not finite");
+      POSG_CHECK(w >= 0.0, "DualSketch: W cell went negative");
+      f_row_total += freq_.cell(i, j);
+      w_row_total += w;
+    }
+    if (conservative_) {
+      // Conservative update raises at most `value` mass per row, so row
+      // totals are bounded by (not equal to) the update totals.
+      POSG_CHECK(f_row_total <= updates_,
+                 "DualSketch: conservative F row total exceeds update count");
+      POSG_CHECK(w_row_total <= total_time_ + w_tolerance,
+                 "DualSketch: conservative W row total exceeds recorded time");
+    } else {
+      // Plain Count-Min mass conservation: every update touches every row
+      // exactly once (Listing III.1), so each row total equals the global
+      // total.
+      POSG_CHECK(f_row_total == updates_, "DualSketch: F row total != update count");
+      POSG_CHECK(std::abs(w_row_total - total_time_) <= w_tolerance,
+                 "DualSketch: W row total != recorded execution time");
+    }
+  }
+
+  if (heavy_) {
+    POSG_CHECK(heavy_->capacity() >= 1, "DualSketch: heavy table with zero capacity");
+    POSG_CHECK(heavy_->size() <= heavy_->capacity(),
+               "DualSketch: heavy table overflowed its capacity");
+    for (const auto& [item, entry] : heavy_->entries()) {
+      (void)item;
+      POSG_CHECK(entry.count >= 1, "DualSketch: monitored heavy item with zero count");
+      // Space-Saving bookkeeping identity: the count is exactly the
+      // inherited floor plus the genuinely observed hits (takeover sets
+      // count = victim + 1 with error = victim, observed = 1; every later
+      // hit raises count and observed together; merge sums all three).
+      POSG_CHECK(entry.error + entry.observed == entry.count,
+                 "DualSketch: heavy-hitter count != error + observed");
+      POSG_CHECK(std::isfinite(entry.time_sum) && entry.time_sum >= 0.0,
+                 "DualSketch: heavy-hitter time sum must be finite and non-negative");
+    }
+  }
 }
 
 }  // namespace posg::sketch

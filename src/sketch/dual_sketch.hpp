@@ -89,6 +89,17 @@ class DualSketch {
   /// Layouts (dims, seed, heavy capacity) must match.
   void merge_from(const DualSketch& other);
 
+  /// Machine-checked paper-level invariants (aborts via POSG_CHECK):
+  /// F and W share dims and hash functions (a single hash evaluation per
+  /// row must serve both matrices — Sec. III-A), every W cell is finite
+  /// and >= 0 (execution times are non-negative, so the weight matrix can
+  /// never go negative), per-row mass conservation against the update
+  /// totals (== in plain mode, <= under conservative update), and
+  /// heavy-hitter table consistency (size <= capacity, observed <= count,
+  /// time_sum >= 0). Called from tests unconditionally and from epoch
+  /// boundaries under POSG_DCHECK_IS_ON.
+  void debug_validate() const;
+
  private:
   FrequencySketch freq_;
   WeightSketch weight_;

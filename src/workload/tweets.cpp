@@ -60,14 +60,16 @@ TweetDataset::TweetDataset(const TweetDatasetConfig& config)
   common::Xoshiro256StarStar rng(config.seed ^ 0x7e7e7e7e7e7e7e7eULL);
 
   const auto n = config.entities;
-  const auto media_total = static_cast<std::size_t>(std::llround(config.media_fraction * n));
+  const auto media_total =
+      static_cast<std::size_t>(std::llround(config.media_fraction * static_cast<double>(n)));
   auto politician_total =
-      static_cast<std::size_t>(std::llround(config.politician_fraction * n));
+      static_cast<std::size_t>(std::llround(config.politician_fraction * static_cast<double>(n)));
   politician_total = politician_total > 0 ? politician_total - 1 : 0;  // rank 0 already assigned
 
-  const auto media_top = static_cast<std::size_t>(config.prominence_bias * media_total);
+  const auto media_top =
+      static_cast<std::size_t>(config.prominence_bias * static_cast<double>(media_total));
   const auto politician_top =
-      static_cast<std::size_t>(config.prominence_bias * politician_total);
+      static_cast<std::size_t>(config.prominence_bias * static_cast<double>(politician_total));
 
   // Head block: ranks [1, 1 + media_top + politician_top), classes
   // shuffled within the block.

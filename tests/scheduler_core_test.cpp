@@ -258,15 +258,37 @@ TEST(PosgScheduler, SyncCompletesAndCorrectsDrift) {
   }
   ASSERT_EQ(scheduler.state(), PosgScheduler::State::kWaitAll);
 
-  // Instances reply with known drifts.
+  // Instances reply with known drifts (Δ = C_real − Ĉ_marker; the negative
+  // one stays above −Ĉ, as any honest instance's reply must).
   scheduler.on_sync_reply({0, requests[0].epoch, 10.0});
   EXPECT_EQ(scheduler.state(), PosgScheduler::State::kWaitAll);
   const auto loads_before = scheduler.estimated_loads();
-  scheduler.on_sync_reply({1, requests[1].epoch, -3.0});
+  scheduler.on_sync_reply({1, requests[1].epoch, -1.5});
   EXPECT_EQ(scheduler.state(), PosgScheduler::State::kRun);
   const auto& loads_after = scheduler.estimated_loads();
   EXPECT_NEAR(loads_after[0], loads_before[0] + 10.0, 1e-12);
-  EXPECT_NEAR(loads_after[1], loads_before[1] - 3.0, 1e-12);
+  EXPECT_NEAR(loads_after[1], loads_before[1] - 1.5, 1e-12);
+}
+
+TEST(PosgScheduler, DriftCorrectionClampsAtZero) {
+  // Ĉ >= 0 is a checked invariant (debug_validate): a Δ more negative
+  // than Ĉ — float rounding, or a buggy/byzantine reply — must clamp at
+  // zero rather than produce a negative estimated load.
+  const auto config = test_config();
+  PosgScheduler scheduler(2, config);
+  scheduler.on_sketches(make_shipment(0, config, 1, 2.0));
+  scheduler.on_sketches(make_shipment(1, config, 1, 2.0));
+  std::vector<core::SyncRequest> requests(2);
+  for (common::SeqNo i = 0; i < 2; ++i) {
+    const Decision d = scheduler.schedule(1, i);
+    ASSERT_TRUE(d.sync_request.has_value());
+    requests[d.instance] = *d.sync_request;
+  }
+  scheduler.on_sync_reply({0, requests[0].epoch, 0.0});
+  scheduler.on_sync_reply({1, requests[1].epoch, -1000.0});
+  ASSERT_EQ(scheduler.state(), PosgScheduler::State::kRun);
+  EXPECT_EQ(scheduler.estimated_loads()[1], 0.0);
+  scheduler.debug_validate();
 }
 
 TEST(PosgScheduler, IgnoresStaleAndDuplicateReplies) {

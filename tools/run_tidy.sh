@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# clang-tidy gate driver.
+#
+# Usage:
+#   tools/run_tidy.sh [--changed] [--build-dir DIR] [--jobs N] [paths...]
+#
+#   (no args)     tidy every .cpp under src/
+#   --changed     tidy only files changed vs. the merge base with origin's
+#                 default branch (falls back to HEAD~1, then the working
+#                 tree) — fast enough for a pre-commit hook
+#   --build-dir   compile database location (default: build, then any
+#                 build-* directory that has compile_commands.json)
+#   paths...      explicit files or directories to tidy instead
+#
+# Exit status: 0 when clang-tidy is clean (or unavailable — the container
+# image may not ship LLVM; CI installs it, so the gate is enforced there
+# and soft-skips locally), 1 on findings, 2 on usage errors.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+build_dir=""
+changed_only=0
+jobs="$(nproc 2>/dev/null || echo 2)"
+explicit_paths=()
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --changed) changed_only=1 ;;
+    --build-dir) shift; build_dir="${1:?--build-dir needs an argument}" ;;
+    --jobs) shift; jobs="${1:?--jobs needs an argument}" ;;
+    -h|--help) sed -n '2,18p' "$0"; exit 0 ;;
+    -*) echo "run_tidy.sh: unknown option '$1'" >&2; exit 2 ;;
+    *) explicit_paths+=("$1") ;;
+  esac
+  shift
+done
+
+tidy_bin="${CLANG_TIDY:-}"
+if [ -z "$tidy_bin" ]; then
+  for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      tidy_bin="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$tidy_bin" ]; then
+  echo "run_tidy.sh: clang-tidy not found; skipping (the CI job enforces this gate)" >&2
+  exit 0
+fi
+
+if [ -z "$build_dir" ]; then
+  if [ -f build/compile_commands.json ]; then
+    build_dir=build
+  else
+    for d in build-*; do
+      if [ -f "$d/compile_commands.json" ]; then
+        build_dir="$d"
+        break
+      fi
+    done
+  fi
+fi
+if [ -z "$build_dir" ] || [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_tidy.sh: no compile_commands.json — configure first:" >&2
+  echo "  cmake -B build -S .   (CMAKE_EXPORT_COMPILE_COMMANDS is on by default)" >&2
+  exit 2
+fi
+
+declare -a files
+if [ "${#explicit_paths[@]}" -gt 0 ]; then
+  for p in "${explicit_paths[@]}"; do
+    if [ -d "$p" ]; then
+      while IFS= read -r f; do files+=("$f"); done < <(find "$p" -name '*.cpp' | sort)
+    else
+      files+=("$p")
+    fi
+  done
+elif [ "$changed_only" -eq 1 ]; then
+  base=""
+  default_ref="$(git symbolic-ref --quiet refs/remotes/origin/HEAD 2>/dev/null || true)"
+  if [ -n "$default_ref" ]; then
+    base="$(git merge-base HEAD "$default_ref" 2>/dev/null || true)"
+  fi
+  if [ -z "$base" ]; then
+    base="$(git rev-parse --quiet --verify HEAD~1 2>/dev/null || true)"
+  fi
+  while IFS= read -r f; do
+    case "$f" in
+      src/*.cpp) [ -f "$f" ] && files+=("$f") ;;
+    esac
+  done < <( { [ -n "$base" ] && git diff --name-only "$base"; git diff --name-only; git diff --name-only --cached; } | sort -u)
+  if [ "${#files[@]}" -eq 0 ]; then
+    echo "run_tidy.sh: no changed src/ translation units"
+    exit 0
+  fi
+else
+  while IFS= read -r f; do files+=("$f"); done < <(find src -name '*.cpp' | sort)
+fi
+
+echo "run_tidy.sh: $tidy_bin over ${#files[@]} file(s), compile db: $build_dir"
+
+status=0
+printf '%s\n' "${files[@]}" | xargs -P "$jobs" -n 1 \
+  "$tidy_bin" -p "$build_dir" --quiet || status=1
+
+if [ "$status" -ne 0 ]; then
+  echo "run_tidy.sh: findings above — fix them or add an inline NOLINT(check) with a reason" >&2
+fi
+exit "$status"
