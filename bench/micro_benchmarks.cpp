@@ -3,10 +3,13 @@
 // and query, scheduler submit, tracker update.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "common/prng.hpp"
 #include "core/instance_tracker.hpp"
 #include "core/posg_scheduler.hpp"
 #include "core/round_robin.hpp"
+#include "engine/queue.hpp"
 #include "hash/two_universal.hpp"
 #include "sketch/dual_sketch.hpp"
 
@@ -23,6 +26,19 @@ void BM_HashEvaluation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HashEvaluation);
+
+/// One-pass digest of a tuple under a 4-row hash set — the per-tuple hash
+/// budget after the digest refactor (everything downstream is cell
+/// arithmetic).
+void BM_BucketDigest(benchmark::State& state) {
+  const hash::HashSet hashes(7, 4, 544);
+  common::Item x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hashes.digest(x++ % 4096));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BucketDigest);
 
 void BM_DualSketchUpdate(benchmark::State& state) {
   const auto rows = static_cast<std::size_t>(state.range(0));
@@ -95,6 +111,78 @@ void BM_PosgSchedule(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PosgSchedule)->Arg(2)->Arg(5)->Arg(10)->Arg(50);
+
+/// End-to-end router throughput: the full decision loop an upstream
+/// executor runs per tuple — greedy schedule (digest + cached argmin) with
+/// the periodic shipment/marker/reply protocol folded in at its natural
+/// rate, so epoch restarts and SEND_ALL billing stay on the measured path.
+void BM_RouterThroughput(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  core::PosgConfig config;
+  config.window = 64;
+  config.mu = 10.0;  // ship every second window
+  core::PosgScheduler scheduler(k, config);
+  std::vector<core::InstanceTracker> trackers;
+  trackers.reserve(k);
+  for (common::InstanceId op = 0; op < k; ++op) {
+    trackers.emplace_back(op, config);
+  }
+  common::Xoshiro256StarStar rng(11);
+  common::SeqNo seq = 0;
+  for (auto _ : state) {
+    const common::Item item = seq % 4096;
+    const auto decision = scheduler.schedule(item, seq);
+    benchmark::DoNotOptimize(decision.instance);
+    // The picked instance executes the tuple; its tracker occasionally
+    // ships a stable sketch back (the feedback loop of Fig. 1).
+    auto& tracker = trackers[decision.instance];
+    if (auto shipment =
+            tracker.on_executed(item, 1.0 + static_cast<double>(rng.next_below(64)))) {
+      scheduler.on_sketches(*shipment);
+    }
+    if (decision.sync_request) {
+      scheduler.on_sync_reply(
+          core::SyncReply{decision.instance, decision.sync_request->epoch, 0.0});
+    }
+    ++seq;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouterThroughput)->Arg(5)->Arg(10)->Arg(50);
+
+/// Queue hand-off cost per tuple: 256-tuple bursts moved producer ->
+/// consumer on one thread, per-tuple push/pop vs push_all/pop_all. The
+/// delta is pure lock/notify amortization (no contention, so this is the
+/// lower bound of the batching win).
+void BM_QueueTransfer(benchmark::State& state) {
+  constexpr std::size_t kBurst = 256;
+  const bool batched = state.range(0) != 0;
+  engine::BoundedQueue<std::uint64_t> queue(kBurst);
+  std::vector<std::uint64_t> batch;
+  batch.reserve(kBurst);
+  std::vector<std::uint64_t> out;
+  out.reserve(kBurst);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    if (batched) {
+      for (std::size_t i = 0; i < kBurst; ++i) {
+        batch.push_back(x++);
+      }
+      queue.push_all(batch);
+      benchmark::DoNotOptimize(queue.pop_all(out));
+      out.clear();
+    } else {
+      for (std::size_t i = 0; i < kBurst; ++i) {
+        queue.push(x++);
+      }
+      for (std::size_t i = 0; i < kBurst; ++i) {
+        benchmark::DoNotOptimize(queue.pop());
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBurst));
+}
+BENCHMARK(BM_QueueTransfer)->Arg(0)->Arg(1);
 
 void BM_TrackerOnExecuted(benchmark::State& state) {
   core::PosgConfig config;  // calibrated defaults

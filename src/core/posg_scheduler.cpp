@@ -10,21 +10,30 @@ namespace posg::core {
 PosgScheduler::PosgScheduler(std::size_t instances, const PosgConfig& config)
     : k_(instances),
       config_(config),
+      hashes_(config.sketch_seed, config.dims().rows, config.dims().cols),
       sketches_(instances),
       c_est_(instances, 0.0),
       marker_pending_(instances, false),
       reply_received_(instances, false),
       reply_delta_(instances, 0.0),
       failed_(instances, false),
-      live_count_(instances) {
+      live_count_(instances),
+      greedy_scores_scratch_(instances, 0.0),
+      greedy_alive_scratch_(instances, true) {
   common::require(instances >= 1, "PosgScheduler: need at least one instance");
+  rebuild_greedy();
 }
 
 common::TimeMs PosgScheduler::scheduling_estimate(common::InstanceId instance,
                                                   common::Item item) const {
+  return scheduling_estimate(instance, item, hashes_.digest(item));
+}
+
+common::TimeMs PosgScheduler::scheduling_estimate(common::InstanceId instance, common::Item item,
+                                                  const hash::BucketDigest& digest) const {
   const auto& sketch = config_.shared_billing ? merged_ : sketches_[instance];
   common::ensure(sketch.has_value(), "PosgScheduler: estimating without a sketch");
-  if (auto estimate = sketch->estimate(item, config_.estimator)) {
+  if (auto estimate = sketch->estimate(item, digest, config_.estimator)) {
     return *estimate;
   }
   // Never-seen item: bill the *global* mean execution time over all
@@ -67,6 +76,10 @@ std::optional<common::TimeMs> PosgScheduler::estimate(common::Item item) const {
 }
 
 common::InstanceId PosgScheduler::greedy_pick() const noexcept {
+  return static_cast<common::InstanceId>(greedy_.best());
+}
+
+common::InstanceId PosgScheduler::greedy_pick_reference() const noexcept {
   common::InstanceId best = common::kNoInstance;
   common::TimeMs best_score = 0.0;
   for (common::InstanceId op = 0; op < k_; ++op) {
@@ -74,15 +87,24 @@ common::InstanceId PosgScheduler::greedy_pick() const noexcept {
       continue;
     }
     // Latency-aware variant (paper's Sec. VII future work): minimize the
-    // placed tuple's estimated completion, Ĉ[op] + latency[op].
-    const common::TimeMs score =
-        c_est_[op] + (latency_hints_.empty() ? 0.0 : latency_hints_[op]);
+    // placed tuple's estimated completion, Ĉ[op] + latency[op]. The strict
+    // `<` breaks score ties toward the lowest id — the order GreedyIndex
+    // reproduces.
+    const common::TimeMs score = greedy_score(op);
     if (best == common::kNoInstance || score < best_score) {
       best_score = score;
       best = op;
     }
   }
   return best;
+}
+
+void PosgScheduler::rebuild_greedy() {
+  for (std::size_t op = 0; op < k_; ++op) {
+    greedy_scores_scratch_[op] = greedy_score(op);
+    greedy_alive_scratch_[op] = !failed_[op];
+  }
+  greedy_.rebuild(greedy_scores_scratch_, greedy_alive_scratch_);
 }
 
 common::InstanceId PosgScheduler::next_round_robin() noexcept {
@@ -99,6 +121,7 @@ void PosgScheduler::set_latency_hints(std::vector<common::TimeMs> hints) {
   common::require(hints.empty() || hints.size() == k_,
                   "PosgScheduler: latency hints must cover every instance");
   latency_hints_ = std::move(hints);
+  rebuild_greedy();
 }
 
 Decision PosgScheduler::schedule(common::Item item, common::SeqNo seq) {
@@ -112,7 +135,8 @@ Decision PosgScheduler::schedule(common::Item item, common::SeqNo seq) {
       // marker within the next k' tuples (Fig. 1.D), while Ĉ starts
       // accumulating estimates.
       const common::InstanceId target = next_round_robin();
-      c_est_[target] += scheduling_estimate(target, item);
+      c_est_[target] += scheduling_estimate(target, item, hashes_.digest(item));
+      greedy_.increase(target, greedy_score(target));
 
       std::optional<SyncRequest> marker;
       if (marker_pending_[target]) {
@@ -133,8 +157,11 @@ Decision PosgScheduler::schedule(common::Item item, common::SeqNo seq) {
     case State::kWaitAll:
     case State::kRun: {
       // Greedy Online Scheduler (Listing III.2: SUBMIT then UPDATE-Ĉ).
+      // One digest per tuple serves every sketch read, the pick is the
+      // cached argmin, and billing re-sifts only the picked instance.
       const common::InstanceId target = greedy_pick();
-      c_est_[target] += scheduling_estimate(target, item);
+      c_est_[target] += scheduling_estimate(target, item, hashes_.digest(item));
+      greedy_.increase(target, greedy_score(target));
       return Decision{target, std::nullopt};
     }
   }
@@ -219,6 +246,9 @@ void PosgScheduler::maybe_complete_epoch() noexcept {
       c_est_[op] = std::max(0.0, c_est_[op] + reply_delta_[op]);
     }
   }
+  // Δ corrections can lower scores, which the incremental index cannot
+  // absorb via increase(); epoch completion is rare, so rebuild.
+  rebuild_greedy();
   state_ = State::kRun;
 #if POSG_DCHECK_IS_ON
   debug_validate();
@@ -268,6 +298,9 @@ void PosgScheduler::mark_failed(common::InstanceId op) {
     }
   }
   c_est_[op] = 0.0;
+  // Candidate set and every survivor's score changed at once; quarantine
+  // is rare, so re-derive the incremental argmin wholesale.
+  rebuild_greedy();
 
   // Drop the dead instance's matrices from billing: on heterogeneous
   // clusters its per-item costs describe a replica that no longer executes
@@ -358,6 +391,14 @@ void PosgScheduler::debug_validate() const {
   // instance never holds a pending marker, and next_round_robin skips the
   // failed set by construction).
   POSG_CHECK(!failed_[greedy_pick()], "PosgScheduler: greedy pick chose a quarantined instance");
+  // The incremental argmin must agree with the reference linear scan at
+  // every validation point — the invariant that keeps the optimized
+  // scheduling stream byte-identical (tests/golden_schedule_test.cpp).
+  greedy_.debug_validate();
+  POSG_CHECK(greedy_.live() == live_count_,
+             "PosgScheduler: greedy index live count out of sync");
+  POSG_CHECK(greedy_pick() == greedy_pick_reference(),
+             "PosgScheduler: incremental greedy diverged from the reference scan");
 
   POSG_CHECK(std::isfinite(global_mean_) && global_mean_ >= 0.0,
              "PosgScheduler: global mean execution time must be finite and non-negative");

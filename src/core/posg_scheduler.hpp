@@ -4,7 +4,9 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/greedy_index.hpp"
 #include "core/scheduler.hpp"
+#include "hash/two_universal.hpp"
 
 namespace posg::core {
 
@@ -119,8 +121,26 @@ class PosgScheduler final : public Scheduler {
   /// ŵ for scheduling purposes: sketch estimate, falling back to the
   /// shipped sketch's mean execution time for never-seen items.
   common::TimeMs scheduling_estimate(common::InstanceId instance, common::Item item) const;
+  /// Digest form: `digest` is the item's one-pass hash digest under the
+  /// configured (seed, dims) — valid for every shipped and merged sketch,
+  /// because on_sketches rejects any other layout. schedule() computes it
+  /// once per tuple.
+  common::TimeMs scheduling_estimate(common::InstanceId instance, common::Item item,
+                                     const hash::BucketDigest& digest) const;
 
+  /// Cached argmin_op Ĉ[op] + latency_hints_[op] (see core/greedy_index.hpp);
+  /// O(1), maintained incrementally by every Ĉ mutation.
   common::InstanceId greedy_pick() const noexcept;
+  /// Reference linear scan of the same argmin, kept for debug_validate's
+  /// cross-check against the incremental index.
+  common::InstanceId greedy_pick_reference() const noexcept;
+  /// Instance op's greedy objective: Ĉ[op] + latency hint.
+  double greedy_score(common::InstanceId op) const noexcept {
+    return c_est_[op] + (latency_hints_.empty() ? 0.0 : latency_hints_[op]);
+  }
+  /// Re-derives the incremental argmin from scratch after a global score
+  /// change (epoch correction, quarantine, new latency hints).
+  void rebuild_greedy();
   common::InstanceId next_round_robin() noexcept;
   void enter_send_all() noexcept;
   void refresh_global_mean() noexcept;
@@ -129,6 +149,10 @@ class PosgScheduler final : public Scheduler {
 
   std::size_t k_;
   PosgConfig config_;
+  /// The configured (seed, dims) hash set — identical to the one inside
+  /// every shipped sketch (on_sketches enforces the layout), so schedule()
+  /// can digest each tuple once, up front, for all sketch reads.
+  hash::HashSet hashes_;
   State state_ = State::kRoundRobin;
   std::size_t rr_next_ = 0;
   common::Epoch epoch_ = 0;
@@ -159,6 +183,12 @@ class PosgScheduler final : public Scheduler {
   std::vector<bool> failed_;
   std::size_t live_count_;
   std::uint64_t stale_replies_ = 0;
+  /// Incremental greedy argmin over greedy_score(); rebuilt on global
+  /// events, nudged by increase() on the per-tuple billing path.
+  GreedyIndex greedy_;
+  /// Scratch for rebuild_greedy() so epoch boundaries do not allocate.
+  std::vector<double> greedy_scores_scratch_;
+  std::vector<bool> greedy_alive_scratch_;
 };
 
 }  // namespace posg::core

@@ -9,14 +9,22 @@ void OutputCollector::emit(Tuple tuple) {
     tuple.seq = engine_.next_seq_.fetch_add(1, std::memory_order_relaxed);
     tuple.emitted_at = Clock::now();
     auto& spout = *engine_.spouts_[component_index_];
-    engine_.route_emit(spout.outputs, std::move(tuple));
+    engine_.route_emit(spout.outputs, std::move(tuple), *this);
     spout.emitted.fetch_add(1, std::memory_order_relaxed);
   } else {
     auto& bolt = *engine_.bolts_[component_index_];
-    engine_.route_emit(bolt.outputs, std::move(tuple));
+    engine_.route_emit(bolt.outputs, std::move(tuple), *this);
     bolt.emitted.fetch_add(1, std::memory_order_relaxed);
   }
   ++emitted_;
+}
+
+void OutputCollector::flush() {
+  for (PendingBatch& batch : pending_) {
+    if (!batch.tuples.empty()) {
+      batch.queue->push_all(batch.tuples);  // clears the vector, keeps capacity
+    }
+  }
 }
 
 Engine::Engine(Topology topology, EngineConfig config)
@@ -77,7 +85,8 @@ Engine::Engine(Topology topology, EngineConfig config)
   }
 }
 
-void Engine::route_emit(const std::vector<StreamTarget>& targets, Tuple tuple) {
+void Engine::route_emit(const std::vector<StreamTarget>& targets, Tuple tuple,
+                        OutputCollector& collector) {
   common::require(!targets.empty(), "Engine: emitting from a terminal component");
   for (std::size_t i = 0; i < targets.size(); ++i) {
     const StreamTarget& target = targets[i];
@@ -87,7 +96,21 @@ void Engine::route_emit(const std::vector<StreamTarget>& targets, Tuple tuple) {
     // Copy for all targets but the last; move into the last.
     Tuple out = (i + 1 == targets.size()) ? std::move(tuple) : tuple;
     out.marker = route.marker;
-    bolt.queues[route.instance]->push(std::move(out));
+
+    // Stage on the destination queue's pending batch; the executor loop
+    // flushes after the emitting callback returns (see OutputCollector).
+    BoundedQueue<Tuple>* queue = bolt.queues[route.instance].get();
+    OutputCollector::PendingBatch* pending = nullptr;
+    for (auto& batch : collector.pending_) {
+      if (batch.queue == queue) {
+        pending = &batch;
+        break;
+      }
+    }
+    if (pending == nullptr) {
+      pending = &collector.pending_.emplace_back(OutputCollector::PendingBatch{queue, {}});
+    }
+    pending->tuples.push_back(std::move(out));
   }
 }
 
@@ -97,8 +120,13 @@ void Engine::spout_main(std::size_t index, common::InstanceId instance) {
   const auto spout_impl = spout.spec.factory(context);
   OutputCollector collector(*this, index, true);
   spout_impl->open(context);
+  // Flush after every next(): a paced source's emissions reach the queue
+  // before its next inter-arrival gap, so batching never inflates the
+  // end-to-end latency the completion recorder measures.
   while (spout_impl->next(collector)) {
+    collector.flush();
   }
+  collector.flush();  // a final next() may emit before reporting exhaustion
   spout_impl->close();
 }
 
@@ -116,36 +144,50 @@ void Engine::bolt_main(std::size_t index, common::InstanceId instance) {
     tracker.emplace(instance, *bolt.feedback->feedback_config());
   }
 
+  // Batched dequeue: one pop_all drains everything queued under a single
+  // lock acquisition — under load the consumer touches the mutex once per
+  // burst instead of once per tuple, and when the queue runs dry it
+  // blocks exactly as pop() did.
   BoundedQueue<Tuple>& queue = *bolt.queues[instance];
-  while (auto tuple = queue.pop()) {
+  std::vector<Tuple> batch;
+  while (queue.pop_all(batch) > 0) {
+    // The whole drained batch was resident at dequeue time — the same
+    // occupancy pop() observed as size() + 1 per element.
     bolt.per_instance_queue_peak[instance] =
-        std::max(bolt.per_instance_queue_peak[instance], queue.size() + 1);
-    const auto started = Clock::now();
-    try {
-      bolt_impl->execute(*tuple, collector);
-    } catch (const std::exception&) {
-      bolt.errors.fetch_add(1, std::memory_order_relaxed);
-    }
-    const auto finished = Clock::now();
-    bolt.executed.fetch_add(1, std::memory_order_relaxed);
-    ++bolt.per_instance_executed[instance];
-    bolt.per_instance_busy_ms[instance] += elapsed_ms(started, finished);
-
-    if (tracker) {
-      const common::TimeMs duration = elapsed_ms(started, finished);
-      if (auto shipment = tracker->on_executed(tuple->item, duration)) {
-        bolt.feedback->on_sketches(*shipment);
+        std::max(bolt.per_instance_queue_peak[instance], batch.size());
+    for (Tuple& tuple : batch) {
+      const auto started = Clock::now();
+      try {
+        bolt_impl->execute(tuple, collector);
+      } catch (const std::exception&) {
+        bolt.errors.fetch_add(1, std::memory_order_relaxed);
       }
-      if (tuple->marker) {
-        // Contract: the marker's reply uses C_op *including* this tuple,
-        // hence on_executed above runs first.
-        bolt.feedback->on_sync_reply(tracker->on_sync_request(*tuple->marker));
+      // Downstream emissions leave with this tuple, not with the batch:
+      // holding them back would add queued-behind-me latency to tuples
+      // the completion recorder times end to end.
+      collector.flush();
+      const auto finished = Clock::now();
+      bolt.executed.fetch_add(1, std::memory_order_relaxed);
+      ++bolt.per_instance_executed[instance];
+      bolt.per_instance_busy_ms[instance] += elapsed_ms(started, finished);
+
+      if (tracker) {
+        const common::TimeMs duration = elapsed_ms(started, finished);
+        if (auto shipment = tracker->on_executed(tuple.item, duration)) {
+          bolt.feedback->on_sketches(*shipment);
+        }
+        if (tuple.marker) {
+          // Contract: the marker's reply uses C_op *including* this tuple,
+          // hence on_executed above runs first.
+          bolt.feedback->on_sync_reply(tracker->on_sync_request(*tuple.marker));
+        }
+      }
+
+      if (bolt.terminal) {
+        recorder_.record(tuple.seq, elapsed_ms(tuple.emitted_at, finished));
       }
     }
-
-    if (bolt.terminal) {
-      recorder_.record(tuple->seq, elapsed_ms(tuple->emitted_at, finished));
-    }
+    batch.clear();
   }
   bolt_impl->cleanup();
 }

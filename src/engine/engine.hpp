@@ -24,8 +24,18 @@ struct EngineConfig {
 class Engine;
 
 /// Emission interface handed to spouts and bolts. Routes each emitted
-/// tuple through the grouping of every downstream stream and enqueues it
-/// at the chosen instance.
+/// tuple through the grouping of every downstream stream and stages it for
+/// the chosen instance's queue.
+///
+/// Staging, not pushing: emissions accumulate in per-queue pending batches
+/// and the executor loop flushes them (one BoundedQueue::push_all per
+/// touched queue) right after each next()/execute() callback returns. A
+/// component that emits a burst in one callback pays one lock acquisition
+/// and one consumer wakeup per target queue instead of one per tuple,
+/// while the flush-per-callback boundary keeps the pacing and latency
+/// semantics of unbatched emission: nothing an invocation emitted is still
+/// buffered by the time the next invocation (or the component's own
+/// inter-arrival sleep) begins.
 class OutputCollector {
  public:
   /// Emits `tuple` downstream. For spout emissions the engine assigns the
@@ -41,10 +51,26 @@ class OutputCollector {
   OutputCollector(Engine& engine, std::size_t component_index, bool is_spout)
       : engine_(engine), component_index_(component_index), is_spout_(is_spout) {}
 
+  /// One staged batch per destination queue this collector has emitted to.
+  /// The set of destinations is small and stable (downstream instances),
+  /// so a linear scan beats any map, and the vectors are reused across
+  /// flushes (push_all clears them in place).
+  struct PendingBatch {
+    BoundedQueue<Tuple>* queue;
+    std::vector<Tuple> tuples;
+  };
+
+  /// Hands every staged batch to its queue (BoundedQueue::push_all) in
+  /// emission order per queue. Called by the executor loop after every
+  /// component callback; a closed queue drops the remainder of its batch,
+  /// exactly as per-tuple push() drops on a closed queue.
+  void flush();
+
   Engine& engine_;
   std::size_t component_index_;  // index into the engine's component table
   bool is_spout_;
   std::uint64_t emitted_ = 0;
+  std::vector<PendingBatch> pending_;
 };
 
 /// Multi-threaded runtime for a Topology: one executor thread per
@@ -118,7 +144,10 @@ class Engine {
     std::atomic<std::uint64_t> emitted{0};
   };
 
-  void route_emit(const std::vector<StreamTarget>& targets, Tuple tuple);
+  /// Routes one emission through every target stream's grouping and
+  /// stages the routed copies in `collector`'s pending batches.
+  void route_emit(const std::vector<StreamTarget>& targets, Tuple tuple,
+                  OutputCollector& collector);
   void spout_main(std::size_t index, common::InstanceId instance);
   void bolt_main(std::size_t index, common::InstanceId instance);
 

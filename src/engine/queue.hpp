@@ -1,10 +1,12 @@
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "common/check.hpp"
 #include "common/types.hpp"
@@ -59,6 +61,74 @@ class BoundedQueue {
     lock.unlock();
     not_full_.notify_one();
     return value;
+  }
+
+  /// Batched push: moves every element of `values` into the queue,
+  /// blocking for room chunk by chunk (one lock acquisition and one wakeup
+  /// may admit many elements), and clears `values`. Elements are enqueued
+  /// in order; a close() mid-batch rejects exactly the not-yet-admitted
+  /// suffix. Returns the number of elements actually enqueued — callers
+  /// treat < values.size() as end-of-stream, like push()'s false.
+  ///
+  /// Batches larger than the capacity are legal: the call streams them
+  /// through in capacity-sized chunks (so a batch can never deadlock
+  /// against a draining consumer), at the cost of blocking mid-batch.
+  std::size_t push_all(std::vector<T>& values) {
+    std::size_t accepted = 0;
+    std::unique_lock lock(mutex_);
+    while (accepted < values.size()) {
+      not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+      if (closed_) {
+        rejected_ += values.size() - accepted;
+        break;
+      }
+      // Admit as much of the remainder as the free space allows under this
+      // one lock hold.
+      const std::size_t room = capacity_ - items_.size();
+      const std::size_t chunk = std::min(room, values.size() - accepted);
+      for (std::size_t i = 0; i < chunk; ++i) {
+        items_.push_back(std::move(values[accepted + i]));
+      }
+      accepted += chunk;
+      pushed_ += chunk;
+      // Per-chunk wakeup is required, not an optimization: when the batch
+      // exceeds the remaining room, this thread parks in not_full_.wait
+      // next iteration, and only an already-notified consumer can make the
+      // room it is waiting for. notify_all because one chunk may satisfy
+      // several blocked consumers.
+      not_empty_.notify_all();
+    }
+    lock.unlock();
+    values.clear();
+    return accepted;
+  }
+
+  /// Batched pop: blocks until at least one element is available (or the
+  /// queue is closed and drained), then hands over *everything* queued in
+  /// a single lock acquisition, appending to `out`. Returns the number of
+  /// elements delivered; 0 signals end-of-stream (closed and drained) —
+  /// the batch analogue of pop()'s std::nullopt. Delivery preserves FIFO
+  /// order. One call replaces up to capacity pop() lock/wake cycles, which
+  /// is what keeps the consumer side off the mutex under load.
+  std::size_t pop_all(std::vector<T>& out) {
+    std::size_t delivered = 0;
+    {
+      std::unique_lock lock(mutex_);
+      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+      delivered = items_.size();
+      if (delivered == 0) {
+        return 0;
+      }
+      out.reserve(out.size() + delivered);
+      for (auto& item : items_) {
+        out.push_back(std::move(item));
+      }
+      items_.clear();
+      popped_ += delivered;
+    }
+    // Everything was drained: every producer blocked on room can proceed.
+    not_full_.notify_all();
+    return delivered;
   }
 
   /// Stops accepting new elements; pending ones remain poppable.

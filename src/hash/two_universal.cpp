@@ -3,7 +3,10 @@
 namespace posg::hash {
 
 TwoUniversalHash::TwoUniversalHash(std::uint64_t a, std::uint64_t b, std::uint64_t codomain)
-    : a_(a), b_(b), codomain_(codomain) {
+    : a_(a),
+      b_(b),
+      codomain_(codomain),
+      reciprocal_(codomain >= 1 ? std::numeric_limits<std::uint64_t>::max() / codomain : 0) {
   common::require(codomain >= 1, "TwoUniversalHash: codomain must be >= 1");
   common::require(a >= 1 && a < kPrime, "TwoUniversalHash: need 1 <= a < p");
   common::require(b < kPrime, "TwoUniversalHash: need 0 <= b < p");
@@ -17,12 +20,19 @@ TwoUniversalHash TwoUniversalHash::sample(common::Xoshiro256StarStar& rng,
 }
 
 HashSet::HashSet(std::uint64_t seed, std::size_t rows, std::uint64_t codomain)
-    : seed_(seed), codomain_(codomain) {
+    : seed_(seed),
+      codomain_(codomain),
+      reciprocal_(codomain >= 1 ? std::numeric_limits<std::uint64_t>::max() / codomain : 0) {
   common::require(rows >= 1, "HashSet: need at least one row");
+  common::require(rows <= BucketDigest::kMaxRows,
+                  "HashSet: rows exceed BucketDigest::kMaxRows (stack digests)");
+  common::require(codomain >= 1, "HashSet: codomain must be >= 1");
   common::Xoshiro256StarStar rng(seed);
   hashes_.reserve(rows);
+  coeffs_.reserve(rows);
   for (std::size_t i = 0; i < rows; ++i) {
     hashes_.push_back(TwoUniversalHash::sample(rng, codomain));
+    coeffs_.push_back(RowCoeffs{hashes_.back().a(), hashes_.back().b()});
   }
 }
 

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/prng.hpp"
@@ -35,8 +37,24 @@ class TwoUniversalHash {
 
   /// Evaluates the hash. noexcept and branch-light: this sits on the
   /// per-tuple fast path of both operator instances and the scheduler.
+  /// The final `mod codomain` uses a precomputed reciprocal instead of the
+  /// hardware divide (see reduce_codomain); the result is bit-identical.
   std::uint64_t operator()(common::Item x) const noexcept {
-    return mod_prime(mul_mod(a_, x) + b_) % codomain_;
+    return eval(a_, b_, codomain_, reciprocal_, x);
+  }
+
+  /// Flat-parameter evaluation shared with HashSet's digest loop, where
+  /// (codomain, reciprocal) are loop constants and only (a, b) vary per
+  /// row. The inner product is only *partially* folded before b is added:
+  /// (prod & p) + (prod >> 61) ≡ a·x (mod p) and is < 2^62, so the sum
+  /// with b (< p) stays inside mod_prime's 2^62 + 2^61 domain — one full
+  /// reduction per evaluation instead of two, same value exactly.
+  static std::uint64_t eval(std::uint64_t a, std::uint64_t b, std::uint64_t codomain,
+                            std::uint64_t reciprocal, common::Item x) noexcept {
+    const common::Uint128 prod = static_cast<common::Uint128>(a) * x;
+    const std::uint64_t folded =
+        (static_cast<std::uint64_t>(prod) & kPrime) + static_cast<std::uint64_t>(prod >> 61);
+    return reduce_codomain(mod_prime(folded + b), codomain, reciprocal);
   }
 
   std::uint64_t a() const noexcept { return a_; }
@@ -54,17 +72,68 @@ class TwoUniversalHash {
     return r;
   }
 
-  /// (a*x) mod p via 128-bit product and two folds.
-  static std::uint64_t mul_mod(std::uint64_t a, std::uint64_t x) noexcept {
-    const common::Uint128 prod = static_cast<common::Uint128>(a) * x;
-    const std::uint64_t lo = static_cast<std::uint64_t>(prod) & kPrime;
-    const std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
-    return mod_prime(lo + hi);
+  /// Exact (x mod codomain) for x < 2^62 without a divide instruction
+  /// (Granlund–Montgomery / Lemire-style reciprocal). With
+  /// M = floor((2^64 - 1) / c) = (2^64 - e)/c for some e in [1, c], the
+  /// estimate q = floor(x*M / 2^64) = floor(x/c - x*e/(c*2^64)) and the
+  /// error term is at most x/2^64 < 1/4, so q is floor(x/c) or one less;
+  /// a single conditional subtract restores the exact remainder. The
+  /// hardware 64-bit divide this replaces costs ~20-30 cycles and sits in
+  /// every row of every sketch touch, per tuple.
+  static std::uint64_t reduce_codomain(std::uint64_t x, std::uint64_t codomain,
+                                       std::uint64_t reciprocal) noexcept {
+    const auto q =
+        static_cast<std::uint64_t>((static_cast<common::Uint128>(x) * reciprocal) >> 64);
+    std::uint64_t r = x - q * codomain;
+    if (r >= codomain) {
+      r -= codomain;
+    }
+    return r;
   }
 
   std::uint64_t a_;
   std::uint64_t b_;
   std::uint64_t codomain_;
+  /// floor((2^64 - 1) / codomain_), precomputed once at construction.
+  std::uint64_t reciprocal_;
+};
+
+/// The row-major cell coordinates of one item under every row of a
+/// HashSet, computed in a single pass: offset(i) = i * codomain +
+/// h_i(item). One digest is valid for *every* Count-Min matrix built from
+/// the same (seed, rows, codomain) triple — which is exactly the triple
+/// the POSG protocol forces the scheduler and all k operator instances to
+/// share — so the per-tuple hash work collapses from one evaluation per
+/// matrix touched to one evaluation total (PAPER.md Sec. III's few-
+/// nanosecond grouping budget).
+///
+/// Plain value type, sized for the stack; never heap-allocates.
+class BucketDigest {
+ public:
+  /// Upper bound on supported rows; matches the wire format's cap
+  /// (sketch::deserialize rejects rows > 64) and is far above the
+  /// ceil(log2(1/delta)) rows any practical accuracy target yields.
+  static constexpr std::size_t kMaxRows = 64;
+
+  std::size_t rows() const noexcept { return rows_; }
+
+  /// Row-major cell offset for row `row`: row * codomain + bucket(row).
+  std::size_t offset(std::size_t row) const noexcept { return offsets_[row]; }
+
+  /// True when this digest was derived from a hash set with the given
+  /// identity — the precondition for indexing that set's matrices.
+  bool compatible_with(std::uint64_t seed, std::size_t rows,
+                       std::uint64_t codomain) const noexcept {
+    return seed_ == seed && rows_ == rows && codomain_ == codomain;
+  }
+
+ private:
+  friend class HashSet;
+
+  std::array<std::size_t, kMaxRows> offsets_;  // only [0, rows_) are set
+  std::size_t rows_ = 0;
+  std::uint64_t seed_ = 0;
+  std::uint64_t codomain_ = 0;
 };
 
 /// An ordered set of `rows` independent hash functions sharing one codomain
@@ -77,6 +146,8 @@ class TwoUniversalHash {
 class HashSet {
  public:
   /// Derives `rows` functions with range `codomain` from `seed`.
+  /// Requires rows <= BucketDigest::kMaxRows so every hash set can be
+  /// digested on the stack.
   HashSet(std::uint64_t seed, std::size_t rows, std::uint64_t codomain);
 
   std::size_t rows() const noexcept { return hashes_.size(); }
@@ -86,6 +157,36 @@ class HashSet {
   /// Row `row`'s bucket for item `x`.
   std::uint64_t bucket(std::size_t row, common::Item x) const noexcept {
     return hashes_[row](x);
+  }
+
+  /// Visits the row-major cell offset of `x` under every row exactly once
+  /// (`fn(row, offset)`), in row order — the zero-materialization core of
+  /// digest() for callers that touch cells immediately and never need to
+  /// keep the offsets (the instance-side fused F+W update). Runs over the
+  /// compact (a, b) coefficient table: codomain and reciprocal are loop
+  /// constants shared by every row, so each iteration loads 16 bytes and
+  /// keeps the reduction constants in registers.
+  template <typename Fn>
+  void each_offset(common::Item x, Fn&& fn) const noexcept {
+    const RowCoeffs* coeffs = coeffs_.data();
+    const std::size_t rows = coeffs_.size();
+    std::size_t base = 0;
+    for (std::size_t i = 0; i < rows; ++i) {
+      fn(i, base + TwoUniversalHash::eval(coeffs[i].a, coeffs[i].b, codomain_, reciprocal_, x));
+      base += static_cast<std::size_t>(codomain_);
+    }
+  }
+
+  /// Evaluates every row once and packs the resulting row-major cell
+  /// offsets into a stack digest — the one-pass form of the per-row
+  /// bucket() calls a Count-Min touch needs.
+  BucketDigest digest(common::Item x) const noexcept {
+    BucketDigest d;
+    d.rows_ = coeffs_.size();
+    d.seed_ = seed_;
+    d.codomain_ = codomain_;
+    each_offset(x, [&d](std::size_t i, std::size_t offset) noexcept { d.offsets_[i] = offset; });
+    return d;
   }
 
   const TwoUniversalHash& function(std::size_t row) const { return hashes_.at(row); }
@@ -98,9 +199,18 @@ class HashSet {
   }
 
  private:
+  /// Per-row Carter–Wegman coefficients, packed for the digest loop.
+  struct RowCoeffs {
+    std::uint64_t a;
+    std::uint64_t b;
+  };
+
   std::uint64_t seed_;
   std::uint64_t codomain_;
+  /// floor((2^64 - 1) / codomain_) — one reciprocal serves all rows.
+  std::uint64_t reciprocal_;
   std::vector<TwoUniversalHash> hashes_;
+  std::vector<RowCoeffs> coeffs_;  // mirrors hashes_[i].a()/b()
 };
 
 }  // namespace posg::hash

@@ -90,6 +90,11 @@ std::vector<std::byte> encode(const Message& message) {
             writer.put(value.marker->estimated_cumulated);
           }
         } else if constexpr (std::is_same_v<T, core::SketchShipment>) {
+          // Shipments dominate control-bus bytes; size the frame up front
+          // so the serialized matrices land in one allocation.
+          const auto* hh = value.sketch.heavy_hitters();
+          payload.reserve(1 + sizeof(std::uint64_t) +
+                          sketch::serialized_size(value.sketch.dims(), hh ? hh->size() : 0));
           writer.put(Tag::kShipment);
           writer.put(static_cast<std::uint64_t>(value.instance));
           writer.put_bytes(sketch::serialize(value.sketch));

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/types.hpp"
 #include "hash/two_universal.hpp"
 
@@ -60,11 +61,21 @@ class CountMin {
   const SketchDims& dims() const noexcept { return dims_; }
   const hash::HashSet& hashes() const noexcept { return hashes_; }
 
+  /// One-pass digest of item `t`: every row hash evaluated exactly once.
+  /// The digest indexes *any* sketch sharing this sketch's (seed, dims) —
+  /// the scheduler computes one per tuple and reuses it across the merged
+  /// sketch, every per-instance sketch, and both F and W matrices.
+  hash::BucketDigest digest(common::Item t) const noexcept { return hashes_.digest(t); }
+
   /// Adds `value` to item `t`'s cell in every row (the generalized update
   /// of Sec. III-A; plain frequency counting passes value = 1).
-  void update(common::Item t, Counter value) noexcept {
+  void update(common::Item t, Counter value) noexcept { update(digest(t), value); }
+
+  /// Digest form of update(): no hash work, pure cell arithmetic.
+  void update(const hash::BucketDigest& d, Counter value) noexcept {
+    POSG_DCHECK(digest_matches(d), "CountMin: digest from a different hash set");
     for (std::size_t i = 0; i < dims_.rows; ++i) {
-      cells_[i * dims_.cols + hashes_.bucket(i, t)] += value;
+      cells_[d.offset(i)] += value;
     }
   }
 
@@ -75,14 +86,21 @@ class CountMin {
   /// was raised (callers keeping a parallel matrix — the weight sketch —
   /// must mirror the same cells to keep per-cell ratios meaningful).
   std::uint32_t update_conservative(common::Item t, Counter value) noexcept {
+    return update_conservative(digest(t), value);
+  }
+
+  /// Digest form of update_conservative(): the min scan and the raise scan
+  /// reuse the digest instead of re-evaluating every row hash twice.
+  std::uint32_t update_conservative(const hash::BucketDigest& d, Counter value) noexcept {
+    POSG_DCHECK(digest_matches(d), "CountMin: digest from a different hash set");
     Counter current_min = std::numeric_limits<Counter>::max();
     for (std::size_t i = 0; i < dims_.rows; ++i) {
-      current_min = std::min(current_min, cells_[i * dims_.cols + hashes_.bucket(i, t)]);
+      current_min = std::min(current_min, cells_[d.offset(i)]);
     }
     const Counter target = current_min + value;
     std::uint32_t raised_mask = 0;
     for (std::size_t i = 0; i < dims_.rows; ++i) {
-      Counter& cell = cells_[i * dims_.cols + hashes_.bucket(i, t)];
+      Counter& cell = cells_[d.offset(i)];
       if (cell < target) {
         cell = target;
         raised_mask |= (1u << i);
@@ -94,22 +112,38 @@ class CountMin {
   /// Adds `value` only to the rows whose bit is set in `mask` — the
   /// weight-matrix side of a conservative dual update.
   void update_masked(common::Item t, Counter value, std::uint32_t mask) noexcept {
+    update_masked(digest(t), value, mask);
+  }
+
+  /// Digest form of update_masked().
+  void update_masked(const hash::BucketDigest& d, Counter value, std::uint32_t mask) noexcept {
+    POSG_DCHECK(digest_matches(d), "CountMin: digest from a different hash set");
     for (std::size_t i = 0; i < dims_.rows; ++i) {
       if (mask & (1u << i)) {
-        cells_[i * dims_.cols + hashes_.bucket(i, t)] += value;
+        cells_[d.offset(i)] += value;
       }
     }
   }
 
   /// Point query: min over rows — never underestimates (for non-negative
   /// updates).
-  Counter estimate(common::Item t) const noexcept {
+  Counter estimate(common::Item t) const noexcept { return estimate(digest(t)); }
+
+  /// Digest form of estimate(): branch-free row minimum over precomputed
+  /// offsets.
+  Counter estimate(const hash::BucketDigest& d) const noexcept {
+    POSG_DCHECK(digest_matches(d), "CountMin: digest from a different hash set");
     Counter best = std::numeric_limits<Counter>::max();
     for (std::size_t i = 0; i < dims_.rows; ++i) {
-      best = std::min(best, cells_[i * dims_.cols + hashes_.bucket(i, t)]);
+      best = std::min(best, cells_[d.offset(i)]);
     }
     return best;
   }
+
+  /// Unchecked cell read by digest offset — the scheduler's estimator
+  /// reads F and W at identical coordinates and the digest already proved
+  /// the offsets in range (offset(i) < rows * cols by construction).
+  Counter cell_at(std::size_t offset) const noexcept { return cells_[offset]; }
 
   /// Cell value at (row, col); used by the dual-sketch ratio estimator and
   /// by tests.
@@ -145,6 +179,10 @@ class CountMin {
   std::vector<Counter>& raw_cells() noexcept { return cells_; }
 
  private:
+  bool digest_matches(const hash::BucketDigest& d) const noexcept {
+    return d.compatible_with(hashes_.seed(), dims_.rows, dims_.cols);
+  }
+
   SketchDims dims_;
   hash::HashSet hashes_;
   std::vector<Counter> cells_;

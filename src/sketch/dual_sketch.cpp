@@ -26,12 +26,46 @@ DualSketch::DualSketch(double epsilon, double delta, std::uint64_t seed,
 
 void DualSketch::update(common::Item t, common::TimeMs execution_time) noexcept {
   if (conservative_) {
-    const std::uint32_t raised = freq_.update_conservative(t, 1);
-    weight_.update_masked(t, execution_time, raised);
-  } else {
-    freq_.update(t, 1);
-    weight_.update(t, execution_time);
+    update(t, freq_.digest(t), execution_time);
+    return;
   }
+  // Instance-side fused fast path: each row's offset is computed once and
+  // immediately touches both F and W — no digest materialized, one pass
+  // over the rows total. Rows map to disjoint cells (offsets carry the
+  // row base), so the per-cell accumulation order is identical to the
+  // digest form below and results stay bit-identical.
+  std::uint64_t* f = freq_.raw_cells().data();
+  double* w = weight_.raw_cells().data();
+  freq_.hashes().each_offset(t, [&](std::size_t, std::size_t offset) noexcept {
+    f[offset] += 1;
+    w[offset] += execution_time;
+  });
+  note_update(t, execution_time);
+}
+
+void DualSketch::update(common::Item t, const hash::BucketDigest& d,
+                        common::TimeMs execution_time) noexcept {
+  // One digest serves every matrix pass: F, W, and (in conservative mode)
+  // the min scan — previously up to 3·r hash evaluations per update.
+  if (conservative_) {
+    const std::uint32_t raised = freq_.update_conservative(d, 1);
+    weight_.update_masked(d, execution_time, raised);
+  } else {
+    POSG_DCHECK(d.compatible_with(freq_.hashes().seed(), freq_.rows(), freq_.cols()),
+                "DualSketch: digest from a different hash set");
+    std::uint64_t* f = freq_.raw_cells().data();
+    double* w = weight_.raw_cells().data();
+    const std::size_t rows = freq_.rows();
+    for (std::size_t i = 0; i < rows; ++i) {
+      const std::size_t offset = d.offset(i);
+      f[offset] += 1;
+      w[offset] += execution_time;
+    }
+  }
+  note_update(t, execution_time);
+}
+
+void DualSketch::note_update(common::Item t, common::TimeMs execution_time) noexcept {
   if (heavy_) {
     heavy_->update(t, execution_time);
   }
@@ -41,25 +75,32 @@ void DualSketch::update(common::Item t, common::TimeMs execution_time) noexcept 
 
 std::optional<common::TimeMs> DualSketch::estimate(common::Item t,
                                                    EstimatorVariant variant) const noexcept {
+  return estimate(t, freq_.digest(t), variant);
+}
+
+std::optional<common::TimeMs> DualSketch::estimate(common::Item t, const hash::BucketDigest& d,
+                                                   EstimatorVariant variant) const noexcept {
+  POSG_DCHECK(d.compatible_with(freq_.hashes().seed(), freq_.rows(), freq_.cols()),
+              "DualSketch: digest from a different hash set");
   // Hybrid path: heavy items are answered from exact observed samples.
   if (heavy_) {
     if (auto exact = heavy_->mean_time(t)) {
       return exact;
     }
   }
-  const auto& hashes = freq_.hashes();
   const std::size_t rows = freq_.rows();
 
   if (variant == EstimatorVariant::kArgMinFrequency) {
-    // Listing III.2: i* = argmin_i F[i, h_i(t)], return W[i*]/F[i*].
+    // Listing III.2: i* = argmin_i F[i, h_i(t)], return W[i*]/F[i*]. F and
+    // W share dims and hashes (debug_validate), so one offset reads both.
     std::uint64_t best_freq = std::numeric_limits<std::uint64_t>::max();
     double best_weight = 0.0;
     for (std::size_t i = 0; i < rows; ++i) {
-      const std::uint64_t bucket = hashes.bucket(i, t);
-      const std::uint64_t f = freq_.cell(i, bucket);
+      const std::size_t offset = d.offset(i);
+      const std::uint64_t f = freq_.cell_at(offset);
       if (f < best_freq) {
         best_freq = f;
-        best_weight = weight_.cell(i, bucket);
+        best_weight = weight_.cell_at(offset);
       }
     }
     if (best_freq == 0) {
@@ -71,12 +112,12 @@ std::optional<common::TimeMs> DualSketch::estimate(common::Item t,
   // kMinRatio: min over rows of W[i]/F[i], skipping empty cells.
   std::optional<common::TimeMs> best;
   for (std::size_t i = 0; i < rows; ++i) {
-    const std::uint64_t bucket = hashes.bucket(i, t);
-    const std::uint64_t f = freq_.cell(i, bucket);
+    const std::size_t offset = d.offset(i);
+    const std::uint64_t f = freq_.cell_at(offset);
     if (f == 0) {
       continue;
     }
-    const double ratio = weight_.cell(i, bucket) / static_cast<double>(f);
+    const double ratio = weight_.cell_at(offset) / static_cast<double>(f);
     if (!best || ratio < *best) {
       best = ratio;
     }
@@ -121,8 +162,15 @@ void DualSketch::merge_from(const DualSketch& other) {
     if (combined.size() > heavy_->capacity()) {
       std::vector<std::pair<common::Item, SpaceSaving::Entry>> ranked(combined.begin(),
                                                                       combined.end());
+      // Strict total order: count descending, item id ascending on ties.
+      // With ties broken only by count, nth_element's partition (and hence
+      // the surviving item *set*) depended on the unordered_map's iteration
+      // order, making merged sketches irreproducible across runs.
       std::nth_element(ranked.begin(), ranked.begin() + heavy_->capacity() - 1, ranked.end(),
-                       [](const auto& a, const auto& b) { return a.second.count > b.second.count; });
+                       [](const auto& a, const auto& b) {
+                         return a.second.count != b.second.count ? a.second.count > b.second.count
+                                                                 : a.first < b.first;
+                       });
       ranked.resize(heavy_->capacity());
       combined.clear();
       combined.insert(ranked.begin(), ranked.end());

@@ -35,14 +35,32 @@ class DualSketch {
   DualSketch(double epsilon, double delta, std::uint64_t seed, std::size_t heavy_capacity = 0,
              bool conservative = false);
 
+  /// One-pass digest of item `t` under the shared (seed, dims) hash set;
+  /// valid for this sketch and every sketch with the same layout.
+  hash::BucketDigest digest(common::Item t) const noexcept { return freq_.digest(t); }
+
   /// Records one execution of item `t` that took `execution_time`
-  /// (Listing III.1: F += 1, W += w in every row).
+  /// (Listing III.1: F += 1, W += w in every row). The row hashes are
+  /// evaluated once and shared by F and W (and both conservative passes).
   void update(common::Item t, common::TimeMs execution_time) noexcept;
+
+  /// Digest form: the caller already paid the hash pass.
+  void update(common::Item t, const hash::BucketDigest& d,
+              common::TimeMs execution_time) noexcept;
 
   /// Estimated execution time of item `t`, or std::nullopt when `t` maps
   /// only to empty cells (never-seen item on a fresh sketch).
   std::optional<common::TimeMs> estimate(
       common::Item t, EstimatorVariant variant = EstimatorVariant::kArgMinFrequency) const noexcept;
+
+  /// Digest form of estimate(): reads F and W cells by precomputed offset;
+  /// the item is still needed for the exact heavy-hitter side table. One
+  /// digest computed by the scheduler serves all k per-instance sketches
+  /// plus the merged sketch, because the protocol forces them to share
+  /// (seed, dims) — see PosgConfig::sketch_seed.
+  std::optional<common::TimeMs> estimate(
+      common::Item t, const hash::BucketDigest& d,
+      EstimatorVariant variant = EstimatorVariant::kArgMinFrequency) const noexcept;
 
   /// Mean execution time over everything recorded (row-0 totals W/F);
   /// the scheduler's fallback for unseen items. nullopt when empty.
@@ -101,6 +119,9 @@ class DualSketch {
   void debug_validate() const;
 
  private:
+  /// Shared tail of both update forms: heavy-hitter side table + totals.
+  void note_update(common::Item t, common::TimeMs execution_time) noexcept;
+
   FrequencySketch freq_;
   WeightSketch weight_;
   std::optional<SpaceSaving> heavy_;

@@ -126,4 +126,149 @@ TEST(BoundedQueue, RejectsZeroCapacity) {
   EXPECT_THROW(BoundedQueue<int>(0), std::invalid_argument);
 }
 
+// ------------------------------------------------------ batched APIs
+
+TEST(BoundedQueue, PushAllPreservesFifoAndClearsInput) {
+  BoundedQueue<int> queue(10);
+  std::vector<int> batch{1, 2, 3, 4};
+  EXPECT_EQ(queue.push_all(batch), 4u);
+  EXPECT_TRUE(batch.empty());
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_EQ(queue.pop().value(), i);
+  }
+  queue.debug_validate();
+}
+
+TEST(BoundedQueue, PopAllDrainsEverythingInOrder) {
+  BoundedQueue<int> queue(10);
+  for (int i = 0; i < 6; ++i) {
+    queue.push(i);
+  }
+  std::vector<int> out{-1};  // pop_all appends, never overwrites
+  EXPECT_EQ(queue.pop_all(out), 6u);
+  EXPECT_EQ(out, (std::vector<int>{-1, 0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(queue.size(), 0u);
+  queue.debug_validate();
+}
+
+TEST(BoundedQueue, PopAllSignalsEndOfStreamWithZero) {
+  BoundedQueue<int> queue(4);
+  queue.push(9);
+  queue.close();
+  std::vector<int> out;
+  EXPECT_EQ(queue.pop_all(out), 1u);
+  EXPECT_EQ(queue.pop_all(out), 0u);  // closed and drained
+  EXPECT_EQ(out, std::vector<int>{9});
+}
+
+TEST(BoundedQueue, PushAllLargerThanCapacityStreamsThrough) {
+  // A batch bigger than the queue must stream in chunks against a live
+  // consumer rather than deadlock or overflow capacity.
+  BoundedQueue<int> queue(3);
+  std::vector<int> received;
+  std::thread consumer([&] {
+    std::vector<int> out;
+    while (queue.pop_all(out) > 0) {
+      queue.debug_validate();  // occupancy <= capacity mid-stream too
+      received.insert(received.end(), out.begin(), out.end());
+      out.clear();
+    }
+  });
+  std::vector<int> batch(100);
+  for (int i = 0; i < 100; ++i) {
+    batch[i] = i;
+  }
+  EXPECT_EQ(queue.push_all(batch), 100u);
+  queue.close();
+  consumer.join();
+  ASSERT_EQ(received.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(received[i], i);
+  }
+  queue.debug_validate();
+  EXPECT_EQ(queue.pushed(), 100u);
+  EXPECT_EQ(queue.popped(), 100u);
+  EXPECT_EQ(queue.rejected(), 0u);
+}
+
+TEST(BoundedQueue, PushAllOnClosedQueueRejectsWholeBatch) {
+  BoundedQueue<int> queue(10);
+  queue.close();
+  std::vector<int> batch{1, 2, 3};
+  EXPECT_EQ(queue.push_all(batch), 0u);
+  EXPECT_EQ(queue.rejected(), 3u);
+  queue.debug_validate();
+}
+
+TEST(BoundedQueue, CloseMidBatchRejectsExactlyTheSuffix) {
+  // Producer stages a batch far larger than capacity with no consumer;
+  // close() must reject exactly the not-yet-admitted suffix and the
+  // accounting must balance (debug_validate's conservation invariant).
+  BoundedQueue<int> queue(2);
+  std::atomic<std::size_t> accepted{0};
+  std::thread producer([&] {
+    std::vector<int> batch(50, 7);
+    accepted = queue.push_all(batch);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  producer.join();
+  EXPECT_EQ(accepted.load(), 2u);  // capacity admitted, the rest refused
+  EXPECT_EQ(queue.pushed(), 2u);
+  EXPECT_EQ(queue.rejected(), 48u);
+  queue.debug_validate();
+  std::vector<int> out;
+  EXPECT_EQ(queue.pop_all(out), 2u);
+  EXPECT_EQ(queue.pop_all(out), 0u);
+  queue.debug_validate();
+}
+
+TEST(BoundedQueue, BatchedConservationUnderConcurrentProducers) {
+  // Mixed per-tuple and batched producers against a batched consumer:
+  // every element pushed is popped exactly once, and debug_validate's
+  // conservation counters hold at interleaved validation points.
+  BoundedQueue<int> queue(16);
+  const int per_producer = 400;
+  const int producers_n = 4;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < producers_n; ++p) {
+    producers.emplace_back([&queue, p] {
+      if (p % 2 == 0) {
+        std::vector<int> batch;
+        for (int i = 0; i < per_producer; ++i) {
+          batch.push_back(p * per_producer + i);
+          if (batch.size() == 7 || i + 1 == per_producer) {
+            queue.push_all(batch);
+          }
+        }
+      } else {
+        for (int i = 0; i < per_producer; ++i) {
+          queue.push(p * per_producer + i);
+        }
+      }
+    });
+  }
+  std::vector<bool> seen(producers_n * per_producer, false);
+  std::size_t total = 0;
+  std::vector<int> out;
+  while (total < seen.size()) {
+    const std::size_t delivered = queue.pop_all(out);
+    ASSERT_GT(delivered, 0u);
+    total += delivered;
+    for (int value : out) {
+      ASSERT_FALSE(seen[static_cast<std::size_t>(value)]);
+      seen[static_cast<std::size_t>(value)] = true;
+    }
+    out.clear();
+    queue.debug_validate();
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  queue.debug_validate();
+  EXPECT_EQ(queue.pushed(), static_cast<std::uint64_t>(producers_n * per_producer));
+  EXPECT_EQ(queue.popped(), queue.pushed());
+  EXPECT_EQ(queue.rejected(), 0u);
+}
+
 }  // namespace

@@ -1,0 +1,271 @@
+// Bit-identity of the hot-path fast forms against straightforward
+// references:
+//
+//   - BucketDigest offsets vs a naive __int128 ((a*x + b) mod p) mod c
+//     evaluation (pins the Granlund–Montgomery reciprocal reduction),
+//   - digest-based CountMin update/update_conservative/update_masked/
+//     estimate vs the item-based forms on an independently built twin
+//     sketch (cells compared exactly),
+//   - digest-based DualSketch update/estimate vs the item-based forms,
+//   - digest portability across sketches sharing (seed, dims),
+//   - GreedyIndex (incremental argmin) vs a brute-force scan, in both the
+//     linear and the indexed-heap regime, including the lowest-id
+//     tie-break.
+//
+// "Fast" that is not bit-identical is a behaviour change; every
+// comparison here is EQ on integers/raw doubles, never NEAR.
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "common/types.hpp"
+#include "core/greedy_index.hpp"
+#include "hash/two_universal.hpp"
+#include "sketch/count_min.hpp"
+#include "sketch/dual_sketch.hpp"
+
+namespace posg {
+namespace {
+
+constexpr std::uint64_t kSeed = 0xC0FFEEULL;
+
+// ------------------------------------------------------------- digests
+
+TEST(BucketDigest, OffsetsMatchNaiveWideModulo) {
+  for (const std::uint64_t codomain : {1ULL, 2ULL, 3ULL, 54ULL, 544ULL, 100003ULL}) {
+    const hash::HashSet hashes(kSeed, 4, codomain);
+    common::Xoshiro256StarStar rng(7);
+    for (int i = 0; i < 2000; ++i) {
+      // Items must lie in the supported universe [0, p): the Mersenne
+      // folds are exact mod-p only there (and 2-universality is only
+      // claimed there — see TwoUniversalHash).
+      const common::Item x = rng.next_below(hash::TwoUniversalHash::kPrime);
+      const auto digest = hashes.digest(x);
+      ASSERT_EQ(digest.rows(), 4u);
+      for (std::size_t row = 0; row < 4; ++row) {
+        const auto& h = hashes.function(row);
+        // Naive reference: full-width modular arithmetic, hardware `%`.
+        const auto wide = static_cast<unsigned __int128>(h.a()) * x + h.b();
+        const auto bucket = static_cast<std::uint64_t>(
+            (wide % hash::TwoUniversalHash::kPrime) % codomain);
+        ASSERT_EQ(digest.offset(row), row * codomain + bucket)
+            << "codomain=" << codomain << " row=" << row << " x=" << x;
+        ASSERT_EQ(hashes.bucket(row, x), bucket);
+      }
+    }
+  }
+}
+
+TEST(BucketDigest, CompatibilityIsTheLayoutTriple) {
+  const hash::HashSet hashes(kSeed, 4, 54);
+  const auto digest = hashes.digest(123);
+  EXPECT_TRUE(digest.compatible_with(kSeed, 4, 54));
+  EXPECT_FALSE(digest.compatible_with(kSeed + 1, 4, 54));
+  EXPECT_FALSE(digest.compatible_with(kSeed, 3, 54));
+  EXPECT_FALSE(digest.compatible_with(kSeed, 4, 55));
+}
+
+TEST(BucketDigest, HashSetRejectsUndigestableRowCounts) {
+  EXPECT_NO_THROW(hash::HashSet(kSeed, hash::BucketDigest::kMaxRows, 8));
+  EXPECT_THROW(hash::HashSet(kSeed, hash::BucketDigest::kMaxRows + 1, 8),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------- CountMin equivalence
+
+TEST(CountMinDigest, UpdateAndEstimateMatchItemForms) {
+  const sketch::SketchDims dims{4, 54};
+  sketch::FrequencySketch by_item(dims, kSeed);
+  sketch::FrequencySketch by_digest(dims, kSeed);
+
+  common::Xoshiro256StarStar rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const common::Item item = rng.next_below(512);
+    by_item.update(item, 1);
+    by_digest.update(by_digest.digest(item), 1);
+  }
+  ASSERT_EQ(by_item.raw_cells(), by_digest.raw_cells());
+
+  common::Xoshiro256StarStar probe(13);
+  for (int i = 0; i < 1000; ++i) {
+    const common::Item item = probe.next_below(1024);
+    ASSERT_EQ(by_item.estimate(item), by_digest.estimate(by_digest.digest(item)));
+  }
+}
+
+TEST(CountMinDigest, ConservativeUpdateMatchesItemFormIncludingMask) {
+  const sketch::SketchDims dims{4, 54};
+  sketch::FrequencySketch by_item(dims, kSeed);
+  sketch::FrequencySketch by_digest(dims, kSeed);
+  sketch::WeightSketch w_item(dims, kSeed);
+  sketch::WeightSketch w_digest(dims, kSeed);
+
+  common::Xoshiro256StarStar rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    const common::Item item = rng.next_below(128);  // dense: forces collisions
+    const double weight = 0.25 * static_cast<double>(item % 9);
+    const std::uint32_t mask_item = by_item.update_conservative(item, 1);
+    const auto digest = by_digest.digest(item);
+    const std::uint32_t mask_digest = by_digest.update_conservative(digest, 1);
+    ASSERT_EQ(mask_item, mask_digest);
+    w_item.update_masked(item, weight, mask_item);
+    w_digest.update_masked(digest, weight, mask_digest);
+  }
+  ASSERT_EQ(by_item.raw_cells(), by_digest.raw_cells());
+  ASSERT_EQ(w_item.raw_cells(), w_digest.raw_cells());
+}
+
+TEST(CountMinDigest, DigestFromTwinSketchIsInterchangeable) {
+  // The protocol guarantees scheduler and instances share (seed, dims);
+  // a digest computed against any of them must index all of them.
+  const sketch::SketchDims dims{4, 54};
+  sketch::FrequencySketch a(dims, kSeed);
+  sketch::FrequencySketch b(dims, kSeed);
+  for (common::Item item = 0; item < 300; ++item) {
+    a.update(a.digest(item), 2);
+    b.update(a.digest(item), 2);  // digest minted by the *other* sketch
+  }
+  ASSERT_EQ(a.raw_cells(), b.raw_cells());
+}
+
+// ----------------------------------------------- DualSketch equivalence
+
+TEST(DualSketchDigest, UpdateAndEstimateMatchItemForms) {
+  for (const bool conservative : {false, true}) {
+    for (const std::size_t heavy : {std::size_t{0}, std::size_t{8}}) {
+      const sketch::SketchDims dims{4, 54};
+      sketch::DualSketch by_item(dims, kSeed, heavy, conservative);
+      sketch::DualSketch by_digest(dims, kSeed, heavy, conservative);
+
+      common::Xoshiro256StarStar rng(23);
+      for (int i = 0; i < 4000; ++i) {
+        const common::Item item = rng.next_below(256);
+        const double weight = 0.5 + static_cast<double>(item % 11);
+        by_item.update(item, weight);
+        by_digest.update(item, by_digest.digest(item), weight);
+      }
+      ASSERT_EQ(by_item.frequencies().raw_cells(), by_digest.frequencies().raw_cells());
+      ASSERT_EQ(by_item.weights().raw_cells(), by_digest.weights().raw_cells());
+
+      common::Xoshiro256StarStar probe(29);
+      for (int i = 0; i < 500; ++i) {
+        const common::Item item = probe.next_below(512);
+        for (const auto variant : {sketch::EstimatorVariant::kArgMinFrequency,
+                                   sketch::EstimatorVariant::kMinRatio}) {
+          const auto expected = by_item.estimate(item, variant);
+          const auto actual = by_digest.estimate(item, by_digest.digest(item), variant);
+          ASSERT_EQ(expected.has_value(), actual.has_value());
+          if (expected) {
+            ASSERT_EQ(*expected, *actual);  // exact: same reads, same order
+          }
+        }
+      }
+      by_item.debug_validate();
+      by_digest.debug_validate();
+    }
+  }
+}
+
+// ----------------------------------------------------------- GreedyIndex
+
+std::size_t brute_force_argmin(const std::vector<double>& scores,
+                               const std::vector<bool>& alive) {
+  std::size_t best = scores.size();
+  for (std::size_t op = 0; op < scores.size(); ++op) {
+    if (!alive[op]) {
+      continue;
+    }
+    if (best == scores.size() || scores[op] < scores[best]) {
+      best = op;
+    }
+  }
+  return best;
+}
+
+void drive_greedy_index(std::size_t k, std::uint64_t seed) {
+  std::vector<double> scores(k, 0.0);
+  std::vector<bool> alive(k, true);
+  core::GreedyIndex index;
+  index.rebuild(scores, alive);
+  index.debug_validate();
+
+  common::Xoshiro256StarStar rng(seed);
+  for (int step = 0; step < 20000; ++step) {
+    ASSERT_EQ(index.best(), brute_force_argmin(scores, alive)) << "k=" << k;
+    const auto action = rng.next_below(100);
+    if (action < 90) {
+      // Billing: raise an arbitrary live instance (SEND_ALL bills the
+      // round-robin target, not the argmin).
+      std::size_t op = rng.next_below(k);
+      while (!alive[op]) {
+        op = (op + 1) % k;
+      }
+      scores[op] += 0.25 * static_cast<double>(1 + rng.next_below(8));
+      index.increase(op, scores[op]);
+    } else if (action < 95) {
+      // Epoch correction: globally perturb (including decreases).
+      for (std::size_t op = 0; op < k; ++op) {
+        scores[op] = static_cast<double>(rng.next_below(64)) * 0.5;
+      }
+      index.rebuild(scores, alive);
+    } else {
+      // Quarantine/revive churn, keeping at least one live instance.
+      const std::size_t op = rng.next_below(k);
+      std::size_t live = 0;
+      for (std::size_t other = 0; other < k; ++other) {
+        live += alive[other] ? 1u : 0u;
+      }
+      if (alive[op] && live <= 1) {
+        continue;
+      }
+      alive[op] = !alive[op];
+      index.rebuild(scores, alive);
+    }
+    if (step % 1000 == 0) {
+      index.debug_validate();
+    }
+  }
+  index.debug_validate();
+}
+
+TEST(GreedyIndex, MatchesBruteForceLinearRegime) {
+  drive_greedy_index(4, 31);
+  drive_greedy_index(core::GreedyIndex::kLinearThreshold, 37);
+}
+
+TEST(GreedyIndex, MatchesBruteForceHeapRegime) {
+  drive_greedy_index(core::GreedyIndex::kLinearThreshold + 1, 41);
+  drive_greedy_index(50, 43);
+  drive_greedy_index(128, 47);
+}
+
+TEST(GreedyIndex, TiesBreakTowardLowestId) {
+  for (const std::size_t k : {std::size_t{8}, std::size_t{64}}) {
+    std::vector<double> scores(k, 1.5);  // all tied
+    std::vector<bool> alive(k, true);
+    core::GreedyIndex index;
+    index.rebuild(scores, alive);
+    EXPECT_EQ(index.best(), 0u);
+    scores[0] = 2.0;
+    index.increase(0, 2.0);
+    EXPECT_EQ(index.best(), 1u);  // next-lowest id among the tied rest
+    alive[1] = false;
+    index.rebuild(scores, alive);
+    EXPECT_EQ(index.best(), 2u);
+    index.debug_validate();
+  }
+}
+
+TEST(GreedyIndex, RebuildRejectsEmptyLiveSet) {
+  core::GreedyIndex index;
+  EXPECT_THROW(index.rebuild({1.0, 2.0}, {false, false}), std::invalid_argument);
+  EXPECT_THROW(index.rebuild({1.0}, {false, false}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace posg

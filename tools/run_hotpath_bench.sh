@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Runs the hot-path micro-benchmarks and emits BENCH_hotpath.json at the
+# repository root (the checked-in regression baseline; see bench/README.md).
+#
+# Usage:
+#   tools/run_hotpath_bench.sh [build-dir] [min-time-seconds]
+#
+# Environment:
+#   BENCH_BEFORE=/path/to/raw.json   record these pre-optimization numbers
+#                                    in the emitted file's `before` section
+#   BENCH_OUT=/path/out.json         emit somewhere other than the repo root
+#   BENCH_FILTER=<regex>             forward as --benchmark_filter
+#   BENCH_REPS=<n>                   repeat each benchmark n times; the
+#                                    emitter keeps the fastest repetition
+#                                    (min-of-n is robust under machine load)
+#
+# The benchmark binary must come from a Release build (-O3 -DNDEBUG,
+# POSG_DCHECKS=OFF): debug-checked numbers are meaningless as baselines.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+min_time="${2:-0.2}"
+out="${BENCH_OUT:-${repo_root}/BENCH_hotpath.json}"
+bench_bin="${build_dir}/bench/micro_benchmarks"
+
+if [[ ! -x "${bench_bin}" ]]; then
+  echo "run_hotpath_bench: ${bench_bin} not found or not executable." >&2
+  echo "Build first:  cmake -B '${build_dir}' -S '${repo_root}' -DCMAKE_BUILD_TYPE=Release && cmake --build '${build_dir}' -j" >&2
+  exit 1
+fi
+
+raw="$(mktemp /tmp/posg_bench_raw.XXXXXX.json)"
+trap 'rm -f "${raw}"' EXIT
+
+bench_args=(
+  "--benchmark_out=${raw}"
+  "--benchmark_out_format=json"
+  "--benchmark_min_time=${min_time}"
+)
+if [[ -n "${BENCH_FILTER:-}" ]]; then
+  bench_args+=("--benchmark_filter=${BENCH_FILTER}")
+fi
+if [[ "${BENCH_REPS:-1}" -gt 1 ]]; then
+  bench_args+=("--benchmark_repetitions=${BENCH_REPS}" "--benchmark_report_aggregates_only=false")
+fi
+
+# Pin to one CPU when taskset is available: per-item nanosecond numbers
+# migrate badly across cores.
+runner=()
+if command -v taskset > /dev/null 2>&1; then
+  runner=(taskset -c 0)
+fi
+
+"${runner[@]}" "${bench_bin}" "${bench_args[@]}"
+
+emit_args=("${raw}" -o "${out}")
+if [[ -n "${BENCH_BEFORE:-}" ]]; then
+  emit_args+=(--before "${BENCH_BEFORE}")
+fi
+python3 "${repo_root}/tools/bench_compare.py" emit "${emit_args[@]}"
+python3 "${repo_root}/tools/bench_compare.py" validate "${out}"
