@@ -150,6 +150,49 @@ void BM_RouterThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_RouterThroughput)->Arg(5)->Arg(10)->Arg(50);
 
+/// Router throughput with the degradation layer hot: same loop as
+/// BM_RouterThroughput at k=10, but one instance carries a 4x de-rate (a
+/// detected straggler kept in rotation). The de-rate is re-asserted after
+/// every sync reply because epoch completion re-derives it from the health
+/// monitor — this stands in for a detector that keeps flagging the
+/// straggler. Measures what the per-pick de-rate multiply and the skewed
+/// greedy index cost on the steady-state path — the healthy-path number
+/// must not move (derate defaults to 1.0 and multiplies through
+/// bit-identically).
+void BM_RouterThroughputDegraded(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  core::PosgConfig config;
+  config.window = 64;
+  config.mu = 10.0;
+  core::PosgScheduler scheduler(k, config);
+  scheduler.set_derate(k - 1, 4.0);
+  std::vector<core::InstanceTracker> trackers;
+  trackers.reserve(k);
+  for (common::InstanceId op = 0; op < k; ++op) {
+    trackers.emplace_back(op, config);
+  }
+  common::Xoshiro256StarStar rng(11);
+  common::SeqNo seq = 0;
+  for (auto _ : state) {
+    const common::Item item = seq % 4096;
+    const auto decision = scheduler.schedule(item, seq);
+    benchmark::DoNotOptimize(decision.instance);
+    auto& tracker = trackers[decision.instance];
+    if (auto shipment =
+            tracker.on_executed(item, 1.0 + static_cast<double>(rng.next_below(64)))) {
+      scheduler.on_sketches(*shipment);
+    }
+    if (decision.sync_request) {
+      scheduler.on_sync_reply(
+          core::SyncReply{decision.instance, decision.sync_request->epoch, 0.0});
+      scheduler.set_derate(k - 1, 4.0);
+    }
+    ++seq;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouterThroughputDegraded)->Arg(10);
+
 /// Queue hand-off cost per tuple: 256-tuple bursts moved producer ->
 /// consumer on one thread, per-tuple push/pop vs push_all/pop_all. The
 /// delta is pure lock/notify amortization (no contention, so this is the

@@ -7,21 +7,48 @@
 // tests in tests/runtime_test.cpp drive the very same loops.
 //
 //   ./distributed_posg [--k 3] [--m 20000] [--kill ID] [--kill-epoch E]
+//                      [--slow ID] [--slow-factor F] [--slow-after N]
+//                      [--fault-seed S] [--rejoin] [--refork-budget B]
+//                      [--stats-dir DIR]
 //
 // `--kill ID` demonstrates the fault-tolerance path: instance ID crashes
 // upon receiving the synchronization marker of epoch E (default 1) —
 // between the marker and its SyncReply, the exact window that would
 // deadlock a scheduler without failure detection. The run still drains
 // the full stream on the survivors.
+//
+// The remaining flags are the chaos-soak surface (tools/run_chaos_soak.sh):
+//   --slow ID          instance ID truly executes --slow-factor times
+//                      slower (from tuple --slow-after on) than its
+//                      sketches predict — the gray fault the straggler
+//                      detector must catch and de-rate.
+//   --fault-seed S     every instance wraps its link in a FaultInjector
+//                      running FaultPlan::random_gray derived from S (and
+//                      its id), so the whole campaign replays from one
+//                      integer. Actions that would hit the Hello frame are
+//                      filtered out (registration must succeed).
+//   --rejoin           overload-resilient mode: the scheduler re-admits
+//                      quarantined ids over the Hello path, and the parent
+//                      reforks exited instances (at most --refork-budget
+//                      times) so crash faults turn into rejoin exercises.
+//   --stats-dir DIR    each instance writes its executed-tuple count to
+//                      DIR on exit; the parent then prints the machine-
+//                      readable `CHAOS ...` conservation summary the soak
+//                      harness asserts on (executed <= routed: at-most-once
+//                      delivery even under drops, crashes, and rejoins).
+#include <dirent.h>
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/cli.hpp"
+#include "net/fault_injection.hpp"
 #include "net/socket.hpp"
 #include "net/transport.hpp"
 #include "runtime/instance_runtime.hpp"
@@ -33,21 +60,117 @@ using namespace posg;
 
 namespace {
 
-/// The operator-instance process: run the instance event loop, then exit.
+/// Per-instance fault plan: random_gray keyed on (campaign seed, id), with
+/// any action that would touch the instance's *first sent frame* — the
+/// Hello — removed: a campaign that breaks registration tests nothing.
+/// Still a pure function of the seed, so runs replay bit-for-bit.
+net::FaultPlan chaos_plan(std::uint64_t seed, common::InstanceId id) {
+  constexpr std::uint64_t kHorizon = 256;
+  constexpr std::size_t kFaults = 3;
+  const std::uint64_t instance_seed = seed ^ ((id + 1) * 0x9E3779B97F4A7C15ULL);
+  net::FaultPlan raw = net::FaultPlan::random_gray(instance_seed, kHorizon, kFaults);
+  net::FaultPlan plan;
+  for (const net::FaultAction& action : raw.actions()) {
+    if (action.dir == net::FaultDir::kSend && action.applies_to(0)) {
+      continue;  // would hit the Hello
+    }
+    using Kind = net::FaultAction::Kind;
+    switch (action.kind) {
+      case Kind::kDrop:
+        plan.drop(action.dir, action.frame);
+        break;
+      case Kind::kDelay:
+        plan.delay(action.dir, action.frame, action.delay);
+        break;
+      case Kind::kCorrupt:
+        plan.corrupt(action.dir, action.frame, action.byte_offset, action.xor_mask);
+        break;
+      case Kind::kDisconnect:
+        plan.disconnect_after(action.dir, action.frame);
+        break;
+      case Kind::kSlow:
+        plan.slow(action.dir, action.frame, action.span, action.delay);
+        break;
+      case Kind::kPartition:
+        plan.partition(action.dir, action.frame, action.span);
+        break;
+      case Kind::kStutter:
+        plan.stutter(action.dir, action.frame, action.span, action.burst, action.delay);
+        break;
+    }
+  }
+  return plan;
+}
+
+/// The operator-instance process: run the instance event loop, write the
+/// conservation record, then exit. Any transport surprise (a scripted
+/// disconnect firing mid-handshake, say) counts as a crash, not a hang.
 [[noreturn]] void instance_process(common::InstanceId id, const std::string& socket_path,
-                                   const runtime::InstanceRuntimeConfig& config) {
-  net::SocketTransport link(net::connect(socket_path));
-  runtime::InstanceRuntime instance(id, config);
-  const auto stats = instance.run(link);
-  if (stats.crashed) {
-    std::printf("  [instance %zu, pid %d] CRASHED (scripted) after %llu tuples\n", id, getpid(),
-                static_cast<unsigned long long>(stats.executed));
+                                   const runtime::InstanceRuntimeConfig& config,
+                                   std::optional<std::uint64_t> fault_seed,
+                                   const std::string& stats_dir) {
+  runtime::InstanceRuntime::Stats stats;
+  bool threw = false;
+  try {
+    runtime::InstanceRuntime instance(id, config);
+    if (fault_seed) {
+      net::FaultInjector link(net::connect(socket_path), chaos_plan(*fault_seed, id));
+      stats = instance.run(link);
+    } else {
+      net::SocketTransport link(net::connect(socket_path));
+      stats = instance.run(link);
+    }
+  } catch (const std::exception& error) {
+    std::printf("  [instance %zu, pid %d] transport error: %s\n", id, getpid(), error.what());
+    threw = true;
+  }
+  if (!stats_dir.empty()) {
+    // One record per (instance, pid): reforked incarnations of the same id
+    // each leave their own file, and the parent sums them all.
+    const std::string path =
+        stats_dir + "/exec_" + std::to_string(id) + "_" + std::to_string(getpid());
+    if (std::FILE* out = std::fopen(path.c_str(), "w")) {
+      std::fprintf(out, "executed=%llu\n", static_cast<unsigned long long>(stats.executed));
+      std::fclose(out);
+    }
+  }
+  if (stats.crashed || threw) {
+    std::printf("  [instance %zu, pid %d] CRASHED%s after %llu tuples\n", id, getpid(),
+                stats.crashed ? " (scripted)" : "", static_cast<unsigned long long>(stats.executed));
     std::exit(2);
   }
-  std::printf("  [instance %zu, pid %d] executed %llu tuples, simulated work %.0f units%s\n", id,
+  std::printf("  [instance %zu, pid %d] executed %llu tuples, simulated work %.0f units%s%s\n", id,
               getpid(), static_cast<unsigned long long>(stats.executed), stats.simulated_work,
-              stats.peer_failures_seen > 0 ? " (saw peer failure)" : "");
+              stats.peer_failures_seen > 0 ? " (saw peer failure)" : "",
+              stats.rejoin_acks > 0 ? " (rejoined)" : "");
   std::exit(0);
+}
+
+/// Sums the `executed=` records the instance processes left in
+/// `stats_dir`. Missing/garbled files count as zero — under-counting only
+/// ever makes the at-most-once check *stricter*.
+std::uint64_t sum_executed(const std::string& stats_dir) {
+  std::uint64_t total = 0;
+  DIR* dir = opendir(stats_dir.c_str());
+  if (dir == nullptr) {
+    return 0;
+  }
+  while (const dirent* entry = readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name.rfind("exec_", 0) != 0) {
+      continue;
+    }
+    const std::string path = stats_dir + "/" + name;
+    if (std::FILE* in = std::fopen(path.c_str(), "r")) {
+      unsigned long long executed = 0;
+      if (std::fscanf(in, "executed=%llu", &executed) == 1) {
+        total += executed;
+      }
+      std::fclose(in);
+    }
+  }
+  closedir(dir);
+  return total;
 }
 
 }  // namespace
@@ -58,47 +181,114 @@ int main(int argc, char** argv) {
   const auto m = static_cast<std::size_t>(args.get_int("m", 20'000));
   const auto kill_id = args.get_int("kill", -1);
   const auto kill_epoch = static_cast<common::Epoch>(args.get_int("kill-epoch", 1));
+  const auto slow_id = args.get_int("slow", -1);
+  const double slow_factor = args.get_double("slow-factor", 4.0);
+  const auto slow_after = static_cast<std::uint64_t>(args.get_int("slow-after", 0));
+  const bool rejoin = args.get_bool("rejoin", false);
+  auto refork_budget = static_cast<std::int64_t>(args.get_int("refork-budget", 3));
+  const std::string stats_dir = args.get_string("stats-dir", "");
+  std::optional<std::uint64_t> fault_seed;
+  if (args.has("fault-seed")) {
+    fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
+  }
 
   runtime::SchedulerRuntimeConfig config;
   config.instances = k;  // PosgConfig keeps its calibrated defaults
+  config.allow_rejoin = rejoin;
   const std::string socket_path = "/tmp/posg_distributed_" + std::to_string(getpid()) + ".sock";
-  net::Listener listener(socket_path);
+  std::optional<net::Listener> listener;
+  listener.emplace(socket_path);
+
+  const auto spawn_instance = [&](common::InstanceId op, bool original) -> pid_t {
+    runtime::InstanceRuntimeConfig instance_config;
+    instance_config.posg = config.posg;
+    if (original) {
+      if (kill_id >= 0 && static_cast<common::InstanceId>(kill_id) == op) {
+        instance_config.crash_on_marker_epoch = kill_epoch;
+      }
+      if (slow_id >= 0 && static_cast<common::InstanceId>(slow_id) == op) {
+        instance_config.cost_scale = slow_factor;
+        instance_config.straggle_after_executed = slow_after;
+      }
+    }
+    // Reforked incarnations run healthy and fault-free: the campaign tests
+    // that a *recovered* instance ramps back in, not that it dies twice.
+    std::fflush(stdout);  // children inherit the stdio buffer otherwise
+    const pid_t pid = fork();
+    if (pid == 0) {
+      instance_process(op, socket_path, instance_config,
+                       original ? fault_seed : std::nullopt, stats_dir);  // never returns
+    }
+    return pid;
+  };
 
   std::printf("forking %zu operator-instance processes (socket %s)\n", k, socket_path.c_str());
   if (kill_id >= 0) {
     std::printf("instance %lld is scripted to crash on the epoch-%llu marker\n",
                 static_cast<long long>(kill_id), static_cast<unsigned long long>(kill_epoch));
   }
-  std::fflush(stdout);  // children inherit the stdio buffer otherwise
-  std::vector<pid_t> children;
+  if (slow_id >= 0) {
+    std::printf("instance %lld straggles at %.1fx true cost from tuple %llu on\n",
+                static_cast<long long>(slow_id), slow_factor,
+                static_cast<unsigned long long>(slow_after));
+  }
+  if (fault_seed) {
+    std::printf("gray-fault campaign: seed %llu (replayable)\n",
+                static_cast<unsigned long long>(*fault_seed));
+  }
+  std::map<pid_t, common::InstanceId> children;  // live child pids -> instance id
   for (common::InstanceId op = 0; op < k; ++op) {
-    runtime::InstanceRuntimeConfig instance_config;
-    instance_config.posg = config.posg;
-    if (kill_id >= 0 && static_cast<common::InstanceId>(kill_id) == op) {
-      instance_config.crash_on_marker_epoch = kill_epoch;
-    }
-    const pid_t pid = fork();
-    if (pid == 0) {
-      instance_process(op, socket_path, instance_config);  // never returns
-    }
+    const pid_t pid = spawn_instance(op, /*original=*/true);
     if (pid < 0) {
       // Partial startup: reap what was already forked instead of leaking
       // orphans that would spin in connect-retry against a dying parent.
       std::perror("fork");
-      for (const pid_t child : children) {
+      for (const auto& [child, id] : children) {
+        (void)id;
         kill(child, SIGTERM);
       }
-      for (const pid_t child : children) {
+      for (const auto& [child, id] : children) {
+        (void)id;
         waitpid(child, nullptr, 0);
       }
       return 1;
     }
-    children.push_back(pid);
+    children.emplace(pid, op);
   }
 
   runtime::SchedulerRuntime scheduler(config);
-  scheduler.accept_registrations(listener);
+  scheduler.accept_registrations(*listener);
   scheduler.start();
+  if (rejoin) {
+    scheduler.enable_rejoin(*listener);
+  }
+
+  // Reap-and-refork: called from the routing thread between sends, so all
+  // forking happens on one thread. Any child exit while the stream is still
+  // flowing becomes a fresh healthy incarnation (budget permitting) that
+  // re-registers through the rejoin acceptor.
+  std::uint64_t reforks = 0;
+  const auto reap = [&](bool refork_allowed) {
+    int status = 0;
+    pid_t pid;
+    while ((pid = waitpid(-1, &status, WNOHANG)) > 0) {
+      const auto it = children.find(pid);
+      if (it == children.end()) {
+        continue;
+      }
+      const common::InstanceId op = it->second;
+      children.erase(it);
+      if (refork_allowed && rejoin && refork_budget > 0) {
+        --refork_budget;
+        const pid_t replacement = spawn_instance(op, /*original=*/false);
+        if (replacement > 0) {
+          ++reforks;
+          children.emplace(replacement, op);
+          std::printf("reforked instance %zu (pid %d) for rejoin\n", op, replacement);
+        }
+      }
+    }
+  };
 
   workload::ZipfItems zipf(4096, 1.0);
   const auto stream = workload::StreamGenerator::generate(zipf, m, 42);
@@ -106,11 +296,15 @@ int main(int argc, char** argv) {
   try {
     for (common::SeqNo seq = 0; seq < stream.size(); ++seq) {
       scheduler.route(stream[seq], seq);
+      if (rejoin && (seq & 0xFF) == 0) {
+        reap(/*refork_allowed=*/true);
+      }
     }
     scheduler.finish();
   } catch (const std::exception& error) {
-    // Fatal degradation (e.g. the last live instance died). Still print
-    // the final report below: the quarantine log explains what happened.
+    // Fatal degradation (e.g. the last live instance died with rejoin
+    // off). Still print the final report below: the quarantine log
+    // explains what happened.
     std::printf("\nfatal: %s\n", error.what());
     try {
       scheduler.finish();
@@ -118,6 +312,11 @@ int main(int argc, char** argv) {
     }
     rc = 1;
   }
+  // The rejoin acceptor is gone (finish() stopped it); close the listener
+  // so a straggling refork sees a dead socket instead of parking in the
+  // accept backlog forever, then wait out the survivors.
+  listener.reset();
+  reap(/*refork_allowed=*/false);
   while (wait(nullptr) > 0) {
   }
 
@@ -137,10 +336,36 @@ int main(int argc, char** argv) {
   for (const auto& event : scheduler.quarantine_log()) {
     std::printf("quarantined instance %zu: %s\n", event.instance, event.reason.c_str());
   }
+  for (const common::InstanceId op : scheduler.rejoin_log()) {
+    std::printf("rejoined instance %zu\n", op);
+  }
   std::printf("tuples routed per instance (POSG balances estimated *work*, not counts):");
+  std::uint64_t routed_total = 0;
   for (const std::uint64_t count : scheduler.routed_counts()) {
     std::printf(" %llu", static_cast<unsigned long long>(count));
+    routed_total += count;
   }
   std::printf("\n");
+
+  // Machine-readable summary for tools/run_chaos_soak.sh. `conservation`
+  // is the at-most-once invariant: no tuple executes that was never routed,
+  // across drops, crashes, reroutes, and rejoins.
+  const metrics::ResilienceStats resilience = scheduler.resilience();
+  std::printf("CHAOS seed=%lld rejoins=%llu reforks=%llu quarantines=%zu reroutes=%llu "
+              "stale_replies=%llu\n",
+              fault_seed ? static_cast<long long>(*fault_seed) : -1LL,
+              static_cast<unsigned long long>(resilience.rejoins),
+              static_cast<unsigned long long>(reforks), scheduler.quarantine_log().size(),
+              static_cast<unsigned long long>(scheduler.reroutes()),
+              static_cast<unsigned long long>(scheduler.stale_replies()));
+  std::printf("CHAOS resilience: %s\n", resilience.summary().c_str());
+  if (!stats_dir.empty()) {
+    const std::uint64_t executed_total = sum_executed(stats_dir);
+    std::printf("CHAOS routed=%llu executed=%llu conservation=%s\n",
+                static_cast<unsigned long long>(routed_total),
+                static_cast<unsigned long long>(executed_total),
+                executed_total <= routed_total ? "ok" : "violated");
+  }
+  std::printf("CHAOS recovered=%s\n", (rc == 0 && scheduler.live_instances() >= 1) ? "yes" : "no");
   return rc;
 }

@@ -1,0 +1,176 @@
+#include "core/instance_health.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace posg::core {
+
+namespace {
+constexpr double kEwmaAlpha = 0.5;
+}  // namespace
+
+HealthMonitor::HealthMonitor(std::size_t instances, const HealthConfig& config)
+    : k_(instances),
+      config_(config),
+      states_(instances, InstanceHealth::kLive),
+      drift_ewma_(instances, 1.0),
+      hot_streak_(instances, 0),
+      calm_streak_(instances, 0),
+      queue_ewma_(instances, -1.0) {
+  common::require(instances >= 1, "HealthMonitor: need at least one instance");
+  common::require(config.suspect_drift >= 1.0 && config.degrade_drift >= config.suspect_drift,
+                  "HealthMonitor: drift thresholds must be >= 1 and ordered");
+  common::require(config.promote_drift >= 1.0 && config.promote_drift <= config.suspect_drift,
+                  "HealthMonitor: promote threshold must sit below the suspect threshold");
+  common::require(config.derate_cap >= 1.0, "HealthMonitor: derate cap must be >= 1");
+  common::require(config.degrade_epochs >= 1 && config.promote_epochs >= 1,
+                  "HealthMonitor: streak lengths must be >= 1");
+}
+
+void HealthMonitor::become(common::InstanceId op, InstanceHealth next) {
+  const InstanceHealth prev = states_[op];
+  if (prev == next) {
+    return;
+  }
+  states_[op] = next;
+  if (next == InstanceHealth::kSuspect) {
+    ++suspect_transitions_;
+  } else if (next == InstanceHealth::kDegraded) {
+    ++degraded_transitions_;
+  } else if (next == InstanceHealth::kLive &&
+             (prev == InstanceHealth::kDegraded || prev == InstanceHealth::kSuspect)) {
+    ++promotions_;
+  }
+}
+
+void HealthMonitor::on_epoch_drift(common::InstanceId op, double ratio) {
+  common::require(op < k_, "HealthMonitor: unknown instance");
+  if (!config_.enabled || states_[op] == InstanceHealth::kQuarantined) {
+    return;
+  }
+  common::require(std::isfinite(ratio) && ratio >= 0.0,
+                  "HealthMonitor: drift ratio must be finite and non-negative");
+  drift_ewma_[op] = kEwmaAlpha * ratio + (1.0 - kEwmaAlpha) * drift_ewma_[op];
+
+  if (ratio >= config_.degrade_drift) {
+    ++hot_streak_[op];
+    calm_streak_[op] = 0;
+    if (states_[op] != InstanceHealth::kDegraded) {
+      if (hot_streak_[op] >= config_.degrade_epochs) {
+        become(op, InstanceHealth::kDegraded);
+      } else {
+        become(op, InstanceHealth::kSuspect);
+      }
+    }
+    return;
+  }
+  hot_streak_[op] = 0;
+  if (ratio >= config_.suspect_drift) {
+    calm_streak_[op] = 0;
+    if (states_[op] == InstanceHealth::kLive) {
+      become(op, InstanceHealth::kSuspect);
+    }
+    return;
+  }
+  if (ratio <= config_.promote_drift) {
+    ++calm_streak_[op];
+    if (states_[op] == InstanceHealth::kSuspect) {
+      become(op, InstanceHealth::kLive);
+      return;
+    }
+    // Hysteresis: a Degraded instance must stay calm for promote_epochs
+    // consecutive epochs — one lucky epoch does not restore full billing.
+    if (states_[op] == InstanceHealth::kDegraded && calm_streak_[op] >= config_.promote_epochs) {
+      become(op, InstanceHealth::kLive);
+      drift_ewma_[op] = 1.0;
+    }
+    return;
+  }
+  // Between promote and suspect: ambiguous, reset the calm streak so the
+  // hysteresis window only counts genuinely calm epochs.
+  calm_streak_[op] = 0;
+}
+
+void HealthMonitor::note_stale_feedback(common::InstanceId op) {
+  common::require(op < k_, "HealthMonitor: unknown instance");
+  if (!config_.enabled) {
+    return;
+  }
+  if (states_[op] == InstanceHealth::kLive) {
+    become(op, InstanceHealth::kSuspect);
+  }
+}
+
+void HealthMonitor::note_queue_depth(common::InstanceId op, double occupancy_fraction) {
+  common::require(op < k_, "HealthMonitor: unknown instance");
+  common::require(std::isfinite(occupancy_fraction) && occupancy_fraction >= 0.0,
+                  "HealthMonitor: occupancy must be finite and non-negative");
+  if (!config_.enabled || states_[op] == InstanceHealth::kQuarantined) {
+    return;
+  }
+  queue_ewma_[op] = queue_ewma_[op] < 0.0
+                        ? occupancy_fraction
+                        : kEwmaAlpha * occupancy_fraction + (1.0 - kEwmaAlpha) * queue_ewma_[op];
+  double sum = 0.0;
+  std::size_t sampled = 0;
+  for (std::size_t other = 0; other < k_; ++other) {
+    if (queue_ewma_[other] >= 0.0 && states_[other] != InstanceHealth::kQuarantined) {
+      sum += queue_ewma_[other];
+      ++sampled;
+    }
+  }
+  const double mean = sampled > 0 ? sum / static_cast<double>(sampled) : 0.0;
+  if (states_[op] == InstanceHealth::kLive && queue_ewma_[op] >= config_.queue_floor &&
+      queue_ewma_[op] >= config_.queue_skew * mean) {
+    become(op, InstanceHealth::kSuspect);
+  }
+}
+
+void HealthMonitor::on_quarantined(common::InstanceId op) {
+  common::require(op < k_, "HealthMonitor: unknown instance");
+  states_[op] = InstanceHealth::kQuarantined;  // terminal until rejoin; not a counted transition
+  hot_streak_[op] = 0;
+  calm_streak_[op] = 0;
+}
+
+void HealthMonitor::on_rejoined(common::InstanceId op) {
+  common::require(op < k_, "HealthMonitor: unknown instance");
+  states_[op] = InstanceHealth::kLive;
+  drift_ewma_[op] = 1.0;
+  hot_streak_[op] = 0;
+  calm_streak_[op] = 0;
+  queue_ewma_[op] = -1.0;
+}
+
+InstanceHealth HealthMonitor::state(common::InstanceId op) const {
+  common::require(op < k_, "HealthMonitor: unknown instance");
+  return states_[op];
+}
+
+double HealthMonitor::derate(common::InstanceId op) const {
+  common::require(op < k_, "HealthMonitor: unknown instance");
+  if (!config_.enabled || states_[op] != InstanceHealth::kDegraded) {
+    return 1.0;
+  }
+  return std::clamp(drift_ewma_[op], 1.0, config_.derate_cap);
+}
+
+void HealthMonitor::debug_validate() const {
+  POSG_CHECK(states_.size() == k_ && drift_ewma_.size() == k_,
+             "HealthMonitor: per-instance tables out of sync");
+  for (std::size_t op = 0; op < k_; ++op) {
+    POSG_CHECK(std::isfinite(drift_ewma_[op]) && drift_ewma_[op] >= 0.0,
+               "HealthMonitor: drift EWMA must be finite and non-negative");
+    const double factor = derate(static_cast<common::InstanceId>(op));
+    POSG_CHECK(factor >= 1.0 && factor <= config_.derate_cap,
+               "HealthMonitor: de-rate factor outside [1, cap]");
+    // The streaks are driven by a single drift path that zeroes one
+    // whenever it advances the other.
+    POSG_CHECK(hot_streak_[op] == 0 || calm_streak_[op] == 0,
+               "HealthMonitor: hot and calm streaks active at once");
+  }
+}
+
+}  // namespace posg::core

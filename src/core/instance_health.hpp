@@ -1,0 +1,127 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// Straggler detection for POSG's graceful-degradation layer (DESIGN.md
+/// "Fault model and degradation ladder").
+///
+/// PR 1's fault model was binary — an instance was either live or
+/// permanently quarantined. Real clusters mostly produce the gray states
+/// in between: a worker that is slow but not dead, or silent but about to
+/// come back. The HealthMonitor tracks a four-state lifecycle per
+/// instance:
+///
+///   Live ──(drift / staleness / queue skew)──► Suspect
+///   Suspect ──(drift sustained over degrade_epochs)──► Degraded
+///   Degraded ──(calm for promote_epochs, hysteresis)──► Live
+///   any ──(mark_failed)──► Quarantined ──(rejoin)──► Live
+///
+/// A Degraded instance stays in rotation but the scheduler bills its
+/// tuples with a multiplicative de-rate factor (derate()), so the greedy
+/// argmin naturally steers work away from it in proportion to how slow it
+/// measured — the "keep it, but expect less" middle ground between full
+/// speed and quarantine.
+///
+/// Every input is a pure signal (no clocks, no randomness), so the state
+/// machine is deterministic: the same signal sequence reproduces the same
+/// transitions and de-rate factors bit-for-bit.
+namespace posg::core {
+
+enum class InstanceHealth : std::uint8_t { kLive, kSuspect, kDegraded, kQuarantined };
+
+/// Tunables of the health state machine. Defaults are conservative enough
+/// that a homogeneous, healthy cluster never leaves Live (which keeps the
+/// golden scheduling streams byte-identical: a de-rate factor of exactly
+/// 1.0 multiplies estimates bit-for-bit).
+struct HealthConfig {
+  /// Master switch; when false every instance reports Live / derate 1.0.
+  bool enabled = true;
+  /// Epoch drift ratio (measured C / billed Ĉ at the marker cut) above
+  /// which one epoch makes a Live instance Suspect.
+  double suspect_drift = 1.5;
+  /// Drift ratio that counts toward degradation.
+  double degrade_drift = 2.0;
+  /// Consecutive epochs at or above degrade_drift before Suspect becomes
+  /// Degraded (the suspect → degraded transition the metrics count).
+  std::size_t degrade_epochs = 2;
+  /// Hysteresis: drift must fall to or below this ratio...
+  double promote_drift = 1.2;
+  /// ...for this many consecutive epochs before a Degraded instance
+  /// re-promotes to Live.
+  std::size_t promote_epochs = 2;
+  /// Upper bound on the de-rate factor (billing multiplier); keeps one
+  /// absurd measurement from effectively quarantining an instance.
+  double derate_cap = 8.0;
+  /// Queue-depth signal: an instance whose smoothed input-queue occupancy
+  /// exceeds `queue_skew` × the cluster mean (and is at least
+  /// `queue_floor` absolute) becomes Suspect.
+  double queue_skew = 2.0;
+  double queue_floor = 0.5;
+};
+
+class HealthMonitor {
+ public:
+  HealthMonitor(std::size_t instances, const HealthConfig& config);
+
+  /// Feeds one epoch's measured drift for instance `op`: the ratio of the
+  /// true cumulated time at the marker cut to the scheduler's billed Ĉ
+  /// (1.0 = estimates were exact; 2.0 = the instance ran twice as slow as
+  /// billed). Drives Live/Suspect/Degraded transitions and the de-rate
+  /// EWMA.
+  void on_epoch_drift(common::InstanceId op, double ratio);
+
+  /// Feedback-recency signal from the runtime: `op` owes the in-flight
+  /// epoch a reply and has been silent for a while (but not yet past the
+  /// quarantine deadline). Live → Suspect.
+  void note_stale_feedback(common::InstanceId op);
+
+  /// Queue-depth signal: smoothed occupancy fraction of `op`'s input
+  /// queue. Suspect when persistently skewed against the cluster mean.
+  void note_queue_depth(common::InstanceId op, double occupancy_fraction);
+
+  /// Lifecycle hooks from the scheduler's quarantine/rejoin paths.
+  void on_quarantined(common::InstanceId op);
+  void on_rejoined(common::InstanceId op);
+
+  InstanceHealth state(common::InstanceId op) const;
+  /// Billing multiplier: 1.0 for Live/Suspect/Quarantined, the smoothed
+  /// drift ratio (clamped to [1, derate_cap]) while Degraded.
+  double derate(common::InstanceId op) const;
+
+  // Transition counters (metrics::ResilienceStats surfaces these).
+  std::uint64_t suspect_transitions() const noexcept { return suspect_transitions_; }
+  std::uint64_t degraded_transitions() const noexcept { return degraded_transitions_; }
+  std::uint64_t promotions() const noexcept { return promotions_; }
+
+  const HealthConfig& config() const noexcept { return config_; }
+
+  /// Machine-checked invariants (aborts via POSG_CHECK): states in range,
+  /// de-rate factors finite and within [1, derate_cap], streak counters
+  /// mutually exclusive.
+  void debug_validate() const;
+
+ private:
+  void become(common::InstanceId op, InstanceHealth next);
+
+  std::size_t k_;
+  HealthConfig config_;
+  std::vector<InstanceHealth> states_;
+  /// Smoothed drift ratio (EWMA, alpha 0.5) — becomes the de-rate factor
+  /// while Degraded.
+  std::vector<double> drift_ewma_;
+  /// Consecutive epochs at/above degrade_drift.
+  std::vector<std::size_t> hot_streak_;
+  /// Consecutive epochs at/below promote_drift.
+  std::vector<std::size_t> calm_streak_;
+  /// Smoothed queue occupancy per instance (EWMA, alpha 0.5; negative =
+  /// no sample yet).
+  std::vector<double> queue_ewma_;
+  std::uint64_t suspect_transitions_ = 0;
+  std::uint64_t degraded_transitions_ = 0;
+  std::uint64_t promotions_ = 0;
+};
+
+}  // namespace posg::core

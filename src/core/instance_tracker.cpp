@@ -56,4 +56,15 @@ SyncReply InstanceTracker::on_sync_request(const SyncRequest& request) const noe
   return SyncReply{id_, request.epoch, cumulated_ - request.estimated_cumulated};
 }
 
+void InstanceTracker::rearm(common::TimeMs seeded_cumulated) {
+  common::require(seeded_cumulated >= 0.0, "InstanceTracker: negative rejoin seed");
+  sketch_.reset();
+  snapshot_.reset();
+  state_ = State::kStart;
+  window_fill_ = 0;
+  windows_this_epoch_ = 0;
+  cumulated_ = seeded_cumulated;
+  last_eta_ = std::numeric_limits<double>::quiet_NaN();
+}
+
 }  // namespace posg::core

@@ -1,0 +1,79 @@
+#include "core/overload.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace posg::core {
+
+OverloadController::OverloadController(const OverloadConfig& config) : config_(config) {
+  common::require(config.high_watermark > 0.0 && config.high_watermark <= 1.0,
+                  "OverloadController: high watermark must be in (0, 1]");
+  common::require(config.low_watermark >= 0.0 && config.low_watermark < config.high_watermark,
+                  "OverloadController: low watermark must sit below the high watermark");
+  common::require(config.deadline_samples >= 1,
+                  "OverloadController: deadline must be at least one sample");
+}
+
+bool OverloadController::sample(double saturation) {
+  common::require(std::isfinite(saturation) && saturation >= 0.0,
+                  "OverloadController: saturation must be finite and non-negative");
+  if (!config_.enabled) {
+    return false;
+  }
+  std::lock_guard lock(mutex_);
+  if (shedding_) {
+    if (saturation <= config_.low_watermark) {
+      shedding_ = false;
+      saturated_streak_ = 0;
+      ++exits_;
+    }
+    return shedding_;
+  }
+  if (saturation >= config_.high_watermark) {
+    if (++saturated_streak_ >= config_.deadline_samples) {
+      shedding_ = true;
+      ++entries_;
+    }
+  } else {
+    saturated_streak_ = 0;
+  }
+  return shedding_;
+}
+
+bool OverloadController::shedding() const {
+  std::lock_guard lock(mutex_);
+  return shedding_;
+}
+
+void OverloadController::note_shed(std::uint64_t count) {
+  std::lock_guard lock(mutex_);
+  shed_ += count;
+}
+
+std::uint64_t OverloadController::shed() const {
+  std::lock_guard lock(mutex_);
+  return shed_;
+}
+
+std::uint64_t OverloadController::entries() const {
+  std::lock_guard lock(mutex_);
+  return entries_;
+}
+
+std::uint64_t OverloadController::exits() const {
+  std::lock_guard lock(mutex_);
+  return exits_;
+}
+
+void OverloadController::debug_validate() const {
+  std::lock_guard lock(mutex_);
+  POSG_CHECK(entries_ == exits_ + (shedding_ ? 1 : 0),
+             "OverloadController: entry/exit alternation broken");
+  POSG_CHECK(shed_ == 0 || entries_ >= 1, "OverloadController: tuples shed outside shed mode");
+  POSG_CHECK(shedding_ || saturated_streak_ < config_.deadline_samples,
+             "OverloadController: deadline passed without entering shed mode");
+}
+
+}  // namespace posg::core

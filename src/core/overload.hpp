@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+/// Overload control for sustained input bursts (DESIGN.md "Fault model and
+/// degradation ladder").
+///
+/// Bounded queues give backpressure, but backpressure alone turns a
+/// sustained overload into an unbounded spout stall. The OverloadController
+/// is a watermark state machine over queue saturation samples:
+///
+///   Normal ──(every queue ≥ high watermark for deadline_samples
+///             consecutive samples)──► Shed
+///   Shed ──(saturation ≤ low watermark)──► Normal
+///
+/// In Shed the producer stops blocking: it admits what fits and drops (and
+/// counts) the lowest-cost-estimate remainder, bounding spout latency at
+/// the price of counted tuple loss. The low/high watermark split is the
+/// hysteresis that keeps the controller from flapping at the boundary.
+///
+/// All inputs are saturation samples (no clocks), so a scripted sample
+/// sequence reproduces the exact entry/exit/shed counts — the property the
+/// deterministic overload tests pin.
+namespace posg::core {
+
+struct OverloadConfig {
+  /// Master switch: when false, sample() always reports Normal.
+  bool enabled = false;
+  /// Saturation fraction (min occupancy/capacity across the stage's
+  /// queues) at or above which a sample counts as saturated.
+  double high_watermark = 0.9;
+  /// Shed mode exits once saturation falls to or below this fraction.
+  double low_watermark = 0.5;
+  /// Consecutive saturated samples ("past the deadline") before shedding
+  /// starts — one full queue sample is congestion, a run of them is
+  /// overload.
+  std::size_t deadline_samples = 4;
+};
+
+/// Thread-safe: producers on different executor threads sample and count
+/// against one controller per stage.
+class OverloadController {
+ public:
+  explicit OverloadController(const OverloadConfig& config);
+
+  /// Feeds one saturation sample (see OverloadConfig::high_watermark) and
+  /// returns whether shed mode is active *after* the sample.
+  bool sample(double saturation);
+
+  bool shedding() const;
+  /// Tuples the caller dropped while shedding (the caller reports them
+  /// here so conservation counters live in one place).
+  void note_shed(std::uint64_t count);
+
+  std::uint64_t shed() const;
+  std::uint64_t entries() const;
+  std::uint64_t exits() const;
+
+  const OverloadConfig& config() const noexcept { return config_; }
+
+  /// Machine-checked invariants (aborts via POSG_CHECK): entries/exits
+  /// alternation (entries == exits + shedding-now) and shed counted only
+  /// if shed mode was ever entered.
+  void debug_validate() const;
+
+ private:
+  OverloadConfig config_;
+  mutable std::mutex mutex_;  // guards every mutable member below
+  bool shedding_ = false;
+  std::size_t saturated_streak_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t entries_ = 0;
+  std::uint64_t exits_ = 0;
+};
+
+}  // namespace posg::core

@@ -18,6 +18,11 @@ PosgScheduler::PosgScheduler(std::size_t instances, const PosgConfig& config)
       reply_delta_(instances, 0.0),
       failed_(instances, false),
       live_count_(instances),
+      health_(instances, config.health),
+      derate_(instances, 1.0),
+      marker_estimate_(instances, -1.0),
+      ramp_tokens_(instances, 0.0),
+      ramp_left_(instances, 0),
       greedy_scores_scratch_(instances, 0.0),
       greedy_alive_scratch_(instances, true) {
   common::require(instances >= 1, "PosgScheduler: need at least one instance");
@@ -31,7 +36,11 @@ common::TimeMs PosgScheduler::scheduling_estimate(common::InstanceId instance,
 
 common::TimeMs PosgScheduler::scheduling_estimate(common::InstanceId instance, common::Item item,
                                                   const hash::BucketDigest& digest) const {
-  const auto& sketch = config_.shared_billing ? merged_ : sketches_[instance];
+  const auto& own = config_.shared_billing ? merged_ : sketches_[instance];
+  // A rejoined instance carries no per-instance sketch until its tracker
+  // ships a fresh (F, W) pair; bill it from the merged view so
+  // per-instance billing never dereferences an empty slot.
+  const auto& sketch = own.has_value() ? own : merged_;
   common::ensure(sketch.has_value(), "PosgScheduler: estimating without a sketch");
   if (auto estimate = sketch->estimate(item, digest, config_.estimator)) {
     return *estimate;
@@ -67,7 +76,7 @@ void PosgScheduler::refresh_global_mean() noexcept {
 }
 
 std::optional<common::TimeMs> PosgScheduler::estimate(common::Item item) const {
-  if (state_ == State::kRoundRobin) {
+  if (state_ == State::kRoundRobin || live_count_ == 0) {
     return std::nullopt;
   }
   // Diagnostic view: average the per-instance estimates is not meaningful;
@@ -124,8 +133,69 @@ void PosgScheduler::set_latency_hints(std::vector<common::TimeMs> hints) {
   rebuild_greedy();
 }
 
+void PosgScheduler::bill(common::InstanceId target, common::Item item) {
+  // UPDATE-Ĉ (Listing III.2), extended with the straggler de-rate: a
+  // Degraded instance is billed factor × ŵ, so the greedy argmin hands it
+  // proportionally fewer tuples while it stays in rotation. Healthy
+  // instances carry factor 1.0, whose multiply is bit-identical — the
+  // golden scheduling streams do not move.
+  c_est_[target] += scheduling_estimate(target, item, hashes_.digest(item)) * derate_[target];
+  greedy_.increase(target, greedy_score(target));
+}
+
+common::InstanceId PosgScheduler::ramp_admit(common::InstanceId pick) {
+  // Refill: every scheduled tuple (cluster-wide) grants tokens_per_tuple
+  // to each ramping bucket, capped at the burst depth. Tuple counts, not
+  // clocks, keep the ramp deterministic.
+  for (std::size_t op = 0; op < k_; ++op) {
+    if (ramp_left_[op] > 0) {
+      ramp_tokens_[op] = std::min(config_.rejoin_ramp.burst,
+                                  ramp_tokens_[op] + config_.rejoin_ramp.tokens_per_tuple);
+    }
+  }
+  if (ramp_left_[pick] == 0) {
+    return pick;
+  }
+  const auto admit = [&](common::InstanceId op) {
+    if (--ramp_left_[op] == 0) {
+      ramp_tokens_[op] = 0.0;
+      --ramps_active_;
+      ramp_completions_.push_back(op);
+    }
+    return op;
+  };
+  if (ramp_tokens_[pick] >= 1.0) {
+    ramp_tokens_[pick] -= 1.0;
+    return admit(pick);
+  }
+  // Out of tokens: hand the tuple to the best non-ramping live instance
+  // instead (linear scan — ramps are rare and short).
+  common::InstanceId best = common::kNoInstance;
+  common::TimeMs best_score = 0.0;
+  for (common::InstanceId op = 0; op < k_; ++op) {
+    if (failed_[op] || ramp_left_[op] > 0) {
+      continue;
+    }
+    const common::TimeMs score = greedy_score(op);
+    if (best == common::kNoInstance || score < best_score) {
+      best_score = score;
+      best = op;
+    }
+  }
+  if (best == common::kNoInstance) {
+    // Every live instance is ramping (rejoin into a tiny cluster): admit
+    // without a token — liveness beats pacing.
+    return admit(pick);
+  }
+  return best;
+}
+
 Decision PosgScheduler::schedule(common::Item item, common::SeqNo seq) {
   (void)seq;
+  if (live_count_ == 0) {
+    throw NoLiveInstanceError(
+        "PosgScheduler: no live instance to schedule onto (all quarantined; awaiting rejoin)");
+  }
   switch (state_) {
     case State::kRoundRobin: {
       return Decision{next_round_robin(), std::nullopt};
@@ -135,16 +205,18 @@ Decision PosgScheduler::schedule(common::Item item, common::SeqNo seq) {
       // marker within the next k' tuples (Fig. 1.D), while Ĉ starts
       // accumulating estimates.
       const common::InstanceId target = next_round_robin();
-      c_est_[target] += scheduling_estimate(target, item, hashes_.digest(item));
-      greedy_.increase(target, greedy_score(target));
+      bill(target, item);
 
       std::optional<SyncRequest> marker;
       if (marker_pending_[target]) {
         marker_pending_[target] = false;
         --markers_outstanding_;
         // Piggy-back Ĉ[op] *including* this tuple: FIFO queues make the
-        // marker a consistent cut (see messages.hpp).
+        // marker a consistent cut (see messages.hpp). Remember the billed
+        // Ĉ at the cut — the epoch's Δ turns it into a drift ratio for
+        // the straggler detector.
         marker = SyncRequest{epoch_, c_est_[target]};
+        marker_estimate_[target] = c_est_[target];
         if (markers_outstanding_ == 0) {
           state_ = State::kWaitAll;  // Fig. 3.C
           // The last reply can only follow the last marker, so completion
@@ -159,9 +231,11 @@ Decision PosgScheduler::schedule(common::Item item, common::SeqNo seq) {
       // Greedy Online Scheduler (Listing III.2: SUBMIT then UPDATE-Ĉ).
       // One digest per tuple serves every sketch read, the pick is the
       // cached argmin, and billing re-sifts only the picked instance.
-      const common::InstanceId target = greedy_pick();
-      c_est_[target] += scheduling_estimate(target, item, hashes_.digest(item));
-      greedy_.increase(target, greedy_score(target));
+      common::InstanceId target = greedy_pick();
+      if (ramps_active_ > 0) {
+        target = ramp_admit(target);
+      }
+      bill(target, item);
       return Decision{target, std::nullopt};
     }
   }
@@ -175,6 +249,7 @@ void PosgScheduler::enter_send_all() noexcept {
     marker_pending_[op] = !failed_[op];
     reply_received_[op] = false;
     reply_delta_[op] = 0.0;
+    marker_estimate_[op] = -1.0;  // re-armed when this epoch's marker goes out
   }
   markers_outstanding_ = live_count_;
   state_ = State::kSendAll;
@@ -226,12 +301,33 @@ void PosgScheduler::on_sketches(const SketchShipment& shipment) {
 }
 
 void PosgScheduler::maybe_complete_epoch() noexcept {
-  if (state_ != State::kWaitAll) {
+  // The !merged_ case arises only transiently inside mark_failed (the last
+  // sketch-bearing instance just died); its round-robin fallback runs next
+  // and abandons the epoch wholesale — completing into RUN without any
+  // billed sketch would be meaningless.
+  if (state_ != State::kWaitAll || live_count_ == 0 || !merged_.has_value()) {
     return;
   }
   for (std::size_t op = 0; op < k_; ++op) {
     if (!failed_[op] && !reply_received_[op]) {
       return;
+    }
+  }
+  // Straggler signal: at the marker cut we recorded Ĉ_marker[op]; the reply
+  // carries Δop = C_real − Ĉ_marker, so (Ĉ_marker + Δ)/Ĉ_marker is the
+  // ratio of measured to estimated work — ≈ s for an instance running s×
+  // slower than its sketches predict. Feed it to the health monitor before
+  // applying the correction, then refresh de-rate factors.
+  for (std::size_t op = 0; op < k_; ++op) {
+    if (!failed_[op] && marker_estimate_[op] > 1e-9) {
+      const double ratio =
+          std::max(0.0, (marker_estimate_[op] + reply_delta_[op]) / marker_estimate_[op]);
+      health_.on_epoch_drift(op, ratio);
+    }
+  }
+  for (std::size_t op = 0; op < k_; ++op) {
+    if (!failed_[op]) {
+      derate_[op] = health_.derate(op);
     }
   }
   // Fig. 3.E: resynchronize Ĉ — add each survivor's measured drift. A
@@ -268,8 +364,23 @@ void PosgScheduler::on_sync_reply(const SyncReply& reply) {
     ++stale_replies_;
     return;
   }
+  if (marker_pending_[reply.instance]) {
+    // An instance learns the epoch number only from its own marker, which
+    // has not been sent yet: no conforming peer can produce this reply.
+    // Discard it (fuzzed/byzantine input) instead of corrupting the
+    // reply-implies-marker bookkeeping.
+    ++stale_replies_;
+    return;
+  }
   if (reply_received_[reply.instance]) {
-    return;  // duplicate delivery
+    // A rejoined instance is re-armed as "already replied" for the epoch it
+    // missed; a Δ arriving in that window is a stale pre-quarantine reply
+    // that must not corrupt the seeded Ĉ. Genuine duplicate deliveries
+    // (marker sent this epoch) stay uncounted.
+    if (marker_estimate_[reply.instance] < 0.0) {
+      ++stale_replies_;
+    }
+    return;
   }
   reply_received_[reply.instance] = true;
   reply_delta_[reply.instance] = reply.delta;
@@ -281,26 +392,46 @@ void PosgScheduler::mark_failed(common::InstanceId op) {
   if (failed_[op]) {
     return;  // idempotent: EOF and epoch deadline may both report the crash
   }
-  common::require(live_count_ >= 2,
-                  "PosgScheduler: cannot quarantine the last live instance");
   failed_[op] = true;
   --live_count_;
-
-  // Redistribute the dead instance's Ĉ share evenly over the survivors.
-  // The absolute shift is identical for every survivor, so the greedy
-  // ordering among them is preserved; what matters is that op itself no
-  // longer competes and that total Ĉ (the global accounting the next
-  // synchronization corrects against) is conserved.
-  const common::TimeMs share = c_est_[op] / static_cast<double>(live_count_);
-  for (std::size_t other = 0; other < k_; ++other) {
-    if (!failed_[other]) {
-      c_est_[other] += share;
-    }
+  health_.on_quarantined(op);
+  derate_[op] = 1.0;
+  marker_estimate_[op] = -1.0;
+  if (ramp_left_[op] > 0) {
+    // A ramping rejoiner died mid-ramp: retire its bucket and any
+    // completion notice not yet collected.
+    ramp_left_[op] = 0;
+    ramp_tokens_[op] = 0.0;
+    --ramps_active_;
+    ramp_completions_.erase(std::remove(ramp_completions_.begin(), ramp_completions_.end(), op),
+                            ramp_completions_.end());
   }
-  c_est_[op] = 0.0;
-  // Candidate set and every survivor's score changed at once; quarantine
-  // is rare, so re-derive the incremental argmin wholesale.
-  rebuild_greedy();
+
+  if (live_count_ > 0) {
+    // Redistribute the dead instance's Ĉ share evenly over the survivors.
+    // The absolute shift is identical for every survivor, so the greedy
+    // ordering among them is preserved; what matters is that op itself no
+    // longer competes and that total Ĉ (the global accounting the next
+    // synchronization corrects against) is conserved.
+    const common::TimeMs share = c_est_[op] / static_cast<double>(live_count_);
+    for (std::size_t other = 0; other < k_; ++other) {
+      if (!failed_[other]) {
+        c_est_[other] += share;
+      }
+    }
+    c_est_[op] = 0.0;
+    // Candidate set and every survivor's score changed at once; quarantine
+    // is rare, so re-derive the incremental argmin wholesale.
+    rebuild_greedy();
+  } else {
+    // Last live instance gone. The defined semantics (DESIGN.md "Fault
+    // model"): its Ĉ share is discarded (there is no survivor to carry
+    // it), the scheduler idles in ROUND_ROBIN over an empty candidate set,
+    // and schedule() throws NoLiveInstanceError until a rejoin revives the
+    // cluster. The greedy index is left stale — it requires ≥ 1 alive and
+    // is rebuilt by the next rejoin().
+    c_est_[op] = 0.0;
+  }
 
   // Drop the dead instance's matrices from billing: on heterogeneous
   // clusters its per-item costs describe a replica that no longer executes
@@ -346,6 +477,86 @@ void PosgScheduler::mark_failed(common::InstanceId op) {
 #endif
 }
 
+void PosgScheduler::rejoin(common::InstanceId op) {
+  common::require(op < k_, "PosgScheduler: rejoin of unknown instance");
+  common::require(failed_[op], "PosgScheduler: rejoin of an instance that is not quarantined");
+
+  // Seed Ĉ from the live minimum: the rejoiner starts as (joint) greedy
+  // favourite without dragging the whole cluster's accounting down, and
+  // the next synchronization corrects whatever error the seed carries.
+  // With no live peer (reviving a fully-quarantined cluster) the seed is 0
+  // and no ramp applies — there is nobody to shield from the newcomer.
+  bool found = false;
+  common::TimeMs seed = 0.0;
+  for (std::size_t other = 0; other < k_; ++other) {
+    if (!failed_[other] && (!found || c_est_[other] < seed)) {
+      seed = c_est_[other];
+      found = true;
+    }
+  }
+
+  failed_[op] = false;
+  ++live_count_;
+  c_est_[op] = seed;
+  derate_[op] = 1.0;
+  health_.on_rejoined(op);
+  ++rejoin_count_;
+
+  // The rejoiner did not see this epoch's marker: re-arm it as already
+  // replied so WAIT_ALL does not hang on it, and flag its marker slot so a
+  // stale pre-quarantine Δ is counted and discarded (see on_sync_reply).
+  marker_pending_[op] = false;
+  reply_received_[op] = true;
+  reply_delta_[op] = 0.0;
+  marker_estimate_[op] = -1.0;
+
+  if (config_.rejoin_ramp.ramp_tuples > 0 && found) {
+    if (ramp_left_[op] == 0) {
+      ++ramps_active_;
+    }
+    ramp_left_[op] = config_.rejoin_ramp.ramp_tuples;
+    ramp_tokens_[op] = std::min(config_.rejoin_ramp.burst, 1.0);
+  }
+
+  rebuild_greedy();
+
+  if (!merged_.has_value()) {
+    // No sketch-bearing instance anywhere (the rejoiner ships a fresh one
+    // once its tracker warms up): round-robin until estimates exist.
+    for (std::size_t other = 0; other < k_; ++other) {
+      marker_pending_[other] = false;
+    }
+    markers_outstanding_ = 0;
+    state_ = State::kRoundRobin;
+  }
+#if POSG_DCHECK_IS_ON
+  debug_validate();
+#endif
+}
+
+std::uint64_t PosgScheduler::ramp_remaining(common::InstanceId op) const {
+  common::require(op < k_, "PosgScheduler: unknown instance");
+  return ramp_left_[op];
+}
+
+std::vector<common::InstanceId> PosgScheduler::take_ramp_completions() {
+  std::vector<common::InstanceId> out;
+  out.swap(ramp_completions_);
+  return out;
+}
+
+void PosgScheduler::set_derate(common::InstanceId op, double factor) {
+  common::require(op < k_, "PosgScheduler: unknown instance");
+  common::require(std::isfinite(factor) && factor >= 1.0,
+                  "PosgScheduler: de-rate factor must be finite and >= 1");
+  derate_[op] = factor;
+}
+
+double PosgScheduler::derate(common::InstanceId op) const {
+  common::require(op < k_, "PosgScheduler: unknown instance");
+  return derate_[op];
+}
+
 void PosgScheduler::debug_validate() const {
   POSG_CHECK(k_ >= 1, "PosgScheduler: empty cluster");
   POSG_CHECK(rr_next_ < k_, "PosgScheduler: round-robin cursor out of range");
@@ -354,6 +565,7 @@ void PosgScheduler::debug_validate() const {
 
   std::size_t live = 0;
   std::size_t markers = 0;
+  std::size_t ramping = 0;
   for (std::size_t op = 0; op < k_; ++op) {
     // Ĉ[op] >= 0: scheduling only adds non-negative estimates and the
     // epoch correction Ĉ += Δop lands on true-cumulated-time-plus-
@@ -362,29 +574,48 @@ void PosgScheduler::debug_validate() const {
     // bound of Theorem 4.2.
     POSG_CHECK(std::isfinite(c_est_[op]), "PosgScheduler: C_hat is not finite");
     POSG_CHECK(c_est_[op] >= 0.0, "PosgScheduler: C_hat went negative");
+    POSG_CHECK(std::isfinite(derate_[op]) && derate_[op] >= 1.0,
+               "PosgScheduler: de-rate factor must be finite and >= 1");
     if (failed_[op]) {
       // Quarantine exclusivity: a failed instance has fully left the
       // candidate set — its Ĉ share was redistributed, its sketch dropped
-      // from billing, and no marker may remain addressed to it.
+      // from billing, no marker may remain addressed to it, and its
+      // de-rate/ramp state is retired.
       POSG_CHECK(c_est_[op] == 0.0, "PosgScheduler: quarantined instance still holds C_hat");
       POSG_CHECK(!sketches_[op].has_value(),
                  "PosgScheduler: quarantined instance still bills a sketch");
       POSG_CHECK(!marker_pending_[op],
                  "PosgScheduler: quarantined instance still owes a marker");
+      POSG_CHECK(derate_[op] == 1.0, "PosgScheduler: quarantined instance still de-rated");
+      POSG_CHECK(ramp_left_[op] == 0, "PosgScheduler: quarantined instance still ramping");
     } else {
       ++live;
     }
     if (marker_pending_[op]) {
       ++markers;
     }
+    if (ramp_left_[op] > 0) {
+      ++ramping;
+    }
     if (sketches_[op].has_value()) {
       sketches_[op]->debug_validate();
     }
   }
   POSG_CHECK(live == live_count_, "PosgScheduler: live count out of sync with failed set");
-  POSG_CHECK(live_count_ >= 1, "PosgScheduler: no live instance left");
   POSG_CHECK(markers == markers_outstanding_,
              "PosgScheduler: marker counter out of sync with pending set");
+  POSG_CHECK(ramping == ramps_active_, "PosgScheduler: ramp counter out of sync with buckets");
+  health_.debug_validate();
+
+  if (live_count_ == 0) {
+    // Fully-quarantined cluster: the scheduler idles (schedule() throws)
+    // until rejoin() revives it. The greedy index is stale by design.
+    POSG_CHECK(state_ == State::kRoundRobin,
+               "PosgScheduler: zero live instances outside ROUND_ROBIN");
+    POSG_CHECK(markers_outstanding_ == 0,
+               "PosgScheduler: markers pending with zero live instances");
+    return;
+  }
 
   // Rotation exclusivity: the greedy pick must never name a quarantined
   // instance (the rotation itself is checked structurally above — a failed

@@ -1,14 +1,25 @@
 #pragma once
 
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/greedy_index.hpp"
+#include "core/instance_health.hpp"
 #include "core/scheduler.hpp"
 #include "hash/two_universal.hpp"
 
 namespace posg::core {
+
+/// Thrown by PosgScheduler::schedule when quarantine has emptied the
+/// candidate set (live_instances() == 0). A typed error rather than an
+/// assertion: an empty cluster is an operational condition — the runtime
+/// surfaces it (or waits for a rejoin) — not a programming bug.
+class NoLiveInstanceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// The scheduler side of POSG (Fig. 3, Listing III.2).
 ///
@@ -62,9 +73,45 @@ class PosgScheduler final : public Scheduler {
   /// redistributes its Ĉ share over the survivors, abandons its pending
   /// marker/reply so the current epoch can complete, and drops its sketch
   /// from billing. Idempotent. Throws std::invalid_argument when `op` is
-  /// out of range or when it is the last live instance (an empty cluster
-  /// cannot schedule — callers must treat that as a fatal error).
+  /// out of range. Quarantining the *last* live instance is a defined
+  /// (tested) state: the scheduler drops to ROUND_ROBIN with an empty
+  /// candidate set, schedule() throws NoLiveInstanceError until a
+  /// rejoin() repopulates the cluster, and its Ĉ share is discarded
+  /// (there is no survivor to carry it).
   void mark_failed(common::InstanceId op);
+
+  /// Re-admits a quarantined instance (the rejoin handshake's core step;
+  /// the wire side lives in runtime/scheduler_runtime.hpp). The rejoiner
+  /// comes back with: Ĉ seeded from the minimum over the other live
+  /// instances (so it is competitive but not a magnet for every tuple),
+  /// no sketch until its tracker ships a fresh (F, W) pair, exclusion
+  /// from any in-flight epoch (its abandoned marker is not resurrected; a
+  /// late Δ from before the quarantine hits the stale/duplicate path and
+  /// cannot corrupt Ĉ), and a token-bucket admission ramp
+  /// (config.rejoin_ramp) that throttles its greedy wins until it has
+  /// warmed up. Throws std::invalid_argument when `op` is out of range or
+  /// not quarantined.
+  void rejoin(common::InstanceId op);
+  std::uint64_t rejoin_count() const noexcept { return rejoin_count_; }
+  /// Tuples still to be admitted under `op`'s rejoin ramp (0 = not
+  /// ramping).
+  std::uint64_t ramp_remaining(common::InstanceId op) const;
+  /// Instances whose admission ramp completed since the last call (the
+  /// runtime drains this to send AdmissionGrant messages).
+  std::vector<common::InstanceId> take_ramp_completions();
+
+  /// Straggler state machine fed by epoch drift measurements (see
+  /// core/instance_health.hpp). Degraded instances are billed at
+  /// health().derate(op) times their estimate, steering the greedy away
+  /// from them in proportion to their measured slowdown.
+  HealthMonitor& health() noexcept { return health_; }
+  const HealthMonitor& health() const noexcept { return health_; }
+
+  /// Billing multiplier currently applied to `op`'s estimates. Driven by
+  /// the health monitor at epoch boundaries; settable directly for tests
+  /// and benchmarks. Must be >= 1 and finite.
+  void set_derate(common::InstanceId op, double factor);
+  double derate(common::InstanceId op) const;
 
   bool is_failed(common::InstanceId op) const;
   /// k' — number of instances still in the candidate set.
@@ -146,6 +193,14 @@ class PosgScheduler final : public Scheduler {
   void refresh_global_mean() noexcept;
   void maybe_complete_epoch() noexcept;
   bool all_live_shipped() const noexcept;
+  /// Bills `item` to `target` (estimate × de-rate factor) and nudges the
+  /// incremental argmin — the one UPDATE-Ĉ path every scheduling state
+  /// shares.
+  void bill(common::InstanceId target, common::Item item);
+  /// Applies the rejoin admission ramp to a greedy pick: a ramping
+  /// instance needs a token to win; without one the pick falls through to
+  /// the best non-ramping live instance.
+  common::InstanceId ramp_admit(common::InstanceId pick);
 
   std::size_t k_;
   PosgConfig config_;
@@ -183,6 +238,23 @@ class PosgScheduler final : public Scheduler {
   std::vector<bool> failed_;
   std::size_t live_count_;
   std::uint64_t stale_replies_ = 0;
+  /// Graceful degradation (extension): straggler state machine, billing
+  /// multipliers (1.0 = healthy; > 1 while Degraded), and the Ĉ value at
+  /// each instance's marker emission (−1 when no marker went out this
+  /// epoch) from which epoch drift ratios are measured.
+  HealthMonitor health_;
+  std::vector<double> derate_;
+  std::vector<common::TimeMs> marker_estimate_;
+  /// Rejoin admission ramp (token bucket, tuple-count driven): tokens per
+  /// instance, tuples left to admit (0 = not ramping), instances whose
+  /// ramp just completed (awaiting AdmissionGrant), and how many ramps are
+  /// active (the fast-path gate: 0 keeps schedule() on the pre-rejoin
+  /// code path).
+  std::vector<double> ramp_tokens_;
+  std::vector<std::uint64_t> ramp_left_;
+  std::vector<common::InstanceId> ramp_completions_;
+  std::size_t ramps_active_ = 0;
+  std::uint64_t rejoin_count_ = 0;
   /// Incremental greedy argmin over greedy_score(); rebuilt on global
   /// events, nudged by increase() on the per-tuple billing path.
   GreedyIndex greedy_;

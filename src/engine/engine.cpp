@@ -22,7 +22,7 @@ void OutputCollector::emit(Tuple tuple) {
 void OutputCollector::flush() {
   for (PendingBatch& batch : pending_) {
     if (!batch.tuples.empty()) {
-      batch.queue->push_all(batch.tuples);  // clears the vector, keeps capacity
+      engine_.flush_batch(batch);  // clears the vector, keeps capacity
     }
   }
 }
@@ -47,6 +47,9 @@ Engine::Engine(Topology topology, EngineConfig config)
     runtime->per_instance_executed.assign(spec.parallelism, 0);
     runtime->per_instance_busy_ms.assign(spec.parallelism, 0.0);
     runtime->per_instance_queue_peak.assign(spec.parallelism, 0);
+    if (config_.overload.enabled) {
+      runtime->overload = std::make_unique<core::OverloadController>(config_.overload);
+    }
     bolts_.push_back(std::move(runtime));
   }
 
@@ -108,9 +111,77 @@ void Engine::route_emit(const std::vector<StreamTarget>& targets, Tuple tuple,
       }
     }
     if (pending == nullptr) {
-      pending = &collector.pending_.emplace_back(OutputCollector::PendingBatch{queue, {}});
+      pending = &collector.pending_.emplace_back(
+          OutputCollector::PendingBatch{queue, target.bolt_index, {}});
     }
     pending->tuples.push_back(std::move(out));
+  }
+}
+
+void Engine::flush_batch(OutputCollector::PendingBatch& batch) {
+  BoltRuntime& bolt = *bolts_[batch.bolt_index];
+  core::OverloadController* controller = bolt.overload.get();
+  if (controller == nullptr) {
+    batch.queue->push_all(batch.tuples);
+    return;
+  }
+  // Shed mode requires *every* queue of the stage past the high watermark
+  // for the configured deadline — a single hot instance is the straggler
+  // detector's problem, not overload.
+  double saturation = 1.0;
+  for (const auto& queue : bolt.queues) {
+    saturation = std::min(saturation, static_cast<double>(queue->size()) /
+                                          static_cast<double>(queue->capacity()));
+  }
+  if (!controller->sample(saturation)) {
+    batch.queue->push_all(batch.tuples);
+    return;
+  }
+
+  // Shed path: stop blocking the producer. Markers are never shed — a
+  // dropped marker would sever the epoch's consistent cut and hang
+  // WAIT_ALL — so they are pushed blocking at their original sequence
+  // position, after the non-marker segment before them is disposed of.
+  std::uint64_t dropped = 0;
+  std::vector<Tuple> segment;
+  const auto drain_segment = [&] {
+    if (segment.empty()) {
+      return;
+    }
+    if (bolt.feedback != nullptr && segment.size() > 1) {
+      // Keep the most expensive tuples (losing them would skew the load
+      // estimates the most); the cheapest spill over and are dropped.
+      std::vector<std::pair<double, std::size_t>> keyed;
+      keyed.reserve(segment.size());
+      for (std::size_t i = 0; i < segment.size(); ++i) {
+        keyed.emplace_back(bolt.feedback->cost_estimate(segment[i]).value_or(0.0), i);
+      }
+      std::stable_sort(keyed.begin(), keyed.end(),
+                       [](const auto& a, const auto& b) { return a.first > b.first; });
+      std::vector<Tuple> ordered;
+      ordered.reserve(segment.size());
+      for (const auto& [cost, i] : keyed) {
+        ordered.push_back(std::move(segment[i]));
+      }
+      segment.swap(ordered);
+    }
+    batch.queue->try_push_all(segment);  // erases the admitted prefix
+    dropped += segment.size();
+    segment.clear();
+  };
+  for (Tuple& tuple : batch.tuples) {
+    if (tuple.marker.has_value()) {
+      drain_segment();
+      batch.queue->push(std::move(tuple));
+    } else {
+      segment.push_back(std::move(tuple));
+    }
+  }
+  drain_segment();
+  batch.tuples.clear();
+  if (dropped > 0) {
+    bolt.shed.fetch_add(dropped, std::memory_order_relaxed);
+    controller->note_shed(dropped);
   }
 }
 
@@ -155,6 +226,12 @@ void Engine::bolt_main(std::size_t index, common::InstanceId instance) {
     // occupancy pop() observed as size() + 1 per element.
     bolt.per_instance_queue_peak[instance] =
         std::max(bolt.per_instance_queue_peak[instance], batch.size());
+    if (bolt.feedback != nullptr) {
+      // Occupancy sample for the straggler detector: a queue that stays
+      // deep relative to its siblings marks a consumer falling behind.
+      bolt.feedback->on_queue_sample(
+          instance, static_cast<double>(batch.size()) / static_cast<double>(queue.capacity()));
+    }
     for (Tuple& tuple : batch) {
       const auto started = Clock::now();
       try {
@@ -244,6 +321,11 @@ Engine::ComponentStats Engine::stats(const std::string& component) const {
       stats.per_instance = bolt->per_instance_executed;
       stats.busy_ms = bolt->per_instance_busy_ms;
       stats.queue_peak = bolt->per_instance_queue_peak;
+      stats.shed = bolt->shed.load();
+      if (bolt->overload) {
+        stats.shed_entries = bolt->overload->entries();
+        stats.shed_exits = bolt->overload->exits();
+      }
       return stats;
     }
   }

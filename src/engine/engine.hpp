@@ -9,6 +9,7 @@
 
 #include "core/config.hpp"
 #include "core/instance_tracker.hpp"
+#include "core/overload.hpp"
 #include "engine/completion_recorder.hpp"
 #include "engine/queue.hpp"
 #include "engine/topology.hpp"
@@ -19,6 +20,14 @@ struct EngineConfig {
   /// Capacity of each executor's input queue; producers block when full
   /// (backpressure).
   std::size_t queue_capacity = 1 << 16;
+
+  /// Overload control (core/overload.hpp): when enabled, a sustained
+  /// saturation of *all* of a bolt's input queues flips its producers from
+  /// blocking to shedding — tuples that do not fit are dropped (counted in
+  /// ComponentStats::shed), lowest cost estimate first, and markers are
+  /// never shed. Disabled by default: the stock backpressure semantics and
+  /// the hot path are untouched.
+  core::OverloadConfig overload;
 };
 
 class Engine;
@@ -57,11 +66,13 @@ class OutputCollector {
   /// flushes (push_all clears them in place).
   struct PendingBatch {
     BoundedQueue<Tuple>* queue;
+    std::size_t bolt_index;  // destination bolt (overload controller, costs)
     std::vector<Tuple> tuples;
   };
 
-  /// Hands every staged batch to its queue (BoundedQueue::push_all) in
-  /// emission order per queue. Called by the executor loop after every
+  /// Hands every staged batch to its queue in emission order per queue
+  /// (Engine::flush_batch: BoundedQueue::push_all normally, the shedding
+  /// path under overload). Called by the executor loop after every
   /// component callback; a closed queue drops the remainder of its batch,
   /// exactly as per-tuple push() drops on a closed queue.
   void flush();
@@ -92,6 +103,11 @@ class Engine {
     /// Per-instance input-queue high-watermark (max occupancy observed at
     /// dequeue time).
     std::vector<std::size_t> queue_peak;
+    /// Load shedding (EngineConfig::overload): tuples dropped on the way
+    /// into this bolt's queues, and the shed-mode entry/exit transitions.
+    std::uint64_t shed = 0;
+    std::uint64_t shed_entries = 0;
+    std::uint64_t shed_exits = 0;
   };
 
   Engine(Topology topology, EngineConfig config = {});
@@ -129,9 +145,15 @@ class Engine {
     /// (nullptr when none). Executors then run instance trackers.
     Grouping* feedback = nullptr;
     bool terminal = false;
+    /// Overload controller for this bolt's input queues (nullptr when
+    /// shedding is disabled — producers then always block). Internally
+    /// synchronized; shared by every producer thread.
+    std::unique_ptr<core::OverloadController> overload;
     std::atomic<std::uint64_t> executed{0};
     std::atomic<std::uint64_t> emitted{0};
     std::atomic<std::uint64_t> errors{0};
+    /// Tuples shed by producers while this bolt was overloaded.
+    std::atomic<std::uint64_t> shed{0};
     std::vector<std::uint64_t> per_instance_executed;  // written by owner thread
     std::vector<common::TimeMs> per_instance_busy_ms;  // written by owner thread
     std::vector<std::size_t> per_instance_queue_peak;  // written by owner thread
@@ -148,6 +170,10 @@ class Engine {
   /// stages the routed copies in `collector`'s pending batches.
   void route_emit(const std::vector<StreamTarget>& targets, Tuple tuple,
                   OutputCollector& collector);
+  /// Delivers one staged batch: blocking push_all normally; under
+  /// overload, sheds what does not fit (cheapest tuples first, markers
+  /// always delivered).
+  void flush_batch(OutputCollector::PendingBatch& batch);
   void spout_main(std::size_t index, common::InstanceId instance);
   void bolt_main(std::size_t index, common::InstanceId instance);
 

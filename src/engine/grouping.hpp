@@ -42,6 +42,23 @@ class Grouping {
   /// exactly when wants_feedback().
   virtual const core::PosgConfig* feedback_config() const { return nullptr; }
 
+  /// Estimated execution cost of `tuple` on its scheduled instance, when
+  /// the grouping can provide one (POSG's sketches can). The engine's load
+  /// shedder uses it to drop the cheapest tuples first; std::nullopt means
+  /// "no estimate" and sorts as cheapest.
+  virtual std::optional<double> cost_estimate(const Tuple& tuple) const {
+    (void)tuple;
+    return std::nullopt;
+  }
+
+  /// Receiver-side queue-occupancy sample (fraction of capacity observed
+  /// at dequeue time). Groupings with a health model (POSG's straggler
+  /// detector) fold it in; the default ignores it.
+  virtual void on_queue_sample(common::InstanceId instance, double occupancy) {
+    (void)instance;
+    (void)occupancy;
+  }
+
   virtual std::string name() const = 0;
 };
 

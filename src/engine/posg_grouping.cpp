@@ -94,6 +94,16 @@ void PosgGrouping::delay_worker() {
   }
 }
 
+std::optional<double> PosgGrouping::cost_estimate(const Tuple& tuple) const {
+  std::lock_guard lock(mutex_);
+  return scheduler_.estimate(tuple.item);
+}
+
+void PosgGrouping::on_queue_sample(common::InstanceId instance, double occupancy) {
+  std::lock_guard lock(mutex_);
+  scheduler_.health().note_queue_depth(instance, occupancy);
+}
+
 core::PosgScheduler::State PosgGrouping::scheduler_state() const {
   std::lock_guard lock(mutex_);
   return scheduler_.state();

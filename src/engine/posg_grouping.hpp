@@ -34,6 +34,11 @@ class PosgGrouping final : public Grouping {
   void on_sketches(const core::SketchShipment& shipment) override;
   void on_sync_reply(const core::SyncReply& reply) override;
   const core::PosgConfig* feedback_config() const override { return &config_; }
+  /// Sketch-backed cost estimate for the engine's load shedder (nullopt
+  /// while the scheduler is still in ROUND_ROBIN).
+  std::optional<double> cost_estimate(const Tuple& tuple) const override;
+  /// Queue-occupancy sample feeding the straggler detector's skew signal.
+  void on_queue_sample(common::InstanceId instance, double occupancy) override;
   std::string name() const override { return "posg"; }
 
   /// The POSG configuration the receiving executors must use for their

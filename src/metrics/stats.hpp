@@ -2,10 +2,36 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 /// Numeric summaries used by tests and benchmark harnesses.
 namespace posg::metrics {
+
+/// Counters of the graceful-degradation layer (DESIGN.md "Fault model and
+/// degradation ladder"): overload shedding, straggler de-rating, and
+/// instance rejoin. Assembled by the runtime/simulator from the scheduler
+/// and overload-controller accessors — the core library does not depend on
+/// metrics.
+struct ResilienceStats {
+  /// Tuples dropped (and counted) while shed mode was active.
+  std::uint64_t tuples_shed = 0;
+  /// Shed-mode entries and hysteresis exits.
+  std::uint64_t shed_entries = 0;
+  std::uint64_t shed_exits = 0;
+  /// Quarantined instances re-admitted through the rejoin handshake.
+  std::uint64_t rejoins = 0;
+  /// Health-monitor lifecycle transitions (Live → Suspect, * → Degraded,
+  /// Suspect/Degraded → Live).
+  std::uint64_t suspect_transitions = 0;
+  std::uint64_t degraded_transitions = 0;
+  std::uint64_t promotions = 0;
+  /// Current multiplicative billing de-rate per instance (1.0 = healthy).
+  std::vector<double> derate;
+
+  /// One-line human-readable report for logs and periodic sim output.
+  std::string summary() const;
+};
 
 /// Streaming mean/variance/min/max (Welford's algorithm) — O(1) memory,
 /// numerically stable, mergeable.

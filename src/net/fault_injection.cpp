@@ -1,5 +1,6 @@
 #include "net/fault_injection.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <system_error>
 #include <thread>
@@ -17,6 +18,7 @@ const char* dir_name(FaultDir dir) { return dir == FaultDir::kSend ? "send" : "r
 
 std::string FaultAction::describe() const {
   const std::string target = std::string(dir_name(dir)) + "#" + std::to_string(frame);
+  const std::string range = target + ".." + std::to_string(frame + (span > 0 ? span - 1 : 0));
   switch (kind) {
     case Kind::kDrop:
       return "drop " + target;
@@ -27,8 +29,30 @@ std::string FaultAction::describe() const {
              std::to_string(static_cast<unsigned>(xor_mask));
     case Kind::kDisconnect:
       return "disconnect after " + target;
+    case Kind::kSlow:
+      return "slow " + range + " by " + std::to_string(delay.count()) + "ms";
+    case Kind::kPartition:
+      return "partition " + range;
+    case Kind::kStutter:
+      return "stutter " + range + " burst " + std::to_string(burst) + " stall " +
+             std::to_string(delay.count()) + "ms";
   }
   return "unknown " + target;
+}
+
+bool FaultAction::applies_to(std::uint64_t f) const noexcept {
+  switch (kind) {
+    case Kind::kDrop:
+    case Kind::kDelay:
+    case Kind::kCorrupt:
+    case Kind::kDisconnect:
+      return f == frame;
+    case Kind::kSlow:
+    case Kind::kPartition:
+    case Kind::kStutter:
+      return f >= frame && f - frame < span;
+  }
+  return false;
 }
 
 FaultPlan& FaultPlan::drop(FaultDir dir, std::uint64_t frame) {
@@ -52,6 +76,29 @@ FaultPlan& FaultPlan::corrupt(FaultDir dir, std::uint64_t frame, std::size_t byt
 
 FaultPlan& FaultPlan::disconnect_after(FaultDir dir, std::uint64_t frame) {
   actions_.push_back(FaultAction{FaultAction::Kind::kDisconnect, dir, frame, {}, 0, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::slow(FaultDir dir, std::uint64_t frame, std::uint64_t span,
+                           std::chrono::milliseconds by) {
+  common::require(span >= 1, "FaultPlan: slow over an empty range");
+  common::require(by.count() >= 0, "FaultPlan: negative slowdown");
+  actions_.push_back(FaultAction{FaultAction::Kind::kSlow, dir, frame, by, 0, 0, span, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(FaultDir dir, std::uint64_t frame, std::uint64_t span) {
+  common::require(span >= 1, "FaultPlan: partition over an empty range");
+  actions_.push_back(FaultAction{FaultAction::Kind::kPartition, dir, frame, {}, 0, 0, span, 0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::stutter(FaultDir dir, std::uint64_t frame, std::uint64_t span,
+                              std::uint32_t burst, std::chrono::milliseconds stall) {
+  common::require(span >= 1, "FaultPlan: stutter over an empty range");
+  common::require(stall.count() >= 0, "FaultPlan: negative stall");
+  actions_.push_back(
+      FaultAction{FaultAction::Kind::kStutter, dir, frame, stall, 0, 0, span, burst});
   return *this;
 }
 
@@ -81,10 +128,49 @@ FaultPlan FaultPlan::random(std::uint64_t seed, std::uint64_t horizon, std::size
   return plan;
 }
 
+FaultPlan FaultPlan::random_gray(std::uint64_t seed, std::uint64_t horizon, std::size_t faults) {
+  common::require(horizon >= 1, "FaultPlan::random_gray: empty horizon");
+  common::Xoshiro256StarStar rng(seed);
+  FaultPlan plan;
+  const std::uint64_t max_span = std::max<std::uint64_t>(1, horizon / 4);
+  for (std::size_t i = 0; i < faults; ++i) {
+    const auto dir = rng.next_below(2) == 0 ? FaultDir::kSend : FaultDir::kRecv;
+    const std::uint64_t frame = rng.next_below(horizon);
+    switch (rng.next_below(7)) {
+      case 0:
+        plan.drop(dir, frame);
+        break;
+      case 1:
+        plan.delay(dir, frame, std::chrono::milliseconds(1 + rng.next_below(20)));
+        break;
+      case 2:
+        plan.corrupt(dir, frame, rng.next_below(64),
+                     static_cast<std::uint8_t>(1 + rng.next_below(255)));
+        break;
+      case 3:
+        plan.disconnect_after(dir, frame);
+        break;
+      case 4:
+        plan.slow(dir, frame, 1 + rng.next_below(max_span),
+                  std::chrono::milliseconds(1 + rng.next_below(10)));
+        break;
+      case 5:
+        plan.partition(dir, frame, 1 + rng.next_below(max_span));
+        break;
+      default:
+        plan.stutter(dir, frame, 1 + rng.next_below(max_span),
+                     static_cast<std::uint32_t>(rng.next_below(4)),
+                     std::chrono::milliseconds(1 + rng.next_below(10)));
+        break;
+    }
+  }
+  return plan;
+}
+
 std::vector<const FaultAction*> FaultPlan::for_frame(FaultDir dir, std::uint64_t frame) const {
   std::vector<const FaultAction*> matches;
   for (const auto& action : actions_) {
-    if (action.dir == dir && action.frame == frame) {
+    if (action.dir == dir && action.applies_to(frame)) {
       matches.push_back(&action);
     }
   }
@@ -111,7 +197,11 @@ void FaultInjector::send_frame(std::span<const std::byte> payload) {
   std::vector<std::byte> mutated;
   std::span<const std::byte> outgoing = payload;
   for (const FaultAction* action : plan_.for_frame(FaultDir::kSend, frame)) {
-    record(*action);
+    // Stutter only *faults* the frames it stalls; the bursts that pass
+    // untouched are not events (the log is what determinism tests diff).
+    if (action->kind != FaultAction::Kind::kStutter) {
+      record(*action);
+    }
     switch (action->kind) {
       case FaultAction::Kind::kDrop:
         drop = true;
@@ -131,6 +221,20 @@ void FaultInjector::send_frame(std::span<const std::byte> payload) {
       case FaultAction::Kind::kDisconnect:
         disconnect = true;
         break;
+      case FaultAction::Kind::kSlow:
+        std::this_thread::sleep_for(action->delay);
+        break;
+      case FaultAction::Kind::kPartition:
+        drop = true;  // one-way partition: frames vanish, link stays up
+        break;
+      case FaultAction::Kind::kStutter: {
+        const std::uint64_t phase = frame - action->frame;
+        if (action->burst == 0 || phase % (action->burst + 1) == action->burst) {
+          record(*action);
+          std::this_thread::sleep_for(action->delay);
+        }
+        break;
+      }
     }
   }
   if (!drop) {
@@ -154,7 +258,9 @@ RecvResult FaultInjector::recv_frame(std::chrono::milliseconds deadline) {
     bool drop = false;
     bool disconnect = false;
     for (const FaultAction* action : plan_.for_frame(FaultDir::kRecv, frame)) {
-      record(*action);
+      if (action->kind != FaultAction::Kind::kStutter) {
+        record(*action);
+      }
       switch (action->kind) {
         case FaultAction::Kind::kDrop:
           drop = true;
@@ -171,6 +277,20 @@ RecvResult FaultInjector::recv_frame(std::chrono::milliseconds deadline) {
         case FaultAction::Kind::kDisconnect:
           disconnect = true;
           break;
+        case FaultAction::Kind::kSlow:
+          std::this_thread::sleep_for(action->delay);
+          break;
+        case FaultAction::Kind::kPartition:
+          drop = true;
+          break;
+        case FaultAction::Kind::kStutter: {
+          const std::uint64_t phase = frame - action->frame;
+          if (action->burst == 0 || phase % (action->burst + 1) == action->burst) {
+            record(*action);
+            std::this_thread::sleep_for(action->delay);
+          }
+          break;
+        }
       }
     }
     if (disconnect) {

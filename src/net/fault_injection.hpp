@@ -28,20 +28,38 @@ enum class FaultDir : std::uint8_t {
 };
 
 struct FaultAction {
-  enum class Kind : std::uint8_t { kDrop, kDelay, kCorrupt, kDisconnect };
+  /// The first four kinds are crash-style faults targeting one frame; the
+  /// last three are *gray* faults degrading a frame range (see `span`):
+  ///   kSlow       every frame in range is delayed by `delay`
+  ///   kPartition  one-way partition — every frame in range is dropped
+  ///   kStutter    burst-then-stall — each run of `burst` frames passes
+  ///               untouched, then one frame stalls for `delay`
+  enum class Kind : std::uint8_t { kDrop, kDelay, kCorrupt, kDisconnect, kSlow, kPartition, kStutter };
 
   Kind kind = Kind::kDrop;
   FaultDir dir = FaultDir::kSend;
-  /// 0-based index of the targeted frame within its direction.
+  /// 0-based index of the targeted frame within its direction (range start
+  /// for the gray kinds).
   std::uint64_t frame = 0;
-  std::chrono::milliseconds delay{0};  ///< kDelay only
+  std::chrono::milliseconds delay{0};  ///< kDelay, kSlow, kStutter
   std::size_t byte_offset = 0;         ///< kCorrupt: offset into the payload (mod size)
   std::uint8_t xor_mask = 0xFF;        ///< kCorrupt: flipped bits
+  /// Gray kinds: number of frames in [frame, frame + span) the fault
+  /// covers. 0 (the default) keeps the original exact-frame semantics for
+  /// the crash-style kinds — existing brace-initialized plans are
+  /// untouched.
+  std::uint64_t span = 0;
+  /// kStutter: frames passed between stalls; 0 stalls every frame.
+  std::uint32_t burst = 0;
 
   /// Stable human-readable form, e.g. "drop send#3"; the injector's event
   /// log is a sequence of these, which is what the determinism tests
   /// compare across runs.
   std::string describe() const;
+
+  /// Whether the action targets frame index `f` (exact match for the
+  /// crash-style kinds, range membership for the gray kinds).
+  bool applies_to(std::uint64_t f) const noexcept;
 };
 
 /// An ordered fault script. Actions targeting the same frame apply in
@@ -55,12 +73,24 @@ class FaultPlan {
   FaultPlan& corrupt(FaultDir dir, std::uint64_t frame, std::size_t byte_offset,
                      std::uint8_t xor_mask = 0xFF);
   FaultPlan& disconnect_after(FaultDir dir, std::uint64_t frame);
+  /// Gray faults (see FaultAction::Kind): degrade `span` frames starting
+  /// at `frame` instead of hitting exactly one.
+  FaultPlan& slow(FaultDir dir, std::uint64_t frame, std::uint64_t span,
+                  std::chrono::milliseconds by);
+  FaultPlan& partition(FaultDir dir, std::uint64_t frame, std::uint64_t span);
+  FaultPlan& stutter(FaultDir dir, std::uint64_t frame, std::uint64_t span, std::uint32_t burst,
+                     std::chrono::milliseconds stall);
 
   /// Derives a plan of `faults` scripted actions over the first `horizon`
   /// frames of each direction from `seed`. Equal seeds yield equal plans
   /// (bit-for-bit), which makes randomized fault campaigns replayable from
   /// a single integer.
   static FaultPlan random(std::uint64_t seed, std::uint64_t horizon, std::size_t faults);
+
+  /// Like random(), but draws from all seven kinds including the gray
+  /// faults (slow/partition/stutter over spans up to horizon/4). Kept
+  /// separate so the byte-stable streams pinned on random() never move.
+  static FaultPlan random_gray(std::uint64_t seed, std::uint64_t horizon, std::size_t faults);
 
   const std::vector<FaultAction>& actions() const noexcept { return actions_; }
   bool empty() const noexcept { return actions_.empty(); }

@@ -16,6 +16,8 @@ enum class Tag : std::uint8_t {
   kSyncReply = 4,
   kEndOfStream = 5,
   kInstanceFailed = 6,
+  kRejoinAck = 7,
+  kAdmissionGrant = 8,
 };
 
 class Writer {
@@ -109,6 +111,15 @@ std::vector<std::byte> encode(const Message& message) {
           writer.put(Tag::kInstanceFailed);
           writer.put(static_cast<std::uint64_t>(value.instance));
           writer.put(value.epoch);
+        } else if constexpr (std::is_same_v<T, RejoinAck>) {
+          writer.put(Tag::kRejoinAck);
+          writer.put(static_cast<std::uint64_t>(value.instance));
+          writer.put(value.epoch);
+          writer.put(value.seeded_cumulated);
+        } else if constexpr (std::is_same_v<T, AdmissionGrant>) {
+          writer.put(Tag::kAdmissionGrant);
+          writer.put(static_cast<std::uint64_t>(value.instance));
+          writer.put(value.epoch);
         }
       },
       message);
@@ -122,7 +133,7 @@ void debug_validate_frame(std::span<const std::byte> payload) {
   POSG_CHECK(!payload.empty(), "net frame: empty payload (every frame starts with a tag byte)");
   const auto tag = static_cast<std::uint8_t>(payload[0]);
   POSG_CHECK(tag >= static_cast<std::uint8_t>(Tag::kHello) &&
-                 tag <= static_cast<std::uint8_t>(Tag::kInstanceFailed),
+                 tag <= static_cast<std::uint8_t>(Tag::kAdmissionGrant),
              "net frame: unknown tag");
   const std::size_t size = payload.size();
   switch (static_cast<Tag>(tag)) {
@@ -154,6 +165,14 @@ void debug_validate_frame(std::span<const std::byte> payload) {
     case Tag::kInstanceFailed:
       POSG_CHECK(size == 1 + 8 + 8,
                  "net frame: InstanceFailed must be exactly tag + instance + epoch");
+      break;
+    case Tag::kRejoinAck:
+      POSG_CHECK(size == 1 + 8 + 8 + 8,
+                 "net frame: RejoinAck must be exactly tag + instance + epoch + seed");
+      break;
+    case Tag::kAdmissionGrant:
+      POSG_CHECK(size == 1 + 8 + 8,
+                 "net frame: AdmissionGrant must be exactly tag + instance + epoch");
       break;
   }
 }
@@ -204,6 +223,21 @@ Message decode(std::span<const std::byte> payload) {
       failed.epoch = reader.take<common::Epoch>();
       reader.expect_exhausted();
       return failed;
+    }
+    case Tag::kRejoinAck: {
+      RejoinAck ack;
+      ack.instance = static_cast<common::InstanceId>(reader.take<std::uint64_t>());
+      ack.epoch = reader.take<common::Epoch>();
+      ack.seeded_cumulated = reader.take<common::TimeMs>();
+      reader.expect_exhausted();
+      return ack;
+    }
+    case Tag::kAdmissionGrant: {
+      AdmissionGrant grant;
+      grant.instance = static_cast<common::InstanceId>(reader.take<std::uint64_t>());
+      grant.epoch = reader.take<common::Epoch>();
+      reader.expect_exhausted();
+      return grant;
     }
   }
   throw std::invalid_argument("net::decode: unknown tag");

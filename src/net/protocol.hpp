@@ -9,14 +9,16 @@
 
 /// Wire protocol between a POSG scheduler process and operator-instance
 /// processes — the distributed deployment the in-process substrates
-/// emulate. Six message kinds:
+/// emulate. Eight message kinds:
 ///
-///   instance -> scheduler:  Hello (registration), SketchShipment
-///                           (Fig. 1.B, via sketch/serialize.hpp),
-///                           SyncReply (Fig. 1.E)
+///   instance -> scheduler:  Hello (registration and rejoin),
+///                           SketchShipment (Fig. 1.B, via
+///                           sketch/serialize.hpp), SyncReply (Fig. 1.E)
 ///   scheduler -> instance:  TupleMessage (data + optional piggy-backed
 ///                           SyncRequest, Fig. 1.D), EndOfStream,
-///                           InstanceFailed (quarantine notification)
+///                           InstanceFailed (quarantine notification),
+///                           RejoinAck (rejoin handshake accept),
+///                           AdmissionGrant (admission ramp finished)
 ///
 /// Every message is one length-prefixed socket frame (net/socket.hpp)
 /// starting with a one-byte tag.
@@ -46,8 +48,27 @@ struct TupleMessage {
 /// Orderly shutdown of the data stream.
 struct EndOfStream {};
 
+/// Scheduler -> rejoining instance: the rejoin handshake's accept. The
+/// instance re-registered over the Hello path after a quarantine; the
+/// scheduler re-admitted it with Ĉ seeded to `seeded_cumulated` (the live
+/// minimum). The instance must rearm its tracker to that baseline —
+/// otherwise its first post-rejoin Δ would report ≈ −seed and zero the
+/// seed right back out (see core::InstanceTracker::rearm).
+struct RejoinAck {
+  common::InstanceId instance;
+  common::Epoch epoch;
+  common::TimeMs seeded_cumulated;
+};
+
+/// Scheduler -> rejoined instance: its token-bucket admission ramp
+/// finished; full greedy rotation resumed. Informational.
+struct AdmissionGrant {
+  common::InstanceId instance;
+  common::Epoch epoch;
+};
+
 using Message = std::variant<Hello, TupleMessage, core::SketchShipment, core::SyncReply,
-                             EndOfStream, InstanceFailed>;
+                             EndOfStream, InstanceFailed, RejoinAck, AdmissionGrant>;
 
 /// Encodes a message into one frame payload.
 std::vector<std::byte> encode(const Message& message);

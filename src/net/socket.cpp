@@ -200,6 +200,15 @@ Socket Listener::accept() {
   }
 }
 
+std::optional<Socket> Listener::accept(std::chrono::milliseconds deadline) {
+  // A pending connection makes the listening fd readable, so the recv
+  // deadline helper doubles as an accept deadline.
+  if (!wait_readable(fd_, deadline)) {
+    return std::nullopt;
+  }
+  return accept();
+}
+
 Socket connect(const std::string& path, const ConnectRetryPolicy& policy) {
   common::require(policy.max_attempts >= 1, "net: connect needs at least one attempt");
   common::require(policy.multiplier >= 1.0, "net: backoff multiplier must be >= 1");

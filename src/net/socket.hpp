@@ -90,6 +90,12 @@ class Listener {
   /// Blocks until a peer connects.
   Socket accept();
 
+  /// Deadline-bounded accept: waits at most `deadline` for a pending
+  /// connection and returns std::nullopt when none arrived. Lets an
+  /// acceptor thread (the rejoin listener) poll a stop flag between
+  /// waits instead of blocking forever.
+  std::optional<Socket> accept(std::chrono::milliseconds deadline);
+
   const std::string& path() const noexcept { return path_; }
 
  private:

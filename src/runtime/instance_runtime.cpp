@@ -9,6 +9,7 @@ namespace posg::runtime {
 
 InstanceRuntime::InstanceRuntime(common::InstanceId id, InstanceRuntimeConfig config)
     : id_(id), config_(std::move(config)) {
+  common::require(config_.cost_scale > 0.0, "InstanceRuntime: cost scale must be positive");
   if (!config_.cost_model) {
     config_.cost_model = [](common::Item item) {
       return 1.0 + static_cast<common::TimeMs>(item % 64);
@@ -59,6 +60,18 @@ InstanceRuntime::Stats InstanceRuntime::run(net::FrameTransport& link) {
       ++stats.peer_failures_seen;
       continue;
     }
+    if (const auto* ack = std::get_if<net::RejoinAck>(&message)) {
+      // Rejoin handshake accept: restart the sketch FSM and rebase C_op to
+      // the scheduler's seeded Ĉ so the next Δ measures only post-rejoin
+      // drift (see InstanceTracker::rearm).
+      tracker.rearm(ack->seeded_cumulated);
+      ++stats.rejoin_acks;
+      continue;
+    }
+    if (std::holds_alternative<net::AdmissionGrant>(message)) {
+      ++stats.admission_grants;
+      continue;
+    }
     const auto* tuple = std::get_if<net::TupleMessage>(&message);
     if (tuple == nullptr) {
       continue;  // scheduler-bound message echoed back? ignore defensively
@@ -69,7 +82,9 @@ InstanceRuntime::Stats InstanceRuntime::run(net::FrameTransport& link) {
       return stats;
     }
 
-    const common::TimeMs cost = config_.cost_model(tuple->item);
+    const bool straggling = stats.executed + 1 >= config_.straggle_after_executed;
+    const common::TimeMs cost =
+        config_.cost_model(tuple->item) * (straggling ? config_.cost_scale : 1.0);
     try {
       if (auto shipment = tracker.on_executed(tuple->item, cost)) {
         if (!muted) {

@@ -42,6 +42,17 @@ struct InstanceRuntimeConfig {
   /// starves WAIT_ALL forever, which is exactly what the scheduler's
   /// epoch deadline exists for (epochs start at 1; 0 disables).
   common::Epoch mute_from_epoch = 0;
+
+  /// Gray-fault scripting: multiplies every cost_model() result, so the
+  /// instance truly executes `cost_scale` times slower than its sketches
+  /// (and everyone else's) predict — the straggler the drift detector must
+  /// catch. 1.0 is a healthy instance.
+  double cost_scale = 1.0;
+
+  /// Straggle onset: cost_scale applies only from this executed-tuple
+  /// count on (1-based; 0 means from the start). Lets one run cover both
+  /// the healthy and the degraded phase of the same instance.
+  std::uint64_t straggle_after_executed = 0;
 };
 
 /// The operator-instance side of the distributed runtime: one event loop
@@ -67,6 +78,10 @@ class InstanceRuntime {
     /// Frames that failed to decode (dropped, not fatal — a corrupt frame
     /// must not take the instance down with it).
     std::uint64_t decode_errors = 0;
+    /// RejoinAcks received (tracker rearmed to the scheduler's seeded Ĉ).
+    std::uint64_t rejoin_acks = 0;
+    /// AdmissionGrants received (token-bucket ramp finished).
+    std::uint64_t admission_grants = 0;
     /// True when a scripted crash (InstanceRuntimeConfig) ended the run.
     bool crashed = false;
   };

@@ -83,10 +83,17 @@ void SchedulerRuntime::start() {
   }
   started_ = true;
   last_feedback_.assign(k_, std::chrono::steady_clock::now());
-  readers_.reserve(k_);
+  readers_.resize(k_);  // slot per instance so a rejoin can restart one
   for (common::InstanceId op = 0; op < k_; ++op) {
-    readers_.emplace_back([this, op] { reader_loop(op); });
+    readers_[op] = std::thread([this, op] { reader_loop(op); });
   }
+}
+
+void SchedulerRuntime::enable_rejoin(net::Listener& listener) {
+  common::require(config_.allow_rejoin, "SchedulerRuntime: enable_rejoin without allow_rejoin");
+  common::require(started_, "SchedulerRuntime: enable_rejoin before start");
+  common::require(!rejoin_acceptor_.joinable(), "SchedulerRuntime: rejoin already enabled");
+  rejoin_acceptor_ = std::thread([this, &listener] { rejoin_acceptor_loop(&listener); });
 }
 
 void SchedulerRuntime::send_locked(common::InstanceId op, const std::vector<std::byte>& frame) {
@@ -102,7 +109,11 @@ bool SchedulerRuntime::handle_failure(common::InstanceId op, const std::string& 
     if (scheduler_.is_failed(op)) {
       return true;  // EOF and epoch deadline may both report the same crash
     }
-    if (scheduler_.live_instances() <= 1) {
+    if (scheduler_.live_instances() <= 1 && !config_.allow_rejoin) {
+      // Without rejoin there is no way back from an empty candidate set,
+      // so losing the last instance is fatal. With rejoin enabled the
+      // quarantine proceeds: route() throws core::NoLiveInstanceError
+      // until a peer re-registers.
       fatal_.store(true);
       quarantine_log_.push_back({op, reason + " (last live instance)"});
       return false;
@@ -148,10 +159,16 @@ void SchedulerRuntime::check_epoch_deadline_locked() {
   }
   const auto now = std::chrono::steady_clock::now();
   for (const common::InstanceId op : scheduler_.pending_replies()) {
-    if (scheduler_.live_instances() <= 1) {
+    const auto age = now - last_feedback_[op];
+    if (age >= config_.epoch_deadline / 2) {
+      // Halfway to quarantine: surface feedback staleness to the health
+      // monitor so the instance is already Suspect before it goes mute.
+      scheduler_.health().note_stale_feedback(op);
+    }
+    if (scheduler_.live_instances() <= 1 && !config_.allow_rejoin) {
       break;  // keep the last survivor even if its reply was lost
     }
-    if (now - last_feedback_[op] < config_.epoch_deadline) {
+    if (age < config_.epoch_deadline) {
       continue;
     }
     scheduler_.mark_failed(op);
@@ -181,6 +198,7 @@ common::InstanceId SchedulerRuntime::route(common::Item item, common::SeqNo seq)
     try {
       send_locked(decision.instance, net::encode(tuple));
       routed_[decision.instance].fetch_add(1, std::memory_order_relaxed);
+      announce_admission_grants();
       return decision.instance;
     } catch (const std::exception&) {
       reroutes_.fetch_add(1, std::memory_order_relaxed);
@@ -192,6 +210,82 @@ common::InstanceId SchedulerRuntime::route(common::Item item, common::SeqNo seq)
     }
   }
   throw std::runtime_error("SchedulerRuntime: no live instance left to route to");
+}
+
+void SchedulerRuntime::announce_admission_grants() {
+  std::vector<common::InstanceId> done;
+  common::Epoch epoch = 0;
+  {
+    std::lock_guard lock(mutex_);
+    done = scheduler_.take_ramp_completions();
+    if (!done.empty()) {
+      epoch = scheduler_.epoch();
+    }
+  }
+  for (const common::InstanceId op : done) {
+    try {
+      send_locked(op, net::encode(net::AdmissionGrant{op, epoch}));
+    } catch (const std::exception&) {
+      // Informational message; a dead rejoiner is caught by its own path.
+    }
+  }
+}
+
+void SchedulerRuntime::rejoin_acceptor_loop(net::Listener* listener) {
+  while (!stop_acceptor_.load()) {
+    std::optional<net::Socket> socket;
+    try {
+      socket = listener->accept(std::chrono::milliseconds(200));
+    } catch (const std::exception&) {
+      return;  // listener torn down — acceptor has nothing left to do
+    }
+    if (!socket.has_value()) {
+      continue;  // deadline tick: re-check the stop flag
+    }
+    try {
+      net::RecvResult first = socket->recv_frame(config_.hello_deadline);
+      if (first.status != net::RecvStatus::kFrame) {
+        continue;
+      }
+      const auto message = net::decode(first.payload);
+      const auto* hello = std::get_if<net::Hello>(&message);
+      if (hello == nullptr || hello->instance >= k_) {
+        continue;  // wrong kind or out-of-range id — reject peer
+      }
+      const common::InstanceId op = hello->instance;
+      {
+        std::lock_guard lock(mutex_);
+        if (!scheduler_.is_failed(op)) {
+          continue;  // only a quarantined id may rejoin
+        }
+      }
+      // The old reader observed dead_[op] and exited (or is about to);
+      // join it before touching its slot, then swap the link under the
+      // send mutex so no writer ever sees a half-replaced transport.
+      if (readers_[op].joinable()) {
+        readers_[op].join();
+      }
+      {
+        std::lock_guard send_lock(*send_mutexes_[op]);
+        links_[op] = std::make_unique<net::SocketTransport>(std::move(*socket));
+      }
+      common::TimeMs seed = 0.0;
+      common::Epoch epoch = 0;
+      {
+        std::lock_guard lock(mutex_);
+        scheduler_.rejoin(op);
+        seed = scheduler_.estimated_loads()[op];
+        epoch = scheduler_.epoch();
+        last_feedback_[op] = std::chrono::steady_clock::now();
+        rejoin_log_.push_back(op);
+      }
+      send_locked(op, net::encode(net::RejoinAck{op, epoch, seed}));
+      dead_[op]->store(false);
+      readers_[op] = std::thread([this, op] { reader_loop(op); });
+    } catch (const std::exception&) {
+      continue;  // malformed handshake or the rejoiner died mid-accept
+    }
+  }
 }
 
 void SchedulerRuntime::reader_loop(common::InstanceId op) {
@@ -250,6 +344,12 @@ void SchedulerRuntime::finish() {
     return;
   }
   finished_ = true;
+  // Stop the rejoin acceptor first: it mutates readers_/links_ slots, so
+  // it must be gone before the joins below walk them.
+  stop_acceptor_.store(true);
+  if (rejoin_acceptor_.joinable()) {
+    rejoin_acceptor_.join();
+  }
   drain_deadline_ = std::chrono::steady_clock::now() + std::chrono::seconds(2);
   draining_.store(true);
   const auto eos = net::encode(net::EndOfStream{});
@@ -316,6 +416,26 @@ std::vector<std::uint64_t> SchedulerRuntime::routed_counts() const {
 std::uint64_t SchedulerRuntime::stale_replies() const {
   std::lock_guard lock(mutex_);
   return scheduler_.stale_reply_count();
+}
+
+std::vector<common::InstanceId> SchedulerRuntime::rejoin_log() const {
+  std::lock_guard lock(mutex_);
+  return rejoin_log_;
+}
+
+metrics::ResilienceStats SchedulerRuntime::resilience() const {
+  std::lock_guard lock(mutex_);
+  metrics::ResilienceStats stats;
+  stats.rejoins = scheduler_.rejoin_count();
+  const auto& health = scheduler_.health();
+  stats.suspect_transitions = health.suspect_transitions();
+  stats.degraded_transitions = health.degraded_transitions();
+  stats.promotions = health.promotions();
+  stats.derate.reserve(k_);
+  for (common::InstanceId op = 0; op < k_; ++op) {
+    stats.derate.push_back(scheduler_.derate(op));
+  }
+  return stats;
 }
 
 }  // namespace posg::runtime

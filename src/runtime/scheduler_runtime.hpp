@@ -11,6 +11,7 @@
 
 #include "common/types.hpp"
 #include "core/posg_scheduler.hpp"
+#include "metrics/stats.hpp"
 #include "net/socket.hpp"
 #include "net/transport.hpp"
 
@@ -41,6 +42,12 @@ struct SchedulerRuntimeConfig {
 
   /// Registration attempts allowed before giving up (0 = 2k + 8).
   std::size_t max_registration_attempts = 0;
+
+  /// Overload-resilient mode: quarantining the *last* live instance stops
+  /// being fatal (route() then throws core::NoLiveInstanceError until a
+  /// peer rejoins), and enable_rejoin() may re-admit quarantined
+  /// instances over the Hello path.
+  bool allow_rejoin = false;
 };
 
 /// The scheduler side of the distributed runtime, extracted from
@@ -80,6 +87,13 @@ class SchedulerRuntime {
   /// Spawns the reader threads. All k links must be attached.
   void start();
 
+  /// Spawns the rejoin acceptor (requires allow_rejoin and start()):
+  /// accepts Hello frames from *quarantined* instance ids on `listener`,
+  /// re-admits them via PosgScheduler::rejoin, answers with a RejoinAck
+  /// carrying the seeded Ĉ, and restarts their reader. Hellos from live or
+  /// unknown ids are rejected (closed). `listener` must outlive finish().
+  void enable_rejoin(net::Listener& listener);
+
   /// Routes one tuple: schedules, sends (with any piggy-backed marker),
   /// and on a dead target quarantines + reroutes until a live instance
   /// accepts it. Returns the instance that received the tuple. Throws
@@ -99,6 +113,12 @@ class SchedulerRuntime {
   std::vector<std::uint64_t> routed_counts() const;
   std::uint64_t reroutes() const noexcept { return reroutes_.load(std::memory_order_relaxed); }
   std::uint64_t stale_replies() const;
+  /// Instances re-admitted through the rejoin handshake, in order.
+  std::vector<common::InstanceId> rejoin_log() const;
+  /// Snapshot of the degradation-layer counters (de-rates, health
+  /// transitions, rejoins). Shedding counters stay 0 here — the engine's
+  /// OverloadController owns those.
+  metrics::ResilienceStats resilience() const;
 
   /// Access to the scheduler for single-threaded phases (before start()
   /// or after finish()).
@@ -106,12 +126,15 @@ class SchedulerRuntime {
 
  private:
   void reader_loop(common::InstanceId op);
+  void rejoin_acceptor_loop(net::Listener* listener);
   /// Quarantines `op` (idempotent) and broadcasts InstanceFailed to the
   /// survivors. Returns false when `op` was the last live instance (the
   /// run is lost; callers decide whether that is fatal).
   bool handle_failure(common::InstanceId op, const std::string& reason);
   void check_epoch_deadline_locked();
   void send_locked(common::InstanceId op, const std::vector<std::byte>& frame);
+  /// Sends AdmissionGrant to any rejoiner whose ramp just finished.
+  void announce_admission_grants();
 
   // Locking discipline (threads involved: the routing caller, k reader
   // threads, and any observer thread):
@@ -144,8 +167,16 @@ class SchedulerRuntime {
   /// link itself is only closed in finish(), after the readers joined, so
   /// no thread ever closes a socket another thread is polling).
   std::vector<std::unique_ptr<std::atomic<bool>>> dead_;
+  /// readers_[op] is instance op's reader thread. Only the control thread
+  /// and the rejoin acceptor touch a slot, and only after the old thread
+  /// observed dead_[op] and exited (the acceptor joins it first); finish()
+  /// stops and joins the acceptor before joining readers, so the two never
+  /// race on a slot.
   std::vector<std::thread> readers_;
+  std::thread rejoin_acceptor_;
+  std::atomic<bool> stop_acceptor_{false};
   std::vector<QuarantineEvent> quarantine_log_;
+  std::vector<common::InstanceId> rejoin_log_;  // guarded by mutex_
   std::atomic<bool> draining_{false};
   std::chrono::steady_clock::time_point drain_deadline_{};
   std::atomic<bool> fatal_{false};

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "core/posg_scheduler.hpp"
+
 namespace posg::sim {
 
 namespace {
@@ -250,6 +252,19 @@ Simulator::Result Simulator::run(const std::vector<common::Item>& stream,
       case EventKind::kLoadReportDeliver:
         scheduler.on_load_report(event.instance, event.backlog, event.mean_execution);
         break;
+    }
+  }
+
+  // Resilience counters are a POSG-specific feature; other schedulers
+  // report all-zeroes (and an empty derate vector).
+  if (const auto* posg = dynamic_cast<const core::PosgScheduler*>(&scheduler)) {
+    result.resilience.rejoins = posg->rejoin_count();
+    result.resilience.suspect_transitions = posg->health().suspect_transitions();
+    result.resilience.degraded_transitions = posg->health().degraded_transitions();
+    result.resilience.promotions = posg->health().promotions();
+    result.resilience.derate.resize(k);
+    for (common::InstanceId op = 0; op < k; ++op) {
+      result.resilience.derate[op] = posg->derate(op);
     }
   }
 

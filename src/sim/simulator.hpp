@@ -8,6 +8,7 @@
 #include "core/instance_tracker.hpp"
 #include "core/scheduler.hpp"
 #include "metrics/completion.hpp"
+#include "metrics/stats.hpp"
 
 /// Discrete-event simulator of the paper's system model (Sec. II): a
 /// source injecting tuples at a fixed rate into a scheduler S that routes
@@ -66,6 +67,10 @@ class Simulator {
     std::vector<common::TimeMs> instance_work;
     /// Tuples routed per instance.
     std::vector<std::uint64_t> instance_tuples;
+    /// Overload-resilience counters (rejoins, health transitions, final
+    /// per-instance de-rates). Filled when the scheduler is a
+    /// PosgScheduler; zeroed otherwise.
+    metrics::ResilienceStats resilience;
   };
 
   Simulator(Config config, CostFunction cost);

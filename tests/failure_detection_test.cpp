@@ -82,15 +82,56 @@ TEST(MarkFailed, IsIdempotent) {
   EXPECT_EQ(scheduler.live_instances(), 2u);
 }
 
-TEST(MarkFailed, RefusesToQuarantineLastLiveInstance) {
+TEST(MarkFailed, LastLiveInstanceQuarantineIsSurvivableAndTyped) {
+  // Overload-resilience semantics: quarantining the last live instance is
+  // legal (it may rejoin later); scheduling onto an empty cluster is the
+  // defined, typed error path — never an abort.
   const auto config = test_config();
   PosgScheduler one(1, config);
-  EXPECT_THROW(one.mark_failed(0), std::invalid_argument);
+  one.mark_failed(0);
+  EXPECT_EQ(one.live_instances(), 0u);
+  EXPECT_THROW(one.schedule(1, 0), core::NoLiveInstanceError);
+  EXPECT_THROW(one.mark_failed(7), std::invalid_argument);  // out of range stays typed
 
   PosgScheduler two(2, config);
   two.mark_failed(0);
-  EXPECT_THROW(two.mark_failed(1), std::invalid_argument);
-  EXPECT_THROW(two.mark_failed(7), std::invalid_argument);  // out of range
+  two.mark_failed(1);
+  EXPECT_EQ(two.live_instances(), 0u);
+  EXPECT_THROW(two.schedule(1, 0), core::NoLiveInstanceError);
+  // NoLiveInstanceError is a runtime_error (the runtime's catch path).
+  EXPECT_THROW(two.schedule(1, 0), std::runtime_error);
+}
+
+TEST(MarkFailed, RejoinRevivesAnEmptyCluster) {
+  const auto config = test_config();
+  PosgScheduler scheduler(1, config);
+  scheduler.mark_failed(0);
+  ASSERT_THROW(scheduler.schedule(1, 0), core::NoLiveInstanceError);
+  scheduler.rejoin(0);
+  EXPECT_EQ(scheduler.live_instances(), 1u);
+  EXPECT_EQ(scheduler.rejoin_count(), 1u);
+  EXPECT_EQ(scheduler.schedule(1, 0).instance, 0u);
+}
+
+TEST(MarkFailed, SingleSurvivorAbsorbsEntireLoadShare) {
+  // k = 1 survivor: the redistribution loop has exactly one recipient and
+  // must conserve total C-hat into it.
+  const auto config = test_config();
+  PosgScheduler scheduler(2, config);
+  drive_to_run(scheduler, config, 2);
+  for (common::SeqNo i = 0; i < 40; ++i) {
+    scheduler.schedule(1 + i % 3, i);
+  }
+  const auto before = scheduler.estimated_loads();
+  const double total_before = before[0] + before[1];
+  scheduler.mark_failed(0);
+  const auto after = scheduler.estimated_loads();
+  EXPECT_DOUBLE_EQ(after[0], 0.0);
+  EXPECT_NEAR(after[1], total_before, 1e-9);
+  // And scheduling still works on the lone survivor.
+  for (common::SeqNo i = 0; i < 20; ++i) {
+    EXPECT_EQ(scheduler.schedule(1, 100 + i).instance, 1u);
+  }
 }
 
 TEST(MarkFailed, RedistributesLoadShareOverSurvivors) {

@@ -193,6 +193,105 @@ TEST(FaultInjector, RecvDisconnectDeliversThenReportsEof) {
   EXPECT_EQ(second.status, net::RecvStatus::kEof);
 }
 
+TEST(FaultPlan, RandomGrayIsSeedStableAndSeparateFromRandom) {
+  // random_gray must replay bit-for-bit from its seed — and must be a
+  // *separate* stream from random(), whose pinned byte-stable plans may
+  // never move.
+  const auto first = FaultPlan::random_gray(42, 100, 12);
+  const auto second = FaultPlan::random_gray(42, 100, 12);
+  ASSERT_EQ(first.actions().size(), 12u);
+  for (std::size_t i = 0; i < first.actions().size(); ++i) {
+    EXPECT_EQ(first.actions()[i].describe(), second.actions()[i].describe());
+  }
+  const auto crash_only = FaultPlan::random(42, 100, 12);
+  std::vector<std::string> gray_strs, crash_strs;
+  for (const auto& action : first.actions()) {
+    gray_strs.push_back(action.describe());
+  }
+  for (const auto& action : crash_only.actions()) {
+    crash_strs.push_back(action.describe());
+  }
+  EXPECT_NE(gray_strs, crash_strs);
+  // random() never emits a gray kind (the pinned streams depend on it).
+  using Kind = net::FaultAction::Kind;
+  for (const auto& action : crash_only.actions()) {
+    EXPECT_TRUE(action.kind == Kind::kDrop || action.kind == Kind::kDelay ||
+                action.kind == Kind::kCorrupt || action.kind == Kind::kDisconnect);
+  }
+}
+
+TEST(FaultInjector, SlowDelaysEveryFrameInItsRange) {
+  auto [a, b] = net::socket_pair();
+  FaultPlan plan;
+  plan.slow(FaultDir::kSend, 1, 2, std::chrono::milliseconds(25));
+  FaultInjector injector(std::move(a), plan);
+  injector.send_frame(bytes({0}));  // before the range: untouched
+  for (std::uint64_t frame = 1; frame <= 2; ++frame) {
+    const auto start = Clock::now();
+    injector.send_frame(bytes({static_cast<int>(frame)}));
+    EXPECT_GE(Clock::now() - start, std::chrono::milliseconds(25)) << "frame " << frame;
+  }
+  injector.send_frame(bytes({3}));  // past the range
+  injector.close();
+  for (int i = 0; i <= 3; ++i) {
+    EXPECT_EQ(*b.recv_frame(), bytes({i}));  // slowed, never lost
+  }
+  EXPECT_EQ(injector.event_log().size(), 2u);
+}
+
+TEST(FaultInjector, PartitionDropsTheWholeRange) {
+  auto [a, b] = net::socket_pair();
+  FaultPlan plan;
+  plan.partition(FaultDir::kSend, 1, 3);  // one-way: frames 1..3 vanish
+  FaultInjector injector(std::move(a), plan);
+  for (int i = 0; i < 6; ++i) {
+    injector.send_frame(bytes({i}));
+  }
+  injector.close();
+  EXPECT_EQ(*b.recv_frame(), bytes({0}));
+  EXPECT_EQ(*b.recv_frame(), bytes({4}));
+  EXPECT_EQ(*b.recv_frame(), bytes({5}));
+  EXPECT_FALSE(b.recv_frame().has_value());
+  EXPECT_EQ(injector.event_log().size(), 3u);
+}
+
+TEST(FaultInjector, StutterStallsAtBurstBoundaries) {
+  auto [a, b] = net::socket_pair();
+  FaultPlan plan;
+  // burst = 2: every third frame of the range stalls (phases 2 and 5).
+  plan.stutter(FaultDir::kSend, 0, 6, 2, std::chrono::milliseconds(20));
+  FaultInjector injector(std::move(a), plan);
+  for (int frame = 0; frame < 6; ++frame) {
+    const auto start = Clock::now();
+    injector.send_frame(bytes({frame}));
+    const auto elapsed = Clock::now() - start;
+    if (frame % 3 == 2) {
+      EXPECT_GE(elapsed, std::chrono::milliseconds(20)) << "frame " << frame << " did not stall";
+    }
+  }
+  injector.close();
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(*b.recv_frame(), bytes({i}));  // stuttered, never lost
+  }
+  EXPECT_EQ(injector.event_log().size(), 2u);  // only the stalls are logged
+}
+
+TEST(FaultInjector, RecvPartitionStarvesTheReader) {
+  // A one-way partition on the receive side: the frames are consumed off
+  // the wire and discarded, exactly like in-flight loss.
+  auto [a, b] = net::socket_pair();
+  FaultPlan plan;
+  plan.partition(FaultDir::kRecv, 0, 2);
+  FaultInjector injector(std::move(a), plan);
+  b.send_frame(bytes({0}));
+  b.send_frame(bytes({1}));
+  b.send_frame(bytes({2}));
+  auto received = injector.recv_frame(std::chrono::milliseconds(1000));
+  ASSERT_EQ(received.status, net::RecvStatus::kFrame);
+  EXPECT_EQ(received.payload, bytes({2}));
+  EXPECT_EQ(injector.frames_received(), 3u);
+}
+
 /// Acceptance: the same FaultPlan produces the same fault sequence (and
 /// the same surviving traffic) on every run — asserted by executing one
 /// randomized plan twice over identical streams and comparing the event

@@ -336,6 +336,150 @@ TEST(SchedulerRuntime, RegistrationGivesUpAfterAttemptBudget) {
   rogues.join();
 }
 
+/// Rejoin end-to-end, in process: instance 2 crashes mid-run and is
+/// quarantined; a fresh incarnation then registers over the rejoin
+/// listener, receives the RejoinAck (tracker re-armed to the seeded C-hat),
+/// ramps back through the token bucket, and finishes the stream as a full
+/// member — the overload-resilience arc of the distributed runtime.
+TEST(SchedulerRuntime, CrashedInstanceRejoinsAndRampsBackIn) {
+  const std::size_t k = 3;
+  auto config = test_runtime_config(k);
+  config.allow_rejoin = true;
+  config.posg.rejoin_ramp.ramp_tuples = 32;  // small ramp: completes in-run
+  SchedulerRuntime rt(config);
+
+  std::vector<std::unique_ptr<TestInstance>> instances;
+  for (common::InstanceId op = 0; op < k; ++op) {
+    InstanceRuntimeConfig instance_config;
+    instance_config.posg = config.posg;
+    if (op == 2) {
+      instance_config.crash_after_executed = 200;
+    }
+    auto [sched_end, inst_end] = net::socket_pair();
+    rt.attach(op, std::make_unique<net::SocketTransport>(std::move(sched_end)));
+    instances.push_back(spawn_instance(op, instance_config, std::move(inst_end)));
+  }
+  rt.start();
+  const auto path =
+      (std::filesystem::temp_directory_path() / "posg_runtime_rejoin_test.sock").string();
+  net::Listener listener(path);
+  rt.enable_rejoin(listener);
+
+  // Route until the crash is detected (the crash fires ~tuple 600; give
+  // the EOF detector traffic and wall-clock).
+  common::SeqNo seq = 0;
+  for (int i = 0; i < 20000 && rt.quarantined().empty(); ++i) {
+    rt.route((seq * 37) % 64, seq);
+    ++seq;
+    if ((seq & 15) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_EQ(rt.quarantined(), (std::vector<common::InstanceId>{2}));
+  ASSERT_EQ(rt.live_instances(), 2u);
+
+  // A fresh incarnation of instance 2 dials the rejoin listener.
+  InstanceRuntimeConfig rejoin_config;
+  rejoin_config.posg = config.posg;
+  auto replacement = std::make_unique<TestInstance>();
+  replacement->thread = std::thread([&path, rejoin_config, &stats = replacement->stats] {
+    net::SocketTransport link(net::connect(path));
+    InstanceRuntime loop(2, rejoin_config);
+    stats = loop.run(link);
+  });
+
+  // Keep traffic flowing until the rejoin lands, then a tail so the
+  // admission ramp finishes and the rejoiner earns a real share.
+  for (int i = 0; i < 20000 && rt.rejoin_log().empty(); ++i) {
+    rt.route((seq * 37) % 64, seq);
+    ++seq;
+    if ((seq & 15) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_EQ(rt.rejoin_log(), (std::vector<common::InstanceId>{2}));
+  route_stream(rt, seq, seq + 4000);
+  seq += 4000;
+  flush_to_run(rt, seq);
+  rt.finish();
+  for (auto& instance : instances) {
+    instance->join();
+  }
+  replacement->join();
+
+  EXPECT_TRUE(instances[2]->stats.crashed);
+  EXPECT_FALSE(replacement->stats.crashed);
+  EXPECT_EQ(replacement->stats.rejoin_acks, 1u);
+  EXPECT_EQ(replacement->stats.admission_grants, 1u);  // ramp completed
+  EXPECT_GT(replacement->stats.executed, 0u);
+  EXPECT_EQ(rt.live_instances(), k);
+  EXPECT_TRUE(rt.quarantined().empty());
+  EXPECT_EQ(rt.state(), core::PosgScheduler::State::kRun);
+  const auto resilience = rt.resilience();
+  EXPECT_EQ(resilience.rejoins, 1u);
+}
+
+/// With rejoin enabled, even the *last* live instance dying is survivable:
+/// route() fails with the typed error while the cluster is empty, and a
+/// rejoiner brings it back.
+TEST(SchedulerRuntime, LastInstanceDeathIsNonFatalWhenRejoinAllowed) {
+  const std::size_t k = 1;
+  auto config = test_runtime_config(k);
+  config.allow_rejoin = true;
+  SchedulerRuntime rt(config);
+
+  InstanceRuntimeConfig instance_config;
+  instance_config.posg = config.posg;
+  instance_config.crash_after_executed = 50;
+  auto [sched_end, inst_end] = net::socket_pair();
+  rt.attach(0, std::make_unique<net::SocketTransport>(std::move(sched_end)));
+  auto instance = spawn_instance(0, instance_config, std::move(inst_end));
+  rt.start();
+  const auto path =
+      (std::filesystem::temp_directory_path() / "posg_runtime_last_rejoin_test.sock").string();
+  net::Listener listener(path);
+  rt.enable_rejoin(listener);
+
+  common::SeqNo seq = 0;
+  bool saw_no_live = false;
+  for (int i = 0; i < 20000 && !saw_no_live; ++i) {
+    try {
+      rt.route(seq % 64, seq);
+      ++seq;
+    } catch (const core::NoLiveInstanceError&) {
+      saw_no_live = true;  // defined error path, not a crash or abort
+    }
+    if ((seq & 15) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_TRUE(saw_no_live);
+  EXPECT_EQ(rt.live_instances(), 0u);
+  instance->join();
+
+  // A rejoiner revives the empty cluster; routing works again.
+  InstanceRuntimeConfig rejoin_config;
+  rejoin_config.posg = config.posg;
+  auto replacement = std::make_unique<TestInstance>();
+  replacement->thread = std::thread([&path, rejoin_config, &stats = replacement->stats] {
+    net::SocketTransport link(net::connect(path));
+    InstanceRuntime loop(0, rejoin_config);
+    stats = loop.run(link);
+  });
+  for (int i = 0; i < 2000 && rt.rejoin_log().empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(rt.rejoin_log(), (std::vector<common::InstanceId>{0}));
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(rt.route(seq % 64, seq), 0u);
+    ++seq;
+  }
+  rt.finish();
+  replacement->join();
+  EXPECT_EQ(replacement->stats.rejoin_acks, 1u);
+  EXPECT_GE(replacement->stats.executed, 500u);
+}
+
 TEST(InstanceRuntime, SurvivesCorruptTupleFrames) {
   // Satellite of the fault model: a corrupt frame reaching an instance is
   // dropped and counted; the instance keeps executing.

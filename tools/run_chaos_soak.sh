@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Chaos soak for the distributed runtime: repeatedly runs the forked
+# distributed_posg example under randomized (but seed-logged, hence
+# replayable) fault campaigns and asserts the two invariants every run
+# must keep regardless of what the campaign did:
+#
+#   1. conservation — at-most-once delivery: the instances never execute
+#      more tuples than the scheduler routed (CHAOS conservation=ok),
+#   2. eventual recovery — the run either drains the stream and exits 0
+#      with CHAOS recovered=yes, or degrades *explicitly* (exit 1 with a
+#      "fatal:" line); anything else (crash, hang past the wall-clock
+#      bound, silent bad exit) fails the soak.
+#
+# Usage:
+#   tools/run_chaos_soak.sh [build-dir]
+#
+# Environment:
+#   CHAOS_SEED=<n>     base seed (default 1). Iteration i runs seed
+#                      CHAOS_SEED+i, so a failure report's seed replays
+#                      that exact campaign:
+#                        CHAOS_SEED=<seed> CHAOS_ITERS=1 tools/run_chaos_soak.sh
+#   CHAOS_ITERS=<n>    campaigns to run (default 5)
+#   CHAOS_TIMEOUT=<s>  wall-clock bound per campaign, seconds (default 120)
+#   CHAOS_K=<n>        instances per campaign (default 4)
+#   CHAOS_M=<n>        tuples per campaign (default 6000)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+example="${build_dir}/examples/distributed_posg"
+
+base_seed="${CHAOS_SEED:-1}"
+iters="${CHAOS_ITERS:-5}"
+per_run_timeout="${CHAOS_TIMEOUT:-120}"
+k="${CHAOS_K:-4}"
+m="${CHAOS_M:-6000}"
+
+if [[ ! -x "${example}" ]]; then
+  echo "run_chaos_soak: ${example} not found or not executable." >&2
+  echo "Build first:  cmake -B '${build_dir}' -S '${repo_root}' && cmake --build '${build_dir}' -j" >&2
+  exit 1
+fi
+
+workdir="$(mktemp -d /tmp/posg_chaos.XXXXXX)"
+trap 'rm -rf "${workdir}"' EXIT
+
+fail() {
+  local seed="$1"
+  shift
+  echo "" >&2
+  echo "CHAOS SOAK FAILED at seed ${seed}: $*" >&2
+  echo "Replay with:  CHAOS_SEED=${seed} CHAOS_ITERS=1 tools/run_chaos_soak.sh '${build_dir}'" >&2
+  exit 1
+}
+
+for ((i = 0; i < iters; ++i)); do
+  seed=$((base_seed + i))
+  stats_dir="${workdir}/run_${seed}"
+  log="${workdir}/run_${seed}.log"
+  mkdir -p "${stats_dir}"
+
+  # The campaign shape is itself a pure function of the seed: which
+  # instance straggles, which one crashes (and when) rotate with it, on
+  # top of the per-link gray faults random_gray derives inside the binary.
+  slow_id=$((seed % k))
+  kill_id=$(((seed + 1) % k))
+  kill_epoch=$((1 + seed % 3))
+  slow_factor=$((3 + seed % 4))
+
+  echo "chaos campaign seed=${seed}: k=${k} m=${m} slow=${slow_id}x${slow_factor} kill=${kill_id}@epoch${kill_epoch}"
+  rc=0
+  timeout --kill-after=10 "${per_run_timeout}" \
+    "${example}" --k "${k}" --m "${m}" \
+    --fault-seed "${seed}" \
+    --slow "${slow_id}" --slow-factor "${slow_factor}" \
+    --kill "${kill_id}" --kill-epoch "${kill_epoch}" \
+    --rejoin --stats-dir "${stats_dir}" > "${log}" 2>&1 || rc=$?
+
+  if [[ ${rc} -eq 124 || ${rc} -eq 137 ]]; then
+    tail -40 "${log}" >&2
+    fail "${seed}" "campaign exceeded the ${per_run_timeout}s wall-clock bound (no eventual recovery)"
+  fi
+  if [[ ${rc} -ne 0 ]]; then
+    if [[ ${rc} -ne 1 ]] || ! grep -q '^fatal:' "${log}"; then
+      tail -40 "${log}" >&2
+      fail "${seed}" "exit code ${rc} without an explicit fatal: line"
+    fi
+    echo "  degraded explicitly (exit 1 with fatal:) — allowed"
+  fi
+  if ! grep -q '^CHAOS .*conservation=ok' "${log}"; then
+    tail -40 "${log}" >&2
+    fail "${seed}" "conservation violated (executed > routed) or summary missing"
+  fi
+  if [[ ${rc} -eq 0 ]] && ! grep -q '^CHAOS recovered=yes' "${log}"; then
+    tail -40 "${log}" >&2
+    fail "${seed}" "clean exit without recovered=yes"
+  fi
+  grep '^CHAOS ' "${log}" | sed 's/^/  /'
+done
+
+echo ""
+echo "chaos soak passed: ${iters} campaign(s), seeds ${base_seed}..$((base_seed + iters - 1))"
