@@ -11,6 +11,7 @@
 #include "core/round_robin.hpp"
 #include "engine/queue.hpp"
 #include "hash/two_universal.hpp"
+#include "obs/trace_ring.hpp"
 #include "sketch/dual_sketch.hpp"
 
 namespace {
@@ -193,6 +194,49 @@ void BM_RouterThroughputDegraded(benchmark::State& state) {
 }
 BENCHMARK(BM_RouterThroughputDegraded)->Arg(10);
 
+/// Router throughput with event tracing armed: same loop as
+/// BM_RouterThroughput at k=10, but a TraceRing is bound and enabled, so
+/// every decision stages a kScheduleDecision event and the ring mutex is
+/// taken once per Writer batch. The gap to BM_RouterThroughput/10 is the
+/// *enabled* tracing cost; the compiled-in-but-disabled cost (one relaxed
+/// load + branch) is what tools/run_obs_overhead_gate.sh bounds, by
+/// comparing BM_RouterThroughput/10 itself against the pre-obs baseline.
+void BM_RouterThroughputTraced(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  core::PosgConfig config;
+  config.window = 64;
+  config.mu = 10.0;
+  core::PosgScheduler scheduler(k, config);
+  obs::TraceRing ring(std::size_t{1} << 14U);
+  ring.set_enabled(true);
+  scheduler.bind_trace(&ring);
+  std::vector<core::InstanceTracker> trackers;
+  trackers.reserve(k);
+  for (common::InstanceId op = 0; op < k; ++op) {
+    trackers.emplace_back(op, config);
+  }
+  common::Xoshiro256StarStar rng(11);
+  common::SeqNo seq = 0;
+  for (auto _ : state) {
+    const common::Item item = seq % 4096;
+    const auto decision = scheduler.schedule(item, seq);
+    benchmark::DoNotOptimize(decision.instance);
+    auto& tracker = trackers[decision.instance];
+    if (auto shipment =
+            tracker.on_executed(item, 1.0 + static_cast<double>(rng.next_below(64)))) {
+      scheduler.on_sketches(*shipment);
+    }
+    if (decision.sync_request) {
+      scheduler.on_sync_reply(
+          core::SyncReply{decision.instance, decision.sync_request->epoch, 0.0});
+    }
+    ++seq;
+  }
+  scheduler.bind_trace(nullptr);  // flush before the ring dies
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouterThroughputTraced)->Arg(10);
+
 /// Queue hand-off cost per tuple: 256-tuple bursts moved producer ->
 /// consumer on one thread, per-tuple push/pop vs push_all/pop_all. The
 /// delta is pure lock/notify amortization (no contention, so this is the
@@ -232,7 +276,8 @@ void BM_TrackerOnExecuted(benchmark::State& state) {
   core::InstanceTracker tracker(0, config);
   common::SeqNo seq = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(tracker.on_executed(seq % 4096, 1.0 + seq % 64));
+    benchmark::DoNotOptimize(
+        tracker.on_executed(seq % 4096, 1.0 + static_cast<double>(seq % 64)));
     ++seq;
   }
   state.SetItemsProcessed(state.iterations());

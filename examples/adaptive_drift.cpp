@@ -9,8 +9,7 @@
 //   ./adaptive_drift [--m 60000] [--window 2000]
 #include <cstdio>
 
-#include "common/cli.hpp"
-#include "sim/experiment.hpp"
+#include "posg.hpp"
 
 using namespace posg;
 

@@ -36,25 +36,30 @@
 //                      readable `CHAOS ...` conservation summary the soak
 //                      harness asserts on (executed <= routed: at-most-once
 //                      delivery even under drops, crashes, and rejoins).
+//
+// Observability flags (src/obs/; render with tools/obs_report.py):
+//   --metrics-out FILE  write the scheduler runtime's metrics snapshot
+//                       (posg-metrics/1 JSON) to FILE at the end of the
+//                       run.
+//   --metrics-every N   also rewrite FILE every N routed tuples, so a
+//                       watcher can follow a live run (requires
+//                       --metrics-out).
+//   --trace             arm the scheduler's trace ring (ScheduleDecision,
+//                       EpochAdvance, HealthTransition, ... events).
+//   --trace-out FILE    dump the ring as JSONL on exit (implies --trace).
 #include <dirent.h>
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "common/cli.hpp"
-#include "net/fault_injection.hpp"
-#include "net/socket.hpp"
-#include "net/transport.hpp"
-#include "runtime/instance_runtime.hpp"
-#include "runtime/scheduler_runtime.hpp"
-#include "workload/distributions.hpp"
-#include "workload/stream.hpp"
+#include "posg.hpp"
 
 using namespace posg;
 
@@ -187,6 +192,10 @@ int main(int argc, char** argv) {
   const bool rejoin = args.get_bool("rejoin", false);
   auto refork_budget = static_cast<std::int64_t>(args.get_int("refork-budget", 3));
   const std::string stats_dir = args.get_string("stats-dir", "");
+  const std::string metrics_out = args.get_string("metrics-out", "");
+  const auto metrics_every = static_cast<std::uint64_t>(args.get_int("metrics-every", 0));
+  const std::string trace_out = args.get_string("trace-out", "");
+  const bool trace_on = args.get_bool("trace", false) || !trace_out.empty();
   std::optional<std::uint64_t> fault_seed;
   if (args.has("fault-seed")) {
     fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
@@ -195,6 +204,7 @@ int main(int argc, char** argv) {
   runtime::SchedulerRuntimeConfig config;
   config.instances = k;  // PosgConfig keeps its calibrated defaults
   config.allow_rejoin = rejoin;
+  config.obs.tracing = trace_on;
   const std::string socket_path = "/tmp/posg_distributed_" + std::to_string(getpid()) + ".sock";
   std::optional<net::Listener> listener;
   listener.emplace(socket_path);
@@ -290,6 +300,16 @@ int main(int argc, char** argv) {
     }
   };
 
+  const auto dump_metrics = [&] {
+    if (metrics_out.empty()) {
+      return;
+    }
+    std::ofstream out(metrics_out, std::ios::trunc);
+    if (out) {
+      out << scheduler.metrics_snapshot().to_json() << '\n';
+    }
+  };
+
   workload::ZipfItems zipf(4096, 1.0);
   const auto stream = workload::StreamGenerator::generate(zipf, m, 42);
   int rc = 0;
@@ -298,6 +318,9 @@ int main(int argc, char** argv) {
       scheduler.route(stream[seq], seq);
       if (rejoin && (seq & 0xFF) == 0) {
         reap(/*refork_allowed=*/true);
+      }
+      if (metrics_every != 0 && seq != 0 && seq % metrics_every == 0) {
+        dump_metrics();
       }
     }
     scheduler.finish();
@@ -367,5 +390,20 @@ int main(int argc, char** argv) {
                 executed_total <= routed_total ? "ok" : "violated");
   }
   std::printf("CHAOS recovered=%s\n", (rc == 0 && scheduler.live_instances() >= 1) ? "yes" : "no");
+
+  dump_metrics();
+  if (!metrics_out.empty()) {
+    std::printf("metrics snapshot written to %s\n", metrics_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    scheduler.trace_events();  // flush the scheduler's staged tail
+    std::ofstream out(trace_out, std::ios::trunc);
+    if (out) {
+      scheduler.trace().dump_jsonl(out);
+      std::printf("trace dump (%llu events, %llu dropped) written to %s\n",
+                  static_cast<unsigned long long>(scheduler.trace().recorded()),
+                  static_cast<unsigned long long>(scheduler.trace().dropped()), trace_out.c_str());
+    }
+  }
   return rc;
 }

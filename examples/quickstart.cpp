@@ -2,14 +2,17 @@
 // synthetic skewed stream, using the discrete-event simulator.
 //
 //   ./quickstart [--m 32768] [--k 5] [--distribution zipf-1.0]
+//                [--metrics-out FILE]
 //
 // This is the smallest end-to-end use of the library: describe a workload
 // (ExperimentConfig), materialize it once (Experiment), and run any
-// scheduling policy on identical input.
+// scheduling policy on identical input. `--metrics-out` writes the
+// accumulated metrics snapshot (counters, completion-latency histogram)
+// as posg-metrics/1 JSON; render it with tools/obs_report.py.
 #include <cstdio>
+#include <fstream>
 
-#include "common/cli.hpp"
-#include "sim/experiment.hpp"
+#include "posg.hpp"
 
 int main(int argc, char** argv) {
   using namespace posg;
@@ -19,6 +22,12 @@ int main(int argc, char** argv) {
   config.m = static_cast<std::size_t>(args.get_int("m", 32'768));
   config.k = static_cast<std::size_t>(args.get_int("k", 5));
   config.distribution = args.get_string("distribution", "zipf-1.0");
+
+  const std::string metrics_out = args.get_string("metrics-out", "");
+  obs::MetricsRegistry metrics;
+  if (!metrics_out.empty()) {
+    config.metrics = &metrics;
+  }
 
   sim::Experiment experiment(config);
   std::printf("workload: %zu tuples over %zu items (%s), mean execution time %.2f ms,\n"
@@ -39,5 +48,14 @@ int main(int argc, char** argv) {
 
   std::printf("\nPOSG schedules with Count-Min estimates of per-tuple execution time;\n"
               "full-knowledge is the same greedy given exact costs (upper bound).\n");
+
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out, std::ios::trunc);
+    if (out) {
+      out << metrics.snapshot().to_json() << '\n';
+      std::printf("metrics snapshot (all policies accumulated) written to %s\n",
+                  metrics_out.c_str());
+    }
+  }
   return 0;
 }

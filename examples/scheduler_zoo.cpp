@@ -11,10 +11,7 @@
 // the first seed for later replay.
 #include <cstdio>
 
-#include "common/cli.hpp"
-#include "metrics/stats.hpp"
-#include "sim/experiment.hpp"
-#include "workload/trace.hpp"
+#include "posg.hpp"
 
 using namespace posg;
 

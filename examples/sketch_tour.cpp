@@ -6,12 +6,7 @@
 // detection or per-key cost tracking) without the scheduling machinery.
 #include <cstdio>
 
-#include "common/prng.hpp"
-#include "sketch/analysis.hpp"
-#include "sketch/dual_sketch.hpp"
-#include "sketch/serialize.hpp"
-#include "sketch/snapshot.hpp"
-#include "workload/distributions.hpp"
+#include "posg.hpp"
 
 using namespace posg;
 

@@ -9,12 +9,7 @@
 #include <cstdio>
 #include <memory>
 
-#include "common/cli.hpp"
-#include "engine/builtin.hpp"
-#include "engine/engine.hpp"
-#include "engine/posg_grouping.hpp"
-#include "metrics/stats.hpp"
-#include "workload/tweets.hpp"
+#include "posg.hpp"
 
 using namespace posg;
 

@@ -1,0 +1,174 @@
+#include "core/config.hpp"
+
+#include <cmath>
+
+namespace posg {
+
+namespace {
+
+void push(std::vector<ConfigError>& out, std::string field, ConfigErrorCode code,
+          std::string message) {
+  out.push_back(ConfigError{std::move(field), code, std::move(message)});
+}
+
+std::string dot(const std::string& prefix, const char* field) {
+  return prefix.empty() ? std::string(field) : prefix + "." + field;
+}
+
+}  // namespace
+
+std::string ConfigValidationError::render(const std::vector<ConfigError>& errors) {
+  std::string out = "invalid posg::Config (" + std::to_string(errors.size()) + " error(s))";
+  for (const ConfigError& e : errors) {
+    out += "\n  " + e.field + ": " + e.message;
+  }
+  return out;
+}
+
+void validate_health(const core::HealthConfig& config, const std::string& prefix,
+                     std::vector<ConfigError>& out) {
+  if (!(std::isfinite(config.suspect_drift) && config.suspect_drift >= 1.0)) {
+    push(out, dot(prefix, "suspect_drift"), ConfigErrorCode::kOutOfRange,
+         "must be finite and >= 1");
+  }
+  if (!(std::isfinite(config.degrade_drift) && config.degrade_drift >= config.suspect_drift)) {
+    push(out, dot(prefix, "degrade_drift"), ConfigErrorCode::kOrdering,
+         "must be finite and >= suspect_drift");
+  }
+  if (!(std::isfinite(config.promote_drift) && config.promote_drift >= 1.0 &&
+        config.promote_drift <= config.suspect_drift)) {
+    push(out, dot(prefix, "promote_drift"), ConfigErrorCode::kOrdering,
+         "must be in [1, suspect_drift]");
+  }
+  if (!(std::isfinite(config.derate_cap) && config.derate_cap >= 1.0)) {
+    push(out, dot(prefix, "derate_cap"), ConfigErrorCode::kOutOfRange, "must be finite and >= 1");
+  }
+  if (config.degrade_epochs < 1) {
+    push(out, dot(prefix, "degrade_epochs"), ConfigErrorCode::kMustBePositive, "must be >= 1");
+  }
+  if (config.promote_epochs < 1) {
+    push(out, dot(prefix, "promote_epochs"), ConfigErrorCode::kMustBePositive, "must be >= 1");
+  }
+  if (!(std::isfinite(config.queue_skew) && config.queue_skew >= 1.0)) {
+    push(out, dot(prefix, "queue_skew"), ConfigErrorCode::kOutOfRange, "must be finite and >= 1");
+  }
+  if (!(std::isfinite(config.queue_floor) && config.queue_floor >= 0.0)) {
+    push(out, dot(prefix, "queue_floor"), ConfigErrorCode::kOutOfRange,
+         "must be finite and >= 0");
+  }
+}
+
+void validate_rejoin_ramp(const core::RejoinRampConfig& config, const std::string& prefix,
+                          std::vector<ConfigError>& out) {
+  if (config.ramp_tuples == 0) {
+    return;  // ramping disabled; the rate fields are never read
+  }
+  if (!(std::isfinite(config.tokens_per_tuple) && config.tokens_per_tuple > 0.0)) {
+    push(out, dot(prefix, "tokens_per_tuple"), ConfigErrorCode::kMustBePositive,
+         "must be finite and > 0 when ramp_tuples > 0");
+  }
+  if (!(std::isfinite(config.burst) && config.burst >= 1.0)) {
+    push(out, dot(prefix, "burst"), ConfigErrorCode::kOutOfRange,
+         "must be finite and >= 1 when ramp_tuples > 0 (a ramping instance must be able to "
+         "hold one whole token)");
+  }
+}
+
+void validate_posg(const core::PosgConfig& config, const std::string& prefix,
+                   std::vector<ConfigError>& out) {
+  if (!(std::isfinite(config.epsilon) && config.epsilon > 0.0 && config.epsilon <= 1.0)) {
+    push(out, dot(prefix, "epsilon"), ConfigErrorCode::kOutOfRange, "must be in (0, 1]");
+  }
+  if (!(std::isfinite(config.delta) && config.delta > 0.0 && config.delta < 1.0)) {
+    push(out, dot(prefix, "delta"), ConfigErrorCode::kOutOfRange, "must be in (0, 1)");
+  }
+  if (config.window < 1) {
+    push(out, dot(prefix, "window"), ConfigErrorCode::kMustBePositive, "must be >= 1");
+  }
+  if (!(std::isfinite(config.mu) && config.mu > 0.0)) {
+    push(out, dot(prefix, "mu"), ConfigErrorCode::kMustBePositive, "must be finite and > 0");
+  }
+  validate_health(config.health, dot(prefix, "health"), out);
+  validate_rejoin_ramp(config.rejoin_ramp, dot(prefix, "rejoin_ramp"), out);
+}
+
+void validate_overload(const core::OverloadConfig& config, const std::string& prefix,
+                       std::vector<ConfigError>& out) {
+  if (!(std::isfinite(config.high_watermark) && config.high_watermark > 0.0 &&
+        config.high_watermark <= 1.0)) {
+    push(out, dot(prefix, "high_watermark"), ConfigErrorCode::kOutOfRange, "must be in (0, 1]");
+  }
+  if (!(std::isfinite(config.low_watermark) && config.low_watermark >= 0.0 &&
+        config.low_watermark < config.high_watermark)) {
+    push(out, dot(prefix, "low_watermark"), ConfigErrorCode::kOrdering,
+         "must be in [0, high_watermark)");
+  }
+  if (config.deadline_samples < 1) {
+    push(out, dot(prefix, "deadline_samples"), ConfigErrorCode::kMustBePositive, "must be >= 1");
+  }
+}
+
+void validate_engine(const EngineConfig& config, const std::string& prefix,
+                     std::vector<ConfigError>& out) {
+  if (config.queue_capacity < 1) {
+    push(out, dot(prefix, "queue_capacity"), ConfigErrorCode::kMustBePositive, "must be >= 1");
+  }
+  validate_overload(config.overload, dot(prefix, "overload"), out);
+}
+
+void validate_obs(const ObsConfig& config, const std::string& prefix,
+                  std::vector<ConfigError>& out) {
+  if (config.trace_capacity < 1) {
+    push(out, dot(prefix, "trace_capacity"), ConfigErrorCode::kMustBePositive, "must be >= 1");
+  }
+}
+
+void validate_scheduler_runtime(const SchedulerRuntimeConfig& config, const std::string& prefix,
+                                std::vector<ConfigError>& out) {
+  if (config.instances < 1) {
+    push(out, dot(prefix, "instances"), ConfigErrorCode::kMustBePositive, "must be >= 1");
+  }
+  if (config.recv_deadline <= std::chrono::milliseconds::zero()) {
+    push(out, dot(prefix, "recv_deadline"), ConfigErrorCode::kMustBePositive,
+         "must be > 0 (readers poll at this tick)");
+  }
+  if (config.epoch_deadline < std::chrono::milliseconds::zero()) {
+    push(out, dot(prefix, "epoch_deadline"), ConfigErrorCode::kOutOfRange,
+         "must be >= 0 (0 disables the deadline)");
+  }
+  if (config.hello_deadline <= std::chrono::milliseconds::zero()) {
+    push(out, dot(prefix, "hello_deadline"), ConfigErrorCode::kMustBePositive, "must be > 0");
+  }
+  validate_obs(config.obs, dot(prefix, "obs"), out);
+}
+
+void validate_instance_runtime(const InstanceRuntimeConfig& config, const std::string& prefix,
+                               std::vector<ConfigError>& out) {
+  if (config.recv_deadline <= std::chrono::milliseconds::zero()) {
+    push(out, dot(prefix, "recv_deadline"), ConfigErrorCode::kMustBePositive, "must be > 0");
+  }
+  if (!(std::isfinite(config.cost_scale) && config.cost_scale > 0.0)) {
+    push(out, dot(prefix, "cost_scale"), ConfigErrorCode::kMustBePositive,
+         "must be finite and > 0");
+  }
+}
+
+std::vector<ConfigError> Config::validate() const {
+  std::vector<ConfigError> out;
+  validate_posg(scheduler, "scheduler", out);
+  validate_engine(engine, "engine", out);
+  validate_scheduler_runtime(runtime, "runtime", out);
+  validate_instance_runtime(instance, "instance", out);
+  // The nested posg copies are stamped from `scheduler` by the
+  // materializers, so they are deliberately not re-validated here.
+  return out;
+}
+
+void Config::require_valid() const {
+  std::vector<ConfigError> errors = validate();
+  if (!errors.empty()) {
+    throw ConfigValidationError(std::move(errors));
+  }
+}
+
+}  // namespace posg

@@ -1,9 +1,20 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "common/error.hpp"
+#include "common/types.hpp"
 #include "core/instance_health.hpp"
+#include "core/overload.hpp"
 #include "sketch/dual_sketch.hpp"
+
+namespace posg::obs {
+class TraceRing;  // obs/trace_ring.hpp; configs only carry a pointer
+}  // namespace posg::obs
 
 namespace posg::core {
 
@@ -99,3 +110,207 @@ struct PosgConfig {
 };
 
 }  // namespace posg::core
+
+namespace posg {
+
+/// Observability wiring for a runtime (see src/obs/): whether the
+/// TraceRing is armed at start and how many events it retains.
+/// Metrics-registry instruments are always registered — their hot-path
+/// cost is a relaxed atomic or nothing (pull callbacks).
+struct ObsConfig {
+  /// Arm event tracing from the first tuple. Off by default: the
+  /// per-tuple cost of a disarmed ring is one relaxed load + branch.
+  bool tracing = false;
+  /// Events the drop-oldest ring retains.
+  std::size_t trace_capacity = std::size_t{1} << 14U;
+};
+
+/// Configuration of the multi-threaded Engine (src/engine/engine.hpp).
+struct EngineConfig {
+  /// Capacity of each executor's input queue; producers block when full
+  /// (backpressure).
+  std::size_t queue_capacity = std::size_t{1} << 16U;
+
+  /// Overload control (core/overload.hpp): when enabled, a sustained
+  /// saturation of *all* of a bolt's input queues flips its producers from
+  /// blocking to shedding — tuples that do not fit are dropped (counted in
+  /// ComponentStats::shed), lowest cost estimate first, and markers are
+  /// never shed. Disabled by default: the stock backpressure semantics and
+  /// the hot path are untouched.
+  core::OverloadConfig overload;
+
+  /// Optional trace sink for ShedWindow events (not owned; must outlive
+  /// the engine). nullptr = no tracing.
+  obs::TraceRing* trace = nullptr;
+};
+
+/// Configuration of the scheduler-side distributed runtime
+/// (src/runtime/scheduler_runtime.hpp).
+struct SchedulerRuntimeConfig {
+  std::size_t instances = 3;
+  core::PosgConfig posg;
+
+  /// Reader poll tick: bounds how fast a reader notices shutdown.
+  std::chrono::milliseconds recv_deadline{100};
+
+  /// Synchronization liveness bound: while an epoch is in flight
+  /// (SEND_ALL / WAIT_ALL), an instance that still owes the current
+  /// epoch's reply *and* has produced no feedback at all (no shipment, no
+  /// reply) for this long is quarantined. A single lost reply self-heals
+  /// — the next shipment from that instance opens a fresh epoch (Fig.
+  /// 3.F) — so this only fires for peers that went feedback-mute, the one
+  /// failure mode EOF detection cannot see. 0 disables the deadline.
+  std::chrono::milliseconds epoch_deadline{2000};
+
+  /// Wait budget for each Hello during registration.
+  std::chrono::milliseconds hello_deadline{2000};
+
+  /// Broadcast net::InstanceFailed to survivors on quarantine.
+  bool announce_failures = true;
+
+  /// Registration attempts allowed before giving up (0 = 2k + 8).
+  std::size_t max_registration_attempts = 0;
+
+  /// Overload-resilient mode: quarantining the *last* live instance stops
+  /// being fatal (route() then throws core::NoLiveInstanceError until a
+  /// peer rejoins), and enable_rejoin() may re-admit quarantined
+  /// instances over the Hello path.
+  bool allow_rejoin = false;
+
+  /// Observability wiring (metrics registry + trace ring owned by the
+  /// runtime).
+  ObsConfig obs;
+};
+
+/// Configuration of one operator-instance event loop
+/// (src/runtime/instance_runtime.hpp).
+struct InstanceRuntimeConfig {
+  core::PosgConfig posg;
+
+  /// Simulated content-dependent execution cost (a real operator would be
+  /// timed instead). Default: items 0..63 cost 1..64 units.
+  std::function<common::TimeMs(common::Item)> cost_model;
+
+  /// Receive poll tick — bounds how fast run() notices request_stop().
+  std::chrono::milliseconds recv_deadline{200};
+
+  /// Deterministic fault injection at the process level: crash (sever the
+  /// link without the EndOfStream handshake) right before executing tuple
+  /// number `crash_after_executed` (1-based count; 0 disables).
+  std::uint64_t crash_after_executed = 0;
+
+  /// Crash upon receiving the first synchronization marker of this epoch
+  /// or any later one, *between* the marker's execution and its SyncReply —
+  /// the exact window the scheduler's WAIT_ALL liveness hole lives in.
+  /// (At-or-after, not exact-match: epoch churn can supersede epoch E
+  /// before this instance's piggybacked marker arrives, so the first
+  /// marker it sees may already carry E+1. Epochs start at 1; 0 disables.)
+  common::Epoch crash_on_marker_epoch = 0;
+
+  /// Go permanently mute upon receiving this epoch's synchronization
+  /// marker: keep executing tuples, but ship no sketches and send no
+  /// replies from then on. A merely *lost* reply self-heals (the mute
+  /// instance's next shipment supersedes the stalled epoch); a mute peer
+  /// starves WAIT_ALL forever, which is exactly what the scheduler's
+  /// epoch deadline exists for (epochs start at 1; 0 disables).
+  common::Epoch mute_from_epoch = 0;
+
+  /// Gray-fault scripting: multiplies every cost_model() result, so the
+  /// instance truly executes `cost_scale` times slower than its sketches
+  /// (and everyone else's) predict — the straggler the drift detector must
+  /// catch. 1.0 is a healthy instance.
+  double cost_scale = 1.0;
+
+  /// Straggle onset: cost_scale applies only from this executed-tuple
+  /// count on (1-based; 0 means from the start). Lets one run cover both
+  /// the healthy and the degraded phase of the same instance.
+  std::uint64_t straggle_after_executed = 0;
+};
+
+/// Machine-readable category of one config-validation failure.
+enum class ConfigErrorCode : std::uint8_t {
+  kOutOfRange = 0,   // value outside its documented domain
+  kOrdering = 1,     // two fields violate a required ordering
+  kMustBePositive = 2,
+};
+
+/// One field-level validation failure: `field` is the dotted path into
+/// the posg::Config tree (e.g. "scheduler.health.suspect_drift").
+struct ConfigError {
+  std::string field;
+  ConfigErrorCode code;
+  std::string message;
+};
+
+/// Thrown by Config::require_valid; carries every field-level failure.
+class ConfigValidationError : public Error {
+ public:
+  explicit ConfigValidationError(std::vector<ConfigError> errors)
+      : Error(ErrorCode::kConfig, render(errors)), errors_(std::move(errors)) {}
+
+  const std::vector<ConfigError>& errors() const noexcept { return errors_; }
+
+ private:
+  static std::string render(const std::vector<ConfigError>& errors);
+  std::vector<ConfigError> errors_;
+};
+
+/// The unified configuration tree: one struct covering the scheduler
+/// algorithm, the threaded engine, and both distributed runtimes, with a
+/// single `validate()` that reports *every* rejectable field at once
+/// (component constructors still hard-reject with `std::invalid_argument`
+/// as a backstop; `validate()` is the front door that finds all problems
+/// before anything is constructed).
+///
+/// `scheduler` is authoritative for the POSG algorithm parameters: the
+/// `runtime.posg` / `instance.posg` copies exist only because the
+/// per-layer structs predate the tree, and the materializer helpers
+/// (`scheduler_runtime()` / `instance_runtime()`) stamp `scheduler` over
+/// them so both sides of the wire always agree on sketch layout.
+struct Config {
+  core::PosgConfig scheduler;
+  EngineConfig engine;
+  SchedulerRuntimeConfig runtime;
+  InstanceRuntimeConfig instance;
+
+  /// Checks every field of the whole tree; returns all failures (empty =
+  /// valid). Never throws.
+  std::vector<ConfigError> validate() const;
+
+  /// Throws ConfigValidationError listing every failure; no-op when valid.
+  void require_valid() const;
+
+  /// Per-layer configs with the authoritative `scheduler` stamped in.
+  SchedulerRuntimeConfig scheduler_runtime() const {
+    SchedulerRuntimeConfig out = runtime;
+    out.posg = scheduler;
+    return out;
+  }
+  InstanceRuntimeConfig instance_runtime() const {
+    InstanceRuntimeConfig out = instance;
+    out.posg = scheduler;
+    return out;
+  }
+};
+
+/// Per-subtree validators (all append dotted-path errors to `out`;
+/// `prefix` has no trailing dot). Exposed so callers holding only one
+/// layer's config can validate it in isolation.
+void validate_posg(const core::PosgConfig& config, const std::string& prefix,
+                   std::vector<ConfigError>& out);
+void validate_health(const core::HealthConfig& config, const std::string& prefix,
+                     std::vector<ConfigError>& out);
+void validate_rejoin_ramp(const core::RejoinRampConfig& config, const std::string& prefix,
+                          std::vector<ConfigError>& out);
+void validate_overload(const core::OverloadConfig& config, const std::string& prefix,
+                       std::vector<ConfigError>& out);
+void validate_engine(const EngineConfig& config, const std::string& prefix,
+                     std::vector<ConfigError>& out);
+void validate_scheduler_runtime(const SchedulerRuntimeConfig& config, const std::string& prefix,
+                                std::vector<ConfigError>& out);
+void validate_instance_runtime(const InstanceRuntimeConfig& config, const std::string& prefix,
+                               std::vector<ConfigError>& out);
+void validate_obs(const ObsConfig& config, const std::string& prefix,
+                  std::vector<ConfigError>& out);
+
+}  // namespace posg

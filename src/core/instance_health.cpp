@@ -29,12 +29,29 @@ HealthMonitor::HealthMonitor(std::size_t instances, const HealthConfig& config)
                   "HealthMonitor: streak lengths must be >= 1");
 }
 
+void HealthMonitor::trace_transition(common::InstanceId op, InstanceHealth prev,
+                                     InstanceHealth next) const {
+  if (trace_ == nullptr) {
+    return;
+  }
+  const auto detail = static_cast<std::uint8_t>(
+      (static_cast<unsigned>(prev) << 4U) | static_cast<unsigned>(next));
+  trace_->record(obs::TraceEvent{.type = obs::TraceEventType::kHealthTransition,
+                                 .detail = detail,
+                                 .component = 0,
+                                 .instance = static_cast<std::uint32_t>(op),
+                                 .a = 0,
+                                 .value = drift_ewma_[op],
+                                 .tick = 0});
+}
+
 void HealthMonitor::become(common::InstanceId op, InstanceHealth next) {
   const InstanceHealth prev = states_[op];
   if (prev == next) {
     return;
   }
   states_[op] = next;
+  trace_transition(op, prev, next);
   if (next == InstanceHealth::kSuspect) {
     ++suspect_transitions_;
   } else if (next == InstanceHealth::kDegraded) {
@@ -130,6 +147,9 @@ void HealthMonitor::note_queue_depth(common::InstanceId op, double occupancy_fra
 
 void HealthMonitor::on_quarantined(common::InstanceId op) {
   common::require(op < k_, "HealthMonitor: unknown instance");
+  if (states_[op] != InstanceHealth::kQuarantined) {
+    trace_transition(op, states_[op], InstanceHealth::kQuarantined);
+  }
   states_[op] = InstanceHealth::kQuarantined;  // terminal until rejoin; not a counted transition
   hot_streak_[op] = 0;
   calm_streak_[op] = 0;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/trace_ring.hpp"
 
 /// Straggler detection for POSG's graceful-degradation layer (DESIGN.md
 /// "Fault model and degradation ladder").
@@ -98,6 +99,12 @@ class HealthMonitor {
 
   const HealthConfig& config() const noexcept { return config_; }
 
+  /// Binds a trace sink for HealthTransition events (detail encodes
+  /// (from << 4) | to of the FSM edge, value the drift EWMA at that
+  /// moment). Transitions are rare, so events are published directly (no
+  /// staging). The ring is not owned; nullptr unbinds.
+  void bind_trace(obs::TraceRing* trace) noexcept { trace_ = trace; }
+
   /// Machine-checked invariants (aborts via POSG_CHECK): states in range,
   /// de-rate factors finite and within [1, derate_cap], streak counters
   /// mutually exclusive.
@@ -105,6 +112,7 @@ class HealthMonitor {
 
  private:
   void become(common::InstanceId op, InstanceHealth next);
+  void trace_transition(common::InstanceId op, InstanceHealth prev, InstanceHealth next) const;
 
   std::size_t k_;
   HealthConfig config_;
@@ -122,6 +130,8 @@ class HealthMonitor {
   std::uint64_t suspect_transitions_ = 0;
   std::uint64_t degraded_transitions_ = 0;
   std::uint64_t promotions_ = 0;
+  /// Optional HealthTransition sink (not owned; see bind_trace).
+  obs::TraceRing* trace_ = nullptr;
 };
 
 }  // namespace posg::core

@@ -1,5 +1,7 @@
 #include "core/instance_tracker.hpp"
 
+#include "obs/profile.hpp"
+
 namespace posg::core {
 
 InstanceTracker::InstanceTracker(common::InstanceId id, const PosgConfig& config)
@@ -13,6 +15,7 @@ InstanceTracker::InstanceTracker(common::InstanceId id, const PosgConfig& config
 
 std::optional<SketchShipment> InstanceTracker::on_executed(common::Item item,
                                                            common::TimeMs execution_time) {
+  POSG_PROFILE_SCOPE(prof_update_);
   common::require(execution_time >= 0.0, "InstanceTracker: negative execution time");
   sketch_.update(item, execution_time);
   cumulated_ += execution_time;

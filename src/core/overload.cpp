@@ -28,6 +28,7 @@ bool OverloadController::sample(double saturation) {
       shedding_ = false;
       saturated_streak_ = 0;
       ++exits_;
+      trace_edge(false, saturation);
     }
     return shedding_;
   }
@@ -35,11 +36,26 @@ bool OverloadController::sample(double saturation) {
     if (++saturated_streak_ >= config_.deadline_samples) {
       shedding_ = true;
       ++entries_;
+      trace_edge(true, saturation);
     }
   } else {
     saturated_streak_ = 0;
   }
   return shedding_;
+}
+
+void OverloadController::trace_edge(bool entered, double saturation) const {
+  // mutex_ held by the caller; the ring itself is internally synchronized.
+  if (trace_ == nullptr) {
+    return;
+  }
+  trace_->record(obs::TraceEvent{.type = obs::TraceEventType::kShedWindow,
+                                 .detail = entered ? std::uint8_t{1} : std::uint8_t{0},
+                                 .component = trace_component_,
+                                 .instance = 0,
+                                 .a = shed_,
+                                 .value = saturation,
+                                 .tick = 0});
 }
 
 bool OverloadController::shedding() const {

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <mutex>
 
+#include "obs/trace_ring.hpp"
+
 /// Overload control for sustained input bursts (DESIGN.md "Fault model and
 /// degradation ladder").
 ///
@@ -59,12 +61,24 @@ class OverloadController {
 
   const OverloadConfig& config() const noexcept { return config_; }
 
+  /// Binds a trace sink for ShedWindow events (detail = 1 on entry, 0 on
+  /// exit; value = the saturation sample at the edge; a = tuples shed so
+  /// far; component = the caller-chosen stage index). Edges are rare, so
+  /// events publish directly under the controller's mutex. Not owned;
+  /// nullptr unbinds. Call before sharing the controller across threads.
+  void bind_trace(obs::TraceRing* trace, std::uint16_t component = 0) noexcept {
+    trace_ = trace;
+    trace_component_ = component;
+  }
+
   /// Machine-checked invariants (aborts via POSG_CHECK): entries/exits
   /// alternation (entries == exits + shedding-now) and shed counted only
   /// if shed mode was ever entered.
   void debug_validate() const;
 
  private:
+  void trace_edge(bool entered, double saturation) const;
+
   OverloadConfig config_;
   mutable std::mutex mutex_;  // guards every mutable member below
   bool shedding_ = false;
@@ -72,6 +86,10 @@ class OverloadController {
   std::uint64_t shed_ = 0;
   std::uint64_t entries_ = 0;
   std::uint64_t exits_ = 0;
+  /// Optional ShedWindow sink (not owned; see bind_trace). Written only
+  /// before the controller is shared, read under mutex_ in sample().
+  obs::TraceRing* trace_ = nullptr;
+  std::uint16_t trace_component_ = 0;
 };
 
 }  // namespace posg::core

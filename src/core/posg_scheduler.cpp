@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "obs/profile.hpp"
 
 namespace posg::core {
 
@@ -134,6 +135,7 @@ void PosgScheduler::set_latency_hints(std::vector<common::TimeMs> hints) {
 }
 
 void PosgScheduler::bill(common::InstanceId target, common::Item item) {
+  POSG_PROFILE_SCOPE(prof_bill_);
   // UPDATE-Ĉ (Listing III.2), extended with the straggler de-rate: a
   // Degraded instance is billed factor × ŵ, so the greedy argmin hands it
   // proportionally fewer tuples while it stays in rotation. Healthy
@@ -191,14 +193,16 @@ common::InstanceId PosgScheduler::ramp_admit(common::InstanceId pick) {
 }
 
 Decision PosgScheduler::schedule(common::Item item, common::SeqNo seq) {
-  (void)seq;
+  POSG_PROFILE_SCOPE(prof_schedule_);
   if (live_count_ == 0) {
     throw NoLiveInstanceError(
         "PosgScheduler: no live instance to schedule onto (all quarantined; awaiting rejoin)");
   }
+  Decision decision{0, std::nullopt};
   switch (state_) {
     case State::kRoundRobin: {
-      return Decision{next_round_robin(), std::nullopt};
+      decision = Decision{next_round_robin(), std::nullopt};
+      break;
     }
     case State::kSendAll: {
       // Keep round-robin so every live instance receives exactly one
@@ -224,7 +228,8 @@ Decision PosgScheduler::schedule(common::Item item, common::SeqNo seq) {
           // the replying instance died instead).
         }
       }
-      return Decision{target, marker};
+      decision = Decision{target, marker};
+      break;
     }
     case State::kWaitAll:
     case State::kRun: {
@@ -236,11 +241,22 @@ Decision PosgScheduler::schedule(common::Item item, common::SeqNo seq) {
         target = ramp_admit(target);
       }
       bill(target, item);
-      return Decision{target, std::nullopt};
+      decision = Decision{target, std::nullopt};
+      break;
     }
   }
-  common::ensure(false, "PosgScheduler: unreachable state");
-  return Decision{0, std::nullopt};
+  ++decisions_;
+  if (trace_writer_) {
+    trace_writer_->record(obs::TraceEvent{
+        .type = obs::TraceEventType::kScheduleDecision,
+        .detail = static_cast<std::uint8_t>(state_),
+        .component = 0,
+        .instance = static_cast<std::uint32_t>(decision.instance),
+        .a = seq,
+        .value = c_est_[decision.instance],
+        .tick = 0});
+  }
+  return decision;
 }
 
 void PosgScheduler::enter_send_all() noexcept {
@@ -253,6 +269,16 @@ void PosgScheduler::enter_send_all() noexcept {
   }
   markers_outstanding_ = live_count_;
   state_ = State::kSendAll;
+  if (trace_writer_) {
+    trace_writer_->record(obs::TraceEvent{.type = obs::TraceEventType::kEpochAdvance,
+                                          .detail = static_cast<std::uint8_t>(state_),
+                                          .component = 0,
+                                          .instance = 0,
+                                          .a = epoch_,
+                                          .value = 0.0,
+                                          .tick = 0});
+    trace_writer_->flush();  // epoch edges are rare; bound ring staleness
+  }
 #if POSG_DCHECK_IS_ON
   debug_validate();
 #endif
@@ -279,6 +305,16 @@ void PosgScheduler::on_sketches(const SketchShipment& shipment) {
                   "PosgScheduler: shipment sketch layout mismatch");
   sketches_[shipment.instance] = shipment.sketch;
   refresh_global_mean();
+  if (trace_writer_) {
+    trace_writer_->record(obs::TraceEvent{
+        .type = obs::TraceEventType::kSketchShip,
+        .detail = 0,
+        .component = 0,
+        .instance = static_cast<std::uint32_t>(shipment.instance),
+        .a = epoch_,
+        .value = global_mean_,
+        .tick = 0});
+  }
 
   if (state_ == State::kRoundRobin) {
     // Fig. 3.A/B: collect until every live instance shipped once.
@@ -346,6 +382,17 @@ void PosgScheduler::maybe_complete_epoch() noexcept {
   // absorb via increase(); epoch completion is rare, so rebuild.
   rebuild_greedy();
   state_ = State::kRun;
+  ++epochs_completed_;
+  if (trace_writer_) {
+    trace_writer_->record(obs::TraceEvent{.type = obs::TraceEventType::kEpochAdvance,
+                                          .detail = static_cast<std::uint8_t>(state_),
+                                          .component = 0,
+                                          .instance = 0,
+                                          .a = epoch_,
+                                          .value = 0.0,
+                                          .tick = 0});
+    trace_writer_->flush();
+  }
 #if POSG_DCHECK_IS_ON
   debug_validate();
 #endif
@@ -384,6 +431,16 @@ void PosgScheduler::on_sync_reply(const SyncReply& reply) {
   }
   reply_received_[reply.instance] = true;
   reply_delta_[reply.instance] = reply.delta;
+  if (trace_writer_) {
+    trace_writer_->record(obs::TraceEvent{
+        .type = obs::TraceEventType::kSyncDelta,
+        .detail = 0,
+        .component = 0,
+        .instance = static_cast<std::uint32_t>(reply.instance),
+        .a = reply.epoch,
+        .value = reply.delta,
+        .tick = 0});
+  }
   maybe_complete_epoch();
 }
 
@@ -501,6 +558,16 @@ void PosgScheduler::rejoin(common::InstanceId op) {
   derate_[op] = 1.0;
   health_.on_rejoined(op);
   ++rejoin_count_;
+  if (trace_writer_) {
+    trace_writer_->record(obs::TraceEvent{.type = obs::TraceEventType::kRejoin,
+                                          .detail = 0,
+                                          .component = 0,
+                                          .instance = static_cast<std::uint32_t>(op),
+                                          .a = epoch_,
+                                          .value = seed,
+                                          .tick = 0});
+    trace_writer_->flush();
+  }
 
   // The rejoiner did not see this epoch's marker: re-arm it as already
   // replied so WAIT_ALL does not hang on it, and flag its marker slot so a
@@ -680,6 +747,40 @@ std::vector<common::InstanceId> PosgScheduler::failed_instances() const {
     }
   }
   return out;
+}
+
+void PosgScheduler::bind_trace(obs::TraceRing* trace) {
+  flush_trace();
+  if (trace == nullptr) {
+    trace_writer_.reset();
+  } else {
+    trace_writer_ = std::make_unique<obs::TraceRing::Writer>(*trace);
+  }
+  health_.bind_trace(trace);
+}
+
+void PosgScheduler::flush_trace() {
+  if (trace_writer_) {
+    trace_writer_->flush();
+  }
+}
+
+void PosgScheduler::register_metrics(obs::MetricsRegistry& registry, const std::string& prefix) {
+  registry.counter_fn(prefix + ".scheduler.decisions", [this] { return decisions_; });
+  registry.counter_fn(prefix + ".scheduler.epochs_completed",
+                      [this] { return epochs_completed_; });
+  registry.counter_fn(prefix + ".scheduler.epoch", [this] { return epoch_; });
+  registry.counter_fn(prefix + ".scheduler.stale_replies", [this] { return stale_replies_; });
+  registry.counter_fn(prefix + ".scheduler.rejoins", [this] { return rejoin_count_; });
+  registry.gauge_fn(prefix + ".scheduler.live_instances",
+                    [this] { return static_cast<double>(live_count_); });
+  registry.gauge_fn(prefix + ".scheduler.state",
+                    [this] { return static_cast<double>(state_); });
+  registry.counter_fn(prefix + ".health.suspect_transitions",
+                      [this] { return health_.suspect_transitions(); });
+  registry.counter_fn(prefix + ".health.degraded_transitions",
+                      [this] { return health_.degraded_transitions(); });
+  registry.counter_fn(prefix + ".health.promotions", [this] { return health_.promotions(); });
 }
 
 std::vector<common::InstanceId> PosgScheduler::pending_replies() const {

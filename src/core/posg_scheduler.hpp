@@ -1,14 +1,18 @@
 #pragma once
 
+#include <memory>
 #include <optional>
-#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "core/config.hpp"
 #include "core/greedy_index.hpp"
 #include "core/instance_health.hpp"
 #include "core/scheduler.hpp"
 #include "hash/two_universal.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace_ring.hpp"
 
 namespace posg::core {
 
@@ -16,9 +20,11 @@ namespace posg::core {
 /// candidate set (live_instances() == 0). A typed error rather than an
 /// assertion: an empty cluster is an operational condition — the runtime
 /// surfaces it (or waits for a rejoin) — not a programming bug.
-class NoLiveInstanceError : public std::runtime_error {
+/// Carries ErrorCode::kNoLiveInstance (see common/error.hpp).
+class NoLiveInstanceError : public ::posg::Error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit NoLiveInstanceError(const std::string& message)
+      : ::posg::Error(ErrorCode::kNoLiveInstance, message) {}
 };
 
 /// The scheduler side of POSG (Fig. 3, Listing III.2).
@@ -146,6 +152,46 @@ class PosgScheduler final : public Scheduler {
 
   const PosgConfig& config() const noexcept { return config_; }
 
+  // --- observability (src/obs/; all optional, nothing bound by default) ---
+
+  /// Binds a trace sink: ScheduleDecision / EpochAdvance / SketchShip /
+  /// SyncDelta / Rejoin events flow into `trace` (HealthTransition events
+  /// are forwarded to the health monitor's hook). Events are staged in a
+  /// Writer owned by this scheduler and flushed at epoch boundaries —
+  /// call flush_trace() before reading the ring mid-epoch. The ring is
+  /// not owned and must outlive the scheduler (or be unbound first).
+  /// Per-tuple cost with the ring disarmed: one relaxed load + branch.
+  /// Pass nullptr to unbind. The scheduler is externally synchronized
+  /// (see SchedulerRuntime's locking discipline), so the Writer needs no
+  /// lock of its own.
+  void bind_trace(obs::TraceRing* trace);
+
+  /// Publishes any staged trace events to the bound ring. No-op when
+  /// nothing is bound.
+  void flush_trace();
+
+  /// Registers pull-mode metrics (posg.scheduler.* and posg.health.*) on
+  /// `registry`. The callbacks read scheduler state without any lock —
+  /// valid whenever snapshot() is serialized with scheduler calls (the
+  /// simulator's single thread, tests). A multi-threaded owner must
+  /// instead register its own callbacks that take its scheduler lock
+  /// (see SchedulerRuntime). The registry must outlive the scheduler.
+  void register_metrics(obs::MetricsRegistry& registry, const std::string& prefix = "posg");
+
+  /// Profiling sinks for POSG_PROFILE builds (see obs/profile.hpp):
+  /// schedule() and bill() durations land in these histograms when the
+  /// POSG_PROFILE CMake option is ON. Nullptr (default) keeps the timers
+  /// inert even in profiling builds.
+  void bind_profile(obs::Histogram* schedule_ns, obs::Histogram* bill_ns) noexcept {
+    prof_schedule_ = schedule_ns;
+    prof_bill_ = bill_ns;
+  }
+
+  /// Tuples scheduled (every successful schedule() call).
+  std::uint64_t decisions() const noexcept { return decisions_; }
+  /// Epochs whose synchronization completed (WAIT_ALL → RUN edges).
+  std::uint64_t epochs_completed() const noexcept { return epochs_completed_; }
+
   /// Machine-checked paper-level invariants (aborts via POSG_CHECK):
   /// Ĉ[op] >= 0 for every instance (Listing III.2 only ever adds
   /// non-negative estimates; the Δop correction restores the *true*
@@ -255,6 +301,16 @@ class PosgScheduler final : public Scheduler {
   std::vector<common::InstanceId> ramp_completions_;
   std::size_t ramps_active_ = 0;
   std::uint64_t rejoin_count_ = 0;
+  /// Observability (all optional): staged trace writer over a borrowed
+  /// ring, profiling sinks, and the plain tallies the pull-mode metrics
+  /// read. Plain (non-atomic) members — the scheduler is externally
+  /// synchronized. unique_ptr because Writer pins its ring by reference
+  /// (not movable) while the scheduler itself must stay movable.
+  std::unique_ptr<obs::TraceRing::Writer> trace_writer_;
+  obs::Histogram* prof_schedule_ = nullptr;
+  obs::Histogram* prof_bill_ = nullptr;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t epochs_completed_ = 0;
   /// Incremental greedy argmin over greedy_score(); rebuilt on global
   /// events, nudged by increase() on the per-tuple billing path.
   GreedyIndex greedy_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/profile.hpp"
+
 namespace posg::engine {
 
 void OutputCollector::emit(Tuple tuple) {
@@ -49,9 +51,44 @@ Engine::Engine(Topology topology, EngineConfig config)
     runtime->per_instance_queue_peak.assign(spec.parallelism, 0);
     if (config_.overload.enabled) {
       runtime->overload = std::make_unique<core::OverloadController>(config_.overload);
+      if (config_.trace != nullptr) {
+        // ShedWindow events tag the bolt by topology index so a trace dump
+        // can tell which stage shed (safe here: the controller is not yet
+        // shared with producer threads).
+        runtime->overload->bind_trace(config_.trace,
+                                      static_cast<std::uint16_t>(bolts_.size()));
+      }
     }
     bolts_.push_back(std::move(runtime));
   }
+
+  // Registry handles over the runtime atomics: pull callbacks read the
+  // same relaxed counters stats() reads, so snapshots are valid mid-run.
+  // The BoltRuntime/SpoutRuntime objects outlive the registry's callbacks
+  // (both are members of this engine; the registry is destroyed first
+  // only at engine destruction, after run() joined every thread).
+  for (const auto& spout : spouts_) {
+    SpoutRuntime* raw = spout.get();
+    metrics_.counter_fn("posg.engine." + raw->spec.name + ".emitted",
+                        [raw] { return raw->emitted.load(std::memory_order_relaxed); });
+  }
+  for (const auto& bolt : bolts_) {
+    BoltRuntime* raw = bolt.get();
+    const std::string prefix = "posg.engine." + raw->spec.name;
+    metrics_.counter_fn(prefix + ".executed",
+                        [raw] { return raw->executed.load(std::memory_order_relaxed); });
+    metrics_.counter_fn(prefix + ".emitted",
+                        [raw] { return raw->emitted.load(std::memory_order_relaxed); });
+    metrics_.counter_fn(prefix + ".errors",
+                        [raw] { return raw->errors.load(std::memory_order_relaxed); });
+    if (raw->overload) {
+      metrics_.counter_fn(prefix + ".shed",
+                          [raw] { return raw->shed.load(std::memory_order_relaxed); });
+      metrics_.counter_fn(prefix + ".shed_entries", [raw] { return raw->overload->entries(); });
+      metrics_.counter_fn(prefix + ".shed_exits", [raw] { return raw->overload->exits(); });
+    }
+  }
+  prof_flush_ = &metrics_.histogram("posg.engine.flush_batch_ns");
 
   // Wire streams: for every bolt input, register this bolt as a target of
   // the upstream component, and detect the feedback grouping.
@@ -119,6 +156,7 @@ void Engine::route_emit(const std::vector<StreamTarget>& targets, Tuple tuple,
 }
 
 void Engine::flush_batch(OutputCollector::PendingBatch& batch) {
+  POSG_PROFILE_SCOPE(prof_flush_);
   BoltRuntime& bolt = *bolts_[batch.bolt_index];
   core::OverloadController* controller = bolt.overload.get();
   if (controller == nullptr) {

@@ -13,22 +13,13 @@
 #include "engine/completion_recorder.hpp"
 #include "engine/queue.hpp"
 #include "engine/topology.hpp"
+#include "obs/metrics_registry.hpp"
 
 namespace posg::engine {
 
-struct EngineConfig {
-  /// Capacity of each executor's input queue; producers block when full
-  /// (backpressure).
-  std::size_t queue_capacity = 1 << 16;
-
-  /// Overload control (core/overload.hpp): when enabled, a sustained
-  /// saturation of *all* of a bolt's input queues flips its producers from
-  /// blocking to shedding — tuples that do not fit are dropped (counted in
-  /// ComponentStats::shed), lowest cost estimate first, and markers are
-  /// never shed. Disabled by default: the stock backpressure semantics and
-  /// the hot path are untouched.
-  core::OverloadConfig overload;
-};
+/// EngineConfig moved into the unified posg::Config tree
+/// (core/config.hpp); this alias keeps pre-tree call sites compiling.
+using EngineConfig = ::posg::EngineConfig;
 
 class Engine;
 
@@ -121,6 +112,15 @@ class Engine {
   /// Post-run statistics for one component.
   ComponentStats stats(const std::string& component) const;
 
+  /// The engine's metrics registry. Every component's executed / emitted /
+  /// errors / shed counters are registered here as pull callbacks
+  /// (`posg.engine.<component>.*`) over the same atomics stats() reads, so
+  /// snapshots are safe at any time — including mid-run from another
+  /// thread. Callers may add their own instruments; handles stay valid for
+  /// the engine's lifetime.
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+
  private:
   friend class OutputCollector;
 
@@ -184,6 +184,10 @@ class Engine {
   CompletionRecorder recorder_;
   std::atomic<common::SeqNo> next_seq_{0};
   bool ran_ = false;
+  obs::MetricsRegistry metrics_;
+  /// Queue hand-off latency (flush_batch), ns. Populated only when the
+  /// POSG_PROFILE CMake option compiled the scoped timers in.
+  obs::Histogram* prof_flush_ = nullptr;
 };
 
 }  // namespace posg::engine

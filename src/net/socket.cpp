@@ -12,6 +12,7 @@
 #include <system_error>
 #include <thread>
 
+#include "common/error.hpp"
 #include "common/prng.hpp"
 #include "common/types.hpp"
 
@@ -55,7 +56,7 @@ bool read_all(int fd, std::byte* data, std::size_t size, bool allow_eof) {
       if (read_so_far == 0 && allow_eof) {
         return false;
       }
-      throw std::runtime_error("socket read: unexpected EOF mid-frame");
+      throw TransportError("socket read: unexpected EOF mid-frame");
     }
     read_so_far += static_cast<std::size_t>(n);
   }
@@ -137,7 +138,7 @@ std::optional<std::vector<std::byte>> Socket::recv_frame() {
   }
   std::memcpy(&length, header, sizeof(length));
   if (length > kMaxFrameBytes) {
-    throw std::runtime_error("net: incoming frame exceeds the size bound");
+    throw ProtocolError("net: incoming frame exceeds the size bound");
   }
   std::vector<std::byte> payload(length);
   if (length > 0) {
@@ -240,7 +241,7 @@ Socket connect(const std::string& path, const ConnectRetryPolicy& policy) {
     backoff_ms = std::min(backoff_ms * policy.multiplier,
                           static_cast<double>(policy.max_backoff.count()));
   }
-  throw std::runtime_error("net: connect: server at " + path + " never came up");
+  throw TransportError("net: connect: server at " + path + " never came up");
 }
 
 std::pair<Socket, Socket> socket_pair() {

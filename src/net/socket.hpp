@@ -13,8 +13,15 @@
 ///
 /// Scope: Unix-domain stream sockets with length-prefixed frames — enough
 /// to demonstrate and test the wire protocol (net/protocol.hpp) without
-/// pulling in an async runtime. Blocking I/O; one socket per peer; every
-/// syscall failure surfaces as std::system_error.
+/// pulling in an async runtime. Blocking I/O; one socket per peer.
+///
+/// Throw contract (see common/error.hpp): syscall failures surface as
+/// std::system_error; environmental failures the layer detects itself
+/// (mid-frame EOF, a connect schedule running dry) throw
+/// posg::TransportError; a peer violating the framing rules (length
+/// prefix past the size bound) throws posg::ProtocolError. Both are
+/// posg::Error, itself a std::runtime_error, so pre-hierarchy catch
+/// sites keep working.
 ///
 /// Fault-tolerance hardening (see DESIGN.md "Fault model"):
 ///   - sends never raise SIGPIPE (MSG_NOSIGNAL) — a dead peer surfaces as
@@ -57,13 +64,15 @@ class Socket {
   void send_frame(std::span<const std::byte> payload);
 
   /// Receives one frame. Returns std::nullopt on orderly peer shutdown
-  /// (EOF at a frame boundary); throws on mid-frame EOF or I/O errors.
+  /// (EOF at a frame boundary); throws posg::TransportError on mid-frame
+  /// EOF, posg::ProtocolError on an oversized length prefix, and
+  /// std::system_error on I/O errors.
   std::optional<std::vector<std::byte>> recv_frame();
 
   /// Deadline-bounded receive. Waits at most `deadline` for the frame to
   /// *start*; once the length prefix begins arriving the frame is read to
   /// completion (a peer that stalls mid-frame past the deadline has broken
-  /// framing and raises std::runtime_error). Returns kTimeout with no
+  /// framing and raises posg::TransportError). Returns kTimeout with no
   /// bytes consumed when the connection stayed idle — safe to retry.
   RecvResult recv_frame(std::chrono::milliseconds deadline);
 
@@ -119,7 +128,7 @@ struct ConnectRetryPolicy {
 
 /// Connects to a listening Unix-domain socket, retrying with exponential
 /// backoff + jitter so a client may start before its server finishes
-/// binding. Throws std::runtime_error once the schedule is exhausted.
+/// binding. Throws posg::TransportError once the schedule is exhausted.
 Socket connect(const std::string& path, const ConnectRetryPolicy& policy = {});
 
 /// Connected socket pair (in-process tests).

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics_registry.hpp"
+
+/// Profiling hooks: RAII scoped timers that feed nanosecond durations
+/// into log-bucketed histograms at the hot points identified by PR 3's
+/// benchmarks (schedule(), bill(), sketch update, queue hand-off).
+///
+/// The hooks are compile-time gated: `POSG_PROFILE_SCOPE` expands to
+/// nothing unless the CMake option `POSG_PROFILE=ON` defines
+/// `POSG_PROFILE_ENABLED`, so the default build keeps the PR 3 benchmark
+/// numbers byte-for-byte (no clock reads, no extra branches).
+namespace posg::obs {
+
+/// Records the scope's wall duration (steady_clock, ns) into `sink` on
+/// destruction. A null sink makes the timer inert (one branch, no clock
+/// read). Use through POSG_PROFILE_SCOPE rather than directly.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* sink) noexcept : sink_(sink) {
+    if (sink_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (sink_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+      sink_->record(ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+    }
+  }
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace posg::obs
+
+// NOLINTBEGIN(cppcoreguidelines-macro-usage)
+#if defined(POSG_PROFILE_ENABLED)
+#define POSG_PROFILE_CONCAT_INNER(a, b) a##b
+#define POSG_PROFILE_CONCAT(a, b) POSG_PROFILE_CONCAT_INNER(a, b)
+/// Times the enclosing scope into `sink` (an obs::Histogram*, may be null).
+#define POSG_PROFILE_SCOPE(sink) \
+  const ::posg::obs::ScopedTimer POSG_PROFILE_CONCAT(posg_profile_scope_, __LINE__){(sink)}
+#else
+#define POSG_PROFILE_SCOPE(sink) \
+  do {                           \
+  } while (false)
+#endif
+// NOLINTEND(cppcoreguidelines-macro-usage)

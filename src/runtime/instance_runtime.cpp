@@ -18,6 +18,25 @@ InstanceRuntime::InstanceRuntime(common::InstanceId id, InstanceRuntimeConfig co
 }
 
 InstanceRuntime::Stats InstanceRuntime::run(net::FrameTransport& link) {
+  const Stats stats = run_loop(link);
+  publish_metrics(stats);
+  return stats;
+}
+
+void InstanceRuntime::publish_metrics(const Stats& stats) {
+  const std::string prefix = "posg.instance." + std::to_string(id_);
+  metrics_.counter(prefix + ".executed").add(stats.executed);
+  metrics_.counter(prefix + ".shipments").add(stats.shipments);
+  metrics_.counter(prefix + ".replies_sent").add(stats.replies_sent);
+  metrics_.counter(prefix + ".peer_failures_seen").add(stats.peer_failures_seen);
+  metrics_.counter(prefix + ".decode_errors").add(stats.decode_errors);
+  metrics_.counter(prefix + ".rejoin_acks").add(stats.rejoin_acks);
+  metrics_.counter(prefix + ".admission_grants").add(stats.admission_grants);
+  metrics_.counter(prefix + ".crashes").add(stats.crashed ? 1 : 0);
+  metrics_.gauge(prefix + ".simulated_work_ms").set(stats.simulated_work);
+}
+
+InstanceRuntime::Stats InstanceRuntime::run_loop(net::FrameTransport& link) {
   Stats stats;
   link.send_frame(net::encode(net::Hello{id_}));
   core::InstanceTracker tracker(id_, config_.posg);

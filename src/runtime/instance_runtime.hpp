@@ -8,52 +8,13 @@
 #include "common/types.hpp"
 #include "core/config.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics_registry.hpp"
 
 namespace posg::runtime {
 
-/// Configuration of one operator-instance event loop.
-struct InstanceRuntimeConfig {
-  core::PosgConfig posg;
-
-  /// Simulated content-dependent execution cost (a real operator would be
-  /// timed instead). Default: items 0..63 cost 1..64 units.
-  std::function<common::TimeMs(common::Item)> cost_model;
-
-  /// Receive poll tick — bounds how fast run() notices request_stop().
-  std::chrono::milliseconds recv_deadline{200};
-
-  /// Deterministic fault injection at the process level: crash (sever the
-  /// link without the EndOfStream handshake) right before executing tuple
-  /// number `crash_after_executed` (1-based count; 0 disables).
-  std::uint64_t crash_after_executed = 0;
-
-  /// Crash upon receiving the first synchronization marker of this epoch
-  /// or any later one, *between* the marker's execution and its SyncReply —
-  /// the exact window the scheduler's WAIT_ALL liveness hole lives in.
-  /// (At-or-after, not exact-match: epoch churn can supersede epoch E
-  /// before this instance's piggybacked marker arrives, so the first
-  /// marker it sees may already carry E+1. Epochs start at 1; 0 disables.)
-  common::Epoch crash_on_marker_epoch = 0;
-
-  /// Go permanently mute upon receiving this epoch's synchronization
-  /// marker: keep executing tuples, but ship no sketches and send no
-  /// replies from then on. A merely *lost* reply self-heals (the mute
-  /// instance's next shipment supersedes the stalled epoch); a mute peer
-  /// starves WAIT_ALL forever, which is exactly what the scheduler's
-  /// epoch deadline exists for (epochs start at 1; 0 disables).
-  common::Epoch mute_from_epoch = 0;
-
-  /// Gray-fault scripting: multiplies every cost_model() result, so the
-  /// instance truly executes `cost_scale` times slower than its sketches
-  /// (and everyone else's) predict — the straggler the drift detector must
-  /// catch. 1.0 is a healthy instance.
-  double cost_scale = 1.0;
-
-  /// Straggle onset: cost_scale applies only from this executed-tuple
-  /// count on (1-based; 0 means from the start). Lets one run cover both
-  /// the healthy and the degraded phase of the same instance.
-  std::uint64_t straggle_after_executed = 0;
-};
+/// InstanceRuntimeConfig moved into the unified posg::Config tree
+/// (core/config.hpp); this alias keeps pre-tree call sites compiling.
+using InstanceRuntimeConfig = ::posg::InstanceRuntimeConfig;
 
 /// The operator-instance side of the distributed runtime: one event loop
 /// over a FrameTransport, extracted from examples/distributed_posg.cpp so
@@ -97,10 +58,21 @@ class InstanceRuntime {
 
   common::InstanceId id() const noexcept { return id_; }
 
+  /// The instance's metrics registry. run() publishes its Stats here on
+  /// return (`posg.instance.<id>.*`), so an observer thread can snapshot
+  /// without touching the Stats object run() owns; repeated run() calls
+  /// accumulate into the same counters.
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+
  private:
+  Stats run_loop(net::FrameTransport& link);
+  void publish_metrics(const Stats& stats);
+
   common::InstanceId id_;
   InstanceRuntimeConfig config_;
   std::atomic<bool> stop_{false};
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace posg::runtime

@@ -10,6 +10,7 @@ namespace posg::runtime {
 SchedulerRuntime::SchedulerRuntime(const SchedulerRuntimeConfig& config)
     : config_(config),
       k_(config.instances),
+      trace_(config.obs.trace_capacity),
       scheduler_(config.instances, config.posg),
       links_(config.instances),
       send_mutexes_(config.instances),
@@ -20,6 +21,75 @@ SchedulerRuntime::SchedulerRuntime(const SchedulerRuntimeConfig& config)
     send_mutexes_[op] = std::make_unique<std::mutex>();
     dead_[op] = std::make_unique<std::atomic<bool>>(false);
   }
+  // Binding is unconditional; whether events flow is the ring's armed
+  // flag, so tracing can be toggled at runtime via trace().set_enabled().
+  trace_.set_enabled(config.obs.tracing);
+  scheduler_.bind_trace(&trace_);
+  register_runtime_metrics();
+}
+
+void SchedulerRuntime::register_runtime_metrics() {
+  // Every scheduler-touching callback takes mutex_ — snapshots run
+  // concurrently with the readers and the router. Lock order is
+  // registry → runtime; nothing acquires the registry mutex while holding
+  // mutex_, so the order cannot invert.
+  metrics_.counter_fn("posg.scheduler.decisions", [this] {
+    std::lock_guard lock(mutex_);
+    return scheduler_.decisions();
+  });
+  metrics_.counter_fn("posg.scheduler.epochs_completed", [this] {
+    std::lock_guard lock(mutex_);
+    return scheduler_.epochs_completed();
+  });
+  metrics_.counter_fn("posg.scheduler.epoch", [this] {
+    std::lock_guard lock(mutex_);
+    return static_cast<std::uint64_t>(scheduler_.epoch());
+  });
+  metrics_.counter_fn("posg.scheduler.stale_replies", [this] {
+    std::lock_guard lock(mutex_);
+    return scheduler_.stale_reply_count();
+  });
+  metrics_.counter_fn("posg.scheduler.rejoins", [this] {
+    std::lock_guard lock(mutex_);
+    return scheduler_.rejoin_count();
+  });
+  metrics_.gauge_fn("posg.scheduler.live_instances", [this] {
+    std::lock_guard lock(mutex_);
+    return static_cast<double>(scheduler_.live_instances());
+  });
+  metrics_.counter_fn("posg.health.suspect_transitions", [this] {
+    std::lock_guard lock(mutex_);
+    return scheduler_.health().suspect_transitions();
+  });
+  metrics_.counter_fn("posg.health.degraded_transitions", [this] {
+    std::lock_guard lock(mutex_);
+    return scheduler_.health().degraded_transitions();
+  });
+  metrics_.counter_fn("posg.health.promotions", [this] {
+    std::lock_guard lock(mutex_);
+    return scheduler_.health().promotions();
+  });
+  metrics_.counter_fn("posg.runtime.reroutes",
+                      [this] { return reroutes_.load(std::memory_order_relaxed); });
+  metrics_.counter_fn("posg.runtime.routed", [this] {
+    std::uint64_t total = 0;
+    for (const auto& per_instance : routed_) {
+      total += per_instance.load(std::memory_order_relaxed);
+    }
+    return total;
+  });
+  metrics_.gauge_fn("posg.runtime.quarantined", [this] {
+    std::lock_guard lock(mutex_);
+    return static_cast<double>(k_ - scheduler_.live_instances());
+  });
+}
+
+std::vector<obs::TraceEvent> SchedulerRuntime::trace_events() {
+  {
+    std::lock_guard lock(mutex_);
+    scheduler_.flush_trace();
+  }
+  return trace_.snapshot();
 }
 
 SchedulerRuntime::~SchedulerRuntime() {
@@ -50,9 +120,9 @@ void SchedulerRuntime::accept_registrations(net::Listener& listener) {
   std::size_t attempts = 0;
   while (attached < k_) {
     if (++attempts > max_attempts) {
-      throw std::runtime_error("SchedulerRuntime: registration attempts exhausted (" +
-                               std::to_string(attached) + "/" + std::to_string(k_) +
-                               " instances registered)");
+      throw RegistrationError("SchedulerRuntime: registration attempts exhausted (" +
+                              std::to_string(attached) + "/" + std::to_string(k_) +
+                              " instances registered)");
     }
     net::Socket socket = listener.accept();
     // The Hello's instance id is an unvalidated wire value: bound-check it
@@ -209,7 +279,7 @@ common::InstanceId SchedulerRuntime::route(common::Item item, common::SeqNo seq)
       // absorbs that skew (and mark_failed zeroed the dead instance's Ĉ).
     }
   }
-  throw std::runtime_error("SchedulerRuntime: no live instance left to route to");
+  throw core::NoLiveInstanceError("SchedulerRuntime: no live instance left to route to");
 }
 
 void SchedulerRuntime::announce_admission_grants() {

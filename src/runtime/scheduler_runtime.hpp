@@ -9,46 +9,20 @@
 #include <thread>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 #include "core/posg_scheduler.hpp"
 #include "metrics/stats.hpp"
 #include "net/socket.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace_ring.hpp"
 
 namespace posg::runtime {
 
-/// Configuration of the scheduler-side runtime.
-struct SchedulerRuntimeConfig {
-  std::size_t instances = 3;
-  core::PosgConfig posg;
-
-  /// Reader poll tick: bounds how fast a reader notices shutdown.
-  std::chrono::milliseconds recv_deadline{100};
-
-  /// Synchronization liveness bound: while an epoch is in flight
-  /// (SEND_ALL / WAIT_ALL), an instance that still owes the current
-  /// epoch's reply *and* has produced no feedback at all (no shipment, no
-  /// reply) for this long is quarantined. A single lost reply self-heals
-  /// — the next shipment from that instance opens a fresh epoch (Fig.
-  /// 3.F) — so this only fires for peers that went feedback-mute, the one
-  /// failure mode EOF detection cannot see. 0 disables the deadline.
-  std::chrono::milliseconds epoch_deadline{2000};
-
-  /// Wait budget for each Hello during registration.
-  std::chrono::milliseconds hello_deadline{2000};
-
-  /// Broadcast net::InstanceFailed to survivors on quarantine.
-  bool announce_failures = true;
-
-  /// Registration attempts allowed before giving up (0 = 2k + 8).
-  std::size_t max_registration_attempts = 0;
-
-  /// Overload-resilient mode: quarantining the *last* live instance stops
-  /// being fatal (route() then throws core::NoLiveInstanceError until a
-  /// peer rejoins), and enable_rejoin() may re-admit quarantined
-  /// instances over the Hello path.
-  bool allow_rejoin = false;
-};
+/// SchedulerRuntimeConfig moved into the unified posg::Config tree
+/// (core/config.hpp); this alias keeps pre-tree call sites compiling.
+using SchedulerRuntimeConfig = ::posg::SchedulerRuntimeConfig;
 
 /// The scheduler side of the distributed runtime, extracted from
 /// examples/distributed_posg.cpp: owns one FrameTransport per instance,
@@ -80,8 +54,8 @@ class SchedulerRuntime {
   /// must open with a Hello carrying an unclaimed id in [0, k). A
   /// connection whose first frame is missing, malformed, out of range, or
   /// a duplicate id is rejected (closed) — a wire value never indexes the
-  /// link table unvalidated. Throws std::runtime_error once the attempt
-  /// budget is exhausted.
+  /// link table unvalidated. Throws posg::RegistrationError
+  /// (ErrorCode::kRegistration) once the attempt budget is exhausted.
   void accept_registrations(net::Listener& listener);
 
   /// Spawns the reader threads. All k links must be attached.
@@ -97,7 +71,8 @@ class SchedulerRuntime {
   /// Routes one tuple: schedules, sends (with any piggy-backed marker),
   /// and on a dead target quarantines + reroutes until a live instance
   /// accepts it. Returns the instance that received the tuple. Throws
-  /// std::runtime_error when no live instance remains.
+  /// core::NoLiveInstanceError (a posg::Error with
+  /// ErrorCode::kNoLiveInstance) when no live instance remains.
   common::InstanceId route(common::Item item, common::SeqNo seq);
 
   /// Sends EndOfStream to the survivors, drains the feedback path, joins
@@ -120,6 +95,26 @@ class SchedulerRuntime {
   /// OverloadController owns those.
   metrics::ResilienceStats resilience() const;
 
+  /// The runtime's metrics registry. Scheduler and health counters are
+  /// registered at construction as pull callbacks that take mutex_, so
+  /// metrics_snapshot() is safe from any thread while the readers and the
+  /// router run. Callers may register additional instruments.
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+  /// Convenience: evaluate every registered instrument now.
+  obs::Snapshot metrics_snapshot() const { return metrics_.snapshot(); }
+
+  /// The runtime's trace ring (events flow only when
+  /// SchedulerRuntimeConfig::obs.tracing armed it). The scheduler stages
+  /// ScheduleDecision events in a thread-local writer; use trace_events()
+  /// to read a snapshot that includes the staged tail.
+  obs::TraceRing& trace() noexcept { return trace_; }
+
+  /// Flushes the scheduler's staged trace events and returns the ring's
+  /// contents, oldest first. Safe to call concurrently with routing.
+  std::vector<obs::TraceEvent> trace_events();
+
   /// Access to the scheduler for single-threaded phases (before start()
   /// or after finish()).
   core::PosgScheduler& scheduler() noexcept { return scheduler_; }
@@ -127,6 +122,9 @@ class SchedulerRuntime {
  private:
   void reader_loop(common::InstanceId op);
   void rejoin_acceptor_loop(net::Listener* listener);
+  /// Registers the mutex_-taking pull callbacks (constructor only — the
+  /// scheduler's own register_metrics is for single-threaded owners).
+  void register_runtime_metrics();
   /// Quarantines `op` (idempotent) and broadcasts InstanceFailed to the
   /// survivors. Returns false when `op` was the last live instance (the
   /// run is lost; callers decide whether that is fatal).
@@ -155,6 +153,10 @@ class SchedulerRuntime {
   //     that calls start()/finish().
   SchedulerRuntimeConfig config_;
   std::size_t k_;
+  /// Declared before scheduler_: the scheduler holds a TraceRing::Writer
+  /// whose destructor flushes into trace_, so the ring must outlive it.
+  obs::TraceRing trace_;
+  obs::MetricsRegistry metrics_;
   core::PosgScheduler scheduler_;
   mutable std::mutex mutex_;  // guards scheduler_, quarantine_log_, last_feedback_
   std::vector<std::unique_ptr<net::FrameTransport>> links_;

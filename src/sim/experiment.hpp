@@ -70,6 +70,11 @@ struct ExperimentConfig {
 
   // Algorithm.
   core::PosgConfig posg;
+
+  // Observability (not owned; must outlive run()). Threaded into
+  // Simulator::Config — see the field docs there.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRing* trace = nullptr;
 };
 
 /// One policy's outcome on one experiment.

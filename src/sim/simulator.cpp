@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <optional>
 
 #include "core/posg_scheduler.hpp"
@@ -79,10 +80,23 @@ Simulator::Result Simulator::run(const std::vector<common::Item>& stream,
   result.instance_work.assign(k, 0.0);
   result.instance_tuples.assign(k, 0);
 
+  // Observability wiring (all optional): trace decisions through the
+  // scheduler, profile the trackers' sketch updates. The binding is
+  // scoped to this run — undone before returning so the caller may
+  // destroy the sinks while the scheduler lives on.
+  auto* posg_scheduler = dynamic_cast<core::PosgScheduler*>(&scheduler);
+  if (config_.trace != nullptr && posg_scheduler != nullptr) {
+    posg_scheduler->bind_trace(config_.trace);
+  }
+  obs::Histogram* sketch_profile =
+      config_.metrics != nullptr ? &config_.metrics->histogram("posg.sim.sketch_update_ns")
+                                 : nullptr;
+
   std::vector<core::InstanceTracker> trackers;
   trackers.reserve(k);
   for (common::InstanceId op = 0; op < k; ++op) {
     trackers.emplace_back(op, config_.posg);
+    trackers.back().bind_profile(sketch_profile);
   }
 
   // When each instance becomes free (FIFO, work-conserving servers).
@@ -265,6 +279,29 @@ Simulator::Result Simulator::run(const std::vector<common::Item>& stream,
     result.resilience.derate.resize(k);
     for (common::InstanceId op = 0; op < k; ++op) {
       result.resilience.derate[op] = posg->derate(op);
+    }
+  }
+
+  if (posg_scheduler != nullptr && config_.trace != nullptr) {
+    posg_scheduler->bind_trace(nullptr);  // flushes the staged tail first
+  }
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& registry = *config_.metrics;
+    registry.counter("posg.sim.tuples").add(stream.size());
+    registry.counter("posg.sim.sketch_shipments").add(result.messages.sketch_shipments);
+    registry.counter("posg.sim.sync_markers").add(result.messages.sync_markers);
+    registry.counter("posg.sim.sync_replies").add(result.messages.sync_replies);
+    registry.counter("posg.sim.rejoins").add(result.resilience.rejoins);
+    registry.gauge("posg.sim.makespan_ms").set(result.makespan);
+    registry.gauge("posg.sim.mean_completion_ms").set(result.completions.average());
+    // Simulated-time completion latencies, log-bucketed in microseconds so
+    // the snapshot carries the distribution, not just the mean.
+    obs::Histogram& latency = registry.histogram("posg.sim.completion_us");
+    for (common::SeqNo seq = 0; seq < stream.size(); ++seq) {
+      const common::TimeMs completion = result.completions.at(seq);
+      if (!std::isnan(completion)) {  // unrecorded slots read back NaN
+        latency.record(static_cast<std::uint64_t>(completion * 1000.0));
+      }
     }
   }
 

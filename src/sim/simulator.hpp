@@ -9,6 +9,8 @@
 #include "core/scheduler.hpp"
 #include "metrics/completion.hpp"
 #include "metrics/stats.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/trace_ring.hpp"
 
 /// Discrete-event simulator of the paper's system model (Sec. II): a
 /// source injecting tuples at a fixed rate into a scheduler S that routes
@@ -56,6 +58,15 @@ class Simulator {
     /// for every scheduling policy (they are part of the operator
     /// instances); non-POSG schedulers simply ignore their shipments.
     core::PosgConfig posg;
+    /// Optional metrics sink (not owned; must outlive run()). The run
+    /// publishes its counters (`posg.sim.*`), a completion-latency
+    /// histogram in microseconds, and — under POSG_PROFILE — the trackers'
+    /// sketch-update timings. Repeated runs accumulate.
+    obs::MetricsRegistry* metrics = nullptr;
+    /// Optional trace sink (not owned; must outlive run()). Bound to the
+    /// scheduler for the duration of run() when it is a PosgScheduler;
+    /// arm it with TraceRing::set_enabled before running.
+    obs::TraceRing* trace = nullptr;
   };
 
   struct Result {

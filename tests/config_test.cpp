@@ -1,0 +1,301 @@
+// Tests for the unified posg::Config tree: the defaults validate clean,
+// every rejectable field reports its exact dotted path and error code,
+// all failures surface in one validate() pass, require_valid() throws a
+// typed posg::ConfigValidationError, and the materializer helpers stamp
+// the authoritative scheduler config into the per-layer copies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace posg {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// True iff `errors` contains exactly one entry for `field`, with `code`.
+testing::AssertionResult has_error(const std::vector<ConfigError>& errors,
+                                   const std::string& field, ConfigErrorCode code) {
+  const auto matches_field = [&field](const ConfigError& e) { return e.field == field; };
+  const auto n = std::count_if(errors.begin(), errors.end(), matches_field);
+  if (n != 1) {
+    auto result = testing::AssertionFailure()
+                  << "expected exactly one error for '" << field << "', found " << n << "; got:";
+    for (const ConfigError& e : errors) {
+      result << " [" << e.field << "]";
+    }
+    return result;
+  }
+  const auto it = std::find_if(errors.begin(), errors.end(), matches_field);
+  if (it->code != code) {
+    return testing::AssertionFailure()
+           << "error for '" << field << "' has code " << static_cast<int>(it->code)
+           << ", expected " << static_cast<int>(code);
+  }
+  if (it->message.empty()) {
+    return testing::AssertionFailure() << "error for '" << field << "' has an empty message";
+  }
+  return testing::AssertionSuccess();
+}
+
+TEST(Config, DefaultsAreValid) {
+  const Config config;
+  const auto errors = config.validate();
+  EXPECT_TRUE(errors.empty()) << (errors.empty() ? "" : errors.front().field);
+  EXPECT_NO_THROW(config.require_valid());
+}
+
+// -- scheduler.* ------------------------------------------------------------
+
+TEST(Config, RejectsEpsilonOutsideUnitInterval) {
+  Config config;
+  config.scheduler.epsilon = 0.0;
+  EXPECT_TRUE(has_error(config.validate(), "scheduler.epsilon", ConfigErrorCode::kOutOfRange));
+  config.scheduler.epsilon = 1.5;
+  EXPECT_TRUE(has_error(config.validate(), "scheduler.epsilon", ConfigErrorCode::kOutOfRange));
+  config.scheduler.epsilon = kNaN;
+  EXPECT_TRUE(has_error(config.validate(), "scheduler.epsilon", ConfigErrorCode::kOutOfRange));
+  config.scheduler.epsilon = 1.0;  // boundary is allowed
+  EXPECT_TRUE(config.validate().empty());
+}
+
+TEST(Config, RejectsDeltaOutsideOpenUnitInterval) {
+  Config config;
+  config.scheduler.delta = 0.0;
+  EXPECT_TRUE(has_error(config.validate(), "scheduler.delta", ConfigErrorCode::kOutOfRange));
+  config.scheduler.delta = 1.0;  // delta = 1 means no accuracy guarantee at all
+  EXPECT_TRUE(has_error(config.validate(), "scheduler.delta", ConfigErrorCode::kOutOfRange));
+}
+
+TEST(Config, RejectsZeroWindow) {
+  Config config;
+  config.scheduler.window = 0;
+  EXPECT_TRUE(has_error(config.validate(), "scheduler.window", ConfigErrorCode::kMustBePositive));
+}
+
+TEST(Config, RejectsNonPositiveMu) {
+  Config config;
+  config.scheduler.mu = 0.0;
+  EXPECT_TRUE(has_error(config.validate(), "scheduler.mu", ConfigErrorCode::kMustBePositive));
+  config.scheduler.mu = kInf;
+  EXPECT_TRUE(has_error(config.validate(), "scheduler.mu", ConfigErrorCode::kMustBePositive));
+}
+
+// -- scheduler.health.* -----------------------------------------------------
+
+TEST(Config, RejectsHealthDriftThresholdsBelowOne) {
+  Config config;
+  config.scheduler.health.suspect_drift = 0.5;
+  // Lowering suspect below 1 also empties promote_drift's [1, suspect]
+  // window — both failures must be reported.
+  const auto errors = config.validate();
+  EXPECT_TRUE(has_error(errors, "scheduler.health.suspect_drift", ConfigErrorCode::kOutOfRange));
+  EXPECT_TRUE(has_error(errors, "scheduler.health.promote_drift", ConfigErrorCode::kOrdering));
+}
+
+TEST(Config, RejectsDegradeDriftBelowSuspectDrift) {
+  Config config;
+  config.scheduler.health.suspect_drift = 2.0;
+  config.scheduler.health.degrade_drift = 1.5;
+  EXPECT_TRUE(has_error(config.validate(), "scheduler.health.degrade_drift",
+                        ConfigErrorCode::kOrdering));
+}
+
+TEST(Config, RejectsPromoteDriftAboveSuspectDrift) {
+  Config config;
+  config.scheduler.health.suspect_drift = 2.0;
+  config.scheduler.health.degrade_drift = 3.0;
+  config.scheduler.health.promote_drift = 2.5;
+  EXPECT_TRUE(has_error(config.validate(), "scheduler.health.promote_drift",
+                        ConfigErrorCode::kOrdering));
+}
+
+TEST(Config, RejectsDerateCapBelowOne) {
+  Config config;
+  config.scheduler.health.derate_cap = 0.9;
+  EXPECT_TRUE(has_error(config.validate(), "scheduler.health.derate_cap",
+                        ConfigErrorCode::kOutOfRange));
+}
+
+TEST(Config, RejectsZeroHealthEpochCounts) {
+  Config config;
+  config.scheduler.health.degrade_epochs = 0;
+  config.scheduler.health.promote_epochs = 0;
+  const auto errors = config.validate();
+  EXPECT_TRUE(has_error(errors, "scheduler.health.degrade_epochs",
+                        ConfigErrorCode::kMustBePositive));
+  EXPECT_TRUE(has_error(errors, "scheduler.health.promote_epochs",
+                        ConfigErrorCode::kMustBePositive));
+}
+
+TEST(Config, RejectsBadQueueHealthFields) {
+  Config config;
+  config.scheduler.health.queue_skew = 0.5;
+  config.scheduler.health.queue_floor = -1.0;
+  const auto errors = config.validate();
+  EXPECT_TRUE(has_error(errors, "scheduler.health.queue_skew", ConfigErrorCode::kOutOfRange));
+  EXPECT_TRUE(has_error(errors, "scheduler.health.queue_floor", ConfigErrorCode::kOutOfRange));
+}
+
+// -- scheduler.rejoin_ramp.* ------------------------------------------------
+
+TEST(Config, RejectsRampRatesOnlyWhenRampEnabled) {
+  Config config;
+  config.scheduler.rejoin_ramp.tokens_per_tuple = 0.0;
+  config.scheduler.rejoin_ramp.burst = 0.0;
+  ASSERT_GT(config.scheduler.rejoin_ramp.ramp_tuples, 0u);  // default: enabled
+  const auto errors = config.validate();
+  EXPECT_TRUE(has_error(errors, "scheduler.rejoin_ramp.tokens_per_tuple",
+                        ConfigErrorCode::kMustBePositive));
+  EXPECT_TRUE(has_error(errors, "scheduler.rejoin_ramp.burst", ConfigErrorCode::kOutOfRange));
+
+  // ramp_tuples == 0 disables ramping; the rate fields are never read.
+  config.scheduler.rejoin_ramp.ramp_tuples = 0;
+  EXPECT_TRUE(config.validate().empty());
+}
+
+// -- engine.* ---------------------------------------------------------------
+
+TEST(Config, RejectsZeroQueueCapacity) {
+  Config config;
+  config.engine.queue_capacity = 0;
+  EXPECT_TRUE(has_error(config.validate(), "engine.queue_capacity",
+                        ConfigErrorCode::kMustBePositive));
+}
+
+TEST(Config, RejectsBadOverloadWatermarks) {
+  Config config;
+  config.engine.overload.high_watermark = 1.5;
+  EXPECT_TRUE(has_error(config.validate(), "engine.overload.high_watermark",
+                        ConfigErrorCode::kOutOfRange));
+
+  Config ordering;
+  ordering.engine.overload.low_watermark = ordering.engine.overload.high_watermark;
+  EXPECT_TRUE(has_error(ordering.validate(), "engine.overload.low_watermark",
+                        ConfigErrorCode::kOrdering));
+}
+
+TEST(Config, RejectsZeroDeadlineSamples) {
+  Config config;
+  config.engine.overload.deadline_samples = 0;
+  EXPECT_TRUE(has_error(config.validate(), "engine.overload.deadline_samples",
+                        ConfigErrorCode::kMustBePositive));
+}
+
+// -- runtime.* --------------------------------------------------------------
+
+TEST(Config, RejectsZeroInstances) {
+  Config config;
+  config.runtime.instances = 0;
+  EXPECT_TRUE(has_error(config.validate(), "runtime.instances",
+                        ConfigErrorCode::kMustBePositive));
+}
+
+TEST(Config, RejectsBadRuntimeDeadlines) {
+  Config config;
+  config.runtime.recv_deadline = std::chrono::milliseconds{0};
+  config.runtime.hello_deadline = std::chrono::milliseconds{-1};
+  config.runtime.epoch_deadline = std::chrono::milliseconds{-1};
+  const auto errors = config.validate();
+  EXPECT_TRUE(has_error(errors, "runtime.recv_deadline", ConfigErrorCode::kMustBePositive));
+  EXPECT_TRUE(has_error(errors, "runtime.hello_deadline", ConfigErrorCode::kMustBePositive));
+  EXPECT_TRUE(has_error(errors, "runtime.epoch_deadline", ConfigErrorCode::kOutOfRange));
+
+  // epoch_deadline == 0 is the documented "disabled" value, not an error.
+  Config disabled;
+  disabled.runtime.epoch_deadline = std::chrono::milliseconds{0};
+  EXPECT_TRUE(disabled.validate().empty());
+}
+
+TEST(Config, RejectsZeroTraceCapacity) {
+  Config config;
+  config.runtime.obs.trace_capacity = 0;
+  EXPECT_TRUE(has_error(config.validate(), "runtime.obs.trace_capacity",
+                        ConfigErrorCode::kMustBePositive));
+}
+
+// -- instance.* -------------------------------------------------------------
+
+TEST(Config, RejectsBadInstanceFields) {
+  Config config;
+  config.instance.recv_deadline = std::chrono::milliseconds{0};
+  config.instance.cost_scale = 0.0;
+  const auto errors = config.validate();
+  EXPECT_TRUE(has_error(errors, "instance.recv_deadline", ConfigErrorCode::kMustBePositive));
+  EXPECT_TRUE(has_error(errors, "instance.cost_scale", ConfigErrorCode::kMustBePositive));
+
+  config.instance.cost_scale = kNaN;
+  EXPECT_TRUE(has_error(config.validate(), "instance.cost_scale",
+                        ConfigErrorCode::kMustBePositive));
+}
+
+// -- whole-tree behaviour ---------------------------------------------------
+
+TEST(Config, ReportsEveryFailureInOnePass) {
+  Config config;
+  config.scheduler.epsilon = -1.0;
+  config.scheduler.window = 0;
+  config.engine.queue_capacity = 0;
+  config.runtime.instances = 0;
+  config.instance.cost_scale = -2.0;
+  const auto errors = config.validate();
+  EXPECT_EQ(errors.size(), 5u);
+  EXPECT_TRUE(has_error(errors, "scheduler.epsilon", ConfigErrorCode::kOutOfRange));
+  EXPECT_TRUE(has_error(errors, "scheduler.window", ConfigErrorCode::kMustBePositive));
+  EXPECT_TRUE(has_error(errors, "engine.queue_capacity", ConfigErrorCode::kMustBePositive));
+  EXPECT_TRUE(has_error(errors, "runtime.instances", ConfigErrorCode::kMustBePositive));
+  EXPECT_TRUE(has_error(errors, "instance.cost_scale", ConfigErrorCode::kMustBePositive));
+}
+
+TEST(Config, RequireValidThrowsTypedErrorListingFields) {
+  Config config;
+  config.scheduler.mu = -1.0;
+  config.runtime.instances = 0;
+  try {
+    config.require_valid();
+    FAIL() << "require_valid() did not throw";
+  } catch (const ConfigValidationError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kConfig);
+    EXPECT_EQ(e.errors().size(), 2u);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("scheduler.mu"), std::string::npos);
+    EXPECT_NE(what.find("runtime.instances"), std::string::npos);
+  }
+}
+
+TEST(Config, ValidationErrorIsCatchableAsPosgError) {
+  Config config;
+  config.scheduler.window = 0;
+  EXPECT_THROW(config.require_valid(), Error);
+  EXPECT_THROW(config.require_valid(), std::runtime_error);
+}
+
+TEST(Config, MaterializersStampAuthoritativeScheduler) {
+  Config config;
+  config.scheduler.window = 123;
+  config.scheduler.sketch_seed = 0xDEADBEEFULL;
+  config.runtime.instances = 7;
+  // Divergent nested copies must be overwritten, not trusted.
+  config.runtime.posg.window = 999;
+  config.instance.posg.sketch_seed = 1;
+  config.instance.cost_scale = 4.0;
+
+  const SchedulerRuntimeConfig runtime = config.scheduler_runtime();
+  EXPECT_EQ(runtime.instances, 7u);
+  EXPECT_EQ(runtime.posg.window, 123u);
+  EXPECT_EQ(runtime.posg.sketch_seed, 0xDEADBEEFULL);
+
+  const InstanceRuntimeConfig instance = config.instance_runtime();
+  EXPECT_EQ(instance.posg.window, 123u);
+  EXPECT_EQ(instance.posg.sketch_seed, 0xDEADBEEFULL);
+  EXPECT_EQ(instance.cost_scale, 4.0);
+}
+
+}  // namespace
+}  // namespace posg

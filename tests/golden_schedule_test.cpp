@@ -16,10 +16,11 @@
 /// changes any of these sequences, it is not an optimization — it is a
 /// behaviour change and must be rejected.
 ///
-/// Regenerating (only legitimate after an *intentional* policy change):
-///   g++ -std=c++20 -O2 -DGOLDEN_GENERATE -I src tests/golden_schedule_test.cpp \
-///       src/core/posg_scheduler.cpp src/hash/two_universal.cpp \
-///       src/sketch/dual_sketch.cpp src/sketch/space_saving.cpp \
+/// Regenerating (only legitimate after an *intentional* policy change) —
+/// one g++ command, wrapped here for width:
+///   g++ -std=c++20 -O2 -DGOLDEN_GENERATE -I src tests/golden_schedule_test.cpp
+///       src/core/posg_scheduler.cpp src/hash/two_universal.cpp
+///       src/sketch/dual_sketch.cpp src/sketch/space_saving.cpp
 ///       src/common/prng.cpp -o /tmp/golden_gen && /tmp/golden_gen
 
 #include <cstdint>
@@ -199,8 +200,8 @@ TEST(GoldenSchedule, RepeatedRunsAreIdentical) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Cases, GoldenSchedule, ::testing::ValuesIn(kGoldenCases),
-                         [](const ::testing::TestParamInfo<GoldenCase>& info) {
-                           return std::string(info.param.name);
+                         [](const ::testing::TestParamInfo<GoldenCase>& param_info) {
+                           return std::string(param_info.param.name);
                          });
 
 }  // namespace

@@ -71,7 +71,7 @@ TEST_P(CollisionProbability, IsAtMostOneOverC) {
   }
   const double rate = static_cast<double>(collisions) / families;
   // 1/c plus generous sampling slack (3 sigma of a Bernoulli(1/c) mean).
-  const double slack = 3.0 * std::sqrt((1.0 / c) / families);
+  const double slack = 3.0 * std::sqrt((1.0 / static_cast<double>(c)) / families);
   EXPECT_LE(rate, 1.0 / static_cast<double>(c) + slack + 1e-9);
 }
 

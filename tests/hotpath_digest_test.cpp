@@ -50,7 +50,8 @@ TEST(BucketDigest, OffsetsMatchNaiveWideModulo) {
       for (std::size_t row = 0; row < 4; ++row) {
         const auto& h = hashes.function(row);
         // Naive reference: full-width modular arithmetic, hardware `%`.
-        const auto wide = static_cast<unsigned __int128>(h.a()) * x + h.b();
+        __extension__ using NaiveWide = unsigned __int128;
+        const auto wide = static_cast<NaiveWide>(h.a()) * x + h.b();
         const auto bucket = static_cast<std::uint64_t>(
             (wide % hash::TwoUniversalHash::kPrime) % codomain);
         ASSERT_EQ(digest.offset(row), row * codomain + bucket)

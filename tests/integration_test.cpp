@@ -124,7 +124,8 @@ TEST(Communication, ShipmentCountMatchesTheorem33Scale) {
   // Each shipment opens an epoch of k markers + k replies, and shipments
   // happen at most once per window per instance: <= (2k+1) * m/N total.
   const double mn = static_cast<double>(config.m) / static_cast<double>(config.posg.window);
-  EXPECT_LE(result.raw.messages.control_total(), (2.0 * config.k + 1.0) * mn);
+  EXPECT_LE(result.raw.messages.control_total(),
+            (2.0 * static_cast<double>(config.k) + 1.0) * mn);
   EXPECT_GT(result.raw.messages.sketch_shipments, 0u);
 }
 

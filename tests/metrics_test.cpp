@@ -20,12 +20,12 @@ TEST(RunningStats, MatchesDirectComputation) {
     stats.add(s);
     sum += s;
   }
-  const double mean = sum / samples.size();
+  const double mean = sum / static_cast<double>(samples.size());
   double var = 0.0;
   for (double s : samples) {
     var += (s - mean) * (s - mean);
   }
-  var /= samples.size();
+  var /= static_cast<double>(samples.size());
   EXPECT_EQ(stats.count(), samples.size());
   EXPECT_NEAR(stats.mean(), mean, 1e-12);
   EXPECT_NEAR(stats.variance(), var, 1e-12);

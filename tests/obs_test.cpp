@@ -1,0 +1,388 @@
+// Tests for the observability layer (src/obs/): histogram bucket math,
+// TraceRing wraparound and concurrency (the TSan job runs these with
+// multiple writer threads), snapshot JSON round-trips, and registry
+// handles surviving a scheduler quarantine/rejoin cycle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/posg_scheduler.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace_ring.hpp"
+
+namespace posg {
+namespace {
+
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::Snapshot;
+using obs::TraceEvent;
+using obs::TraceEventType;
+using obs::TraceRing;
+
+TEST(Histogram, BucketIndexMatchesLogTwoLayout) {
+  // Bucket 0 holds exact zeros, bucket i holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_index(1024), 11u);
+  for (std::size_t i = 2; i < Histogram::kBuckets - 1; ++i) {
+    // Every non-degenerate bucket's bounds agree with bucket_index.
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_lower(i)), i);
+    EXPECT_EQ(Histogram::bucket_index(Histogram::bucket_upper(i) - 1), i);
+  }
+}
+
+TEST(Histogram, OverflowBucketCatchesTopOfRange) {
+  Histogram h;
+  const std::uint64_t top = std::uint64_t{1} << 63;
+  h.record(top);
+  h.record(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 2u);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(Histogram::bucket_upper(Histogram::kBuckets - 1),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Histogram, RecordAccumulatesCountSumAndBuckets) {
+  Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(5);
+  h.record(5);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 11u);
+  EXPECT_EQ(h.bucket(0), 1u);  // the zero
+  EXPECT_EQ(h.bucket(1), 1u);  // the one
+  EXPECT_EQ(h.bucket(3), 2u);  // 5 lands in [4, 8)
+}
+
+TEST(Histogram, MergePreservesEveryBucket) {
+  Histogram a;
+  Histogram b;
+  a.record(3);
+  a.record(100);
+  b.record(3);
+  b.record(std::uint64_t{1} << 63);  // overflow bucket
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 3u + 100u + 3u + (std::uint64_t{1} << 63));
+  EXPECT_EQ(a.bucket(2), 2u);  // both 3s
+  EXPECT_EQ(a.bucket(Histogram::kBuckets - 1), 1u);
+}
+
+TEST(Histogram, SnapshotQuantilesAreBucketUpperBounds) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("latency");
+  for (int i = 0; i < 90; ++i) {
+    h.record(3);  // bucket 2, upper bound 4
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.record(1000);  // bucket 10, upper bound 1024
+  }
+  const auto snap = registry.snapshot().histograms.at("latency");
+  EXPECT_EQ(snap.quantile(0.5), 4u);
+  EXPECT_EQ(snap.quantile(0.9), 4u);
+  EXPECT_EQ(snap.quantile(0.99), 1024u);
+  EXPECT_EQ(snap.quantile(1.0), 1024u);
+  EXPECT_NEAR(snap.mean(), (90.0 * 3.0 + 10.0 * 1000.0) / 100.0, 1e-9);
+}
+
+TEST(Histogram, ConcurrentRecordersLoseNothing) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistry, HandlesAreFindOrCreateAndStable) {
+  MetricsRegistry registry;
+  obs::Counter& c1 = registry.counter("tuples");
+  obs::Counter& c2 = registry.counter("tuples");
+  EXPECT_EQ(&c1, &c2);
+  c1.add(3);
+  c2.add();
+  EXPECT_EQ(registry.snapshot().counters.at("tuples"), 4u);
+}
+
+TEST(MetricsRegistry, NameCollisionAcrossKindsThrows) {
+  MetricsRegistry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("x"), std::invalid_argument);
+  EXPECT_THROW(registry.gauge_fn("x", [] { return 0.0; }), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, PullCallbacksEvaluateAtSnapshotTime) {
+  MetricsRegistry registry;
+  std::uint64_t source = 7;
+  registry.counter_fn("pull", [&source] { return source; });
+  EXPECT_EQ(registry.snapshot().counters.at("pull"), 7u);
+  source = 9;
+  EXPECT_EQ(registry.snapshot().counters.at("pull"), 9u);
+}
+
+TEST(Snapshot, JsonRoundTripsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.counter("c.one").add(42);
+  registry.gauge("g.pi").set(3.25);
+  Histogram& h = registry.histogram("h.lat");
+  h.record(0);
+  h.record(7);
+  h.record(std::uint64_t{1} << 63);
+
+  const Snapshot before = registry.snapshot();
+  const Snapshot after = Snapshot::from_json(before.to_json());
+  EXPECT_EQ(after.counters, before.counters);
+  EXPECT_EQ(after.gauges, before.gauges);
+  ASSERT_EQ(after.histograms.size(), 1u);
+  const auto& hb = before.histograms.at("h.lat");
+  const auto& ha = after.histograms.at("h.lat");
+  EXPECT_EQ(ha.count, hb.count);
+  EXPECT_EQ(ha.sum, hb.sum);
+  EXPECT_EQ(ha.buckets, hb.buckets);
+}
+
+TEST(Snapshot, FromJsonRejectsGarbageAndWrongSchema) {
+  EXPECT_THROW(Snapshot::from_json(""), std::invalid_argument);
+  EXPECT_THROW(Snapshot::from_json("{"), std::invalid_argument);
+  EXPECT_THROW(Snapshot::from_json(R"({"schema":"other/9"})"), std::invalid_argument);
+}
+
+TEST(Snapshot, MergeAddsCountersAndHistograms) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("n").add(1);
+  b.counter("n").add(2);
+  a.histogram("h").record(3);
+  b.histogram("h").record(5);
+  b.gauge("g").set(1.5);
+  Snapshot merged = a.snapshot();
+  merged.merge_from(b.snapshot());
+  EXPECT_EQ(merged.counters.at("n"), 3u);
+  EXPECT_EQ(merged.histograms.at("h").count, 2u);
+  EXPECT_DOUBLE_EQ(merged.gauges.at("g"), 1.5);
+}
+
+TEST(Snapshot, TextExpositionListsCumulativeBuckets) {
+  MetricsRegistry registry;
+  registry.counter("posg.tuples").add(5);
+  registry.histogram("lat.ns").record(3);
+  const std::string text = registry.snapshot().to_text();
+  EXPECT_NE(text.find("posg_tuples 5"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_count 1"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST(TraceRing, DropOldestWraparoundKeepsNewest) {
+  TraceRing ring(4);
+  ring.set_enabled(true);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ring.record(TraceEvent{.type = TraceEventType::kScheduleDecision,
+                           .detail = 0,
+                           .component = 0,
+                           .instance = 0,
+                           .a = i,
+                           .value = 0.0,
+                           .tick = 0});
+  }
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, 6u + i);       // oldest-first payloads 6..9
+    EXPECT_EQ(events[i].tick, 6u + i);    // ticks are the publish order
+  }
+}
+
+TEST(TraceRing, DisabledRingRecordsNothing) {
+  TraceRing ring(8);
+  ring.record(TraceEvent{});
+  TraceRing::Writer writer(ring);
+  writer.record(TraceEvent{});
+  writer.flush();
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(TraceRing, WriterStagesUntilFlush) {
+  TraceRing ring(64);
+  ring.set_enabled(true);
+  TraceRing::Writer writer(ring, /*stage_capacity=*/16);
+  for (int i = 0; i < 5; ++i) {
+    writer.record(TraceEvent{});
+  }
+  EXPECT_EQ(ring.recorded(), 0u);  // still staged
+  writer.flush();
+  EXPECT_EQ(ring.recorded(), 5u);
+}
+
+TEST(TraceRing, WriterDestructorFlushes) {
+  TraceRing ring(64);
+  ring.set_enabled(true);
+  {
+    TraceRing::Writer writer(ring);
+    writer.record(TraceEvent{});
+  }
+  EXPECT_EQ(ring.recorded(), 1u);
+}
+
+// The TSan gate runs this: several threads each stage through their own
+// Writer into one ring while another thread snapshots concurrently.
+TEST(TraceRing, ConcurrentWritersPublishEverything) {
+  TraceRing ring(1024);
+  ring.set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 5'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring, t] {
+      TraceRing::Writer writer(ring, /*stage_capacity=*/32);
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        writer.record(TraceEvent{.type = TraceEventType::kSketchShip,
+                                 .detail = 0,
+                                 .component = static_cast<std::uint16_t>(t),
+                                 .instance = static_cast<std::uint32_t>(t),
+                                 .a = i,
+                                 .value = 0.0,
+                                 .tick = 0});
+      }
+    });
+  }
+  threads.emplace_back([&ring] {
+    for (int i = 0; i < 50; ++i) {
+      (void)ring.snapshot();  // reader racing the writers
+    }
+  });
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(ring.recorded(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(ring.snapshot().size(), 1024u);
+}
+
+TEST(TraceRing, DumpJsonlEmitsOneObjectPerEvent) {
+  TraceRing ring(8);
+  ring.set_enabled(true);
+  ring.record(TraceEvent{.type = TraceEventType::kScheduleDecision,
+                         .detail = 0,
+                         .component = 0,
+                         .instance = 2,
+                         .a = 17,
+                         .value = 1.5,
+                         .tick = 0});
+  ring.record(TraceEvent{.type = TraceEventType::kRejoin,
+                         .detail = 0,
+                         .component = 0,
+                         .instance = 1,
+                         .a = 3,
+                         .value = 0.0,
+                         .tick = 0});
+  std::ostringstream out;
+  ring.dump_jsonl(out);
+  const std::string dump = out.str();
+  EXPECT_NE(dump.find("\"type\":\"schedule_decision\""), std::string::npos);
+  EXPECT_NE(dump.find("\"type\":\"rejoin\""), std::string::npos);
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '\n'), 2);
+}
+
+TEST(TraceRing, ZeroCapacityRejected) {
+  EXPECT_THROW(TraceRing ring(0), std::invalid_argument);
+}
+
+TEST(ScopedTimer, NullSinkIsInertAndBoundSinkRecords) {
+  obs::ScopedTimer inert(nullptr);
+  Histogram h;
+  {
+    obs::ScopedTimer timer(&h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+// Registry handles must keep publishing through a scheduler's whole
+// quarantine → rejoin cycle: the pull callbacks read live state, so the
+// snapshot after the cycle reflects it without re-registration.
+TEST(SchedulerMetrics, HandlesSurviveQuarantineAndRejoin) {
+  core::PosgScheduler scheduler(3, core::PosgConfig{});
+  MetricsRegistry registry;
+  scheduler.register_metrics(registry);
+
+  for (common::SeqNo seq = 0; seq < 10; ++seq) {
+    (void)scheduler.schedule(seq % 5, seq);
+  }
+  Snapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.at("posg.scheduler.decisions"), 10u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("posg.scheduler.live_instances"), 3.0);
+
+  scheduler.mark_failed(1);
+  snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.gauges.at("posg.scheduler.live_instances"), 2.0);
+
+  scheduler.rejoin(1);
+  for (common::SeqNo seq = 10; seq < 20; ++seq) {
+    (void)scheduler.schedule(seq % 5, seq);
+  }
+  snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.gauges.at("posg.scheduler.live_instances"), 3.0);
+  EXPECT_EQ(snap.counters.at("posg.scheduler.rejoins"), 1u);
+  EXPECT_EQ(snap.counters.at("posg.scheduler.decisions"), 20u);
+}
+
+TEST(SchedulerTrace, DecisionsAndRejoinsReachTheRing) {
+  core::PosgScheduler scheduler(3, core::PosgConfig{});
+  TraceRing ring(256);
+  ring.set_enabled(true);
+  scheduler.bind_trace(&ring);
+
+  for (common::SeqNo seq = 0; seq < 8; ++seq) {
+    (void)scheduler.schedule(seq, seq);
+  }
+  scheduler.mark_failed(2);
+  scheduler.rejoin(2);  // rejoin flushes the staged writer
+  const auto events = ring.snapshot();
+
+  std::size_t decisions = 0;
+  std::size_t rejoins = 0;
+  for (const TraceEvent& event : events) {
+    if (event.type == TraceEventType::kScheduleDecision) {
+      ++decisions;
+    } else if (event.type == TraceEventType::kRejoin) {
+      ++rejoins;
+      EXPECT_EQ(event.instance, 2u);
+    }
+  }
+  EXPECT_EQ(decisions, 8u);
+  EXPECT_EQ(rejoins, 1u);
+
+  // Unbinding flushes and detaches; further decisions must not arrive.
+  scheduler.bind_trace(nullptr);
+  const std::uint64_t before = ring.recorded();
+  (void)scheduler.schedule(0, 100);
+  EXPECT_EQ(ring.recorded(), before);
+}
+
+}  // namespace
+}  // namespace posg

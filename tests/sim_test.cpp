@@ -72,7 +72,8 @@ TEST(Simulator, SingleInstanceQueueingMath) {
   RoundRobinScheduler rr(1);
   const auto result = sim.run(stream, rr);
   for (common::SeqNo i = 0; i < 4; ++i) {
-    EXPECT_DOUBLE_EQ(result.completions.at(i), 5.0 * (i + 1) - 2.0 * i);
+    EXPECT_DOUBLE_EQ(result.completions.at(i), 5.0 * static_cast<double>(i + 1) -
+                                                   2.0 * static_cast<double>(i));
   }
   EXPECT_DOUBLE_EQ(result.makespan, 20.0);
 }

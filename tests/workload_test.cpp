@@ -93,7 +93,7 @@ TEST_P(DistributionSampling, EmpiricalMatchesAnalytic) {
   for (common::Item i = 0; i < 5; ++i) {
     const double expected = dist->probability(i) * 100'000;
     if (expected > 100) {
-      EXPECT_NEAR(freq[i], expected, 5 * std::sqrt(expected) + 1);
+      EXPECT_NEAR(static_cast<double>(freq[i]), expected, 5 * std::sqrt(expected) + 1);
     }
   }
 }
@@ -111,7 +111,7 @@ TEST(ExecutionTimeAssignment, LinearValuesMatchPaperDefaults) {
   ExecutionTimeAssignment assignment(4096, 64, 1.0, 64.0, ValueSpacing::kLinear, 7);
   ASSERT_EQ(assignment.values().size(), 64u);
   for (std::size_t j = 0; j < 64; ++j) {
-    EXPECT_NEAR(assignment.values()[j], 1.0 + j, 1e-9);
+    EXPECT_NEAR(assignment.values()[j], 1.0 + static_cast<double>(j), 1e-9);
   }
 }
 

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 
 SCHEMA = "posg-hotpath-bench/1"
@@ -131,9 +132,16 @@ def cmd_compare(args: argparse.Namespace) -> int:
     baseline = normalize(load_json(args.baseline), args.baseline)
     candidate = normalize(load_json(args.candidate), args.candidate)
 
+    names = sorted(set(baseline) | set(candidate))
+    if args.only:
+        pattern = re.compile(args.only)
+        names = [name for name in names if pattern.search(name)]
+        if not names:
+            fail(f"--only {args.only!r} matched no benchmark on either side")
+
     regressions = []
     rows = []
-    for name in sorted(set(baseline) | set(candidate)):
+    for name in names:
         if name not in baseline:
             rows.append((name, None, candidate[name]["cpu_time_ns"], "new"))
             continue
@@ -195,6 +203,12 @@ def main() -> int:
         default=0.10,
         metavar="FRACTION",
         help="maximum tolerated per-benchmark slowdown (default 0.10 = 10%%)",
+    )
+    compare.add_argument(
+        "--only",
+        metavar="REGEX",
+        help="restrict the comparison to benchmarks whose name matches REGEX "
+        "(the obs overhead gate uses this to pin down the per-tuple paths)",
     )
     compare.set_defaults(func=cmd_compare)
 

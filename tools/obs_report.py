@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Render a posg-metrics/1 snapshot (and optionally a trace JSONL dump) as
+human-readable tables.
+
+Usage:
+    tools/obs_report.py metrics.json [--trace trace.jsonl]
+
+The snapshot comes from `--metrics-out` on examples/distributed_posg or
+examples/quickstart, from obs::Snapshot::to_json(), or from the chaos-soak
+artifact (CHAOS_METRICS_OUT). Histogram quantiles are bucket upper bounds
+(log2 buckets), matching obs::HistogramSnapshot::quantile in C++.
+"""
+
+import argparse
+import json
+import sys
+from collections import Counter
+
+
+def quantile(buckets, count, q):
+    """Upper bound of the bucket where the cumulative count crosses q*count."""
+    if count == 0:
+        return 0
+    target = q * count
+    seen = 0
+    for i, n in enumerate(buckets):
+        seen += n
+        if n and seen >= target:
+            return (1 << i) if i < 64 else (1 << 64) - 1
+    return (1 << 64) - 1
+
+
+def fmt_value(v):
+    """Engineering-style suffixes keep nanosecond histograms readable."""
+    for limit, div, suffix in ((1e9, 1e9, "G"), (1e6, 1e6, "M"), (1e3, 1e3, "k")):
+        if abs(v) >= limit:
+            return f"{v / div:.2f}{suffix}"
+    if isinstance(v, float) and not v.is_integer():
+        return f"{v:.3f}"
+    return str(int(v))
+
+
+def dense_buckets(hist):
+    """Snapshot JSON stores sparse {index: count}; expand to 65 slots."""
+    buckets = [0] * 65
+    for index, n in hist.get("buckets", {}).items():
+        buckets[int(index)] = n
+    return buckets
+
+
+def print_table(title, rows, headers):
+    if not rows:
+        return
+    widths = [max(len(str(r[i])) for r in rows + [headers]) for i in range(len(headers))]
+    print(f"\n{title}")
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"  {line}")
+    print(f"  {'-' * len(line)}")
+    for row in rows:
+        print("  " + "  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def report_metrics(snapshot):
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+
+    print_table(
+        "counters",
+        [(name, fmt_value(v)) for name, v in sorted(counters.items())],
+        ("name", "value"),
+    )
+    print_table(
+        "gauges",
+        [(name, fmt_value(v)) for name, v in sorted(gauges.items())],
+        ("name", "value"),
+    )
+    rows = []
+    for name, hist in sorted(histograms.items()):
+        count = hist.get("count", 0)
+        buckets = dense_buckets(hist)
+        mean = hist.get("sum", 0) / count if count else 0.0
+        rows.append(
+            (
+                name,
+                fmt_value(count),
+                fmt_value(mean),
+                fmt_value(quantile(buckets, count, 0.50)),
+                fmt_value(quantile(buckets, count, 0.90)),
+                fmt_value(quantile(buckets, count, 0.99)),
+            )
+        )
+    print_table(
+        "histograms (quantiles are log2-bucket upper bounds)",
+        rows,
+        ("name", "count", "mean", "p50", "p90", "p99"),
+    )
+
+
+def report_trace(path):
+    by_type = Counter()
+    by_instance = Counter()
+    first_tick = last_tick = None
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            by_type[event.get("type", "?")] += 1
+            if event.get("type") == "schedule_decision":
+                by_instance[event.get("instance", 0)] += 1
+            tick = event.get("tick", 0)
+            first_tick = tick if first_tick is None else min(first_tick, tick)
+            last_tick = tick if last_tick is None else max(last_tick, tick)
+
+    total = sum(by_type.values())
+    print(f"\ntrace: {total} events, ticks [{first_tick}, {last_tick}]")
+    print_table(
+        "events by type",
+        [(name, n) for name, n in by_type.most_common()],
+        ("type", "count"),
+    )
+    if by_instance:
+        print_table(
+            "schedule decisions by instance",
+            [(op, n) for op, n in sorted(by_instance.items())],
+            ("instance", "count"),
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("snapshot", help="posg-metrics/1 JSON file")
+    parser.add_argument("--trace", help="TraceRing JSONL dump to summarize")
+    args = parser.parse_args()
+
+    with open(args.snapshot, encoding="utf-8") as f:
+        snapshot = json.load(f)
+    schema = snapshot.get("schema")
+    if schema != "posg-metrics/1":
+        sys.exit(f"error: {args.snapshot}: unexpected schema {schema!r}")
+
+    print(f"{args.snapshot}: schema {schema}")
+    report_metrics(snapshot)
+    if args.trace:
+        report_trace(args.trace)
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,13 @@
 #   CHAOS_TIMEOUT=<s>  wall-clock bound per campaign, seconds (default 120)
 #   CHAOS_K=<n>        instances per campaign (default 4)
 #   CHAOS_M=<n>        tuples per campaign (default 6000)
+#   CHAOS_METRICS_OUT=<dir>
+#                      keep each campaign's observability dump: the final
+#                      metrics snapshot (metrics_seed<N>.json, posg-metrics/1)
+#                      and the trace-ring JSONL (trace_seed<N>.jsonl). CI
+#                      uploads the directory as an artifact so a failing
+#                      seed's last moments can be read with
+#                      tools/obs_report.py without re-running the campaign.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -34,6 +41,11 @@ iters="${CHAOS_ITERS:-5}"
 per_run_timeout="${CHAOS_TIMEOUT:-120}"
 k="${CHAOS_K:-4}"
 m="${CHAOS_M:-6000}"
+metrics_out="${CHAOS_METRICS_OUT:-}"
+
+if [[ -n "${metrics_out}" ]]; then
+  mkdir -p "${metrics_out}"
+fi
 
 if [[ ! -x "${example}" ]]; then
   echo "run_chaos_soak: ${example} not found or not executable." >&2
@@ -67,6 +79,12 @@ for ((i = 0; i < iters; ++i)); do
   kill_epoch=$((1 + seed % 3))
   slow_factor=$((3 + seed % 4))
 
+  obs_args=()
+  if [[ -n "${metrics_out}" ]]; then
+    obs_args+=(--metrics-out "${metrics_out}/metrics_seed${seed}.json"
+               --trace-out "${metrics_out}/trace_seed${seed}.jsonl")
+  fi
+
   echo "chaos campaign seed=${seed}: k=${k} m=${m} slow=${slow_id}x${slow_factor} kill=${kill_id}@epoch${kill_epoch}"
   rc=0
   timeout --kill-after=10 "${per_run_timeout}" \
@@ -74,7 +92,7 @@ for ((i = 0; i < iters; ++i)); do
     --fault-seed "${seed}" \
     --slow "${slow_id}" --slow-factor "${slow_factor}" \
     --kill "${kill_id}" --kill-epoch "${kill_epoch}" \
-    --rejoin --stats-dir "${stats_dir}" > "${log}" 2>&1 || rc=$?
+    --rejoin --stats-dir "${stats_dir}" "${obs_args[@]}" > "${log}" 2>&1 || rc=$?
 
   if [[ ${rc} -eq 124 || ${rc} -eq 137 ]]; then
     tail -40 "${log}" >&2
