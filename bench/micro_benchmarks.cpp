@@ -3,9 +3,11 @@
 // and query, scheduler submit, tracker update.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "common/prng.hpp"
+#include "core/elastic.hpp"
 #include "core/instance_tracker.hpp"
 #include "core/posg_scheduler.hpp"
 #include "core/round_robin.hpp"
@@ -236,6 +238,62 @@ void BM_RouterThroughputTraced(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_RouterThroughputTraced)->Arg(10);
+
+/// Router throughput with the elastic controller compiled in but idle:
+/// same loop as BM_RouterThroughput at k=10, plus a *disabled*
+/// ElasticController fed a load sample at the window cadence — the shape
+/// an executor that links autoscaling but has not enabled it carries. A
+/// disabled controller's on_sample is a single branch and the sample
+/// assembly is 1/64th-rate, so this must track BM_RouterThroughput/10
+/// inside the same ≤5% budget the obs gate enforces
+/// (tools/run_obs_overhead_gate.sh).
+void BM_RouterThroughputElasticIdle(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  core::PosgConfig config;
+  config.window = 64;
+  config.mu = 10.0;
+  core::PosgScheduler scheduler(k, config);
+  core::ElasticConfig elastic_config;  // enabled defaults to false: idle
+  core::ElasticController controller(elastic_config);
+  std::vector<core::InstanceTracker> trackers;
+  trackers.reserve(k);
+  for (common::InstanceId op = 0; op < k; ++op) {
+    trackers.emplace_back(op, config);
+  }
+  common::Xoshiro256StarStar rng(11);
+  common::SeqNo seq = 0;
+  for (auto _ : state) {
+    const common::Item item = seq % 4096;
+    const auto decision = scheduler.schedule(item, seq);
+    benchmark::DoNotOptimize(decision.instance);
+    auto& tracker = trackers[decision.instance];
+    if (auto shipment =
+            tracker.on_executed(item, 1.0 + static_cast<double>(rng.next_below(64)))) {
+      scheduler.on_sketches(*shipment);
+    }
+    if (decision.sync_request) {
+      scheduler.on_sync_reply(
+          core::SyncReply{decision.instance, decision.sync_request->epoch, 0.0});
+    }
+    ++seq;
+    if (seq % config.window == 0) {
+      core::ElasticSample sample;
+      const auto loads = scheduler.estimated_loads();
+      double total = 0.0;
+      double peak = 0.0;
+      for (const double load : loads) {
+        total += load;
+        peak = std::max(peak, load);
+      }
+      sample.backlog_ms = total;
+      sample.queue_skew = total > 0.0 ? peak * static_cast<double>(k) / total : 1.0;
+      sample.serving = k;
+      benchmark::DoNotOptimize(controller.on_sample(sample).kind);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouterThroughputElasticIdle)->Arg(10);
 
 /// Queue hand-off cost per tuple: 256-tuple bursts moved producer ->
 /// consumer on one thread, per-tuple push/pop vs push_all/pop_all. The

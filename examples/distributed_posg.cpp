@@ -9,7 +9,9 @@
 //   ./distributed_posg [--k 3] [--m 20000] [--kill ID] [--kill-epoch E]
 //                      [--slow ID] [--slow-factor F] [--slow-after N]
 //                      [--fault-seed S] [--rejoin] [--refork-budget B]
-//                      [--stats-dir DIR]
+//                      [--stats-dir DIR] [--autoscale] [--initial N]
+//                      [--sleep-scale F] [--arrival-us U]
+//                      [--spike-factor F] [--spike-at-ms T] [--spike-for-ms D]
 //
 // `--kill ID` demonstrates the fault-tolerance path: instance ID crashes
 // upon receiving the synchronization marker of epoch E (default 1) —
@@ -37,6 +39,25 @@
 //                      harness asserts on (executed <= routed: at-most-once
 //                      delivery even under drops, crashes, and rejoins).
 //
+// Elasticity flags (DESIGN.md §11; --autoscale implies --rejoin):
+//   --autoscale        elastic-k mode: start with --initial serving
+//                      instances (the rest drained right after
+//                      registration), estimate per-instance backlog with a
+//                      virtual-queue (billed simulated-ms minus wall-clock
+//                      capacity under --sleep-scale), and let an
+//                      ElasticController fork fresh instance processes on
+//                      ScaleUp (they re-register through the rejoin
+//                      acceptor) and losslessly drain them on Drain
+//                      (DrainRequest/DrainComplete; the scheduler retires
+//                      the slot when the final Δ lands).
+//   --initial N        serving instances at start (default k).
+//   --sleep-scale F    instances sleep F real-ms per simulated-ms of cost,
+//                      so backlog is physically real (default 0.02).
+//   --arrival-us U     base inter-route pacing in microseconds (default
+//                      200 under --autoscale; 0 disables pacing).
+//   --spike-factor F   flash crowd: multiply the arrival rate by F over
+//                      [--spike-at-ms, +--spike-for-ms) of wall time.
+//
 // Observability flags (src/obs/; render with tools/obs_report.py):
 //   --metrics-out FILE  write the scheduler runtime's metrics snapshot
 //                       (posg-metrics/1 JSON) to FILE at the end of the
@@ -52,11 +73,15 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "posg.hpp"
@@ -189,7 +214,8 @@ int main(int argc, char** argv) {
   const auto slow_id = args.get_int("slow", -1);
   const double slow_factor = args.get_double("slow-factor", 4.0);
   const auto slow_after = static_cast<std::uint64_t>(args.get_int("slow-after", 0));
-  const bool rejoin = args.get_bool("rejoin", false);
+  const bool autoscale = args.get_bool("autoscale", false);
+  const bool rejoin = args.get_bool("rejoin", false) || autoscale;
   auto refork_budget = static_cast<std::int64_t>(args.get_int("refork-budget", 3));
   const std::string stats_dir = args.get_string("stats-dir", "");
   const std::string metrics_out = args.get_string("metrics-out", "");
@@ -199,6 +225,18 @@ int main(int argc, char** argv) {
   std::optional<std::uint64_t> fault_seed;
   if (args.has("fault-seed")) {
     fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
+  }
+  const auto initial_raw = static_cast<std::size_t>(args.get_int("initial", 0));
+  const std::size_t initial = initial_raw == 0 ? k : std::min(initial_raw, k);
+  const double sleep_scale = args.get_double("sleep-scale", autoscale ? 0.02 : 0.0);
+  const auto arrival_us = static_cast<std::uint64_t>(args.get_int("arrival-us", autoscale ? 200 : 0));
+  workload::ArrivalProfile profile;  // wall-clock ms since the stream began
+  if (args.has("spike-factor")) {
+    profile.kind = workload::ArrivalProfile::Kind::kFlashCrowd;
+    profile.spike_factor = args.get_double("spike-factor", 20.0);
+    profile.spike_start = args.get_double("spike-at-ms", 500.0);
+    profile.spike_duration = args.get_double("spike-for-ms", 1000.0);
+    profile.validate();
   }
 
   runtime::SchedulerRuntimeConfig config;
@@ -212,6 +250,7 @@ int main(int argc, char** argv) {
   const auto spawn_instance = [&](common::InstanceId op, bool original) -> pid_t {
     runtime::InstanceRuntimeConfig instance_config;
     instance_config.posg = config.posg;
+    instance_config.real_sleep_scale = sleep_scale;
     if (original) {
       if (kill_id >= 0 && static_cast<common::InstanceId>(kill_id) == op) {
         instance_config.crash_on_marker_epoch = kill_epoch;
@@ -276,8 +315,11 @@ int main(int argc, char** argv) {
   // Reap-and-refork: called from the routing thread between sends, so all
   // forking happens on one thread. Any child exit while the stream is still
   // flowing becomes a fresh healthy incarnation (budget permitting) that
-  // re-registers through the rejoin acceptor.
+  // re-registers through the rejoin acceptor. A slot whose exit was a
+  // *planned* drain (elastic scale-down) is not reforked — its next
+  // incarnation, if any, is the controller's ScaleUp decision.
   std::uint64_t reforks = 0;
+  std::set<common::InstanceId> drain_requested;  // pending + completed drains
   const auto reap = [&](bool refork_allowed) {
     int status = 0;
     pid_t pid;
@@ -288,6 +330,9 @@ int main(int argc, char** argv) {
       }
       const common::InstanceId op = it->second;
       children.erase(it);
+      if (drain_requested.count(op) != 0) {
+        continue;  // clean scale-down exit, not a fault
+      }
       if (refork_allowed && rejoin && refork_budget > 0) {
         --refork_budget;
         const pid_t replacement = spawn_instance(op, /*original=*/false);
@@ -310,12 +355,163 @@ int main(int argc, char** argv) {
     }
   };
 
+  // --- elastic-k state (--autoscale; DESIGN.md §11) ---
+  // The controller sees backlog through a per-instance virtual queue:
+  // vq[op] accumulates the simulated-ms this process routed to op (the
+  // instance's default cost model, 1 + item % 64) and loses the wall-clock
+  // execution capacity the instance had since the last sample (elapsed
+  // real ms / sleep-scale). With the instances sleeping sleep-scale real
+  // ms per simulated ms, that difference tracks the true queue depth
+  // without any extra wire traffic.
+  core::ElasticConfig elastic_config;
+  elastic_config.enabled = autoscale;
+  elastic_config.min_instances = 1;
+  elastic_config.max_instances = k;
+  // Thresholds in simulated-ms of queued work per serving instance (one
+  // tuple bills 1..64, ~32.5 on average): scale up around five queued
+  // tuples of headroom, drain below about one.
+  elastic_config.up_backlog_per_instance = 160.0;
+  elastic_config.down_backlog_per_instance = 30.0;
+  core::ElasticController controller(elastic_config);
+  if (autoscale && trace_on) {
+    // Scale decisions land in the same ring as the runtime's events, so a
+    // --trace-out dump carries the full elasticity timeline.
+    controller.bind_trace(&scheduler.trace());
+  }
+  std::set<common::InstanceId> draining_local;  // drains begun, not yet retired
+  std::vector<double> vq(k, 0.0);               // estimated backlog, simulated ms
+  std::vector<double> billed(k, 0.0);           // routed sim-ms since the last sample
+  std::vector<std::size_t> ramp_grace(k, 0);    // samples a scale-up still counts as ramping
+  std::vector<std::pair<double, core::ScaleAction>> scale_timeline;  // (wall ms, action)
+  std::uint64_t scale_up_forks = 0;
+  if (autoscale) {
+    // All k slots must register (the handshake needs every link), but only
+    // `initial` keep serving: the spares drain losslessly right away and
+    // their retired slots become the controller's scale-up pool.
+    std::printf("autoscale: serving %zu of %zu instances, draining the spares\n", initial, k);
+    for (common::InstanceId op = initial; op < k; ++op) {
+      if (scheduler.request_drain(op)) {
+        drain_requested.insert(op);
+        draining_local.insert(op);
+      }
+    }
+  }
+
+  using WallClock = std::chrono::steady_clock;
+  const auto wall_start = WallClock::now();
+  const auto wall_ms = [&] {
+    return std::chrono::duration<double, std::milli>(WallClock::now() - wall_start).count();
+  };
+  auto last_sample = wall_start;
+
+  // One controller tick, rate-limited to ~50 ms of wall clock. Runs on the
+  // routing thread between sends, like reap(), so every fork and every
+  // request_drain stays on one thread.
+  const auto elastic_tick = [&] {
+    const auto now = WallClock::now();
+    const double since_ms = std::chrono::duration<double, std::milli>(now - last_sample).count();
+    if (since_ms < 50.0) {
+      return;
+    }
+    last_sample = now;
+    // Retired drains leave the draining set (the reader thread already
+    // billed their final Δ when the DrainComplete landed).
+    for (const auto& event : scheduler.drain_log()) {
+      draining_local.erase(event.instance);
+    }
+    const double capacity_ms = sleep_scale > 0.0 ? since_ms / sleep_scale : 1e18;
+    const auto quarantined = scheduler.quarantined();
+    const std::set<common::InstanceId> failed(quarantined.begin(), quarantined.end());
+    core::ElasticSample sample;
+    double peak = 0.0;
+    for (common::InstanceId op = 0; op < k; ++op) {
+      vq[op] = std::max(0.0, vq[op] + billed[op] - capacity_ms);
+      billed[op] = 0.0;
+      if (ramp_grace[op] > 0) {
+        ++sample.ramping;
+        --ramp_grace[op];
+      }
+      if (failed.count(op) != 0 || draining_local.count(op) != 0) {
+        continue;
+      }
+      ++sample.serving;
+      sample.backlog_ms += vq[op];
+      peak = std::max(peak, vq[op]);
+    }
+    sample.draining = draining_local.size();
+    const double mean =
+        sample.serving > 0 ? sample.backlog_ms / static_cast<double>(sample.serving) : 0.0;
+    sample.queue_skew = (sample.serving >= 2 && mean > 0.0) ? peak / mean : 1.0;
+    // `drained` stays empty: retirement is automatic in this runtime (the
+    // reader that receives DrainComplete bills the final Δ), so the
+    // controller never needs to issue kRetire here.
+    const core::ScaleAction action = controller.on_sample(sample);
+    if (action.kind == core::ScaleAction::Kind::kScaleUp) {
+      // Revive a retired slot: it must be quarantined (the rejoin acceptor
+      // only admits those) and have no live child process.
+      std::set<common::InstanceId> alive;
+      for (const auto& [child, id] : children) {
+        (void)child;
+        alive.insert(id);
+      }
+      for (const common::InstanceId op : quarantined) {
+        if (alive.count(op) != 0) {
+          continue;
+        }
+        const pid_t pid = spawn_instance(op, /*original=*/false);
+        if (pid > 0) {
+          children.emplace(pid, op);
+          drain_requested.erase(op);  // a later crash of this slot reforks again
+          vq[op] = 0.0;
+          ramp_grace[op] = elastic_config.up_hold + elastic_config.cooldown_samples;
+          ++scale_up_forks;
+          core::ScaleAction recorded = action;
+          recorded.instance = op;
+          scale_timeline.emplace_back(wall_ms(), recorded);
+          std::printf("scale-up: forked instance %zu (pid %d), predicted backlog %.0f ms\n", op,
+                      pid, action.predicted_backlog);
+        }
+        break;
+      }
+    } else if (action.kind == core::ScaleAction::Kind::kDrain) {
+      // Drain the serving instance with the shallowest virtual queue.
+      common::InstanceId victim = common::kNoInstance;
+      for (common::InstanceId op = 0; op < k; ++op) {
+        if (failed.count(op) != 0 || draining_local.count(op) != 0) {
+          continue;
+        }
+        if (victim == common::kNoInstance || vq[op] < vq[victim]) {
+          victim = op;
+        }
+      }
+      if (victim != common::kNoInstance && scheduler.request_drain(victim)) {
+        drain_requested.insert(victim);
+        draining_local.insert(victim);
+        vq[victim] = 0.0;
+        core::ScaleAction recorded = action;
+        recorded.instance = victim;
+        scale_timeline.emplace_back(wall_ms(), recorded);
+        std::printf("scale-down: draining instance %zu, predicted backlog %.0f ms\n", victim,
+                    action.predicted_backlog);
+      }
+    }
+  };
+
   workload::ZipfItems zipf(4096, 1.0);
   const auto stream = workload::StreamGenerator::generate(zipf, m, 42);
   int rc = 0;
   try {
     for (common::SeqNo seq = 0; seq < stream.size(); ++seq) {
-      scheduler.route(stream[seq], seq);
+      if (arrival_us != 0) {
+        const double rate = profile.rate_multiplier(wall_ms());
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::micro>(static_cast<double>(arrival_us) / rate));
+      }
+      const common::InstanceId target = scheduler.route(stream[seq], seq);
+      if (autoscale) {
+        billed[target] += 1.0 + static_cast<double>(stream[seq] % 64);
+        elastic_tick();
+      }
       if (rejoin && (seq & 0xFF) == 0) {
         reap(/*refork_allowed=*/true);
       }
@@ -391,12 +587,44 @@ int main(int argc, char** argv) {
   }
   std::printf("CHAOS recovered=%s\n", (rc == 0 && scheduler.live_instances() >= 1) ? "yes" : "no");
 
+  if (autoscale) {
+    // Machine-readable elastic summary (tools/run_autoscale_soak.sh).
+    // Per-drain conservation is executed <= routed: `executed` is the
+    // retiring incarnation's own count while `routed` accumulates across
+    // every incarnation of the slot, so equality only holds for slots that
+    // never reforked.
+    const auto drain_events = scheduler.drain_log();
+    bool drains_ok = true;
+    for (const auto& event : drain_events) {
+      const bool ok = event.executed <= event.routed;
+      drains_ok = drains_ok && ok;
+      std::printf("ELASTIC drain instance=%zu epoch=%llu cut=%.1f delta=%.1f billed=%.1f "
+                  "executed=%llu routed=%llu conservation=%s\n",
+                  event.instance, static_cast<unsigned long long>(event.epoch), event.cut,
+                  event.final_delta, event.final_billed,
+                  static_cast<unsigned long long>(event.executed),
+                  static_cast<unsigned long long>(event.routed), ok ? "ok" : "violated");
+    }
+    for (const auto& [at_ms, action] : scale_timeline) {
+      std::printf("ELASTIC event t_ms=%.0f action=%s instance=%zu predicted=%.0f\n", at_ms,
+                  core::scale_action_name(action.kind), action.instance,
+                  action.predicted_backlog);
+    }
+    std::printf("ELASTIC scale_ups=%llu drains=%llu drains_completed=%zu skew_vetoes=%llu "
+                "serving_final=%zu conservation=%s\n",
+                static_cast<unsigned long long>(scale_up_forks),
+                static_cast<unsigned long long>(controller.drains()), drain_events.size(),
+                static_cast<unsigned long long>(controller.skew_vetoes()),
+                scheduler.serving_instances(), drains_ok ? "ok" : "violated");
+  }
+
   dump_metrics();
   if (!metrics_out.empty()) {
     std::printf("metrics snapshot written to %s\n", metrics_out.c_str());
   }
   if (!trace_out.empty()) {
-    scheduler.trace_events();  // flush the scheduler's staged tail
+    controller.bind_trace(nullptr);  // flush any staged scale decisions
+    scheduler.trace_events();        // flush the scheduler's staged tail
     std::ofstream out(trace_out, std::ios::trunc);
     if (out) {
       scheduler.trace().dump_jsonl(out);

@@ -108,12 +108,64 @@ void validate_overload(const core::OverloadConfig& config, const std::string& pr
   }
 }
 
+void validate_elastic(const core::ElasticConfig& config, const std::string& prefix,
+                      std::vector<ConfigError>& out) {
+  if (!config.enabled) {
+    return;  // disabled controllers never read the tunables
+  }
+  if (!(std::isfinite(config.ewma_alpha) && config.ewma_alpha > 0.0 &&
+        config.ewma_alpha <= 1.0)) {
+    push(out, dot(prefix, "ewma_alpha"), ConfigErrorCode::kOutOfRange, "must be in (0, 1]");
+  }
+  if (!(std::isfinite(config.derivative_alpha) && config.derivative_alpha > 0.0 &&
+        config.derivative_alpha <= 1.0)) {
+    push(out, dot(prefix, "derivative_alpha"), ConfigErrorCode::kOutOfRange,
+         "must be in (0, 1]");
+  }
+  if (!(std::isfinite(config.horizon_samples) && config.horizon_samples >= 0.0)) {
+    push(out, dot(prefix, "horizon_samples"), ConfigErrorCode::kOutOfRange,
+         "must be finite and >= 0");
+  }
+  if (config.min_instances < 1) {
+    push(out, dot(prefix, "min_instances"), ConfigErrorCode::kMustBePositive, "must be >= 1");
+  }
+  if (config.max_instances != 0 && config.max_instances < config.min_instances) {
+    push(out, dot(prefix, "max_instances"), ConfigErrorCode::kOrdering,
+         "must be 0 (unbounded) or >= min_instances");
+  }
+  if (!(std::isfinite(config.up_backlog_per_instance) && config.up_backlog_per_instance > 0.0)) {
+    push(out, dot(prefix, "up_backlog_per_instance"), ConfigErrorCode::kMustBePositive,
+         "must be finite and > 0");
+  }
+  if (!(std::isfinite(config.down_backlog_per_instance) &&
+        config.down_backlog_per_instance >= 0.0 &&
+        config.down_backlog_per_instance < config.up_backlog_per_instance)) {
+    push(out, dot(prefix, "down_backlog_per_instance"), ConfigErrorCode::kOrdering,
+         "must be in [0, up_backlog_per_instance)");
+  }
+  if (config.up_hold < 1) {
+    push(out, dot(prefix, "up_hold"), ConfigErrorCode::kMustBePositive, "must be >= 1");
+  }
+  if (config.down_hold < 1) {
+    push(out, dot(prefix, "down_hold"), ConfigErrorCode::kMustBePositive, "must be >= 1");
+  }
+  if (!(std::isfinite(config.skew_veto) && config.skew_veto > 1.0)) {
+    push(out, dot(prefix, "skew_veto"), ConfigErrorCode::kOutOfRange, "must be > 1");
+  }
+}
+
 void validate_engine(const EngineConfig& config, const std::string& prefix,
                      std::vector<ConfigError>& out) {
   if (config.queue_capacity < 1) {
     push(out, dot(prefix, "queue_capacity"), ConfigErrorCode::kMustBePositive, "must be >= 1");
   }
   validate_overload(config.overload, dot(prefix, "overload"), out);
+  validate_elastic(config.elastic, dot(prefix, "elastic"), out);
+  if (config.elastic.enabled && !(std::isfinite(config.elastic_sample_period_ms) &&
+                                  config.elastic_sample_period_ms > 0.0)) {
+    push(out, dot(prefix, "elastic_sample_period_ms"), ConfigErrorCode::kMustBePositive,
+         "must be finite and > 0 when elastic.enabled");
+  }
 }
 
 void validate_obs(const ObsConfig& config, const std::string& prefix,
@@ -150,6 +202,10 @@ void validate_instance_runtime(const InstanceRuntimeConfig& config, const std::s
   if (!(std::isfinite(config.cost_scale) && config.cost_scale > 0.0)) {
     push(out, dot(prefix, "cost_scale"), ConfigErrorCode::kMustBePositive,
          "must be finite and > 0");
+  }
+  if (!(std::isfinite(config.real_sleep_scale) && config.real_sleep_scale >= 0.0)) {
+    push(out, dot(prefix, "real_sleep_scale"), ConfigErrorCode::kOutOfRange,
+         "must be finite and >= 0 (0 disables real sleeping)");
   }
 }
 

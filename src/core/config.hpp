@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "core/elastic.hpp"
 #include "core/instance_health.hpp"
 #include "core/overload.hpp"
 #include "sketch/dual_sketch.hpp"
@@ -142,6 +143,17 @@ struct EngineConfig {
   /// Optional trace sink for ShedWindow events (not owned; must outlive
   /// the engine). nullptr = no tracing.
   obs::TraceRing* trace = nullptr;
+
+  /// Predictive autoscaling of POSG-grouped bolts (core/elastic.hpp;
+  /// DESIGN.md §11). Disabled by default: the engine runs the paper's
+  /// fixed-k semantics and no monitor thread is spawned.
+  core::ElasticConfig elastic;
+  /// Period of the elastic monitor's queue samples, wall-clock
+  /// milliseconds. Read only when elastic.enabled.
+  double elastic_sample_period_ms = 20.0;
+  /// Serving instances at start when elastic.enabled (the rest of the
+  /// POSG bolt's parallelism is parked and revived by ScaleUp). 0 = all.
+  std::size_t elastic_initial_instances = 0;
 };
 
 /// Configuration of the scheduler-side distributed runtime
@@ -225,6 +237,14 @@ struct InstanceRuntimeConfig {
   /// count on (1-based; 0 means from the start). Lets one run cover both
   /// the healthy and the degraded phase of the same instance.
   std::uint64_t straggle_after_executed = 0;
+
+  /// Wall-clock realism for elasticity demos: when positive, every
+  /// executed tuple additionally sleeps cost × real_sleep_scale
+  /// milliseconds of real time, so queues actually back up under load and
+  /// an ElasticController watching backlog sees something true. 0 (the
+  /// default) keeps execution instantaneous — the simulated-cost-only mode
+  /// every correctness test uses.
+  double real_sleep_scale = 0.0;
 };
 
 /// Machine-readable category of one config-validation failure.
@@ -304,6 +324,8 @@ void validate_rejoin_ramp(const core::RejoinRampConfig& config, const std::strin
                           std::vector<ConfigError>& out);
 void validate_overload(const core::OverloadConfig& config, const std::string& prefix,
                        std::vector<ConfigError>& out);
+void validate_elastic(const core::ElasticConfig& config, const std::string& prefix,
+                      std::vector<ConfigError>& out);
 void validate_engine(const EngineConfig& config, const std::string& prefix,
                      std::vector<ConfigError>& out);
 void validate_scheduler_runtime(const SchedulerRuntimeConfig& config, const std::string& prefix,

@@ -19,6 +19,8 @@ PosgScheduler::PosgScheduler(std::size_t instances, const PosgConfig& config)
       reply_delta_(instances, 0.0),
       failed_(instances, false),
       live_count_(instances),
+      draining_(instances, false),
+      serving_count_(instances),
       health_(instances, config.health),
       derate_(instances, 1.0),
       marker_estimate_(instances, -1.0),
@@ -93,7 +95,7 @@ common::InstanceId PosgScheduler::greedy_pick_reference() const noexcept {
   common::InstanceId best = common::kNoInstance;
   common::TimeMs best_score = 0.0;
   for (common::InstanceId op = 0; op < k_; ++op) {
-    if (failed_[op]) {
+    if (failed_[op] || draining_[op]) {
       continue;
     }
     // Latency-aware variant (paper's Sec. VII future work): minimize the
@@ -112,14 +114,18 @@ common::InstanceId PosgScheduler::greedy_pick_reference() const noexcept {
 void PosgScheduler::rebuild_greedy() {
   for (std::size_t op = 0; op < k_; ++op) {
     greedy_scores_scratch_[op] = greedy_score(op);
-    greedy_alive_scratch_[op] = !failed_[op];
+    // The candidate set is the *serving* set: a draining instance is live
+    // (it still executes its queue) but receives nothing new.
+    greedy_alive_scratch_[op] = !failed_[op] && !draining_[op];
   }
   greedy_.rebuild(greedy_scores_scratch_, greedy_alive_scratch_);
 }
 
 common::InstanceId PosgScheduler::next_round_robin() noexcept {
-  // live_count_ >= 1 always holds, so the rotation terminates.
-  while (failed_[rr_next_]) {
+  // serving_count_ >= 1 whenever live_count_ >= 1 (begin_drain refuses the
+  // last serving instance; mark_failed cancels drains before the serving
+  // set can empty), so the rotation terminates.
+  while (failed_[rr_next_] || draining_[rr_next_]) {
     rr_next_ = (rr_next_ + 1) % k_;
   }
   const common::InstanceId target = rr_next_;
@@ -175,7 +181,7 @@ common::InstanceId PosgScheduler::ramp_admit(common::InstanceId pick) {
   common::InstanceId best = common::kNoInstance;
   common::TimeMs best_score = 0.0;
   for (common::InstanceId op = 0; op < k_; ++op) {
-    if (failed_[op] || ramp_left_[op] > 0) {
+    if (failed_[op] || draining_[op] || ramp_left_[op] > 0) {
       continue;
     }
     const common::TimeMs score = greedy_score(op);
@@ -262,12 +268,16 @@ Decision PosgScheduler::schedule(common::Item item, common::SeqNo seq) {
 void PosgScheduler::enter_send_all() noexcept {
   ++epoch_;
   for (std::size_t op = 0; op < k_; ++op) {
-    marker_pending_[op] = !failed_[op];
-    reply_received_[op] = false;
+    // A draining instance carries no marker — it receives no tuples to
+    // piggy-back one on — and its reply slot is pre-satisfied so WAIT_ALL
+    // completes on the serving set alone (its final Δ arrives with
+    // DrainComplete instead).
+    marker_pending_[op] = !failed_[op] && !draining_[op];
+    reply_received_[op] = !failed_[op] && draining_[op];
     reply_delta_[op] = 0.0;
     marker_estimate_[op] = -1.0;  // re-armed when this epoch's marker goes out
   }
-  markers_outstanding_ = live_count_;
+  markers_outstanding_ = serving_count_;
   state_ = State::kSendAll;
   if (trace_writer_) {
     trace_writer_->record(obs::TraceEvent{.type = obs::TraceEventType::kEpochAdvance,
@@ -286,7 +296,9 @@ void PosgScheduler::enter_send_all() noexcept {
 
 bool PosgScheduler::all_live_shipped() const noexcept {
   for (std::size_t op = 0; op < k_; ++op) {
-    if (!failed_[op] && !sketches_[op].has_value()) {
+    // Draining instances are never billed, so bootstrap does not wait on
+    // their sketches.
+    if (!failed_[op] && !draining_[op] && !sketches_[op].has_value()) {
       return false;
     }
   }
@@ -295,8 +307,12 @@ bool PosgScheduler::all_live_shipped() const noexcept {
 
 void PosgScheduler::on_sketches(const SketchShipment& shipment) {
   common::require(shipment.instance < k_, "PosgScheduler: shipment from unknown instance");
-  if (failed_[shipment.instance]) {
-    return;  // late frame from a quarantined instance — its epoch is over
+  if (failed_[shipment.instance] || draining_[shipment.instance]) {
+    // Late frame from a quarantined instance, or a final shipment from a
+    // draining one: either way the sender is leaving — refreshing the
+    // merged estimates (and churning the epoch machinery) over a replica
+    // that will never be billed again would only skew the survivors.
+    return;
   }
   common::require(shipment.sketch.dims() == config_.dims() &&
                       shipment.sketch.seed() == config_.sketch_seed &&
@@ -449,6 +465,22 @@ void PosgScheduler::mark_failed(common::InstanceId op) {
   if (failed_[op]) {
     return;  // idempotent: EOF and epoch deadline may both report the crash
   }
+  if (draining_[op]) {
+    // The drainee died mid-drain: the lossless handshake is off (there is
+    // no DrainComplete to bill), so it leaves as a plain crash — its
+    // frozen Ĉ cut is redistributed like any dead instance's share.
+    draining_[op] = false;
+    ++drain_cancels_;
+  } else {
+    --serving_count_;
+  }
+  remove_instance(op, /*redistribute=*/true);
+#if POSG_DCHECK_IS_ON
+  debug_validate();
+#endif
+}
+
+void PosgScheduler::remove_instance(common::InstanceId op, bool redistribute) {
   failed_[op] = true;
   --live_count_;
   health_.on_quarantined(op);
@@ -464,34 +496,56 @@ void PosgScheduler::mark_failed(common::InstanceId op) {
                             ramp_completions_.end());
   }
 
-  if (live_count_ > 0) {
-    // Redistribute the dead instance's Ĉ share evenly over the survivors.
-    // The absolute shift is identical for every survivor, so the greedy
-    // ordering among them is preserved; what matters is that op itself no
-    // longer competes and that total Ĉ (the global accounting the next
-    // synchronization corrects against) is conserved.
-    const common::TimeMs share = c_est_[op] / static_cast<double>(live_count_);
+  if (live_count_ > 0 && redistribute) {
+    // Redistribute the dead instance's Ĉ share evenly over the serving
+    // survivors (a draining survivor retires soon and its Ĉ is discarded
+    // then, so a share parked there would evaporate). The absolute shift
+    // is identical for every recipient, so the greedy ordering among them
+    // is preserved; what matters is that op itself no longer competes and
+    // that total Ĉ (the global accounting the next synchronization
+    // corrects against) is conserved.
+    const std::size_t recipients = serving_count_ > 0 ? serving_count_ : live_count_;
+    const common::TimeMs share = c_est_[op] / static_cast<double>(recipients);
     for (std::size_t other = 0; other < k_; ++other) {
-      if (!failed_[other]) {
+      if (failed_[other]) {
+        continue;
+      }
+      if (serving_count_ > 0 ? !draining_[other] : true) {
         c_est_[other] += share;
       }
     }
-    c_est_[op] = 0.0;
-    // Candidate set and every survivor's score changed at once; quarantine
+  }
+  // A retirement (redistribute == false) discards Ĉ[op] instead: the
+  // drained work truly executed; handing it to survivors would bill every
+  // drained tuple twice. A last-instance crash discards it too — there is
+  // no survivor to carry it.
+  c_est_[op] = 0.0;
+
+  // Liveness beats planned elasticity: if the crash left only draining
+  // survivors, press them back into service — an empty serving set with a
+  // live cluster must never happen.
+  if (serving_count_ == 0 && live_count_ > 0) {
+    for (std::size_t other = 0; other < k_; ++other) {
+      if (!failed_[other] && draining_[other]) {
+        draining_[other] = false;
+        ++serving_count_;
+        ++drain_cancels_;
+      }
+    }
+  }
+  if (live_count_ > 0) {
+    // Candidate set and every survivor's score changed at once; removal
     // is rare, so re-derive the incremental argmin wholesale.
     rebuild_greedy();
-  } else {
-    // Last live instance gone. The defined semantics (DESIGN.md "Fault
-    // model"): its Ĉ share is discarded (there is no survivor to carry
-    // it), the scheduler idles in ROUND_ROBIN over an empty candidate set,
-    // and schedule() throws NoLiveInstanceError until a rejoin revives the
-    // cluster. The greedy index is left stale — it requires ≥ 1 alive and
-    // is rebuilt by the next rejoin().
-    c_est_[op] = 0.0;
   }
+  // else: last live instance gone. The defined semantics (DESIGN.md
+  // "Fault model"): the scheduler idles in ROUND_ROBIN over an empty
+  // candidate set, schedule() throws NoLiveInstanceError until a rejoin
+  // revives the cluster, and the greedy index is left stale — it requires
+  // >= 1 alive and is rebuilt by the next rejoin().
 
-  // Drop the dead instance's matrices from billing: on heterogeneous
-  // clusters its per-item costs describe a replica that no longer executes
+  // Drop the instance's matrices from billing: on heterogeneous clusters
+  // its per-item costs describe a replica that no longer executes
   // anything, and keeping them would skew the merged estimates.
   sketches_[op].reset();
   refresh_global_mean();
@@ -508,7 +562,7 @@ void PosgScheduler::mark_failed(common::InstanceId op) {
   maybe_complete_epoch();
 
   if (state_ == State::kRoundRobin) {
-    // Bootstrap liveness: the dead instance may have been the only one
+    // Bootstrap liveness: the removed instance may have been the only one
     // whose sketch was still missing.
     if (all_live_shipped() && merged_.has_value()) {
       if (config_.sync_enabled) {
@@ -529,9 +583,109 @@ void PosgScheduler::mark_failed(common::InstanceId op) {
     markers_outstanding_ = 0;
     state_ = State::kRoundRobin;
   }
+}
+
+common::TimeMs PosgScheduler::begin_drain(common::InstanceId op) {
+  common::require(op < k_, "PosgScheduler: begin_drain on unknown instance");
+  common::require(!failed_[op], "PosgScheduler: begin_drain on a quarantined instance");
+  common::require(!draining_[op], "PosgScheduler: instance is already draining");
+  common::require(serving_count_ >= 2,
+                  "PosgScheduler: draining the last serving instance would stall the stream");
+  draining_[op] = true;
+  --serving_count_;
+  ++drains_begun_;
+  if (ramp_left_[op] > 0) {
+    // Draining a still-ramping rejoiner: retire the ramp — it will never
+    // win another tuple.
+    ramp_left_[op] = 0;
+    ramp_tokens_[op] = 0.0;
+    --ramps_active_;
+    ramp_completions_.erase(std::remove(ramp_completions_.begin(), ramp_completions_.end(), op),
+                            ramp_completions_.end());
+  }
+
+  // The drain cut: everything billed to op up to this instant. FIFO links
+  // mean every tuple routed before the DrainRequest executes before the
+  // instance sees it, so Δ = C_real − cut measured at the queue-dry point
+  // is exactly the estimation drift of the billed work — retire() folds it
+  // in and the final Ĉ equals the true executed work, counted once.
+  const common::TimeMs cut = c_est_[op];
+
+  // Leave any in-flight epoch at once: clear an unsent marker, pre-satisfy
+  // the reply slot (zeroing a Δ that may already have arrived — folding it
+  // *and* the final DrainComplete Δ would double-correct the pre-cut
+  // drift), and disarm the marker estimate so a late genuine reply counts
+  // stale instead of feeding the drift detector.
+  if (state_ == State::kSendAll && marker_pending_[op]) {
+    marker_pending_[op] = false;
+    --markers_outstanding_;
+    if (markers_outstanding_ == 0) {
+      state_ = State::kWaitAll;
+    }
+  }
+  if (state_ == State::kSendAll || state_ == State::kWaitAll) {
+    reply_received_[op] = true;
+    reply_delta_[op] = 0.0;
+  }
+  marker_estimate_[op] = -1.0;
+
+  rebuild_greedy();
+  if (trace_writer_) {
+    trace_writer_->record(obs::TraceEvent{.type = obs::TraceEventType::kDrainBegin,
+                                          .detail = 0,
+                                          .component = 0,
+                                          .instance = static_cast<std::uint32_t>(op),
+                                          .a = epoch_,
+                                          .value = cut,
+                                          .tick = 0});
+    trace_writer_->flush();
+  }
+  maybe_complete_epoch();
 #if POSG_DCHECK_IS_ON
   debug_validate();
 #endif
+  return cut;
+}
+
+common::TimeMs PosgScheduler::retire(common::InstanceId op, common::TimeMs final_delta) {
+  common::require(op < k_, "PosgScheduler: retire of unknown instance");
+  common::require(draining_[op], "PosgScheduler: retire of an instance that is not draining");
+  // Fold the final Δ: cut + (C_real − cut) = the work the instance truly
+  // executed, billed exactly once. The clamp mirrors the epoch correction:
+  // exact arithmetic is non-negative; only float rounding can dip below.
+  const common::TimeMs final_billed = std::max(0.0, c_est_[op] + final_delta);
+  draining_[op] = false;
+  ++retires_;
+  if (trace_writer_) {
+    trace_writer_->record(obs::TraceEvent{.type = obs::TraceEventType::kDrainComplete,
+                                          .detail = 0,
+                                          .component = 0,
+                                          .instance = static_cast<std::uint32_t>(op),
+                                          .a = epoch_,
+                                          .value = final_billed,
+                                          .tick = 0});
+    trace_writer_->flush();
+  }
+  remove_instance(op, /*redistribute=*/false);
+#if POSG_DCHECK_IS_ON
+  debug_validate();
+#endif
+  return final_billed;
+}
+
+bool PosgScheduler::is_draining(common::InstanceId op) const {
+  common::require(op < k_, "PosgScheduler: unknown instance");
+  return draining_[op];
+}
+
+std::vector<common::InstanceId> PosgScheduler::draining_instances() const {
+  std::vector<common::InstanceId> out;
+  for (common::InstanceId op = 0; op < k_; ++op) {
+    if (draining_[op]) {
+      out.push_back(op);
+    }
+  }
+  return out;
 }
 
 void PosgScheduler::rejoin(common::InstanceId op) {
@@ -546,7 +700,9 @@ void PosgScheduler::rejoin(common::InstanceId op) {
   bool found = false;
   common::TimeMs seed = 0.0;
   for (std::size_t other = 0; other < k_; ++other) {
-    if (!failed_[other] && (!found || c_est_[other] < seed)) {
+    // Seed from the *serving* minimum: a draining peer's Ĉ is a frozen
+    // cut awaiting retirement, not a load the newcomer should match.
+    if (!failed_[other] && !draining_[other] && (!found || c_est_[other] < seed)) {
       seed = c_est_[other];
       found = true;
     }
@@ -554,6 +710,7 @@ void PosgScheduler::rejoin(common::InstanceId op) {
 
   failed_[op] = false;
   ++live_count_;
+  ++serving_count_;
   c_est_[op] = seed;
   derate_[op] = 1.0;
   health_.on_rejoined(op);
@@ -631,6 +788,7 @@ void PosgScheduler::debug_validate() const {
              "PosgScheduler: latency hints do not cover every instance");
 
   std::size_t live = 0;
+  std::size_t serving = 0;
   std::size_t markers = 0;
   std::size_t ramping = 0;
   for (std::size_t op = 0; op < k_; ++op) {
@@ -655,8 +813,17 @@ void PosgScheduler::debug_validate() const {
                  "PosgScheduler: quarantined instance still owes a marker");
       POSG_CHECK(derate_[op] == 1.0, "PosgScheduler: quarantined instance still de-rated");
       POSG_CHECK(ramp_left_[op] == 0, "PosgScheduler: quarantined instance still ramping");
+      POSG_CHECK(!draining_[op], "PosgScheduler: quarantined instance still marked draining");
     } else {
       ++live;
+      if (draining_[op]) {
+        // Drain exclusivity: out of the rotation (no marker, no ramp) but
+        // still in the cluster with its Ĉ frozen at the cut.
+        POSG_CHECK(!marker_pending_[op], "PosgScheduler: draining instance still owes a marker");
+        POSG_CHECK(ramp_left_[op] == 0, "PosgScheduler: draining instance still ramping");
+      } else {
+        ++serving;
+      }
     }
     if (marker_pending_[op]) {
       ++markers;
@@ -669,6 +836,10 @@ void PosgScheduler::debug_validate() const {
     }
   }
   POSG_CHECK(live == live_count_, "PosgScheduler: live count out of sync with failed set");
+  POSG_CHECK(serving == serving_count_,
+             "PosgScheduler: serving count out of sync with the draining set");
+  POSG_CHECK(live_count_ == 0 || serving_count_ >= 1,
+             "PosgScheduler: live cluster with an empty serving set");
   POSG_CHECK(markers == markers_outstanding_,
              "PosgScheduler: marker counter out of sync with pending set");
   POSG_CHECK(ramping == ramps_active_, "PosgScheduler: ramp counter out of sync with buckets");
@@ -689,12 +860,13 @@ void PosgScheduler::debug_validate() const {
   // instance never holds a pending marker, and next_round_robin skips the
   // failed set by construction).
   POSG_CHECK(!failed_[greedy_pick()], "PosgScheduler: greedy pick chose a quarantined instance");
+  POSG_CHECK(!draining_[greedy_pick()], "PosgScheduler: greedy pick chose a draining instance");
   // The incremental argmin must agree with the reference linear scan at
   // every validation point — the invariant that keeps the optimized
   // scheduling stream byte-identical (tests/golden_schedule_test.cpp).
   greedy_.debug_validate();
-  POSG_CHECK(greedy_.live() == live_count_,
-             "PosgScheduler: greedy index live count out of sync");
+  POSG_CHECK(greedy_.live() == serving_count_,
+             "PosgScheduler: greedy index live count out of sync with the serving set");
   POSG_CHECK(greedy_pick() == greedy_pick_reference(),
              "PosgScheduler: incremental greedy diverged from the reference scan");
 
@@ -772,8 +944,13 @@ void PosgScheduler::register_metrics(obs::MetricsRegistry& registry, const std::
   registry.counter_fn(prefix + ".scheduler.epoch", [this] { return epoch_; });
   registry.counter_fn(prefix + ".scheduler.stale_replies", [this] { return stale_replies_; });
   registry.counter_fn(prefix + ".scheduler.rejoins", [this] { return rejoin_count_; });
+  registry.counter_fn(prefix + ".scheduler.drains_begun", [this] { return drains_begun_; });
+  registry.counter_fn(prefix + ".scheduler.retires", [this] { return retires_; });
+  registry.counter_fn(prefix + ".scheduler.drain_cancels", [this] { return drain_cancels_; });
   registry.gauge_fn(prefix + ".scheduler.live_instances",
                     [this] { return static_cast<double>(live_count_); });
+  registry.gauge_fn(prefix + ".scheduler.serving_instances",
+                    [this] { return static_cast<double>(serving_count_); });
   registry.gauge_fn(prefix + ".scheduler.state",
                     [this] { return static_cast<double>(state_); });
   registry.counter_fn(prefix + ".health.suspect_transitions",
@@ -781,6 +958,14 @@ void PosgScheduler::register_metrics(obs::MetricsRegistry& registry, const std::
   registry.counter_fn(prefix + ".health.degraded_transitions",
                       [this] { return health_.degraded_transitions(); });
   registry.counter_fn(prefix + ".health.promotions", [this] { return health_.promotions(); });
+  // Per-instance billing de-rate (1.0 = healthy). The registry is the one
+  // exposition path for these — metrics::ResilienceStats carries the same
+  // values only as a programmatic snapshot / log line, never a second
+  // metrics family.
+  for (common::InstanceId op = 0; op < k_; ++op) {
+    registry.gauge_fn(prefix + ".health.derate." + std::to_string(op),
+                      [this, op] { return derate(op); });
+  }
 }
 
 std::vector<common::InstanceId> PosgScheduler::pending_replies() const {

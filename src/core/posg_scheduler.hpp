@@ -99,6 +99,46 @@ class PosgScheduler final : public Scheduler {
   /// not quarantined.
   void rejoin(common::InstanceId op);
   std::uint64_t rejoin_count() const noexcept { return rejoin_count_; }
+
+  /// Opens a lossless drain of instance `op` (elasticity; DESIGN.md §11).
+  /// The instance leaves the greedy argmin and the round-robin rotation at
+  /// once — no further tuple is routed to it — but stays in the cluster
+  /// while its FIFO queue runs dry. Returns the drain *cut*: Ĉ[op] at this
+  /// moment, which the runtime ships in the DrainRequest so the instance
+  /// can answer with Δ = C_real − cut. Any in-flight epoch completes
+  /// without the drainee (its reply slot is pre-satisfied; a late genuine
+  /// Δ is counted stale), and later epochs skip it entirely. Ĉ[op] is
+  /// frozen until retire() bills the final Δ. Throws std::invalid_argument
+  /// when `op` is out of range, quarantined, already draining, or the last
+  /// serving instance (draining it would stall the stream). If failures
+  /// later leave only draining survivors, their drains are *cancelled* —
+  /// liveness beats planned elasticity (see drain_cancel_count).
+  common::TimeMs begin_drain(common::InstanceId op);
+
+  /// Completes the drain: folds the final Δop (C_real − cut, reported by
+  /// the instance's DrainComplete once its queue ran dry) into Ĉ[op] —
+  /// making it exactly the work the instance truly executed, billed once —
+  /// then removes the instance like a quarantine *except* that its Ĉ is
+  /// discarded, not redistributed: unlike a crash, the drained work really
+  /// ran to completion, and handing it to the survivors would double-bill
+  /// every drained tuple. Returns the final billed Ĉ (the conservation
+  /// tests pin it against the instance's measured cumulated time). The
+  /// retired slot may rejoin() later — that is exactly how a scale-up
+  /// revives it. Throws std::invalid_argument unless `op` is draining.
+  common::TimeMs retire(common::InstanceId op, common::TimeMs final_delta);
+
+  bool is_draining(common::InstanceId op) const;
+  /// Instances receiving new tuples: live and not draining.
+  std::size_t serving_instances() const noexcept { return serving_count_; }
+  /// Draining instances in increasing id order.
+  std::vector<common::InstanceId> draining_instances() const;
+  std::uint64_t drain_begin_count() const noexcept { return drains_begun_; }
+  std::uint64_t retire_count() const noexcept { return retires_; }
+  /// Drains abandoned instead of completed: the drainee died mid-drain, or
+  /// every serving instance failed and the draining survivors were pressed
+  /// back into service.
+  std::uint64_t drain_cancel_count() const noexcept { return drain_cancels_; }
+
   /// Tuples still to be admitted under `op`'s rejoin ramp (0 = not
   /// ramping).
   std::uint64_t ramp_remaining(common::InstanceId op) const;
@@ -236,6 +276,13 @@ class PosgScheduler final : public Scheduler {
   void rebuild_greedy();
   common::InstanceId next_round_robin() noexcept;
   void enter_send_all() noexcept;
+  /// Shared tail of mark_failed and retire: quarantines `op` (leaves the
+  /// candidate set, drops its sketch, abandons its marker, re-derives the
+  /// argmin, walks the degradation ladder). `redistribute` picks the Ĉ
+  /// semantics: a crash hands its share to the serving survivors (the work
+  /// must be redone somewhere); a retirement discards it (the work is
+  /// done).
+  void remove_instance(common::InstanceId op, bool redistribute);
   void refresh_global_mean() noexcept;
   void maybe_complete_epoch() noexcept;
   bool all_live_shipped() const noexcept;
@@ -284,6 +331,14 @@ class PosgScheduler final : public Scheduler {
   std::vector<bool> failed_;
   std::size_t live_count_;
   std::uint64_t stale_replies_ = 0;
+  /// Lossless-drain bookkeeping (begin_drain / retire): a draining
+  /// instance is live but out of rotation; serving_count_ counts live
+  /// minus draining — the set the greedy index and the round-robin walk.
+  std::vector<bool> draining_;
+  std::size_t serving_count_;
+  std::uint64_t drains_begun_ = 0;
+  std::uint64_t retires_ = 0;
+  std::uint64_t drain_cancels_ = 0;
   /// Graceful degradation (extension): straggler state machine, billing
   /// multipliers (1.0 = healthy; > 1 while Degraded), and the Ĉ value at
   /// each instance's marker emission (−1 when no marker went out this

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/elastic.hpp"
 #include "core/instance_tracker.hpp"
 #include "core/overload.hpp"
 #include "engine/completion_recorder.hpp"
@@ -22,6 +23,7 @@ namespace posg::engine {
 using EngineConfig = ::posg::EngineConfig;
 
 class Engine;
+class PosgGrouping;
 
 /// Emission interface handed to spouts and bolts. Routes each emitted
 /// tuple through the grouping of every downstream stream and stages it for
@@ -112,6 +114,11 @@ class Engine {
   /// Post-run statistics for one component.
   ComponentStats stats(const std::string& component) const;
 
+  /// Scale actions the elastic monitor executed, in order (valid after
+  /// run(); empty unless EngineConfig::elastic.enabled). The instance
+  /// field carries the executor's target choice.
+  const std::vector<core::ScaleAction>& scale_events() const noexcept { return scale_events_; }
+
   /// The engine's metrics registry. Every component's executed / emitted /
   /// errors / shed counters are registered here as pull callbacks
   /// (`posg.engine.<component>.*`) over the same atomics stats() reads, so
@@ -176,6 +183,11 @@ class Engine {
   void flush_batch(OutputCollector::PendingBatch& batch);
   void spout_main(std::size_t index, common::InstanceId instance);
   void bolt_main(std::size_t index, common::InstanceId instance);
+  /// Autoscale loop (EngineConfig::elastic.enabled): samples the POSG
+  /// bolt's queue occupancies every elastic_sample_period_ms, feeds the
+  /// ElasticController, and executes its actions through the grouping's
+  /// elastic hooks. Runs in its own thread for the duration of run().
+  void elastic_monitor(std::size_t bolt_index, PosgGrouping* grouping);
 
   EngineConfig config_;
   Topology topology_;
@@ -185,6 +197,11 @@ class Engine {
   std::atomic<common::SeqNo> next_seq_{0};
   bool ran_ = false;
   obs::MetricsRegistry metrics_;
+  /// Elastic monitor state: the stop flag is the only cross-thread member
+  /// (scale_events_ is written by the monitor and read after run() joined
+  /// it — the join is the happens-before edge).
+  std::atomic<bool> elastic_stop_{false};
+  std::vector<core::ScaleAction> scale_events_;
   /// Queue hand-off latency (flush_batch), ns. Populated only when the
   /// POSG_PROFILE CMake option compiled the scoped timers in.
   obs::Histogram* prof_flush_ = nullptr;

@@ -13,6 +13,15 @@ namespace posg::metrics {
 /// instance rejoin. Assembled by the runtime/simulator from the scheduler
 /// and overload-controller accessors — the core library does not depend on
 /// metrics.
+///
+/// This struct is a programmatic snapshot for tests and the summary() log
+/// line, NOT a metrics exposition path. The obs::MetricsRegistry carries
+/// the one queryable truth for the same values: shed counts under
+/// `posg.engine.<bolt>.shed{,_entries,_exits}`, rejoin/health transitions
+/// under `posg.scheduler.rejoins` / `posg.health.*`, and per-instance
+/// de-rates under `posg.health.derate.<op>` (all registered pull-mode by
+/// their owners). Do not push these fields into a registry under new
+/// names — that recreates the double bookkeeping this comment retires.
 struct ResilienceStats {
   /// Tuples dropped (and counted) while shed mode was active.
   std::uint64_t tuples_shed = 0;

@@ -18,6 +18,8 @@ enum class Tag : std::uint8_t {
   kInstanceFailed = 6,
   kRejoinAck = 7,
   kAdmissionGrant = 8,
+  kDrainRequest = 9,
+  kDrainComplete = 10,
 };
 
 class Writer {
@@ -120,6 +122,17 @@ std::vector<std::byte> encode(const Message& message) {
           writer.put(Tag::kAdmissionGrant);
           writer.put(static_cast<std::uint64_t>(value.instance));
           writer.put(value.epoch);
+        } else if constexpr (std::is_same_v<T, DrainRequest>) {
+          writer.put(Tag::kDrainRequest);
+          writer.put(static_cast<std::uint64_t>(value.instance));
+          writer.put(value.epoch);
+          writer.put(value.estimated_cumulated);
+        } else if constexpr (std::is_same_v<T, DrainComplete>) {
+          writer.put(Tag::kDrainComplete);
+          writer.put(static_cast<std::uint64_t>(value.instance));
+          writer.put(value.epoch);
+          writer.put(value.delta);
+          writer.put(value.executed);
         }
       },
       message);
@@ -133,7 +146,7 @@ void debug_validate_frame(std::span<const std::byte> payload) {
   POSG_CHECK(!payload.empty(), "net frame: empty payload (every frame starts with a tag byte)");
   const auto tag = static_cast<std::uint8_t>(payload[0]);
   POSG_CHECK(tag >= static_cast<std::uint8_t>(Tag::kHello) &&
-                 tag <= static_cast<std::uint8_t>(Tag::kAdmissionGrant),
+                 tag <= static_cast<std::uint8_t>(Tag::kDrainComplete),
              "net frame: unknown tag");
   const std::size_t size = payload.size();
   switch (static_cast<Tag>(tag)) {
@@ -173,6 +186,15 @@ void debug_validate_frame(std::span<const std::byte> payload) {
     case Tag::kAdmissionGrant:
       POSG_CHECK(size == 1 + 8 + 8,
                  "net frame: AdmissionGrant must be exactly tag + instance + epoch");
+      break;
+    case Tag::kDrainRequest:
+      POSG_CHECK(size == 1 + 8 + 8 + 8,
+                 "net frame: DrainRequest must be exactly tag + instance + epoch + cut");
+      break;
+    case Tag::kDrainComplete:
+      POSG_CHECK(size == 1 + 8 + 8 + 8 + 8,
+                 "net frame: DrainComplete must be exactly tag + instance + epoch + delta + "
+                 "executed");
       break;
   }
 }
@@ -238,6 +260,23 @@ Message decode(std::span<const std::byte> payload) {
       grant.epoch = reader.take<common::Epoch>();
       reader.expect_exhausted();
       return grant;
+    }
+    case Tag::kDrainRequest: {
+      DrainRequest request;
+      request.instance = static_cast<common::InstanceId>(reader.take<std::uint64_t>());
+      request.epoch = reader.take<common::Epoch>();
+      request.estimated_cumulated = reader.take<common::TimeMs>();
+      reader.expect_exhausted();
+      return request;
+    }
+    case Tag::kDrainComplete: {
+      DrainComplete complete;
+      complete.instance = static_cast<common::InstanceId>(reader.take<std::uint64_t>());
+      complete.epoch = reader.take<common::Epoch>();
+      complete.delta = reader.take<common::TimeMs>();
+      complete.executed = reader.take<std::uint64_t>();
+      reader.expect_exhausted();
+      return complete;
     }
   }
   throw std::invalid_argument("net::decode: unknown tag");

@@ -9,16 +9,18 @@
 
 /// Wire protocol between a POSG scheduler process and operator-instance
 /// processes — the distributed deployment the in-process substrates
-/// emulate. Eight message kinds:
+/// emulate. Ten message kinds:
 ///
 ///   instance -> scheduler:  Hello (registration and rejoin),
 ///                           SketchShipment (Fig. 1.B, via
-///                           sketch/serialize.hpp), SyncReply (Fig. 1.E)
+///                           sketch/serialize.hpp), SyncReply (Fig. 1.E),
+///                           DrainComplete (lossless-drain final Δ)
 ///   scheduler -> instance:  TupleMessage (data + optional piggy-backed
 ///                           SyncRequest, Fig. 1.D), EndOfStream,
 ///                           InstanceFailed (quarantine notification),
 ///                           RejoinAck (rejoin handshake accept),
-///                           AdmissionGrant (admission ramp finished)
+///                           AdmissionGrant (admission ramp finished),
+///                           DrainRequest (lossless-drain open)
 ///
 /// Every message is one length-prefixed socket frame (net/socket.hpp)
 /// starting with a one-byte tag.
@@ -67,8 +69,34 @@ struct AdmissionGrant {
   common::Epoch epoch;
 };
 
+/// Scheduler -> draining instance: elastic scale-down opened a lossless
+/// drain (DESIGN.md §11). Because the link is FIFO, every tuple routed
+/// before this frame has already been executed when the instance reads it
+/// — the queue is dry by construction. `estimated_cumulated` is the
+/// scheduler's Ĉ cut at begin_drain; the instance answers with
+/// DrainComplete carrying Δ = C_real − cut, then exits cleanly.
+struct DrainRequest {
+  common::InstanceId instance;
+  common::Epoch epoch;
+  common::TimeMs estimated_cumulated;
+};
+
+/// Draining instance -> scheduler: the queue ran dry; `delta` is the final
+/// Δop against the DrainRequest's cut and `executed` the instance's total
+/// executed-tuple count (the conservation side of the handshake: the
+/// scheduler checks executed == tuples it routed there). The instance
+/// closes its link right after sending this — the EOF that follows is the
+/// end of a completed drain, not a failure.
+struct DrainComplete {
+  common::InstanceId instance;
+  common::Epoch epoch;
+  common::TimeMs delta;
+  std::uint64_t executed;
+};
+
 using Message = std::variant<Hello, TupleMessage, core::SketchShipment, core::SyncReply,
-                             EndOfStream, InstanceFailed, RejoinAck, AdmissionGrant>;
+                             EndOfStream, InstanceFailed, RejoinAck, AdmissionGrant,
+                             DrainRequest, DrainComplete>;
 
 /// Encodes a message into one frame payload.
 std::vector<std::byte> encode(const Message& message);

@@ -23,6 +23,12 @@ const char* trace_event_name(TraceEventType type) noexcept {
       return "shed_window";
     case TraceEventType::kRejoin:
       return "rejoin";
+    case TraceEventType::kDrainBegin:
+      return "drain_begin";
+    case TraceEventType::kDrainComplete:
+      return "drain_complete";
+    case TraceEventType::kScaleDecision:
+      return "scale_decision";
   }
   return "unknown";
 }

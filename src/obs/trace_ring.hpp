@@ -38,6 +38,16 @@ enum class TraceEventType : std::uint8_t {
   kShedWindow = 5,
   /// Instance re-admitted after quarantine: instance, a = epoch.
   kRejoin = 6,
+  /// Lossless drain opened: instance leaves rotation, a = epoch,
+  /// value = Ĉ cut carried by the DrainRequest.
+  kDrainBegin = 7,
+  /// Drain finished and the instance retired: instance, a = epoch,
+  /// value = final billed Ĉ (cut + final Δ).
+  kDrainComplete = 8,
+  /// ElasticController action: detail = ScaleAction::Kind,
+  /// instance (kRetire only), a = controller sample ordinal,
+  /// value = predicted backlog (ms) at the decision.
+  kScaleDecision = 9,
 };
 
 const char* trace_event_name(TraceEventType type) noexcept;

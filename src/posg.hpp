@@ -32,6 +32,7 @@
 
 // --- core: configuration tree, messages, schedulers ---
 #include "core/config.hpp"
+#include "core/elastic.hpp"
 #include "core/full_knowledge.hpp"
 #include "core/messages.hpp"
 #include "core/posg_scheduler.hpp"
@@ -66,6 +67,7 @@
 // --- sim + workload: the paper's experiments ---
 #include "sim/experiment.hpp"
 #include "sim/simulator.hpp"
+#include "workload/arrival.hpp"
 #include "workload/distributions.hpp"
 #include "workload/exec_time.hpp"
 #include "workload/stream.hpp"

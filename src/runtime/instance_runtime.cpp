@@ -1,5 +1,7 @@
 #include "runtime/instance_runtime.hpp"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "core/instance_tracker.hpp"
@@ -33,6 +35,7 @@ void InstanceRuntime::publish_metrics(const Stats& stats) {
   metrics_.counter(prefix + ".rejoin_acks").add(stats.rejoin_acks);
   metrics_.counter(prefix + ".admission_grants").add(stats.admission_grants);
   metrics_.counter(prefix + ".crashes").add(stats.crashed ? 1 : 0);
+  metrics_.counter(prefix + ".drained").add(stats.drained ? 1 : 0);
   metrics_.gauge(prefix + ".simulated_work_ms").set(stats.simulated_work);
 }
 
@@ -91,6 +94,23 @@ InstanceRuntime::Stats InstanceRuntime::run_loop(net::FrameTransport& link) {
       ++stats.admission_grants;
       continue;
     }
+    if (const auto* drain = std::get_if<net::DrainRequest>(&message)) {
+      // Lossless drain: the link is FIFO, so every tuple the scheduler
+      // routed here arrived (and was executed) before this frame — the
+      // queue is dry by construction. Report the final Δ against the
+      // scheduler's Ĉ cut plus the executed count for the conservation
+      // check, then retire.
+      const common::TimeMs delta =
+          tracker.cumulated_execution_time() - drain->estimated_cumulated;
+      try {
+        link.send_frame(
+            net::encode(net::DrainComplete{id_, drain->epoch, delta, stats.executed}));
+      } catch (const std::system_error&) {
+        // Scheduler gone mid-drain: nothing left to report to either way.
+      }
+      stats.drained = true;
+      break;
+    }
     const auto* tuple = std::get_if<net::TupleMessage>(&message);
     if (tuple == nullptr) {
       continue;  // scheduler-bound message echoed back? ignore defensively
@@ -104,6 +124,12 @@ InstanceRuntime::Stats InstanceRuntime::run_loop(net::FrameTransport& link) {
     const bool straggling = stats.executed + 1 >= config_.straggle_after_executed;
     const common::TimeMs cost =
         config_.cost_model(tuple->item) * (straggling ? config_.cost_scale : 1.0);
+    if (config_.real_sleep_scale > 0.0) {
+      // Elasticity demos need wall-clock reality: make the simulated cost
+      // cost real time so upstream queues genuinely back up.
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          cost * config_.real_sleep_scale));
+    }
     try {
       if (auto shipment = tracker.on_executed(tuple->item, cost)) {
         if (!muted) {

@@ -45,6 +45,10 @@ class InstanceRuntime {
     std::uint64_t admission_grants = 0;
     /// True when a scripted crash (InstanceRuntimeConfig) ended the run.
     bool crashed = false;
+    /// True when a DrainRequest ended the run: the queue ran dry (FIFO
+    /// link — nothing can follow the request), the final Δ was reported
+    /// via DrainComplete, and the instance retired cleanly.
+    bool drained = false;
   };
 
   InstanceRuntime(common::InstanceId id, InstanceRuntimeConfig config);

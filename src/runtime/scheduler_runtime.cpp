@@ -15,11 +15,13 @@ SchedulerRuntime::SchedulerRuntime(const SchedulerRuntimeConfig& config)
       links_(config.instances),
       send_mutexes_(config.instances),
       dead_(config.instances),
+      drain_sent_(config.instances),
       routed_(config.instances) {
   common::require(k_ >= 1, "SchedulerRuntime: need at least one instance");
   for (std::size_t op = 0; op < k_; ++op) {
     send_mutexes_[op] = std::make_unique<std::mutex>();
     dead_[op] = std::make_unique<std::atomic<bool>>(false);
+    drain_sent_[op] = std::make_unique<std::atomic<bool>>(false);
   }
   // Binding is unconditional; whether events flow is the ring's armed
   // flag, so tracing can be toggled at runtime via trace().set_enabled().
@@ -69,6 +71,12 @@ void SchedulerRuntime::register_runtime_metrics() {
     std::lock_guard lock(mutex_);
     return scheduler_.health().promotions();
   });
+  for (common::InstanceId op = 0; op < k_; ++op) {
+    metrics_.gauge_fn("posg.health.derate." + std::to_string(op), [this, op] {
+      std::lock_guard lock(mutex_);
+      return scheduler_.derate(op);
+    });
+  }
   metrics_.counter_fn("posg.runtime.reroutes",
                       [this] { return reroutes_.load(std::memory_order_relaxed); });
   metrics_.counter_fn("posg.runtime.routed", [this] {
@@ -81,6 +89,22 @@ void SchedulerRuntime::register_runtime_metrics() {
   metrics_.gauge_fn("posg.runtime.quarantined", [this] {
     std::lock_guard lock(mutex_);
     return static_cast<double>(k_ - scheduler_.live_instances());
+  });
+  metrics_.counter_fn("posg.scheduler.drains_begun", [this] {
+    std::lock_guard lock(mutex_);
+    return scheduler_.drain_begin_count();
+  });
+  metrics_.counter_fn("posg.scheduler.retires", [this] {
+    std::lock_guard lock(mutex_);
+    return scheduler_.retire_count();
+  });
+  metrics_.counter_fn("posg.scheduler.drain_cancels", [this] {
+    std::lock_guard lock(mutex_);
+    return scheduler_.drain_cancel_count();
+  });
+  metrics_.gauge_fn("posg.scheduler.serving_instances", [this] {
+    std::lock_guard lock(mutex_);
+    return static_cast<double>(scheduler_.serving_instances());
   });
 }
 
@@ -171,6 +195,42 @@ void SchedulerRuntime::send_locked(common::InstanceId op, const std::vector<std:
   links_[op]->send_frame(frame);
 }
 
+bool SchedulerRuntime::request_drain(common::InstanceId op) {
+  common::require(started_, "SchedulerRuntime: request_drain before start");
+  common::require(op < k_, "SchedulerRuntime: request_drain out of range");
+  // Hold this link's send mutex across the scheduler transition *and* the
+  // send: a tuple whose schedule() decision predates the drain either beat
+  // the DrainRequest onto the wire (FIFO ⇒ executed before the instance
+  // reads the request) or observes drain_sent_ under this same mutex and
+  // is rerouted. Acquiring send → mutex_ cannot deadlock: no thread ever
+  // acquires a send mutex while holding mutex_.
+  std::unique_lock send_lock(*send_mutexes_[op]);
+  common::TimeMs cut = 0.0;
+  common::Epoch epoch = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (scheduler_.is_failed(op) || scheduler_.is_draining(op) ||
+        scheduler_.serving_instances() <= 1) {
+      return false;
+    }
+    cut = scheduler_.begin_drain(op);
+    epoch = scheduler_.epoch();
+  }
+  drain_sent_[op]->store(true);
+  try {
+    links_[op]->send_frame(net::encode(net::DrainRequest{op, epoch, cut}));
+  } catch (const std::exception&) {
+    // The drainee died before the request reached it: fall back to the
+    // crash path (mark_failed cancels the drain and redistributes the
+    // frozen cut). Release the send mutex first — handle_failure's
+    // announcements take other links' send mutexes.
+    send_lock.unlock();
+    handle_failure(op, "send failed: drain request");
+    return false;
+  }
+  return true;
+}
+
 bool SchedulerRuntime::handle_failure(common::InstanceId op, const std::string& reason) {
   common::Epoch failed_epoch = 0;
   std::vector<common::InstanceId> survivors;
@@ -193,8 +253,8 @@ bool SchedulerRuntime::handle_failure(common::InstanceId op, const std::string& 
     failed_epoch = scheduler_.epoch();
     quarantine_log_.push_back({op, reason});
     for (common::InstanceId other = 0; other < k_; ++other) {
-      if (!scheduler_.is_failed(other)) {
-        survivors.push_back(other);
+      if (!scheduler_.is_failed(other) && !scheduler_.is_draining(other)) {
+        survivors.push_back(other);  // a drainee's next frame is its exit
       }
     }
   }
@@ -266,7 +326,24 @@ common::InstanceId SchedulerRuntime::route(common::Item item, common::SeqNo seq)
     tuple.item = item;
     tuple.marker = decision.sync_request;
     try {
-      send_locked(decision.instance, net::encode(tuple));
+      bool drained_under_us = false;
+      {
+        std::lock_guard send_lock(*send_mutexes_[decision.instance]);
+        if (drain_sent_[decision.instance]->load()) {
+          // The decision raced request_drain: the DrainRequest is already
+          // on the wire and nothing may follow it (the drainee's dry-queue
+          // guarantee is exactly "no tuple after the request"). Reroute;
+          // the phantom Ĉ bill from schedule() is absorbed by the drain's
+          // final Δ, which measures true executed work against the cut.
+          drained_under_us = true;
+        } else {
+          links_[decision.instance]->send_frame(net::encode(tuple));
+        }
+      }
+      if (drained_under_us) {
+        reroutes_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       routed_[decision.instance].fetch_add(1, std::memory_order_relaxed);
       announce_admission_grants();
       return decision.instance;
@@ -338,6 +415,10 @@ void SchedulerRuntime::rejoin_acceptor_loop(net::Listener* listener) {
       {
         std::lock_guard send_lock(*send_mutexes_[op]);
         links_[op] = std::make_unique<net::SocketTransport>(std::move(*socket));
+        // A slot whose previous life ended in a drain keeps drain_sent_
+        // set so no tuple could follow the DrainRequest; its next life
+        // (this rejoin — elastically, a scale-up) starts clean.
+        drain_sent_[op]->store(false);
       }
       common::TimeMs seed = 0.0;
       common::Epoch epoch = 0;
@@ -392,6 +473,7 @@ void SchedulerRuntime::reader_loop(common::InstanceId op) {
       handle_failure(op, "undecodable frame");
       return;
     }
+    bool retired = false;
     try {
       std::lock_guard lock(mutex_);
       last_feedback_[op] = std::chrono::steady_clock::now();
@@ -399,11 +481,32 @@ void SchedulerRuntime::reader_loop(common::InstanceId op) {
         scheduler_.on_sketches(*shipment);
       } else if (const auto* reply = std::get_if<core::SyncReply>(&message)) {
         scheduler_.on_sync_reply(*reply);
+      } else if (const auto* complete = std::get_if<net::DrainComplete>(&message)) {
+        // End of a lossless drain: bill the final Δ and retire the slot.
+        // A DrainComplete from an instance that is not draining (or that
+        // claims another id) is a protocol violation — retire()'s own
+        // require throws into the catch below.
+        common::require(complete->instance == op,
+                        "DrainComplete: frame claims a different instance id");
+        DrainEvent event;
+        event.instance = op;
+        event.epoch = complete->epoch;
+        event.cut = scheduler_.estimated_loads()[op];  // frozen since begin_drain
+        event.final_delta = complete->delta;
+        event.final_billed = scheduler_.retire(op, complete->delta);
+        event.executed = complete->executed;
+        event.routed = routed_[op].load(std::memory_order_relaxed);
+        drain_log_.push_back(event);
+        dead_[op]->store(true);  // slot is free for a future scale-up rejoin
+        retired = true;
       }
       // Data-path messages echoed at the scheduler are ignored.
     } catch (const std::invalid_argument&) {
       handle_failure(op, "protocol violation in feedback message");
       return;
+    }
+    if (retired) {
+      return;  // the instance exits right after DrainComplete; so do we
     }
   }
 }
@@ -424,12 +527,14 @@ void SchedulerRuntime::finish() {
   draining_.store(true);
   const auto eos = net::encode(net::EndOfStream{});
   for (common::InstanceId op = 0; op < k_; ++op) {
-    bool failed;
+    bool skip;
     {
       std::lock_guard lock(mutex_);
-      failed = scheduler_.is_failed(op);
+      // A draining instance's exit is its DrainComplete, not EndOfStream;
+      // its reader returns when the retirement lands.
+      skip = scheduler_.is_failed(op) || scheduler_.is_draining(op);
     }
-    if (failed) {
+    if (skip) {
       continue;
     }
     try {
@@ -491,6 +596,16 @@ std::uint64_t SchedulerRuntime::stale_replies() const {
 std::vector<common::InstanceId> SchedulerRuntime::rejoin_log() const {
   std::lock_guard lock(mutex_);
   return rejoin_log_;
+}
+
+std::vector<SchedulerRuntime::DrainEvent> SchedulerRuntime::drain_log() const {
+  std::lock_guard lock(mutex_);
+  return drain_log_;
+}
+
+std::size_t SchedulerRuntime::serving_instances() const {
+  std::lock_guard lock(mutex_);
+  return scheduler_.serving_instances();
 }
 
 metrics::ResilienceStats SchedulerRuntime::resilience() const {

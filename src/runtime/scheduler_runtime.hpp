@@ -41,6 +41,22 @@ class SchedulerRuntime {
     std::string reason;
   };
 
+  /// One completed lossless drain (DrainRequest → DrainComplete → retire).
+  /// Conservation holds per event: `executed` (the instance's own count)
+  /// equals `routed` (tuples this runtime successfully sent there), and
+  /// `final_billed` = max(0, cut + final_delta) is the true cumulated
+  /// execution time the retired instance carried out — billed exactly
+  /// once, never redistributed.
+  struct DrainEvent {
+    common::InstanceId instance = 0;
+    common::Epoch epoch = 0;
+    common::TimeMs cut = 0.0;          ///< Ĉ frozen at begin_drain
+    common::TimeMs final_delta = 0.0;  ///< C_real − cut, from DrainComplete
+    common::TimeMs final_billed = 0.0; ///< scheduler's retired Ĉ
+    std::uint64_t executed = 0;        ///< instance-side executed count
+    std::uint64_t routed = 0;          ///< scheduler-side sent count
+  };
+
   explicit SchedulerRuntime(const SchedulerRuntimeConfig& config);
   ~SchedulerRuntime();
 
@@ -75,6 +91,18 @@ class SchedulerRuntime {
   /// ErrorCode::kNoLiveInstance) when no live instance remains.
   common::InstanceId route(common::Item item, common::SeqNo seq);
 
+  /// Opens a lossless drain on instance `op` (elastic scale-down): marks
+  /// it draining in the scheduler (excluded from routing at once, Ĉ cut
+  /// frozen) and sends it a DrainRequest. Because the link is FIFO and
+  /// route() re-checks the drain flag under the per-link send mutex, no
+  /// tuple can follow the request — the instance's queue runs dry by
+  /// construction, it answers DrainComplete (handled on its reader, which
+  /// retires it), and its slot may later rejoin as a scale-up. Returns
+  /// false when `op` cannot drain right now (quarantined, already
+  /// draining, last serving instance, or the send failed — the last case
+  /// quarantines it instead). Safe from any thread after start().
+  bool request_drain(common::InstanceId op);
+
   /// Sends EndOfStream to the survivors, drains the feedback path, joins
   /// the readers and closes every link. Idempotent.
   void finish();
@@ -90,6 +118,10 @@ class SchedulerRuntime {
   std::uint64_t stale_replies() const;
   /// Instances re-admitted through the rejoin handshake, in order.
   std::vector<common::InstanceId> rejoin_log() const;
+  /// Completed lossless drains, in retirement order.
+  std::vector<DrainEvent> drain_log() const;
+  /// Instances currently serving (live and not draining).
+  std::size_t serving_instances() const;
   /// Snapshot of the degradation-layer counters (de-rates, health
   /// transitions, rejoins). Shedding counters stay 0 here — the engine's
   /// OverloadController owns those.
@@ -179,6 +211,13 @@ class SchedulerRuntime {
   std::atomic<bool> stop_acceptor_{false};
   std::vector<QuarantineEvent> quarantine_log_;
   std::vector<common::InstanceId> rejoin_log_;  // guarded by mutex_
+  std::vector<DrainEvent> drain_log_;           // guarded by mutex_
+  /// Set under send_mutexes_[op] immediately before the DrainRequest hits
+  /// the wire; route() re-reads it under the same mutex, so "a tuple never
+  /// follows the DrainRequest on a link" is enforced by mutual exclusion,
+  /// not timing. Cleared by the rejoin acceptor when the slot scales back
+  /// up. Atomic only for the benefit of lock-free observers.
+  std::vector<std::unique_ptr<std::atomic<bool>>> drain_sent_;
   std::atomic<bool> draining_{false};
   std::chrono::steady_clock::time_point drain_deadline_{};
   std::atomic<bool> fatal_{false};

@@ -5,12 +5,14 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/elastic.hpp"
 #include "core/instance_tracker.hpp"
 #include "core/scheduler.hpp"
 #include "metrics/completion.hpp"
 #include "metrics/stats.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/trace_ring.hpp"
+#include "workload/arrival.hpp"
 
 /// Discrete-event simulator of the paper's system model (Sec. II): a
 /// source injecting tuples at a fixed rate into a scheduler S that routes
@@ -41,6 +43,21 @@ class Simulator {
     std::size_t instances = 5;
     /// Fixed inter-tuple arrival delay at the source.
     common::TimeMs inter_arrival = 1.0;
+    /// Time-varying arrival rate: the spacing before the tuple injected at
+    /// time t is inter_arrival / arrival_profile.rate_multiplier(t).
+    /// Default kConstant reproduces the fixed-rate source exactly.
+    workload::ArrivalProfile arrival_profile;
+    /// Elastic autoscaling (requires the scheduler to be a PosgScheduler
+    /// when enabled): the run starts with `initial_instances` serving (the
+    /// remaining slots pre-quarantined spares), samples total backlog
+    /// every `elastic_sample_period`, and executes the controller's
+    /// actions — scale-up via the rejoin/admission-ramp path, lossless
+    /// drain (Ĉ cut frozen, queue runs dry), retire (final Δ billed, never
+    /// redistributed).
+    core::ElasticConfig elastic;
+    common::TimeMs elastic_sample_period = 20.0;
+    /// Serving instances at t = 0 when elastic.enabled (0 means all).
+    std::size_t initial_instances = 0;
     /// One-way latency on the data path (scheduler -> instance).
     common::TimeMs data_latency = 0.0;
     /// Optional per-instance data-path latencies (heterogeneous
@@ -82,6 +99,17 @@ class Simulator {
     /// per-instance de-rates). Filled when the scheduler is a
     /// PosgScheduler; zeroed otherwise.
     metrics::ResilienceStats resilience;
+    /// One executed elastic action (autoscale runs only), in time order.
+    struct ScaleEvent {
+      common::TimeMs time = 0.0;
+      core::ScaleAction action;
+    };
+    std::vector<ScaleEvent> scale_events;
+    /// Integral of the running-instance count over simulated time
+    /// (instance·ms) — the resource-cost side of the elasticity trade. A
+    /// draining instance still counts until its retirement lands. For a
+    /// static run this is simply k × makespan.
+    double instance_ms = 0.0;
   };
 
   Simulator(Config config, CostFunction cost);

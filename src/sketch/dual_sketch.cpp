@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/check.hpp"
@@ -240,6 +242,55 @@ void DualSketch::debug_validate() const {
                  "DualSketch: heavy-hitter count != error + observed");
       POSG_CHECK(std::isfinite(entry.time_sum) && entry.time_sum >= 0.0,
                  "DualSketch: heavy-hitter time sum must be finite and non-negative");
+    }
+  }
+}
+
+void DualSketch::validate_untrusted() const {
+  const auto reject = [](bool ok, const char* why) {
+    if (!ok) {
+      throw std::invalid_argument(std::string("sketch: untrusted content: ") + why);
+    }
+  };
+  // Mirror of debug_validate's mass-conservation block, but thrown: these
+  // are exactly the identities a single flipped byte in a structurally
+  // valid buffer breaks (a counter, a cell, a sign bit), and rejection
+  // here turns frame corruption into a peer quarantine instead of an
+  // abort at the next epoch's validation pass.
+  reject(std::isfinite(total_time_) && total_time_ >= 0.0,
+         "total execution time not finite and non-negative");
+  reject(updates_ > 0 || total_time_ == 0.0, "non-zero execution time with zero updates");
+
+  const std::size_t rows = freq_.rows();
+  const std::size_t cols = freq_.cols();
+  const double w_tolerance = 1e-6 * std::max(1.0, total_time_);
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::uint64_t f_row_total = 0;
+    double w_row_total = 0.0;
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double w = weight_.cell(i, j);
+      reject(std::isfinite(w) && w >= 0.0, "W cell not finite and non-negative");
+      f_row_total += freq_.cell(i, j);
+      w_row_total += w;
+    }
+    if (conservative_) {
+      reject(f_row_total <= updates_, "conservative F row total exceeds update count");
+      reject(w_row_total <= total_time_ + w_tolerance,
+             "conservative W row total exceeds recorded time");
+    } else {
+      reject(f_row_total == updates_, "F row total != update count");
+      reject(std::abs(w_row_total - total_time_) <= w_tolerance,
+             "W row total != recorded execution time");
+    }
+  }
+
+  if (heavy_) {
+    for (const auto& [item, entry] : heavy_->entries()) {
+      (void)item;
+      reject(entry.count >= 1, "monitored heavy item with zero count");
+      reject(entry.error + entry.observed == entry.count, "heavy-hitter count != error + observed");
+      reject(std::isfinite(entry.time_sum) && entry.time_sum >= 0.0,
+             "heavy-hitter time sum not finite and non-negative");
     }
   }
 }

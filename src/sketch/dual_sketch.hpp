@@ -118,6 +118,16 @@ class DualSketch {
   /// boundaries under POSG_DCHECK_IS_ON.
   void debug_validate() const;
 
+  /// Trust-boundary variant of the same mass-conservation invariants for
+  /// sketches rebuilt from untrusted bytes (called by sketch::deserialize):
+  /// throws std::invalid_argument instead of aborting. A corrupt shipment
+  /// is the *peer's* fault — a structurally valid frame can still carry
+  /// flipped counter bytes (gray-fault corruption lands mid-payload), and
+  /// the receiver must quarantine the sender like any other undecodable
+  /// frame rather than fold the poison into its own state and trip
+  /// debug_validate later.
+  void validate_untrusted() const;
+
  private:
   /// Shared tail of both update forms: heavy-hitter side table + totals.
   void note_update(common::Item t, common::TimeMs execution_time) noexcept;

@@ -152,11 +152,16 @@ DualSketch deserialize(std::span<const std::byte> bytes) {
     if (!reader.exhausted()) {
       throw std::invalid_argument("sketch::deserialize: trailing bytes");
     }
+    with_heavy.validate_untrusted();
     return with_heavy;
   }
   if (!reader.exhausted()) {
     throw std::invalid_argument("sketch::deserialize: trailing bytes");
   }
+  // Structure alone does not make wire bytes a sketch: a flipped byte in
+  // a counter or a cell still parses. Reject anything whose content
+  // breaks the Count-Min mass identities before a scheduler bills it.
+  sketch.validate_untrusted();
   return sketch;
 }
 

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+/// Time-varying arrival-rate profiles for elasticity experiments.
+namespace posg::workload {
+
+/// Multiplies a base arrival rate as a function of simulated time. The
+/// source's inter-arrival spacing at time t is
+///
+///     inter_arrival / profile.rate_multiplier(t)
+///
+/// so a multiplier of 20 packs tuples twenty times closer together. Three
+/// shapes cover the elasticity literature's standard stimuli:
+///
+///   kConstant   — the fixed-rate source every steady-state experiment
+///                 uses (multiplier ≡ 1).
+///   kDiurnal    — a smooth day/night sinusoid, 1 + amplitude·sin(2πt/T):
+///                 the slow swell a predictive controller should track
+///                 without ever panicking.
+///   kFlashCrowd — a rectangular ×spike_factor burst over
+///                 [spike_start, spike_start + spike_duration): the
+///                 pathological step change that separates predictive
+///                 scale-up from reactive too-late scale-up.
+struct ArrivalProfile {
+  enum class Kind : std::uint8_t { kConstant = 0, kDiurnal = 1, kFlashCrowd = 2 };
+
+  Kind kind = Kind::kConstant;
+
+  /// kDiurnal: oscillation depth in [0, 1). amplitude 0.5 swings the rate
+  /// between 0.5× and 1.5× base.
+  double amplitude = 0.5;
+  /// kDiurnal: full oscillation period in simulated milliseconds.
+  common::TimeMs period = 10'000.0;
+
+  /// kFlashCrowd: rate multiplier inside the spike window (×20 is the
+  /// canonical flash crowd).
+  double spike_factor = 20.0;
+  /// kFlashCrowd: spike window [spike_start, spike_start + spike_duration).
+  common::TimeMs spike_start = 0.0;
+  common::TimeMs spike_duration = 0.0;
+
+  /// The instantaneous rate multiplier at simulated time `now`. Always
+  /// strictly positive (validated bounds guarantee it).
+  double rate_multiplier(common::TimeMs now) const;
+
+  /// Throws std::invalid_argument when the shape parameters are outside
+  /// their documented domains.
+  void validate() const;
+};
+
+}  // namespace posg::workload

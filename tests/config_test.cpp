@@ -188,6 +188,70 @@ TEST(Config, RejectsZeroDeadlineSamples) {
                         ConfigErrorCode::kMustBePositive));
 }
 
+// -- engine.elastic.* -------------------------------------------------------
+
+TEST(Config, DisabledElasticControllerSkipsTunableValidation) {
+  Config config;
+  ASSERT_FALSE(config.engine.elastic.enabled);  // default: off
+  config.engine.elastic.ewma_alpha = 0.0;
+  config.engine.elastic.min_instances = 0;
+  config.engine.elastic_sample_period_ms = 0.0;
+  EXPECT_TRUE(config.validate().empty());  // never read while disabled
+}
+
+TEST(Config, RejectsBadElasticTunablesWhenEnabled) {
+  Config config;
+  config.engine.elastic.enabled = true;
+  EXPECT_TRUE(config.validate().empty());  // enabled defaults are valid
+
+  config.engine.elastic.ewma_alpha = 1.5;
+  config.engine.elastic.derivative_alpha = kNaN;
+  config.engine.elastic.horizon_samples = -1.0;
+  config.engine.elastic.min_instances = 0;
+  config.engine.elastic.up_hold = 0;
+  config.engine.elastic.down_hold = 0;
+  config.engine.elastic.skew_veto = 1.0;
+  const auto errors = config.validate();
+  EXPECT_TRUE(has_error(errors, "engine.elastic.ewma_alpha", ConfigErrorCode::kOutOfRange));
+  EXPECT_TRUE(has_error(errors, "engine.elastic.derivative_alpha",
+                        ConfigErrorCode::kOutOfRange));
+  EXPECT_TRUE(has_error(errors, "engine.elastic.horizon_samples",
+                        ConfigErrorCode::kOutOfRange));
+  EXPECT_TRUE(has_error(errors, "engine.elastic.min_instances",
+                        ConfigErrorCode::kMustBePositive));
+  EXPECT_TRUE(has_error(errors, "engine.elastic.up_hold", ConfigErrorCode::kMustBePositive));
+  EXPECT_TRUE(has_error(errors, "engine.elastic.down_hold", ConfigErrorCode::kMustBePositive));
+  EXPECT_TRUE(has_error(errors, "engine.elastic.skew_veto", ConfigErrorCode::kOutOfRange));
+}
+
+TEST(Config, RejectsElasticThresholdAndBoundOrderingViolations) {
+  Config config;
+  config.engine.elastic.enabled = true;
+  config.engine.elastic.min_instances = 4;
+  config.engine.elastic.max_instances = 2;  // nonzero and below the floor
+  config.engine.elastic.down_backlog_per_instance = config.engine.elastic.up_backlog_per_instance;
+  const auto errors = config.validate();
+  EXPECT_TRUE(has_error(errors, "engine.elastic.max_instances", ConfigErrorCode::kOrdering));
+  EXPECT_TRUE(has_error(errors, "engine.elastic.down_backlog_per_instance",
+                        ConfigErrorCode::kOrdering));
+
+  // max_instances == 0 is the documented "unbounded" value, not an error.
+  config.engine.elastic.max_instances = 0;
+  config.engine.elastic.down_backlog_per_instance = 0.0;
+  EXPECT_TRUE(config.validate().empty());
+}
+
+TEST(Config, RejectsBadElasticSamplePeriodOnlyWhenEnabled) {
+  Config config;
+  config.engine.elastic.enabled = true;
+  config.engine.elastic_sample_period_ms = 0.0;
+  EXPECT_TRUE(has_error(config.validate(), "engine.elastic_sample_period_ms",
+                        ConfigErrorCode::kMustBePositive));
+  config.engine.elastic_sample_period_ms = kInf;
+  EXPECT_TRUE(has_error(config.validate(), "engine.elastic_sample_period_ms",
+                        ConfigErrorCode::kMustBePositive));
+}
+
 // -- runtime.* --------------------------------------------------------------
 
 TEST(Config, RejectsZeroInstances) {
@@ -233,6 +297,18 @@ TEST(Config, RejectsBadInstanceFields) {
   config.instance.cost_scale = kNaN;
   EXPECT_TRUE(has_error(config.validate(), "instance.cost_scale",
                         ConfigErrorCode::kMustBePositive));
+}
+
+TEST(Config, RejectsBadRealSleepScale) {
+  Config config;
+  config.instance.real_sleep_scale = -0.5;
+  EXPECT_TRUE(has_error(config.validate(), "instance.real_sleep_scale",
+                        ConfigErrorCode::kOutOfRange));
+  config.instance.real_sleep_scale = kNaN;
+  EXPECT_TRUE(has_error(config.validate(), "instance.real_sleep_scale",
+                        ConfigErrorCode::kOutOfRange));
+  config.instance.real_sleep_scale = 0.0;  // documented "disabled" value
+  EXPECT_TRUE(config.validate().empty());
 }
 
 // -- whole-tree behaviour ---------------------------------------------------

@@ -133,6 +133,23 @@ TEST(Protocol, AllMessageKindsRoundTrip) {
     EXPECT_EQ(decoded.instance, 4u);
     EXPECT_EQ(decoded.epoch, 11u);
   }
+  // DrainRequest
+  {
+    const auto decoded = std::get<net::DrainRequest>(
+        net::decode(net::encode(net::DrainRequest{3, 7, 512.25})));
+    EXPECT_EQ(decoded.instance, 3u);
+    EXPECT_EQ(decoded.epoch, 7u);
+    EXPECT_DOUBLE_EQ(decoded.estimated_cumulated, 512.25);
+  }
+  // DrainComplete (negative delta: the cut over-estimated the real work)
+  {
+    const auto decoded = std::get<net::DrainComplete>(
+        net::decode(net::encode(net::DrainComplete{3, 7, -12.5, 4096})));
+    EXPECT_EQ(decoded.instance, 3u);
+    EXPECT_EQ(decoded.epoch, 7u);
+    EXPECT_DOUBLE_EQ(decoded.delta, -12.5);
+    EXPECT_EQ(decoded.executed, 4096u);
+  }
 }
 
 TEST(Protocol, RejectsMalformedPayloads) {
@@ -145,6 +162,12 @@ TEST(Protocol, RejectsMalformedPayloads) {
   auto trailing = net::encode(net::EndOfStream{});
   trailing.push_back(std::byte{0});
   EXPECT_THROW(net::decode(trailing), std::invalid_argument);
+  auto short_drain = net::encode(net::DrainRequest{1, 2, 3.0});
+  short_drain.pop_back();
+  EXPECT_THROW(net::decode(short_drain), std::invalid_argument);
+  auto long_complete = net::encode(net::DrainComplete{1, 2, 3.0, 4});
+  long_complete.push_back(std::byte{0xAB});
+  EXPECT_THROW(net::decode(long_complete), std::invalid_argument);
 }
 
 /// Full distributed run: one scheduler, two operator-instance peers, real

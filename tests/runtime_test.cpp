@@ -480,6 +480,115 @@ TEST(SchedulerRuntime, LastInstanceDeathIsNonFatalWhenRejoinAllowed) {
   EXPECT_GE(replacement->stats.executed, 500u);
 }
 
+/// Lossless drain end-to-end, in process: mid-run, instance 1 receives a
+/// DrainRequest, finishes every queued tuple (FIFO link — nothing follows
+/// the request), reports its final Δ via DrainComplete, and is retired.
+/// Conservation: every tuple routed to it was executed; its final bill is
+/// cut + Δ, landed in Ĉ exactly once; the run finishes on the survivors
+/// with no quarantine anywhere.
+TEST(SchedulerRuntime, DrainRetiresInstanceLosslessly) {
+  const std::size_t k = 3;
+  auto config = test_runtime_config(k);
+  SchedulerRuntime rt(config);
+
+  InstanceRuntimeConfig instance_config;
+  instance_config.posg = config.posg;
+  std::vector<std::unique_ptr<TestInstance>> instances;
+  for (common::InstanceId op = 0; op < k; ++op) {
+    auto [sched_end, inst_end] = net::socket_pair();
+    rt.attach(op, std::make_unique<net::SocketTransport>(std::move(sched_end)));
+    instances.push_back(spawn_instance(op, instance_config, std::move(inst_end)));
+  }
+  rt.start();
+  route_stream(rt, 0, 3000);
+  ASSERT_TRUE(rt.request_drain(1));
+  EXPECT_FALSE(rt.request_drain(1));  // already draining: refused, not doubled
+
+  // The DrainComplete arrives on the feedback path; keep traffic flowing
+  // to the survivors while it lands.
+  common::SeqNo seq = 3000;
+  for (int i = 0; i < 20000 && rt.drain_log().empty(); ++i) {
+    rt.route((seq * 37) % 64, seq);
+    ++seq;
+    if ((seq & 15) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  const auto log = rt.drain_log();
+  ASSERT_EQ(log.size(), 1u);
+  route_stream(rt, seq, seq + 2000);
+  seq += 2000;
+  flush_to_run(rt, seq);
+  rt.finish();
+  for (auto& instance : instances) {
+    instance->join();
+  }
+
+  const auto& event = log.front();
+  EXPECT_EQ(event.instance, 1u);
+  EXPECT_EQ(event.executed, event.routed);  // nothing lost in the drain
+  EXPECT_EQ(instances[1]->stats.executed, event.routed);
+  EXPECT_TRUE(instances[1]->stats.drained);
+  EXPECT_FALSE(instances[1]->stats.crashed);
+  EXPECT_NEAR(event.final_billed, std::max(0.0, event.cut + event.final_delta), 1e-9);
+  EXPECT_EQ(rt.serving_instances(), 2u);
+  // The retired slot leaves the candidate set through the same bookkeeping
+  // as a fault (so it can rejoin on a later scale-up) — but a drain is a
+  // clean exit: the quarantine *log*, the fault record, stays empty.
+  EXPECT_EQ(rt.quarantined(), (std::vector<common::InstanceId>{1}));
+  EXPECT_TRUE(rt.quarantine_log().empty());
+  EXPECT_EQ(rt.state(), core::PosgScheduler::State::kRun);
+  EXPECT_FALSE(instances[0]->stats.crashed);
+  EXPECT_FALSE(instances[2]->stats.crashed);
+}
+
+/// Liveness beats elasticity: with the first instance draining, the last
+/// serving one must refuse to drain — an empty cluster is never a valid
+/// scale-down target.
+TEST(SchedulerRuntime, DrainOfTheLastServingInstanceIsRefused) {
+  const std::size_t k = 2;
+  auto config = test_runtime_config(k);
+  SchedulerRuntime rt(config);
+
+  InstanceRuntimeConfig instance_config;
+  instance_config.posg = config.posg;
+  std::vector<std::unique_ptr<TestInstance>> instances;
+  for (common::InstanceId op = 0; op < k; ++op) {
+    auto [sched_end, inst_end] = net::socket_pair();
+    rt.attach(op, std::make_unique<net::SocketTransport>(std::move(sched_end)));
+    instances.push_back(spawn_instance(op, instance_config, std::move(inst_end)));
+  }
+  rt.start();
+  route_stream(rt, 0, 1000);
+  ASSERT_TRUE(rt.request_drain(0));
+  EXPECT_FALSE(rt.request_drain(1));  // sole survivor: refused
+
+  // The whole remaining stream lands on instance 1.
+  common::SeqNo seq = 1000;
+  for (int i = 0; i < 20000 && rt.drain_log().empty(); ++i) {
+    rt.route((seq * 37) % 64, seq);
+    ++seq;
+    if ((seq & 15) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_EQ(rt.drain_log().size(), 1u);
+  EXPECT_FALSE(rt.request_drain(1));  // still the sole survivor after retirement
+  route_stream(rt, seq, seq + 1000);
+  seq += 1000;
+  flush_to_run(rt, seq);
+  rt.finish();
+  for (auto& instance : instances) {
+    instance->join();
+  }
+
+  EXPECT_TRUE(instances[0]->stats.drained);
+  EXPECT_FALSE(instances[1]->stats.drained);
+  EXPECT_FALSE(instances[1]->stats.crashed);
+  EXPECT_EQ(rt.serving_instances(), 1u);
+  EXPECT_TRUE(rt.quarantine_log().empty());  // no fault anywhere in the run
+}
+
 TEST(InstanceRuntime, SurvivesCorruptTupleFrames) {
   // Satellite of the fault model: a corrupt frame reaching an instance is
   // dropped and counted; the instance keeps executing.

@@ -350,4 +350,44 @@ TEST(Serialize, RejectsTrailingGarbage) {
   EXPECT_THROW(sketch::deserialize(bytes), std::invalid_argument);
 }
 
+// Gray-fault corruption XORs one byte of an otherwise valid frame, which
+// keeps the buffer structurally parseable while breaking the Count-Min
+// mass identities. Deserialize must reject the *content* (so the runtime
+// quarantines the peer) rather than hand a poisoned sketch to the
+// scheduler, whose own debug_validate would abort the process.
+TEST(Serialize, RejectsCorruptedUpdateCountByte) {
+  DualSketch ds(SketchDims{2, 8}, 5);
+  ds.update(1, 2.0);
+  auto bytes = serialize(ds);
+  // Layout: magic(4) + version(4) + seed(8) + rows(8) + cols(8) = 32, then
+  // the u64 update count; flip a high byte so the total no longer matches
+  // any F row sum.
+  bytes[32 + 5] ^= std::byte{0x5E};
+  EXPECT_THROW(sketch::deserialize(bytes), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsCorruptedFrequencyCellByte) {
+  DualSketch ds(SketchDims{2, 8}, 5);
+  ds.update(1, 2.0);
+  auto bytes = serialize(ds);
+  // F cells start after the 56-byte fixed header; breaking any one cell
+  // breaks that row's total-vs-update-count identity.
+  bytes[56] ^= std::byte{0x01};
+  EXPECT_THROW(sketch::deserialize(bytes), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsNegativeWeightCell) {
+  DualSketch ds(SketchDims{2, 8}, 5);
+  ds.update(1, 2.0);
+  auto bytes = serialize(ds);
+  // Flip the sign bit of every W cell's top byte: at least one non-zero
+  // cell goes negative (the zero cells stay -0.0 == 0.0, so the row-total
+  // check alone would miss a sign flip on a zero).
+  const std::size_t w_begin = 56 + 2 * 8 * sizeof(std::uint64_t);
+  for (std::size_t cell = 0; cell < 2 * 8; ++cell) {
+    bytes[w_begin + cell * sizeof(double) + 7] ^= std::byte{0x80};
+  }
+  EXPECT_THROW(sketch::deserialize(bytes), std::invalid_argument);
+}
+
 }  // namespace

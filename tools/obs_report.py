@@ -60,10 +60,40 @@ def print_table(title, rows, headers):
         print("  " + "  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
 
 
+def report_resilience(counters, gauges):
+    """One-truth view of the degradation/elasticity counters.
+
+    These rows are picked straight out of the registry snapshot — the same
+    names the counters/gauges tables show — so this section is a lens, not
+    a second bookkeeping path (metrics::ResilienceStats mirrors the same
+    sources only as a log line).
+    """
+    rows = []
+    for name, value in sorted(counters.items()):
+        if (
+            name.endswith((".shed", ".shed_entries", ".shed_exits"))
+            or name.startswith("posg.health.")
+            or name
+            in (
+                "posg.scheduler.rejoins",
+                "posg.scheduler.drains_begun",
+                "posg.scheduler.retires",
+                "posg.scheduler.drain_cancels",
+            )
+        ):
+            rows.append((name, fmt_value(value)))
+    for name, value in sorted(gauges.items()):
+        if name.startswith("posg.health.derate."):
+            rows.append((name, fmt_value(value)))
+    print_table("resilience / elasticity", rows, ("name", "value"))
+
+
 def report_metrics(snapshot):
     counters = snapshot.get("counters", {})
     gauges = snapshot.get("gauges", {})
     histograms = snapshot.get("histograms", {})
+
+    report_resilience(counters, gauges)
 
     print_table(
         "counters",
@@ -97,9 +127,38 @@ def report_metrics(snapshot):
     )
 
 
+# TraceEventType payload conventions for the elasticity events
+# (src/obs/trace_ring.hpp): `a` is the epoch (drains, rejoin) or the
+# controller sample ordinal (scale_decision); `value` is the Ĉ cut /
+# final bill / predicted backlog; scale_decision's `detail` is the
+# core::ScaleAction::Kind enumerator.
+SCALE_TIMELINE_TYPES = ("rejoin", "drain_begin", "drain_complete", "scale_decision")
+SCALE_ACTION_NAMES = {0: "none", 1: "scale_up", 2: "drain", 3: "retire"}
+
+
+def scale_timeline_row(event):
+    kind = event.get("type")
+    instance = event.get("instance", 0)
+    if instance == 0xFFFFFFFF:
+        instance = "-"  # kNoInstance: the executor picks the slot, not the controller
+    a = event.get("a", 0)
+    value = event.get("value", 0.0)
+    if kind == "scale_decision":
+        action = SCALE_ACTION_NAMES.get(event.get("detail", 0), "?")
+        return (event.get("tick", 0), f"scale_decision:{action}", instance,
+                f"sample={a}", f"predicted={fmt_value(value)}ms")
+    detail = {
+        "drain_begin": f"cut={fmt_value(value)}ms",
+        "drain_complete": f"billed={fmt_value(value)}ms",
+        "rejoin": "",
+    }[kind]
+    return (event.get("tick", 0), kind, instance, f"epoch={a}", detail)
+
+
 def report_trace(path):
     by_type = Counter()
     by_instance = Counter()
+    scale_rows = []
     first_tick = last_tick = None
     with open(path, encoding="utf-8") as f:
         for line in f:
@@ -110,6 +169,8 @@ def report_trace(path):
             by_type[event.get("type", "?")] += 1
             if event.get("type") == "schedule_decision":
                 by_instance[event.get("instance", 0)] += 1
+            if event.get("type") in SCALE_TIMELINE_TYPES:
+                scale_rows.append(scale_timeline_row(event))
             tick = event.get("tick", 0)
             first_tick = tick if first_tick is None else min(first_tick, tick)
             last_tick = tick if last_tick is None else max(last_tick, tick)
@@ -126,6 +187,13 @@ def report_trace(path):
             "schedule decisions by instance",
             [(op, n) for op, n in sorted(by_instance.items())],
             ("instance", "count"),
+        )
+    if scale_rows:
+        scale_rows.sort(key=lambda r: r[0])
+        print_table(
+            "scale-event timeline (rejoins, drains, controller decisions)",
+            scale_rows,
+            ("tick", "event", "instance", "at", "detail"),
         )
 
 

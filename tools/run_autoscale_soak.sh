@@ -1,0 +1,152 @@
+#!/usr/bin/env bash
+# Autoscale soak for the elastic runtime: repeatedly runs the forked
+# distributed_posg example under seeded flash-crowd campaigns overlaid on
+# gray faults (a straggler de-rated mid-run) and asserts the invariants
+# every elastic run must keep regardless of what the controller decided:
+#
+#   1. routing conservation — at-most-once delivery survives forks and
+#      retires: instances never execute more tuples than the scheduler
+#      routed (CHAOS conservation=ok),
+#   2. lossless drains — every completed drain executed exactly the tuples
+#      routed to that incarnation, and the final Δ was billed once
+#      (ELASTIC ... conservation=ok on the summary line, no per-drain
+#      conservation=violated),
+#   3. eventual recovery — the run drains the stream and exits 0 with
+#      CHAOS recovered=yes, or degrades *explicitly* (exit 1 with a
+#      "fatal:" line); anything else (crash, hang past the wall-clock
+#      bound, silent bad exit) fails the soak,
+#   4. liveness of the controller — across the whole soak at least one
+#      campaign actually scaled (a controller that never acts under a
+#      ×8..×15 spike from half capacity is a regression, not calm).
+#
+# Usage:
+#   tools/run_autoscale_soak.sh [build-dir]
+#
+# Environment:
+#   AUTOSCALE_SEED=<n>     base seed (default 1). Iteration i runs seed
+#                          AUTOSCALE_SEED+i, so a failure report's seed
+#                          replays that exact campaign:
+#                            AUTOSCALE_SEED=<seed> AUTOSCALE_ITERS=1 \
+#                              tools/run_autoscale_soak.sh
+#   AUTOSCALE_ITERS=<n>    campaigns to run (default 3)
+#   AUTOSCALE_TIMEOUT=<s>  wall-clock bound per campaign, seconds (default 120)
+#   AUTOSCALE_K=<n>        instance ceiling per campaign (default 4)
+#   AUTOSCALE_M=<n>        tuples per campaign (default 20000)
+#   AUTOSCALE_METRICS_OUT=<dir>
+#                          keep each campaign's observability dump: the
+#                          final metrics snapshot (metrics_seed<N>.json,
+#                          posg-metrics/1) and the trace-ring JSONL
+#                          (trace_seed<N>.jsonl) whose scale-event timeline
+#                          tools/obs_report.py renders offline.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+example="${build_dir}/examples/distributed_posg"
+
+base_seed="${AUTOSCALE_SEED:-1}"
+iters="${AUTOSCALE_ITERS:-3}"
+per_run_timeout="${AUTOSCALE_TIMEOUT:-120}"
+k="${AUTOSCALE_K:-4}"
+m="${AUTOSCALE_M:-20000}"
+metrics_out="${AUTOSCALE_METRICS_OUT:-}"
+
+if [[ -n "${metrics_out}" ]]; then
+  mkdir -p "${metrics_out}"
+fi
+
+if [[ ! -x "${example}" ]]; then
+  echo "run_autoscale_soak: ${example} not found or not executable." >&2
+  echo "Build first:  cmake -B '${build_dir}' -S '${repo_root}' && cmake --build '${build_dir}' -j" >&2
+  exit 1
+fi
+
+workdir="$(mktemp -d /tmp/posg_autoscale.XXXXXX)"
+trap 'rm -rf "${workdir}"' EXIT
+
+fail() {
+  local seed="$1"
+  shift
+  echo "" >&2
+  echo "AUTOSCALE SOAK FAILED at seed ${seed}: $*" >&2
+  echo "Replay with:  AUTOSCALE_SEED=${seed} AUTOSCALE_ITERS=1 tools/run_autoscale_soak.sh '${build_dir}'" >&2
+  exit 1
+}
+
+total_actions=0
+for ((i = 0; i < iters; ++i)); do
+  seed=$((base_seed + i))
+  stats_dir="${workdir}/run_${seed}"
+  log="${workdir}/run_${seed}.log"
+  mkdir -p "${stats_dir}"
+
+  # The campaign shape is a pure function of the seed: where the cluster
+  # starts relative to its ceiling, how hard and when the flash crowd
+  # hits, and which instance straggles all rotate with it.
+  initial=$((1 + seed % (k - 1)))
+  spike_factor=$((8 + seed % 8))
+  spike_at=$((300 + (seed % 4) * 100))
+  spike_for=$((600 + (seed % 3) * 200))
+  slow_id=$((seed % k))
+  slow_factor=$((2 + seed % 3))
+
+  obs_args=()
+  if [[ -n "${metrics_out}" ]]; then
+    obs_args+=(--metrics-out "${metrics_out}/metrics_seed${seed}.json"
+               --trace-out "${metrics_out}/trace_seed${seed}.jsonl")
+  fi
+
+  echo "autoscale campaign seed=${seed}: k=${k} m=${m} initial=${initial}" \
+       "spike=x${spike_factor}@${spike_at}ms+${spike_for}ms slow=${slow_id}x${slow_factor}"
+  rc=0
+  timeout --kill-after=10 "${per_run_timeout}" \
+    "${example}" --k "${k}" --m "${m}" \
+    --autoscale --initial "${initial}" \
+    --spike-factor "${spike_factor}" --spike-at-ms "${spike_at}" \
+    --spike-for-ms "${spike_for}" \
+    --fault-seed "${seed}" \
+    --slow "${slow_id}" --slow-factor "${slow_factor}" \
+    --stats-dir "${stats_dir}" "${obs_args[@]}" > "${log}" 2>&1 || rc=$?
+
+  if [[ ${rc} -eq 124 || ${rc} -eq 137 ]]; then
+    tail -40 "${log}" >&2
+    fail "${seed}" "campaign exceeded the ${per_run_timeout}s wall-clock bound (no eventual recovery)"
+  fi
+  if [[ ${rc} -ne 0 ]]; then
+    if [[ ${rc} -ne 1 ]] || ! grep -q '^fatal:' "${log}"; then
+      tail -40 "${log}" >&2
+      fail "${seed}" "exit code ${rc} without an explicit fatal: line"
+    fi
+    echo "  degraded explicitly (exit 1 with fatal:) — allowed"
+  fi
+  if ! grep -q '^CHAOS .*conservation=ok' "${log}"; then
+    tail -40 "${log}" >&2
+    fail "${seed}" "routing conservation violated (executed > routed) or summary missing"
+  fi
+  if ! grep -q '^ELASTIC scale_ups=.*conservation=ok' "${log}"; then
+    tail -40 "${log}" >&2
+    fail "${seed}" "elastic summary missing or a completed drain lost/duplicated tuples"
+  fi
+  if grep -q '^ELASTIC drain .*conservation=violated' "${log}"; then
+    tail -40 "${log}" >&2
+    fail "${seed}" "a completed drain executed tuples never routed to it"
+  fi
+  if [[ ${rc} -eq 0 ]] && ! grep -q '^CHAOS recovered=yes' "${log}"; then
+    tail -40 "${log}" >&2
+    fail "${seed}" "clean exit without recovered=yes"
+  fi
+
+  summary="$(grep '^ELASTIC scale_ups=' "${log}")"
+  scale_ups="$(sed -n 's/^ELASTIC scale_ups=\([0-9]*\).*/\1/p' <<< "${summary}")"
+  drains="$(sed -n 's/.* drains=\([0-9]*\).*/\1/p' <<< "${summary}")"
+  total_actions=$((total_actions + scale_ups + drains))
+  grep -E '^(CHAOS|ELASTIC) ' "${log}" | grep -v '^ELASTIC event' | sed 's/^/  /'
+done
+
+if [[ ${total_actions} -eq 0 ]]; then
+  fail "${base_seed}..$((base_seed + iters - 1))" \
+    "controller never scaled across ${iters} flash-crowd campaign(s)"
+fi
+
+echo ""
+echo "autoscale soak passed: ${iters} campaign(s), seeds ${base_seed}..$((base_seed + iters - 1)), ${total_actions} scale action(s)"
