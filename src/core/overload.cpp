@@ -22,7 +22,7 @@ bool OverloadController::sample(double saturation) {
   if (!config_.enabled) {
     return false;
   }
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (shedding_) {
     if (saturation <= config_.low_watermark) {
       shedding_ = false;
@@ -45,7 +45,8 @@ bool OverloadController::sample(double saturation) {
 }
 
 void OverloadController::trace_edge(bool entered, double saturation) const {
-  // mutex_ held by the caller; the ring itself is internally synchronized.
+  // REQUIRES(mutex_) — the ring itself is internally synchronized (and
+  // lower-ranked: kOverload -> kTraceRing).
   if (trace_ == nullptr) {
     return;
   }
@@ -59,32 +60,32 @@ void OverloadController::trace_edge(bool entered, double saturation) const {
 }
 
 bool OverloadController::shedding() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return shedding_;
 }
 
 void OverloadController::note_shed(std::uint64_t count) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   shed_ += count;
 }
 
 std::uint64_t OverloadController::shed() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return shed_;
 }
 
 std::uint64_t OverloadController::entries() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_;
 }
 
 std::uint64_t OverloadController::exits() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return exits_;
 }
 
 void OverloadController::debug_validate() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   POSG_CHECK(entries_ == exits_ + (shedding_ ? 1 : 0),
              "OverloadController: entry/exit alternation broken");
   POSG_CHECK(shed_ == 0 || entries_ >= 1, "OverloadController: tuples shed outside shed mode");

@@ -1,8 +1,8 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 
+#include "common/sync.hpp"
 #include "obs/trace_ring.hpp"
 
 /// Overload control for sustained input bursts (DESIGN.md "Fault model and
@@ -65,8 +65,10 @@ class OverloadController {
   /// exit; value = the saturation sample at the edge; a = tuples shed so
   /// far; component = the caller-chosen stage index). Edges are rare, so
   /// events publish directly under the controller's mutex. Not owned;
-  /// nullptr unbinds. Call before sharing the controller across threads.
-  void bind_trace(obs::TraceRing* trace, std::uint16_t component = 0) noexcept {
+  /// nullptr unbinds. Takes mutex_ so a late bind against an already-shared
+  /// controller is still race-free.
+  void bind_trace(obs::TraceRing* trace, std::uint16_t component = 0) {
+    MutexLock lock(mutex_);
     trace_ = trace;
     trace_component_ = component;
   }
@@ -77,19 +79,20 @@ class OverloadController {
   void debug_validate() const;
 
  private:
-  void trace_edge(bool entered, double saturation) const;
+  void trace_edge(bool entered, double saturation) const REQUIRES(mutex_);
 
   OverloadConfig config_;
-  mutable std::mutex mutex_;  // guards every mutable member below
-  bool shedding_ = false;
-  std::size_t saturated_streak_ = 0;
-  std::uint64_t shed_ = 0;
-  std::uint64_t entries_ = 0;
-  std::uint64_t exits_ = 0;
-  /// Optional ShedWindow sink (not owned; see bind_trace). Written only
-  /// before the controller is shared, read under mutex_ in sample().
-  obs::TraceRing* trace_ = nullptr;
-  std::uint16_t trace_component_ = 0;
+  // kOverload: the controller publishes ShedWindow events into the (leaf,
+  // kTraceRing-ranked) trace ring while holding this lock.
+  mutable Mutex mutex_{"core::OverloadController::mutex_", lock_rank::kOverload};
+  bool shedding_ GUARDED_BY(mutex_) = false;
+  std::size_t saturated_streak_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t shed_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t entries_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t exits_ GUARDED_BY(mutex_) = 0;
+  /// Optional ShedWindow sink (not owned; see bind_trace).
+  obs::TraceRing* trace_ GUARDED_BY(mutex_) = nullptr;
+  std::uint16_t trace_component_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace posg::core

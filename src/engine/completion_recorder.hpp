@@ -1,9 +1,9 @@
 #pragma once
 
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "common/types.hpp"
 #include "metrics/completion.hpp"
 
@@ -19,17 +19,17 @@ namespace posg::engine {
 class CompletionRecorder {
  public:
   void record(common::SeqNo seq, common::TimeMs completion) {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     samples_.emplace_back(seq, completion);
   }
 
   std::size_t count() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return samples_.size();
   }
 
   metrics::CompletionSeries series() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     // Fold duplicates (fan-out) by keeping the latest completion per seq.
     std::vector<common::TimeMs> best;
     std::vector<bool> seen;
@@ -53,8 +53,10 @@ class CompletionRecorder {
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<std::pair<common::SeqNo, common::TimeMs>> samples_;
+  // Leaf lock (lock_rank::kQueue tier): record() is called from executor
+  // hot paths that hold no other posg lock.
+  mutable Mutex mutex_{"engine::CompletionRecorder::mutex_", lock_rank::kQueue};
+  std::vector<std::pair<common::SeqNo, common::TimeMs>> samples_ GUARDED_BY(mutex_);
 };
 
 }  // namespace posg::engine

@@ -13,7 +13,7 @@ PosgGrouping::PosgGrouping(std::size_t k, const core::PosgConfig& config,
 PosgGrouping::~PosgGrouping() {
   if (delay_thread_.joinable()) {
     {
-      std::lock_guard lock(delay_mutex_);
+      MutexLock lock(delay_mutex_);
       stopping_ = true;
     }
     delay_cv_.notify_all();
@@ -22,14 +22,14 @@ PosgGrouping::~PosgGrouping() {
 }
 
 Route PosgGrouping::route(const Tuple& tuple, std::size_t k) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   common::require(k == scheduler_.instances(), "PosgGrouping: instance count mismatch");
   const core::Decision decision = scheduler_.schedule(tuple.item, tuple.seq);
   return Route{decision.instance, decision.sync_request};
 }
 
 void PosgGrouping::deliver_now(const Delivery& delivery) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (delivery.shipment) {
     scheduler_.on_sketches(*delivery.shipment);
   }
@@ -45,7 +45,7 @@ void PosgGrouping::on_sketches(const core::SketchShipment& shipment) {
     return;
   }
   {
-    std::lock_guard lock(delay_mutex_);
+    MutexLock lock(delay_mutex_);
     delayed_.push_back(std::move(delivery));
   }
   delay_cv_.notify_one();
@@ -58,20 +58,30 @@ void PosgGrouping::on_sync_reply(const core::SyncReply& reply) {
     return;
   }
   {
-    std::lock_guard lock(delay_mutex_);
+    MutexLock lock(delay_mutex_);
     delayed_.push_back(std::move(delivery));
   }
   delay_cv_.notify_one();
 }
 
 void PosgGrouping::delay_worker() {
-  std::unique_lock lock(delay_mutex_);
+  MutexLock lock(delay_mutex_);
   while (true) {
-    if (delayed_.empty()) {
-      delay_cv_.wait(lock, [&] { return stopping_ || !delayed_.empty(); });
-    } else {
-      delay_cv_.wait_until(lock, delayed_.front().due,
-                           [&] { return stopping_ || Clock::now() >= delayed_.front().due; });
+    // Explicit wait loops (no predicate lambdas) so the guarded reads stay
+    // inside the capability scope the thread-safety analysis can see.
+    while (!stopping_ && delayed_.empty()) {
+      delay_cv_.wait(lock);
+    }
+    if (!delayed_.empty() && !stopping_) {
+      // Deliveries are pushed in due order (one writer clock, constant
+      // delay), so the front's deadline is the earliest; caching it across
+      // the wait is safe because push_back never reorders the front.
+      const Clock::time_point due = delayed_.front().due;
+      while (!stopping_ && Clock::now() < due) {
+        if (delay_cv_.wait_until(lock, due) == std::cv_status::timeout) {
+          break;
+        }
+      }
     }
     if (stopping_) {
       // Flush whatever is queued so no control message is lost on shutdown.
@@ -95,73 +105,73 @@ void PosgGrouping::delay_worker() {
 }
 
 std::optional<double> PosgGrouping::cost_estimate(const Tuple& tuple) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return scheduler_.estimate(tuple.item);
 }
 
 void PosgGrouping::on_queue_sample(common::InstanceId instance, double occupancy) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   scheduler_.health().note_queue_depth(instance, occupancy);
 }
 
 core::PosgScheduler::State PosgGrouping::scheduler_state() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return scheduler_.state();
 }
 
 std::size_t PosgGrouping::serving_instances() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return scheduler_.serving_instances();
 }
 
 std::vector<common::InstanceId> PosgGrouping::draining_instances() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return scheduler_.draining_instances();
 }
 
 bool PosgGrouping::is_failed(common::InstanceId op) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return scheduler_.is_failed(op);
 }
 
 bool PosgGrouping::is_draining(common::InstanceId op) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return scheduler_.is_draining(op);
 }
 
 void PosgGrouping::park(common::InstanceId op) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   scheduler_.mark_failed(op);
 }
 
 common::TimeMs PosgGrouping::scale_up(common::InstanceId op) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   scheduler_.rejoin(op);
   return scheduler_.estimated_loads()[op];
 }
 
 common::TimeMs PosgGrouping::begin_drain(common::InstanceId op) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return scheduler_.begin_drain(op);
 }
 
 common::TimeMs PosgGrouping::retire(common::InstanceId op, common::TimeMs final_delta) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return scheduler_.retire(op, final_delta);
 }
 
 std::vector<common::InstanceId> PosgGrouping::take_ramp_completions() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return scheduler_.take_ramp_completions();
 }
 
 std::uint64_t PosgGrouping::drain_begin_count() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return scheduler_.drain_begin_count();
 }
 
 std::uint64_t PosgGrouping::retire_count() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return scheduler_.retire_count();
 }
 

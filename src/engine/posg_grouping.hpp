@@ -1,11 +1,10 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <thread>
 
+#include "common/sync.hpp"
 #include "core/posg_scheduler.hpp"
 #include "engine/grouping.hpp"
 
@@ -81,25 +80,27 @@ class PosgGrouping final : public Grouping {
 
   // Locking discipline (threads involved: the emitting executor calling
   // route(), the receiving bolts' executors delivering feedback, and —
-  // when control_delay_ > 0 — the delay thread):
+  // when control_delay_ > 0 — the delay thread); machine-checked per
+  // DESIGN.md §12:
   //   - mutex_ guards scheduler_ alone; every scheduler call (route,
   //     deliver_now, scheduler_state) takes it.
   //   - delay_mutex_ guards delayed_ and stopping_; delay_cv_ is its
   //     condition. deliver_now is always called with delay_mutex_
   //     *released* (delay_worker unlocks around it), so the two mutexes
-  //     are never held together and no lock-order cycle exists.
+  //     are never held together — which is why both carry the same
+  //     kSchedulerState rank (equal ranks may never nest).
   //   - config_ and control_delay_ are immutable after construction.
   core::PosgConfig config_;
   std::chrono::microseconds control_delay_;
 
-  mutable std::mutex mutex_;
-  core::PosgScheduler scheduler_;
+  mutable Mutex mutex_{"engine::PosgGrouping::mutex_", lock_rank::kSchedulerState};
+  core::PosgScheduler scheduler_ GUARDED_BY(mutex_);
 
   // Delayed-delivery machinery (only active when control_delay_ > 0).
-  std::mutex delay_mutex_;
-  std::condition_variable delay_cv_;
-  std::deque<Delivery> delayed_;
-  bool stopping_ = false;
+  Mutex delay_mutex_{"engine::PosgGrouping::delay_mutex_", lock_rank::kSchedulerState};
+  CondVar delay_cv_;
+  std::deque<Delivery> delayed_ GUARDED_BY(delay_mutex_);
+  bool stopping_ GUARDED_BY(delay_mutex_) = false;
   std::thread delay_thread_;
 };
 

@@ -1,14 +1,13 @@
 #pragma once
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/sync.hpp"
 #include "common/types.hpp"
 
 namespace posg::engine {
@@ -20,10 +19,18 @@ namespace posg::engine {
 /// wakes everyone: producers fail fast, the consumer drains what is left
 /// and then sees std::nullopt.
 ///
-/// Locking discipline: every member — items_, closed_ and the accounting
-/// counters — is guarded by mutex_; the condition variables are signalled
-/// after the lock is dropped. No member is ever read outside the lock, so
-/// the queue is safe for any number of producer and consumer threads.
+/// Locking discipline (machine-checked, DESIGN.md §12): every member —
+/// items_, closed_ and the accounting counters — is GUARDED_BY(mutex_);
+/// the condition variables are signalled after the lock is dropped. No
+/// member is ever read outside the lock, so the queue is safe for any
+/// number of producer and consumer threads. mutex_ ranks as a data-plane
+/// leaf (lock_rank::kQueue): nothing posg-owned is acquired under it, and
+/// two queues are never held together.
+///
+/// The wait loops are spelled `while (!cond) cv.wait(lock)` rather than
+/// the predicate overload: a predicate lambda is analyzed as a separate
+/// lock-free function, which would put the guarded reads outside the
+/// capability the analysis can see (common/sync.hpp header comment).
 template <typename T>
 class BoundedQueue {
  public:
@@ -34,8 +41,10 @@ class BoundedQueue {
   /// Blocks until there is room (or the queue is closed). Returns false
   /// when the queue was closed and the element was not enqueued.
   bool push(T value) {
-    std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    MutexLock lock(mutex_);
+    while (items_.size() >= capacity_ && !closed_) {
+      not_full_.wait(lock);
+    }
     if (closed_) {
       ++rejected_;
       return false;
@@ -50,8 +59,10 @@ class BoundedQueue {
   /// Blocks until an element is available or the queue is closed and
   /// drained; std::nullopt signals end-of-stream.
   std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    MutexLock lock(mutex_);
+    while (items_.empty() && !closed_) {
+      not_empty_.wait(lock);
+    }
     if (items_.empty()) {
       return std::nullopt;
     }
@@ -75,9 +86,11 @@ class BoundedQueue {
   /// against a draining consumer), at the cost of blocking mid-batch.
   std::size_t push_all(std::vector<T>& values) {
     std::size_t accepted = 0;
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     while (accepted < values.size()) {
-      not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+      while (items_.size() >= capacity_ && !closed_) {
+        not_full_.wait(lock);
+      }
       if (closed_) {
         rejected_ += values.size() - accepted;
         break;
@@ -114,7 +127,7 @@ class BoundedQueue {
   std::size_t try_push_all(std::vector<T>& values) {
     std::size_t accepted = 0;
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_) {
         return 0;
       }
@@ -146,8 +159,10 @@ class BoundedQueue {
   std::size_t pop_all(std::vector<T>& out) {
     std::size_t delivered = 0;
     {
-      std::unique_lock lock(mutex_);
-      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+      MutexLock lock(mutex_);
+      while (items_.empty() && !closed_) {
+        not_empty_.wait(lock);
+      }
       delivered = items_.size();
       if (delivered == 0) {
         return 0;
@@ -168,7 +183,7 @@ class BoundedQueue {
   /// Idempotent: the open -> closed transition happens at most once.
   void close() {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -176,26 +191,26 @@ class BoundedQueue {
   }
 
   std::size_t size() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
   bool closed() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return closed_;
   }
 
   /// Elements accepted / delivered / refused over the queue's lifetime.
   std::uint64_t pushed() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return pushed_;
   }
   std::uint64_t popped() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return popped_;
   }
   std::uint64_t rejected() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return rejected_;
   }
 
@@ -205,7 +220,7 @@ class BoundedQueue {
   /// happen in the closed state. Takes the lock, so it may be called
   /// concurrently with producers and consumers.
   void debug_validate() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     POSG_CHECK(capacity_ >= 1, "BoundedQueue: capacity must be >= 1");
     POSG_CHECK(items_.size() <= capacity_, "BoundedQueue: occupancy exceeds capacity");
     POSG_CHECK(popped_ <= pushed_, "BoundedQueue: popped more elements than were pushed");
@@ -223,14 +238,14 @@ class BoundedQueue {
   friend struct TestCorruptor;
 
   std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
-  std::uint64_t pushed_ = 0;
-  std::uint64_t popped_ = 0;
-  std::uint64_t rejected_ = 0;
+  mutable Mutex mutex_{"engine::BoundedQueue::mutex_", lock_rank::kQueue};
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
+  std::uint64_t pushed_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t popped_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t rejected_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace posg::engine

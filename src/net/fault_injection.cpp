@@ -181,7 +181,7 @@ FaultInjector::FaultInjector(Socket socket, FaultPlan plan)
     : socket_(std::move(socket)), plan_(std::move(plan)) {}
 
 void FaultInjector::record(const FaultAction& action) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   log_.push_back(action.describe());
 }
 
@@ -311,7 +311,7 @@ void FaultInjector::close() noexcept { socket_.close(); }
 bool FaultInjector::valid() const noexcept { return socket_.valid(); }
 
 std::vector<std::string> FaultInjector::event_log() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return log_;
 }
 

@@ -3,10 +3,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "net/transport.hpp"
 
 /// Deterministic fault injection for the distributed runtime.
@@ -135,8 +135,10 @@ class FaultInjector final : public FrameTransport {
 
   Socket socket_;
   FaultPlan plan_;
-  mutable std::mutex mutex_;  // guards log_ (send/recv threads both append)
-  std::vector<std::string> log_;
+  // kEventLog: a leaf below the data-plane tiers; send/recv threads both
+  // append while holding nothing else.
+  mutable Mutex mutex_{"net::FaultInjector::mutex_", lock_rank::kEventLog};
+  std::vector<std::string> log_ GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> received_{0};
 };

@@ -464,7 +464,7 @@ std::string Snapshot::to_text() const {
 }
 
 void MetricsRegistry::check_name_free(const std::string& name, int kind) const {
-  // mutex_ already held by the caller.
+  // REQUIRES(mutex_) — see the header declaration.
   if (kind != 0 && (counters_.count(name) != 0 || counter_fns_.count(name) != 0)) {
     throw std::invalid_argument("MetricsRegistry: '" + name + "' already registered as counter");
   }
@@ -477,7 +477,7 @@ void MetricsRegistry::check_name_free(const std::string& name, int kind) const {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     check_name_free(name, 0);
@@ -487,7 +487,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     check_name_free(name, 1);
@@ -497,7 +497,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     check_name_free(name, 2);
@@ -507,7 +507,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 }
 
 void MetricsRegistry::counter_fn(const std::string& name, std::function<std::uint64_t()> fn) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (counter_fns_.count(name) == 0) {
     check_name_free(name, 0);
   }
@@ -515,7 +515,7 @@ void MetricsRegistry::counter_fn(const std::string& name, std::function<std::uin
 }
 
 void MetricsRegistry::gauge_fn(const std::string& name, std::function<double()> fn) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   if (gauge_fns_.count(name) == 0) {
     check_name_free(name, 1);
   }
@@ -523,7 +523,7 @@ void MetricsRegistry::gauge_fn(const std::string& name, std::function<double()> 
 }
 
 Snapshot MetricsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   Snapshot snap;
   for (const auto& [name, c] : counters_) {
     snap.counters[name] = c->value();

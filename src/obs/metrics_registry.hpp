@@ -6,9 +6,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.hpp"
 
 /// Metrics substrate: named counters, gauges, and log-bucketed latency
 /// histograms behind a registry whose `snapshot()` serializes to JSON and
@@ -172,14 +173,17 @@ class MetricsRegistry {
   Snapshot snapshot() const;
 
  private:
-  void check_name_free(const std::string& name, int kind) const;
+  void check_name_free(const std::string& name, int kind) const REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::function<std::uint64_t()>> counter_fns_;
-  std::map<std::string, std::function<double()>> gauge_fns_;
+  // kMetricsRegistry is the lowest rank in the order: snapshot() invokes
+  // pull callbacks that acquire component locks (e.g. SchedulerRuntime's
+  // kSchedulerState mutex) while this lock is held — see DESIGN.md §12.
+  mutable Mutex mutex_{"obs::MetricsRegistry::mutex_", lock_rank::kMetricsRegistry};
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mutex_);
+  std::map<std::string, std::function<std::uint64_t()>> counter_fns_ GUARDED_BY(mutex_);
+  std::map<std::string, std::function<double()>> gauge_fns_ GUARDED_BY(mutex_);
 };
 
 }  // namespace posg::obs

@@ -48,7 +48,7 @@ void TraceRing::record(TraceEvent event) noexcept {
 }
 
 void TraceRing::publish_batch(const TraceEvent* events, std::size_t n) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (std::size_t i = 0; i < n; ++i) {
     TraceEvent e = events[i];
     e.tick = next_tick_;
@@ -73,7 +73,7 @@ void TraceRing::Writer::flush() {
 }
 
 std::vector<TraceEvent> TraceRing::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::vector<TraceEvent> out;
   const std::uint64_t retained = next_tick_ < capacity_ ? next_tick_ : capacity_;
   out.reserve(static_cast<std::size_t>(retained));
@@ -84,17 +84,17 @@ std::vector<TraceEvent> TraceRing::snapshot() const {
 }
 
 std::uint64_t TraceRing::recorded() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return next_tick_;
 }
 
 std::uint64_t TraceRing::dropped() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return next_tick_ > capacity_ ? next_tick_ - capacity_ : 0;
 }
 
 void TraceRing::clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   next_tick_ = 0;
 }
 

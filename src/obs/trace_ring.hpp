@@ -3,8 +3,9 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <vector>
+
+#include "common/sync.hpp"
 
 /// Always-on-capable event tracing: a fixed-capacity, drop-oldest ring of
 /// small typed binary events. Components record milestones (a schedule
@@ -132,9 +133,11 @@ class TraceRing {
 
   const std::size_t capacity_;
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> ring_;  // index = tick % capacity_
-  std::uint64_t next_tick_ = 0;
+  // kTraceRing is the global leaf rank: components publish events while
+  // holding their own locks, and the ring acquires nothing further.
+  mutable Mutex mutex_{"obs::TraceRing::mutex_", lock_rank::kTraceRing};
+  std::vector<TraceEvent> ring_ GUARDED_BY(mutex_);  // index = tick % capacity_
+  std::uint64_t next_tick_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace posg::obs

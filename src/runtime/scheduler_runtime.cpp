@@ -19,7 +19,7 @@ SchedulerRuntime::SchedulerRuntime(const SchedulerRuntimeConfig& config)
       routed_(config.instances) {
   common::require(k_ >= 1, "SchedulerRuntime: need at least one instance");
   for (std::size_t op = 0; op < k_; ++op) {
-    send_mutexes_[op] = std::make_unique<std::mutex>();
+    send_mutexes_[op] = std::make_unique<Mutex>("runtime::SchedulerRuntime::send_mutexes_", lock_rank::kNetSend);
     dead_[op] = std::make_unique<std::atomic<bool>>(false);
     drain_sent_[op] = std::make_unique<std::atomic<bool>>(false);
   }
@@ -36,44 +36,44 @@ void SchedulerRuntime::register_runtime_metrics() {
   // registry → runtime; nothing acquires the registry mutex while holding
   // mutex_, so the order cannot invert.
   metrics_.counter_fn("posg.scheduler.decisions", [this] {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return scheduler_.decisions();
   });
   metrics_.counter_fn("posg.scheduler.epochs_completed", [this] {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return scheduler_.epochs_completed();
   });
   metrics_.counter_fn("posg.scheduler.epoch", [this] {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return static_cast<std::uint64_t>(scheduler_.epoch());
   });
   metrics_.counter_fn("posg.scheduler.stale_replies", [this] {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return scheduler_.stale_reply_count();
   });
   metrics_.counter_fn("posg.scheduler.rejoins", [this] {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return scheduler_.rejoin_count();
   });
   metrics_.gauge_fn("posg.scheduler.live_instances", [this] {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return static_cast<double>(scheduler_.live_instances());
   });
   metrics_.counter_fn("posg.health.suspect_transitions", [this] {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return scheduler_.health().suspect_transitions();
   });
   metrics_.counter_fn("posg.health.degraded_transitions", [this] {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return scheduler_.health().degraded_transitions();
   });
   metrics_.counter_fn("posg.health.promotions", [this] {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return scheduler_.health().promotions();
   });
   for (common::InstanceId op = 0; op < k_; ++op) {
     metrics_.gauge_fn("posg.health.derate." + std::to_string(op), [this, op] {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       return scheduler_.derate(op);
     });
   }
@@ -87,30 +87,30 @@ void SchedulerRuntime::register_runtime_metrics() {
     return total;
   });
   metrics_.gauge_fn("posg.runtime.quarantined", [this] {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return static_cast<double>(k_ - scheduler_.live_instances());
   });
   metrics_.counter_fn("posg.scheduler.drains_begun", [this] {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return scheduler_.drain_begin_count();
   });
   metrics_.counter_fn("posg.scheduler.retires", [this] {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return scheduler_.retire_count();
   });
   metrics_.counter_fn("posg.scheduler.drain_cancels", [this] {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return scheduler_.drain_cancel_count();
   });
   metrics_.gauge_fn("posg.scheduler.serving_instances", [this] {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return static_cast<double>(scheduler_.serving_instances());
   });
 }
 
 std::vector<obs::TraceEvent> SchedulerRuntime::trace_events() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     scheduler_.flush_trace();
   }
   return trace_.snapshot();
@@ -176,7 +176,14 @@ void SchedulerRuntime::start() {
                     "SchedulerRuntime: start with unattached instance " + std::to_string(op));
   }
   started_ = true;
-  last_feedback_.assign(k_, std::chrono::steady_clock::now());
+  {
+    // last_feedback_ is GUARDED_BY(mutex_): take the lock for the seed
+    // write too, even though the reader threads only spawn below — the
+    // guard discipline admits no unlocked writes, and the uncontended
+    // acquisition here is free.
+    MutexLock lock(mutex_);
+    last_feedback_.assign(k_, std::chrono::steady_clock::now());
+  }
   readers_.resize(k_);  // slot per instance so a rejoin can restart one
   for (common::InstanceId op = 0; op < k_; ++op) {
     readers_[op] = std::thread([this, op] { reader_loop(op); });
@@ -191,7 +198,7 @@ void SchedulerRuntime::enable_rejoin(net::Listener& listener) {
 }
 
 void SchedulerRuntime::send_locked(common::InstanceId op, const std::vector<std::byte>& frame) {
-  std::lock_guard lock(*send_mutexes_[op]);
+  MutexLock lock(*send_mutexes_[op]);
   links_[op]->send_frame(frame);
 }
 
@@ -202,13 +209,14 @@ bool SchedulerRuntime::request_drain(common::InstanceId op) {
   // send: a tuple whose schedule() decision predates the drain either beat
   // the DrainRequest onto the wire (FIFO ⇒ executed before the instance
   // reads the request) or observes drain_sent_ under this same mutex and
-  // is rerouted. Acquiring send → mutex_ cannot deadlock: no thread ever
+  // is rerouted. Acquiring send → mutex_ cannot deadlock: the order is
+  // rank-increasing (kNetSend < kSchedulerState) and no thread ever
   // acquires a send mutex while holding mutex_.
-  std::unique_lock send_lock(*send_mutexes_[op]);
+  MutexLock send_lock(*send_mutexes_[op]);
   common::TimeMs cut = 0.0;
   common::Epoch epoch = 0;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (scheduler_.is_failed(op) || scheduler_.is_draining(op) ||
         scheduler_.serving_instances() <= 1) {
       return false;
@@ -235,7 +243,7 @@ bool SchedulerRuntime::handle_failure(common::InstanceId op, const std::string& 
   common::Epoch failed_epoch = 0;
   std::vector<common::InstanceId> survivors;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (scheduler_.is_failed(op)) {
       return true;  // EOF and epoch deadline may both report the same crash
     }
@@ -317,7 +325,7 @@ common::InstanceId SchedulerRuntime::route(common::Item item, common::SeqNo seq)
     }
     core::Decision decision;
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       check_epoch_deadline_locked();
       decision = scheduler_.schedule(item, seq);
     }
@@ -328,7 +336,7 @@ common::InstanceId SchedulerRuntime::route(common::Item item, common::SeqNo seq)
     try {
       bool drained_under_us = false;
       {
-        std::lock_guard send_lock(*send_mutexes_[decision.instance]);
+        MutexLock send_lock(*send_mutexes_[decision.instance]);
         if (drain_sent_[decision.instance]->load()) {
           // The decision raced request_drain: the DrainRequest is already
           // on the wire and nothing may follow it (the drainee's dry-queue
@@ -363,7 +371,7 @@ void SchedulerRuntime::announce_admission_grants() {
   std::vector<common::InstanceId> done;
   common::Epoch epoch = 0;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     done = scheduler_.take_ramp_completions();
     if (!done.empty()) {
       epoch = scheduler_.epoch();
@@ -401,7 +409,7 @@ void SchedulerRuntime::rejoin_acceptor_loop(net::Listener* listener) {
       }
       const common::InstanceId op = hello->instance;
       {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         if (!scheduler_.is_failed(op)) {
           continue;  // only a quarantined id may rejoin
         }
@@ -413,7 +421,7 @@ void SchedulerRuntime::rejoin_acceptor_loop(net::Listener* listener) {
         readers_[op].join();
       }
       {
-        std::lock_guard send_lock(*send_mutexes_[op]);
+        MutexLock send_lock(*send_mutexes_[op]);
         links_[op] = std::make_unique<net::SocketTransport>(std::move(*socket));
         // A slot whose previous life ended in a drain keeps drain_sent_
         // set so no tuple could follow the DrainRequest; its next life
@@ -423,7 +431,7 @@ void SchedulerRuntime::rejoin_acceptor_loop(net::Listener* listener) {
       common::TimeMs seed = 0.0;
       common::Epoch epoch = 0;
       {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         scheduler_.rejoin(op);
         seed = scheduler_.estimated_loads()[op];
         epoch = scheduler_.epoch();
@@ -475,7 +483,7 @@ void SchedulerRuntime::reader_loop(common::InstanceId op) {
     }
     bool retired = false;
     try {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       last_feedback_[op] = std::chrono::steady_clock::now();
       if (const auto* shipment = std::get_if<core::SketchShipment>(&message)) {
         scheduler_.on_sketches(*shipment);
@@ -529,7 +537,7 @@ void SchedulerRuntime::finish() {
   for (common::InstanceId op = 0; op < k_; ++op) {
     bool skip;
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       // A draining instance's exit is its DrainComplete, not EndOfStream;
       // its reader returns when the retirement lands.
       skip = scheduler_.is_failed(op) || scheduler_.is_draining(op);
@@ -556,27 +564,27 @@ void SchedulerRuntime::finish() {
 }
 
 core::PosgScheduler::State SchedulerRuntime::state() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return scheduler_.state();
 }
 
 common::Epoch SchedulerRuntime::epoch() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return scheduler_.epoch();
 }
 
 std::size_t SchedulerRuntime::live_instances() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return scheduler_.live_instances();
 }
 
 std::vector<common::InstanceId> SchedulerRuntime::quarantined() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return scheduler_.failed_instances();
 }
 
 std::vector<SchedulerRuntime::QuarantineEvent> SchedulerRuntime::quarantine_log() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return quarantine_log_;
 }
 
@@ -589,27 +597,27 @@ std::vector<std::uint64_t> SchedulerRuntime::routed_counts() const {
 }
 
 std::uint64_t SchedulerRuntime::stale_replies() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return scheduler_.stale_reply_count();
 }
 
 std::vector<common::InstanceId> SchedulerRuntime::rejoin_log() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return rejoin_log_;
 }
 
 std::vector<SchedulerRuntime::DrainEvent> SchedulerRuntime::drain_log() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return drain_log_;
 }
 
 std::size_t SchedulerRuntime::serving_instances() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return scheduler_.serving_instances();
 }
 
 metrics::ResilienceStats SchedulerRuntime::resilience() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   metrics::ResilienceStats stats;
   stats.rejoins = scheduler_.rejoin_count();
   const auto& health = scheduler_.health();

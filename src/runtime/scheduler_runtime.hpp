@@ -4,12 +4,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/sync.hpp"
 #include "common/types.hpp"
 #include "core/posg_scheduler.hpp"
 #include "metrics/stats.hpp"
@@ -149,7 +149,10 @@ class SchedulerRuntime {
 
   /// Access to the scheduler for single-threaded phases (before start()
   /// or after finish()).
-  core::PosgScheduler& scheduler() noexcept { return scheduler_; }
+  /// NO_THREAD_SAFETY_ANALYSIS: hands out a reference to the mutex_-guarded
+  /// scheduler_ without the lock — sound only because callers are contract-
+  /// bound to the single-threaded phases, where no reader thread exists.
+  core::PosgScheduler& scheduler() noexcept NO_THREAD_SAFETY_ANALYSIS { return scheduler_; }
 
  private:
   void reader_loop(common::InstanceId op);
@@ -161,7 +164,7 @@ class SchedulerRuntime {
   /// survivors. Returns false when `op` was the last live instance (the
   /// run is lost; callers decide whether that is fatal).
   bool handle_failure(common::InstanceId op, const std::string& reason);
-  void check_epoch_deadline_locked();
+  void check_epoch_deadline_locked() REQUIRES(mutex_);
   void send_locked(common::InstanceId op, const std::vector<std::byte>& frame);
   /// Sends AdmissionGrant to any rejoiner whose ramp just finished.
   void announce_admission_grants();
@@ -172,8 +175,10 @@ class SchedulerRuntime {
   //     everything the feedback path and the routing path both touch.
   //     Never held across a socket operation (sends/receives can block on
   //     a dead peer for the full deadline).
-  //   - send_mutexes_[op] serializes writers of link op only; acquired
-  //     after (never while holding) mutex_.
+  //   - send_mutexes_[op] serializes writers of link op only; when the
+  //     two nest (request_drain), the send mutex is acquired FIRST
+  //     (kNetSend < kSchedulerState) — no thread ever acquires a send
+  //     mutex while holding mutex_.
   //   - dead_[op], draining_, fatal_ and the counters (routed_, reroutes_)
   //     are atomics: flags read at poll frequency in reader loops, counters
   //     written by the router and read by observers.
@@ -189,13 +194,14 @@ class SchedulerRuntime {
   /// whose destructor flushes into trace_, so the ring must outlive it.
   obs::TraceRing trace_;
   obs::MetricsRegistry metrics_;
-  core::PosgScheduler scheduler_;
-  mutable std::mutex mutex_;  // guards scheduler_, quarantine_log_, last_feedback_
+  mutable Mutex mutex_{"runtime::SchedulerRuntime::mutex_", lock_rank::kSchedulerState};
+  core::PosgScheduler scheduler_ GUARDED_BY(mutex_);
   std::vector<std::unique_ptr<net::FrameTransport>> links_;
   /// Per-link send serialization: route(), failure announcements and
   /// EndOfStream may write to the same link from different threads, and
-  /// interleaved write_all calls would shear frames.
-  std::vector<std::unique_ptr<std::mutex>> send_mutexes_;
+  /// interleaved write_all calls would shear frames. Ranked kNetSend so
+  /// request_drain's send-then-state acquisition is rank-increasing.
+  std::vector<std::unique_ptr<Mutex>> send_mutexes_;
   /// Set when an instance is quarantined; its reader exits at the next
   /// poll tick instead of waiting on a link that may never close (the
   /// link itself is only closed in finish(), after the readers joined, so
@@ -209,9 +215,9 @@ class SchedulerRuntime {
   std::vector<std::thread> readers_;
   std::thread rejoin_acceptor_;
   std::atomic<bool> stop_acceptor_{false};
-  std::vector<QuarantineEvent> quarantine_log_;
-  std::vector<common::InstanceId> rejoin_log_;  // guarded by mutex_
-  std::vector<DrainEvent> drain_log_;           // guarded by mutex_
+  std::vector<QuarantineEvent> quarantine_log_ GUARDED_BY(mutex_);
+  std::vector<common::InstanceId> rejoin_log_ GUARDED_BY(mutex_);
+  std::vector<DrainEvent> drain_log_ GUARDED_BY(mutex_);
   /// Set under send_mutexes_[op] immediately before the DrainRequest hits
   /// the wire; route() re-reads it under the same mutex, so "a tuple never
   /// follows the DrainRequest on a link" is enforced by mutual exclusion,
@@ -229,8 +235,8 @@ class SchedulerRuntime {
   std::vector<std::atomic<std::uint64_t>> routed_;
   std::atomic<std::uint64_t> reroutes_{0};
   /// Epoch-deadline tracking: when each instance last produced feedback
-  /// (any decodable frame on its reader). Guarded by mutex_.
-  std::vector<std::chrono::steady_clock::time_point> last_feedback_;
+  /// (any decodable frame on its reader).
+  std::vector<std::chrono::steady_clock::time_point> last_feedback_ GUARDED_BY(mutex_);
 };
 
 }  // namespace posg::runtime

@@ -39,8 +39,17 @@ namespace engine {
 
 template <typename T>
 struct BoundedQueue<T>::TestCorruptor {
-  static void overcount_pushed(BoundedQueue<T>& queue) { ++queue.pushed_; }
-  static void fake_rejection_while_open(BoundedQueue<T>& queue) { ++queue.rejected_; }
+  // The counters are GUARDED_BY(mutex_), so even the corrupting backdoor
+  // takes the queue's lock (friend access) — the thread-safety analysis
+  // covers test code too.
+  static void overcount_pushed(BoundedQueue<T>& queue) {
+    posg::MutexLock lock(queue.mutex_);
+    ++queue.pushed_;
+  }
+  static void fake_rejection_while_open(BoundedQueue<T>& queue) {
+    posg::MutexLock lock(queue.mutex_);
+    ++queue.rejected_;
+  }
 };
 
 }  // namespace engine

@@ -1,0 +1,37 @@
+#pragma once
+
+// Shared fixture for the negative-compilation harness
+// (tests/thread_safety/negative_compile.cmake): a minimal guarded structure
+// exercising the annotation surface of src/common/sync.hpp. Each neg_*.cpp
+// snippet includes this and commits exactly one discipline violation that
+// -Wthread-safety -Werror=thread-safety must reject; pos_control.cpp uses
+// the same fixture correctly and must compile, proving a failure means "the
+// analysis caught the bug", not "the fixture is broken".
+
+#include "common/sync.hpp"
+
+namespace posg::ts_harness {
+
+class Guarded {
+ public:
+  void set(int v) {
+    MutexLock lock(mutex_);
+    value_ = v;
+  }
+
+  int get() const {
+    MutexLock lock(mutex_);
+    return value_;
+  }
+
+  /// Contract helper: the caller must already hold mutex_.
+  void bump_locked() REQUIRES(mutex_) { ++value_; }
+
+  Mutex& mutex() RETURN_CAPABILITY(mutex_) { return mutex_; }
+
+ private:
+  mutable Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace posg::ts_harness

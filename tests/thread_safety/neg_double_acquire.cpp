@@ -1,0 +1,16 @@
+// MUST FAIL to compile under -Wthread-safety -Werror=thread-safety:
+// acquires the same mutex twice in one scope (posg::Mutex is non-reentrant;
+// at runtime this would self-deadlock — the DCHECK layer aborts instead).
+
+#include "thread_safety/harness.hpp"
+
+namespace posg::ts_harness {
+
+void double_acquire() {
+  Guarded g;
+  MutexLock outer(g.mutex());
+  MutexLock inner(g.mutex());  // error: acquiring mutex that is already held
+  g.bump_locked();
+}
+
+}  // namespace posg::ts_harness

@@ -1,0 +1,13 @@
+// MUST FAIL to compile under -Wthread-safety -Werror=thread-safety:
+// calls a REQUIRES(mutex_) contract method without holding the mutex.
+
+#include "thread_safety/harness.hpp"
+
+namespace posg::ts_harness {
+
+void call_without_lock() {
+  Guarded g;
+  g.bump_locked();  // error: calling function 'bump_locked' requires holding mutex
+}
+
+}  // namespace posg::ts_harness

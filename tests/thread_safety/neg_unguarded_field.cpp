@@ -1,0 +1,24 @@
+// MUST FAIL to compile under -Wthread-safety -Werror=thread-safety:
+// writes a GUARDED_BY field without holding its mutex.
+
+#include "thread_safety/harness.hpp"
+
+namespace posg::ts_harness {
+
+class Unguarded {
+ public:
+  void racy_write(int v) {
+    value_ = v;  // error: writing variable 'value_' requires holding mutex 'mutex_'
+  }
+
+ private:
+  Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+void drive() {
+  Unguarded u;
+  u.racy_write(7);
+}
+
+}  // namespace posg::ts_harness

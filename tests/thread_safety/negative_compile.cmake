@@ -1,0 +1,55 @@
+# Negative-compilation harness for the thread-safety annotations
+# (src/common/sync.hpp). Run as a ctest entry through
+# run_negative_compile.sh (which resolves a Clang and soft-skips with
+# exit 77 when none is installed):
+#
+#   cmake -DCLANG=<clang++> -DSRC_DIR=<repo>/src -DTEST_DIR=<repo>/tests \
+#         -P tests/thread_safety/negative_compile.cmake
+#
+# Semantics:
+#   * pos_control.cpp must COMPILE under -Wthread-safety -Werror=thread-safety
+#     (otherwise the harness itself is broken and every "expected failure"
+#     below would be meaningless).
+#   * each neg_*.cpp must FAIL to compile, rejected by -Wthread-safety
+#     specifically — these are the regression locks on the annotations: if a
+#     refactor of sync.hpp silently stops propagating a capability, the
+#     snippet starts compiling and this script fails.
+
+if(NOT DEFINED CLANG OR NOT DEFINED SRC_DIR OR NOT DEFINED TEST_DIR)
+  message(FATAL_ERROR "negative_compile.cmake: CLANG, SRC_DIR and TEST_DIR are required")
+endif()
+
+set(flags -std=c++20 -fsyntax-only -Wthread-safety -Werror=thread-safety
+          -I "${SRC_DIR}" -I "${TEST_DIR}" -DPOSG_DCHECKS_ENABLED=1)
+
+function(check_compiles src expect_success)
+  execute_process(
+    COMMAND "${CLANG}" ${flags} "${TEST_DIR}/thread_safety/${src}"
+    RESULT_VARIABLE result
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(expect_success AND NOT result EQUAL 0)
+    message(FATAL_ERROR "negative_compile: control snippet ${src} FAILED to "
+                        "compile — the harness is broken:\n${err}")
+  endif()
+  if(NOT expect_success AND result EQUAL 0)
+    message(FATAL_ERROR "negative_compile: ${src} COMPILED but must be "
+                        "rejected — the thread-safety annotations no longer "
+                        "catch this violation")
+  endif()
+  if(NOT expect_success)
+    # The rejection must come from the analysis, not an unrelated error.
+    if(NOT err MATCHES "-Wthread-safety")
+      message(FATAL_ERROR "negative_compile: ${src} failed for a reason other "
+                          "than -Wthread-safety:\n${err}")
+    endif()
+  endif()
+  message(STATUS "negative_compile: ${src} ok")
+endfunction()
+
+check_compiles(pos_control.cpp TRUE)
+check_compiles(neg_unguarded_field.cpp FALSE)
+check_compiles(neg_missing_requires.cpp FALSE)
+check_compiles(neg_double_acquire.cpp FALSE)
+
+message(STATUS "negative_compile: all snippets behaved as asserted")

@@ -1,0 +1,19 @@
+// MUST COMPILE: the control snippet. Correct use of every construct the
+// neg_*.cpp snippets misuse — if this fails, the harness (not the code
+// under test) is broken and negative_compile.cmake reports it as such.
+
+#include "thread_safety/harness.hpp"
+
+namespace posg::ts_harness {
+
+int use_correctly() {
+  Guarded g;
+  g.set(1);
+  {
+    MutexLock lock(g.mutex());
+    g.bump_locked();  // REQUIRES(mutex_) satisfied by the scoped lock
+  }
+  return g.get();
+}
+
+}  // namespace posg::ts_harness

@@ -1,0 +1,41 @@
+#!/bin/sh
+# ctest wrapper for the negative-compilation harness (negative_compile.cmake).
+#
+#   run_negative_compile.sh <cmake> <repo_root> [<configured-cxx> <cxx-id>]
+#
+# Resolves a clang++ (the configured compiler when it is Clang, else CLANGXX,
+# else a PATH probe) and exits 77 — ctest's SKIP_RETURN_CODE for this test —
+# when none is installed, mirroring tools/run_thread_safety.sh: the analysis
+# is Clang-only and the CI thread-safety job enforces it.
+set -u
+
+cmake_bin="${1:?usage: run_negative_compile.sh <cmake> <repo_root> [cxx cxx_id]}"
+repo_root="${2:?usage: run_negative_compile.sh <cmake> <repo_root> [cxx cxx_id]}"
+configured_cxx="${3:-}"
+configured_id="${4:-}"
+
+clang=""
+case "$configured_id" in
+  *Clang*) clang="$configured_cxx" ;;
+esac
+if [ -z "$clang" ] && [ -n "${CLANGXX:-}" ]; then
+  clang="$CLANGXX"
+fi
+if [ -z "$clang" ]; then
+  for candidate in clang++ clang++-19 clang++-18 clang++-17 clang++-16 clang++-15; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      clang="$candidate"
+      break
+    fi
+  done
+fi
+if [ -z "$clang" ]; then
+  echo "negative_compile: no clang++ available — skipping (the CI thread-safety job enforces this)"
+  exit 77
+fi
+
+exec "$cmake_bin" \
+  -DCLANG="$clang" \
+  -DSRC_DIR="$repo_root/src" \
+  -DTEST_DIR="$repo_root/tests" \
+  -P "$repo_root/tests/thread_safety/negative_compile.cmake"

@@ -37,6 +37,19 @@ while [ $# -gt 0 ]; do
   shift
 done
 
+# Naked-primitive gate (runs even without clang-tidy): shared state in src/
+# must use the capability-annotated wrappers from src/common/sync.hpp
+# (posg::Mutex / MutexLock / CondVar) so the thread-safety analysis can see
+# it — a bare std::mutex is invisible to -Wthread-safety.
+naked="$(grep -rnE 'std::(mutex|condition_variable|lock_guard|unique_lock|scoped_lock|shared_mutex|timed_mutex)' src/ \
+  --include='*.hpp' --include='*.cpp' | grep -v '^src/common/sync.hpp' || true)"
+if [ -n "$naked" ]; then
+  echo "run_tidy.sh: naked standard-library locking primitives in src/ —" >&2
+  echo "  use posg::Mutex / posg::MutexLock / posg::CondVar (src/common/sync.hpp):" >&2
+  printf '%s\n' "$naked" >&2
+  exit 1
+fi
+
 tidy_bin="${CLANG_TIDY:-}"
 if [ -z "$tidy_bin" ]; then
   for candidate in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 clang-tidy-16 clang-tidy-15; do
