@@ -12,6 +12,7 @@
 #include "core/posg_scheduler.hpp"
 #include "core/round_robin.hpp"
 #include "engine/queue.hpp"
+#include "engine/spsc_ring.hpp"
 #include "hash/two_universal.hpp"
 #include "obs/trace_ring.hpp"
 #include "sketch/dual_sketch.hpp"
@@ -91,7 +92,7 @@ void BM_PosgSchedule(benchmark::State& state) {
     core::InstanceTracker tracker(op, config);
     for (int i = 0; i < 10'000; ++i) {
       if (auto shipment = tracker.on_executed(i % 4096, 1.0 + i % 64)) {
-        scheduler.on_sketches(*shipment);
+        scheduler.on_sketches(std::move(*shipment));
         break;
       }
     }
@@ -141,7 +142,7 @@ void BM_RouterThroughput(benchmark::State& state) {
     auto& tracker = trackers[decision.instance];
     if (auto shipment =
             tracker.on_executed(item, 1.0 + static_cast<double>(rng.next_below(64)))) {
-      scheduler.on_sketches(*shipment);
+      scheduler.on_sketches(std::move(*shipment));
     }
     if (decision.sync_request) {
       scheduler.on_sync_reply(
@@ -183,7 +184,7 @@ void BM_RouterThroughputDegraded(benchmark::State& state) {
     auto& tracker = trackers[decision.instance];
     if (auto shipment =
             tracker.on_executed(item, 1.0 + static_cast<double>(rng.next_below(64)))) {
-      scheduler.on_sketches(*shipment);
+      scheduler.on_sketches(std::move(*shipment));
     }
     if (decision.sync_request) {
       scheduler.on_sync_reply(
@@ -226,7 +227,7 @@ void BM_RouterThroughputTraced(benchmark::State& state) {
     auto& tracker = trackers[decision.instance];
     if (auto shipment =
             tracker.on_executed(item, 1.0 + static_cast<double>(rng.next_below(64)))) {
-      scheduler.on_sketches(*shipment);
+      scheduler.on_sketches(std::move(*shipment));
     }
     if (decision.sync_request) {
       scheduler.on_sync_reply(
@@ -269,7 +270,7 @@ void BM_RouterThroughputElasticIdle(benchmark::State& state) {
     auto& tracker = trackers[decision.instance];
     if (auto shipment =
             tracker.on_executed(item, 1.0 + static_cast<double>(rng.next_below(64)))) {
-      scheduler.on_sketches(*shipment);
+      scheduler.on_sketches(std::move(*shipment));
     }
     if (decision.sync_request) {
       scheduler.on_sync_reply(
@@ -329,6 +330,79 @@ void BM_QueueTransfer(benchmark::State& state) {
 }
 BENCHMARK(BM_QueueTransfer)->Arg(0)->Arg(1);
 
+/// SPSC ring hand-off cost per tuple: the same 256-tuple burst shape as
+/// BM_QueueTransfer/1 but over the lock-free SpscRing — the delta against
+/// BM_QueueTransfer/1 is what replacing the mutex/condvar with the
+/// release/acquire index pair buys on an uncontended single-producer edge.
+void BM_SpscTransfer(benchmark::State& state) {
+  constexpr std::size_t kBurst = 256;
+  engine::SpscRing<std::uint64_t> ring(kBurst);
+  engine::SpscBind produce(ring.producer_role());
+  engine::SpscBind consume(ring.consumer_role());
+  std::vector<std::uint64_t> batch;
+  batch.reserve(kBurst);
+  std::vector<std::uint64_t> out;
+  out.reserve(kBurst);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      batch.push_back(x++);
+    }
+    ring.push_all(batch);
+    benchmark::DoNotOptimize(ring.pop_all(out));
+    out.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBurst));
+}
+BENCHMARK(BM_SpscTransfer);
+
+/// Micro-batched router throughput: BM_RouterThroughput's protocol loop,
+/// but decisions come from schedule_batch over range(1)-tuple batches —
+/// one argmin and one digest amortized across the batch (DESIGN.md §13).
+/// The per-tuple gap to BM_RouterThroughput/10 is the batching win; the
+/// protocol (shipments, markers, replies) still runs per tuple.
+void BM_RouterThroughputBatched(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  core::PosgConfig config;
+  config.window = 64;
+  config.mu = 10.0;  // ship every second window
+  core::PosgScheduler scheduler(k, config);
+  std::vector<core::InstanceTracker> trackers;
+  trackers.reserve(k);
+  for (common::InstanceId op = 0; op < k; ++op) {
+    trackers.emplace_back(op, config);
+  }
+  common::Xoshiro256StarStar rng(11);
+  common::SeqNo seq = 0;
+  std::vector<common::Item> items(batch);
+  std::vector<common::SeqNo> seqs(batch);
+  std::vector<core::Decision> decisions(batch);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      items[i] = seq % 4096;
+      seqs[i] = seq;
+      ++seq;
+    }
+    scheduler.schedule_batch(items.data(), seqs.data(), batch, decisions.data());
+    for (std::size_t i = 0; i < batch; ++i) {
+      const core::Decision& decision = decisions[i];
+      benchmark::DoNotOptimize(decision.instance);
+      auto& tracker = trackers[decision.instance];
+      if (auto shipment =
+              tracker.on_executed(items[i], 1.0 + static_cast<double>(rng.next_below(64)))) {
+        scheduler.on_sketches(std::move(*shipment));
+      }
+      if (decision.sync_request) {
+        scheduler.on_sync_reply(
+            core::SyncReply{decision.instance, decision.sync_request->epoch, 0.0});
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_RouterThroughputBatched)->Args({10, 8});
+
 void BM_TrackerOnExecuted(benchmark::State& state) {
   core::PosgConfig config;  // calibrated defaults
   core::InstanceTracker tracker(0, config);
@@ -344,4 +418,23 @@ BENCHMARK(BM_TrackerOnExecuted);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): stamps the authoritative
+// build-type context key. google-benchmark's own `library_build_type`
+// reports how the *library* package was compiled (Debian ships a "debug"
+// self-report even alongside -O3 binaries); `posg_build_type` reports how
+// THIS binary was compiled, and tools/run_hotpath_bench.sh gates baseline
+// regeneration on it.
+int main(int argc, char** argv) {
+#if defined(NDEBUG)
+  benchmark::AddCustomContext("posg_build_type", "release");
+#else
+  benchmark::AddCustomContext("posg_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

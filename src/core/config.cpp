@@ -85,6 +85,9 @@ void validate_posg(const core::PosgConfig& config, const std::string& prefix,
   if (config.window < 1) {
     push(out, dot(prefix, "window"), ConfigErrorCode::kMustBePositive, "must be >= 1");
   }
+  if (config.batch < 1) {
+    push(out, dot(prefix, "batch"), ConfigErrorCode::kMustBePositive, "must be >= 1");
+  }
   if (!(std::isfinite(config.mu) && config.mu > 0.0)) {
     push(out, dot(prefix, "mu"), ConfigErrorCode::kMustBePositive, "must be finite and > 0");
   }

@@ -94,6 +94,13 @@ struct PosgConfig {
   /// differential estimation bias on workloads whose universe dwarfs the
   /// per-epoch sample.
   bool shared_billing = true;
+  /// Micro-batch size for the engine's routing path (extension; DESIGN.md
+  /// §13). The grouping layer hands the scheduler up to this many
+  /// consecutive tuples per schedule_batch() call: in the greedy states
+  /// one argmin + one digest serve the whole batch. 1 (default) is the
+  /// paper's per-tuple scheduling, byte-identical to schedule(); larger
+  /// values trade intra-batch placement granularity for throughput.
+  std::size_t batch = 1;
   /// Ablation switch: when false, the scheduler skips the marker/Δ
   /// synchronization protocol and jumps straight from ROUND_ROBIN to RUN
   /// once all sketches arrived (estimation drift is never corrected).
@@ -154,6 +161,14 @@ struct EngineConfig {
   /// Serving instances at start when elastic.enabled (the rest of the
   /// POSG bolt's parallelism is parked and revived by ScaleUp). 0 = all.
   std::size_t elastic_initial_instances = 0;
+
+  /// Shard-per-core execution (DESIGN.md §13): pin each executor thread to
+  /// a core, round-robin over the machine's cores in spawn order. Linux
+  /// only; elsewhere (and when the affinity call fails) threads simply run
+  /// unpinned — pinning is a cache-locality hint, never a correctness
+  /// requirement. Off by default: oversubscribed CI runners and laptops
+  /// schedule better without it.
+  bool pin_threads = false;
 };
 
 /// Configuration of the scheduler-side distributed runtime

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/messages.hpp"
@@ -84,7 +85,17 @@ class InstanceTracker {
   common::InstanceId id_;
   PosgConfig config_;
   sketch::DualSketch sketch_;
-  std::optional<sketch::Snapshot> snapshot_;
+  /// Reference snapshot of the stability FSM. Only meaningful in
+  /// STABILIZING; the storage is captured in place at every window
+  /// boundary so a long-lived tracker allocates the ratio matrix once.
+  sketch::Snapshot snapshot_;
+  /// Cell offsets touched since the last window boundary: on_executed
+  /// appends each update's r digest offsets, and the kStart capture
+  /// consumes them (Snapshot::capture_touched) so the first snapshot of an
+  /// epoch divides window·r cells instead of all r·c. Cleared at every
+  /// window boundary — a refresh_and_error pass leaves the whole ratio
+  /// matrix current, which re-establishes capture_touched's precondition.
+  std::vector<std::uint32_t> touched_;
   State state_ = State::kStart;
   std::uint64_t window_fill_ = 0;
   std::uint64_t windows_this_epoch_ = 0;

@@ -29,6 +29,11 @@ PosgScheduler::PosgScheduler(std::size_t instances, const PosgConfig& config)
       greedy_scores_scratch_(instances, 0.0),
       greedy_alive_scratch_(instances, true) {
   common::require(instances >= 1, "PosgScheduler: need at least one instance");
+  // No heavy-hitter ledger → the merged view is a pure cell sum and can be
+  // computed per estimate instead of materialized per shipment.
+  lazy_merged_ = config.heavy_hitter_capacity == 0;
+  shipped_ops_.reserve(instances);
+  shipped_cells_.reserve(instances);
   rebuild_greedy();
 }
 
@@ -39,6 +44,22 @@ common::TimeMs PosgScheduler::scheduling_estimate(common::InstanceId instance,
 
 common::TimeMs PosgScheduler::scheduling_estimate(common::InstanceId instance, common::Item item,
                                                   const hash::BucketDigest& digest) const {
+  if (lazy_merged_) {
+    if (!config_.shared_billing) {
+      const auto& own = sketches_[instance];
+      if (own.has_value()) {
+        if (auto estimate = own->estimate(item, digest, config_.estimator)) {
+          return *estimate;
+        }
+        return global_mean_;
+      }
+    }
+    common::ensure(!shipped_ops_.empty(), "PosgScheduler: estimating without a sketch");
+    if (auto estimate = merged_estimate(digest)) {
+      return *estimate;
+    }
+    return global_mean_;
+  }
   const auto& own = config_.shared_billing ? merged_ : sketches_[instance];
   // A rejoined instance carries no per-instance sketch until its tracker
   // ships a fresh (F, W) pair; bill it from the merged view so
@@ -62,20 +83,119 @@ common::TimeMs PosgScheduler::scheduling_estimate(common::InstanceId instance, c
 void PosgScheduler::refresh_global_mean() noexcept {
   std::uint64_t updates = 0;
   common::TimeMs total = 0.0;
-  merged_.reset();
-  for (const auto& sketch : sketches_) {
+  shipped_ops_.clear();
+  shipped_cells_.clear();
+  for (std::size_t op = 0; op < k_; ++op) {
+    const auto& sketch = sketches_[op];
     if (!sketch) {
       continue;
     }
+    shipped_ops_.push_back(static_cast<common::InstanceId>(op));
+    shipped_cells_.push_back(sketch->cells().data());
     updates += sketch->update_count();
     total += sketch->total_execution_time();
-    if (!merged_) {
-      merged_ = *sketch;
+  }
+  global_mean_ = updates > 0 ? total / static_cast<double>(updates) : 0.0;
+  if (lazy_merged_) {
+    // The merged view is summed per estimate (merged_estimate); rebuilding
+    // it here would re-add every cell of every shipped sketch on every
+    // shipment — the exact O(k·r·c) pass lazy mode exists to remove.
+    merged_.reset();
+    return;
+  }
+  // Eager mode (heavy-hitter configs): seed the merged view with a
+  // copy-assign into the existing storage when possible — this runs on
+  // every shipment, and resetting the optional first would free and
+  // re-allocate the r·c fused cell array each time. Copy-assignment of
+  // identical values produces identical cells, so the merged sketch is
+  // unchanged vs. rebuild-from-scratch.
+  bool seeded = false;
+  for (const auto op : shipped_ops_) {
+    const auto& sketch = sketches_[op];
+    if (!seeded) {
+      if (merged_.has_value()) {
+        *merged_ = *sketch;
+      } else {
+        merged_ = *sketch;
+      }
+      seeded = true;
     } else {
       merged_->merge_from(*sketch);
     }
   }
-  global_mean_ = updates > 0 ? total / static_cast<double>(updates) : 0.0;
+  if (!seeded) {
+    merged_.reset();
+  }
+}
+
+std::optional<common::TimeMs> PosgScheduler::merged_estimate(
+    const hash::BucketDigest& digest) const noexcept {
+  // Mirrors DualSketch::estimate over a virtual merged cell: f and w are
+  // summed across the shipped sketches in ascending op order — the same
+  // additions, in the same order, the eager materialization performs
+  // (seeding from the first shipped sketch and merge_from-ing the rest),
+  // so every per-row (f, w) pair is bit-identical to the materialized
+  // merged cell. The accumulators start at (0, 0.0): 0.0 + x is exact for
+  // the non-negative weights these cells hold, and uint64 addition is
+  // associative, so starting from zero instead of the seed copy changes
+  // nothing. Lazy mode never configures a heavy-hitter ledger, so the
+  // exact-sample shortcut DualSketch::estimate consults cannot fire.
+  const std::size_t rows = digest.rows();
+
+  if (config_.estimator == sketch::EstimatorVariant::kArgMinFrequency) {
+    std::uint64_t best_freq = std::numeric_limits<std::uint64_t>::max();
+    double best_weight = 0.0;
+    for (std::size_t i = 0; i < rows; ++i) {
+      const std::size_t offset = digest.offset(i);
+      std::uint64_t freq = 0;
+      double weight = 0.0;
+      for (const sketch::FWCell* cells : shipped_cells_) {
+        const sketch::FWCell& cell = cells[offset];
+        freq += cell.f;
+        weight += cell.w;
+      }
+      if (freq < best_freq) {
+        best_freq = freq;
+        best_weight = weight;
+      }
+    }
+    if (best_freq == 0) {
+      return std::nullopt;
+    }
+    return best_weight / static_cast<double>(best_freq);
+  }
+
+  std::optional<common::TimeMs> best;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::size_t offset = digest.offset(i);
+    std::uint64_t freq = 0;
+    double weight = 0.0;
+    for (const sketch::FWCell* cells : shipped_cells_) {
+      const sketch::FWCell& cell = cells[offset];
+      freq += cell.f;
+      weight += cell.w;
+    }
+    if (freq == 0) {
+      continue;
+    }
+    const double ratio = weight / static_cast<double>(freq);
+    if (!best || ratio < *best) {
+      best = ratio;
+    }
+  }
+  return best;
+}
+
+std::optional<sketch::DualSketch> PosgScheduler::build_merged() const {
+  std::optional<sketch::DualSketch> merged;
+  for (const auto op : shipped_ops_) {
+    if (!merged.has_value()) {
+      merged = *sketches_[op];
+    } else {
+      merged->merge_from(*sketches_[op]);
+    }
+  }
+  return merged;
 }
 
 std::optional<common::TimeMs> PosgScheduler::estimate(common::Item item) const {
@@ -265,6 +385,61 @@ Decision PosgScheduler::schedule(common::Item item, common::SeqNo seq) {
   return decision;
 }
 
+void PosgScheduler::schedule_batch(const common::Item* items, const common::SeqNo* seqs,
+                                   std::size_t n, Decision* out) {
+  if (n == 0) {
+    return;
+  }
+  if (n == 1) {
+    // Delegation, not reimplementation: batch size 1 runs the exact
+    // per-tuple code path, so golden scheduling streams cannot drift.
+    out[0] = schedule(items[0], seqs[0]);
+    return;
+  }
+  const bool greedy_state = state_ == State::kWaitAll || state_ == State::kRun;
+  if (!greedy_state || ramps_active_ > 0) {
+    // ROUND_ROBIN / SEND_ALL rotate per tuple (markers piggy-back on
+    // individual tuples), and a pacing ramp must see every admission —
+    // the batch falls back to the per-tuple protocol unchanged.
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = schedule(items[i], seqs[i]);
+    }
+    return;
+  }
+  POSG_PROFILE_SCOPE(prof_schedule_);
+  if (live_count_ == 0) {
+    throw NoLiveInstanceError(
+        "PosgScheduler: no live instance to schedule onto (all quarantined; awaiting rejoin)");
+  }
+  // One argmin + one digest amortized over the batch: the head tuple's
+  // estimate stands in for the whole batch, billed in a single fused Ĉ
+  // update with a single argmin nudge. State transitions only happen in
+  // on_sketches/on_sync_reply — never inside schedule() in the greedy
+  // states — so the batch cannot straddle a protocol edge.
+  POSG_PROFILE_SCOPE(prof_bill_);
+  const common::InstanceId target = greedy_pick();
+  const common::TimeMs head_estimate =
+      scheduling_estimate(target, items[0], hashes_.digest(items[0]));
+  c_est_[target] += head_estimate * derate_[target] * static_cast<double>(n);
+  greedy_.increase(target, greedy_score(target));
+  decisions_ += n;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = Decision{target, std::nullopt};
+  }
+  if (trace_writer_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      trace_writer_->record(obs::TraceEvent{
+          .type = obs::TraceEventType::kScheduleDecision,
+          .detail = static_cast<std::uint8_t>(state_),
+          .component = 0,
+          .instance = static_cast<std::uint32_t>(target),
+          .a = seqs[i],
+          .value = c_est_[target],
+          .tick = 0});
+    }
+  }
+}
+
 void PosgScheduler::enter_send_all() noexcept {
   ++epoch_;
   for (std::size_t op = 0; op < k_; ++op) {
@@ -305,28 +480,49 @@ bool PosgScheduler::all_live_shipped() const noexcept {
   return true;
 }
 
-void PosgScheduler::on_sketches(const SketchShipment& shipment) {
+bool PosgScheduler::shipment_admissible(const SketchShipment& shipment) const {
   common::require(shipment.instance < k_, "PosgScheduler: shipment from unknown instance");
   if (failed_[shipment.instance] || draining_[shipment.instance]) {
     // Late frame from a quarantined instance, or a final shipment from a
     // draining one: either way the sender is leaving — refreshing the
     // merged estimates (and churning the epoch machinery) over a replica
     // that will never be billed again would only skew the survivors.
-    return;
+    return false;
   }
   common::require(shipment.sketch.dims() == config_.dims() &&
                       shipment.sketch.seed() == config_.sketch_seed &&
                       shipment.sketch.heavy_capacity() == config_.heavy_hitter_capacity &&
                       shipment.sketch.conservative() == config_.conservative_update,
                   "PosgScheduler: shipment sketch layout mismatch");
+  return true;
+}
+
+void PosgScheduler::on_sketches(const SketchShipment& shipment) {
+  if (!shipment_admissible(shipment)) {
+    return;
+  }
+  // Copy-assign reuses the existing slot's cell storage when the layouts
+  // match (they always do — shipment_admissible enforces it).
   sketches_[shipment.instance] = shipment.sketch;
+  shipment_ingested(shipment.instance);
+}
+
+void PosgScheduler::on_sketches(SketchShipment&& shipment) {
+  if (!shipment_admissible(shipment)) {
+    return;
+  }
+  sketches_[shipment.instance] = std::move(shipment.sketch);
+  shipment_ingested(shipment.instance);
+}
+
+void PosgScheduler::shipment_ingested(common::InstanceId op) {
   refresh_global_mean();
   if (trace_writer_) {
     trace_writer_->record(obs::TraceEvent{
         .type = obs::TraceEventType::kSketchShip,
         .detail = 0,
         .component = 0,
-        .instance = static_cast<std::uint32_t>(shipment.instance),
+        .instance = static_cast<std::uint32_t>(op),
         .a = epoch_,
         .value = global_mean_,
         .tick = 0});
@@ -357,7 +553,7 @@ void PosgScheduler::maybe_complete_epoch() noexcept {
   // sketch-bearing instance just died); its round-robin fallback runs next
   // and abandons the epoch wholesale — completing into RUN without any
   // billed sketch would be meaningless.
-  if (state_ != State::kWaitAll || live_count_ == 0 || !merged_.has_value()) {
+  if (state_ != State::kWaitAll || live_count_ == 0 || !has_billed_sketch()) {
     return;
   }
   for (std::size_t op = 0; op < k_; ++op) {
@@ -564,14 +760,14 @@ void PosgScheduler::remove_instance(common::InstanceId op, bool redistribute) {
   if (state_ == State::kRoundRobin) {
     // Bootstrap liveness: the removed instance may have been the only one
     // whose sketch was still missing.
-    if (all_live_shipped() && merged_.has_value()) {
+    if (all_live_shipped() && has_billed_sketch()) {
       if (config_.sync_enabled) {
         enter_send_all();
       } else {
         state_ = State::kRun;
       }
     }
-  } else if (!merged_.has_value()) {
+  } else if (!has_billed_sketch()) {
     // Degradation ladder, bottom rung: every sketch-bearing instance is
     // gone, so no estimates exist — fall back to round-robin over the
     // survivors until fresh sketches arrive. Abandon the in-flight epoch
@@ -744,7 +940,7 @@ void PosgScheduler::rejoin(common::InstanceId op) {
 
   rebuild_greedy();
 
-  if (!merged_.has_value()) {
+  if (!has_billed_sketch()) {
     // No sketch-bearing instance anywhere (the rejoiner ships a fresh one
     // once its tracker warms up): round-robin until estimates exist.
     for (std::size_t other = 0; other < k_; ++other) {
@@ -872,7 +1068,26 @@ void PosgScheduler::debug_validate() const {
 
   POSG_CHECK(std::isfinite(global_mean_) && global_mean_ >= 0.0,
              "PosgScheduler: global mean execution time must be finite and non-negative");
-  if (merged_.has_value()) {
+  std::size_t shipped = 0;
+  for (std::size_t op = 0; op < k_; ++op) {
+    if (sketches_[op].has_value()) {
+      ++shipped;
+    }
+  }
+  POSG_CHECK(shipped == shipped_ops_.size(),
+             "PosgScheduler: shipped-op index out of sync with the sketch slots");
+  POSG_CHECK(shipped_cells_.size() == shipped_ops_.size(),
+             "PosgScheduler: shipped-cell pointer cache out of sync with the op index");
+  for (std::size_t i = 0; i < shipped_ops_.size(); ++i) {
+    POSG_CHECK(shipped_cells_[i] == sketches_[shipped_ops_[i]]->cells().data(),
+               "PosgScheduler: stale shipped-cell pointer (sketch slot mutated without refresh)");
+  }
+  if (lazy_merged_) {
+    POSG_CHECK(!merged_.has_value(), "PosgScheduler: lazy mode materialized a merged sketch");
+    if (auto merged = build_merged()) {
+      merged->debug_validate();
+    }
+  } else if (merged_.has_value()) {
     merged_->debug_validate();
   }
 
@@ -885,7 +1100,7 @@ void PosgScheduler::debug_validate() const {
       POSG_CHECK(config_.sync_enabled, "PosgScheduler: SEND_ALL with synchronization disabled");
       POSG_CHECK(epoch_ >= 1, "PosgScheduler: SEND_ALL before the first epoch");
       POSG_CHECK(markers_outstanding_ >= 1, "PosgScheduler: SEND_ALL with no marker left to send");
-      POSG_CHECK(merged_.has_value(), "PosgScheduler: SEND_ALL without any billed sketch");
+      POSG_CHECK(has_billed_sketch(), "PosgScheduler: SEND_ALL without any billed sketch");
       for (std::size_t op = 0; op < k_; ++op) {
         // An instance replies only after its marker was piggy-backed, so a
         // received reply and a still-pending marker are mutually exclusive.
@@ -897,11 +1112,11 @@ void PosgScheduler::debug_validate() const {
       POSG_CHECK(config_.sync_enabled, "PosgScheduler: WAIT_ALL with synchronization disabled");
       POSG_CHECK(epoch_ >= 1, "PosgScheduler: WAIT_ALL before the first epoch");
       POSG_CHECK(markers_outstanding_ == 0, "PosgScheduler: WAIT_ALL with markers still pending");
-      POSG_CHECK(merged_.has_value(), "PosgScheduler: WAIT_ALL without any billed sketch");
+      POSG_CHECK(has_billed_sketch(), "PosgScheduler: WAIT_ALL without any billed sketch");
       break;
     case State::kRun:
       POSG_CHECK(markers_outstanding_ == 0, "PosgScheduler: markers pending in RUN");
-      POSG_CHECK(merged_.has_value(), "PosgScheduler: RUN without any billed sketch");
+      POSG_CHECK(has_billed_sketch(), "PosgScheduler: RUN without any billed sketch");
       break;
   }
 }

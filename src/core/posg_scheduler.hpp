@@ -67,7 +67,31 @@ class PosgScheduler final : public Scheduler {
   PosgScheduler(std::size_t instances, const PosgConfig& config);
 
   Decision schedule(common::Item item, common::SeqNo seq) override;
+
+  /// Micro-batched SUBMIT (DESIGN.md §13): schedules `n` consecutive
+  /// tuples in one call, writing one Decision per tuple into `out`.
+  ///
+  /// In the greedy states (WAIT_ALL / RUN) with no admission ramp active,
+  /// the whole batch shares ONE cached-argmin pick and ONE BucketDigest:
+  /// the batch head's estimate is billed n-fold in a single Ĉ update and
+  /// the incremental argmin is nudged once — amortizing the per-tuple
+  /// schedule cost over the batch at the price of intra-batch granularity
+  /// (all n tuples land on the same instance, billed at the head tuple's
+  /// estimate). ROUND_ROBIN and SEND_ALL fall back to per-tuple
+  /// schedule() — marker piggy-backing is inherently per-tuple — as does
+  /// any batch while a rejoin ramp is pacing admissions.
+  ///
+  /// n == 1 delegates to schedule() unconditionally, so a batch size of 1
+  /// reproduces the per-tuple scheduling stream byte-identically
+  /// (tests/golden_schedule_test.cpp locks this).
+  void schedule_batch(const common::Item* items, const common::SeqNo* seqs, std::size_t n,
+                      Decision* out);
+
   void on_sketches(const SketchShipment& shipment) override;
+  /// Move form: steals the shipped sketch instead of copying its r·c cell
+  /// array. Preferred on the hot feedback path (engine, runtime, bench);
+  /// both overloads ingest identical cell values.
+  void on_sketches(SketchShipment&& shipment) override;
   void on_sync_reply(const SyncReply& reply) override;
   std::size_t instances() const override { return k_; }
   std::string name() const override { return "posg"; }
@@ -284,6 +308,28 @@ class PosgScheduler final : public Scheduler {
   /// done).
   void remove_instance(common::InstanceId op, bool redistribute);
   void refresh_global_mean() noexcept;
+  /// Shared admission check of both on_sketches overloads: layout
+  /// validation plus the quarantined/draining-sender drop.
+  bool shipment_admissible(const SketchShipment& shipment) const;
+  /// Shared tail of both on_sketches overloads, run after sketches_[op]
+  /// was replaced: refresh the billing view, trace, drive the FSM.
+  void shipment_ingested(common::InstanceId op);
+  /// Merged-view estimate without a materialized merged sketch: sums the
+  /// digest's r cells across the shipped sketches in ascending op order —
+  /// the same additions, in the same order, refresh_global_mean's
+  /// materialization performs per cell, so the result is bit-identical to
+  /// estimating on merged_. Only valid in lazy mode (no heavy-hitter
+  /// ledger to consult).
+  std::optional<common::TimeMs> merged_estimate(const hash::BucketDigest& digest) const noexcept;
+  /// True when at least one instance bills a sketch — the lazy-mode
+  /// equivalent of merged_.has_value() (the two are kept interchangeable:
+  /// shipped_ops_ is rebuilt wherever merged_ used to be).
+  bool has_billed_sketch() const noexcept {
+    return lazy_merged_ ? !shipped_ops_.empty() : merged_.has_value();
+  }
+  /// Materializes the merged sketch for the rare paths that need the full
+  /// object in lazy mode (debug_validate).
+  std::optional<sketch::DualSketch> build_merged() const;
   void maybe_complete_epoch() noexcept;
   bool all_live_shipped() const noexcept;
   /// Bills `item` to `target` (estimate × de-rate factor) and nudges the
@@ -308,9 +354,26 @@ class PosgScheduler final : public Scheduler {
   /// Latest stable sketch shipped by each instance (empty until first
   /// shipment).
   std::vector<std::optional<sketch::DualSketch>> sketches_;
-  /// Sum of the latest sketches (rebuilt on every shipment); billing
-  /// source when config.shared_billing is set.
+  /// Sum of the latest sketches; billing source when config.shared_billing
+  /// is set. Only materialized in eager mode (heavy-hitter configs, whose
+  /// merged top-N ledger cannot be recomputed cell-wise); in lazy mode the
+  /// merged view is summed on demand per estimate (merged_estimate), which
+  /// turns the per-shipment O(k·r·c) rebuild into O(r·|shipped|) loads per
+  /// scheduling decision.
   std::optional<sketch::DualSketch> merged_;
+  /// Lazy merged view enabled: no heavy-hitter ledger configured, so the
+  /// merged estimate is a pure cell sum and need not be materialized.
+  bool lazy_merged_ = false;
+  /// Ascending ids of instances whose sketches_ slot holds a sketch —
+  /// the summation order of the merged view. Rebuilt by
+  /// refresh_global_mean alongside global_mean_.
+  std::vector<common::InstanceId> shipped_ops_;
+  /// shipped_ops_'s sketches as raw fused-cell pointers, in the same
+  /// order — the per-decision merged_estimate sum reads these directly
+  /// instead of chasing optional → vector → data on every (row, op) pair.
+  /// Invalidated by any sketches_ slot mutation; every such site calls
+  /// refresh_global_mean, which rebuilds both vectors together.
+  std::vector<const sketch::FWCell*> shipped_cells_;
   /// Ĉ (Listing III.2).
   std::vector<common::TimeMs> c_est_;
   /// Mean execution time across all shipped sketches — the

@@ -28,6 +28,13 @@ class Scheduler {
   /// Policies that do not use feedback ignore it.
   virtual void on_sketches(const SketchShipment& shipment) { (void)shipment; }
 
+  /// Move form of the same delivery: implementations that store the sketch
+  /// may steal its r·c cell array instead of copying it. Defaults to the
+  /// copying overload so policies only need to implement one.
+  virtual void on_sketches(SketchShipment&& shipment) {
+    on_sketches(static_cast<const SketchShipment&>(shipment));
+  }
+
   /// Delivery of a synchronization reply from an operator instance.
   virtual void on_sync_reply(const SyncReply& reply) { (void)reply; }
 

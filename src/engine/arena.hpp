@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "engine/value.hpp"
+
+namespace posg::engine {
+
+/// Per-thread recycling pool for tuple field buffers (DESIGN.md §13).
+///
+/// Every Tuple carries a std::vector<Value>; on the hot path those
+/// vectors are created when a tuple is copied for multi-target fan-out
+/// and destroyed when the consuming executor finishes with the tuple —
+/// one allocator round trip per hop. The arena breaks the round trip:
+/// consumed buffers are cleared (capacity kept) and parked here, and the
+/// next fan-out copy starts from a parked buffer instead of a fresh
+/// allocation.
+///
+/// Lifetime rules (the reason this is safe):
+///   * recycle() only after the tuple is fully consumed — for the engine
+///     that is after Bolt::execute (which takes `const Tuple&`, so the
+///     fields survive the call) and the per-tuple bookkeeping have run.
+///   * The arena is accessed via local() — a thread_local instance — so
+///     acquire/recycle never synchronize. Buffers recycled on one thread
+///     are reused by that thread only; a buffer handed downstream inside
+///     a tuple simply migrates to the consumer's arena when *it* recycles.
+///   * The pool is bounded (kMaxPooled) so a burst cannot pin memory
+///     forever; overflow buffers just free normally.
+class ValueArena {
+ public:
+  /// A cleared vector, with whatever capacity its previous life left it.
+  std::vector<Value> acquire() {
+    if (pool_.empty()) {
+      return {};
+    }
+    std::vector<Value> out = std::move(pool_.back());
+    pool_.pop_back();
+    return out;
+  }
+
+  /// Parks a consumed buffer for reuse (clears it, keeps capacity).
+  void recycle(std::vector<Value>&& buffer) {
+    if (pool_.size() >= kMaxPooled) {
+      return;  // let it free; the pool is full
+    }
+    buffer.clear();
+    pool_.push_back(std::move(buffer));
+  }
+
+  std::size_t pooled() const noexcept { return pool_.size(); }
+
+  /// The calling thread's arena.
+  static ValueArena& local() {
+    thread_local ValueArena arena;
+    return arena;
+  }
+
+ private:
+  static constexpr std::size_t kMaxPooled = 256;
+  std::vector<std::vector<Value>> pool_;
+};
+
+}  // namespace posg::engine

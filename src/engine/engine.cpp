@@ -4,8 +4,14 @@
 #include <chrono>
 #include <optional>
 
+#include "engine/arena.hpp"
 #include "engine/posg_grouping.hpp"
 #include "obs/profile.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace posg::engine {
 
@@ -25,9 +31,12 @@ void OutputCollector::emit(Tuple tuple) {
 }
 
 void OutputCollector::flush() {
-  for (PendingBatch& batch : pending_) {
-    if (!batch.tuples.empty()) {
-      engine_.flush_batch(batch);  // clears the vector, keeps capacity
+  const std::vector<Engine::StreamTarget>& targets = is_spout_
+                                                         ? engine_.spouts_[component_index_]->outputs
+                                                         : engine_.bolts_[component_index_]->outputs;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (!pending_[i].tuples.empty()) {
+      engine_.flush_stream(targets[i], pending_[i].tuples, *this);  // clears, keeps capacity
     }
   }
 }
@@ -46,9 +55,6 @@ Engine::Engine(Topology topology, EngineConfig config)
   for (const auto& spec : topology_.bolts) {
     auto runtime = std::make_unique<BoltRuntime>();
     runtime->spec = spec;
-    for (std::size_t i = 0; i < spec.parallelism; ++i) {
-      runtime->queues.push_back(std::make_unique<BoundedQueue<Tuple>>(config_.queue_capacity));
-    }
     runtime->per_instance_executed.assign(spec.parallelism, 0);
     runtime->per_instance_busy_ms.assign(spec.parallelism, 0.0);
     runtime->per_instance_queue_peak.assign(spec.parallelism, 0);
@@ -92,6 +98,7 @@ Engine::Engine(Topology topology, EngineConfig config)
     }
   }
   prof_flush_ = &metrics_.histogram("posg.engine.flush_batch_ns");
+  batch_fill_ = &metrics_.histogram("posg.engine.batch_fill");
 
   // Wire streams: for every bolt input, register this bolt as a target of
   // the upstream component, and detect the feedback grouping.
@@ -126,44 +133,88 @@ Engine::Engine(Topology topology, EngineConfig config)
   for (auto& bolt : bolts_) {
     bolt->terminal = bolt->outputs.empty();
   }
+
+  // Data-plane channel selection (DESIGN.md §13), now that the wiring is
+  // known: count the upstream executor threads that can push into each
+  // bolt. Exactly one means every one of the bolt's input channels is a
+  // single-producer edge and gets the lock-free SPSC ring; anything else
+  // keeps the mutex MPMC BoundedQueue.
+  for (std::size_t b = 0; b < bolts_.size(); ++b) {
+    const auto feeds_b = [b](const StreamTarget& target) { return target.bolt_index == b; };
+    std::size_t producers = 0;
+    for (const auto& spout : spouts_) {
+      if (std::any_of(spout->outputs.begin(), spout->outputs.end(), feeds_b)) {
+        producers += spout->spec.parallelism;
+      }
+    }
+    for (const auto& upstream : bolts_) {
+      if (std::any_of(upstream->outputs.begin(), upstream->outputs.end(), feeds_b)) {
+        producers += upstream->spec.parallelism;
+      }
+    }
+    bolts_[b]->single_producer = producers == 1;
+    for (std::size_t i = 0; i < bolts_[b]->spec.parallelism; ++i) {
+      bolts_[b]->queues.push_back(std::make_unique<TupleChannel>(
+          bolts_[b]->single_producer ? TupleChannel::make_spsc(config_.queue_capacity)
+                                     : TupleChannel::make_mpmc(config_.queue_capacity)));
+    }
+  }
 }
 
 void Engine::route_emit(const std::vector<StreamTarget>& targets, Tuple tuple,
                         OutputCollector& collector) {
   common::require(!targets.empty(), "Engine: emitting from a terminal component");
-  for (std::size_t i = 0; i < targets.size(); ++i) {
-    const StreamTarget& target = targets[i];
-    BoltRuntime& bolt = *bolts_[target.bolt_index];
-    const Route route = target.grouping->route(tuple, bolt.spec.parallelism);
-    common::ensure(route.instance < bolt.spec.parallelism, "Engine: grouping routed out of range");
-    // Copy for all targets but the last; move into the last.
-    Tuple out = (i + 1 == targets.size()) ? std::move(tuple) : tuple;
-    out.marker = route.marker;
+  if (collector.pending_.size() < targets.size()) {
+    collector.pending_.resize(targets.size());
+  }
+  // Stage pre-route: the instance choice is deferred to flush_stream so
+  // the grouping sees whole batches. Copies for all targets but the last
+  // draw their field buffers from the thread's arena; the original moves
+  // into the last.
+  for (std::size_t i = 0; i + 1 < targets.size(); ++i) {
+    Tuple copy;
+    copy.seq = tuple.seq;
+    copy.item = tuple.item;
+    copy.fields = ValueArena::local().acquire();
+    copy.fields = tuple.fields;
+    copy.emitted_at = tuple.emitted_at;
+    collector.pending_[i].tuples.push_back(std::move(copy));
+  }
+  collector.pending_[targets.size() - 1].tuples.push_back(std::move(tuple));
+}
 
-    // Stage on the destination queue's pending batch; the executor loop
-    // flushes after the emitting callback returns (see OutputCollector).
-    BoundedQueue<Tuple>* queue = bolt.queues[route.instance].get();
-    OutputCollector::PendingBatch* pending = nullptr;
-    for (auto& batch : collector.pending_) {
-      if (batch.queue == queue) {
-        pending = &batch;
-        break;
-      }
+void Engine::flush_stream(const StreamTarget& target, std::vector<Tuple>& tuples,
+                          OutputCollector& collector) {
+  BoltRuntime& bolt = *bolts_[target.bolt_index];
+  const std::size_t k = bolt.spec.parallelism;
+  const std::size_t n = tuples.size();
+  collector.routes_.resize(n);
+  target.grouping->route_batch(tuples.data(), n, k, collector.routes_.data());
+  batch_fill_->record(n);
+  if (collector.scatter_.size() < k) {
+    collector.scatter_.resize(k);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Route& route = collector.routes_[i];
+    common::ensure(route.instance < k, "Engine: grouping routed out of range");
+    tuples[i].marker = route.marker;
+    collector.scatter_[route.instance].push_back(std::move(tuples[i]));
+  }
+  tuples.clear();
+  // Per-instance runs keep emission order within each destination — the
+  // same per-channel FIFO the per-tuple path produced.
+  for (std::size_t op = 0; op < k; ++op) {
+    if (!collector.scatter_[op].empty()) {
+      flush_batch(bolt, *bolt.queues[op], collector.scatter_[op]);
     }
-    if (pending == nullptr) {
-      pending = &collector.pending_.emplace_back(
-          OutputCollector::PendingBatch{queue, target.bolt_index, {}});
-    }
-    pending->tuples.push_back(std::move(out));
   }
 }
 
-void Engine::flush_batch(OutputCollector::PendingBatch& batch) {
+void Engine::flush_batch(BoltRuntime& bolt, TupleChannel& channel, std::vector<Tuple>& tuples) {
   POSG_PROFILE_SCOPE(prof_flush_);
-  BoltRuntime& bolt = *bolts_[batch.bolt_index];
   core::OverloadController* controller = bolt.overload.get();
   if (controller == nullptr) {
-    batch.queue->push_all(batch.tuples);
+    channel.push_all(tuples);
     return;
   }
   // Shed mode requires *every* queue of the stage past the high watermark
@@ -175,7 +226,7 @@ void Engine::flush_batch(OutputCollector::PendingBatch& batch) {
                                           static_cast<double>(queue->capacity()));
   }
   if (!controller->sample(saturation)) {
-    batch.queue->push_all(batch.tuples);
+    channel.push_all(tuples);
     return;
   }
 
@@ -206,28 +257,54 @@ void Engine::flush_batch(OutputCollector::PendingBatch& batch) {
       }
       segment.swap(ordered);
     }
-    batch.queue->try_push_all(segment);  // erases the admitted prefix
+    channel.try_push_all(segment);  // erases the admitted prefix
     dropped += segment.size();
     segment.clear();
   };
-  for (Tuple& tuple : batch.tuples) {
+  for (Tuple& tuple : tuples) {
     if (tuple.marker.has_value()) {
       drain_segment();
-      batch.queue->push(std::move(tuple));
+      channel.push(std::move(tuple));
     } else {
       segment.push_back(std::move(tuple));
     }
   }
   drain_segment();
-  batch.tuples.clear();
+  tuples.clear();
   if (dropped > 0) {
     bolt.shed.fetch_add(dropped, std::memory_order_relaxed);
     controller->note_shed(dropped);
   }
 }
 
+namespace {
+
+/// Distinct destination bolts of an output list (a component with two
+/// streams to the same bolt must claim that bolt's channels once).
+template <typename Target>
+std::vector<std::size_t> distinct_bolt_targets(const std::vector<Target>& targets) {
+  std::vector<std::size_t> bolts;
+  for (const auto& target : targets) {
+    if (std::find(bolts.begin(), bolts.end(), target.bolt_index) == bolts.end()) {
+      bolts.push_back(target.bolt_index);
+    }
+  }
+  return bolts;
+}
+
+}  // namespace
+
 void Engine::spout_main(std::size_t index, common::InstanceId instance) {
   SpoutRuntime& spout = *spouts_[index];
+  // Claim the producer role on every downstream channel this thread can
+  // push into (runtime proof of the SPSC wiring; no-op on MPMC edges).
+  const std::vector<std::size_t> target_bolts = distinct_bolt_targets(spout.outputs);
+  for (const std::size_t b : target_bolts) {
+    for (auto& channel : bolts_[b]->queues) {
+      channel->claim_producer();
+    }
+  }
+
   ComponentContext context{spout.spec.name, instance, spout.spec.parallelism};
   const auto spout_impl = spout.spec.factory(context);
   OutputCollector collector(*this, index, true);
@@ -240,10 +317,26 @@ void Engine::spout_main(std::size_t index, common::InstanceId instance) {
   }
   collector.flush();  // a final next() may emit before reporting exhaustion
   spout_impl->close();
+
+  for (const std::size_t b : target_bolts) {
+    for (auto& channel : bolts_[b]->queues) {
+      channel->unclaim_producer();
+    }
+  }
 }
 
 void Engine::bolt_main(std::size_t index, common::InstanceId instance) {
   BoltRuntime& bolt = *bolts_[index];
+  // Role claims: consumer of this instance's own input channel, producer
+  // of every downstream channel (no-ops on MPMC edges).
+  bolt.queues[instance]->claim_consumer();
+  const std::vector<std::size_t> target_bolts = distinct_bolt_targets(bolt.outputs);
+  for (const std::size_t b : target_bolts) {
+    for (auto& channel : bolts_[b]->queues) {
+      channel->claim_producer();
+    }
+  }
+
   ComponentContext context{bolt.spec.name, instance, bolt.spec.parallelism};
   const auto bolt_impl = bolt.spec.factory(context);
   OutputCollector collector(*this, index, false);
@@ -257,10 +350,10 @@ void Engine::bolt_main(std::size_t index, common::InstanceId instance) {
   }
 
   // Batched dequeue: one pop_all drains everything queued under a single
-  // lock acquisition — under load the consumer touches the mutex once per
-  // burst instead of once per tuple, and when the queue runs dry it
+  // synchronization — under load the consumer touches the channel once
+  // per burst instead of once per tuple, and when the channel runs dry it
   // blocks exactly as pop() did.
-  BoundedQueue<Tuple>& queue = *bolt.queues[instance];
+  TupleChannel& queue = *bolt.queues[instance];
   std::vector<Tuple> batch;
   while (queue.pop_all(batch) > 0) {
     // The whole drained batch was resident at dequeue time — the same
@@ -292,7 +385,7 @@ void Engine::bolt_main(std::size_t index, common::InstanceId instance) {
       if (tracker) {
         const common::TimeMs duration = elapsed_ms(started, finished);
         if (auto shipment = tracker->on_executed(tuple.item, duration)) {
-          bolt.feedback->on_sketches(*shipment);
+          bolt.feedback->on_sketches(std::move(*shipment));
         }
         if (tuple.marker) {
           // Contract: the marker's reply uses C_op *including* this tuple,
@@ -304,10 +397,22 @@ void Engine::bolt_main(std::size_t index, common::InstanceId instance) {
       if (bolt.terminal) {
         recorder_.record(tuple.seq, elapsed_ms(tuple.emitted_at, finished));
       }
+
+      // The tuple is fully consumed (execute takes a const ref, the
+      // bookkeeping above is done) — park its field buffer for reuse by
+      // this thread's next fan-out copy instead of freeing it.
+      ValueArena::local().recycle(std::move(tuple.fields));
     }
     batch.clear();
   }
   bolt_impl->cleanup();
+
+  bolt.queues[instance]->unclaim_consumer();
+  for (const std::size_t b : target_bolts) {
+    for (auto& channel : bolts_[b]->queues) {
+      channel->unclaim_producer();
+    }
+  }
 }
 
 void Engine::run() {
@@ -341,14 +446,26 @@ void Engine::run() {
   }
 
   // Start all bolt executors first so queues have consumers, then spouts.
+  // Shard-per-core (EngineConfig::pin_threads): each executor thread gets
+  // the next core round-robin in spawn order, so a topology that fits the
+  // machine runs one shard per core with stable cache residency.
+  const unsigned cores = std::max(1U, std::thread::hardware_concurrency());
+  unsigned next_core = 0;
+  const auto maybe_pin = [&](std::thread& thread) {
+    if (config_.pin_threads) {
+      pin_thread_to_core(thread, next_core++ % cores);
+    }
+  };
   for (std::size_t b = 0; b < bolts_.size(); ++b) {
     for (common::InstanceId i = 0; i < bolts_[b]->spec.parallelism; ++i) {
       bolts_[b]->threads.emplace_back([this, b, i] { bolt_main(b, i); });
+      maybe_pin(bolts_[b]->threads.back());
     }
   }
   for (std::size_t s = 0; s < spouts_.size(); ++s) {
     for (common::InstanceId i = 0; i < spouts_[s]->spec.parallelism; ++i) {
       spouts_[s]->threads.emplace_back([this, s, i] { spout_main(s, i); });
+      maybe_pin(spouts_[s]->threads.back());
     }
   }
 
@@ -375,6 +492,31 @@ void Engine::run() {
       thread.join();
     }
   }
+
+  // Back-pressure signal of the SPSC edges: total producer wait
+  // iterations against full rings, aggregated post-join (the channels are
+  // quiescent now, so the relaxed counters are exact).
+  std::uint64_t ring_full_spins = 0;
+  for (const auto& bolt : bolts_) {
+    for (const auto& queue : bolt->queues) {
+      ring_full_spins += queue->full_spins();
+    }
+  }
+  metrics_.counter("posg.engine.ring_full_spins").add(ring_full_spins);
+}
+
+void Engine::pin_thread_to_core(std::thread& thread, unsigned core) {
+#if defined(__linux__)
+  cpu_set_t cpuset;
+  CPU_ZERO(&cpuset);
+  CPU_SET(core, &cpuset);
+  // Best effort: a failure (cgroup CPU mask, exotic runner) leaves the
+  // thread unpinned, which is always correct.
+  (void)pthread_setaffinity_np(thread.native_handle(), sizeof(cpuset), &cpuset);
+#else
+  (void)thread;
+  (void)core;
+#endif
 }
 
 void Engine::elastic_monitor(std::size_t bolt_index, PosgGrouping* grouping) {

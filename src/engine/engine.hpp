@@ -11,6 +11,7 @@
 #include "core/elastic.hpp"
 #include "core/instance_tracker.hpp"
 #include "core/overload.hpp"
+#include "engine/channel.hpp"
 #include "engine/completion_recorder.hpp"
 #include "engine/queue.hpp"
 #include "engine/topology.hpp"
@@ -25,19 +26,22 @@ using EngineConfig = ::posg::EngineConfig;
 class Engine;
 class PosgGrouping;
 
-/// Emission interface handed to spouts and bolts. Routes each emitted
-/// tuple through the grouping of every downstream stream and stages it for
-/// the chosen instance's queue.
+/// Emission interface handed to spouts and bolts. Stages each emitted
+/// tuple per target stream; routing happens at flush time over the whole
+/// staged batch.
 ///
-/// Staging, not pushing: emissions accumulate in per-queue pending batches
-/// and the executor loop flushes them (one BoundedQueue::push_all per
-/// touched queue) right after each next()/execute() callback returns. A
-/// component that emits a burst in one callback pays one lock acquisition
-/// and one consumer wakeup per target queue instead of one per tuple,
-/// while the flush-per-callback boundary keeps the pacing and latency
-/// semantics of unbatched emission: nothing an invocation emitted is still
-/// buffered by the time the next invocation (or the component's own
-/// inter-arrival sleep) begins.
+/// Staging, not pushing: emissions accumulate in per-stream pending
+/// batches and the executor loop flushes them right after each
+/// next()/execute() callback returns. The flush routes the batch with one
+/// Grouping::route_batch call (POSG pays its lock and argmin once per
+/// batch, not once per tuple — DESIGN.md §13), scatters the routed tuples
+/// into per-instance runs, and hands each run to its channel with one
+/// push_all. A component that emits a burst in one callback pays one
+/// synchronization per touched channel instead of one per tuple, while
+/// the flush-per-callback boundary keeps the pacing and latency semantics
+/// of unbatched emission: nothing an invocation emitted is still buffered
+/// by the time the next invocation (or the component's own inter-arrival
+/// sleep) begins.
 class OutputCollector {
  public:
   /// Emits `tuple` downstream. For spout emissions the engine assigns the
@@ -53,28 +57,29 @@ class OutputCollector {
   OutputCollector(Engine& engine, std::size_t component_index, bool is_spout)
       : engine_(engine), component_index_(component_index), is_spout_(is_spout) {}
 
-  /// One staged batch per destination queue this collector has emitted to.
-  /// The set of destinations is small and stable (downstream instances),
-  /// so a linear scan beats any map, and the vectors are reused across
-  /// flushes (push_all clears them in place).
-  struct PendingBatch {
-    BoundedQueue<Tuple>* queue;
-    std::size_t bolt_index;  // destination bolt (overload controller, costs)
+  /// Staged emissions for one target stream, index-parallel with the
+  /// component's outputs vector. Tuples are staged *pre-route* — the
+  /// instance choice is deferred to the flush so the grouping sees the
+  /// whole batch. All vectors are reused across flushes.
+  struct PendingStream {
     std::vector<Tuple> tuples;
   };
 
-  /// Hands every staged batch to its queue in emission order per queue
-  /// (Engine::flush_batch: BoundedQueue::push_all normally, the shedding
-  /// path under overload). Called by the executor loop after every
-  /// component callback; a closed queue drops the remainder of its batch,
-  /// exactly as per-tuple push() drops on a closed queue.
+  /// Routes and delivers every staged batch (Engine::flush_stream).
+  /// Called by the executor loop after every component callback; a closed
+  /// channel drops the remainder of its run, exactly as per-tuple push()
+  /// drops on a closed queue.
   void flush();
 
   Engine& engine_;
   std::size_t component_index_;  // index into the engine's component table
   bool is_spout_;
   std::uint64_t emitted_ = 0;
-  std::vector<PendingBatch> pending_;
+  std::vector<PendingStream> pending_;
+  /// flush_stream scratch: routed decisions and the per-instance scatter
+  /// runs, kept across flushes so the steady state does not allocate.
+  std::vector<Route> routes_;
+  std::vector<std::vector<Tuple>> scatter_;
 };
 
 /// Multi-threaded runtime for a Topology: one executor thread per
@@ -136,8 +141,9 @@ class Engine {
     std::size_t bolt_index;    // index into bolts_
   };
 
-  // Locking discipline: queues are internally synchronized (BoundedQueue
-  // owns its mutex); executed/emitted/errors are atomics shared by all of
+  // Locking discipline: channels are internally synchronized (BoundedQueue
+  // owns its mutex; SpscRing is lock-free with runtime-claimed roles);
+  // executed/emitted/errors are atomics shared by all of
   // the bolt's executor threads; the per_instance_* vectors are each
   // written only by the executor thread that owns that instance slot and
   // read by stats() after run() joined every thread (the join provides the
@@ -145,7 +151,11 @@ class Engine {
   // must be internally thread-safe (see Grouping's contract).
   struct BoltRuntime {
     Topology::BoltSpec spec;
-    std::vector<std::unique_ptr<BoundedQueue<Tuple>>> queues;
+    /// Input channels, one per instance: SPSC rings when exactly one
+    /// upstream executor thread feeds this bolt, MPMC BoundedQueues
+    /// otherwise (the constructor counts upstream instances).
+    std::vector<std::unique_ptr<TupleChannel>> queues;
+    bool single_producer = false;
     std::vector<std::thread> threads;
     std::vector<StreamTarget> outputs;
     /// The single feedback-wanting grouping among this bolt's inputs
@@ -173,16 +183,22 @@ class Engine {
     std::atomic<std::uint64_t> emitted{0};
   };
 
-  /// Routes one emission through every target stream's grouping and
-  /// stages the routed copies in `collector`'s pending batches.
+  /// Stages one emission on every target stream's pending batch (copies
+  /// for all targets but the last, arena-backed; move into the last).
   void route_emit(const std::vector<StreamTarget>& targets, Tuple tuple,
                   OutputCollector& collector);
-  /// Delivers one staged batch: blocking push_all normally; under
+  /// Routes one staged stream batch (one Grouping::route_batch call),
+  /// scatters by instance, and delivers each run via flush_batch.
+  void flush_stream(const StreamTarget& target, std::vector<Tuple>& tuples,
+                    OutputCollector& collector);
+  /// Delivers one per-instance run: blocking push_all normally; under
   /// overload, sheds what does not fit (cheapest tuples first, markers
   /// always delivered).
-  void flush_batch(OutputCollector::PendingBatch& batch);
+  void flush_batch(BoltRuntime& bolt, TupleChannel& channel, std::vector<Tuple>& tuples);
   void spout_main(std::size_t index, common::InstanceId instance);
   void bolt_main(std::size_t index, common::InstanceId instance);
+  /// Best-effort affinity pin of `thread` (EngineConfig::pin_threads).
+  static void pin_thread_to_core(std::thread& thread, unsigned core);
   /// Autoscale loop (EngineConfig::elastic.enabled): samples the POSG
   /// bolt's queue occupancies every elastic_sample_period_ms, feeds the
   /// ElasticController, and executes its actions through the grouping's
@@ -205,6 +221,9 @@ class Engine {
   /// Queue hand-off latency (flush_batch), ns. Populated only when the
   /// POSG_PROFILE CMake option compiled the scoped timers in.
   obs::Histogram* prof_flush_ = nullptr;
+  /// Tuples per route_batch call (posg.engine.batch_fill): how full the
+  /// micro-batches actually run — the knob's effectiveness signal.
+  obs::Histogram* batch_fill_ = nullptr;
 };
 
 }  // namespace posg::engine

@@ -29,12 +29,28 @@ class Grouping {
   /// Chooses the destination instance among [0, k) for `tuple`.
   virtual Route route(const Tuple& tuple, std::size_t k) = 0;
 
+  /// Routes `n` consecutive tuples in one call, writing one Route per
+  /// tuple into `out`. The default is a per-tuple route() loop, so every
+  /// grouping is batch-callable; groupings with amortizable scheduling
+  /// state (POSG) override it to pay their synchronization and argmin
+  /// cost once per batch instead of once per tuple (DESIGN.md §13).
+  virtual void route_batch(const Tuple* tuples, std::size_t n, std::size_t k, Route* out) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = route(tuples[i], k);
+    }
+  }
+
   /// True when the receiving executors should run POSG instance trackers
   /// and feed shipments/replies back to this grouping.
   virtual bool wants_feedback() const { return false; }
 
   /// Feedback delivery (only called when wants_feedback()).
   virtual void on_sketches(const core::SketchShipment& shipment) { (void)shipment; }
+  /// Move form: feedback-consuming groupings may steal the sketch's cell
+  /// array. Defaults to the copying overload.
+  virtual void on_sketches(core::SketchShipment&& shipment) {
+    on_sketches(static_cast<const core::SketchShipment&>(shipment));
+  }
   virtual void on_sync_reply(const core::SyncReply& reply) { (void)reply; }
 
   /// Configuration the receiving executors' instance trackers must use

@@ -28,10 +28,36 @@ Route PosgGrouping::route(const Tuple& tuple, std::size_t k) {
   return Route{decision.instance, decision.sync_request};
 }
 
-void PosgGrouping::deliver_now(const Delivery& delivery) {
+void PosgGrouping::route_batch(const Tuple* tuples, std::size_t n, std::size_t k, Route* out) {
+  if (n == 0) {
+    return;
+  }
+  MutexLock lock(mutex_);
+  common::require(k == scheduler_.instances(), "PosgGrouping: instance count mismatch");
+  const std::size_t batch = config_.batch > 0 ? config_.batch : 1;
+  for (std::size_t base = 0; base < n; base += batch) {
+    const std::size_t chunk = std::min(batch, n - base);
+    items_scratch_.clear();
+    seqs_scratch_.clear();
+    for (std::size_t i = 0; i < chunk; ++i) {
+      items_scratch_.push_back(tuples[base + i].item);
+      seqs_scratch_.push_back(tuples[base + i].seq);
+    }
+    decisions_scratch_.resize(chunk);
+    scheduler_.schedule_batch(items_scratch_.data(), seqs_scratch_.data(), chunk,
+                              decisions_scratch_.data());
+    for (std::size_t i = 0; i < chunk; ++i) {
+      out[base + i] = Route{decisions_scratch_[i].instance, decisions_scratch_[i].sync_request};
+    }
+  }
+}
+
+void PosgGrouping::deliver_now(Delivery&& delivery) {
   MutexLock lock(mutex_);
   if (delivery.shipment) {
-    scheduler_.on_sketches(*delivery.shipment);
+    // The delivery is consumed here — hand the sketch to the scheduler by
+    // move so the r·c cell array is stolen, not copied.
+    scheduler_.on_sketches(std::move(*delivery.shipment));
   }
   if (delivery.reply) {
     scheduler_.on_sync_reply(*delivery.reply);
@@ -39,9 +65,13 @@ void PosgGrouping::deliver_now(const Delivery& delivery) {
 }
 
 void PosgGrouping::on_sketches(const core::SketchShipment& shipment) {
-  Delivery delivery{Clock::now() + control_delay_, shipment, std::nullopt};
+  on_sketches(core::SketchShipment{shipment});
+}
+
+void PosgGrouping::on_sketches(core::SketchShipment&& shipment) {
+  Delivery delivery{Clock::now() + control_delay_, std::move(shipment), std::nullopt};
   if (control_delay_.count() == 0) {
-    deliver_now(delivery);
+    deliver_now(std::move(delivery));
     return;
   }
   {
@@ -54,7 +84,7 @@ void PosgGrouping::on_sketches(const core::SketchShipment& shipment) {
 void PosgGrouping::on_sync_reply(const core::SyncReply& reply) {
   Delivery delivery{Clock::now() + control_delay_, std::nullopt, reply};
   if (control_delay_.count() == 0) {
-    deliver_now(delivery);
+    deliver_now(std::move(delivery));
     return;
   }
   {
@@ -86,19 +116,19 @@ void PosgGrouping::delay_worker() {
     if (stopping_) {
       // Flush whatever is queued so no control message is lost on shutdown.
       while (!delayed_.empty()) {
-        const Delivery delivery = std::move(delayed_.front());
+        Delivery delivery = std::move(delayed_.front());
         delayed_.pop_front();
         lock.unlock();
-        deliver_now(delivery);
+        deliver_now(std::move(delivery));
         lock.lock();
       }
       return;
     }
     while (!delayed_.empty() && Clock::now() >= delayed_.front().due) {
-      const Delivery delivery = std::move(delayed_.front());
+      Delivery delivery = std::move(delayed_.front());
       delayed_.pop_front();
       lock.unlock();
-      deliver_now(delivery);
+      deliver_now(std::move(delivery));
       lock.lock();
     }
   }

@@ -29,8 +29,15 @@ class PosgGrouping final : public Grouping {
   PosgGrouping& operator=(const PosgGrouping&) = delete;
 
   Route route(const Tuple& tuple, std::size_t k) override;
+  /// Takes the scheduler mutex ONCE for the whole batch and feeds the
+  /// scheduler config().batch-sized chunks via schedule_batch(). With
+  /// batch = 1 (default) every tuple still goes through the per-tuple
+  /// schedule() path — only the lock is amortized — so scheduling streams
+  /// are byte-identical to repeated route() calls.
+  void route_batch(const Tuple* tuples, std::size_t n, std::size_t k, Route* out) override;
   bool wants_feedback() const override { return true; }
   void on_sketches(const core::SketchShipment& shipment) override;
+  void on_sketches(core::SketchShipment&& shipment) override;
   void on_sync_reply(const core::SyncReply& reply) override;
   const core::PosgConfig* feedback_config() const override { return &config_; }
   /// Sketch-backed cost estimate for the engine's load shedder (nullopt
@@ -75,7 +82,7 @@ class PosgGrouping final : public Grouping {
     std::optional<core::SyncReply> reply;
   };
 
-  void deliver_now(const Delivery& delivery);
+  void deliver_now(Delivery&& delivery);
   void delay_worker();
 
   // Locking discipline (threads involved: the emitting executor calling
@@ -95,6 +102,11 @@ class PosgGrouping final : public Grouping {
 
   mutable Mutex mutex_{"engine::PosgGrouping::mutex_", lock_rank::kSchedulerState};
   core::PosgScheduler scheduler_ GUARDED_BY(mutex_);
+  /// route_batch scratch (item/seq columns + decisions), kept across
+  /// calls so the steady-state batch path performs no allocation.
+  std::vector<common::Item> items_scratch_ GUARDED_BY(mutex_);
+  std::vector<common::SeqNo> seqs_scratch_ GUARDED_BY(mutex_);
+  std::vector<core::Decision> decisions_scratch_ GUARDED_BY(mutex_);
 
   // Delayed-delivery machinery (only active when control_delay_ > 0).
   Mutex delay_mutex_{"engine::PosgGrouping::delay_mutex_", lock_rank::kSchedulerState};

@@ -485,8 +485,10 @@ void SchedulerRuntime::reader_loop(common::InstanceId op) {
     try {
       MutexLock lock(mutex_);
       last_feedback_[op] = std::chrono::steady_clock::now();
-      if (const auto* shipment = std::get_if<core::SketchShipment>(&message)) {
-        scheduler_.on_sketches(*shipment);
+      if (auto* shipment = std::get_if<core::SketchShipment>(&message)) {
+        // `message` is dead after dispatch — let the scheduler steal the
+        // decoded sketch instead of copying its cell array.
+        scheduler_.on_sketches(std::move(*shipment));
       } else if (const auto* reply = std::get_if<core::SyncReply>(&message)) {
         scheduler_.on_sync_reply(*reply);
       } else if (const auto* complete = std::get_if<net::DrainComplete>(&message)) {

@@ -13,7 +13,10 @@ namespace posg::sketch {
 
 DualSketch::DualSketch(SketchDims dims, std::uint64_t seed, std::size_t heavy_capacity,
                        bool conservative)
-    : freq_(dims, seed), weight_(dims, seed), conservative_(conservative) {
+    : dims_(dims),
+      hashes_(seed, dims.rows, dims.cols),
+      cells_(dims.rows * dims.cols),
+      conservative_(conservative) {
   common::require(!conservative || dims.rows <= 32,
                   "DualSketch: conservative mode supports at most 32 rows");
   if (heavy_capacity > 0) {
@@ -28,40 +31,51 @@ DualSketch::DualSketch(double epsilon, double delta, std::uint64_t seed,
 
 void DualSketch::update(common::Item t, common::TimeMs execution_time) noexcept {
   if (conservative_) {
-    update(t, freq_.digest(t), execution_time);
+    update(t, hashes_.digest(t), execution_time);
     return;
   }
   // Instance-side fused fast path: each row's offset is computed once and
-  // immediately touches both F and W — no digest materialized, one pass
-  // over the rows total. Rows map to disjoint cells (offsets carry the
-  // row base), so the per-cell accumulation order is identical to the
-  // digest form below and results stay bit-identical.
-  std::uint64_t* f = freq_.raw_cells().data();
-  double* w = weight_.raw_cells().data();
-  freq_.hashes().each_offset(t, [&](std::size_t, std::size_t offset) noexcept {
-    f[offset] += 1;
-    w[offset] += execution_time;
+  // lands on one fused cell — the F counter and the W accumulator sit on
+  // the same cache line, so the per-row touch is a single 16-byte stripe.
+  // Rows map to disjoint cells (offsets carry the row base), so the
+  // per-cell accumulation order is identical to the digest form below and
+  // results stay bit-identical.
+  FWCell* cells = cells_.data();
+  hashes_.each_offset(t, [&](std::size_t, std::size_t offset) noexcept {
+    cells[offset].f += 1;
+    cells[offset].w += execution_time;
   });
   note_update(t, execution_time);
 }
 
 void DualSketch::update(common::Item t, const hash::BucketDigest& d,
                         common::TimeMs execution_time) noexcept {
-  // One digest serves every matrix pass: F, W, and (in conservative mode)
-  // the min scan — previously up to 3·r hash evaluations per update.
+  POSG_DCHECK(d.compatible_with(hashes_.seed(), dims_.rows, dims_.cols),
+              "DualSketch: digest from a different hash set");
+  const std::size_t rows = dims_.rows;
+  FWCell* cells = cells_.data();
   if (conservative_) {
-    const std::uint32_t raised = freq_.update_conservative(d, 1);
-    weight_.update_masked(d, execution_time, raised);
-  } else {
-    POSG_DCHECK(d.compatible_with(freq_.hashes().seed(), freq_.rows(), freq_.cols()),
-                "DualSketch: digest from a different hash set");
-    std::uint64_t* f = freq_.raw_cells().data();
-    double* w = weight_.raw_cells().data();
-    const std::size_t rows = freq_.rows();
+    // Estan & Varghese over the fused layout: min scan, then raise only
+    // the cells below min + 1 and mirror the weight into exactly those
+    // cells. Same two passes (and the same per-cell results) as the old
+    // split update_conservative + update_masked pair.
+    std::uint64_t current_min = std::numeric_limits<std::uint64_t>::max();
     for (std::size_t i = 0; i < rows; ++i) {
-      const std::size_t offset = d.offset(i);
-      f[offset] += 1;
-      w[offset] += execution_time;
+      current_min = std::min(current_min, cells[d.offset(i)].f);
+    }
+    const std::uint64_t target = current_min + 1;
+    for (std::size_t i = 0; i < rows; ++i) {
+      FWCell& cell = cells[d.offset(i)];
+      if (cell.f < target) {
+        cell.f = target;
+        cell.w += execution_time;
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < rows; ++i) {
+      FWCell& cell = cells[d.offset(i)];
+      cell.f += 1;
+      cell.w += execution_time;
     }
   }
   note_update(t, execution_time);
@@ -77,12 +91,12 @@ void DualSketch::note_update(common::Item t, common::TimeMs execution_time) noex
 
 std::optional<common::TimeMs> DualSketch::estimate(common::Item t,
                                                    EstimatorVariant variant) const noexcept {
-  return estimate(t, freq_.digest(t), variant);
+  return estimate(t, hashes_.digest(t), variant);
 }
 
 std::optional<common::TimeMs> DualSketch::estimate(common::Item t, const hash::BucketDigest& d,
                                                    EstimatorVariant variant) const noexcept {
-  POSG_DCHECK(d.compatible_with(freq_.hashes().seed(), freq_.rows(), freq_.cols()),
+  POSG_DCHECK(d.compatible_with(hashes_.seed(), dims_.rows, dims_.cols),
               "DualSketch: digest from a different hash set");
   // Hybrid path: heavy items are answered from exact observed samples.
   if (heavy_) {
@@ -90,19 +104,19 @@ std::optional<common::TimeMs> DualSketch::estimate(common::Item t, const hash::B
       return exact;
     }
   }
-  const std::size_t rows = freq_.rows();
+  const std::size_t rows = dims_.rows;
+  const FWCell* cells = cells_.data();
 
   if (variant == EstimatorVariant::kArgMinFrequency) {
-    // Listing III.2: i* = argmin_i F[i, h_i(t)], return W[i*]/F[i*]. F and
-    // W share dims and hashes (debug_validate), so one offset reads both.
+    // Listing III.2: i* = argmin_i F[i, h_i(t)], return W[i*]/F[i*]. The
+    // fused cell delivers both halves of the winning pair in one load.
     std::uint64_t best_freq = std::numeric_limits<std::uint64_t>::max();
     double best_weight = 0.0;
     for (std::size_t i = 0; i < rows; ++i) {
-      const std::size_t offset = d.offset(i);
-      const std::uint64_t f = freq_.cell_at(offset);
-      if (f < best_freq) {
-        best_freq = f;
-        best_weight = weight_.cell_at(offset);
+      const FWCell& cell = cells[d.offset(i)];
+      if (cell.f < best_freq) {
+        best_freq = cell.f;
+        best_weight = cell.w;
       }
     }
     if (best_freq == 0) {
@@ -114,12 +128,11 @@ std::optional<common::TimeMs> DualSketch::estimate(common::Item t, const hash::B
   // kMinRatio: min over rows of W[i]/F[i], skipping empty cells.
   std::optional<common::TimeMs> best;
   for (std::size_t i = 0; i < rows; ++i) {
-    const std::size_t offset = d.offset(i);
-    const std::uint64_t f = freq_.cell_at(offset);
-    if (f == 0) {
+    const FWCell& cell = cells[d.offset(i)];
+    if (cell.f == 0) {
       continue;
     }
-    const double ratio = weight_.cell_at(offset) / static_cast<double>(f);
+    const double ratio = cell.w / static_cast<double>(cell.f);
     if (!best || ratio < *best) {
       best = ratio;
     }
@@ -135,8 +148,7 @@ std::optional<common::TimeMs> DualSketch::mean_execution_time() const noexcept {
 }
 
 void DualSketch::reset() noexcept {
-  freq_.reset();
-  weight_.reset();
+  std::fill(cells_.begin(), cells_.end(), FWCell{});
   if (heavy_) {
     heavy_->clear();
   }
@@ -144,13 +156,42 @@ void DualSketch::reset() noexcept {
   total_time_ = 0.0;
 }
 
+FrequencySketch DualSketch::frequencies() const {
+  FrequencySketch out(dims_, hashes_.seed());
+  std::uint64_t* raw = out.raw_cells().data();
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    raw[i] = cells_[i].f;
+  }
+  return out;
+}
+
+WeightSketch DualSketch::weights() const {
+  WeightSketch out(dims_, hashes_.seed());
+  double* raw = out.raw_cells().data();
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    raw[i] = cells_[i].w;
+  }
+  return out;
+}
+
 void DualSketch::merge_from(const DualSketch& other) {
+  common::require(dims_ == other.dims_ && hashes_ == other.hashes_,
+                  "DualSketch: merge requires identical dims and hash seed");
   common::require(heavy_capacity() == other.heavy_capacity(),
                   "DualSketch: merge requires matching heavy capacities");
   common::require(conservative_ == other.conservative_,
                   "DualSketch: merge requires matching update policies");
-  freq_.merge(other.frequencies());
-  weight_.merge(other.weights());
+  // Linearity of Count-Min: per-cell sums. One pass over the fused array
+  // adds both halves of every pair; the adds per cell are the same single
+  // additions the split-matrix merge performed, in the same row-major
+  // order, so merged weights stay bit-identical.
+  FWCell* cells = cells_.data();
+  const FWCell* from = other.cells_.data();
+  const std::size_t n = cells_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    cells[i].f += from[i].f;
+    cells[i].w += from[i].w;
+  }
   if (heavy_ && other.heavy_) {
     // Sum entries item-wise, then keep the heaviest `capacity` by count.
     auto combined = heavy_->entries();
@@ -184,31 +225,25 @@ void DualSketch::merge_from(const DualSketch& other) {
 }
 
 void DualSketch::debug_validate() const {
-  // Shared-layout invariant: scheduler-side estimation reads F and W at
-  // the same (row, bucket) coordinates, which is only meaningful when both
-  // matrices use identical dims and hash functions.
-  POSG_CHECK(freq_.dims() == weight_.dims(), "DualSketch: F/W dims diverged");
-  POSG_CHECK(freq_.hashes() == weight_.hashes(), "DualSketch: F/W hash sets diverged");
-
   POSG_CHECK(std::isfinite(total_time_) && total_time_ >= 0.0,
              "DualSketch: total execution time must be finite and non-negative");
   POSG_CHECK(updates_ > 0 || total_time_ == 0.0,
              "DualSketch: non-zero execution time with zero updates");
 
-  const std::size_t rows = freq_.rows();
-  const std::size_t cols = freq_.cols();
+  const std::size_t rows = dims_.rows;
+  const std::size_t cols = dims_.cols;
   // Relative tolerance for the W row totals: each row is a sum of doubles
   // accumulated in arbitrary order, so exact equality is not expected.
   const double w_tolerance = 1e-6 * std::max(1.0, total_time_);
   for (std::size_t i = 0; i < rows; ++i) {
     std::uint64_t f_row_total = 0;
     double w_row_total = 0.0;
+    const FWCell* row = cells_.data() + i * cols;
     for (std::size_t j = 0; j < cols; ++j) {
-      const double w = weight_.cell(i, j);
-      POSG_CHECK(std::isfinite(w), "DualSketch: W cell is not finite");
-      POSG_CHECK(w >= 0.0, "DualSketch: W cell went negative");
-      f_row_total += freq_.cell(i, j);
-      w_row_total += w;
+      POSG_CHECK(std::isfinite(row[j].w), "DualSketch: W cell is not finite");
+      POSG_CHECK(row[j].w >= 0.0, "DualSketch: W cell went negative");
+      f_row_total += row[j].f;
+      w_row_total += row[j].w;
     }
     if (conservative_) {
       // Conservative update raises at most `value` mass per row, so row
@@ -261,17 +296,17 @@ void DualSketch::validate_untrusted() const {
          "total execution time not finite and non-negative");
   reject(updates_ > 0 || total_time_ == 0.0, "non-zero execution time with zero updates");
 
-  const std::size_t rows = freq_.rows();
-  const std::size_t cols = freq_.cols();
+  const std::size_t rows = dims_.rows;
+  const std::size_t cols = dims_.cols;
   const double w_tolerance = 1e-6 * std::max(1.0, total_time_);
   for (std::size_t i = 0; i < rows; ++i) {
     std::uint64_t f_row_total = 0;
     double w_row_total = 0.0;
+    const FWCell* row = cells_.data() + i * cols;
     for (std::size_t j = 0; j < cols; ++j) {
-      const double w = weight_.cell(i, j);
-      reject(std::isfinite(w) && w >= 0.0, "W cell not finite and non-negative");
-      f_row_total += freq_.cell(i, j);
-      w_row_total += w;
+      reject(std::isfinite(row[j].w) && row[j].w >= 0.0, "W cell not finite and non-negative");
+      f_row_total += row[j].f;
+      w_row_total += row[j].w;
     }
     if (conservative_) {
       reject(f_row_total <= updates_, "conservative F row total exceeds update count");

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "common/types.hpp"
 #include "sketch/count_min.hpp"
@@ -20,10 +21,26 @@ enum class EstimatorVariant {
   kMinRatio,
 };
 
+/// One fused Count-Min cell: the frequency counter and the cumulated
+/// execution time that share a (row, bucket) coordinate. 16 bytes, so a
+/// cache line holds four cells and every per-row F+W touch lands on one
+/// line instead of two (the split-matrix layout paid a line per matrix).
+struct FWCell {
+  std::uint64_t f = 0;
+  double w = 0.0;
+};
+
 /// The pair of Count-Min matrices every operator instance maintains
 /// (Fig. 1.A): F tracks tuple frequencies, W tracks cumulated execution
 /// times W_t = w_t * f_t. Both share dimensions and hash functions, so a
 /// single hash evaluation per row serves both updates.
+///
+/// Storage is a single row-major array of fused (F, W) cell pairs: the
+/// r-row update/estimate walk touches r contiguous 16-byte stripes — one
+/// cache line each — instead of r lines in F plus r lines in W. The wire
+/// format (serialize.cpp) still writes the F block then the W block, so
+/// shipped frames are unchanged; linear scans that want a split view
+/// materialize one via frequencies()/weights().
 class DualSketch {
  public:
   /// `heavy_capacity` > 0 enables the hybrid estimator (extension, see
@@ -37,7 +54,7 @@ class DualSketch {
 
   /// One-pass digest of item `t` under the shared (seed, dims) hash set;
   /// valid for this sketch and every sketch with the same layout.
-  hash::BucketDigest digest(common::Item t) const noexcept { return freq_.digest(t); }
+  hash::BucketDigest digest(common::Item t) const noexcept { return hashes_.digest(t); }
 
   /// Records one execution of item `t` that took `execution_time`
   /// (Listing III.1: F += 1, W += w in every row). The row hashes are
@@ -53,11 +70,11 @@ class DualSketch {
   std::optional<common::TimeMs> estimate(
       common::Item t, EstimatorVariant variant = EstimatorVariant::kArgMinFrequency) const noexcept;
 
-  /// Digest form of estimate(): reads F and W cells by precomputed offset;
-  /// the item is still needed for the exact heavy-hitter side table. One
-  /// digest computed by the scheduler serves all k per-instance sketches
-  /// plus the merged sketch, because the protocol forces them to share
-  /// (seed, dims) — see PosgConfig::sketch_seed.
+  /// Digest form of estimate(): reads the fused F/W cell by precomputed
+  /// offset; the item is still needed for the exact heavy-hitter side
+  /// table. One digest computed by the scheduler serves all k per-instance
+  /// sketches plus the merged sketch, because the protocol forces them to
+  /// share (seed, dims) — see PosgConfig::sketch_seed.
   std::optional<common::TimeMs> estimate(
       common::Item t, const hash::BucketDigest& d,
       EstimatorVariant variant = EstimatorVariant::kArgMinFrequency) const noexcept;
@@ -74,13 +91,19 @@ class DualSketch {
 
   void reset() noexcept;
 
-  const FrequencySketch& frequencies() const noexcept { return freq_; }
-  const WeightSketch& weights() const noexcept { return weight_; }
+  /// Fused row-major cell storage: cells()[row * cols + bucket].
+  const std::vector<FWCell>& cells() const noexcept { return cells_; }
 
-  /// Mutable matrix access for the deserializer only — regular clients
-  /// must go through update()/reset() so the totals stay consistent.
-  FrequencySketch& frequencies_mutable() noexcept { return freq_; }
-  WeightSketch& weights_mutable() noexcept { return weight_; }
+  /// Mutable cell access for the deserializer (and validation tests that
+  /// corrupt cells on purpose) — regular clients must go through
+  /// update()/reset() so the totals stay consistent.
+  std::vector<FWCell>& cells_mutable() noexcept { return cells_; }
+
+  /// Materialized split-matrix views (by value): linear consumers that
+  /// want a plain row-major F or W array. The fused layout is the source
+  /// of truth; these are copies, so mutation does not write back.
+  FrequencySketch frequencies() const;
+  WeightSketch weights() const;
 
   /// Restores the totals bookkeeping after raw cells were rebuilt from a
   /// wire buffer (deserializer only).
@@ -88,8 +111,9 @@ class DualSketch {
     updates_ = updates;
     total_time_ = total_time;
   }
-  const SketchDims& dims() const noexcept { return freq_.dims(); }
-  std::uint64_t seed() const noexcept { return freq_.hashes().seed(); }
+  const SketchDims& dims() const noexcept { return dims_; }
+  const hash::HashSet& hashes() const noexcept { return hashes_; }
+  std::uint64_t seed() const noexcept { return hashes_.seed(); }
 
   /// Hybrid-estimator side table (nullptr when disabled).
   const SpaceSaving* heavy_hitters() const noexcept { return heavy_ ? &*heavy_ : nullptr; }
@@ -108,14 +132,14 @@ class DualSketch {
   void merge_from(const DualSketch& other);
 
   /// Machine-checked paper-level invariants (aborts via POSG_CHECK):
-  /// F and W share dims and hash functions (a single hash evaluation per
-  /// row must serve both matrices — Sec. III-A), every W cell is finite
-  /// and >= 0 (execution times are non-negative, so the weight matrix can
-  /// never go negative), per-row mass conservation against the update
-  /// totals (== in plain mode, <= under conservative update), and
-  /// heavy-hitter table consistency (size <= capacity, observed <= count,
-  /// time_sum >= 0). Called from tests unconditionally and from epoch
-  /// boundaries under POSG_DCHECK_IS_ON.
+  /// every W cell is finite and >= 0 (execution times are non-negative,
+  /// so the weight matrix can never go negative), per-row mass
+  /// conservation against the update totals (== in plain mode, <= under
+  /// conservative update), and heavy-hitter table consistency (size <=
+  /// capacity, observed <= count, time_sum >= 0). The paper's "F and W
+  /// share dims and hashes" invariant (Sec. III-A) is structural in the
+  /// fused layout: one hash set, one cell array. Called from tests
+  /// unconditionally and from epoch boundaries under POSG_DCHECK_IS_ON.
   void debug_validate() const;
 
   /// Trust-boundary variant of the same mass-conservation invariants for
@@ -132,8 +156,9 @@ class DualSketch {
   /// Shared tail of both update forms: heavy-hitter side table + totals.
   void note_update(common::Item t, common::TimeMs execution_time) noexcept;
 
-  FrequencySketch freq_;
-  WeightSketch weight_;
+  SketchDims dims_;
+  hash::HashSet hashes_;
+  std::vector<FWCell> cells_;
   std::optional<SpaceSaving> heavy_;
   bool conservative_ = false;
   std::uint64_t updates_ = 0;

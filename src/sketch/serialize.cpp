@@ -76,11 +76,14 @@ std::vector<std::byte> serialize(const DualSketch& sketch) {
   writer.put(sketch.update_count());
   writer.put(sketch.total_execution_time());
   writer.put(static_cast<std::uint64_t>(sketch.conservative() ? kFlagConservative : 0));
-  for (std::uint64_t cell : sketch.frequencies().raw_cells()) {
-    writer.put(cell);
+  // The in-memory layout is fused (F, W) pairs, but the wire keeps the
+  // v3 split-block format: the full F matrix row-major, then the full W
+  // matrix — shipped frames are byte-identical across the layout change.
+  for (const FWCell& cell : sketch.cells()) {
+    writer.put(cell.f);
   }
-  for (double cell : sketch.weights().raw_cells()) {
-    writer.put(cell);
+  for (const FWCell& cell : sketch.cells()) {
+    writer.put(cell.w);
   }
   // Heavy-hitter section (empty when the hybrid estimator is disabled).
   const SpaceSaving* heavy = sketch.heavy_hitters();
@@ -120,11 +123,11 @@ DualSketch deserialize(std::span<const std::byte> bytes) {
   DualSketch sketch(SketchDims{rows, cols}, seed, 0, conservative);
   // Rebuild the counters in place; the hash functions are re-derived from
   // the seed, so only the cell contents travel on the wire.
-  for (auto& cell : sketch.frequencies_mutable().raw_cells()) {
-    cell = reader.take<std::uint64_t>();
+  for (FWCell& cell : sketch.cells_mutable()) {
+    cell.f = reader.take<std::uint64_t>();
   }
-  for (auto& cell : sketch.weights_mutable().raw_cells()) {
-    cell = reader.take<double>();
+  for (FWCell& cell : sketch.cells_mutable()) {
+    cell.w = reader.take<double>();
   }
   sketch.restore_totals(updates, total_time);
 
@@ -135,8 +138,7 @@ DualSketch deserialize(std::span<const std::byte> bytes) {
   }
   if (heavy_capacity > 0) {
     DualSketch with_heavy(SketchDims{rows, cols}, seed, heavy_capacity, conservative);
-    with_heavy.frequencies_mutable().raw_cells() = sketch.frequencies().raw_cells();
-    with_heavy.weights_mutable().raw_cells() = sketch.weights().raw_cells();
+    with_heavy.cells_mutable() = sketch.cells();
     with_heavy.restore_totals(updates, total_time);
     std::unordered_map<common::Item, SpaceSaving::Entry> entries;
     for (std::size_t i = 0; i < heavy_size; ++i) {

@@ -5,21 +5,27 @@
 
 namespace posg::sketch {
 
-Snapshot::Snapshot(const DualSketch& sketch) : dims_(sketch.dims()) {
-  ratios_.reserve(dims_.rows * dims_.cols);
-  for (std::size_t i = 0; i < dims_.rows; ++i) {
-    for (std::size_t j = 0; j < dims_.cols; ++j) {
-      ratios_.push_back(ratio_of(sketch, i, j));
-    }
-  }
+namespace {
+
+/// Per-cell mean execution time; 0 for empty cells. Reading the fused
+/// cell keeps both halves of the pair on one cache line.
+inline double ratio_of(const FWCell& cell) noexcept {
+  return cell.f == 0 ? 0.0 : cell.w / static_cast<double>(cell.f);
 }
 
-double Snapshot::ratio_of(const DualSketch& sketch, std::size_t row, std::size_t col) noexcept {
-  const std::uint64_t f = sketch.frequencies().cell(row, col);
-  if (f == 0) {
-    return 0.0;
+}  // namespace
+
+Snapshot::Snapshot(const DualSketch& sketch) {
+  capture(sketch);
+}
+
+void Snapshot::capture(const DualSketch& sketch) {
+  dims_ = sketch.dims();
+  const std::vector<FWCell>& cells = sketch.cells();
+  ratios_.resize(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    ratios_[i] = ratio_of(cells[i]);
   }
-  return sketch.weights().cell(row, col) / static_cast<double>(f);
 }
 
 double Snapshot::cell(std::size_t row, std::size_t col) const {
@@ -40,22 +46,62 @@ double Snapshot::relative_error(const DualSketch& sketch) const {
   double abs_diff = 0.0;
   double snapshot_mass = 0.0;
   double current_mass = 0.0;
-  for (std::size_t i = 0; i < dims_.rows; ++i) {
-    for (std::size_t j = 0; j < dims_.cols; ++j) {
-      const double previous = ratios_[i * dims_.cols + j];
-      const double current = ratio_of(sketch, i, j);
-      current_mass += current;
-      if (previous == 0.0) {
-        continue;
-      }
-      abs_diff += std::abs(previous - current);
-      snapshot_mass += previous;
+  const std::vector<FWCell>& cells = sketch.cells();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const double previous = ratios_[i];
+    const double current = ratio_of(cells[i]);
+    current_mass += current;
+    if (previous == 0.0) {
+      continue;
     }
+    abs_diff += std::abs(previous - current);
+    snapshot_mass += previous;
   }
   if (snapshot_mass == 0.0) {
     return current_mass == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
   }
   return abs_diff / snapshot_mass;
+}
+
+double Snapshot::refresh_and_error(const DualSketch& sketch) {
+  common::require(sketch.dims() == dims_, "Snapshot: sketch dims changed");
+  // Same accumulation terms and order as relative_error() — the previous
+  // ratio is read before its slot is overwritten — so the returned eta is
+  // bit-identical to the two-pass form while touching each cell once.
+  double abs_diff = 0.0;
+  double snapshot_mass = 0.0;
+  double current_mass = 0.0;
+  const std::vector<FWCell>& cells = sketch.cells();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const double previous = ratios_[i];
+    const double current = ratio_of(cells[i]);
+    current_mass += current;
+    ratios_[i] = current;
+    if (previous == 0.0) {
+      continue;
+    }
+    abs_diff += std::abs(previous - current);
+    snapshot_mass += previous;
+  }
+  if (snapshot_mass == 0.0) {
+    return current_mass == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return abs_diff / snapshot_mass;
+}
+
+void Snapshot::capture_touched(const DualSketch& sketch, const std::uint32_t* offsets,
+                               std::size_t n) {
+  common::require(sketch.dims() == dims_, "Snapshot: sketch dims changed");
+  const FWCell* cells = sketch.cells().data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t offset = offsets[i];
+    ratios_[offset] = ratio_of(cells[offset]);
+  }
+}
+
+void Snapshot::reset_zero(SketchDims dims) {
+  dims_ = dims;
+  ratios_.assign(dims.rows * dims.cols, 0.0);
 }
 
 }  // namespace posg::sketch

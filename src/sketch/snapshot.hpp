@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "sketch/dual_sketch.hpp"
@@ -15,10 +16,23 @@ namespace posg::sketch {
 /// previous snapshot and the current ratios drops to the tolerance µ:
 ///
 ///   η = Σ_{i,j} |S[i,j] − W[i,j]/F[i,j]| / Σ_{i,j} S[i,j]  <=  µ     (Eq. 1)
+///
+/// The tracker re-evaluates Eq. 1 at every window boundary, so the walk
+/// over the r x c ratio matrix is hot-path-adjacent: all passes read the
+/// sketch's fused cell array directly (one contiguous stripe, no per-cell
+/// bounds checks), and capture()/refresh_and_error() reuse the ratio
+/// storage so a long-lived tracker allocates the matrix exactly once.
 class Snapshot {
  public:
+  /// Empty snapshot; capture() makes it meaningful.
+  Snapshot() = default;
+
   /// Captures the current ratio matrix of `sketch`.
   explicit Snapshot(const DualSketch& sketch);
+
+  /// Re-captures `sketch`'s ratio matrix in place, reusing the existing
+  /// storage (no allocation when dims are unchanged).
+  void capture(const DualSketch& sketch);
 
   /// Relative error η between this snapshot and the current state of
   /// `sketch` (Eq. 1). When the snapshot is all-zero, returns 0 if the
@@ -26,14 +40,40 @@ class Snapshot {
   /// load appearing is maximally unstable).
   double relative_error(const DualSketch& sketch) const;
 
+  /// Fused window-boundary pass: computes relative_error(sketch) AND
+  /// replaces the stored ratios with `sketch`'s current ratios, in one
+  /// walk over the cell array instead of two. Exactly equivalent to
+  /// `double eta = relative_error(sketch); capture(sketch); return eta;`
+  /// (each cell's previous ratio is read before it is overwritten).
+  double refresh_and_error(const DualSketch& sketch);
+
+  /// Incremental capture for callers that recorded which cells the last
+  /// window touched (InstanceTracker appends the r digest offsets of every
+  /// update): recomputes only those cells' ratios. `offsets` may repeat
+  /// and is consumed in arbitrary order — capture has no ordered
+  /// accumulation, each store is idempotent, and an untouched cell's
+  /// stored ratio already equals its current ratio, so the result is
+  /// bit-identical to capture() while paying O(touched) divides instead
+  /// of O(r·c). Unlike an eta pass this loop is branch-free, which is
+  /// what actually buys the speedup: a per-cell "is it dirty?" test on
+  /// scattered cells is misprediction-bound and slower than dividing
+  /// everything. Valid only when the stored ratios are current for every
+  /// unlisted cell — i.e. after reset_zero() on a fresh sketch, or after
+  /// any full pass (capture / refresh_and_error), with `offsets` covering
+  /// every update since.
+  void capture_touched(const DualSketch& sketch, const std::uint32_t* offsets, std::size_t n);
+
+  /// Sizes the ratio matrix for `dims` and zeroes it — the state matching
+  /// a freshly-constructed (all-zero) sketch. Re-arms capture_touched
+  /// after the tracker ships or resets its sketch.
+  void reset_zero(SketchDims dims);
+
   std::size_t rows() const noexcept { return dims_.rows; }
   std::size_t cols() const noexcept { return dims_.cols; }
   double cell(std::size_t row, std::size_t col) const;
 
  private:
-  static double ratio_of(const DualSketch& sketch, std::size_t row, std::size_t col) noexcept;
-
-  SketchDims dims_;
+  SketchDims dims_{0, 0};
   std::vector<double> ratios_;
 };
 

@@ -127,7 +127,7 @@ TEST(DualSketchValidate, SurvivesResetAndMerge) {
 
 TEST(DualSketchValidateDeathTest, NegativeWeightCellAborts) {
   DualSketch sketch = make_sketch();
-  sketch.weights_mutable().raw_cells()[3] = -0.25;
+  sketch.cells_mutable()[3].w = -0.25;
   EXPECT_DEATH(sketch.debug_validate(), "W cell went negative");
 }
 
@@ -135,7 +135,7 @@ TEST(DualSketchValidateDeathTest, FrequencyMassLeakAborts) {
   DualSketch sketch = make_sketch();
   // One extra count in a single row breaks per-row mass conservation
   // against update_count().
-  sketch.frequencies_mutable().raw_cells()[0] += 1;
+  sketch.cells_mutable()[0].f += 1;
   EXPECT_DEATH(sketch.debug_validate(), "F row total != update count");
 }
 
@@ -262,7 +262,7 @@ TEST(PosgSchedulerValidateDeathTest, CorruptShippedSketchAborts) {
   config.shared_billing = false;
   PosgScheduler scheduler(2, config);
   DualSketch bad = instance_sketch(config);
-  bad.weights_mutable().raw_cells()[0] = -1.0;
+  bad.cells_mutable()[0].w = -1.0;
   scheduler.on_sketches(SketchShipment{0, bad});
   EXPECT_DEATH(scheduler.debug_validate(), "W cell went negative");
 }

@@ -271,4 +271,55 @@ TEST(BoundedQueue, BatchedConservationUnderConcurrentProducers) {
   EXPECT_EQ(queue.rejected(), 0u);
 }
 
+// A payload that counts copies but moves silently: the batched hand-off
+// path (push_all -> internal ring -> pop_all) must be move-only end to
+// end, or heavy tuple Values would be duplicated once per hop.
+struct CopyProbe {
+  int value = 0;
+  static std::atomic<int> copies;
+
+  CopyProbe() = default;
+  explicit CopyProbe(int v) : value(v) {}
+  CopyProbe(const CopyProbe& other) : value(other.value) { copies.fetch_add(1); }
+  CopyProbe& operator=(const CopyProbe& other) {
+    value = other.value;
+    copies.fetch_add(1);
+    return *this;
+  }
+  CopyProbe(CopyProbe&&) noexcept = default;
+  CopyProbe& operator=(CopyProbe&&) noexcept = default;
+};
+
+std::atomic<int> CopyProbe::copies{0};
+
+TEST(BoundedQueue, BatchedPathNeverCopiesPayloads) {
+  BoundedQueue<CopyProbe> queue(64);
+  CopyProbe::copies = 0;
+  std::vector<CopyProbe> batch;
+  for (int i = 0; i < 32; ++i) {
+    batch.emplace_back(i);
+  }
+  EXPECT_EQ(queue.push_all(batch), 32u);
+  std::vector<CopyProbe> out;
+  EXPECT_EQ(queue.pop_all(out), 32u);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)].value, i);
+  }
+  EXPECT_EQ(CopyProbe::copies.load(), 0);
+}
+
+TEST(BoundedQueue, TryPushAllNeverCopiesPayloads) {
+  BoundedQueue<CopyProbe> queue(4);
+  CopyProbe::copies = 0;
+  std::vector<CopyProbe> batch;
+  for (int i = 0; i < 10; ++i) {
+    batch.emplace_back(i);
+  }
+  EXPECT_EQ(queue.try_push_all(batch), 4u);  // admitted prefix moved out
+  EXPECT_EQ(batch.size(), 6u);               // suffix compacted by move
+  std::vector<CopyProbe> out;
+  EXPECT_EQ(queue.pop_all(out), 4u);
+  EXPECT_EQ(CopyProbe::copies.load(), 0);
+}
+
 }  // namespace

@@ -2,8 +2,10 @@
 // the stability snapshot, and the wire codec.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
+#include <vector>
 
 #include "common/prng.hpp"
 #include "sketch/count_min.hpp"
@@ -307,6 +309,64 @@ TEST(Snapshot, EmptySnapshotAgainstNonEmptySketchIsInfinite) {
   EXPECT_DOUBLE_EQ(snap.relative_error(ds), 0.0);
   ds.update(1, 5.0);
   EXPECT_TRUE(std::isinf(snap.relative_error(ds)));
+}
+
+TEST(Snapshot, CaptureTouchedBitIdenticalToFullCapture) {
+  // The tracker's incremental capture must leave the exact ratio matrix a
+  // full capture() produces — ASSERT_EQ, not NEAR: the goldens depend on
+  // bit-identical ship timing. Exercised across several epochs, each with
+  // a full refresh pass in between (the tracker's STABILIZING windows), so
+  // the "ratios current for every unlisted cell" precondition is covered
+  // both from reset_zero and from a prior full pass.
+  const SketchDims dims{3, 29};
+  DualSketch ds(dims, 77);
+  Snapshot full;
+  Snapshot fast;
+  common::Xoshiro256StarStar rng(21);
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    ds.reset();
+    full.reset_zero(dims);
+    fast.reset_zero(dims);
+    std::vector<std::uint32_t> touched;
+    // Skewed items so offsets repeat within the log (idempotent stores).
+    for (int i = 0; i < 40; ++i) {
+      const common::Item item = rng.next_below(epoch % 2 == 0 ? 8 : 256);
+      const auto digest = ds.digest(item);
+      ds.update(item, digest, 1.0 + static_cast<double>(rng.next_below(50)));
+      for (std::size_t row = 0; row < dims.rows; ++row) {
+        touched.push_back(static_cast<std::uint32_t>(digest.offset(row)));
+      }
+    }
+    full.capture(ds);
+    fast.capture_touched(ds, touched.data(), touched.size());
+    touched.clear();
+    for (std::size_t r = 0; r < dims.rows; ++r) {
+      for (std::size_t c = 0; c < dims.cols; ++c) {
+        ASSERT_EQ(fast.cell(r, c), full.cell(r, c)) << "epoch " << epoch;
+      }
+    }
+    // A stabilizing window: both sides refresh in full, then a second
+    // touched log layered on the refreshed matrix must still agree.
+    for (int i = 0; i < 40; ++i) {
+      ds.update(rng.next_below(256), 1.0 + static_cast<double>(rng.next_below(50)));
+    }
+    EXPECT_EQ(fast.refresh_and_error(ds), full.refresh_and_error(ds)) << "epoch " << epoch;
+    for (int i = 0; i < 40; ++i) {
+      const common::Item item = rng.next_below(256);
+      const auto digest = ds.digest(item);
+      ds.update(item, digest, 1.0 + static_cast<double>(rng.next_below(50)));
+      for (std::size_t row = 0; row < dims.rows; ++row) {
+        touched.push_back(static_cast<std::uint32_t>(digest.offset(row)));
+      }
+    }
+    full.capture(ds);
+    fast.capture_touched(ds, touched.data(), touched.size());
+    for (std::size_t r = 0; r < dims.rows; ++r) {
+      for (std::size_t c = 0; c < dims.cols; ++c) {
+        ASSERT_EQ(fast.cell(r, c), full.cell(r, c)) << "epoch " << epoch << " post-refresh";
+      }
+    }
+  }
 }
 
 TEST(Serialize, RoundTripsExactly) {

@@ -1,0 +1,19 @@
+// MUST FAIL to compile under -Wthread-safety -Werror=thread-safety:
+// pushes into an SpscRing without holding its producer role — the static
+// half of the single-producer contract (a "third thread" that never
+// claimed either end touching the ring).
+
+#include <vector>
+
+#include "engine/spsc_ring.hpp"
+
+namespace posg::ts_harness {
+
+void push_without_role(engine::SpscRing<int>& ring, std::vector<int>& batch) {
+  ring.push(1);           // error: requires holding spsc_role 'producer_role_'
+  ring.push_all(batch);   // error: same
+  std::vector<int> out;
+  ring.pop_all(out);      // error: requires holding spsc_role 'consumer_role_'
+}
+
+}  // namespace posg::ts_harness

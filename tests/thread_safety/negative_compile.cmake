@@ -51,5 +51,6 @@ check_compiles(pos_control.cpp TRUE)
 check_compiles(neg_unguarded_field.cpp FALSE)
 check_compiles(neg_missing_requires.cpp FALSE)
 check_compiles(neg_double_acquire.cpp FALSE)
+check_compiles(neg_spsc_unbound_push.cpp FALSE)
 
 message(STATUS "negative_compile: all snippets behaved as asserted")

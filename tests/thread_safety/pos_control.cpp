@@ -2,6 +2,9 @@
 // neg_*.cpp snippets misuse — if this fails, the harness (not the code
 // under test) is broken and negative_compile.cmake reports it as such.
 
+#include <vector>
+
+#include "engine/spsc_ring.hpp"
 #include "thread_safety/harness.hpp"
 
 namespace posg::ts_harness {
@@ -14,6 +17,27 @@ int use_correctly() {
     g.bump_locked();  // REQUIRES(mutex_) satisfied by the scoped lock
   }
   return g.get();
+}
+
+// Correct SPSC role usage: scoped binds on both ends, and the
+// assert_held() bridge for a holder that claimed the role at runtime.
+std::size_t use_ring_correctly(engine::SpscRing<int>& ring, std::vector<int>& batch) {
+  std::size_t delivered = 0;
+  {
+    engine::SpscBind produce(ring.producer_role());
+    ring.push(1);
+    ring.push_all(batch);
+  }
+  {
+    engine::SpscBind consume(ring.consumer_role());
+    std::vector<int> out;
+    delivered = ring.pop_all(out);
+  }
+  ring.producer_role().claim();
+  ring.producer_role().assert_held();  // re-introduces the capability
+  ring.push(2);
+  ring.producer_role().unclaim();
+  return delivered;
 }
 
 }  // namespace posg::ts_harness

@@ -88,12 +88,39 @@ def report_resilience(counters, gauges):
     print_table("resilience / elasticity", rows, ("name", "value"))
 
 
+def report_data_plane(counters, histograms):
+    """Shard-per-core data-plane lens (DESIGN.md §13).
+
+    posg.engine.batch_fill is tuples per route_batch call — how full the
+    micro-batches actually run (mean near 1 means the batch knob buys
+    nothing for this workload). posg.engine.ring_full_spins counts producer
+    wait iterations against full SPSC rings — the back-pressure signal of
+    the lock-free edges (MPMC edges park on a condvar instead and report 0).
+    Like report_resilience, this is a lens over the generic tables below,
+    not a second bookkeeping path.
+    """
+    rows = []
+    for name in ("posg.engine.ring_full_spins",):
+        if name in counters:
+            rows.append((name, fmt_value(counters[name])))
+    for name in ("posg.engine.batch_fill", "posg.engine.flush_batch_ns"):
+        hist = histograms.get(name)
+        if not hist:
+            continue
+        count = hist.get("count", 0)
+        mean = hist.get("sum", 0) / count if count else 0.0
+        p99 = quantile(dense_buckets(hist), count, 0.99)
+        rows.append((name, f"n={fmt_value(count)} mean={fmt_value(mean)} p99={fmt_value(p99)}"))
+    print_table("data plane (batching / SPSC back-pressure)", rows, ("name", "value"))
+
+
 def report_metrics(snapshot):
     counters = snapshot.get("counters", {})
     gauges = snapshot.get("gauges", {})
     histograms = snapshot.get("histograms", {})
 
     report_resilience(counters, gauges)
+    report_data_plane(counters, histograms)
 
     print_table(
         "counters",

@@ -16,6 +16,11 @@
 #
 # The benchmark binary must come from a Release build (-O3 -DNDEBUG,
 # POSG_DCHECKS=OFF): debug-checked numbers are meaningless as baselines.
+# The binary self-reports via the `posg_build_type` context key (the
+# authoritative signal — google-benchmark's `library_build_type` describes
+# the distro's *library* package, not this binary) and this script refuses
+# to emit a baseline from a non-release binary unless BENCH_ALLOW_DEBUG=1,
+# in which case the emitted file still carries the "debug" tag.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -53,6 +58,26 @@ if command -v taskset > /dev/null 2>&1; then
 fi
 
 "${runner[@]}" "${bench_bin}" "${bench_args[@]}"
+
+# Build-type gate: only a release-built binary may mint a baseline.
+build_type="$(python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    print(json.load(f).get("context", {}).get("posg_build_type", "unknown"))
+' "${raw}")"
+if [[ "${build_type}" != "release" ]]; then
+  if [[ "${BENCH_ALLOW_DEBUG:-0}" == "1" ]]; then
+    echo "run_hotpath_bench: WARNING — binary reports posg_build_type='${build_type}'," >&2
+    echo "  NOT release. Emitting anyway (BENCH_ALLOW_DEBUG=1); the output is tagged" >&2
+    echo "  and must not be checked in as the regression baseline." >&2
+  else
+    echo "run_hotpath_bench: refusing to emit — binary reports posg_build_type='${build_type}'" >&2
+    echo "  (need 'release'). Rebuild with:" >&2
+    echo "    cmake -B '${build_dir}' -S '${repo_root}' -DCMAKE_BUILD_TYPE=Release && cmake --build '${build_dir}' -j" >&2
+    echo "  or set BENCH_ALLOW_DEBUG=1 to proceed with tagged, non-baseline output." >&2
+    exit 1
+  fi
+fi
 
 emit_args=("${raw}" -o "${out}")
 if [[ -n "${BENCH_BEFORE:-}" ]]; then

@@ -3,14 +3,16 @@
 # per-tuple path (tracing present but *disabled*) costs less than
 # OBS_GATE_TOLERANCE on the hot-path benchmarks.
 #
-# It re-runs BM_RouterThroughput and BM_QueueTransfer from the current
-# build — where every schedule() carries the trace-writer branch and the
-# queues feed the metrics registry — and compares them against the
-# checked-in BENCH_hotpath.json baseline, restricted to exactly those
-# benchmarks via bench_compare.py --only. The same budget covers
-# BM_RouterThroughputElasticIdle/10: the router loop with a disabled
-# ElasticController compiled in (DESIGN.md §11), whose idle cost must
-# stay inside the obs tolerance too.
+# It re-runs BM_RouterThroughput, BM_QueueTransfer and BM_SpscTransfer
+# from the current build — where every schedule() carries the trace-writer
+# branch and the queues feed the metrics registry — and compares them
+# against the checked-in BENCH_hotpath.json baseline, restricted to
+# exactly those benchmarks via bench_compare.py --only. The same budget
+# covers BM_RouterThroughputElasticIdle/10 (the router loop with a
+# disabled ElasticController compiled in, DESIGN.md §11) and
+# BM_RouterThroughputBatched/10/8 (the micro-batched decision loop,
+# DESIGN.md §13), whose idle/steady costs must stay inside the obs
+# tolerance too.
 #
 # Usage:
 #   tools/run_obs_overhead_gate.sh [build-dir] [min-time-seconds]
@@ -67,7 +69,7 @@ echo "obs overhead gate: tracing compiled in but disabled must stay within" \
 
 for ((attempt = 1; attempt <= attempts; attempt++)); do
   "${runner[@]}" "${bench_bin}" \
-    "--benchmark_filter=^(BM_RouterThroughput|BM_QueueTransfer)" \
+    "--benchmark_filter=^(BM_RouterThroughput|BM_QueueTransfer|BM_SpscTransfer)" \
     "--benchmark_out=${raw}" \
     "--benchmark_out_format=json" \
     "--benchmark_min_time=${min_time}" \
@@ -79,7 +81,7 @@ for ((attempt = 1; attempt <= attempts; attempt++)); do
   if python3 "${repo_root}/tools/bench_compare.py" compare \
     "${baseline}" "${raw}" \
     --max-regression "${tolerance}" \
-    --only '^(BM_RouterThroughput/10|BM_RouterThroughputElasticIdle/10|BM_QueueTransfer)'; then
+    --only '^(BM_RouterThroughput/10|BM_RouterThroughputElasticIdle/10|BM_RouterThroughputBatched/10/8|BM_QueueTransfer|BM_SpscTransfer)'; then
     exit 0
   fi
 done
