@@ -58,6 +58,24 @@
 //   --spike-factor F   flash crowd: multiply the arrival rate by F over
 //                      [--spike-at-ms, +--spike-for-ms) of wall time.
 //
+// Scheduler kill-restart campaign (DESIGN.md §14; tools/run_chaos_soak.sh):
+//   --ckpt PATH        campaign mode: the scheduler runs as a forked child
+//                      checkpointing its control state to PATH at every
+//                      epoch boundary; instances get reconnect_path set so
+//                      they survive scheduler restarts. The parent drives
+//                      the campaign and prints `SCHEDKILL ...` /
+//                      `RECOVERY ...` summary lines.
+//   --sched-kill N     SIGKILL the scheduler child N times at seeded
+//                      epochs (progress reported per routed tuple over a
+//                      pipe); each restart resumes the stream from the
+//                      last acknowledged sequence and recovers from the
+//                      latest checkpoint. 0 = control run (checkpointing
+//                      on, no kills) for the Ĉ-divergence baseline.
+//   --kill-seed S      seed of the kill schedule (default 42, replayable).
+//   --corrupt-ckpt     flip a checkpoint payload byte before the last
+//                      restart: the CRC must reject it and the scheduler
+//                      must degrade to a counted cold start, not crash.
+//
 // Observability flags (src/obs/; render with tools/obs_report.py):
 //   --metrics-out FILE  write the scheduler runtime's metrics snapshot
 //                       (posg-metrics/1 JSON) to FILE at the end of the
@@ -76,6 +94,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -160,7 +179,13 @@ net::FaultPlan chaos_plan(std::uint64_t seed, common::InstanceId id) {
     const std::string path =
         stats_dir + "/exec_" + std::to_string(id) + "_" + std::to_string(getpid());
     if (std::FILE* out = std::fopen(path.c_str(), "w")) {
+      // `executed=` stays the first line (sum_stat and older readers scan
+      // by key, but the format is append-only on purpose).
       std::fprintf(out, "executed=%llu\n", static_cast<unsigned long long>(stats.executed));
+      std::fprintf(out, "reattach_acks=%llu\n",
+                   static_cast<unsigned long long>(stats.reattach_acks));
+      std::fprintf(out, "reconnects=%llu\n", static_cast<unsigned long long>(stats.reconnects));
+      std::fprintf(out, "rejoin_acks=%llu\n", static_cast<unsigned long long>(stats.rejoin_acks));
       std::fclose(out);
     }
   }
@@ -176,31 +201,269 @@ net::FaultPlan chaos_plan(std::uint64_t seed, common::InstanceId id) {
   std::exit(0);
 }
 
-/// Sums the `executed=` records the instance processes left in
-/// `stats_dir`. Missing/garbled files count as zero — under-counting only
-/// ever makes the at-most-once check *stricter*.
-std::uint64_t sum_executed(const std::string& stats_dir) {
+/// Sums one `key=value` line across the records the instance processes
+/// left in `stats_dir`. Missing/garbled files count as zero —
+/// under-counting only ever makes the conservation checks *stricter*.
+std::uint64_t sum_stat(const std::string& stats_dir, const std::string& key) {
   std::uint64_t total = 0;
   DIR* dir = opendir(stats_dir.c_str());
   if (dir == nullptr) {
     return 0;
   }
+  const std::string prefix = key + "=";
   while (const dirent* entry = readdir(dir)) {
     const std::string name = entry->d_name;
     if (name.rfind("exec_", 0) != 0) {
       continue;
     }
-    const std::string path = stats_dir + "/" + name;
-    if (std::FILE* in = std::fopen(path.c_str(), "r")) {
-      unsigned long long executed = 0;
-      if (std::fscanf(in, "executed=%llu", &executed) == 1) {
-        total += executed;
+    std::ifstream in(stats_dir + "/" + name);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind(prefix, 0) == 0) {
+        total += std::strtoull(line.c_str() + prefix.size(), nullptr, 10);
+        break;
       }
-      std::fclose(in);
     }
   }
   closedir(dir);
   return total;
+}
+
+std::uint64_t sum_executed(const std::string& stats_dir) {
+  return sum_stat(stats_dir, "executed");
+}
+
+/// One scheduler incarnation of the kill-restart campaign: binds the
+/// (possibly stale) socket path fresh, recovers from the checkpoint when
+/// `incarnation > 0`, re-admits the surviving instances, and routes the
+/// stream from `resume_seq`. Every routed tuple is acknowledged to the
+/// parent as a {seq, epoch} record over `progress_fd` — the parent kills
+/// this process at a seeded epoch and resumes the next incarnation from
+/// the last acknowledged sequence.
+[[noreturn]] void scheduler_incarnation(std::size_t k, std::size_t m, std::size_t resume_seq,
+                                        std::size_t incarnation, const std::string& socket_path,
+                                        const std::string& ckpt_path,
+                                        const std::string& metrics_out, int progress_fd) {
+  int rc = 0;
+  try {
+    runtime::SchedulerRuntimeConfig config;
+    config.instances = k;
+    config.allow_rejoin = true;
+    config.checkpoint_path = ckpt_path;
+    config.recover = incarnation > 0;
+    net::Listener listener(socket_path);
+    runtime::SchedulerRuntime scheduler(config);
+    std::printf("RECOVERY incarnation=%zu restored=%s epoch=%llu\n", incarnation,
+                scheduler.recovered() ? "yes" : "no",
+                static_cast<unsigned long long>(scheduler.recovered_epoch()));
+    std::fflush(stdout);  // survive a later SIGKILL
+    scheduler.accept_registrations(listener);
+    scheduler.start();
+    scheduler.enable_rejoin(listener);
+    workload::ZipfItems zipf(4096, 1.0);
+    const auto stream = workload::StreamGenerator::generate(zipf, m, 42);
+    for (common::SeqNo seq = resume_seq; seq < stream.size(); ++seq) {
+      scheduler.route(stream[seq], seq);
+      const std::uint64_t record[2] = {static_cast<std::uint64_t>(seq),
+                                       static_cast<std::uint64_t>(scheduler.epoch())};
+      if (write(progress_fd, record, sizeof record) != sizeof record) {
+        break;  // parent gone; stop routing and shut down cleanly
+      }
+    }
+    scheduler.finish();
+    double chat_total = 0.0;
+    for (const common::TimeMs load : scheduler.scheduler().estimated_loads()) {
+      chat_total += load;
+    }
+    std::printf("SCHEDKILL chat_total=%.3f epoch=%llu checkpoint_writes=%llu "
+                "checkpoint_failures=%llu reattach_count=%llu live=%zu\n",
+                chat_total, static_cast<unsigned long long>(scheduler.epoch()),
+                static_cast<unsigned long long>(scheduler.checkpoint_writes()),
+                static_cast<unsigned long long>(scheduler.checkpoint_failures()),
+                static_cast<unsigned long long>(scheduler.reattach_count()),
+                scheduler.live_instances());
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out, std::ios::trunc);
+      if (out) {
+        out << scheduler.metrics_snapshot().to_json() << '\n';
+      }
+    }
+  } catch (const std::exception& error) {
+    std::printf("SCHEDKILL incarnation=%zu error: %s\n", incarnation, error.what());
+    rc = 1;
+  }
+  std::exit(rc);
+}
+
+/// Reads exactly `n` bytes from `fd` (pipe reads may be partial even for
+/// records written atomically). Returns false on EOF/error.
+bool read_full(int fd, void* buffer, std::size_t n) {
+  auto* bytes = static_cast<unsigned char*>(buffer);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = read(fd, bytes + got, n - got);
+    if (r <= 0) {
+      return false;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+/// The kill-restart campaign driver (parent process): forks k
+/// reconnect-enabled instances once, then runs scheduler incarnations,
+/// SIGKILLing each at a seeded epoch until `kills` are done, and gates the
+/// campaign on conservation + full re-attachment. Exit 0 only when every
+/// gate holds.
+int run_sched_kill_campaign(std::size_t k, std::size_t m, std::size_t kills,
+                            std::uint64_t kill_seed, bool corrupt_ckpt,
+                            const std::string& stats_dir, const std::string& ckpt_path,
+                            const std::string& metrics_out) {
+  const std::string socket_path =
+      "/tmp/posg_schedkill_" + std::to_string(getpid()) + ".sock";
+  std::printf("sched-kill campaign: k=%zu m=%zu kills=%zu seed=%llu ckpt=%s%s\n", k, m, kills,
+              static_cast<unsigned long long>(kill_seed), ckpt_path.c_str(),
+              corrupt_ckpt ? " (corrupting before last restart)" : "");
+  // The instances outlive every scheduler incarnation: reconnect_path is
+  // what turns a scheduler crash into a redial instead of an exit.
+  for (common::InstanceId op = 0; op < k; ++op) {
+    runtime::InstanceRuntimeConfig instance_config;
+    instance_config.reconnect_path = socket_path;
+    instance_config.reconnect_attempts = 8;
+    std::fflush(stdout);
+    const pid_t pid = fork();
+    if (pid == 0) {
+      instance_process(op, socket_path, instance_config, std::nullopt, stats_dir);
+    }
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+  }
+
+  // xorshift64 keyed on the campaign seed: the whole kill schedule replays
+  // from one integer.
+  std::uint64_t rng = kill_seed ^ 0x9E3779B97F4A7C15ULL;
+  const auto next_rand = [&rng] {
+    rng ^= rng << 13U;
+    rng ^= rng >> 7U;
+    rng ^= rng << 17U;
+    return rng;
+  };
+
+  std::size_t resume_seq = 0;
+  std::uint64_t records_total = 0;
+  std::size_t kills_done = 0;
+  bool clean_exit = false;
+  for (std::size_t incarnation = 0;; ++incarnation) {
+    int fds[2];
+    if (pipe(fds) != 0) {
+      std::perror("pipe");
+      return 1;
+    }
+    std::fflush(stdout);
+    const pid_t sched_pid = fork();
+    if (sched_pid == 0) {
+      close(fds[0]);
+      scheduler_incarnation(k, m, resume_seq, incarnation, socket_path, ckpt_path, metrics_out,
+                            fds[1]);
+    }
+    close(fds[1]);
+    if (sched_pid < 0) {
+      std::perror("fork");
+      close(fds[0]);
+      return 1;
+    }
+    const bool kill_this = kills_done < kills;
+    // Seeded target: a few epoch boundaries into this incarnation, with a
+    // sequence fallback so a stalled epoch cannot stall the campaign.
+    const std::uint64_t epoch_delta = 1 + next_rand() % 4;
+    const std::size_t seq_fallback =
+        resume_seq + std::max<std::size_t>(std::size_t{64}, (m - resume_seq) * 3 / 5);
+    std::uint64_t first_epoch = 0;
+    bool have_first = false;
+    std::uint64_t last_seq = 0;
+    bool saw_record = false;
+    bool killed = false;
+    std::uint64_t record[2];
+    // Drain the progress pipe to EOF even after the SIGKILL: every record
+    // the child managed to write counts toward the conservation bound.
+    while (read_full(fds[0], record, sizeof record)) {
+      ++records_total;
+      saw_record = true;
+      last_seq = record[0];
+      if (!have_first) {
+        first_epoch = record[1];
+        have_first = true;
+      }
+      if (kill_this && !killed &&
+          (record[1] >= first_epoch + epoch_delta || record[0] >= seq_fallback)) {
+        kill(sched_pid, SIGKILL);
+        killed = true;
+      }
+    }
+    close(fds[0]);
+    int status = 0;
+    waitpid(sched_pid, &status, 0);
+    if (killed) {
+      ++kills_done;
+      std::printf("SCHEDKILL killed incarnation=%zu at seq=%llu epoch=%llu (+%llu epochs)\n",
+                  incarnation, static_cast<unsigned long long>(last_seq),
+                  static_cast<unsigned long long>(record[1]),
+                  static_cast<unsigned long long>(epoch_delta));
+      if (saw_record) {
+        // At most one routed tuple can be unacknowledged (SIGKILL between
+        // route() and the pipe write) — the conservation bound below
+        // budgets one duplicate per kill for it.
+        resume_seq = static_cast<std::size_t>(last_seq) + 1;
+      }
+      if (corrupt_ckpt && kills_done == kills) {
+        // Flip the checkpoint's last payload byte: the CRC must reject it
+        // and the next incarnation must degrade to a counted cold start.
+        if (std::FILE* file = std::fopen(ckpt_path.c_str(), "r+b")) {
+          if (std::fseek(file, -1, SEEK_END) == 0) {
+            const int byte = std::fgetc(file);
+            if (byte != EOF && std::fseek(file, -1, SEEK_END) == 0) {
+              std::fputc(byte ^ 0xFF, file);
+              std::printf("SCHEDKILL corrupted checkpoint %s (last byte flipped)\n",
+                          ckpt_path.c_str());
+            }
+          }
+          std::fclose(file);
+        }
+      }
+      continue;
+    }
+    clean_exit = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    break;
+  }
+
+  // The final incarnation's finish() sent EndOfStream; the instances exit
+  // and leave their stat records.
+  while (wait(nullptr) > 0) {
+  }
+  const std::uint64_t executed_total = sum_executed(stats_dir);
+  const std::uint64_t reattach_total = sum_stat(stats_dir, "reattach_acks");
+  const std::uint64_t reconnect_total = sum_stat(stats_dir, "reconnects");
+  // Conservation across the campaign: every tuple executes at least once
+  // (the resumed stream re-covers the tail), and duplicates are bounded by
+  // one unacknowledged route per kill — never silent loss, never unbounded
+  // double billing.
+  const bool have_stats = !stats_dir.empty();
+  const bool conservation =
+      !have_stats || (executed_total >= m && executed_total <= records_total + kills_done);
+  const std::uint64_t expected_reattaches = static_cast<std::uint64_t>(k) * kills_done;
+  const bool reattached = !have_stats || reattach_total >= expected_reattaches;
+  std::printf("SCHEDKILL kills=%zu routed_records=%llu executed=%llu m=%zu conservation=%s\n",
+              kills_done, static_cast<unsigned long long>(records_total),
+              static_cast<unsigned long long>(executed_total), m,
+              conservation ? "ok" : "violated");
+  std::printf("SCHEDKILL reattach_acks=%llu reconnects=%llu expected_min=%llu reattached=%s\n",
+              static_cast<unsigned long long>(reattach_total),
+              static_cast<unsigned long long>(reconnect_total),
+              static_cast<unsigned long long>(expected_reattaches), reattached ? "ok" : "short");
+  std::printf("SCHEDKILL clean_exit=%s\n", clean_exit ? "yes" : "no");
+  return (clean_exit && conservation && reattached && kills_done == kills) ? 0 : 1;
 }
 
 }  // namespace
@@ -225,6 +488,17 @@ int main(int argc, char** argv) {
   std::optional<std::uint64_t> fault_seed;
   if (args.has("fault-seed")) {
     fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
+  }
+  // Scheduler kill-restart campaign mode: a non-empty --ckpt switches to
+  // the forked-scheduler driver (even with --sched-kill 0, which is the
+  // checkpointing-on control run for the Ĉ-divergence baseline).
+  const std::string ckpt_path = args.get_string("ckpt", "");
+  if (!ckpt_path.empty()) {
+    const auto sched_kills = static_cast<std::size_t>(args.get_int("sched-kill", 0));
+    const auto kill_seed = static_cast<std::uint64_t>(args.get_int("kill-seed", 42));
+    const bool corrupt_ckpt = args.get_bool("corrupt-ckpt", false);
+    return run_sched_kill_campaign(k, m, sched_kills, kill_seed, corrupt_ckpt, stats_dir,
+                                   ckpt_path, metrics_out);
   }
   const auto initial_raw = static_cast<std::size_t>(args.get_int("initial", 0));
   const std::size_t initial = initial_raw == 0 ? k : std::min(initial_raw, k);

@@ -102,6 +102,11 @@ inline constexpr int kSchedulerState = 30;
 /// core::OverloadController::mutex_ — taken on the producer path, may
 /// publish trace events (→ kTraceRing) but never re-enters a scheduler.
 inline constexpr int kOverload = 40;
+/// runtime::SchedulerRuntime::ckpt_mutex_ — the checkpoint hand-off slot.
+/// reader_loop publishes a captured CheckpointState into it while holding
+/// kSchedulerState (rank-increasing); the writer thread holds only this
+/// while waiting and never re-enters scheduler state.
+inline constexpr int kCheckpointWriter = 45;
 /// engine::BoundedQueue::mutex_ and engine::CompletionRecorder::mutex_ —
 /// data-plane leaves; nothing posg-owned is ever acquired under them, and
 /// no two queues are ever held together (equal rank enforces it).

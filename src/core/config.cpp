@@ -91,6 +91,10 @@ void validate_posg(const core::PosgConfig& config, const std::string& prefix,
   if (!(std::isfinite(config.mu) && config.mu > 0.0)) {
     push(out, dot(prefix, "mu"), ConfigErrorCode::kMustBePositive, "must be finite and > 0");
   }
+  if (config.checkpoint_every_epochs < 1) {
+    push(out, dot(prefix, "checkpoint_every_epochs"), ConfigErrorCode::kMustBePositive,
+         "must be >= 1 (disable checkpointing via the runtime's checkpoint_path instead)");
+  }
   validate_health(config.health, dot(prefix, "health"), out);
   validate_rejoin_ramp(config.rejoin_ramp, dot(prefix, "rejoin_ramp"), out);
 }
@@ -194,6 +198,10 @@ void validate_scheduler_runtime(const SchedulerRuntimeConfig& config, const std:
   if (config.hello_deadline <= std::chrono::milliseconds::zero()) {
     push(out, dot(prefix, "hello_deadline"), ConfigErrorCode::kMustBePositive, "must be > 0");
   }
+  if (config.recover && config.checkpoint_path.empty()) {
+    push(out, dot(prefix, "recover"), ConfigErrorCode::kOrdering,
+         "recovery needs a checkpoint_path to restore from");
+  }
   validate_obs(config.obs, dot(prefix, "obs"), out);
 }
 
@@ -209,6 +217,10 @@ void validate_instance_runtime(const InstanceRuntimeConfig& config, const std::s
   if (!(std::isfinite(config.real_sleep_scale) && config.real_sleep_scale >= 0.0)) {
     push(out, dot(prefix, "real_sleep_scale"), ConfigErrorCode::kOutOfRange,
          "must be finite and >= 0 (0 disables real sleeping)");
+  }
+  if (!config.reconnect_path.empty() && config.reconnect_attempts < 1) {
+    push(out, dot(prefix, "reconnect_attempts"), ConfigErrorCode::kMustBePositive,
+         "must be >= 1 when reconnect_path is set");
   }
 }
 

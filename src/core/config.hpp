@@ -113,6 +113,12 @@ struct PosgConfig {
   HealthConfig health;
   /// Admission ramp applied by rejoin() (see above).
   RejoinRampConfig rejoin_ramp;
+  /// Crash-recovery checkpoint cadence (core/checkpoint.hpp; DESIGN.md
+  /// §14): the scheduler runtime captures its control state every this
+  /// many *completed* epochs (WAIT_ALL → RUN edges) and writes it off the
+  /// hot path. Whether checkpointing happens at all is the runtime's
+  /// `checkpoint_path` knob; this only paces it. Must be >= 1.
+  std::size_t checkpoint_every_epochs = 1;
 
   sketch::SketchDims dims() const { return sketch::SketchDims::from_accuracy(epsilon, delta); }
 };
@@ -207,6 +213,21 @@ struct SchedulerRuntimeConfig {
   /// Observability wiring (metrics registry + trace ring owned by the
   /// runtime).
   ObsConfig obs;
+
+  /// Crash-recovery checkpoint file (core/checkpoint.hpp; DESIGN.md §14).
+  /// Empty (the default) disables checkpointing entirely — no writer
+  /// thread is spawned and the epoch path stays untouched. When set, the
+  /// runtime captures the scheduler's control state every
+  /// posg.checkpoint_every_epochs completed epochs and a background
+  /// writer replaces this file atomically.
+  std::string checkpoint_path;
+
+  /// Attempt to restore from `checkpoint_path` at construction. A
+  /// missing, torn, corrupt, or invariant-violating checkpoint degrades
+  /// to a cold start (counted in posg.runtime.recovery_cold_starts), never
+  /// a crash. Registration then accepts SchedulerHello re-attaches from
+  /// instances that outlived the previous scheduler process.
+  bool recover = false;
 };
 
 /// Configuration of one operator-instance event loop
@@ -260,6 +281,19 @@ struct InstanceRuntimeConfig {
   /// default) keeps execution instantaneous — the simulated-cost-only mode
   /// every correctness test uses.
   double real_sleep_scale = 0.0;
+
+  /// Scheduler-crash survival (DESIGN.md §14): when non-empty, a link
+  /// error toward the scheduler (EOF, send failure) is treated as
+  /// *reconnectable* — the instance re-dials this socket path with the
+  /// standard backoff+jitter schedule, re-attaches via SchedulerHello,
+  /// and resumes with its tracker intact. Empty (the default) keeps the
+  /// pre-recovery behaviour: the first link error ends the run loop.
+  std::string reconnect_path;
+
+  /// Reconnect rounds before giving up for good; each round runs one full
+  /// net::ConnectRetryPolicy schedule (~6 s). Read only when
+  /// reconnect_path is non-empty; must then be >= 1.
+  std::size_t reconnect_attempts = 3;
 };
 
 /// Machine-readable category of one config-validation failure.

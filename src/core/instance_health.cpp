@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "common/check.hpp"
 
@@ -175,6 +177,57 @@ double HealthMonitor::derate(common::InstanceId op) const {
     return 1.0;
   }
   return std::clamp(drift_ewma_[op], 1.0, config_.derate_cap);
+}
+
+HealthMonitor::Snapshot HealthMonitor::snapshot() const {
+  Snapshot out;
+  out.states = states_;
+  out.drift_ewma = drift_ewma_;
+  out.hot_streak.assign(hot_streak_.begin(), hot_streak_.end());
+  out.calm_streak.assign(calm_streak_.begin(), calm_streak_.end());
+  out.queue_ewma = queue_ewma_;
+  out.suspect_transitions = suspect_transitions_;
+  out.degraded_transitions = degraded_transitions_;
+  out.promotions = promotions_;
+  return out;
+}
+
+void HealthMonitor::restore(const Snapshot& snapshot) {
+  // Validate everything before touching any member: a rejected checkpoint
+  // must leave the monitor in its pre-restore state.
+  auto reject = [](const char* what) {
+    throw std::invalid_argument(std::string("HealthMonitor::restore: ") + what);
+  };
+  if (snapshot.states.size() != k_ || snapshot.drift_ewma.size() != k_ ||
+      snapshot.hot_streak.size() != k_ || snapshot.calm_streak.size() != k_ ||
+      snapshot.queue_ewma.size() != k_) {
+    reject("per-instance tables do not cover every instance");
+  }
+  for (std::size_t op = 0; op < k_; ++op) {
+    if (static_cast<std::uint8_t>(snapshot.states[op]) >
+        static_cast<std::uint8_t>(InstanceHealth::kQuarantined)) {
+      reject("state out of range");
+    }
+    if (!(std::isfinite(snapshot.drift_ewma[op]) && snapshot.drift_ewma[op] >= 0.0)) {
+      reject("drift EWMA must be finite and non-negative");
+    }
+    // queue_ewma is an occupancy EWMA or the -1 no-sample sentinel.
+    if (!(std::isfinite(snapshot.queue_ewma[op]) &&
+          (snapshot.queue_ewma[op] >= 0.0 || snapshot.queue_ewma[op] == -1.0))) {
+      reject("queue EWMA must be non-negative or the -1 sentinel");
+    }
+    if (snapshot.hot_streak[op] != 0 && snapshot.calm_streak[op] != 0) {
+      reject("hot and calm streaks active at once");
+    }
+  }
+  states_ = snapshot.states;
+  drift_ewma_ = snapshot.drift_ewma;
+  hot_streak_.assign(snapshot.hot_streak.begin(), snapshot.hot_streak.end());
+  calm_streak_.assign(snapshot.calm_streak.begin(), snapshot.calm_streak.end());
+  queue_ewma_ = snapshot.queue_ewma;
+  suspect_transitions_ = snapshot.suspect_transitions;
+  degraded_transitions_ = snapshot.degraded_transitions;
+  promotions_ = snapshot.promotions;
 }
 
 void HealthMonitor::debug_validate() const {

@@ -110,6 +110,28 @@ class HealthMonitor {
   /// mutually exclusive.
   void debug_validate() const;
 
+  /// Checkpointable image of the monitor (core/checkpoint.hpp): the whole
+  /// deterministic FSM — per-instance states, drift/queue EWMAs, streak
+  /// counters — plus the transition tallies, so a restored scheduler
+  /// resumes straggler detection exactly where the crashed one left off.
+  struct Snapshot {
+    std::vector<InstanceHealth> states;
+    std::vector<double> drift_ewma;
+    std::vector<std::uint64_t> hot_streak;
+    std::vector<std::uint64_t> calm_streak;
+    std::vector<double> queue_ewma;
+    std::uint64_t suspect_transitions = 0;
+    std::uint64_t degraded_transitions = 0;
+    std::uint64_t promotions = 0;
+  };
+  Snapshot snapshot() const;
+
+  /// Restores a snapshot(). Checkpoints are untrusted input, so unlike
+  /// debug_validate this *throws* std::invalid_argument on any invariant
+  /// violation (sizes, state range, EWMA domain, streak exclusivity) and
+  /// leaves the monitor untouched in that case.
+  void restore(const Snapshot& snapshot);
+
  private:
   void become(common::InstanceId op, InstanceHealth next);
   void trace_transition(common::InstanceId op, InstanceHealth prev, InstanceHealth next) const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "common/check.hpp"
 #include "obs/profile.hpp"
@@ -952,6 +954,270 @@ void PosgScheduler::rejoin(common::InstanceId op) {
 #if POSG_DCHECK_IS_ON
   debug_validate();
 #endif
+}
+
+CheckpointState PosgScheduler::checkpoint_state() const {
+  const auto pack = [this](const std::vector<bool>& bits) {
+    std::vector<std::uint8_t> out(k_, 0);
+    for (std::size_t op = 0; op < k_; ++op) {
+      out[op] = bits[op] ? 1 : 0;
+    }
+    return out;
+  };
+  CheckpointState out;
+  out.k = k_;
+  out.scheduler_state = static_cast<std::uint8_t>(state_);
+  out.rr_next = rr_next_;
+  out.epoch = epoch_;
+  out.epochs_completed = epochs_completed_;
+  out.decisions = decisions_;
+  out.rejoin_count = rejoin_count_;
+  out.stale_replies = stale_replies_;
+  out.drains_begun = drains_begun_;
+  out.retires = retires_;
+  out.drain_cancels = drain_cancels_;
+  out.c_est = c_est_;
+  out.latency_hints = latency_hints_;
+  out.failed = pack(failed_);
+  out.draining = pack(draining_);
+  out.marker_pending = pack(marker_pending_);
+  out.reply_received = pack(reply_received_);
+  out.reply_delta = reply_delta_;
+  out.marker_estimate = marker_estimate_;
+  out.derate = derate_;
+  out.ramp_tokens = ramp_tokens_;
+  out.ramp_left = ramp_left_;
+  out.health = health_.snapshot();
+  out.sketches = sketches_;
+  return out;
+}
+
+void PosgScheduler::restore(const CheckpointState& state) {
+  // Phase 1 — validate everything against this scheduler's configuration
+  // without mutating a single member, so a rejected checkpoint leaves the
+  // cold-start construction untouched. The checks mirror debug_validate()
+  // (which aborts on programming errors) but *throw*: a checkpoint is
+  // untrusted input, and rejecting it is an operational condition the
+  // runtime answers with a cold start.
+  const auto reject = [](const std::string& what) {
+    throw std::invalid_argument("PosgScheduler::restore: " + what);
+  };
+  if (state.k != k_) {
+    reject("instance count mismatch (checkpoint k=" + std::to_string(state.k) +
+           ", configured k=" + std::to_string(k_) + ")");
+  }
+  if (state.scheduler_state > static_cast<std::uint8_t>(State::kRun)) {
+    reject("state machine value out of range");
+  }
+  const auto restored_state = static_cast<State>(state.scheduler_state);
+  if (state.rr_next >= k_) {
+    reject("round-robin cursor out of range");
+  }
+  if (state.epochs_completed > state.epoch) {
+    reject("completed epochs exceed the epoch counter (non-monotone epoch)");
+  }
+  if (state.c_est.size() != k_ || state.failed.size() != k_ || state.draining.size() != k_ ||
+      state.marker_pending.size() != k_ || state.reply_received.size() != k_ ||
+      state.reply_delta.size() != k_ || state.marker_estimate.size() != k_ ||
+      state.derate.size() != k_ || state.ramp_tokens.size() != k_ ||
+      state.ramp_left.size() != k_ || state.sketches.size() != k_) {
+    reject("per-instance tables do not cover every instance");
+  }
+  if (!state.latency_hints.empty() && state.latency_hints.size() != k_) {
+    reject("latency hints must be empty or cover every instance");
+  }
+  std::size_t live = 0;
+  std::size_t serving = 0;
+  std::size_t markers = 0;
+  bool any_sketch = false;
+  for (std::size_t op = 0; op < k_; ++op) {
+    if (state.failed[op] > 1 || state.draining[op] > 1 || state.marker_pending[op] > 1 ||
+        state.reply_received[op] > 1) {
+      reject("per-instance flag is not 0/1");
+    }
+    if (!(std::isfinite(state.c_est[op]) && state.c_est[op] >= 0.0)) {
+      reject("C_hat must be finite and non-negative");
+    }
+    if (!(std::isfinite(state.derate[op]) && state.derate[op] >= 1.0)) {
+      reject("de-rate factor must be finite and >= 1");
+    }
+    if (!std::isfinite(state.reply_delta[op])) {
+      reject("reply delta must be finite");
+    }
+    if (!(std::isfinite(state.marker_estimate[op]) &&
+          (state.marker_estimate[op] == -1.0 || state.marker_estimate[op] >= 0.0))) {
+      reject("marker estimate must be non-negative or the -1 sentinel");
+    }
+    if (!(std::isfinite(state.ramp_tokens[op]) && state.ramp_tokens[op] >= 0.0)) {
+      reject("ramp tokens must be finite and non-negative");
+    }
+    if (!state.latency_hints.empty() &&
+        !(std::isfinite(state.latency_hints[op]) && state.latency_hints[op] >= 0.0)) {
+      reject("latency hints must be finite and non-negative");
+    }
+    const bool failed = state.failed[op] == 1;
+    const bool draining = state.draining[op] == 1;
+    if (failed) {
+      // Quarantine exclusivity — the same bundle debug_validate pins.
+      if (state.c_est[op] != 0.0 || state.sketches[op].has_value() ||
+          state.marker_pending[op] == 1 || state.derate[op] != 1.0 ||
+          state.ramp_left[op] != 0 || draining || state.marker_estimate[op] != -1.0) {
+        reject("quarantined instance still participates (C_hat/sketch/marker/ramp/drain)");
+      }
+    } else {
+      ++live;
+      if (draining) {
+        if (state.marker_pending[op] == 1 || state.ramp_left[op] != 0) {
+          reject("draining instance still owes a marker or holds a ramp");
+        }
+      } else {
+        ++serving;
+      }
+    }
+    if (state.health.states.size() == k_ &&
+        failed != (state.health.states[op] == InstanceHealth::kQuarantined)) {
+      reject("health FSM disagrees with the quarantine set");
+    }
+    if (state.marker_pending[op] == 1) {
+      ++markers;
+    }
+    if (const auto& sketch = state.sketches[op]; sketch.has_value()) {
+      any_sketch = true;
+      if (sketch->dims() != config_.dims() || sketch->seed() != config_.sketch_seed ||
+          sketch->heavy_capacity() != config_.heavy_hitter_capacity ||
+          sketch->conservative() != config_.conservative_update) {
+        reject("shipped sketch layout does not match this configuration");
+      }
+      sketch->validate_untrusted();  // throws std::invalid_argument itself
+    }
+  }
+  if (live > 0 && serving == 0) {
+    reject("live cluster with an empty serving set");
+  }
+  if (live == 0 && restored_state != State::kRoundRobin) {
+    reject("zero live instances outside ROUND_ROBIN");
+  }
+  switch (restored_state) {
+    case State::kRoundRobin:
+      if (markers != 0) {
+        reject("markers pending in ROUND_ROBIN");
+      }
+      break;
+    case State::kSendAll:
+      if (!config_.sync_enabled || state.epoch < 1 || markers < 1 || !any_sketch) {
+        reject("SEND_ALL image inconsistent with the synchronization protocol");
+      }
+      for (std::size_t op = 0; op < k_; ++op) {
+        if (state.reply_received[op] == 1 && state.marker_pending[op] == 1) {
+          reject("reply received before its marker was sent");
+        }
+      }
+      break;
+    case State::kWaitAll:
+      if (!config_.sync_enabled || state.epoch < 1 || markers != 0 || !any_sketch) {
+        reject("WAIT_ALL image inconsistent with the synchronization protocol");
+      }
+      break;
+    case State::kRun:
+      if (markers != 0 || !any_sketch) {
+        reject("RUN image without the sketches that justify it");
+      }
+      break;
+  }
+
+  // Phase 2 — apply. health_.restore validates-then-applies itself, so it
+  // goes first: if it throws, no scheduler member has moved yet either.
+  health_.restore(state.health);
+  state_ = restored_state;
+  rr_next_ = static_cast<std::size_t>(state.rr_next);
+  epoch_ = state.epoch;
+  epochs_completed_ = state.epochs_completed;
+  decisions_ = state.decisions;
+  rejoin_count_ = state.rejoin_count;
+  stale_replies_ = state.stale_replies;
+  drains_begun_ = state.drains_begun;
+  retires_ = state.retires;
+  drain_cancels_ = state.drain_cancels;
+  c_est_ = state.c_est;
+  latency_hints_ = state.latency_hints;
+  for (std::size_t op = 0; op < k_; ++op) {
+    failed_[op] = state.failed[op] == 1;
+    draining_[op] = state.draining[op] == 1;
+    marker_pending_[op] = state.marker_pending[op] == 1;
+    reply_received_[op] = state.reply_received[op] == 1;
+  }
+  reply_delta_ = state.reply_delta;
+  marker_estimate_ = state.marker_estimate;
+  derate_ = state.derate;
+  ramp_tokens_ = state.ramp_tokens;
+  ramp_left_ = state.ramp_left;
+  live_count_ = live;
+  serving_count_ = serving;
+  markers_outstanding_ = markers;
+  ramps_active_ = static_cast<std::size_t>(
+      std::count_if(ramp_left_.begin(), ramp_left_.end(), [](std::uint64_t n) { return n > 0; }));
+  // Un-collected AdmissionGrant notices are informational and died with
+  // the crashed process.
+  ramp_completions_.clear();
+  sketches_ = state.sketches;
+
+  // Derived caches: merged billing view + global mean, then the greedy
+  // argmin (which requires a live cluster).
+  refresh_global_mean();
+  if (live_count_ > 0) {
+    rebuild_greedy();
+  }
+  // Self-heal a WAIT_ALL image whose last missing reply will never come
+  // (epoch completion is edge-triggered in on_sync_reply; a checkpoint cut
+  // between the final reply and the completion edge must not hang).
+  maybe_complete_epoch();
+#if POSG_DCHECK_IS_ON
+  debug_validate();
+#endif
+}
+
+common::TimeMs PosgScheduler::reattach(common::InstanceId op) {
+  if (op >= k_) {
+    throw std::invalid_argument("PosgScheduler: reattach of unknown instance");
+  }
+  if (failed_[op]) {
+    throw std::invalid_argument(
+        "PosgScheduler: reattach of a quarantined instance (rejoin re-admits it)");
+  }
+  // The crash window swallowed whatever marker/reply traffic was in
+  // flight toward op: clear its unsent marker, pre-satisfy its reply slot,
+  // and disarm its marker estimate so a Δ computed against a pre-crash
+  // baseline is counted stale (on_sync_reply) instead of folded — the
+  // exact isolation rejoin() applies, minus the re-seeding (op's Ĉ is the
+  // restored cut, already consistent with the work billed to it).
+  if (state_ == State::kSendAll && marker_pending_[op]) {
+    marker_pending_[op] = false;
+    --markers_outstanding_;
+    if (markers_outstanding_ == 0) {
+      state_ = State::kWaitAll;
+    }
+  }
+  if (state_ == State::kSendAll || state_ == State::kWaitAll) {
+    reply_received_[op] = true;
+    reply_delta_[op] = 0.0;
+  }
+  marker_estimate_[op] = -1.0;
+  const common::TimeMs cut = c_est_[op];
+  if (trace_writer_) {
+    trace_writer_->record(obs::TraceEvent{.type = obs::TraceEventType::kReattach,
+                                          .detail = 0,
+                                          .component = 0,
+                                          .instance = static_cast<std::uint32_t>(op),
+                                          .a = epoch_,
+                                          .value = cut,
+                                          .tick = 0});
+    trace_writer_->flush();
+  }
+  maybe_complete_epoch();
+#if POSG_DCHECK_IS_ON
+  debug_validate();
+#endif
+  return cut;
 }
 
 std::uint64_t PosgScheduler::ramp_remaining(common::InstanceId op) const {

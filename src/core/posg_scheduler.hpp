@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "core/checkpoint.hpp"
 #include "core/config.hpp"
 #include "core/greedy_index.hpp"
 #include "core/instance_health.hpp"
@@ -123,6 +124,41 @@ class PosgScheduler final : public Scheduler {
   /// not quarantined.
   void rejoin(common::InstanceId op);
   std::uint64_t rejoin_count() const noexcept { return rejoin_count_; }
+
+  // --- crash recovery (core/checkpoint.hpp; DESIGN.md §14) ---
+
+  /// Captures the scheduler's primary control state for checkpointing:
+  /// everything the Δ-synchronization protocol cannot reconstruct from
+  /// instance feedback (Ĉ, the four-state machine, epoch bookkeeping,
+  /// quarantine/drain/ramp sets, the health FSM, the shipped sketches).
+  /// Derived caches (merged view, global mean, greedy index, live/serving
+  /// counters) are deliberately excluded — restore() recomputes them.
+  CheckpointState checkpoint_state() const;
+
+  /// Restores a checkpoint_state() image. Checkpoints are untrusted input
+  /// (a CRC only catches accidental corruption), so every invariant
+  /// debug_validate() aborts on is re-checked *throwing* here — k match,
+  /// Ĉ domain, quarantine/drain exclusivity, state-machine consistency,
+  /// monotone epoch, sketch layout — before a single member is touched;
+  /// a rejected image leaves the scheduler exactly as constructed, ready
+  /// for a cold start. On success the derived caches are rebuilt and the
+  /// restored scheduler is indistinguishable from one that never crashed
+  /// (the round-trip checkpoint tests pin byte-equality).
+  void restore(const CheckpointState& state);
+
+  /// Re-attaches live instance `op` after a scheduler crash-restart (the
+  /// SchedulerHello/ReattachAck handshake's core step; the wire side is
+  /// runtime/scheduler_runtime.hpp). The restored epoch may have been cut
+  /// mid-flight: op's unsent marker is cleared, its reply slot
+  /// pre-satisfied, and its marker estimate disarmed so any Δ the
+  /// instance computed against a pre-crash baseline lands on the
+  /// stale-reply path instead of folding into Ĉ — the same isolation
+  /// rejoin() applies, which is what makes double billing across the
+  /// crash impossible. Returns the seeded cut Ĉ[op] the ReattachAck
+  /// carries (the instance rearms its tracker to it). Throws
+  /// std::invalid_argument when `op` is out of range or quarantined
+  /// (a quarantined slot re-attaches via rejoin()).
+  common::TimeMs reattach(common::InstanceId op);
 
   /// Opens a lossless drain of instance `op` (elasticity; DESIGN.md §11).
   /// The instance leaves the greedy argmin and the round-robin rotation at

@@ -186,7 +186,7 @@ void FaultInjector::record(const FaultAction& action) {
 }
 
 void FaultInjector::send_frame(std::span<const std::byte> payload) {
-  if (!socket_.valid()) {
+  if (severed_.load(std::memory_order_acquire) || !socket_.valid()) {
     // A scripted disconnect already severed the link; behave like a dead
     // peer rather than like a programming error.
     throw std::system_error(EPIPE, std::generic_category(), "fault injector: link severed");
@@ -241,13 +241,19 @@ void FaultInjector::send_frame(std::span<const std::byte> payload) {
     socket_.send_frame(outgoing);
   }
   if (disconnect) {
-    socket_.close();
+    // shutdown(), not close(): a reader thread may be blocked in
+    // recv_frame on this same socket, and close() would race its fd_
+    // reads. The kernel-level sever gives every concurrent user
+    // EOF/EPIPE instead; severed_ makes it deterministic for this
+    // injector's own callers.
+    severed_.store(true, std::memory_order_release);
+    socket_.shutdown();
   }
 }
 
 RecvResult FaultInjector::recv_frame(std::chrono::milliseconds deadline) {
   while (true) {
-    if (!socket_.valid()) {
+    if (severed_.load(std::memory_order_acquire) || !socket_.valid()) {
       return RecvResult{RecvStatus::kEof, {}};
     }
     RecvResult result = socket_.recv_frame(deadline);
@@ -295,8 +301,11 @@ RecvResult FaultInjector::recv_frame(std::chrono::milliseconds deadline) {
     }
     if (disconnect) {
       // Deliver this frame, then sever: the next receive sees EOF — the
-      // exact shape of a peer crashing right after a write.
-      socket_.close();
+      // exact shape of a peer crashing right after a write. shutdown(),
+      // not close(), so a concurrent sender on the same socket races the
+      // kernel, not our fd_ field.
+      severed_.store(true, std::memory_order_release);
+      socket_.shutdown();
     }
     if (!drop) {
       return result;

@@ -111,13 +111,15 @@ class FaultInjector final : public FrameTransport {
   FaultInjector(Socket socket, FaultPlan plan);
 
   /// Applies any send-direction faults scheduled for this frame. A
-  /// scripted disconnect closes the socket after the write; later sends
-  /// then throw std::system_error(EPIPE) exactly like a dead peer.
+  /// scripted disconnect severs the link after the write (shutdown, not
+  /// close — safe against a concurrent receiver on the same socket);
+  /// later sends then throw std::system_error(EPIPE) exactly like a dead
+  /// peer.
   void send_frame(std::span<const std::byte> payload) override;
 
   /// Applies recv-direction faults. Dropped frames are consumed off the
   /// wire and silently skipped; a scripted disconnect delivers the frame,
-  /// then closes the socket so the next receive reports EOF.
+  /// then severs the link so the next receive reports EOF.
   RecvResult recv_frame(std::chrono::milliseconds deadline) override;
 
   void close() noexcept override;
@@ -141,6 +143,12 @@ class FaultInjector final : public FrameTransport {
   std::vector<std::string> log_ GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> received_{0};
+  // A scripted disconnect fired. The socket is shutdown() rather than
+  // close()d (no fd_ mutation under a concurrent peer thread), so this
+  // flag — not socket_.valid() — is what makes post-disconnect behavior
+  // deterministic: the kernel may still surface frames buffered before
+  // the sever, but the injector's contract is "severed means EOF/EPIPE".
+  std::atomic<bool> severed_{false};
 };
 
 }  // namespace posg::net

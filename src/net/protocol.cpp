@@ -20,6 +20,8 @@ enum class Tag : std::uint8_t {
   kAdmissionGrant = 8,
   kDrainRequest = 9,
   kDrainComplete = 10,
+  kSchedulerHello = 11,
+  kReattachAck = 12,
 };
 
 class Writer {
@@ -133,6 +135,15 @@ std::vector<std::byte> encode(const Message& message) {
           writer.put(value.epoch);
           writer.put(value.delta);
           writer.put(value.executed);
+        } else if constexpr (std::is_same_v<T, SchedulerHello>) {
+          writer.put(Tag::kSchedulerHello);
+          writer.put(static_cast<std::uint64_t>(value.instance));
+          writer.put(value.recovery_epoch);
+        } else if constexpr (std::is_same_v<T, ReattachAck>) {
+          writer.put(Tag::kReattachAck);
+          writer.put(static_cast<std::uint64_t>(value.instance));
+          writer.put(value.epoch);
+          writer.put(value.seeded_cut);
         }
       },
       message);
@@ -146,7 +157,7 @@ void debug_validate_frame(std::span<const std::byte> payload) {
   POSG_CHECK(!payload.empty(), "net frame: empty payload (every frame starts with a tag byte)");
   const auto tag = static_cast<std::uint8_t>(payload[0]);
   POSG_CHECK(tag >= static_cast<std::uint8_t>(Tag::kHello) &&
-                 tag <= static_cast<std::uint8_t>(Tag::kDrainComplete),
+                 tag <= static_cast<std::uint8_t>(Tag::kReattachAck),
              "net frame: unknown tag");
   const std::size_t size = payload.size();
   switch (static_cast<Tag>(tag)) {
@@ -195,6 +206,14 @@ void debug_validate_frame(std::span<const std::byte> payload) {
       POSG_CHECK(size == 1 + 8 + 8 + 8 + 8,
                  "net frame: DrainComplete must be exactly tag + instance + epoch + delta + "
                  "executed");
+      break;
+    case Tag::kSchedulerHello:
+      POSG_CHECK(size == 1 + 8 + 8,
+                 "net frame: SchedulerHello must be exactly tag + instance + recovery epoch");
+      break;
+    case Tag::kReattachAck:
+      POSG_CHECK(size == 1 + 8 + 8 + 8,
+                 "net frame: ReattachAck must be exactly tag + instance + epoch + seeded cut");
       break;
   }
 }
@@ -277,6 +296,21 @@ Message decode(std::span<const std::byte> payload) {
       complete.executed = reader.take<std::uint64_t>();
       reader.expect_exhausted();
       return complete;
+    }
+    case Tag::kSchedulerHello: {
+      SchedulerHello hello;
+      hello.instance = static_cast<common::InstanceId>(reader.take<std::uint64_t>());
+      hello.recovery_epoch = reader.take<common::Epoch>();
+      reader.expect_exhausted();
+      return hello;
+    }
+    case Tag::kReattachAck: {
+      ReattachAck ack;
+      ack.instance = static_cast<common::InstanceId>(reader.take<std::uint64_t>());
+      ack.epoch = reader.take<common::Epoch>();
+      ack.seeded_cut = reader.take<common::TimeMs>();
+      reader.expect_exhausted();
+      return ack;
     }
   }
   throw std::invalid_argument("net::decode: unknown tag");

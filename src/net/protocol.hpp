@@ -9,16 +9,20 @@
 
 /// Wire protocol between a POSG scheduler process and operator-instance
 /// processes — the distributed deployment the in-process substrates
-/// emulate. Ten message kinds:
+/// emulate. Twelve message kinds:
 ///
 ///   instance -> scheduler:  Hello (registration and rejoin),
-///                           SketchShipment (Fig. 1.B, via
-///                           sketch/serialize.hpp), SyncReply (Fig. 1.E),
-///                           DrainComplete (lossless-drain final Δ)
+///                           SchedulerHello (re-attach after a scheduler
+///                           crash-restart; carries the instance's last
+///                           observed epoch), SketchShipment (Fig. 1.B,
+///                           via sketch/serialize.hpp), SyncReply
+///                           (Fig. 1.E), DrainComplete (lossless-drain
+///                           final Δ)
 ///   scheduler -> instance:  TupleMessage (data + optional piggy-backed
 ///                           SyncRequest, Fig. 1.D), EndOfStream,
 ///                           InstanceFailed (quarantine notification),
 ///                           RejoinAck (rejoin handshake accept),
+///                           ReattachAck (re-attach handshake accept),
 ///                           AdmissionGrant (admission ramp finished),
 ///                           DrainRequest (lossless-drain open)
 ///
@@ -29,6 +33,17 @@ namespace posg::net {
 /// Instance registration: "instance `id` is ready on this connection".
 struct Hello {
   common::InstanceId instance;
+};
+
+/// Instance -> scheduler: re-attach after a scheduler crash-restart (the
+/// recovery counterpart of Hello; see DESIGN.md §14). The instance kept
+/// its process and tracker alive; only the link died. `recovery_epoch` is
+/// the newest epoch the instance observed in a marker or ack — the
+/// scheduler compares it against its restored checkpoint epoch to detect
+/// a stale checkpoint (it can only re-seed, never rewind the instance).
+struct SchedulerHello {
+  common::InstanceId instance;
+  common::Epoch recovery_epoch;
 };
 
 /// Scheduler -> surviving instances: peer `instance` was quarantined
@@ -94,9 +109,22 @@ struct DrainComplete {
   std::uint64_t executed;
 };
 
+/// Scheduler -> re-attaching instance: the re-attach handshake's accept.
+/// `seeded_cut` is the scheduler's checkpointed/current Ĉ[op]; the
+/// instance rebases its tracker to it exactly like a RejoinAck seed
+/// (core::InstanceTracker::rearm), so any drift accumulated across the
+/// crash window is absorbed once — a Δ computed against the pre-crash
+/// baseline can never be billed again (the double-billing argument,
+/// DESIGN.md §14).
+struct ReattachAck {
+  common::InstanceId instance;
+  common::Epoch epoch;
+  common::TimeMs seeded_cut;
+};
+
 using Message = std::variant<Hello, TupleMessage, core::SketchShipment, core::SyncReply,
                              EndOfStream, InstanceFailed, RejoinAck, AdmissionGrant,
-                             DrainRequest, DrainComplete>;
+                             DrainRequest, DrainComplete, SchedulerHello, ReattachAck>;
 
 /// Encodes a message into one frame payload.
 std::vector<std::byte> encode(const Message& message);

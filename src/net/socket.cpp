@@ -119,6 +119,12 @@ void Socket::close() noexcept {
   }
 }
 
+void Socket::shutdown() noexcept {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+}
+
 void Socket::send_frame(std::span<const std::byte> payload) {
   common::require(valid(), "net: send on closed socket");
   common::require(payload.size() <= kMaxFrameBytes, "net: frame too large");

@@ -78,6 +78,15 @@ class Socket {
 
   void close() noexcept;
 
+  /// Severs the connection (both directions) without releasing the fd:
+  /// the peer sees EOF, local sends fail with EPIPE, local receives
+  /// return EOF — exactly a crashed peer. Unlike close(), this never
+  /// mutates fd_, so it is safe to call while another thread is blocked
+  /// in send_frame/recv_frame on the same socket (the kernel resolves
+  /// the race; there is no fd reuse hazard). The fault injector's
+  /// scripted disconnects use this for that reason.
+  void shutdown() noexcept;
+
   /// Maximum accepted frame size (defensive bound against corrupt length
   /// prefixes).
   static constexpr std::uint32_t kMaxFrameBytes = 64u << 20;

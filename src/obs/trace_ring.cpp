@@ -29,6 +29,12 @@ const char* trace_event_name(TraceEventType type) noexcept {
       return "drain_complete";
     case TraceEventType::kScaleDecision:
       return "scale_decision";
+    case TraceEventType::kCheckpointWrite:
+      return "checkpoint_write";
+    case TraceEventType::kRecoveryBegin:
+      return "recovery_begin";
+    case TraceEventType::kReattach:
+      return "reattach";
   }
   return "unknown";
 }

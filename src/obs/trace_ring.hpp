@@ -49,6 +49,16 @@ enum class TraceEventType : std::uint8_t {
   /// instance (kRetire only), a = controller sample ordinal,
   /// value = predicted backlog (ms) at the decision.
   kScaleDecision = 9,
+  /// A control-state checkpoint hit disk (core/checkpoint.hpp):
+  /// a = checkpointed epoch, value = encoded payload bytes.
+  kCheckpointWrite = 10,
+  /// Scheduler runtime construction consulted a checkpoint:
+  /// detail = 1 restored / 0 cold start (missing, torn, or rejected),
+  /// a = restored epoch (0 on cold start).
+  kRecoveryBegin = 11,
+  /// An instance re-attached after a scheduler restart: instance,
+  /// a = epoch at re-attach, value = seeded Ĉ cut in the ReattachAck.
+  kReattach = 12,
 };
 
 const char* trace_event_name(TraceEventType type) noexcept;

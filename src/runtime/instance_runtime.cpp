@@ -1,11 +1,15 @@
 #include "runtime/instance_runtime.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <memory>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "core/instance_tracker.hpp"
 #include "net/protocol.hpp"
+#include "net/socket.hpp"
 
 namespace posg::runtime {
 
@@ -34,37 +38,109 @@ void InstanceRuntime::publish_metrics(const Stats& stats) {
   metrics_.counter(prefix + ".decode_errors").add(stats.decode_errors);
   metrics_.counter(prefix + ".rejoin_acks").add(stats.rejoin_acks);
   metrics_.counter(prefix + ".admission_grants").add(stats.admission_grants);
+  metrics_.counter(prefix + ".reconnects").add(stats.reconnects);
+  metrics_.counter(prefix + ".reattach_acks").add(stats.reattach_acks);
   metrics_.counter(prefix + ".crashes").add(stats.crashed ? 1 : 0);
   metrics_.counter(prefix + ".drained").add(stats.drained ? 1 : 0);
   metrics_.gauge(prefix + ".simulated_work_ms").set(stats.simulated_work);
 }
 
-InstanceRuntime::Stats InstanceRuntime::run_loop(net::FrameTransport& link) {
+InstanceRuntime::Stats InstanceRuntime::run_loop(net::FrameTransport& initial) {
   Stats stats;
-  link.send_frame(net::encode(net::Hello{id_}));
   core::InstanceTracker tracker(id_, config_.posg);
+  // `link` is rebound on reconnect; `owned` keeps any replacement
+  // transport alive (the caller still owns `initial`).
+  net::FrameTransport* link = &initial;
+  std::unique_ptr<net::FrameTransport> owned;
+  // Frames whose send failed (or that were produced while the link was
+  // down), replayed in order after a successful re-attach. A replayed
+  // stale SyncReply is safe: the restarted scheduler's reattach disarmed
+  // the slot's marker, so the reply lands on the counted-stale path
+  // instead of billing twice.
+  std::vector<std::vector<std::byte>> pending;
+  bool link_down = false;
+  // Highest epoch observed on this link (markers, acks, drain requests):
+  // the SchedulerHello carries it so the scheduler knows how far this
+  // survivor's view reaches past the checkpoint it restored.
+  common::Epoch last_epoch = 0;
+
+  // The single reconnect-or-die policy point: every link error (recv
+  // transport error, EOF, failed send) funnels here. Returns true when a
+  // new link carries the SchedulerHello and all buffered frames.
+  const auto reconnect = [&]() -> bool {
+    if (config_.reconnect_path.empty() || stop_.load()) {
+      return false;  // feature disabled (or stopping): die as before
+    }
+    for (std::size_t round = 0; round < config_.reconnect_attempts; ++round) {
+      if (stop_.load()) {
+        return false;
+      }
+      net::ConnectRetryPolicy policy;
+      // Decorrelate k instances redialing the same restarted scheduler:
+      // distinct seeds give distinct jittered backoff schedules.
+      policy.jitter_seed =
+          0x9E3779B97F4A7C15ULL ^ (static_cast<std::uint64_t>(id_) << 32U) ^ round;
+      try {
+        owned = std::make_unique<net::SocketTransport>(
+            net::connect(config_.reconnect_path, policy));
+        link = owned.get();
+        link->send_frame(net::encode(net::SchedulerHello{id_, last_epoch}));
+        for (const auto& frame : pending) {
+          link->send_frame(frame);
+        }
+      } catch (const std::exception&) {
+        continue;  // nobody listening yet, or it died again mid-handshake
+      }
+      pending.clear();
+      link_down = false;
+      ++stats.reconnects;
+      return true;
+    }
+    return false;  // attempt budget exhausted — the scheduler is gone
+  };
+
+  // Sends one frame, or buffers it for post-reconnect replay when the
+  // link is (or just went) down.
+  const auto send_or_stash = [&](std::vector<std::byte> frame) {
+    if (!link_down) {
+      try {
+        link->send_frame(frame);
+        return;
+      } catch (const std::system_error&) {
+        link_down = true;
+      }
+    }
+    pending.push_back(std::move(frame));
+  };
+
+  link->send_frame(net::encode(net::Hello{id_}));
 
   const auto crash = [&] {
     // A crash is the *absence* of protocol: sever the link with no
     // EndOfStream handshake, exactly what the scheduler's failure
     // detector must cope with.
     stats.crashed = true;
-    link.close();
+    link->close();
   };
 
   bool muted = false;
   while (!stop_.load()) {
+    if (link_down && !reconnect()) {
+      break;
+    }
     net::RecvResult received;
     try {
-      received = link.recv_frame(config_.recv_deadline);
+      received = link->recv_frame(config_.recv_deadline);
     } catch (const std::exception&) {
-      break;  // transport error — scheduler side is gone
+      link_down = true;  // transport error — reconnect or die at loop top
+      continue;
     }
     if (received.status == net::RecvStatus::kTimeout) {
       continue;
     }
     if (received.status == net::RecvStatus::kEof) {
-      break;
+      link_down = true;  // scheduler gone without EndOfStream
+      continue;
     }
 
     net::Message message;
@@ -87,7 +163,18 @@ InstanceRuntime::Stats InstanceRuntime::run_loop(net::FrameTransport& link) {
       // the scheduler's seeded Ĉ so the next Δ measures only post-rejoin
       // drift (see InstanceTracker::rearm).
       tracker.rearm(ack->seeded_cumulated);
+      last_epoch = std::max(last_epoch, ack->epoch);
       ++stats.rejoin_acks;
+      continue;
+    }
+    if (const auto* ack = std::get_if<net::ReattachAck>(&message)) {
+      // Re-attach accept after a scheduler restart: rebase C_op to the
+      // checkpointed (or rejoin-seeded) cut so the next Δ measures only
+      // post-recovery drift — the pre-crash history was already billed by
+      // the checkpointed Ĉ and must not be billed again.
+      tracker.rearm(ack->seeded_cut);
+      last_epoch = std::max(last_epoch, ack->epoch);
+      ++stats.reattach_acks;
       continue;
     }
     if (std::holds_alternative<net::AdmissionGrant>(message)) {
@@ -102,8 +189,9 @@ InstanceRuntime::Stats InstanceRuntime::run_loop(net::FrameTransport& link) {
       // check, then retire.
       const common::TimeMs delta =
           tracker.cumulated_execution_time() - drain->estimated_cumulated;
+      last_epoch = std::max(last_epoch, drain->epoch);
       try {
-        link.send_frame(
+        link->send_frame(
             net::encode(net::DrainComplete{id_, drain->epoch, delta, stats.executed}));
       } catch (const std::system_error&) {
         // Scheduler gone mid-drain: nothing left to report to either way.
@@ -130,32 +218,31 @@ InstanceRuntime::Stats InstanceRuntime::run_loop(net::FrameTransport& link) {
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
           cost * config_.real_sleep_scale));
     }
-    try {
-      if (auto shipment = tracker.on_executed(tuple->item, cost)) {
-        if (!muted) {
-          link.send_frame(net::encode(*shipment));
-          ++stats.shipments;
-        }
+    if (auto shipment = tracker.on_executed(tuple->item, cost)) {
+      if (!muted) {
+        // Counted when produced: a frame stashed by a down link is
+        // replayed by the reconnect handshake, so it still ships.
+        send_or_stash(net::encode(*shipment));
+        ++stats.shipments;
       }
-      ++stats.executed;
-      stats.simulated_work += cost;
-      if (tuple->marker) {
-        if (config_.crash_on_marker_epoch != 0 &&
-            tuple->marker->epoch >= config_.crash_on_marker_epoch) {
-          crash();  // die between the marker's execution and its SyncReply
-          return stats;
-        }
-        if (config_.mute_from_epoch != 0 && tuple->marker->epoch >= config_.mute_from_epoch) {
-          muted = true;  // alive and executing, but feedback-silent
-        }
-        if (muted) {
-          continue;
-        }
-        link.send_frame(net::encode(tracker.on_sync_request(*tuple->marker)));
-        ++stats.replies_sent;
+    }
+    ++stats.executed;
+    stats.simulated_work += cost;
+    if (tuple->marker) {
+      last_epoch = std::max(last_epoch, tuple->marker->epoch);
+      if (config_.crash_on_marker_epoch != 0 &&
+          tuple->marker->epoch >= config_.crash_on_marker_epoch) {
+        crash();  // die between the marker's execution and its SyncReply
+        return stats;
       }
-    } catch (const std::system_error&) {
-      break;  // feedback path severed — nothing left to report to
+      if (config_.mute_from_epoch != 0 && tuple->marker->epoch >= config_.mute_from_epoch) {
+        muted = true;  // alive and executing, but feedback-silent
+      }
+      if (muted) {
+        continue;
+      }
+      send_or_stash(net::encode(tracker.on_sync_request(*tuple->marker)));
+      ++stats.replies_sent;
     }
   }
   return stats;

@@ -43,6 +43,11 @@ class InstanceRuntime {
     std::uint64_t rejoin_acks = 0;
     /// AdmissionGrants received (token-bucket ramp finished).
     std::uint64_t admission_grants = 0;
+    /// Successful reconnects to a (restarted) scheduler via reconnect_path.
+    std::uint64_t reconnects = 0;
+    /// ReattachAcks received (tracker rebased to the checkpointed cut
+    /// after a scheduler restart — DESIGN.md §14).
+    std::uint64_t reattach_acks = 0;
     /// True when a scripted crash (InstanceRuntimeConfig) ended the run.
     bool crashed = false;
     /// True when a DrainRequest ended the run: the queue ran dry (FIFO
@@ -55,6 +60,14 @@ class InstanceRuntime {
 
   /// Registers (Hello), then executes tuples until EndOfStream, link EOF
   /// (scheduler gone), a scripted crash, or request_stop().
+  ///
+  /// Scheduler-crash survival: with a non-empty reconnect_path every link
+  /// error (recv transport error, EOF, failed send) funnels through one
+  /// reconnect-or-die policy point — frames that failed to send are
+  /// buffered, the instance redials with backoff + jitter, re-attaches
+  /// with SchedulerHello, and resumes; only an exhausted attempt budget
+  /// (or EndOfStream) ends the run. With an empty reconnect_path the
+  /// pre-recovery behavior is unchanged: any link error ends the run.
   Stats run(net::FrameTransport& link);
 
   /// Asynchronously asks run() to return at its next poll tick.

@@ -16,7 +16,8 @@ SchedulerRuntime::SchedulerRuntime(const SchedulerRuntimeConfig& config)
       send_mutexes_(config.instances),
       dead_(config.instances),
       drain_sent_(config.instances),
-      routed_(config.instances) {
+      routed_(config.instances),
+      pending_reattach_(config.instances, 0) {
   common::require(k_ >= 1, "SchedulerRuntime: need at least one instance");
   for (std::size_t op = 0; op < k_; ++op) {
     send_mutexes_[op] = std::make_unique<Mutex>("runtime::SchedulerRuntime::send_mutexes_", lock_rank::kNetSend);
@@ -27,6 +28,32 @@ SchedulerRuntime::SchedulerRuntime(const SchedulerRuntimeConfig& config)
   // flag, so tracing can be toggled at runtime via trace().set_enabled().
   trace_.set_enabled(config.obs.tracing);
   scheduler_.bind_trace(&trace_);
+  if (config_.recover && !config_.checkpoint_path.empty()) {
+    // Restore-or-cold-start: a missing, torn, corrupt, or invariant-
+    // rejected checkpoint must never take the restarted scheduler down —
+    // restore() validates everything before applying anything, so a throw
+    // anywhere below leaves scheduler_ in its freshly-constructed state.
+    try {
+      const auto bytes = core::read_checkpoint_file(config_.checkpoint_path);
+      if (!bytes.has_value()) {
+        throw std::runtime_error("checkpoint file missing or unreadable");
+      }
+      const core::CheckpointState state = core::decode(*bytes);
+      scheduler_.restore(state);
+      recovered_ = true;
+      recovered_epoch_ = state.epoch;
+      last_checkpoint_epochs_ = state.epochs_completed;
+    } catch (const std::exception&) {
+      recovered_ = false;
+      recovered_epoch_ = 0;
+      recovery_cold_starts_ = 1;
+    }
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kRecoveryBegin;
+    event.detail = recovered_ ? 1 : 0;
+    event.a = static_cast<std::uint64_t>(recovered_epoch_);
+    trace_.record(event);
+  }
   register_runtime_metrics();
 }
 
@@ -106,6 +133,21 @@ void SchedulerRuntime::register_runtime_metrics() {
     MutexLock lock(mutex_);
     return static_cast<double>(scheduler_.serving_instances());
   });
+  // Recovery counters (obs_report.py's recovery section). recovered_ /
+  // recovered_epoch_ are constructor-written and immutable, so the
+  // callbacks read them lock-free.
+  metrics_.counter_fn("posg.runtime.checkpoint_writes",
+                      [this] { return checkpoint_writes_.load(std::memory_order_relaxed); });
+  metrics_.counter_fn("posg.runtime.checkpoint_failures",
+                      [this] { return checkpoint_failures_.load(std::memory_order_relaxed); });
+  metrics_.counter_fn("posg.runtime.recovery_restored",
+                      [this] { return static_cast<std::uint64_t>(recovered_ ? 1 : 0); });
+  metrics_.counter_fn("posg.runtime.recovery_cold_starts",
+                      [this] { return recovery_cold_starts_; });
+  metrics_.counter_fn("posg.runtime.recovery_epoch",
+                      [this] { return static_cast<std::uint64_t>(recovered_epoch_); });
+  metrics_.counter_fn("posg.runtime.reattach_count",
+                      [this] { return reattach_count_.load(std::memory_order_relaxed); });
 }
 
 std::vector<obs::TraceEvent> SchedulerRuntime::trace_events() {
@@ -135,34 +177,62 @@ void SchedulerRuntime::attach(common::InstanceId op, std::unique_ptr<net::FrameT
 void SchedulerRuntime::accept_registrations(net::Listener& listener) {
   const std::size_t max_attempts =
       config_.max_registration_attempts != 0 ? config_.max_registration_attempts : 2 * k_ + 8;
+  // After a recovery restore, only instances the checkpoint considered
+  // live are waited for: a checkpointed quarantine slot has no process to
+  // hear from (its crash is exactly why it was quarantined). If such a
+  // peer does show up it is attached opportunistically and re-admitted in
+  // start() — it just never blocks registration.
+  std::vector<std::uint8_t> expected(k_, 1);
+  if (recovered_) {
+    MutexLock lock(mutex_);
+    for (std::size_t op = 0; op < k_; ++op) {
+      expected[op] = scheduler_.is_failed(op) ? 0 : 1;
+    }
+  }
+  std::size_t want = 0;
   std::size_t attached = 0;
   for (std::size_t op = 0; op < k_; ++op) {
-    if (links_[op] != nullptr) {
-      ++attached;
+    if (expected[op] != 0) {
+      ++want;
+      if (links_[op] != nullptr) {
+        ++attached;
+      }
     }
   }
   std::size_t attempts = 0;
-  while (attached < k_) {
+  while (attached < want) {
     if (++attempts > max_attempts) {
       throw RegistrationError("SchedulerRuntime: registration attempts exhausted (" +
-                              std::to_string(attached) + "/" + std::to_string(k_) +
+                              std::to_string(attached) + "/" + std::to_string(want) +
                               " instances registered)");
     }
     net::Socket socket = listener.accept();
-    // The Hello's instance id is an unvalidated wire value: bound-check it
-    // and reject duplicates before it ever indexes the link table.
+    // The opening frame's instance id is an unvalidated wire value:
+    // bound-check it and reject duplicates before it ever indexes the
+    // link table. Hello = fresh registration; SchedulerHello = a survivor
+    // of a scheduler restart, reconciled in start().
     try {
       net::RecvResult first = socket.recv_frame(config_.hello_deadline);
       if (first.status != net::RecvStatus::kFrame) {
         continue;  // silent or instantly-dead peer
       }
       const auto message = net::decode(first.payload);
-      const auto* hello = std::get_if<net::Hello>(&message);
-      if (hello == nullptr || hello->instance >= k_ || links_[hello->instance] != nullptr) {
+      common::InstanceId op = k_;
+      bool reattaching = false;
+      if (const auto* hello = std::get_if<net::Hello>(&message)) {
+        op = hello->instance;
+      } else if (const auto* survivor = std::get_if<net::SchedulerHello>(&message)) {
+        op = survivor->instance;
+        reattaching = true;
+      }
+      if (op >= k_ || links_[op] != nullptr) {
         continue;  // wrong message kind, out-of-range id, or duplicate id
       }
-      links_[hello->instance] = std::make_unique<net::SocketTransport>(std::move(socket));
-      ++attached;
+      links_[op] = std::make_unique<net::SocketTransport>(std::move(socket));
+      pending_reattach_[op] = reattaching ? 1 : 0;
+      if (expected[op] != 0) {
+        ++attached;
+      }
     } catch (const std::exception&) {
       continue;  // malformed first frame / transport error — reject peer
     }
@@ -172,7 +242,14 @@ void SchedulerRuntime::accept_registrations(net::Listener& listener) {
 void SchedulerRuntime::start() {
   common::require(!started_, "SchedulerRuntime: started twice");
   for (std::size_t op = 0; op < k_; ++op) {
-    common::require(links_[op] != nullptr,
+    if (links_[op] != nullptr) {
+      continue;
+    }
+    // Only a slot the restored checkpoint already quarantined may start
+    // unattached — its instance died before the scheduler did, and it can
+    // still come back later through the rejoin listener.
+    MutexLock lock(mutex_);
+    common::require(scheduler_.is_failed(op),
                     "SchedulerRuntime: start with unattached instance " + std::to_string(op));
   }
   started_ = true;
@@ -184,8 +261,28 @@ void SchedulerRuntime::start() {
     MutexLock lock(mutex_);
     last_feedback_.assign(k_, std::chrono::steady_clock::now());
   }
+  // Complete the registration-time SchedulerHello handshakes before any
+  // tuple can be routed: the ReattachAck must reach each survivor ahead of
+  // the first post-recovery sync marker so its tracker is rebased to the
+  // checkpointed cut (no stale-Δ double billing) by the time it replies.
+  for (common::InstanceId op = 0; op < k_; ++op) {
+    if (pending_reattach_[op] == 0 || links_[op] == nullptr) {
+      continue;
+    }
+    pending_reattach_[op] = 0;
+    if (!complete_reattach(op)) {
+      handle_failure(op, "send failed: reattach ack");
+    }
+  }
+  if (!config_.checkpoint_path.empty()) {
+    ckpt_writer_ = std::thread([this] { checkpoint_writer_loop(); });
+  }
   readers_.resize(k_);  // slot per instance so a rejoin can restart one
   for (common::InstanceId op = 0; op < k_; ++op) {
+    if (links_[op] == nullptr) {
+      dead_[op]->store(true);  // checkpointed quarantine slot, no reader
+      continue;
+    }
     readers_[op] = std::thread([this, op] { reader_loop(op); });
   }
 }
@@ -386,6 +483,91 @@ void SchedulerRuntime::announce_admission_grants() {
   }
 }
 
+bool SchedulerRuntime::complete_reattach(common::InstanceId op) {
+  common::TimeMs seed = 0.0;
+  common::Epoch epoch = 0;
+  {
+    MutexLock lock(mutex_);
+    if (scheduler_.is_failed(op)) {
+      // The checkpoint (or a cold start after a rejected one) says this
+      // slot is quarantined, yet its process is alive and knocking: the
+      // stale pre-crash history is unusable, so re-admit it through the
+      // rejoin path — Ĉ seeded to the survivor mean, ramp applied — and
+      // let the ReattachAck rebase its tracker to that seed.
+      scheduler_.rejoin(op);
+      seed = scheduler_.estimated_loads()[op];
+      rejoin_log_.push_back(op);
+    } else {
+      // Live in the checkpoint: reconcile against the checkpointed cut.
+      // reattach() pre-satisfies the slot's in-flight reply and disarms
+      // its marker estimate so a stale pre-crash Δ counts as stale
+      // instead of billing twice.
+      seed = scheduler_.reattach(op);
+    }
+    epoch = scheduler_.epoch();
+    last_feedback_[op] = std::chrono::steady_clock::now();
+    maybe_checkpoint_locked();
+  }
+  try {
+    send_locked(op, net::encode(net::ReattachAck{op, epoch, seed}));
+  } catch (const std::exception&) {
+    return false;  // died mid-handshake; the caller quarantines it
+  }
+  reattach_count_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void SchedulerRuntime::maybe_checkpoint_locked() {
+  if (config_.checkpoint_path.empty()) {
+    return;
+  }
+  const std::uint64_t done = scheduler_.epochs_completed();
+  if (done < last_checkpoint_epochs_ + config_.posg.checkpoint_every_epochs) {
+    return;
+  }
+  last_checkpoint_epochs_ = done;
+  core::CheckpointState state = scheduler_.checkpoint_state();
+  {
+    MutexLock lock(ckpt_mutex_);  // kSchedulerState → kCheckpointWriter: rank-increasing
+    ckpt_pending_ = std::move(state);
+  }
+  ckpt_cv_.notify_one();
+}
+
+void SchedulerRuntime::checkpoint_writer_loop() {
+  while (true) {
+    std::optional<core::CheckpointState> state;
+    {
+      MutexLock lock(ckpt_mutex_);
+      while (!ckpt_pending_.has_value() && !ckpt_stop_) {
+        ckpt_cv_.wait(lock);
+      }
+      if (!ckpt_pending_.has_value()) {
+        return;  // stop requested with nothing left to flush
+      }
+      state = std::move(ckpt_pending_);
+      ckpt_pending_.reset();
+    }
+    // Encode and write outside every lock: serialization touches only the
+    // captured copy, and the atomic tmp+rename means a crash mid-write
+    // leaves the previous checkpoint intact.
+    try {
+      const std::vector<std::byte> bytes = core::encode(*state);
+      core::write_checkpoint_file(config_.checkpoint_path, bytes);
+      checkpoint_writes_.fetch_add(1, std::memory_order_relaxed);
+      obs::TraceEvent event;
+      event.type = obs::TraceEventType::kCheckpointWrite;
+      event.a = static_cast<std::uint64_t>(state->epoch);
+      event.value = static_cast<double>(bytes.size());
+      trace_.record(event);
+    } catch (const std::exception&) {
+      // Disk trouble degrades durability, never the run: count it and
+      // keep draining so a recovered disk resumes checkpointing.
+      checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
 void SchedulerRuntime::rejoin_acceptor_loop(net::Listener* listener) {
   while (!stop_acceptor_.load()) {
     std::optional<net::Socket> socket;
@@ -404,15 +586,25 @@ void SchedulerRuntime::rejoin_acceptor_loop(net::Listener* listener) {
       }
       const auto message = net::decode(first.payload);
       const auto* hello = std::get_if<net::Hello>(&message);
-      if (hello == nullptr || hello->instance >= k_) {
-        continue;  // wrong kind or out-of-range id — reject peer
+      const auto* survivor = std::get_if<net::SchedulerHello>(&message);
+      if (hello == nullptr && survivor == nullptr) {
+        continue;  // wrong message kind — reject peer
       }
-      const common::InstanceId op = hello->instance;
-      {
+      const common::InstanceId op = hello != nullptr ? hello->instance : survivor->instance;
+      if (op >= k_) {
+        continue;  // out-of-range id — reject peer
+      }
+      if (hello != nullptr) {
         MutexLock lock(mutex_);
         if (!scheduler_.is_failed(op)) {
-          continue;  // only a quarantined id may rejoin
+          continue;  // only a quarantined id may rejoin with a plain Hello
         }
+      } else {
+        // A SchedulerHello from a live id is a survivor whose side of the
+        // link broke before ours noticed (half-open link): retire the old
+        // reader explicitly so its slot is safe to touch. From a
+        // quarantined id it degrades to the rejoin path below.
+        dead_[op]->store(true);
       }
       // The old reader observed dead_[op] and exited (or is about to);
       // join it before touching its slot, then swap the link under the
@@ -428,17 +620,27 @@ void SchedulerRuntime::rejoin_acceptor_loop(net::Listener* listener) {
         // (this rejoin — elastically, a scale-up) starts clean.
         drain_sent_[op]->store(false);
       }
-      common::TimeMs seed = 0.0;
-      common::Epoch epoch = 0;
-      {
-        MutexLock lock(mutex_);
-        scheduler_.rejoin(op);
-        seed = scheduler_.estimated_loads()[op];
-        epoch = scheduler_.epoch();
-        last_feedback_[op] = std::chrono::steady_clock::now();
-        rejoin_log_.push_back(op);
+      if (survivor != nullptr) {
+        // complete_reattach reconciles against current state: live →
+        // reattach (checkpointed-cut seed), quarantined → rejoin (mean
+        // seed) — either way the ReattachAck rebases the survivor.
+        if (!complete_reattach(op)) {
+          handle_failure(op, "send failed: reattach ack");
+          continue;
+        }
+      } else {
+        common::TimeMs seed = 0.0;
+        common::Epoch epoch = 0;
+        {
+          MutexLock lock(mutex_);
+          scheduler_.rejoin(op);
+          seed = scheduler_.estimated_loads()[op];
+          epoch = scheduler_.epoch();
+          last_feedback_[op] = std::chrono::steady_clock::now();
+          rejoin_log_.push_back(op);
+        }
+        send_locked(op, net::encode(net::RejoinAck{op, epoch, seed}));
       }
-      send_locked(op, net::encode(net::RejoinAck{op, epoch, seed}));
       dead_[op]->store(false);
       readers_[op] = std::thread([this, op] { reader_loop(op); });
     } catch (const std::exception&) {
@@ -511,6 +713,10 @@ void SchedulerRuntime::reader_loop(common::InstanceId op) {
         retired = true;
       }
       // Data-path messages echoed at the scheduler are ignored.
+      // Feedback is where epoch boundaries happen (the WAIT_ALL → RUN
+      // edge fires in on_sync_reply), so this is the checkpoint capture
+      // point — a cheap cadence check on every other message.
+      maybe_checkpoint_locked();
     } catch (const std::invalid_argument&) {
       handle_failure(op, "protocol violation in feedback message");
       return;
@@ -557,6 +763,16 @@ void SchedulerRuntime::finish() {
     if (reader.joinable()) {
       reader.join();
     }
+  }
+  // Checkpoints are published by the readers and the rejoin acceptor,
+  // both joined above — the writer just drains its pending slot and exits.
+  if (ckpt_writer_.joinable()) {
+    {
+      MutexLock lock(ckpt_mutex_);
+      ckpt_stop_ = true;
+    }
+    ckpt_cv_.notify_one();
+    ckpt_writer_.join();
   }
   for (auto& link : links_) {
     if (link) {

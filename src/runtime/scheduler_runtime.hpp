@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "common/error.hpp"
 #include "common/sync.hpp"
 #include "common/types.hpp"
+#include "core/checkpoint.hpp"
 #include "core/posg_scheduler.hpp"
 #include "metrics/stats.hpp"
 #include "net/socket.hpp"
@@ -34,6 +36,16 @@ using SchedulerRuntimeConfig = ::posg::SchedulerRuntimeConfig;
 /// PosgScheduler::mark_failed; routing continues on the k' survivors and
 /// a tuple whose send failed is transparently rerouted. Only the death of
 /// the *last* live instance is fatal (route() then throws).
+///
+/// Crash recovery (DESIGN.md §14): with a non-empty checkpoint_path the
+/// runtime checkpoints the scheduler's control state at epoch boundaries
+/// off the hot path (a reader captures under mutex_, a dedicated writer
+/// thread encodes and writes atomically — core/checkpoint.hpp). With
+/// `recover` set, construction restores from the latest checkpoint and
+/// degrades to a cold start on any missing/torn/corrupt/rejected file.
+/// Surviving instances reconnect with SchedulerHello and are reconciled
+/// via PosgScheduler::reattach (live-in-checkpoint) or rejoin (stale
+/// checkpoint says failed), answered with a ReattachAck seeding their cut.
 class SchedulerRuntime {
  public:
   struct QuarantineEvent {
@@ -72,9 +84,20 @@ class SchedulerRuntime {
   /// a duplicate id is rejected (closed) — a wire value never indexes the
   /// link table unvalidated. Throws posg::RegistrationError
   /// (ErrorCode::kRegistration) once the attempt budget is exhausted.
+  ///
+  /// A SchedulerHello first frame (an instance that survived a scheduler
+  /// restart) also attaches; its re-attach handshake completes in start().
+  /// After a recovery restore, only instances that were live in the
+  /// checkpoint are waited for — a checkpointed quarantine slot stays
+  /// unattached (it may still reconnect opportunistically, or later via
+  /// the rejoin listener).
   void accept_registrations(net::Listener& listener);
 
-  /// Spawns the reader threads. All k links must be attached.
+  /// Spawns the reader threads (and the checkpoint writer when
+  /// checkpoint_path is set). Every instance must be attached, except
+  /// slots the restored checkpoint marked quarantined. Pending
+  /// SchedulerHello handshakes are answered with ReattachAck here, before
+  /// any tuple can be routed.
   void start();
 
   /// Spawns the rejoin acceptor (requires allow_rejoin and start()):
@@ -127,6 +150,24 @@ class SchedulerRuntime {
   /// OverloadController owns those.
   metrics::ResilienceStats resilience() const;
 
+  // --- crash recovery observers (DESIGN.md §14) ---
+  /// True when construction restored scheduler state from a checkpoint
+  /// (immutable after the constructor returns).
+  bool recovered() const noexcept { return recovered_; }
+  /// Epoch carried by the restored checkpoint (0 on cold start).
+  common::Epoch recovered_epoch() const noexcept { return recovered_epoch_; }
+  /// Checkpoints durably written / write attempts that failed (disk).
+  std::uint64_t checkpoint_writes() const noexcept {
+    return checkpoint_writes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t checkpoint_failures() const noexcept {
+    return checkpoint_failures_.load(std::memory_order_relaxed);
+  }
+  /// ReattachAcks sent (registration-time and mid-run SchedulerHello).
+  std::uint64_t reattach_count() const noexcept {
+    return reattach_count_.load(std::memory_order_relaxed);
+  }
+
   /// The runtime's metrics registry. Scheduler and health counters are
   /// registered at construction as pull callbacks that take mutex_, so
   /// metrics_snapshot() is safe from any thread while the readers and the
@@ -168,6 +209,22 @@ class SchedulerRuntime {
   void send_locked(common::InstanceId op, const std::vector<std::byte>& frame);
   /// Sends AdmissionGrant to any rejoiner whose ramp just finished.
   void announce_admission_grants();
+  /// Captures a CheckpointState when an epoch boundary advanced past the
+  /// checkpoint cadence and hands it to the writer thread (rank-increasing
+  /// kSchedulerState → kCheckpointWriter acquisition). Off the hot path:
+  /// called on the feedback/reattach paths where epochs complete, never by
+  /// route(). No-op when checkpoint_path is empty.
+  void maybe_checkpoint_locked() REQUIRES(mutex_);
+  /// The dedicated checkpoint writer: drains ckpt_pending_ (newest-wins
+  /// double buffer), encodes, writes atomically, records kCheckpointWrite.
+  /// A failed write counts checkpoint_failures_ and the loop continues —
+  /// durability degrades, the run does not.
+  void checkpoint_writer_loop();
+  /// Completes one SchedulerHello handshake for an attached link: live op
+  /// → PosgScheduler::reattach, quarantined op → rejoin; answers with a
+  /// ReattachAck carrying the seeded cut. Returns false when the ack send
+  /// failed (the caller decides whether to quarantine).
+  bool complete_reattach(common::InstanceId op);
 
   // Locking discipline (threads involved: the routing caller, k reader
   // threads, and any observer thread):
@@ -237,6 +294,35 @@ class SchedulerRuntime {
   /// Epoch-deadline tracking: when each instance last produced feedback
   /// (any decodable frame on its reader).
   std::vector<std::chrono::steady_clock::time_point> last_feedback_ GUARDED_BY(mutex_);
+
+  // --- crash recovery (DESIGN.md §14) ---
+  /// Hand-off slot between the capturing reader and the writer thread.
+  /// Rank kCheckpointWriter: publishers hold mutex_ (kSchedulerState, 30)
+  /// while pushing — strictly rank-increasing — and the writer holds only
+  /// this while waiting.
+  mutable Mutex ckpt_mutex_{"runtime::SchedulerRuntime::ckpt_mutex_",
+                            lock_rank::kCheckpointWriter};
+  CondVar ckpt_cv_;
+  /// Newest-wins double buffer: a capture that lands before the previous
+  /// one hit disk replaces it — the file always converges to the latest
+  /// epoch boundary, and a slow disk can never back-pressure the readers.
+  std::optional<core::CheckpointState> ckpt_pending_ GUARDED_BY(ckpt_mutex_);
+  bool ckpt_stop_ GUARDED_BY(ckpt_mutex_) = false;
+  std::thread ckpt_writer_;
+  /// epochs_completed() at the last capture, so the cadence knob
+  /// (posg.checkpoint_every_epochs) counts boundaries, not messages.
+  std::uint64_t last_checkpoint_epochs_ GUARDED_BY(mutex_) = 0;
+  std::atomic<std::uint64_t> checkpoint_writes_{0};
+  std::atomic<std::uint64_t> checkpoint_failures_{0};
+  std::atomic<std::uint64_t> reattach_count_{0};
+  /// Recovery outcome; written only in the constructor (single-threaded),
+  /// immutable afterwards.
+  bool recovered_ = false;
+  common::Epoch recovered_epoch_ = 0;
+  std::uint64_t recovery_cold_starts_ = 0;
+  /// SchedulerHello handshakes accepted during registration, completed in
+  /// start(). Confined to the single-threaded pre-start phase.
+  std::vector<std::uint8_t> pending_reattach_;
 };
 
 }  // namespace posg::runtime

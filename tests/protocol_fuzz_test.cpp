@@ -169,7 +169,26 @@ std::vector<std::vector<std::byte>> sample_encodings() {
   samples.push_back(net::encode(net::InstanceFailed{1, 6}));
   samples.push_back(net::encode(net::RejoinAck{2, 9, 345.75}));
   samples.push_back(net::encode(net::AdmissionGrant{1, 11}));
+  samples.push_back(net::encode(net::SchedulerHello{2, 7}));
+  samples.push_back(net::encode(net::ReattachAck{1, 8, 512.25}));
   return samples;
+}
+
+TEST(WireFuzz, RecoveryMessagesRoundTrip) {
+  const net::SchedulerHello hello{4, 29};
+  const auto hello_decoded = net::decode(net::encode(hello));
+  const auto* hello_out = std::get_if<net::SchedulerHello>(&hello_decoded);
+  ASSERT_NE(hello_out, nullptr);
+  EXPECT_EQ(hello_out->instance, hello.instance);
+  EXPECT_EQ(hello_out->recovery_epoch, hello.recovery_epoch);
+
+  const net::ReattachAck ack{2, 13, 9876.125};
+  const auto ack_decoded = net::decode(net::encode(ack));
+  const auto* ack_out = std::get_if<net::ReattachAck>(&ack_decoded);
+  ASSERT_NE(ack_out, nullptr);
+  EXPECT_EQ(ack_out->instance, ack.instance);
+  EXPECT_EQ(ack_out->epoch, ack.epoch);
+  EXPECT_DOUBLE_EQ(ack_out->seeded_cut, ack.seeded_cut);
 }
 
 TEST(WireFuzz, RejoinMessagesRoundTrip) {

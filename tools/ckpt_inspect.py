@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Inspect a POSG scheduler checkpoint file (core/checkpoint.hpp, DESIGN.md §14).
+
+Usage:
+    tools/ckpt_inspect.py path/to/posg.ckpt [--sketches]
+
+Verifies the header (magic 'PKCP', version, payload size) and the payload
+CRC-32 (zlib.crc32 — bit-identical to the C++ encoder), then dumps the
+scheduler control state: the state machine, epoch counters, and the
+per-instance Ĉ / flag / health table. Exits 1 on any integrity failure,
+so it doubles as a standalone checkpoint validator in scripts:
+
+    tools/ckpt_inspect.py /var/lib/posg/sched.ckpt || echo "cold start ahead"
+
+The payload layout mirrors src/core/checkpoint.cpp exactly; a layout change
+there must bump kCheckpointVersion, which this tool then rejects loudly
+instead of misparsing.
+"""
+
+import argparse
+import struct
+import sys
+import zlib
+
+MAGIC = 0x50434B50  # 'PKCP' little-endian on disk
+VERSION = 1
+HEADER = struct.Struct("<IIQI")  # magic, version, payload size, crc32
+
+STATE_NAMES = {0: "ROUND_ROBIN", 1: "SEND_ALL", 2: "WAIT_ALL", 3: "RUN"}
+HEALTH_NAMES = {0: "live", 1: "suspect", 2: "degraded", 3: "quarantined"}
+
+
+class Reader:
+    """Sequential little-endian reader over the payload bytes."""
+
+    def __init__(self, data):
+        self.data = data
+        self.offset = 0
+
+    def take(self, fmt):
+        s = struct.Struct("<" + fmt)
+        if self.offset + s.size > len(self.data):
+            sys.exit("error: truncated payload (file passed CRC but ran short "
+                     "— layout mismatch, is this tool out of date?)")
+        values = s.unpack_from(self.data, self.offset)
+        self.offset += s.size
+        return values[0] if len(values) == 1 else values
+
+    def vector(self, fmt):
+        n = self.take("Q")
+        return [self.take(fmt) for _ in range(n)]
+
+    def bytes(self, n):
+        if self.offset + n > len(self.data):
+            sys.exit("error: truncated sketch blob")
+        view = self.data[self.offset:self.offset + n]
+        self.offset += n
+        return view
+
+
+def fmt_ms(value):
+    return f"{value:.3f}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("checkpoint", help="checkpoint file to inspect")
+    parser.add_argument("--sketches", action="store_true",
+                        help="also list each embedded sketch blob's size")
+    args = parser.parse_args()
+
+    with open(args.checkpoint, "rb") as f:
+        blob = f.read()
+
+    if len(blob) < HEADER.size:
+        sys.exit(f"error: {args.checkpoint}: shorter than the {HEADER.size}-byte header")
+    magic, version, payload_size, crc = HEADER.unpack_from(blob)
+    if magic != MAGIC:
+        sys.exit(f"error: bad magic 0x{magic:08X} (not a POSG checkpoint)")
+    if version != VERSION:
+        sys.exit(f"error: unsupported checkpoint version {version} (tool speaks {VERSION})")
+    payload = blob[HEADER.size:]
+    if payload_size != len(payload):
+        sys.exit(f"error: torn file — header promises {payload_size} payload bytes, "
+                 f"found {len(payload)}")
+    actual_crc = zlib.crc32(payload) & 0xFFFFFFFF
+    if actual_crc != crc:
+        sys.exit(f"error: payload CRC mismatch (stored 0x{crc:08X}, "
+                 f"computed 0x{actual_crc:08X}) — corrupt checkpoint")
+
+    r = Reader(payload)
+    k = r.take("Q")
+    state = r.take("B")
+    rr_next = r.take("Q")
+    epoch = r.take("Q")
+    epochs_completed = r.take("Q")
+    decisions = r.take("Q")
+    rejoin_count = r.take("Q")
+    stale_replies = r.take("Q")
+    drains_begun = r.take("Q")
+    retires = r.take("Q")
+    drain_cancels = r.take("Q")
+
+    c_est = r.vector("d")
+    latency_hints = r.vector("d")
+    failed = r.vector("B")
+    draining = r.vector("B")
+    marker_pending = r.vector("B")
+    reply_received = r.vector("B")
+    reply_delta = r.vector("d")
+    marker_estimate = r.vector("d")
+    derate = r.vector("d")
+    ramp_tokens = r.vector("d")
+    ramp_left = r.vector("Q")
+
+    health_states = r.vector("B")
+    drift_ewma = r.vector("d")
+    r.vector("Q")  # hot streaks
+    r.vector("Q")  # calm streaks
+    r.vector("d")  # queue EWMAs
+    r.take("QQQ")  # health transition counters
+
+    sketch_slots = r.take("Q")
+    sketch_sizes = []
+    for _ in range(sketch_slots):
+        present = r.take("B")
+        if present == 0:
+            sketch_sizes.append(None)
+            continue
+        size = r.take("Q")
+        r.bytes(size)
+        sketch_sizes.append(size)
+    if r.offset != len(payload):
+        sys.exit(f"error: {len(payload) - r.offset} trailing payload bytes")
+
+    print(f"{args.checkpoint}: valid checkpoint "
+          f"({len(blob)} bytes, payload CRC 0x{crc:08X} ok)")
+    print(f"  k={k}  state={STATE_NAMES.get(state, state)}  rr_next={rr_next}")
+    print(f"  epoch={epoch}  epochs_completed={epochs_completed}  decisions={decisions}")
+    print(f"  rejoins={rejoin_count}  stale_replies={stale_replies}  "
+          f"drains={drains_begun}  retires={retires}  drain_cancels={drain_cancels}")
+    if latency_hints:
+        print(f"  latency_hints={[fmt_ms(h) for h in latency_hints]}")
+
+    print(f"  {'op':>3}  {'C_hat':>12}  {'flags':<18}  {'health':<11}  "
+          f"{'drift':>8}  {'marker_est':>11}  {'sketch':>8}")
+    for op in range(k):
+        flags = []
+        if failed[op]:
+            flags.append("failed")
+        if draining[op]:
+            flags.append("draining")
+        if marker_pending[op]:
+            flags.append("marker")
+        if reply_received[op]:
+            flags.append(f"reply(Δ={fmt_ms(reply_delta[op])})")
+        if ramp_left[op]:
+            flags.append(f"ramp({ramp_left[op]},{ramp_tokens[op]:.2f})")
+        if derate[op] != 1.0:
+            flags.append(f"derate={derate[op]:.2f}")
+        marker = "-" if marker_estimate[op] == -1.0 else fmt_ms(marker_estimate[op])
+        sketch = "-" if sketch_sizes[op] is None else f"{sketch_sizes[op]}B"
+        print(f"  {op:>3}  {fmt_ms(c_est[op]):>12}  {','.join(flags) or '-':<18}  "
+              f"{HEALTH_NAMES.get(health_states[op], health_states[op]):<11}  "
+              f"{drift_ewma[op]:>8.3f}  {marker:>11}  {sketch:>8}")
+
+    if args.sketches:
+        for op, size in enumerate(sketch_sizes):
+            print(f"  sketch[{op}]: {'absent' if size is None else f'{size} bytes'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -88,6 +88,27 @@ def report_resilience(counters, gauges):
     print_table("resilience / elasticity", rows, ("name", "value"))
 
 
+def report_recovery(counters):
+    """Crash-recovery lens (DESIGN.md §14).
+
+    Scheduler side: posg.runtime.checkpoint_* (epoch-boundary images
+    written / failed), posg.runtime.recovery_* (whether this process
+    restored or cold-started, and from which epoch), and reattach_count
+    (SchedulerHello handshakes served). Instance side: per-instance
+    reconnects and reattach_acks. Like the sections above, a lens over the
+    generic counters table, not a second bookkeeping path.
+    """
+    rows = []
+    for name, value in sorted(counters.items()):
+        if (
+            name.startswith(("posg.runtime.checkpoint_", "posg.runtime.recovery_"))
+            or name == "posg.runtime.reattach_count"
+            or name.endswith((".reconnects", ".reattach_acks"))
+        ):
+            rows.append((name, fmt_value(value)))
+    print_table("crash recovery (checkpoints / re-attach)", rows, ("name", "value"))
+
+
 def report_data_plane(counters, histograms):
     """Shard-per-core data-plane lens (DESIGN.md §13).
 
@@ -120,6 +141,7 @@ def report_metrics(snapshot):
     histograms = snapshot.get("histograms", {})
 
     report_resilience(counters, gauges)
+    report_recovery(counters)
     report_data_plane(counters, histograms)
 
     print_table(
@@ -162,6 +184,30 @@ def report_metrics(snapshot):
 SCALE_TIMELINE_TYPES = ("rejoin", "drain_begin", "drain_complete", "scale_decision")
 SCALE_ACTION_NAMES = {0: "none", 1: "scale_up", 2: "drain", 3: "retire"}
 
+# Recovery events (src/obs/trace_ring.hpp, DESIGN.md §14): checkpoint_write
+# carries the completed epoch in `a` and the image size in `value`;
+# recovery_begin's `detail` is 1 for a restored start, 0 for a cold start,
+# with the restored epoch in `a`; reattach carries the instance, the epoch,
+# and the seeded Ĉ cut in `value`.
+RECOVERY_TIMELINE_TYPES = ("checkpoint_write", "recovery_begin", "reattach")
+
+
+def recovery_timeline_row(event):
+    kind = event.get("type")
+    instance = event.get("instance", 0)
+    if instance == 0xFFFFFFFF:
+        instance = "-"
+    a = event.get("a", 0)
+    value = event.get("value", 0.0)
+    if kind == "checkpoint_write":
+        return (event.get("tick", 0), kind, instance, f"epoch={a}",
+                f"{fmt_value(value)}B image")
+    if kind == "recovery_begin":
+        mode = "restored" if event.get("detail", 0) == 1 else "cold_start"
+        return (event.get("tick", 0), f"recovery_begin:{mode}", instance, f"epoch={a}", "")
+    return (event.get("tick", 0), kind, instance, f"epoch={a}",
+            f"cut={fmt_value(value)}ms")
+
 
 def scale_timeline_row(event):
     kind = event.get("type")
@@ -186,6 +232,7 @@ def report_trace(path):
     by_type = Counter()
     by_instance = Counter()
     scale_rows = []
+    recovery_rows = []
     first_tick = last_tick = None
     with open(path, encoding="utf-8") as f:
         for line in f:
@@ -198,6 +245,8 @@ def report_trace(path):
                 by_instance[event.get("instance", 0)] += 1
             if event.get("type") in SCALE_TIMELINE_TYPES:
                 scale_rows.append(scale_timeline_row(event))
+            if event.get("type") in RECOVERY_TIMELINE_TYPES:
+                recovery_rows.append(recovery_timeline_row(event))
             tick = event.get("tick", 0)
             first_tick = tick if first_tick is None else min(first_tick, tick)
             last_tick = tick if last_tick is None else max(last_tick, tick)
@@ -220,6 +269,13 @@ def report_trace(path):
         print_table(
             "scale-event timeline (rejoins, drains, controller decisions)",
             scale_rows,
+            ("tick", "event", "instance", "at", "detail"),
+        )
+    if recovery_rows:
+        recovery_rows.sort(key=lambda r: r[0])
+        print_table(
+            "recovery timeline (checkpoints, restarts, re-attaches)",
+            recovery_rows,
             ("tick", "event", "instance", "at", "detail"),
         )
 

@@ -30,6 +30,25 @@
 #                      uploads the directory as an artifact so a failing
 #                      seed's last moments can be read with
 #                      tools/obs_report.py without re-running the campaign.
+#   CHAOS_SCHED_KILLS=<n>
+#                      scheduler kill-restart phase (DESIGN.md §14; default
+#                      3, 0 disables): after the gray-fault campaigns, run
+#                      three checkpointed campaigns — a control run (no
+#                      kills), a kill run (the scheduler child is SIGKILLed
+#                      n times at seeded epochs and restarted from its
+#                      latest checkpoint while the k instance processes
+#                      survive and re-attach), and a corrupt run (a
+#                      checkpoint byte is flipped before the last restart;
+#                      the CRC must force a counted cold start). Gates:
+#                      conservation, all k*n re-attaches served, clean
+#                      exits, at least one restored recovery, and the kill
+#                      run's final sum(C_hat) inside the documented
+#                      divergence band of the control run (each kill
+#                      forfeits at most the billing routed since the last
+#                      completed-epoch checkpoint — see DESIGN.md §14 —
+#                      and must never exceed the control: over-billing
+#                      would mean a pre-crash delta was billed twice).
+#                      Replay: CHAOS_ITERS=0 keeps only this phase.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -42,6 +61,7 @@ per_run_timeout="${CHAOS_TIMEOUT:-120}"
 k="${CHAOS_K:-4}"
 m="${CHAOS_M:-6000}"
 metrics_out="${CHAOS_METRICS_OUT:-}"
+sched_kills="${CHAOS_SCHED_KILLS:-3}"
 
 if [[ -n "${metrics_out}" ]]; then
   mkdir -p "${metrics_out}"
@@ -115,6 +135,90 @@ for ((i = 0; i < iters; ++i)); do
   fi
   grep '^CHAOS ' "${log}" | sed 's/^/  /'
 done
+
+# ---------------------------------------------------------------------------
+# Scheduler kill-restart phase (DESIGN.md §14): control vs kill vs corrupt.
+# ---------------------------------------------------------------------------
+if (( sched_kills > 0 )); then
+  # Epochs need roughly window * max_windows_per_epoch (~2k) tuples per
+  # instance before the first sketch ships; below that the campaign never
+  # checkpoints and the recovery gates would be vacuous.
+  sk_m=$(( m < 16000 ? 16000 : m ))
+  sk_dir="${workdir}/schedkill"
+  mkdir -p "${sk_dir}"
+
+  sk_fail() {
+    echo "" >&2
+    echo "SCHEDKILL SOAK FAILED: $*" >&2
+    echo "Replay with:  CHAOS_SEED=${base_seed} CHAOS_ITERS=0 CHAOS_SCHED_KILLS=${sched_kills} tools/run_chaos_soak.sh '${build_dir}'" >&2
+    exit 1
+  }
+
+  run_schedkill() {
+    local name="$1"
+    shift
+    local log="${sk_dir}/${name}.log"
+    mkdir -p "${sk_dir}/${name}"
+    echo "schedkill campaign ${name}: k=${k} m=${sk_m} kill_seed=${base_seed} $*"
+    local rc=0
+    timeout --kill-after=10 "${per_run_timeout}" \
+      "${example}" --k "${k}" --m "${sk_m}" \
+      --ckpt "${sk_dir}/${name}.ckpt" --kill-seed "${base_seed}" \
+      --stats-dir "${sk_dir}/${name}" "$@" > "${log}" 2>&1 || rc=$?
+    if [[ ${rc} -ne 0 ]]; then
+      tail -40 "${log}" >&2
+      sk_fail "${name} campaign exited ${rc}"
+    fi
+    local gate
+    for gate in 'conservation=ok' 'reattached=ok' 'clean_exit=yes'; do
+      if ! grep -q "^SCHEDKILL .*${gate}" "${log}"; then
+        tail -40 "${log}" >&2
+        sk_fail "${name}: ${gate} missing from the campaign summary"
+      fi
+    done
+    grep '^SCHEDKILL \|^RECOVERY ' "${log}" | sed 's/^/  /'
+  }
+
+  chat_total() {
+    grep -o 'chat_total=[0-9.]*' "${sk_dir}/$1.log" | head -1 | cut -d= -f2
+  }
+
+  sk_obs=()
+  if [[ -n "${metrics_out}" ]]; then
+    sk_obs=(--metrics-out "${metrics_out}/metrics_schedkill.json")
+  fi
+
+  run_schedkill ctrl --sched-kill 0
+  run_schedkill kill --sched-kill "${sched_kills}" "${sk_obs[@]}"
+  if ! grep -q '^RECOVERY .*restored=yes' "${sk_dir}/kill.log"; then
+    sk_fail "no incarnation restored from a checkpoint (all cold starts)"
+  fi
+
+  # Bounded Ĉ divergence (the recovery-quality gate): each kill forfeits at
+  # most the billing routed since the last completed-epoch checkpoint, so
+  # the kill run's final sum(C_hat) must stay inside
+  # [ctrl * (1 - 0.2*kills - 0.1), ctrl * 1.05]. The upper bound is the
+  # double-billing tripwire: a replayed pre-crash delta folding into C_hat
+  # twice would push the kill run ABOVE the uninterrupted control.
+  ctrl_chat="$(chat_total ctrl)"
+  kill_chat="$(chat_total kill)"
+  if ! awk -v c="${ctrl_chat}" -v x="${kill_chat}" -v kills="${sched_kills}" \
+      'BEGIN { lower = 1.0 - 0.20 * kills - 0.10; if (lower < 0.2) lower = 0.2;
+               exit !(c > 0 && x >= c * lower && x <= c * 1.05) }'; then
+    sk_fail "C_hat divergence out of band: control=${ctrl_chat} kill=${kill_chat} (kills=${sched_kills})"
+  fi
+  echo "  divergence: control=${ctrl_chat} kill=${kill_chat} — in band"
+
+  run_schedkill corrupt --sched-kill "${sched_kills}" --corrupt-ckpt
+  if [[ "$(grep '^RECOVERY ' "${sk_dir}/corrupt.log" | tail -1)" != *restored=no* ]]; then
+    sk_fail "corrupted checkpoint did not degrade to a cold start"
+  fi
+
+  if [[ -n "${metrics_out}" ]]; then
+    cp "${sk_dir}/kill.ckpt" "${metrics_out}/schedkill.ckpt" 2>/dev/null || true
+  fi
+  echo "schedkill phase passed: control + ${sched_kills}-kill + corrupt campaigns"
+fi
 
 echo ""
 echo "chaos soak passed: ${iters} campaign(s), seeds ${base_seed}..$((base_seed + iters - 1))"
