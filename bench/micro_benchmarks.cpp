@@ -4,11 +4,13 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <numeric>
 #include <vector>
 
 #include "common/prng.hpp"
 #include "core/elastic.hpp"
 #include "core/instance_tracker.hpp"
+#include "core/multi_source.hpp"
 #include "core/posg_scheduler.hpp"
 #include "core/round_robin.hpp"
 #include "engine/queue.hpp"
@@ -402,6 +404,73 @@ void BM_RouterThroughputBatched(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch));
 }
 BENCHMARK(BM_RouterThroughputBatched)->Args({10, 8});
+
+/// Same per-tuple decision loop as BM_RouterThroughput/10, but routed
+/// through the multi-source tier: range(0) = S sources round-robining one
+/// interleaved stream over S PosgScheduler views of a shared pool,
+/// range(1) = reconcile mode (0 = per_source_greedy, 1 = gossip_merge at
+/// the default cadence). Trackers are per (instance, source) — each view
+/// is billed exactly its own routed share (DESIGN.md §15). The S=1 row is
+/// the pass-through tax over BM_RouterThroughput/10 (one mutex + one pool
+/// cursor check per tuple); the S=4 gossip row adds the snapshot/install
+/// passes amortized over gossip_every_decisions.
+void BM_RouterThroughputMultiSource(benchmark::State& state) {
+  const auto sources = static_cast<std::size_t>(state.range(0));
+  const std::size_t k = 10;
+  core::PosgConfig config;
+  config.window = 64;
+  config.mu = 10.0;  // ship every second window
+  core::MultiSourceConfig multi;
+  multi.sources = sources;
+  multi.reconcile = state.range(1) == 0 ? core::ReconcileMode::kPerSourceGreedy
+                                        : core::ReconcileMode::kGossipMerge;
+  core::MultiSourceScheduler scheduler(k, config, multi);
+  std::vector<core::InstanceTracker> trackers;  // [op * sources + source]
+  trackers.reserve(k * sources);
+  for (common::InstanceId op = 0; op < k; ++op) {
+    for (std::size_t s = 0; s < sources; ++s) {
+      trackers.emplace_back(op, config);
+    }
+  }
+  common::Xoshiro256StarStar rng(11);
+  common::SeqNo seq = 0;
+  for (auto _ : state) {
+    const auto source = static_cast<common::SourceId>(seq % sources);
+    const common::Item item = seq % 4096;
+    const auto decision = scheduler.schedule(source, item, seq);
+    benchmark::DoNotOptimize(decision.instance);
+    auto& tracker = trackers[decision.instance * sources + source];
+    if (auto shipment =
+            tracker.on_executed(item, 1.0 + static_cast<double>(rng.next_below(64)))) {
+      shipment->source = source;
+      scheduler.on_feedback(source, core::FeedbackEvent{std::move(*shipment)});
+    }
+    if (decision.sync_request) {
+      core::SyncReply reply{decision.instance, decision.sync_request->epoch, 0.0};
+      reply.source = source;
+      scheduler.on_feedback(source, core::FeedbackEvent{std::move(reply)});
+    }
+    ++seq;
+  }
+  state.SetItemsProcessed(state.iterations());
+  // Makespan lens (computed outside the timed loop): pool-wide Ĉ per
+  // instance is Σ over views, makespan its max, ideal its mean — so
+  // `imbalance` = 1.0 is a perfectly balanced pool and the gap between
+  // the /4/0 and /4/1 rows is what gossip reconciliation buys at S = 4.
+  std::vector<double> pool_load(k, 0.0);
+  for (std::size_t s = 0; s < sources; ++s) {
+    const auto loads = scheduler.view(static_cast<common::SourceId>(s)).estimated_loads();
+    for (std::size_t op = 0; op < k; ++op) {
+      pool_load[op] += loads[op];
+    }
+  }
+  const double makespan = *std::max_element(pool_load.begin(), pool_load.end());
+  const double total = std::accumulate(pool_load.begin(), pool_load.end(), 0.0);
+  if (total > 0.0) {
+    state.counters["imbalance"] = makespan / (total / static_cast<double>(k));
+  }
+}
+BENCHMARK(BM_RouterThroughputMultiSource)->Args({1, 0})->Args({4, 0})->Args({4, 1});
 
 void BM_TrackerOnExecuted(benchmark::State& state) {
   core::PosgConfig config;  // calibrated defaults

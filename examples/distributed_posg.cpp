@@ -76,6 +76,28 @@
 //                      restart: the CRC must reject it and the scheduler
 //                      must degrade to a counted cold start, not crash.
 //
+// Multi-source tier (DESIGN.md §15; tools/run_multisource_soak.sh):
+//   --sources S        S > 1 switches to the multi-source driver: S
+//                      SchedulerRuntimes (one Unix socket each) share ONE
+//                      core::InstancePool; tuple seq belongs to source
+//                      seq % S. Each of the k instance processes runs
+//                      InstanceRuntime::run_multi with one session (and
+//                      one tracker) per source, so Ĉ is billed per source
+//                      and Σ over sources is the pool's true load.
+//   --reconcile MODE   per_source_greedy (default): each view routes on
+//                      its own Ĉ alone. gossip_merge: every
+//                      --gossip-every routed tuples the driver snapshots
+//                      all views' Ĉ and installs Σ of the siblings into
+//                      each view's external-load term.
+//   --gossip-every N   gossip cadence in routed tuples (default 256).
+//   --kill-source ID   source churn: sever source ID's scheduler (no
+//                      EndOfStream — its links just die) after ~40% of
+//                      its share. The gates assert the churn quarantined
+//                      no instance and stranded no Ĉ.
+//   --restart-source   restart the killed source from its checkpoint one
+//                      stream-tenth later; its sessions re-attach through
+//                      the per-session redial + SchedulerHello path.
+//
 // Observability flags (src/obs/; render with tools/obs_report.py):
 //   --metrics-out FILE  write the scheduler runtime's metrics snapshot
 //                       (posg-metrics/1 JSON) to FILE at the end of the
@@ -466,6 +488,327 @@ int run_sched_kill_campaign(std::size_t k, std::size_t m, std::size_t kills,
   return (clean_exit && conservation && reattached && kills_done == kills) ? 0 : 1;
 }
 
+/// The operator-instance process of a multi-source run: one session (own
+/// link, own tracker) per source via InstanceRuntime::run_multi, with the
+/// socket path as per-session reconnect target so a severed source's
+/// restart re-attaches instead of ending the session. Writes per-source
+/// executed counts next to the classic `executed=` total.
+[[noreturn]] void multisource_instance_process(common::InstanceId id,
+                                               const std::vector<std::string>& socket_paths,
+                                               const std::string& stats_dir) {
+  runtime::InstanceRuntime::Stats stats;
+  bool threw = false;
+  try {
+    runtime::InstanceRuntimeConfig config;
+    // Generous per-session redial budget: a severed source may stay down
+    // for a while before its restart binds the socket fresh, and every
+    // failed dial (one per loop pass) burns budget.
+    config.reconnect_attempts = 64;
+    runtime::InstanceRuntime instance(id, config);
+    std::vector<net::SocketTransport> links;
+    links.reserve(socket_paths.size());
+    for (const std::string& path : socket_paths) {
+      links.emplace_back(net::connect(path));
+    }
+    std::vector<runtime::InstanceRuntime::SourceLink> sessions;
+    sessions.reserve(socket_paths.size());
+    for (common::SourceId s = 0; s < socket_paths.size(); ++s) {
+      sessions.push_back({s, &links[s], socket_paths[s]});
+    }
+    stats = instance.run_multi(sessions);
+  } catch (const std::exception& error) {
+    std::printf("  [instance %zu, pid %d] transport error: %s\n", id, getpid(), error.what());
+    threw = true;
+  }
+  if (!stats_dir.empty()) {
+    const std::string path =
+        stats_dir + "/exec_" + std::to_string(id) + "_" + std::to_string(getpid());
+    if (std::FILE* out = std::fopen(path.c_str(), "w")) {
+      std::fprintf(out, "executed=%llu\n", static_cast<unsigned long long>(stats.executed));
+      for (std::size_t s = 0; s < stats.per_source_executed.size(); ++s) {
+        std::fprintf(out, "executed_s%zu=%llu\n", s,
+                     static_cast<unsigned long long>(stats.per_source_executed[s]));
+      }
+      std::fprintf(out, "sources_lost=%llu\n",
+                   static_cast<unsigned long long>(stats.sources_lost));
+      std::fprintf(out, "reconnects=%llu\n", static_cast<unsigned long long>(stats.reconnects));
+      std::fclose(out);
+    }
+  }
+  std::printf("  [instance %zu, pid %d] executed %llu tuples over %zu sources%s\n", id, getpid(),
+              static_cast<unsigned long long>(stats.executed), socket_paths.size(),
+              stats.sources_lost > 0 ? " (lost a source)" : "");
+  std::exit(threw ? 2 : 0);
+}
+
+/// The multi-source driver (--sources S): S scheduler views over one
+/// shared pool, an interleaved stream, optional gossip reconciliation and
+/// optional source churn. Exit 0 only when every gate holds.
+int run_multisource(std::size_t k, std::size_t m, std::size_t sources,
+                    core::ReconcileMode reconcile, std::uint64_t gossip_every, int kill_source,
+                    bool restart_source, const std::string& stats_dir,
+                    const std::string& metrics_out) {
+  const std::string base = "/tmp/posg_ms_" + std::to_string(getpid());
+  std::vector<std::string> socket_paths;
+  std::vector<std::optional<net::Listener>> listeners(sources);
+  for (common::SourceId s = 0; s < sources; ++s) {
+    socket_paths.push_back(base + "_s" + std::to_string(s) + ".sock");
+    listeners[s].emplace(socket_paths.back());
+  }
+  const bool churn = kill_source >= 0 && static_cast<std::size_t>(kill_source) < sources;
+  std::printf("multi-source: k=%zu m=%zu sources=%zu reconcile=%s%s%s\n", k, m, sources,
+              reconcile == core::ReconcileMode::kGossipMerge ? "gossip_merge"
+                                                             : "per_source_greedy",
+              churn ? " (killing one source)" : "",
+              churn && restart_source ? " (restarting it)" : "");
+
+  std::vector<pid_t> children;
+  for (common::InstanceId op = 0; op < k; ++op) {
+    std::fflush(stdout);
+    const pid_t pid = fork();
+    if (pid == 0) {
+      // Drop the inherited listening fds: a child-held copy keeps the
+      // kernel socket alive after the parent closes and rebinds it (the
+      // churn path does exactly that), stranding redials in a dead
+      // backlog.
+      for (auto& listener : listeners) {
+        if (listener) {
+          listener->close_inherited();
+        }
+      }
+      multisource_instance_process(op, socket_paths, stats_dir);
+    }
+    if (pid < 0) {
+      std::perror("fork");
+      for (const pid_t child : children) {
+        kill(child, SIGTERM);
+      }
+      while (wait(nullptr) > 0) {
+      }
+      return 1;
+    }
+    children.push_back(pid);
+  }
+
+  // One pool, S views. Checkpointing is only needed for the churn story
+  // (the restarted source recovers from its own file).
+  auto pool = std::make_shared<core::InstancePool>(k);
+  std::vector<std::unique_ptr<runtime::SchedulerRuntime>> views(sources);
+  const auto view_config = [&](common::SourceId s, bool recover) {
+    runtime::SchedulerRuntimeConfig config;
+    config.instances = k;
+    config.source_id = s;
+    if (churn) {
+      config.checkpoint_path = base + "_s" + std::to_string(s) + ".ckpt";
+      config.recover = recover;
+    }
+    return config;
+  };
+  for (common::SourceId s = 0; s < sources; ++s) {
+    views[s] = std::make_unique<runtime::SchedulerRuntime>(view_config(s, false), pool);
+    views[s]->accept_registrations(*listeners[s]);
+    views[s]->start();
+  }
+
+  // Routed-count ledger per source, accumulated across incarnations (the
+  // restarted view's counters start at zero).
+  std::vector<std::uint64_t> routed_by_source(sources, 0);
+  std::vector<std::uint64_t> quarantines_by_source(sources, 0);
+  const auto fold_view_counters = [&](common::SourceId s) {
+    for (const std::uint64_t count : views[s]->routed_counts()) {
+      routed_by_source[s] += count;
+    }
+    quarantines_by_source[s] += views[s]->quarantine_log().size();
+  };
+
+  // Churn schedule, in this source's own routed tuples.
+  const std::uint64_t share = sources > 0 ? m / sources : m;
+  const std::uint64_t kill_after = churn ? std::max<std::uint64_t>(1, share * 2 / 5) : 0;
+  const std::uint64_t restart_gap = std::max<std::uint64_t>(1, m / 10);
+  std::uint64_t killed_at_seq = 0;
+  bool killed = false;
+  bool restarted = false;
+  std::uint64_t skipped_while_dead = 0;
+  std::vector<std::uint64_t> routed_live(sources, 0);  // current incarnation only
+
+  // Two-pass gossip over the views (kGossipMerge): snapshot every view's
+  // Ĉ, then install Σ of the *siblings* into each — a view's own Ĉ is
+  // already its greedy base term and must not be double-weighted.
+  const auto gossip_round = [&] {
+    std::vector<std::vector<common::TimeMs>> snapshots(sources);
+    for (common::SourceId s = 0; s < sources; ++s) {
+      if (views[s] != nullptr) {
+        snapshots[s] = views[s]->estimated_loads();
+      }
+    }
+    for (common::SourceId s = 0; s < sources; ++s) {
+      if (views[s] == nullptr) {
+        continue;
+      }
+      std::vector<common::TimeMs> external(k, 0.0);
+      for (common::SourceId peer = 0; peer < sources; ++peer) {
+        if (peer == s || snapshots[peer].empty()) {
+          continue;
+        }
+        for (std::size_t op = 0; op < k; ++op) {
+          external[op] += snapshots[peer][op];
+        }
+      }
+      views[s]->set_external_loads(std::move(external));
+    }
+  };
+
+  workload::ZipfItems zipf(4096, 1.0);
+  const auto stream = workload::StreamGenerator::generate(zipf, m, 42);
+  std::uint64_t gossip_rounds = 0;
+  int rc = 0;
+  const auto kill_sid = churn ? static_cast<common::SourceId>(kill_source) : 0;
+  try {
+    for (common::SeqNo seq = 0; seq < stream.size(); ++seq) {
+      const auto s = static_cast<common::SourceId>(seq % sources);
+      if (churn && s == kill_sid) {
+        if (!killed && routed_live[s] >= kill_after) {
+          // Sever: the source dies mid-stream with no handshake. Its
+          // checkpoint (epoch-boundary cadence) is what a restart gets.
+          fold_view_counters(s);
+          views[s]->sever();
+          views[s].reset();
+          listeners[s].reset();  // stale socket: redials fail until rebind
+          killed = true;
+          killed_at_seq = seq;
+          std::printf("MULTISOURCE severed source=%zu at seq=%llu (its tuple %llu)\n",
+                      static_cast<std::size_t>(s), static_cast<unsigned long long>(seq),
+                      static_cast<unsigned long long>(routed_live[s]));
+        }
+        if (killed && !restarted) {
+          if (restart_source && seq >= killed_at_seq + restart_gap) {
+            // Fresh incarnation over the SAME pool, recovering from the
+            // severed one's checkpoint; the instances' per-session
+            // redial re-attaches with SchedulerHello.
+            listeners[s].emplace(socket_paths[s]);
+            views[s] = std::make_unique<runtime::SchedulerRuntime>(view_config(s, true), pool);
+            std::printf("MULTISOURCE restarted source=%zu restored=%s epoch=%llu\n",
+                        static_cast<std::size_t>(s), views[s]->recovered() ? "yes" : "no",
+                        static_cast<unsigned long long>(views[s]->recovered_epoch()));
+            views[s]->accept_registrations(*listeners[s]);
+            views[s]->start();
+            routed_live[s] = 0;
+            restarted = true;
+          } else {
+            ++skipped_while_dead;  // a dead source routes nothing
+            continue;
+          }
+        }
+      }
+      views[s]->route(stream[seq], seq);
+      ++routed_live[s];
+      if (reconcile == core::ReconcileMode::kGossipMerge && gossip_every > 0 &&
+          (seq + 1) % gossip_every == 0) {
+        gossip_round();
+        ++gossip_rounds;
+      }
+    }
+    for (common::SourceId s = 0; s < sources; ++s) {
+      if (views[s] != nullptr) {
+        views[s]->finish();
+      }
+    }
+  } catch (const std::exception& error) {
+    std::printf("\nfatal: %s\n", error.what());
+    for (common::SourceId s = 0; s < sources; ++s) {
+      if (views[s] != nullptr) {
+        try {
+          views[s]->finish();
+        } catch (const std::exception&) {
+        }
+      }
+    }
+    rc = 1;
+  }
+  for (common::SourceId s = 0; s < sources; ++s) {
+    if (views[s] != nullptr) {
+      fold_view_counters(s);
+    }
+  }
+  // A killed-without-restart source leaves its instances' sessions
+  // redialing a dead socket; they end those sessions on their own (budget
+  // exhaustion) while the other sessions drain to EndOfStream.
+  while (wait(nullptr) > 0) {
+  }
+
+  // --- gates ---
+  std::uint64_t routed_total = 0;
+  for (common::SourceId s = 0; s < sources; ++s) {
+    routed_total += routed_by_source[s];
+  }
+  const bool have_stats = !stats_dir.empty();
+  bool conservation = true;
+  std::uint64_t executed_total = 0;
+  for (common::SourceId s = 0; s < sources; ++s) {
+    const std::uint64_t executed =
+        have_stats ? sum_stat(stats_dir, "executed_s" + std::to_string(s)) : 0;
+    executed_total += executed;
+    // Per-source conservation over the shared pool: a view's sessions
+    // execute exactly what that view routed — at-most-once always, and
+    // exactly-once for sources that were never severed (a severed link
+    // may drop frames already queued behind the EOF).
+    const bool exact = !(churn && s == kill_sid);
+    const bool ok = !have_stats || (exact ? executed == routed_by_source[s]
+                                          : executed <= routed_by_source[s]);
+    conservation = conservation && ok;
+    std::printf("MULTISOURCE source=%zu routed=%llu executed=%llu quarantines=%llu "
+                "conservation=%s\n",
+                static_cast<std::size_t>(s),
+                static_cast<unsigned long long>(routed_by_source[s]),
+                static_cast<unsigned long long>(executed),
+                static_cast<unsigned long long>(quarantines_by_source[s]),
+                ok ? "ok" : "violated");
+  }
+  // Source churn must never masquerade as instance failure: no view may
+  // have quarantined anyone, and the shared pool must still be serving
+  // all k slots (no stranded membership, no stranded Ĉ share).
+  std::uint64_t quarantine_total = 0;
+  for (const std::uint64_t q : quarantines_by_source) {
+    quarantine_total += q;
+  }
+  std::size_t pool_serving = 0;
+  for (std::size_t op = 0; op < k; ++op) {
+    if (pool->lifecycle(op) == core::InstancePool::Lifecycle::kServing) {
+      ++pool_serving;
+    }
+  }
+  const bool no_quarantine = quarantine_total == 0;
+  const bool pool_intact = pool_serving == k;
+  const std::uint64_t sources_lost_total = have_stats ? sum_stat(stats_dir, "sources_lost") : 0;
+  std::printf("MULTISOURCE total routed=%llu executed=%llu skipped_dead=%llu m=%zu\n",
+              static_cast<unsigned long long>(routed_total),
+              static_cast<unsigned long long>(executed_total),
+              static_cast<unsigned long long>(skipped_while_dead), m);
+  std::printf("MULTISOURCE gossip_rounds=%llu sources_lost=%llu pool_serving=%zu/%zu\n",
+              static_cast<unsigned long long>(gossip_rounds),
+              static_cast<unsigned long long>(sources_lost_total), pool_serving, k);
+  std::printf("MULTISOURCE conservation=%s no_quarantine=%s pool_intact=%s\n",
+              conservation ? "ok" : "violated", no_quarantine ? "ok" : "violated",
+              pool_intact ? "ok" : "violated");
+
+  if (!metrics_out.empty()) {
+    // One snapshot document per line, source order (sources are
+    // namespaced posg.s<id>.* so the union is collision-free);
+    // obs_report.py merges JSONL. A severed-and-gone view contributes
+    // nothing.
+    std::ofstream out(metrics_out, std::ios::trunc);
+    if (out) {
+      for (common::SourceId s = 0; s < sources; ++s) {
+        if (views[s] != nullptr) {
+          out << views[s]->metrics_snapshot().to_json() << '\n';
+        }
+      }
+      std::printf("metrics snapshots written to %s\n", metrics_out.c_str());
+    }
+  }
+  return (rc == 0 && conservation && no_quarantine && pool_intact) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -488,6 +831,24 @@ int main(int argc, char** argv) {
   std::optional<std::uint64_t> fault_seed;
   if (args.has("fault-seed")) {
     fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
+  }
+  // Multi-source tier: --sources S > 1 switches to the shared-pool
+  // driver (DESIGN.md §15). Orthogonal to the single-source modes below.
+  const auto sources = static_cast<std::size_t>(args.get_int("sources", 1));
+  if (sources > 1) {
+    const std::string reconcile_name = args.get_string("reconcile", "per_source_greedy");
+    core::ReconcileMode reconcile = core::ReconcileMode::kPerSourceGreedy;
+    if (reconcile_name == "gossip_merge") {
+      reconcile = core::ReconcileMode::kGossipMerge;
+    } else if (reconcile_name != "per_source_greedy") {
+      std::fprintf(stderr, "unknown --reconcile %s (per_source_greedy | gossip_merge)\n",
+                   reconcile_name.c_str());
+      return 1;
+    }
+    const auto gossip_every = static_cast<std::uint64_t>(args.get_int("gossip-every", 256));
+    return run_multisource(k, m, sources, reconcile, gossip_every,
+                           static_cast<int>(args.get_int("kill-source", -1)),
+                           args.get_bool("restart-source", false), stats_dir, metrics_out);
   }
   // Scheduler kill-restart campaign mode: a non-empty --ckpt switches to
   // the forked-scheduler driver (even with --sched-kill 0, which is the
@@ -539,6 +900,9 @@ int main(int argc, char** argv) {
     std::fflush(stdout);  // children inherit the stdio buffer otherwise
     const pid_t pid = fork();
     if (pid == 0) {
+      if (listener) {
+        listener->close_inherited();  // a child-held fd keeps the socket alive
+      }
       instance_process(op, socket_path, instance_config,
                        original ? fault_seed : std::nullopt, stats_dir);  // never returns
     }

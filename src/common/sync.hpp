@@ -99,6 +99,11 @@ inline constexpr int kNetSend = 20;
 /// never nest (PosgGrouping's delay worker drops delay_mutex_ before
 /// delivering into the scheduler).
 inline constexpr int kSchedulerState = 30;
+/// core::InstancePool::mutex_ — the shared membership log of the
+/// multi-source tier (DESIGN.md §15). Acquired by scheduler views while
+/// they hold their kSchedulerState lock (transition reports, staleness
+/// sync); a leaf otherwise — nothing posg-owned is acquired under it.
+inline constexpr int kInstancePool = 35;
 /// core::OverloadController::mutex_ — taken on the producer path, may
 /// publish trace events (→ kTraceRing) but never re-enters a scheduler.
 inline constexpr int kOverload = 40;

@@ -34,6 +34,12 @@ using Epoch = std::uint64_t;
 /// Sequence number of a tuple within a stream (0-based).
 using SeqNo = std::uint64_t;
 
+/// Identifier of a stream source (an upstream executor running its own
+/// scheduler against the shared instance pool), in [0, S). The paper's
+/// setting is S = 1; the multi-source tier (DESIGN.md §15) runs S > 1
+/// schedulers side by side, each billing its own Ĉ view.
+using SourceId = std::uint32_t;
+
 /// Sentinel meaning "no instance".
 inline constexpr InstanceId kNoInstance = std::numeric_limits<InstanceId>::max();
 

@@ -124,6 +124,7 @@ std::vector<std::byte> encode(const CheckpointState& state) {
   std::vector<std::byte> payload;
   Writer writer(payload);
   writer.put(state.k);
+  writer.put(state.source_id);  // version 2 field
   writer.put(state.scheduler_state);
   writer.put(state.rr_next);
   writer.put(state.epoch);
@@ -186,7 +187,7 @@ CheckpointState decode(std::span<const std::byte> bytes) {
     throw std::invalid_argument("checkpoint::decode: bad magic (not a checkpoint file)");
   }
   const auto version = header.take<std::uint32_t>();
-  if (version != kCheckpointVersion) {
+  if (version < kCheckpointMinVersion || version > kCheckpointVersion) {
     throw std::invalid_argument("checkpoint::decode: unsupported version " +
                                 std::to_string(version));
   }
@@ -205,6 +206,11 @@ CheckpointState decode(std::span<const std::byte> bytes) {
   state.k = reader.take<std::uint64_t>();
   if (state.k == 0 || state.k > (std::uint64_t{1} << 20U)) {
     throw std::invalid_argument("checkpoint::decode: implausible instance count");
+  }
+  // Version 1 predates the multi-source tier: its view belongs to the
+  // only source there was, id 0 (the CheckpointState default).
+  if (version >= 2) {
+    state.source_id = reader.take<common::SourceId>();
   }
   state.scheduler_state = reader.take<std::uint8_t>();
   state.rr_next = reader.take<std::uint64_t>();

@@ -42,8 +42,14 @@
 namespace posg::core {
 
 /// Header constants, exposed for tests and tools/ckpt_inspect.py.
+/// Version 2 (multi-source tier): the payload carries the owning source id
+/// right after k, so a restarted SchedulerRuntime refuses a checkpoint
+/// that belongs to a different source's view. Version 1 images still
+/// decode (their source id is 0 — the single-source deployment they were
+/// written by).
 inline constexpr std::uint32_t kCheckpointMagic = 0x50434B50;  // 'PKCP' on the wire
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
+inline constexpr std::uint32_t kCheckpointMinVersion = 1;
 inline constexpr std::size_t kCheckpointHeaderBytes = 4 + 4 + 8 + 4;
 
 /// Image of PosgScheduler's primary control state. Produced by
@@ -52,6 +58,12 @@ inline constexpr std::size_t kCheckpointHeaderBytes = 4 + 4 + 8 + 4;
 /// layout-stable across standard libraries.
 struct CheckpointState {
   std::uint64_t k = 0;
+  /// Source whose view this image captures (0 for single-source
+  /// deployments and every version-1 image). restore() rejects a
+  /// mismatch: source 2's Ĉ billed source 2's routed tuples — restoring
+  /// it into source 3 would double-bill one source's work and orphan the
+  /// other's.
+  common::SourceId source_id = 0;
   std::uint8_t scheduler_state = 0;  ///< PosgScheduler::State as u8
   std::uint64_t rr_next = 0;
   common::Epoch epoch = 0;

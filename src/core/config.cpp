@@ -182,6 +182,23 @@ void validate_obs(const ObsConfig& config, const std::string& prefix,
   }
 }
 
+void validate_multi_source(const core::MultiSourceConfig& config, const std::string& prefix,
+                           std::vector<ConfigError>& out) {
+  if (config.sources < 1) {
+    push(out, dot(prefix, "sources"), ConfigErrorCode::kMustBePositive, "must be >= 1");
+  }
+  if (config.reconcile != core::ReconcileMode::kPerSourceGreedy &&
+      config.reconcile != core::ReconcileMode::kGossipMerge) {
+    push(out, dot(prefix, "reconcile"), ConfigErrorCode::kOutOfRange,
+         "must be per_source_greedy (0) or gossip_merge (1)");
+  }
+  if (config.reconcile == core::ReconcileMode::kGossipMerge &&
+      config.gossip_every_decisions < 1) {
+    push(out, dot(prefix, "gossip_every_decisions"), ConfigErrorCode::kMustBePositive,
+         "must be >= 1 under gossip_merge");
+  }
+}
+
 void validate_scheduler_runtime(const SchedulerRuntimeConfig& config, const std::string& prefix,
                                 std::vector<ConfigError>& out) {
   if (config.instances < 1) {
@@ -230,6 +247,13 @@ std::vector<ConfigError> Config::validate() const {
   validate_engine(engine, "engine", out);
   validate_scheduler_runtime(runtime, "runtime", out);
   validate_instance_runtime(instance, "instance", out);
+  validate_multi_source(multi_source, "multi_source", out);
+  if (multi_source.sources >= 1 &&
+      static_cast<std::size_t>(runtime.source_id) >= multi_source.sources) {
+    out.push_back(ConfigError{
+        "runtime.source_id", ConfigErrorCode::kOrdering,
+        "must be < multi_source.sources (source ids are dense in [0, S))"});
+  }
   // The nested posg copies are stamped from `scheduler` by the
   // materializers, so they are deliberately not re-validated here.
   return out;

@@ -123,6 +123,36 @@ struct PosgConfig {
   sketch::SketchDims dims() const { return sketch::SketchDims::from_accuracy(epsilon, delta); }
 };
 
+/// How the S per-source scheduler views of the multi-source tier
+/// reconcile their independent Ĉ estimates over the shared instance pool
+/// (DESIGN.md §15; consumed by core::MultiSourceScheduler).
+enum class ReconcileMode : std::uint8_t {
+  /// Each view greedily argmins over its *own* billed cost only — the
+  /// POSG invariant per source, zero cross-source coupling. With skewed
+  /// per-source rates the sources can pile onto the same globally-cheap
+  /// instance, because nobody sees the others' load.
+  kPerSourceGreedy = 0,
+  /// Views periodically exchange Ĉ snapshots: every
+  /// `gossip_every_decisions` routed tuples a view triggers a gossip
+  /// round that installs Σ of the *peers'* Ĉ into every view as an
+  /// additive greedy bias (PosgScheduler::set_external_loads). Each
+  /// view's own billing stays untouched — gossip only tilts the argmin,
+  /// so Δ-synchronization correctness is per-source regardless of mode.
+  kGossipMerge = 1,
+};
+
+/// Tunables of the multi-source tier. Lives beside PosgConfig (not inside
+/// it) because a single-source deployment never reads any of this.
+struct MultiSourceConfig {
+  /// Number of independent sources S routing over the shared pool.
+  std::size_t sources = 1;
+  ReconcileMode reconcile = ReconcileMode::kPerSourceGreedy;
+  /// Gossip cadence, in routed tuples per view. Read only under
+  /// kGossipMerge; must then be >= 1. Smaller = tighter coupling, more
+  /// rebuild_greedy churn.
+  std::uint64_t gossip_every_decisions = 64;
+};
+
 }  // namespace posg::core
 
 namespace posg {
@@ -228,6 +258,14 @@ struct SchedulerRuntimeConfig {
   /// a crash. Registration then accepts SchedulerHello re-attaches from
   /// instances that outlived the previous scheduler process.
   bool recover = false;
+
+  /// This runtime's source id in a multi-source deployment (DESIGN.md
+  /// §15): stamped into every frame it sends, into its checkpoints
+  /// (restore rejects another source's image), and into its metrics
+  /// prefix ("posg.s<id>" when non-zero, plain "posg" for source 0 so
+  /// single-source dashboards keep working). Must be < multi_source.sources
+  /// when validated as part of the tree.
+  common::SourceId source_id = 0;
 };
 
 /// Configuration of one operator-instance event loop
@@ -341,6 +379,9 @@ struct Config {
   EngineConfig engine;
   SchedulerRuntimeConfig runtime;
   InstanceRuntimeConfig instance;
+  /// Multi-source tier (DESIGN.md §15). The defaults (S = 1,
+  /// per-source-greedy) describe every pre-existing deployment.
+  core::MultiSourceConfig multi_source;
 
   /// Checks every field of the whole tree; returns all failures (empty =
   /// valid). Never throws.
@@ -383,5 +424,7 @@ void validate_instance_runtime(const InstanceRuntimeConfig& config, const std::s
                                std::vector<ConfigError>& out);
 void validate_obs(const ObsConfig& config, const std::string& prefix,
                   std::vector<ConfigError>& out);
+void validate_multi_source(const core::MultiSourceConfig& config, const std::string& prefix,
+                           std::vector<ConfigError>& out);
 
 }  // namespace posg

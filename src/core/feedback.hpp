@@ -1,0 +1,41 @@
+#pragma once
+
+#include <variant>
+
+#include "common/types.hpp"
+#include "core/messages.hpp"
+
+/// The typed feedback-event vocabulary behind `Scheduler::on_feedback`.
+///
+/// Before the multi-source tier the `Scheduler` interface grew one virtual
+/// per feedback kind (`on_sketches` ×2, `on_sync_reply`,
+/// `on_tuple_executed`, `on_load_report`): every substrate (sim, engine,
+/// runtime) had to know each kind by name, and every new kind widened the
+/// interface. `FeedbackEvent` folds them into one closed variant so a
+/// substrate delivers feedback through a single entry point and a
+/// demultiplexer (core/multi_source.hpp) can route events to per-source
+/// views without enumerating virtuals. The legacy virtuals survive as
+/// default shims, so existing policies compile unchanged.
+namespace posg::core {
+
+/// Execution feedback: `instance` finished one tuple that took
+/// `execution_time`. Only backlog-style policies consume it; POSG's
+/// feedback channel is the sketch shipment.
+struct TupleExecuted {
+  common::InstanceId instance;
+  common::TimeMs execution_time;
+};
+
+/// Periodic queue-state report (reactive policies; core/reactive_jsq.hpp).
+struct LoadReport {
+  common::InstanceId instance;
+  common::TimeMs backlog;
+  common::TimeMs mean_execution_time;
+};
+
+/// One feedback delivery from the substrate to a scheduling policy. The
+/// variant is closed by design: adding a kind here (plus a default shim on
+/// `Scheduler`) is the whole cost of a new feedback channel.
+using FeedbackEvent = std::variant<SketchShipment, SyncReply, TupleExecuted, LoadReport>;
+
+}  // namespace posg::core

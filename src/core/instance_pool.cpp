@@ -1,0 +1,187 @@
+#include "core/instance_pool.hpp"
+
+#include "common/check.hpp"
+
+namespace posg::core {
+
+InstancePool::InstancePool(std::size_t instances)
+    : k_(instances),
+      failed_(instances, false),
+      draining_(instances, false),
+      live_(instances),
+      serving_(instances) {
+  common::require(instances >= 1, "InstancePool: need at least one instance");
+  log_.reserve(16);
+}
+
+std::uint64_t InstancePool::append_locked(MemberEvent::Kind kind, common::InstanceId op,
+                                          common::SourceId origin) {
+  const std::uint64_t seq = static_cast<std::uint64_t>(log_.size()) + 1;
+  log_.push_back(MemberEvent{kind, op, origin, seq});
+  // Release pairs with the acquire in version(): a view that observes the
+  // bumped version and then takes mutex_ sees the appended event.
+  version_.store(seq, std::memory_order_release);
+  return seq;
+}
+
+std::uint64_t InstancePool::report_quarantine(common::InstanceId op, common::SourceId origin) {
+  common::require(op < k_, "InstancePool: quarantine of unknown instance");
+  MutexLock lock(mutex_);
+  if (failed_[op]) {
+    return 0;  // second detector reporting the same crash — idempotent
+  }
+  if (draining_[op]) {
+    draining_[op] = false;  // drainee died mid-drain: leaves as a crash
+  } else {
+    --serving_;
+  }
+  failed_[op] = true;
+  --live_;
+  ++quarantines_;
+  // Liveness beats planned elasticity (same ladder the views apply): a
+  // crash that empties the serving set presses draining survivors back
+  // into service. The views derive the identical cancellation from the
+  // quarantine event itself, so no extra events are appended.
+  if (serving_ == 0 && live_ > 0) {
+    for (std::size_t other = 0; other < k_; ++other) {
+      if (!failed_[other] && draining_[other]) {
+        draining_[other] = false;
+        ++serving_;
+      }
+    }
+  }
+  return append_locked(MemberEvent::Kind::kQuarantine, op, origin);
+}
+
+std::uint64_t InstancePool::report_rejoin(common::InstanceId op, common::SourceId origin) {
+  common::require(op < k_, "InstancePool: rejoin of unknown instance");
+  MutexLock lock(mutex_);
+  if (!failed_[op]) {
+    return 0;
+  }
+  failed_[op] = false;
+  ++live_;
+  ++serving_;
+  ++rejoins_;
+  return append_locked(MemberEvent::Kind::kRejoin, op, origin);
+}
+
+std::uint64_t InstancePool::report_drain(common::InstanceId op, common::SourceId origin) {
+  common::require(op < k_, "InstancePool: drain of unknown instance");
+  MutexLock lock(mutex_);
+  if (failed_[op] || draining_[op] || serving_ < 2) {
+    return 0;  // not serving, already draining, or last serving instance
+  }
+  draining_[op] = true;
+  --serving_;
+  return append_locked(MemberEvent::Kind::kDrainBegin, op, origin);
+}
+
+std::uint64_t InstancePool::report_retire(common::InstanceId op, common::SourceId origin) {
+  common::require(op < k_, "InstancePool: retire of unknown instance");
+  MutexLock lock(mutex_);
+  if (failed_[op] || !draining_[op]) {
+    return 0;
+  }
+  draining_[op] = false;
+  failed_[op] = true;
+  --live_;
+  return append_locked(MemberEvent::Kind::kRetire, op, origin);
+}
+
+std::uint64_t InstancePool::events_since(std::uint64_t cursor,
+                                         std::vector<MemberEvent>& out) const {
+  MutexLock lock(mutex_);
+  const std::uint64_t newest = static_cast<std::uint64_t>(log_.size());
+  for (std::uint64_t seq = cursor; seq < newest; ++seq) {
+    out.push_back(log_[static_cast<std::size_t>(seq)]);
+  }
+  return newest;
+}
+
+bool InstancePool::is_failed(common::InstanceId op) const {
+  common::require(op < k_, "InstancePool: unknown instance");
+  MutexLock lock(mutex_);
+  return failed_[op];
+}
+
+bool InstancePool::is_draining(common::InstanceId op) const {
+  common::require(op < k_, "InstancePool: unknown instance");
+  MutexLock lock(mutex_);
+  return draining_[op];
+}
+
+InstancePool::Lifecycle InstancePool::lifecycle(common::InstanceId op) const {
+  common::require(op < k_, "InstancePool: unknown instance");
+  MutexLock lock(mutex_);
+  if (failed_[op]) {
+    return Lifecycle::kQuarantined;
+  }
+  return draining_[op] ? Lifecycle::kDraining : Lifecycle::kServing;
+}
+
+std::size_t InstancePool::live() const {
+  MutexLock lock(mutex_);
+  return live_;
+}
+
+std::size_t InstancePool::serving() const {
+  MutexLock lock(mutex_);
+  return serving_;
+}
+
+std::uint64_t InstancePool::quarantine_count() const {
+  MutexLock lock(mutex_);
+  return quarantines_;
+}
+
+std::uint64_t InstancePool::rejoin_count() const {
+  MutexLock lock(mutex_);
+  return rejoins_;
+}
+
+void InstancePool::adopt_membership(const std::vector<std::uint8_t>& failed,
+                                    const std::vector<std::uint8_t>& draining) {
+  common::require(failed.size() == k_ && draining.size() == k_,
+                  "InstancePool: adopted membership must cover every instance");
+  MutexLock lock(mutex_);
+  live_ = 0;
+  serving_ = 0;
+  for (std::size_t op = 0; op < k_; ++op) {
+    failed_[op] = failed[op] != 0;
+    draining_[op] = !failed_[op] && draining[op] != 0;
+    if (!failed_[op]) {
+      ++live_;
+      if (!draining_[op]) {
+        ++serving_;
+      }
+    }
+  }
+}
+
+void InstancePool::debug_validate() const {
+  MutexLock lock(mutex_);
+  std::size_t live = 0;
+  std::size_t serving = 0;
+  for (std::size_t op = 0; op < k_; ++op) {
+    POSG_CHECK(!(failed_[op] && draining_[op]),
+               "InstancePool: quarantined instance still marked draining");
+    if (!failed_[op]) {
+      ++live;
+      if (!draining_[op]) {
+        ++serving;
+      }
+    }
+  }
+  POSG_CHECK(live == live_, "InstancePool: live count out of sync with the failed set");
+  POSG_CHECK(serving == serving_, "InstancePool: serving count out of sync with the drain set");
+  POSG_CHECK(live_ == 0 || serving_ >= 1, "InstancePool: live pool with an empty serving set");
+  POSG_CHECK(version_.load(std::memory_order_relaxed) == log_.size(),
+             "InstancePool: version out of sync with the event log");
+  for (std::size_t i = 0; i < log_.size(); ++i) {
+    POSG_CHECK(log_[i].seq == i + 1, "InstancePool: event log seq not contiguous");
+    POSG_CHECK(log_[i].op < k_, "InstancePool: event names an unknown instance");
+  }
+}
+
+}  // namespace posg::core

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/sync.hpp"
+#include "common/types.hpp"
+
+namespace posg::core {
+
+/// One membership transition on the shared pool, recorded in a totally
+/// ordered log. Views (per-source schedulers) replay the log to keep
+/// their local candidate sets consistent: the *sequence* is the
+/// authority, each view's Ĉ bookkeeping around a transition stays local.
+struct MemberEvent {
+  enum class Kind : std::uint8_t {
+    kQuarantine,  ///< instance crashed / was evicted (mark_failed)
+    kRejoin,      ///< quarantined instance re-admitted
+    kDrainBegin,  ///< lossless scale-down opened (begin_drain)
+    kRetire,      ///< drain completed; instance left the cluster
+  };
+  Kind kind;
+  common::InstanceId op;
+  /// Source that initiated the transition (failure detectors run
+  /// per-source; the soak's no-cross-quarantine gate audits this field).
+  common::SourceId origin;
+  /// 1-based position in the pool log; version() == seq of the newest.
+  std::uint64_t seq;
+};
+
+/// The shared instance pool behind the multi-source scheduler tier
+/// (DESIGN.md §15).
+///
+/// Before the tier, `PosgScheduler` *owned* instance membership: the
+/// quarantine/drain/rejoin flags, the live/serving counts and the
+/// degradation ladder all lived fused into the scheduler, so two
+/// schedulers could not face the same k instances without double-owning
+/// their lifecycle. This class is that ownership split out: it holds the
+/// authoritative membership FSM per instance
+///
+///     serving ──begin_drain──► draining ──retire──► quarantined
+///        ▲  ▲                      │                    │
+///        │  └──────────────────────┘ (drain cancelled)  │
+///        └────────────rejoin────────────────────────────┘
+///     any live state ──quarantine──► quarantined
+///
+/// plus a monotone event log. Per-source `PosgScheduler` views replicate
+/// the flags locally (their hot paths read plain vectors, unchanged) and
+/// reconcile through `events_since` — one relaxed atomic `version()` load
+/// per scheduling decision is the entire steady-state cost, so the S = 1
+/// deployment stays byte-identical to the pre-tier scheduler.
+///
+/// What deliberately stays per-view: Ĉ (each source bills its own routed
+/// cost), the sync-epoch machinery, the rejoin admission ramp, and the
+/// straggler drift monitor (drift is measured against a view's *own*
+/// markers; a pool-level straggler FSM would mix cuts from different
+/// sources). The pool's FSM is the membership lifecycle above.
+///
+/// Locking: one internal leaf mutex (rank kInstancePool) acquired while a
+/// view holds its scheduler-state lock — rank-increasing per DESIGN.md
+/// §12. Nothing posg-owned is ever acquired under it.
+class InstancePool {
+ public:
+  /// Per-instance membership lifecycle stage (the FSM above).
+  enum class Lifecycle : std::uint8_t { kServing, kDraining, kQuarantined };
+
+  explicit InstancePool(std::size_t instances);
+
+  std::size_t size() const noexcept { return k_; }
+
+  /// Newest event seq (0 = no transition ever). Relaxed atomic — the
+  /// per-decision staleness gate every view polls.
+  std::uint64_t version() const noexcept { return version_.load(std::memory_order_acquire); }
+
+  // --- transition reports ---------------------------------------------
+  // Each validates against the authoritative flags, applies the same
+  // ladder semantics PosgScheduler::mark_failed / rejoin / begin_drain /
+  // retire enforce locally, appends the event, and returns its seq.
+  // A transition that is already in effect (two sources' failure
+  // detectors reporting the same crash) returns 0 and appends nothing —
+  // idempotence is what makes concurrent detectors safe.
+
+  std::uint64_t report_quarantine(common::InstanceId op, common::SourceId origin);
+  /// Returns 0 unless `op` is currently quarantined.
+  std::uint64_t report_rejoin(common::InstanceId op, common::SourceId origin);
+  /// Returns 0 when `op` is not serving or is the last serving instance
+  /// (draining it would stall every source at once).
+  std::uint64_t report_drain(common::InstanceId op, common::SourceId origin);
+  /// Returns 0 unless `op` is currently draining.
+  std::uint64_t report_retire(common::InstanceId op, common::SourceId origin);
+
+  /// Copies every event with seq > cursor into `out` (appending, in log
+  /// order) and returns the new cursor (== version() at copy time).
+  std::uint64_t events_since(std::uint64_t cursor, std::vector<MemberEvent>& out) const;
+
+  // --- authoritative membership reads ---------------------------------
+  bool is_failed(common::InstanceId op) const;
+  bool is_draining(common::InstanceId op) const;
+  Lifecycle lifecycle(common::InstanceId op) const;
+  std::size_t live() const;
+  std::size_t serving() const;
+  /// Events appended so far, by kind — the soak's churn-accounting gates
+  /// read these (quarantines[origin-agnostic], rejoins, drains, retires).
+  std::uint64_t quarantine_count() const;
+  std::uint64_t rejoin_count() const;
+
+  /// Force-sets the membership flags without appending events — the
+  /// checkpoint-restore adoption path for a *private* pool (a scheduler
+  /// restoring into its own freshly constructed pool republishes the
+  /// image's membership; there is no peer view to notify). Restoring into
+  /// a pool with live peers goes the other way: the pool is the authority
+  /// and the restored view reconciles toward it (see
+  /// PosgScheduler::restore).
+  void adopt_membership(const std::vector<std::uint8_t>& failed,
+                        const std::vector<std::uint8_t>& draining);
+
+  /// Pool-level invariants: flag/count agreement, live-implies-serving
+  /// ladder, log monotonicity. Aborts via POSG_CHECK.
+  void debug_validate() const;
+
+ private:
+  std::uint64_t append_locked(MemberEvent::Kind kind, common::InstanceId op,
+                              common::SourceId origin) REQUIRES(mutex_);
+
+  const std::size_t k_;
+  mutable Mutex mutex_{"core::InstancePool::mutex_", lock_rank::kInstancePool};
+  std::atomic<std::uint64_t> version_{0};
+  std::vector<MemberEvent> log_ GUARDED_BY(mutex_);
+  std::vector<bool> failed_ GUARDED_BY(mutex_);
+  std::vector<bool> draining_ GUARDED_BY(mutex_);
+  std::size_t live_ GUARDED_BY(mutex_);
+  std::size_t serving_ GUARDED_BY(mutex_);
+  std::uint64_t quarantines_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t rejoins_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace posg::core

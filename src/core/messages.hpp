@@ -19,6 +19,10 @@ namespace posg::core {
 struct SketchShipment {
   common::InstanceId instance;
   sketch::DualSketch sketch;
+  /// Source whose link carried the shipment (multi-source tier,
+  /// DESIGN.md §15). Defaulted to 0 so every pre-tier construction site
+  /// and the S = 1 deployment are untouched.
+  common::SourceId source = 0;
 };
 
 /// Scheduler -> instance: synchronization marker, piggy-backed on a data
@@ -38,6 +42,10 @@ struct SyncReply {
   common::InstanceId instance;
   common::Epoch epoch;
   common::TimeMs delta;
+  /// Source whose marker this reply answers (multi-source tier): each
+  /// source runs its own sync epochs, so a reply must land on the view
+  /// that emitted the marker. Defaulted to 0 for the S = 1 deployment.
+  common::SourceId source = 0;
 };
 
 /// The scheduler's routing decision for one tuple: target instance plus

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/sync.hpp"
+#include "common/types.hpp"
+#include "core/config.hpp"
+#include "core/feedback.hpp"
+#include "core/instance_pool.hpp"
+#include "core/posg_scheduler.hpp"
+
+namespace posg::core {
+
+/// In-process coordinator for S sources sharing one instance pool: owns
+/// the pool plus S PosgScheduler views and routes each source's tuples
+/// through its own view (DESIGN.md §15).
+///
+/// Concurrency contract: each view is guarded by its own mutex, so S
+/// executor threads may route concurrently (one per source) — the only
+/// cross-source serialization is the pool's internal mutex on membership
+/// transitions and the short snapshot/install passes of a gossip round.
+/// Locks are only ever held one at a time (view rank kSchedulerState <
+/// pool rank kInstancePool, and gossip takes view locks sequentially,
+/// never nested), so the lock ladder of DESIGN.md §12 is respected.
+///
+/// With S == 1 and kPerSourceGreedy this is a pass-through wrapper around
+/// a stock PosgScheduler: no external loads are ever installed and the
+/// golden scheduling streams stay byte-identical.
+class MultiSourceScheduler {
+ public:
+  MultiSourceScheduler(std::size_t instances, const PosgConfig& config,
+                       const MultiSourceConfig& multi);
+
+  std::size_t sources() const noexcept { return views_.size(); }
+  std::size_t instances() const noexcept { return pool_->size(); }
+  const MultiSourceConfig& multi_config() const noexcept { return multi_; }
+  const std::shared_ptr<InstancePool>& pool() const noexcept { return pool_; }
+
+  /// Routes one tuple of `source` through that source's view. Thread-safe
+  /// across *different* sources; calls for the same source must be
+  /// externally serialized (they are — a source is a single logical
+  /// emitter).
+  Decision schedule(common::SourceId source, common::Item item, common::SeqNo seq);
+
+  /// Feedback addressed to `source`'s view (the instance replies to the
+  /// view whose marker/sketch-request it received — source-stamped frames
+  /// on the wire, direct addressing in-process).
+  void on_feedback(common::SourceId source, FeedbackEvent&& event);
+
+  /// Membership transitions, initiated through `source`'s view and
+  /// published to the pool; peers adopt them on their next decision.
+  void mark_failed(common::SourceId source, common::InstanceId op);
+  void rejoin(common::SourceId source, common::InstanceId op);
+
+  /// Per-view read access for tests/metrics. The reference is only safe
+  /// to use while no other thread routes for that source — same contract
+  /// as schedule().
+  PosgScheduler& view(common::SourceId source);
+  const PosgScheduler& view(common::SourceId source) const;
+
+  /// Decisions routed by `source`'s view (Σ over sources == tuples the
+  /// pool executed — the conservation gate).
+  std::uint64_t decisions(common::SourceId source) const;
+  std::uint64_t total_decisions() const;
+  std::uint64_t gossip_rounds() const noexcept {
+    return gossip_rounds_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// One snapshot pass + one install pass, each taking one view lock at a
+  /// time. Triggered by whichever view's decision counter crossed the
+  /// cadence; concurrent triggers collapse into one round via the flag.
+  void gossip_round();
+
+  struct SourceView {
+    explicit SourceView(const char* name) : mutex(name, lock_rank::kSchedulerState) {}
+    mutable Mutex mutex;
+    std::unique_ptr<PosgScheduler> scheduler GUARDED_BY(mutex);
+    std::uint64_t since_gossip GUARDED_BY(mutex) = 0;
+  };
+
+  MultiSourceConfig multi_;
+  std::shared_ptr<InstancePool> pool_;
+  std::vector<std::unique_ptr<SourceView>> views_;
+  std::atomic<bool> gossip_in_flight_{false};
+  std::atomic<std::uint64_t> gossip_rounds_{0};
+  /// Gossip scratch, only touched by the thread that won gossip_in_flight_.
+  std::vector<std::vector<common::TimeMs>> snapshots_;
+};
+
+}  // namespace posg::core

@@ -11,32 +11,46 @@
 namespace posg::core {
 
 PosgScheduler::PosgScheduler(std::size_t instances, const PosgConfig& config)
-    : k_(instances),
+    : PosgScheduler((common::require(instances >= 1, "PosgScheduler: need at least one instance"),
+                     std::make_shared<InstancePool>(instances)),
+                    config, 0, /*private_pool=*/true) {}
+
+PosgScheduler::PosgScheduler(std::shared_ptr<InstancePool> pool, const PosgConfig& config,
+                             common::SourceId source, bool private_pool)
+    : k_((common::require(pool != nullptr, "PosgScheduler: null instance pool"), pool->size())),
       config_(config),
+      pool_(std::move(pool)),
+      pool_raw_(pool_.get()),
+      pool_private_(private_pool),
+      source_id_(source),
       hashes_(config.sketch_seed, config.dims().rows, config.dims().cols),
-      sketches_(instances),
-      c_est_(instances, 0.0),
-      marker_pending_(instances, false),
-      reply_received_(instances, false),
-      reply_delta_(instances, 0.0),
-      failed_(instances, false),
-      live_count_(instances),
-      draining_(instances, false),
-      serving_count_(instances),
-      health_(instances, config.health),
-      derate_(instances, 1.0),
-      marker_estimate_(instances, -1.0),
-      ramp_tokens_(instances, 0.0),
-      ramp_left_(instances, 0),
-      greedy_scores_scratch_(instances, 0.0),
-      greedy_alive_scratch_(instances, true) {
-  common::require(instances >= 1, "PosgScheduler: need at least one instance");
+      sketches_(k_),
+      c_est_(k_, 0.0),
+      marker_pending_(k_, false),
+      reply_received_(k_, false),
+      reply_delta_(k_, 0.0),
+      failed_(k_, false),
+      live_count_(k_),
+      draining_(k_, false),
+      serving_count_(k_),
+      health_(k_, config.health),
+      derate_(k_, 1.0),
+      marker_estimate_(k_, -1.0),
+      ramp_tokens_(k_, 0.0),
+      ramp_left_(k_, 0),
+      greedy_scores_scratch_(k_, 0.0),
+      greedy_alive_scratch_(k_, true) {
+  common::require(k_ >= 1, "PosgScheduler: need at least one instance");
   // No heavy-hitter ledger → the merged view is a pure cell sum and can be
   // computed per estimate instead of materialized per shipment.
   lazy_merged_ = config.heavy_hitter_capacity == 0;
-  shipped_ops_.reserve(instances);
-  shipped_cells_.reserve(instances);
+  shipped_ops_.reserve(k_);
+  shipped_cells_.reserve(k_);
   rebuild_greedy();
+  // A view constructed after pool churn replays the membership history so
+  // it never routes to an instance a peer already removed. A fresh pool
+  // has an empty log, so the S = 1 construction applies nothing.
+  sync_with_pool();
 }
 
 common::TimeMs PosgScheduler::scheduling_estimate(common::InstanceId instance,
@@ -262,6 +276,19 @@ void PosgScheduler::set_latency_hints(std::vector<common::TimeMs> hints) {
   rebuild_greedy();
 }
 
+void PosgScheduler::set_external_loads(std::vector<common::TimeMs> loads) {
+  common::require(loads.empty() || loads.size() == k_,
+                  "PosgScheduler: external loads must cover every instance");
+  for (const common::TimeMs load : loads) {
+    common::require(std::isfinite(load) && load >= 0.0,
+                    "PosgScheduler: external loads must be finite and non-negative");
+  }
+  external_load_ = std::move(loads);
+  // Every score may have moved (the bias is per-instance); re-derive the
+  // argmin wholesale, like a latency-hint install.
+  rebuild_greedy();
+}
+
 void PosgScheduler::bill(common::InstanceId target, common::Item item) {
   POSG_PROFILE_SCOPE(prof_bill_);
   // UPDATE-Ĉ (Listing III.2), extended with the straggler de-rate: a
@@ -322,6 +349,10 @@ common::InstanceId PosgScheduler::ramp_admit(common::InstanceId pick) {
 
 Decision PosgScheduler::schedule(common::Item item, common::SeqNo seq) {
   POSG_PROFILE_SCOPE(prof_schedule_);
+  // Adopt peer membership transitions before picking a target: one
+  // relaxed version load in the steady state (and always a no-op for a
+  // private pool, whose version never moves without this view moving it).
+  sync_pool_if_stale();
   if (live_count_ == 0) {
     throw NoLiveInstanceError(
         "PosgScheduler: no live instance to schedule onto (all quarantined; awaiting rejoin)");
@@ -409,6 +440,7 @@ void PosgScheduler::schedule_batch(const common::Item* items, const common::SeqN
     return;
   }
   POSG_PROFILE_SCOPE(prof_schedule_);
+  sync_pool_if_stale();
   if (live_count_ == 0) {
     throw NoLiveInstanceError(
         "PosgScheduler: no live instance to schedule onto (all quarantined; awaiting rejoin)");
@@ -660,9 +692,28 @@ void PosgScheduler::on_sync_reply(const SyncReply& reply) {
 
 void PosgScheduler::mark_failed(common::InstanceId op) {
   common::require(op < k_, "PosgScheduler: mark_failed on unknown instance");
+  sync_pool_if_stale();
   if (failed_[op]) {
     return;  // idempotent: EOF and epoch deadline may both report the crash
   }
+  // Publish to the membership authority first; a 0 seq means a peer
+  // source's detector reported the same crash between our staleness sync
+  // and now — adopt its event instead of applying twice.
+  const std::uint64_t seq = pool_raw_->report_quarantine(op, source_id_);
+  if (seq == 0) {
+    sync_with_pool();
+    return;
+  }
+  if (seq == pool_cursor_ + 1) {
+    pool_cursor_ = seq;  // our own event; do not replay it
+  }
+  quarantine_local(op);
+#if POSG_DCHECK_IS_ON
+  debug_validate();
+#endif
+}
+
+void PosgScheduler::quarantine_local(common::InstanceId op) {
   if (draining_[op]) {
     // The drainee died mid-drain: the lossless handshake is off (there is
     // no DrainComplete to bill), so it leaves as a plain crash — its
@@ -673,9 +724,78 @@ void PosgScheduler::mark_failed(common::InstanceId op) {
     --serving_count_;
   }
   remove_instance(op, /*redistribute=*/true);
+}
+
+std::size_t PosgScheduler::sync_with_pool() {
+  pool_events_scratch_.clear();
+  const std::uint64_t newest = pool_raw_->events_since(pool_cursor_, pool_events_scratch_);
+  std::size_t applied = 0;
+  for (const auto& event : pool_events_scratch_) {
+    if (apply_pool_event(event)) {
+      ++applied;
+    }
+  }
+  pool_cursor_ = newest;
+  pool_events_applied_ += applied;
 #if POSG_DCHECK_IS_ON
-  debug_validate();
+  if (applied > 0) {
+    debug_validate();
+  }
 #endif
+  return applied;
+}
+
+bool PosgScheduler::apply_pool_event(const MemberEvent& event) {
+  const common::InstanceId op = event.op;
+  common::ensure(op < k_, "PosgScheduler: pool event names an unknown instance");
+  switch (event.kind) {
+    case MemberEvent::Kind::kQuarantine:
+      if (failed_[op]) {
+        return false;  // our own event replayed, or already adopted
+      }
+      quarantine_local(op);
+      return true;
+    case MemberEvent::Kind::kRejoin:
+      if (!failed_[op]) {
+        return false;
+      }
+      rejoin_local(op);
+      return true;
+    case MemberEvent::Kind::kDrainBegin:
+      if (failed_[op] || draining_[op] || serving_count_ < 2) {
+        // The < 2 guard keeps this view's liveness invariant even if a
+        // reconciled checkpoint left it with fewer serving members than
+        // the pool believed existed when the drain opened.
+        return false;
+      }
+      begin_drain_local(op);
+      return true;
+    case MemberEvent::Kind::kRetire:
+      if (failed_[op]) {
+        return false;
+      }
+      if (!draining_[op]) {
+        // This view never applied the drain (e.g. the < 2 guard above):
+        // open and immediately close it so the removal still lands.
+        if (serving_count_ < 2) {
+          return false;
+        }
+        begin_drain_local(op);
+      }
+      // A peer measured the final Δ against *its* Ĉ view; this view's
+      // share of the drained work is its own frozen cut, discarded by the
+      // retirement (retire_local folds a zero Δ).
+      retire_local(op, 0.0);
+      return true;
+  }
+  return false;
+}
+
+void PosgScheduler::cancel_drain_local(common::InstanceId op) {
+  draining_[op] = false;
+  ++serving_count_;
+  ++drain_cancels_;
+  rebuild_greedy();
 }
 
 void PosgScheduler::remove_instance(common::InstanceId op, bool redistribute) {
@@ -785,10 +905,24 @@ void PosgScheduler::remove_instance(common::InstanceId op, bool redistribute) {
 
 common::TimeMs PosgScheduler::begin_drain(common::InstanceId op) {
   common::require(op < k_, "PosgScheduler: begin_drain on unknown instance");
+  sync_pool_if_stale();
   common::require(!failed_[op], "PosgScheduler: begin_drain on a quarantined instance");
   common::require(!draining_[op], "PosgScheduler: instance is already draining");
   common::require(serving_count_ >= 2,
                   "PosgScheduler: draining the last serving instance would stall the stream");
+  const std::uint64_t seq = pool_raw_->report_drain(op, source_id_);
+  common::require(seq != 0, "PosgScheduler: drain lost a race to a concurrent pool transition");
+  if (seq == pool_cursor_ + 1) {
+    pool_cursor_ = seq;
+  }
+  const common::TimeMs cut = begin_drain_local(op);
+#if POSG_DCHECK_IS_ON
+  debug_validate();
+#endif
+  return cut;
+}
+
+common::TimeMs PosgScheduler::begin_drain_local(common::InstanceId op) {
   draining_[op] = true;
   --serving_count_;
   ++drains_begun_;
@@ -847,7 +981,21 @@ common::TimeMs PosgScheduler::begin_drain(common::InstanceId op) {
 
 common::TimeMs PosgScheduler::retire(common::InstanceId op, common::TimeMs final_delta) {
   common::require(op < k_, "PosgScheduler: retire of unknown instance");
+  sync_pool_if_stale();
   common::require(draining_[op], "PosgScheduler: retire of an instance that is not draining");
+  const std::uint64_t seq = pool_raw_->report_retire(op, source_id_);
+  common::require(seq != 0, "PosgScheduler: retire lost a race to a concurrent pool transition");
+  if (seq == pool_cursor_ + 1) {
+    pool_cursor_ = seq;
+  }
+  const common::TimeMs billed = retire_local(op, final_delta);
+#if POSG_DCHECK_IS_ON
+  debug_validate();
+#endif
+  return billed;
+}
+
+common::TimeMs PosgScheduler::retire_local(common::InstanceId op, common::TimeMs final_delta) {
   // Fold the final Δ: cut + (C_real − cut) = the work the instance truly
   // executed, billed exactly once. The clamp mirrors the epoch correction:
   // exact arithmetic is non-negative; only float rounding can dip below.
@@ -888,8 +1036,25 @@ std::vector<common::InstanceId> PosgScheduler::draining_instances() const {
 
 void PosgScheduler::rejoin(common::InstanceId op) {
   common::require(op < k_, "PosgScheduler: rejoin of unknown instance");
+  sync_pool_if_stale();
   common::require(failed_[op], "PosgScheduler: rejoin of an instance that is not quarantined");
+  const std::uint64_t seq = pool_raw_->report_rejoin(op, source_id_);
+  if (seq == 0) {
+    // A peer re-admitted the instance between our staleness sync and now;
+    // adopt its event (which seeds from *this* view's serving minimum).
+    sync_with_pool();
+    return;
+  }
+  if (seq == pool_cursor_ + 1) {
+    pool_cursor_ = seq;
+  }
+  rejoin_local(op);
+#if POSG_DCHECK_IS_ON
+  debug_validate();
+#endif
+}
 
+void PosgScheduler::rejoin_local(common::InstanceId op) {
   // Seed Ĉ from the live minimum: the rejoiner starts as (joint) greedy
   // favourite without dragging the whole cluster's accounting down, and
   // the next synchronization corrects whatever error the seed carries.
@@ -966,6 +1131,7 @@ CheckpointState PosgScheduler::checkpoint_state() const {
   };
   CheckpointState out;
   out.k = k_;
+  out.source_id = source_id_;
   out.scheduler_state = static_cast<std::uint8_t>(state_);
   out.rr_next = rr_next_;
   out.epoch = epoch_;
@@ -1005,6 +1171,13 @@ void PosgScheduler::restore(const CheckpointState& state) {
   if (state.k != k_) {
     reject("instance count mismatch (checkpoint k=" + std::to_string(state.k) +
            ", configured k=" + std::to_string(k_) + ")");
+  }
+  if (state.source_id != source_id_) {
+    // A source's checkpoint is its *own* Ĉ view: source s billed the
+    // tuples source s routed. Restoring another source's image would
+    // double-bill its work here and orphan this source's own share.
+    reject("source id mismatch (checkpoint s=" + std::to_string(state.source_id) +
+           ", configured s=" + std::to_string(source_id_) + ")");
   }
   if (state.scheduler_state > static_cast<std::uint8_t>(State::kRun)) {
     reject("state machine value out of range");
@@ -1166,6 +1339,41 @@ void PosgScheduler::restore(const CheckpointState& state) {
   refresh_global_mean();
   if (live_count_ > 0) {
     rebuild_greedy();
+  }
+  // Membership authority handoff (DESIGN.md §15). A private pool has no
+  // peer views: republish the image's membership into it and move on. A
+  // shared pool outlived this view's crash and *is* the authority —
+  // reconcile the restored replica toward its current flags (a peer may
+  // have quarantined, re-admitted, or retired instances while this source
+  // was down), skipping the event history the image already reflects.
+  pool_cursor_ = pool_raw_->version();
+  if (pool_private_) {
+    pool_raw_->adopt_membership(state.failed, state.draining);
+  } else {
+    for (std::size_t op = 0; op < k_; ++op) {
+      switch (pool_raw_->lifecycle(op)) {
+        case InstancePool::Lifecycle::kQuarantined:
+          if (!failed_[op]) {
+            quarantine_local(op);
+          }
+          break;
+        case InstancePool::Lifecycle::kServing:
+          if (failed_[op]) {
+            rejoin_local(op);
+          } else if (draining_[op]) {
+            cancel_drain_local(op);
+          }
+          break;
+        case InstancePool::Lifecycle::kDraining:
+          if (failed_[op]) {
+            rejoin_local(op);
+          }
+          if (!draining_[op] && serving_count_ >= 2) {
+            begin_drain_local(op);
+          }
+          break;
+      }
+    }
   }
   // Self-heal a WAIT_ALL image whose last missing reply will never come
   // (epoch completion is edge-triggered in on_sync_reply; a checkpoint cut
@@ -1434,6 +1642,17 @@ void PosgScheduler::register_metrics(obs::MetricsRegistry& registry, const std::
                     [this] { return static_cast<double>(serving_count_); });
   registry.gauge_fn(prefix + ".scheduler.state",
                     [this] { return static_cast<double>(state_); });
+  registry.gauge_fn(prefix + ".scheduler.source_id",
+                    [this] { return static_cast<double>(source_id_); });
+  registry.counter_fn(prefix + ".scheduler.pool_events_applied",
+                      [this] { return pool_events_applied_; });
+  // How many pool membership events this view has not yet replayed. A
+  // persistently non-zero lag means the view stopped routing (sync happens
+  // on the schedule path) or a peer is churning faster than this source
+  // schedules — obs_report.py's reconciliation table keys off this.
+  registry.gauge_fn(prefix + ".scheduler.reconcile_lag", [this] {
+    return static_cast<double>(pool_raw_->version() - pool_cursor_);
+  });
   registry.counter_fn(prefix + ".health.suspect_transitions",
                       [this] { return health_.suspect_transitions(); });
   registry.counter_fn(prefix + ".health.degraded_transitions",

@@ -10,6 +10,7 @@
 #include "core/config.hpp"
 #include "core/greedy_index.hpp"
 #include "core/instance_health.hpp"
+#include "core/instance_pool.hpp"
 #include "core/scheduler.hpp"
 #include "hash/two_universal.hpp"
 #include "obs/metrics_registry.hpp"
@@ -65,7 +66,27 @@ class PosgScheduler final : public Scheduler {
  public:
   enum class State { kRoundRobin, kSendAll, kWaitAll, kRun };
 
+  /// Single-source construction: membership authority lives in a private
+  /// InstancePool this scheduler creates for itself, so the ownership
+  /// split costs S = 1 deployments nothing (and the golden scheduling
+  /// streams stay byte-identical).
   PosgScheduler(std::size_t instances, const PosgConfig& config);
+
+  /// Multi-source construction (DESIGN.md §15): this scheduler is source
+  /// `source`'s *view* over the shared `pool`. Membership transitions it
+  /// initiates are published to the pool; transitions peers initiate are
+  /// adopted lazily (one relaxed version check per scheduling decision).
+  /// Ĉ, the sync epochs, ramps and the straggler monitor stay per-view.
+  /// The pool must cover the same instance count and outlives nothing —
+  /// shared ownership keeps it alive.
+  /// `private_pool` selects the checkpoint-restore membership handoff:
+  /// true means this view is the pool's only writer (restore republishes
+  /// the image's membership into it — the S = 1 semantics); false means
+  /// the pool outlived any crash and is the authority (restore reconciles
+  /// the view toward the pool's current flags). Pass true only when the
+  /// pool was created for this view alone.
+  PosgScheduler(std::shared_ptr<InstancePool> pool, const PosgConfig& config,
+                common::SourceId source, bool private_pool = false);
 
   Decision schedule(common::Item item, common::SeqNo seq) override;
 
@@ -242,6 +263,40 @@ class PosgScheduler final : public Scheduler {
   void set_latency_hints(std::vector<common::TimeMs> hints);
   const std::vector<common::TimeMs>& latency_hints() const noexcept { return latency_hints_; }
 
+  // --- multi-source tier (core/instance_pool.hpp; DESIGN.md §15) ---
+
+  /// This view's source id (0 for single-source construction).
+  common::SourceId source_id() const noexcept { return source_id_; }
+
+  /// The shared membership pool behind this view.
+  const std::shared_ptr<InstancePool>& pool() const noexcept { return pool_; }
+
+  /// Adopts every pool transition this view has not applied yet (peer
+  /// quarantines/rejoins/drains/retires). Called automatically at each
+  /// scheduling decision behind a relaxed version check; exposed so
+  /// coordinators can reconcile views at a deterministic point (and tests
+  /// can pin the resulting membership). Returns the number of peer events
+  /// applied by this call.
+  std::size_t sync_with_pool();
+
+  /// Peer-initiated membership events this view has adopted so far.
+  std::uint64_t pool_events_applied() const noexcept { return pool_events_applied_; }
+
+  /// Pool membership events published but not yet replayed by this view
+  /// (0 = fully reconciled; the view catches up on its next decision).
+  std::uint64_t pool_lag() const noexcept { return pool_raw_->version() - pool_cursor_; }
+
+  /// gossip_merge reconciliation (DESIGN.md §15): per-instance bias added
+  /// to the greedy objective, carrying the *other* sources' billed load
+  /// Σ_{s' ≠ s} Ĉ_{s'}[op] so this view's argmin approximates the
+  /// cluster-wide least-loaded choice. An empty vector disables the term
+  /// — the per_source_greedy mode and the paper's S = 1 behaviour, whose
+  /// scheduling stream is byte-identical (x + 0.0 preserves every
+  /// non-negative score bit-for-bit). Entries must be finite and
+  /// non-negative; the greedy argmin is rebuilt on install.
+  void set_external_loads(std::vector<common::TimeMs> loads);
+  const std::vector<common::TimeMs>& external_loads() const noexcept { return external_load_; }
+
   /// Ĉ — estimated cumulated execution time per instance.
   const std::vector<common::TimeMs>& estimated_loads() const noexcept { return c_est_; }
 
@@ -327,9 +382,13 @@ class PosgScheduler final : public Scheduler {
   /// Reference linear scan of the same argmin, kept for debug_validate's
   /// cross-check against the incremental index.
   common::InstanceId greedy_pick_reference() const noexcept;
-  /// Instance op's greedy objective: Ĉ[op] + latency hint.
+  /// Instance op's greedy objective: Ĉ[op] + latency hint + gossiped
+  /// external load (each term 0.0 when its feature is off — the additions
+  /// are bit-exact no-ops for the non-negative scores involved, which is
+  /// what keeps the golden streams byte-identical with both disabled).
   double greedy_score(common::InstanceId op) const noexcept {
-    return c_est_[op] + (latency_hints_.empty() ? 0.0 : latency_hints_[op]);
+    return c_est_[op] + (latency_hints_.empty() ? 0.0 : latency_hints_[op]) +
+           (external_load_.empty() ? 0.0 : external_load_[op]);
   }
   /// Re-derives the incremental argmin from scratch after a global score
   /// change (epoch correction, quarantine, new latency hints).
@@ -377,8 +436,51 @@ class PosgScheduler final : public Scheduler {
   /// the best non-ramping live instance.
   common::InstanceId ramp_admit(common::InstanceId pick);
 
+  // --- pool replication (the membership-ownership split) ---
+  /// One-load staleness gate: adopts pending pool events iff the pool
+  /// version moved past this view's cursor. The steady-state cost of the
+  /// multi-source tier on the per-tuple path.
+  void sync_pool_if_stale() {
+    if (pool_cursor_ != pool_raw_->version()) {
+      sync_with_pool();
+    }
+  }
+  /// Applies one peer transition to this view's replica, guarded for
+  /// idempotence (this view's own events come back through the log and
+  /// must be no-ops). Returns true when the event changed local state.
+  bool apply_pool_event(const MemberEvent& event);
+  // Local halves of the four membership transitions: exactly the pre-tier
+  // bodies (Ĉ redistribution / seeding, epoch abandonment, ramps, the
+  // degradation ladder), minus the authority — the public methods publish
+  // to the pool first, peer views replay via apply_pool_event.
+  void quarantine_local(common::InstanceId op);
+  void rejoin_local(common::InstanceId op);
+  common::TimeMs begin_drain_local(common::InstanceId op);
+  common::TimeMs retire_local(common::InstanceId op, common::TimeMs final_delta);
+  /// Peer's drain was cancelled upstream (pool says serving, view says
+  /// draining after a checkpoint restore): press the instance back into
+  /// this view's rotation.
+  void cancel_drain_local(common::InstanceId op);
+
   std::size_t k_;
   PosgConfig config_;
+  /// Membership authority (never null): private for single-source
+  /// construction, shared across views in the multi-source tier. The raw
+  /// pointer is the hot-path alias (one indirection fewer per decision).
+  std::shared_ptr<InstancePool> pool_;
+  InstancePool* pool_raw_ = nullptr;
+  /// Newest pool event seq this view has applied.
+  std::uint64_t pool_cursor_ = 0;
+  /// True when pool_ was created by this scheduler (no peer views): the
+  /// checkpoint-restore path then republishes the image's membership into
+  /// the pool instead of reconciling toward it.
+  bool pool_private_ = true;
+  common::SourceId source_id_ = 0;
+  std::uint64_t pool_events_applied_ = 0;
+  /// Scratch for sync_with_pool so reconciliation does not allocate.
+  std::vector<MemberEvent> pool_events_scratch_;
+  /// Gossiped peer load per instance (empty = per_source_greedy mode).
+  std::vector<common::TimeMs> external_load_;
   /// The configured (seed, dims) hash set — identical to the one inside
   /// every shipped sketch (on_sketches enforces the layout), so schedule()
   /// can digest each tuple once, up front, for all sketch reads.

@@ -1,8 +1,11 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <variant>
 
 #include "common/types.hpp"
+#include "core/feedback.hpp"
 #include "core/messages.hpp"
 
 namespace posg::core {
@@ -24,8 +27,35 @@ class Scheduler {
   /// deliver to that instance along with the tuple.
   virtual Decision schedule(common::Item item, common::SeqNo seq) = 0;
 
+  /// Single feedback entry point: every delivery from the substrate —
+  /// sketch shipment, synchronization reply, execution feedback, load
+  /// report — arrives as one typed event. The default implementation
+  /// demultiplexes to the legacy per-kind virtuals below (which default to
+  /// no-ops), so existing policies compile and behave unchanged whether
+  /// the substrate calls this or the per-kind form. Policies wanting the
+  /// whole feedback stream (multiplexers, recorders) override this once
+  /// instead of chasing four virtuals.
+  virtual void on_feedback(FeedbackEvent&& event) {
+    std::visit(
+        [this](auto&& payload) {
+          using T = std::decay_t<decltype(payload)>;
+          if constexpr (std::is_same_v<T, SketchShipment>) {
+            on_sketches(std::move(payload));
+          } else if constexpr (std::is_same_v<T, SyncReply>) {
+            on_sync_reply(payload);
+          } else if constexpr (std::is_same_v<T, TupleExecuted>) {
+            on_tuple_executed(payload.instance, payload.execution_time);
+          } else {
+            static_assert(std::is_same_v<T, LoadReport>);
+            on_load_report(payload.instance, payload.backlog, payload.mean_execution_time);
+          }
+        },
+        std::move(event));
+  }
+
   /// Delivery of a stable (F, W) pair from an operator instance.
   /// Policies that do not use feedback ignore it.
+  /// Legacy per-kind shim: prefer delivering through on_feedback().
   virtual void on_sketches(const SketchShipment& shipment) { (void)shipment; }
 
   /// Move form of the same delivery: implementations that store the sketch

@@ -10,6 +10,23 @@ PosgGrouping::PosgGrouping(std::size_t k, const core::PosgConfig& config,
   }
 }
 
+PosgGrouping::PosgGrouping(std::shared_ptr<core::InstancePool> pool,
+                           const core::PosgConfig& config, common::SourceId source,
+                           std::chrono::microseconds control_delay)
+    : config_(config),
+      control_delay_(control_delay),
+      source_(source),
+      shared_pool_(true),
+      scheduler_(std::move(pool), config, source, /*private_pool=*/false) {
+  if (control_delay_.count() > 0) {
+    delay_thread_ = std::thread([this] { delay_worker(); });
+  }
+}
+
+std::string PosgGrouping::name() const {
+  return shared_pool_ ? "posg.s" + std::to_string(source_) : "posg";
+}
+
 PosgGrouping::~PosgGrouping() {
   if (delay_thread_.joinable()) {
     {

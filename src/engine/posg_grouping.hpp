@@ -2,9 +2,11 @@
 
 #include <chrono>
 #include <deque>
+#include <memory>
 #include <thread>
 
 #include "common/sync.hpp"
+#include "core/instance_pool.hpp"
 #include "core/posg_scheduler.hpp"
 #include "engine/grouping.hpp"
 
@@ -23,6 +25,17 @@ class PosgGrouping final : public Grouping {
  public:
   explicit PosgGrouping(std::size_t k, const core::PosgConfig& config,
                         std::chrono::microseconds control_delay = std::chrono::microseconds{0});
+
+  /// Multi-source construction (DESIGN.md §15): this grouping is source
+  /// `source`'s scheduler view over a SHARED instance pool — S groupings
+  /// built over the same pool see one membership (a quarantine by any
+  /// source's view reaches every sibling through the pool's event log)
+  /// while each bills only the tuples it routed. The pool stays the
+  /// authority: k is pool->size(), and restore-style adoption never
+  /// happens (private_pool = false underneath).
+  PosgGrouping(std::shared_ptr<core::InstancePool> pool, const core::PosgConfig& config,
+               common::SourceId source,
+               std::chrono::microseconds control_delay = std::chrono::microseconds{0});
   ~PosgGrouping() override;
 
   PosgGrouping(const PosgGrouping&) = delete;
@@ -45,7 +58,12 @@ class PosgGrouping final : public Grouping {
   std::optional<double> cost_estimate(const Tuple& tuple) const override;
   /// Queue-occupancy sample feeding the straggler detector's skew signal.
   void on_queue_sample(common::InstanceId instance, double occupancy) override;
-  std::string name() const override { return "posg"; }
+  /// "posg" for the classic single-source grouping; "posg.s<id>" for a
+  /// shared-pool view so S groupings stay distinguishable in reports.
+  std::string name() const override;
+
+  /// The source id this view bills under (0 for the classic constructor).
+  common::SourceId source() const noexcept { return source_; }
 
   /// The POSG configuration the receiving executors must use for their
   /// instance trackers (sketch layout and seed must match).
@@ -99,6 +117,8 @@ class PosgGrouping final : public Grouping {
   //   - config_ and control_delay_ are immutable after construction.
   core::PosgConfig config_;
   std::chrono::microseconds control_delay_;
+  common::SourceId source_ = 0;
+  bool shared_pool_ = false;
 
   mutable Mutex mutex_{"engine::PosgGrouping::mutex_", lock_rank::kSchedulerState};
   core::PosgScheduler scheduler_ GUARDED_BY(mutex_);

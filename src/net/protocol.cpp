@@ -86,6 +86,7 @@ std::vector<std::byte> encode(const Message& message) {
         if constexpr (std::is_same_v<T, Hello>) {
           writer.put(Tag::kHello);
           writer.put(static_cast<std::uint64_t>(value.instance));
+          writer.put(value.source);
         } else if constexpr (std::is_same_v<T, TupleMessage>) {
           writer.put(Tag::kTuple);
           writer.put(value.seq);
@@ -99,14 +100,16 @@ std::vector<std::byte> encode(const Message& message) {
           // Shipments dominate control-bus bytes; size the frame up front
           // so the serialized matrices land in one allocation.
           const auto* hh = value.sketch.heavy_hitters();
-          payload.reserve(1 + sizeof(std::uint64_t) +
+          payload.reserve(1 + sizeof(std::uint64_t) + sizeof(common::SourceId) +
                           sketch::serialized_size(value.sketch.dims(), hh ? hh->size() : 0));
           writer.put(Tag::kShipment);
           writer.put(static_cast<std::uint64_t>(value.instance));
+          writer.put(value.source);
           writer.put_bytes(sketch::serialize(value.sketch));
         } else if constexpr (std::is_same_v<T, core::SyncReply>) {
           writer.put(Tag::kSyncReply);
           writer.put(static_cast<std::uint64_t>(value.instance));
+          writer.put(value.source);
           writer.put(value.epoch);
           writer.put(value.delta);
         } else if constexpr (std::is_same_v<T, EndOfStream>) {
@@ -139,6 +142,7 @@ std::vector<std::byte> encode(const Message& message) {
           writer.put(Tag::kSchedulerHello);
           writer.put(static_cast<std::uint64_t>(value.instance));
           writer.put(value.recovery_epoch);
+          writer.put(value.source);
         } else if constexpr (std::is_same_v<T, ReattachAck>) {
           writer.put(Tag::kReattachAck);
           writer.put(static_cast<std::uint64_t>(value.instance));
@@ -162,7 +166,8 @@ void debug_validate_frame(std::span<const std::byte> payload) {
   const std::size_t size = payload.size();
   switch (static_cast<Tag>(tag)) {
     case Tag::kHello:
-      POSG_CHECK(size == 1 + 8, "net frame: Hello must be exactly tag + u64 instance");
+      POSG_CHECK(size == 1 + 8 + 4,
+                 "net frame: Hello must be exactly tag + u64 instance + u32 source");
       break;
     case Tag::kTuple: {
       // tag + seq + item + marker flag, optionally + epoch + Ĉ.
@@ -175,13 +180,15 @@ void debug_validate_frame(std::span<const std::byte> payload) {
       break;
     }
     case Tag::kShipment:
-      // tag + u64 instance + self-describing sketch buffer (whose own
-      // 56-byte header carries magic/version/seed/dims/totals/flags).
-      POSG_CHECK(size >= 1 + 8 + 56, "net frame: SketchShipment shorter than its fixed header");
+      // tag + u64 instance + u32 source + self-describing sketch buffer
+      // (whose own 56-byte header carries magic/version/seed/dims/totals/
+      // flags).
+      POSG_CHECK(size >= 1 + 8 + 4 + 56,
+                 "net frame: SketchShipment shorter than its fixed header");
       break;
     case Tag::kSyncReply:
-      POSG_CHECK(size == 1 + 8 + 8 + 8,
-                 "net frame: SyncReply must be exactly tag + instance + epoch + delta");
+      POSG_CHECK(size == 1 + 8 + 4 + 8 + 8,
+                 "net frame: SyncReply must be exactly tag + instance + source + epoch + delta");
       break;
     case Tag::kEndOfStream:
       POSG_CHECK(size == 1, "net frame: EndOfStream carries no payload");
@@ -208,8 +215,9 @@ void debug_validate_frame(std::span<const std::byte> payload) {
                  "executed");
       break;
     case Tag::kSchedulerHello:
-      POSG_CHECK(size == 1 + 8 + 8,
-                 "net frame: SchedulerHello must be exactly tag + instance + recovery epoch");
+      POSG_CHECK(size == 1 + 8 + 8 + 4,
+                 "net frame: SchedulerHello must be exactly tag + instance + recovery epoch + "
+                 "source");
       break;
     case Tag::kReattachAck:
       POSG_CHECK(size == 1 + 8 + 8 + 8,
@@ -223,7 +231,9 @@ Message decode(std::span<const std::byte> payload) {
   const auto tag = reader.take<Tag>();
   switch (tag) {
     case Tag::kHello: {
-      Hello hello{static_cast<common::InstanceId>(reader.take<std::uint64_t>())};
+      Hello hello;
+      hello.instance = static_cast<common::InstanceId>(reader.take<std::uint64_t>());
+      hello.source = reader.take<common::SourceId>();
       reader.expect_exhausted();
       return hello;
     }
@@ -245,11 +255,13 @@ Message decode(std::span<const std::byte> payload) {
     }
     case Tag::kShipment: {
       const auto instance = static_cast<common::InstanceId>(reader.take<std::uint64_t>());
-      return core::SketchShipment{instance, sketch::deserialize(reader.rest())};
+      const auto source = reader.take<common::SourceId>();
+      return core::SketchShipment{instance, sketch::deserialize(reader.rest()), source};
     }
     case Tag::kSyncReply: {
       core::SyncReply reply;
       reply.instance = static_cast<common::InstanceId>(reader.take<std::uint64_t>());
+      reply.source = reader.take<common::SourceId>();
       reply.epoch = reader.take<common::Epoch>();
       reply.delta = reader.take<common::TimeMs>();
       reader.expect_exhausted();
@@ -301,6 +313,7 @@ Message decode(std::span<const std::byte> payload) {
       SchedulerHello hello;
       hello.instance = static_cast<common::InstanceId>(reader.take<std::uint64_t>());
       hello.recovery_epoch = reader.take<common::Epoch>();
+      hello.source = reader.take<common::SourceId>();
       reader.expect_exhausted();
       return hello;
     }

@@ -31,8 +31,14 @@
 namespace posg::net {
 
 /// Instance registration: "instance `id` is ready on this connection".
+/// `source` names the scheduler view this link belongs to (DESIGN.md §15)
+/// — an instance in an S-source deployment opens one link per source, and
+/// each scheduler runtime rejects a Hello addressed to a different
+/// source's view (a crossed wire would attach the wrong tracker to the
+/// wrong Ĉ). Single-source deployments leave it 0.
 struct Hello {
   common::InstanceId instance;
+  common::SourceId source = 0;
 };
 
 /// Instance -> scheduler: re-attach after a scheduler crash-restart (the
@@ -44,6 +50,8 @@ struct Hello {
 struct SchedulerHello {
   common::InstanceId instance;
   common::Epoch recovery_epoch;
+  /// Source view this re-attach addresses (same contract as Hello::source).
+  common::SourceId source = 0;
 };
 
 /// Scheduler -> surviving instances: peer `instance` was quarantined

@@ -192,7 +192,17 @@ Listener::~Listener() {
   if (fd_ >= 0) {
     ::close(fd_);
   }
-  ::unlink(path_.c_str());
+  if (!path_.empty()) {
+    ::unlink(path_.c_str());
+  }
+}
+
+void Listener::close_inherited() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  path_.clear();  // the parent owns the name; never unlink it here
 }
 
 Socket Listener::accept() {

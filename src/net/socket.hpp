@@ -116,6 +116,16 @@ class Listener {
 
   const std::string& path() const noexcept { return path_; }
 
+  /// Closes the listening descriptor WITHOUT unlinking the socket path,
+  /// and defuses the destructor. For forked children that inherit the
+  /// fd: the kernel keeps a listening socket (and its accept backlog)
+  /// alive while ANY process holds a descriptor, so a child's stale
+  /// copy lets peers dial a listener the parent already closed and
+  /// rebound — their connects park in a backlog nobody will accept.
+  /// Call in the child right after fork; the parent keeps sole
+  /// ownership of both the socket and its filesystem name.
+  void close_inherited() noexcept;
+
  private:
   std::string path_;
   int fd_ = -1;

@@ -43,6 +43,269 @@ void InstanceRuntime::publish_metrics(const Stats& stats) {
   metrics_.counter(prefix + ".crashes").add(stats.crashed ? 1 : 0);
   metrics_.counter(prefix + ".drained").add(stats.drained ? 1 : 0);
   metrics_.gauge(prefix + ".simulated_work_ms").set(stats.simulated_work);
+  metrics_.counter(prefix + ".sources_lost").add(stats.sources_lost);
+  for (std::size_t s = 0; s < stats.per_source_executed.size(); ++s) {
+    metrics_.counter(prefix + ".s" + std::to_string(s) + ".executed")
+        .add(stats.per_source_executed[s]);
+  }
+}
+
+InstanceRuntime::Stats InstanceRuntime::run_multi(const std::vector<SourceLink>& links) {
+  common::require(!links.empty(), "InstanceRuntime: run_multi needs at least one session");
+  Stats stats;
+  stats.per_source_executed.assign(links.size(), 0);
+
+  // Per-scheduler session state. Each session owns its OWN tracker: the
+  // tuples on link s were routed by source s's view, so s's sketches and
+  // Δ corrections must cover exactly that share of the work — per-source
+  // billing is what keeps Σ_s Ĉ_s ≈ C_total without double counting.
+  struct Session {
+    common::SourceId source = 0;
+    net::FrameTransport* link = nullptr;
+    std::unique_ptr<net::FrameTransport> owned;
+    std::unique_ptr<core::InstanceTracker> tracker;
+    std::vector<std::vector<std::byte>> pending;
+    std::string reconnect_path;
+    common::Epoch last_epoch = 0;
+    std::uint64_t executed = 0;
+    std::size_t dial_budget = 0;  // single connect attempts left
+    // Dials are paced in wall time, not loop passes: the loop spins as
+    // fast as the LIVE sessions' traffic allows, and burning the budget
+    // at that rate would end a session in microseconds when its
+    // scheduler needs real seconds to restart.
+    std::chrono::steady_clock::time_point next_dial{};
+    bool link_down = false;
+    bool muted = false;
+    bool ended = false;
+  };
+  std::vector<Session> sessions(links.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    common::require(links[i].link != nullptr, "InstanceRuntime: null session link");
+    Session& session = sessions[i];
+    session.source = links[i].source;
+    session.link = links[i].link;
+    session.tracker = std::make_unique<core::InstanceTracker>(id_, config_.posg);
+    session.reconnect_path = links[i].reconnect_path;
+    // Same total budget as the single-link loop (reconnect_attempts full
+    // ConnectRetryPolicy schedules), spent one dial per pass so the other
+    // sources keep flowing while this one's scheduler is down.
+    session.dial_budget =
+        session.reconnect_path.empty() ? 0 : config_.reconnect_attempts * 12;
+    session.link->send_frame(net::encode(net::Hello{id_, session.source}));
+  }
+
+  // One paced dial attempt; returns false only when the budget is gone.
+  const auto try_reconnect = [&](Session& session) -> bool {
+    if (session.dial_budget == 0) {
+      return false;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now < session.next_dial) {
+      return true;  // between dials: the session stays alive, waiting
+    }
+    session.next_dial = now + std::chrono::milliseconds(50);
+    --session.dial_budget;
+    net::ConnectRetryPolicy policy;
+    policy.max_attempts = 1;
+    policy.jitter_seed = 0x9E3779B97F4A7C15ULL ^ (static_cast<std::uint64_t>(id_) << 32U) ^
+                         (static_cast<std::uint64_t>(session.source) << 16U) ^
+                         session.dial_budget;
+    try {
+      session.owned =
+          std::make_unique<net::SocketTransport>(net::connect(session.reconnect_path, policy));
+      session.link = session.owned.get();
+      session.link->send_frame(
+          net::encode(net::SchedulerHello{id_, session.last_epoch, session.source}));
+      for (const auto& frame : session.pending) {
+        session.link->send_frame(frame);
+      }
+    } catch (const std::exception&) {
+      return session.dial_budget > 0;  // keep the session while budget remains
+    }
+    session.pending.clear();
+    session.link_down = false;
+    ++stats.reconnects;
+    return true;
+  };
+
+  const auto send_or_stash = [&](Session& session, std::vector<std::byte> frame) {
+    if (!session.link_down) {
+      try {
+        session.link->send_frame(frame);
+        return;
+      } catch (const std::system_error&) {
+        session.link_down = true;
+      }
+    }
+    if (!session.reconnect_path.empty()) {
+      session.pending.push_back(std::move(frame));
+    }
+  };
+
+  // Short poll tick so S sessions share one thread fairly: a session with
+  // traffic never waits on an idle sibling for more than the tick.
+  const auto tick = std::min<std::chrono::milliseconds>(config_.recv_deadline,
+                                                        std::chrono::milliseconds(10));
+  std::size_t active = sessions.size();
+  while (!stop_.load() && active > 0) {
+    bool polled = false;  // did any session actually wait on its link?
+    for (std::size_t i = 0; i < sessions.size(); ++i) {
+      Session& session = sessions[i];
+      if (session.ended) {
+        continue;
+      }
+      if (session.link_down) {
+        if (!try_reconnect(session)) {
+          // This source's scheduler is gone for good: its session ends,
+          // the instance keeps serving the other sources (a dead source
+          // must never take the instance down — DESIGN.md §15).
+          session.ended = true;
+          ++stats.sources_lost;
+          --active;
+        }
+        continue;
+      }
+      polled = true;
+      net::RecvResult received;
+      try {
+        received = session.link->recv_frame(tick);
+      } catch (const std::exception&) {
+        session.link_down = true;
+        continue;
+      }
+      if (received.status == net::RecvStatus::kTimeout) {
+        continue;
+      }
+      if (received.status == net::RecvStatus::kEof) {
+        session.link_down = true;  // scheduler gone without EndOfStream
+        continue;
+      }
+      net::Message message;
+      try {
+        message = net::decode(received.payload);
+      } catch (const std::invalid_argument&) {
+        ++stats.decode_errors;
+        continue;
+      }
+      if (std::holds_alternative<net::EndOfStream>(message)) {
+        session.ended = true;
+        --active;
+        continue;
+      }
+      if (std::holds_alternative<net::InstanceFailed>(message)) {
+        ++stats.peer_failures_seen;
+        continue;
+      }
+      if (const auto* ack = std::get_if<net::RejoinAck>(&message)) {
+        session.tracker->rearm(ack->seeded_cumulated);
+        session.last_epoch = std::max(session.last_epoch, ack->epoch);
+        ++stats.rejoin_acks;
+        continue;
+      }
+      if (const auto* ack = std::get_if<net::ReattachAck>(&message)) {
+        session.tracker->rearm(ack->seeded_cut);
+        session.last_epoch = std::max(session.last_epoch, ack->epoch);
+        ++stats.reattach_acks;
+        continue;
+      }
+      if (std::holds_alternative<net::AdmissionGrant>(message)) {
+        ++stats.admission_grants;
+        continue;
+      }
+      if (const auto* drain = std::get_if<net::DrainRequest>(&message)) {
+        // Lossless drain of this source's session: the final Δ and the
+        // executed count are PER SOURCE (this view billed only its own
+        // routed tuples — the conservation check is per scheduler).
+        const common::TimeMs delta =
+            session.tracker->cumulated_execution_time() - drain->estimated_cumulated;
+        session.last_epoch = std::max(session.last_epoch, drain->epoch);
+        try {
+          session.link->send_frame(
+              net::encode(net::DrainComplete{id_, drain->epoch, delta, session.executed}));
+        } catch (const std::system_error&) {
+          // Scheduler gone mid-drain: nothing left to report either way.
+        }
+        stats.drained = true;
+        session.ended = true;
+        --active;
+        continue;
+      }
+      const auto* tuple = std::get_if<net::TupleMessage>(&message);
+      if (tuple == nullptr) {
+        continue;
+      }
+      if (config_.crash_after_executed != 0 &&
+          stats.executed + 1 == config_.crash_after_executed) {
+        // A crash is physical: the whole instance dies, severing every
+        // source's link without a handshake.
+        stats.crashed = true;
+        for (Session& other : sessions) {
+          if (!other.ended && !other.link_down) {
+            other.link->close();
+          }
+        }
+        for (std::size_t j = 0; j < sessions.size(); ++j) {
+          stats.per_source_executed[j] = sessions[j].executed;
+        }
+        publish_metrics(stats);
+        return stats;
+      }
+      const bool straggling = stats.executed + 1 >= config_.straggle_after_executed;
+      const common::TimeMs cost =
+          config_.cost_model(tuple->item) * (straggling ? config_.cost_scale : 1.0);
+      if (config_.real_sleep_scale > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(cost * config_.real_sleep_scale));
+      }
+      if (auto shipment = session.tracker->on_executed(tuple->item, cost)) {
+        if (!session.muted) {
+          shipment->source = session.source;
+          send_or_stash(session, net::encode(*shipment));
+          ++stats.shipments;
+        }
+      }
+      ++stats.executed;
+      ++session.executed;
+      stats.simulated_work += cost;
+      if (tuple->marker) {
+        session.last_epoch = std::max(session.last_epoch, tuple->marker->epoch);
+        if (config_.crash_on_marker_epoch != 0 &&
+            tuple->marker->epoch >= config_.crash_on_marker_epoch) {
+          stats.crashed = true;
+          for (Session& other : sessions) {
+            if (!other.ended && !other.link_down) {
+              other.link->close();
+            }
+          }
+          for (std::size_t j = 0; j < sessions.size(); ++j) {
+            stats.per_source_executed[j] = sessions[j].executed;
+          }
+          publish_metrics(stats);
+          return stats;
+        }
+        if (config_.mute_from_epoch != 0 && tuple->marker->epoch >= config_.mute_from_epoch) {
+          session.muted = true;
+        }
+        if (session.muted) {
+          continue;
+        }
+        core::SyncReply reply = session.tracker->on_sync_request(*tuple->marker);
+        reply.source = session.source;
+        send_or_stash(session, net::encode(reply));
+        ++stats.replies_sent;
+      }
+    }
+    if (!polled) {
+      // Every live session is down and between dials: yield instead of
+      // spinning the dial-pacing checks at CPU speed.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  for (std::size_t j = 0; j < sessions.size(); ++j) {
+    stats.per_source_executed[j] = sessions[j].executed;
+  }
+  publish_metrics(stats);
+  return stats;
 }
 
 InstanceRuntime::Stats InstanceRuntime::run_loop(net::FrameTransport& initial) {

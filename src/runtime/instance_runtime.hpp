@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "common/types.hpp"
 #include "core/config.hpp"
@@ -54,6 +56,25 @@ class InstanceRuntime {
     /// link — nothing can follow the request), the final Δ was reported
     /// via DrainComplete, and the instance retired cleanly.
     bool drained = false;
+    /// run_multi only: tuples executed per session, indexed like the
+    /// SourceLink vector (the per-source side of the conservation gate —
+    /// session i's count must equal what source i's scheduler routed
+    /// here). Empty after single-link run().
+    std::vector<std::uint64_t> per_source_executed;
+    /// run_multi only: sessions that ended because their scheduler went
+    /// away for good (reconnect budget exhausted, or no reconnect path).
+    /// A dead source ends its session, never the instance.
+    std::uint64_t sources_lost = 0;
+  };
+
+  /// One scheduler session of a multi-source run (DESIGN.md §15): the
+  /// source id the link speaks for, the established link (caller-owned),
+  /// and the socket path to redial when the link dies — empty means a
+  /// link error permanently ends this session (counted in sources_lost).
+  struct SourceLink {
+    common::SourceId source = 0;
+    net::FrameTransport* link = nullptr;
+    std::string reconnect_path;
   };
 
   InstanceRuntime(common::InstanceId id, InstanceRuntimeConfig config);
@@ -69,6 +90,18 @@ class InstanceRuntime {
   /// (or EndOfStream) ends the run. With an empty reconnect_path the
   /// pre-recovery behavior is unchanged: any link error ends the run.
   Stats run(net::FrameTransport& link);
+
+  /// Multi-source event loop (DESIGN.md §15): one session per scheduler,
+  /// each with its OWN InstanceTracker — tuples arriving on session s's
+  /// link were routed (and billed) by source s, so sketches, Δ replies
+  /// and drain deltas are computed per source and Σ over sessions equals
+  /// the physical instance's true totals. Sessions are served round-robin
+  /// with a short poll tick; a link error reconnects that session alone
+  /// (one dial attempt per pass so the other sources keep flowing) or,
+  /// with an empty reconnect_path / exhausted budget, ends that session
+  /// alone. Returns when every session ended or request_stop() was seen.
+  /// A one-element vector reproduces run()'s semantics over the new path.
+  Stats run_multi(const std::vector<SourceLink>& links);
 
   /// Asynchronously asks run() to return at its next poll tick.
   void request_stop() noexcept { stop_.store(true); }

@@ -7,11 +7,20 @@
 
 namespace posg::runtime {
 
-SchedulerRuntime::SchedulerRuntime(const SchedulerRuntimeConfig& config)
+SchedulerRuntime::SchedulerRuntime(const SchedulerRuntimeConfig& config,
+                                   std::shared_ptr<core::InstancePool> pool)
     : config_(config),
       k_(config.instances),
+      metric_prefix_(config.source_id == 0 ? "posg"
+                                           : "posg.s" + std::to_string(config.source_id)),
       trace_(config.obs.trace_capacity),
-      scheduler_(config.instances, config.posg),
+      pool_injected_(pool != nullptr),
+      pool_((common::require(config.instances >= 1, "SchedulerRuntime: need at least one instance"),
+             common::require(pool == nullptr || pool->size() == config.instances,
+                             "SchedulerRuntime: shared pool size disagrees with instances"),
+             pool != nullptr ? std::move(pool)
+                             : std::make_shared<core::InstancePool>(config.instances))),
+      scheduler_(pool_, config.posg, config.source_id, /*private_pool=*/!pool_injected_),
       links_(config.instances),
       send_mutexes_(config.instances),
       dead_(config.instances),
@@ -62,91 +71,104 @@ void SchedulerRuntime::register_runtime_metrics() {
   // concurrently with the readers and the router. Lock order is
   // registry → runtime; nothing acquires the registry mutex while holding
   // mutex_, so the order cannot invert.
-  metrics_.counter_fn("posg.scheduler.decisions", [this] {
+  metrics_.counter_fn(metric_prefix_ + ".scheduler.decisions", [this] {
     MutexLock lock(mutex_);
     return scheduler_.decisions();
   });
-  metrics_.counter_fn("posg.scheduler.epochs_completed", [this] {
+  metrics_.counter_fn(metric_prefix_ + ".scheduler.epochs_completed", [this] {
     MutexLock lock(mutex_);
     return scheduler_.epochs_completed();
   });
-  metrics_.counter_fn("posg.scheduler.epoch", [this] {
+  metrics_.counter_fn(metric_prefix_ + ".scheduler.epoch", [this] {
     MutexLock lock(mutex_);
     return static_cast<std::uint64_t>(scheduler_.epoch());
   });
-  metrics_.counter_fn("posg.scheduler.stale_replies", [this] {
+  metrics_.counter_fn(metric_prefix_ + ".scheduler.stale_replies", [this] {
     MutexLock lock(mutex_);
     return scheduler_.stale_reply_count();
   });
-  metrics_.counter_fn("posg.scheduler.rejoins", [this] {
+  metrics_.counter_fn(metric_prefix_ + ".scheduler.rejoins", [this] {
     MutexLock lock(mutex_);
     return scheduler_.rejoin_count();
   });
-  metrics_.gauge_fn("posg.scheduler.live_instances", [this] {
+  metrics_.gauge_fn(metric_prefix_ + ".scheduler.live_instances", [this] {
     MutexLock lock(mutex_);
     return static_cast<double>(scheduler_.live_instances());
   });
-  metrics_.counter_fn("posg.health.suspect_transitions", [this] {
+  metrics_.counter_fn(metric_prefix_ + ".health.suspect_transitions", [this] {
     MutexLock lock(mutex_);
     return scheduler_.health().suspect_transitions();
   });
-  metrics_.counter_fn("posg.health.degraded_transitions", [this] {
+  metrics_.counter_fn(metric_prefix_ + ".health.degraded_transitions", [this] {
     MutexLock lock(mutex_);
     return scheduler_.health().degraded_transitions();
   });
-  metrics_.counter_fn("posg.health.promotions", [this] {
+  metrics_.counter_fn(metric_prefix_ + ".health.promotions", [this] {
     MutexLock lock(mutex_);
     return scheduler_.health().promotions();
   });
   for (common::InstanceId op = 0; op < k_; ++op) {
-    metrics_.gauge_fn("posg.health.derate." + std::to_string(op), [this, op] {
+    metrics_.gauge_fn(metric_prefix_ + ".health.derate." + std::to_string(op), [this, op] {
       MutexLock lock(mutex_);
       return scheduler_.derate(op);
     });
   }
-  metrics_.counter_fn("posg.runtime.reroutes",
+  metrics_.counter_fn(metric_prefix_ + ".runtime.reroutes",
                       [this] { return reroutes_.load(std::memory_order_relaxed); });
-  metrics_.counter_fn("posg.runtime.routed", [this] {
+  metrics_.counter_fn(metric_prefix_ + ".runtime.routed", [this] {
     std::uint64_t total = 0;
     for (const auto& per_instance : routed_) {
       total += per_instance.load(std::memory_order_relaxed);
     }
     return total;
   });
-  metrics_.gauge_fn("posg.runtime.quarantined", [this] {
+  metrics_.gauge_fn(metric_prefix_ + ".runtime.quarantined", [this] {
     MutexLock lock(mutex_);
     return static_cast<double>(k_ - scheduler_.live_instances());
   });
-  metrics_.counter_fn("posg.scheduler.drains_begun", [this] {
+  metrics_.counter_fn(metric_prefix_ + ".scheduler.drains_begun", [this] {
     MutexLock lock(mutex_);
     return scheduler_.drain_begin_count();
   });
-  metrics_.counter_fn("posg.scheduler.retires", [this] {
+  metrics_.counter_fn(metric_prefix_ + ".scheduler.retires", [this] {
     MutexLock lock(mutex_);
     return scheduler_.retire_count();
   });
-  metrics_.counter_fn("posg.scheduler.drain_cancels", [this] {
+  metrics_.counter_fn(metric_prefix_ + ".scheduler.drain_cancels", [this] {
     MutexLock lock(mutex_);
     return scheduler_.drain_cancel_count();
   });
-  metrics_.gauge_fn("posg.scheduler.serving_instances", [this] {
+  metrics_.gauge_fn(metric_prefix_ + ".scheduler.serving_instances", [this] {
     MutexLock lock(mutex_);
     return static_cast<double>(scheduler_.serving_instances());
+  });
+  // Multi-source tier (DESIGN.md §15): which view this is, how many peer
+  // membership events it adopted, and how far behind the shared pool's
+  // event log it currently is (obs_report.py's reconciliation table).
+  metrics_.gauge_fn(metric_prefix_ + ".scheduler.source_id",
+                    [this] { return static_cast<double>(config_.source_id); });
+  metrics_.counter_fn(metric_prefix_ + ".scheduler.pool_events_applied", [this] {
+    MutexLock lock(mutex_);
+    return scheduler_.pool_events_applied();
+  });
+  metrics_.gauge_fn(metric_prefix_ + ".scheduler.reconcile_lag", [this] {
+    MutexLock lock(mutex_);
+    return static_cast<double>(scheduler_.pool_lag());
   });
   // Recovery counters (obs_report.py's recovery section). recovered_ /
   // recovered_epoch_ are constructor-written and immutable, so the
   // callbacks read them lock-free.
-  metrics_.counter_fn("posg.runtime.checkpoint_writes",
+  metrics_.counter_fn(metric_prefix_ + ".runtime.checkpoint_writes",
                       [this] { return checkpoint_writes_.load(std::memory_order_relaxed); });
-  metrics_.counter_fn("posg.runtime.checkpoint_failures",
+  metrics_.counter_fn(metric_prefix_ + ".runtime.checkpoint_failures",
                       [this] { return checkpoint_failures_.load(std::memory_order_relaxed); });
-  metrics_.counter_fn("posg.runtime.recovery_restored",
+  metrics_.counter_fn(metric_prefix_ + ".runtime.recovery_restored",
                       [this] { return static_cast<std::uint64_t>(recovered_ ? 1 : 0); });
-  metrics_.counter_fn("posg.runtime.recovery_cold_starts",
+  metrics_.counter_fn(metric_prefix_ + ".runtime.recovery_cold_starts",
                       [this] { return recovery_cold_starts_; });
-  metrics_.counter_fn("posg.runtime.recovery_epoch",
+  metrics_.counter_fn(metric_prefix_ + ".runtime.recovery_epoch",
                       [this] { return static_cast<std::uint64_t>(recovered_epoch_); });
-  metrics_.counter_fn("posg.runtime.reattach_count",
+  metrics_.counter_fn(metric_prefix_ + ".runtime.reattach_count",
                       [this] { return reattach_count_.load(std::memory_order_relaxed); });
 }
 
@@ -219,11 +241,18 @@ void SchedulerRuntime::accept_registrations(net::Listener& listener) {
       const auto message = net::decode(first.payload);
       common::InstanceId op = k_;
       bool reattaching = false;
+      // A Hello addressed to another source's view is a crossed wire —
+      // attaching it would bind the wrong tracker to the wrong Ĉ. Reject
+      // it like any other malformed registration.
       if (const auto* hello = std::get_if<net::Hello>(&message)) {
-        op = hello->instance;
+        if (hello->source == config_.source_id) {
+          op = hello->instance;
+        }
       } else if (const auto* survivor = std::get_if<net::SchedulerHello>(&message)) {
-        op = survivor->instance;
-        reattaching = true;
+        if (survivor->source == config_.source_id) {
+          op = survivor->instance;
+          reattaching = true;
+        }
       }
       if (op >= k_ || links_[op] != nullptr) {
         continue;  // wrong message kind, out-of-range id, or duplicate id
@@ -337,6 +366,9 @@ bool SchedulerRuntime::request_drain(common::InstanceId op) {
 }
 
 bool SchedulerRuntime::handle_failure(common::InstanceId op, const std::string& reason) {
+  if (severed_.load()) {
+    return true;  // sever() closed the links itself; nobody actually failed
+  }
   common::Epoch failed_epoch = 0;
   std::vector<common::InstanceId> survivors;
   {
@@ -590,6 +622,10 @@ void SchedulerRuntime::rejoin_acceptor_loop(net::Listener* listener) {
       if (hello == nullptr && survivor == nullptr) {
         continue;  // wrong message kind — reject peer
       }
+      const common::SourceId source = hello != nullptr ? hello->source : survivor->source;
+      if (source != config_.source_id) {
+        continue;  // addressed to another source's view — reject peer
+      }
       const common::InstanceId op = hello != nullptr ? hello->instance : survivor->instance;
       if (op >= k_) {
         continue;  // out-of-range id — reject peer
@@ -688,11 +724,17 @@ void SchedulerRuntime::reader_loop(common::InstanceId op) {
       MutexLock lock(mutex_);
       last_feedback_[op] = std::chrono::steady_clock::now();
       if (auto* shipment = std::get_if<core::SketchShipment>(&message)) {
+        // Feedback stamped for another source's view must never fold into
+        // this Ĉ (require throws into the protocol-violation catch below).
+        common::require(shipment->source == config_.source_id,
+                        "SketchShipment: frame addressed to another source's view");
         // `message` is dead after dispatch — let the scheduler steal the
         // decoded sketch instead of copying its cell array.
-        scheduler_.on_sketches(std::move(*shipment));
+        scheduler_.on_feedback(core::FeedbackEvent{std::move(*shipment)});
       } else if (const auto* reply = std::get_if<core::SyncReply>(&message)) {
-        scheduler_.on_sync_reply(*reply);
+        common::require(reply->source == config_.source_id,
+                        "SyncReply: frame addressed to another source's view");
+        scheduler_.on_feedback(core::FeedbackEvent{*reply});
       } else if (const auto* complete = std::get_if<net::DrainComplete>(&message)) {
         // End of a lossless drain: bill the final Δ and retire the slot.
         // A DrainComplete from an instance that is not draining (or that
@@ -779,6 +821,56 @@ void SchedulerRuntime::finish() {
       link->close();
     }
   }
+}
+
+void SchedulerRuntime::sever() {
+  if (!started_ || finished_) {
+    finished_ = true;
+    return;
+  }
+  finished_ = true;
+  // Order matters: disarm the failure paths FIRST, so the readers' view
+  // of the links dying below is "shutdown", not "k instance crashes".
+  severed_.store(true);
+  drain_deadline_ = std::chrono::steady_clock::now();
+  draining_.store(true);
+  stop_acceptor_.store(true);
+  if (rejoin_acceptor_.joinable()) {
+    rejoin_acceptor_.join();
+  }
+  // No EndOfStream — the severance IS the message. The readers return at
+  // their next poll tick (the drain deadline above is already expired);
+  // only then are the sockets closed, preserving finish()'s rule that no
+  // thread ever closes a socket another thread is polling. The instances
+  // see the EOF the moment the links close below.
+  for (auto& reader : readers_) {
+    if (reader.joinable()) {
+      reader.join();
+    }
+  }
+  for (auto& link : links_) {
+    if (link) {
+      link->close();
+    }
+  }
+  if (ckpt_writer_.joinable()) {
+    {
+      MutexLock lock(ckpt_mutex_);
+      ckpt_stop_ = true;
+    }
+    ckpt_cv_.notify_one();
+    ckpt_writer_.join();
+  }
+}
+
+std::vector<common::TimeMs> SchedulerRuntime::estimated_loads() const {
+  MutexLock lock(mutex_);
+  return scheduler_.estimated_loads();
+}
+
+void SchedulerRuntime::set_external_loads(std::vector<common::TimeMs> external) {
+  MutexLock lock(mutex_);
+  scheduler_.set_external_loads(std::move(external));
 }
 
 core::PosgScheduler::State SchedulerRuntime::state() const {

@@ -13,6 +13,7 @@
 #include "common/sync.hpp"
 #include "common/types.hpp"
 #include "core/checkpoint.hpp"
+#include "core/instance_pool.hpp"
 #include "core/posg_scheduler.hpp"
 #include "metrics/stats.hpp"
 #include "net/socket.hpp"
@@ -69,7 +70,19 @@ class SchedulerRuntime {
     std::uint64_t routed = 0;          ///< scheduler-side sent count
   };
 
-  explicit SchedulerRuntime(const SchedulerRuntimeConfig& config);
+  /// `pool` injects the shared instance pool of a multi-source deployment
+  /// (DESIGN.md §15): S runtimes constructed over the same pool become S
+  /// per-source views — membership transitions any of them publishes are
+  /// adopted by the rest on their next decision. The pool's size must
+  /// equal config.instances. nullptr (the default) keeps the pre-tier
+  /// behaviour: a private pool, single-source restore semantics.
+  ///
+  /// config.source_id names this runtime's view: it is validated against
+  /// every Hello/SchedulerHello, stamped into checkpoints (restore
+  /// rejects another source's image), and prefixes this runtime's metrics
+  /// ("posg.s<id>.*" when non-zero, plain "posg.*" for source 0).
+  explicit SchedulerRuntime(const SchedulerRuntimeConfig& config,
+                            std::shared_ptr<core::InstancePool> pool = nullptr);
   ~SchedulerRuntime();
 
   SchedulerRuntime(const SchedulerRuntime&) = delete;
@@ -129,6 +142,27 @@ class SchedulerRuntime {
   /// Sends EndOfStream to the survivors, drains the feedback path, joins
   /// the readers and closes every link. Idempotent.
   void finish();
+
+  /// Simulated scheduler death for source-churn campaigns (DESIGN.md
+  /// §15): closes every instance link with NO EndOfStream handshake and
+  /// joins the readers — from the instances' side indistinguishable from
+  /// this scheduler being SIGKILLed (their per-session reconnect logic
+  /// takes over). Crucially it quarantines NOBODY: the instances are
+  /// healthy, the *source* died, and a quarantine published here would
+  /// propagate through the shared pool and poison every sibling view.
+  /// After sever() the runtime is finished; a restarted source is a new
+  /// SchedulerRuntime recovering from this one's checkpoint. Idempotent.
+  void sever();
+
+  /// Locked snapshot of this view's Ĉ vector (gossip_merge
+  /// reconciliation reads the sibling views through this).
+  std::vector<common::TimeMs> estimated_loads() const;
+
+  /// Installs Σ of the sibling views' Ĉ as this view's external-load
+  /// term (core::PosgScheduler::set_external_loads) so its greedy argmin
+  /// sees pool-wide pressure, not just its own billing. gossip_merge
+  /// reconciliation only; safe from any thread after start().
+  void set_external_loads(std::vector<common::TimeMs> external);
 
   // --- observability (all safe to call concurrently with the readers) ---
   core::PosgScheduler::State state() const;
@@ -195,6 +229,14 @@ class SchedulerRuntime {
   /// bound to the single-threaded phases, where no reader thread exists.
   core::PosgScheduler& scheduler() noexcept NO_THREAD_SAFETY_ANALYSIS { return scheduler_; }
 
+  /// This runtime's instance pool (the injected shared one, or the
+  /// private pool it created). Internally synchronized — safe from any
+  /// thread.
+  const std::shared_ptr<core::InstancePool>& pool() const noexcept { return pool_; }
+
+  /// The source id this runtime's view bills under (config.source_id).
+  common::SourceId source_id() const noexcept { return config_.source_id; }
+
  private:
   void reader_loop(common::InstanceId op);
   void rejoin_acceptor_loop(net::Listener* listener);
@@ -247,11 +289,20 @@ class SchedulerRuntime {
   //     that calls start()/finish().
   SchedulerRuntimeConfig config_;
   std::size_t k_;
+  /// "posg" for source 0, "posg.s<id>" otherwise — every instrument this
+  /// runtime registers hangs off it, so S runtimes can share one
+  /// exposition pipeline without colliding (obs_report.py's per-source
+  /// lens keys off the s<id> segment).
+  std::string metric_prefix_;
   /// Declared before scheduler_: the scheduler holds a TraceRing::Writer
   /// whose destructor flushes into trace_, so the ring must outlive it.
   obs::TraceRing trace_;
   obs::MetricsRegistry metrics_;
   mutable Mutex mutex_{"runtime::SchedulerRuntime::mutex_", lock_rank::kSchedulerState};
+  /// True when the constructor received no pool and created a private one
+  /// (ordered before pool_ so its initializer can still see the argument).
+  bool pool_injected_;
+  std::shared_ptr<core::InstancePool> pool_;
   core::PosgScheduler scheduler_ GUARDED_BY(mutex_);
   std::vector<std::unique_ptr<net::FrameTransport>> links_;
   /// Per-link send serialization: route(), failure announcements and
@@ -282,6 +333,10 @@ class SchedulerRuntime {
   /// up. Atomic only for the benefit of lock-free observers.
   std::vector<std::unique_ptr<std::atomic<bool>>> drain_sent_;
   std::atomic<bool> draining_{false};
+  /// Set by sever(): link errors and EOFs are the severance itself, not
+  /// instance failures — handle_failure becomes a no-op so the shared
+  /// pool never hears about a dying *source* as dying *instances*.
+  std::atomic<bool> severed_{false};
   std::chrono::steady_clock::time_point drain_deadline_{};
   std::atomic<bool> fatal_{false};
   bool started_ = false;

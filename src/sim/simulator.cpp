@@ -34,6 +34,9 @@ struct Event {
   common::InstanceId instance = 0;
   common::TimeMs execution_time = 0.0;
   std::optional<core::SyncRequest> marker;
+  // run_multi only: the source whose view routed (and gets billed for)
+  // this tuple / feedback frame.
+  common::SourceId source = 0;
 
   // kShipment / kReply payload
   std::optional<core::SketchShipment> shipment;
@@ -273,15 +276,16 @@ Simulator::Result Simulator::run(const std::vector<common::Item>& stream,
       }
 
       case EventKind::kShipment:
-        scheduler.on_sketches(*event.shipment);
+        scheduler.on_feedback(core::FeedbackEvent{*event.shipment});
         break;
 
       case EventKind::kReply:
-        scheduler.on_sync_reply(*event.reply);
+        scheduler.on_feedback(core::FeedbackEvent{*event.reply});
         break;
 
       case EventKind::kExecutedNotice:
-        scheduler.on_tuple_executed(event.instance, event.execution_time);
+        scheduler.on_feedback(
+            core::FeedbackEvent{core::TupleExecuted{event.instance, event.execution_time}});
         break;
 
       case EventKind::kLoadReportSample: {
@@ -313,7 +317,8 @@ Simulator::Result Simulator::run(const std::vector<common::Item>& stream,
       }
 
       case EventKind::kLoadReportDeliver:
-        scheduler.on_load_report(event.instance, event.backlog, event.mean_execution);
+        scheduler.on_feedback(core::FeedbackEvent{
+            core::LoadReport{event.instance, event.backlog, event.mean_execution}});
         break;
 
       case EventKind::kElasticSample: {
@@ -486,6 +491,182 @@ Simulator::Result Simulator::run(const std::vector<common::Item>& stream,
       if (!std::isnan(completion)) {  // unrecorded slots read back NaN
         latency.record(static_cast<std::uint64_t>(completion * 1000.0));
       }
+    }
+  }
+
+  return result;
+}
+
+Simulator::MultiResult Simulator::run_multi(const std::vector<common::Item>& stream,
+                                            core::MultiSourceScheduler& scheduler) {
+  common::require(scheduler.instances() == config_.instances,
+                  "Simulator: scheduler instance count mismatch");
+  common::require(!config_.elastic.enabled,
+                  "Simulator: autoscale is a single-source feature (run())");
+  common::require(config_.load_report_period <= 0.0,
+                  "Simulator: load reports are a single-source feature (run())");
+
+  const std::size_t k = config_.instances;
+  const std::size_t sources = scheduler.sources();
+  MultiResult result;
+  result.completions = metrics::CompletionSeries(stream.size());
+  result.instance_work.assign(k, 0.0);
+  result.instance_tuples.assign(k, 0);
+  result.source_routed.assign(sources, 0);
+  result.per_source_instance_tuples.assign(sources, std::vector<std::uint64_t>(k, 0));
+
+  obs::Histogram* sketch_profile =
+      config_.metrics != nullptr ? &config_.metrics->histogram("posg.sim.sketch_update_ns")
+                                 : nullptr;
+
+  // One tracker per (instance, source): tuples routed by source s's view
+  // are billed into s's sketches only, mirroring the per-session trackers
+  // of InstanceRuntime::run_multi. trackers[op * sources + s].
+  std::vector<core::InstanceTracker> trackers;
+  trackers.reserve(k * sources);
+  for (common::InstanceId op = 0; op < k; ++op) {
+    for (common::SourceId s = 0; s < sources; ++s) {
+      trackers.emplace_back(op, config_.posg);
+      trackers.back().bind_profile(sketch_profile);
+    }
+  }
+
+  // The instances are PHYSICALLY shared: one FIFO free-time per op, fed
+  // by all S sources' routed tuples.
+  std::vector<common::TimeMs> instance_free(k, 0.0);
+  std::vector<common::TimeMs> injection_time(stream.size(), 0.0);
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+  std::uint64_t tie = 0;
+  auto push = [&](Event event) {
+    event.tie_breaker = tie++;
+    events.push(std::move(event));
+  };
+
+  if (!stream.empty()) {
+    Event first;
+    first.time = 0.0;
+    first.kind = EventKind::kArrival;
+    first.seq = 0;
+    first.item = stream[0];
+    push(std::move(first));
+  }
+
+  while (!events.empty()) {
+    const Event event = events.top();
+    events.pop();
+
+    switch (event.kind) {
+      case EventKind::kArrival: {
+        injection_time[event.seq] = event.time;
+        // Round-robin source assignment: deterministic, so an S=1 run
+        // reproduces run()'s decision stream exactly.
+        const auto source = static_cast<common::SourceId>(event.seq % sources);
+        const core::Decision decision = scheduler.schedule(source, event.item, event.seq);
+        common::ensure(decision.instance < k, "Simulator: scheduler returned bad instance");
+        ++result.source_routed[source];
+        if (decision.sync_request) {
+          ++result.messages.sync_markers;
+        }
+
+        const common::TimeMs hop_latency =
+            config_.per_instance_data_latency.empty()
+                ? config_.data_latency
+                : config_.per_instance_data_latency[decision.instance];
+        const common::TimeMs at_instance = event.time + hop_latency;
+        const common::TimeMs cost = cost_(event.item, decision.instance, event.seq);
+        common::ensure(cost >= 0.0, "Simulator: negative cost from cost function");
+        const common::TimeMs start = std::max(at_instance, instance_free[decision.instance]);
+        const common::TimeMs finish = start + cost;
+        instance_free[decision.instance] = finish;
+
+        Event finish_event;
+        finish_event.time = finish;
+        finish_event.kind = EventKind::kFinish;
+        finish_event.seq = event.seq;
+        finish_event.item = event.item;
+        finish_event.instance = decision.instance;
+        finish_event.execution_time = cost;
+        finish_event.marker = decision.sync_request;
+        finish_event.source = source;
+        push(std::move(finish_event));
+
+        const common::SeqNo next = event.seq + 1;
+        if (next < stream.size()) {
+          Event arrival;
+          arrival.time = event.time + config_.inter_arrival /
+                                          config_.arrival_profile.rate_multiplier(event.time);
+          arrival.kind = EventKind::kArrival;
+          arrival.seq = next;
+          arrival.item = stream[next];
+          push(std::move(arrival));
+        }
+        break;
+      }
+
+      case EventKind::kFinish: {
+        result.completions.record(event.seq, event.time - injection_time[event.seq]);
+        result.instance_work[event.instance] += event.execution_time;
+        ++result.instance_tuples[event.instance];
+        ++result.per_source_instance_tuples[event.source][event.instance];
+        result.makespan = std::max(result.makespan, event.time);
+
+        core::InstanceTracker& tracker = trackers[event.instance * sources + event.source];
+        auto shipment = tracker.on_executed(event.item, event.execution_time);
+        if (shipment) {
+          ++result.messages.sketch_shipments;
+          shipment->source = event.source;
+          Event delivery;
+          delivery.time = event.time + config_.control_latency;
+          delivery.kind = EventKind::kShipment;
+          delivery.shipment = std::move(shipment);
+          delivery.source = event.source;
+          push(std::move(delivery));
+        }
+        if (event.marker) {
+          ++result.messages.sync_replies;
+          Event delivery;
+          delivery.time = event.time + config_.control_latency;
+          delivery.kind = EventKind::kReply;
+          delivery.reply = tracker.on_sync_request(*event.marker);
+          delivery.reply->source = event.source;
+          delivery.source = event.source;
+          push(std::move(delivery));
+        }
+        break;
+      }
+
+      case EventKind::kShipment:
+        scheduler.on_feedback(event.source, core::FeedbackEvent{*event.shipment});
+        break;
+
+      case EventKind::kReply:
+        scheduler.on_feedback(event.source, core::FeedbackEvent{*event.reply});
+        break;
+
+      case EventKind::kExecutedNotice:
+      case EventKind::kLoadReportSample:
+      case EventKind::kLoadReportDeliver:
+      case EventKind::kElasticSample:
+        common::ensure(false, "Simulator: single-source event in a multi-source run");
+        break;
+    }
+  }
+
+  result.gossip_rounds = scheduler.gossip_rounds();
+
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& registry = *config_.metrics;
+    registry.counter("posg.sim.tuples").add(stream.size());
+    registry.counter("posg.sim.sketch_shipments").add(result.messages.sketch_shipments);
+    registry.counter("posg.sim.sync_markers").add(result.messages.sync_markers);
+    registry.counter("posg.sim.sync_replies").add(result.messages.sync_replies);
+    registry.counter("posg.sim.gossip_rounds").add(result.gossip_rounds);
+    registry.gauge("posg.sim.makespan_ms").set(result.makespan);
+    registry.gauge("posg.sim.mean_completion_ms").set(result.completions.average());
+    for (common::SourceId s = 0; s < sources; ++s) {
+      registry.counter("posg.s" + std::to_string(s) + ".sim.routed")
+          .add(result.source_routed[s]);
     }
   }
 

@@ -7,6 +7,7 @@
 #include "common/types.hpp"
 #include "core/elastic.hpp"
 #include "core/instance_tracker.hpp"
+#include "core/multi_source.hpp"
 #include "core/scheduler.hpp"
 #include "metrics/completion.hpp"
 #include "metrics/stats.hpp"
@@ -112,12 +113,42 @@ class Simulator {
     double instance_ms = 0.0;
   };
 
+  /// One multi-source run (DESIGN.md §15).
+  struct MultiResult {
+    metrics::CompletionSeries completions;
+    MessageCounts messages;
+    common::TimeMs makespan = 0.0;
+    std::vector<common::TimeMs> instance_work;
+    std::vector<std::uint64_t> instance_tuples;
+    /// Tuples routed by each source's view. Conservation over the shared
+    /// pool: Σ_s source_routed[s] == Σ_op instance_tuples[op] == |stream|.
+    std::vector<std::uint64_t> source_routed;
+    /// per_source_instance_tuples[s][op]: source s's tuples executed at
+    /// op — the per-cell side of the conservation check (each view bills
+    /// exactly what it routed; row sums match source_routed).
+    std::vector<std::vector<std::uint64_t>> per_source_instance_tuples;
+    /// Gossip rounds the MultiSourceScheduler ran (kGossipMerge only).
+    std::uint64_t gossip_rounds = 0;
+  };
+
   Simulator(Config config, CostFunction cost);
 
   /// Replays `stream` through `scheduler` and returns the metrics.
   /// The scheduler is driven exactly as a deployment would: tuples in
   /// timestamp order, control messages delivered after control_latency.
   Result run(const std::vector<common::Item>& stream, core::Scheduler& scheduler);
+
+  /// Multi-source replay: arrivals are assigned to the S sources
+  /// round-robin (tuple `seq` belongs to source `seq % S`), each source's
+  /// view routes its own tuples over the SHARED instance pool, and every
+  /// instance keeps one tracker PER SOURCE — exactly the per-session
+  /// billing the distributed InstanceRuntime::run_multi performs — so
+  /// sketches and sync replies flow back to the view that routed the
+  /// work. With S = 1 this is the classic run() data path (same decision
+  /// stream); elastic autoscaling and load reports are single-source
+  /// features and must be disabled.
+  MultiResult run_multi(const std::vector<common::Item>& stream,
+                        core::MultiSourceScheduler& scheduler);
 
  private:
   Config config_;

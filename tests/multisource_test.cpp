@@ -1,0 +1,416 @@
+/// Multi-source scheduler tier (DESIGN.md §15): S scheduler views over one
+/// shared core::InstancePool.
+///
+/// Locks the four load-bearing guarantees of the tier:
+///   1. S = 1 byte-identity — a MultiSourceScheduler with one source and
+///      per_source_greedy reconciliation reproduces the golden scheduling
+///      streams bit for bit (the same constants golden_schedule_test pins
+///      for the bare PosgScheduler).
+///   2. Conservation — with S sources round-robining one stream over the
+///      shared pool, every routed tuple is executed exactly once and
+///      billed to exactly one view: Σ_s routed_s == Σ_op executed_op ==
+///      |stream|, row by row.
+///   3. Membership is pool state, not view state — a quarantine initiated
+///      through one source's view is adopted by every sibling, and a
+///      checkpoint restore over a SHARED pool reconciles toward the pool
+///      instead of republishing its (possibly stale) image.
+///   4. Source identity survives the edges — checkpoints carry their
+///      owning source and refuse a mismatch (the double-billing guard),
+///      and every source-stamped wire frame round-trips and rejects
+///      truncation.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "common/types.hpp"
+#include "core/checkpoint.hpp"
+#include "core/config.hpp"
+#include "core/instance_pool.hpp"
+#include "core/multi_source.hpp"
+#include "core/posg_scheduler.hpp"
+#include "net/protocol.hpp"
+#include "sim/simulator.hpp"
+#include "sketch/dual_sketch.hpp"
+
+namespace posg {
+namespace {
+
+/// FNV-1a over the instance sequence — the same hash golden_schedule_test
+/// uses, so the constants are directly comparable.
+std::uint64_t sequence_hash(const std::vector<common::InstanceId>& sequence) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const common::InstanceId instance : sequence) {
+    h ^= static_cast<std::uint64_t>(instance);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// The golden workload of golden_schedule_test, driven through a
+/// MultiSourceScheduler with S = 1 instead of a bare PosgScheduler. Every
+/// input is identical; only the call surface differs (schedule(source, …)
+/// and the FeedbackEvent variant instead of the legacy virtuals), so a
+/// matching hash proves the multi-source wrapper is a true pass-through.
+std::vector<common::InstanceId> run_golden_stream_via_views(std::size_t k, bool with_failure,
+                                                            bool with_hints) {
+  core::PosgConfig config;
+  config.epsilon = 0.05;  // 54 columns — the paper's coarse sketch
+  config.delta = 0.1;     // 4 rows
+
+  core::MultiSourceConfig multi;  // S = 1, per_source_greedy
+  core::MultiSourceScheduler scheduler(k, config, multi);
+  const auto dims = config.dims();
+  common::Xoshiro256StarStar rng(42);
+
+  if (with_hints) {
+    std::vector<common::TimeMs> hints(k);
+    for (std::size_t op = 0; op < k; ++op) {
+      hints[op] = static_cast<double>(op % 3) * 0.25;
+    }
+    scheduler.view(0).set_latency_hints(std::move(hints));
+  }
+
+  std::vector<common::InstanceId> sequence;
+  common::SeqNo seq = 0;
+
+  for (common::InstanceId op = 0; op < k; ++op) {
+    sequence.push_back(scheduler.schedule(0, rng.next_below(256), seq++).instance);
+    sketch::DualSketch sketch(dims, config.sketch_seed);
+    for (int i = 0; i < 400; ++i) {
+      const common::Item item = rng.next_below(256);
+      sketch.update(item, 0.5 + static_cast<double>(item % 7));
+    }
+    scheduler.on_feedback(0, core::FeedbackEvent{core::SketchShipment{op, sketch}});
+  }
+
+  std::vector<std::pair<common::InstanceId, core::SyncRequest>> pending_markers;
+  for (int step = 0; step < 2000; ++step) {
+    const common::Item item = rng.next_below(256);
+    const core::Decision decision = scheduler.schedule(0, item, seq++);
+    sequence.push_back(decision.instance);
+    if (decision.sync_request) {
+      pending_markers.emplace_back(decision.instance, *decision.sync_request);
+    }
+    if (!pending_markers.empty() && step % 5 == 4) {
+      const auto [op, marker] = pending_markers.front();
+      pending_markers.erase(pending_markers.begin());
+      const common::TimeMs delta = static_cast<double>(step % 3 - 1) * 0.125;
+      scheduler.on_feedback(0, core::FeedbackEvent{core::SyncReply{op, marker.epoch, delta}});
+    }
+    if (with_failure && step == 700) {
+      scheduler.mark_failed(0, k / 2);
+    }
+    if (step == 1000) {
+      sketch::DualSketch sketch(dims, config.sketch_seed);
+      for (int i = 0; i < 300; ++i) {
+        const common::Item item2 = rng.next_below(256);
+        sketch.update(item2, 1.0 + static_cast<double>(item2 % 5));
+      }
+      scheduler.on_feedback(0, core::FeedbackEvent{core::SketchShipment{0, sketch}});
+    }
+  }
+
+  for (const auto& [op, marker] : pending_markers) {
+    scheduler.on_feedback(0, core::FeedbackEvent{core::SyncReply{op, marker.epoch, 0.0}});
+  }
+  for (int step = 0; step < 200; ++step) {
+    sequence.push_back(scheduler.schedule(0, rng.next_below(256), seq++).instance);
+  }
+
+  scheduler.view(0).debug_validate();
+  return sequence;
+}
+
+// The constants of golden_schedule_test's kGoldenCases — regenerating them
+// there regenerates them here.
+TEST(MultiSourceGolden, SingleSourceViewIsByteIdenticalSmallK) {
+  const auto plain = run_golden_stream_via_views(4, false, false);
+  EXPECT_EQ(plain.size(), 2204u);
+  EXPECT_EQ(sequence_hash(plain), 0x26D06FEF7EF37F4AULL);
+  const auto hardened = run_golden_stream_via_views(4, true, true);
+  EXPECT_EQ(hardened.size(), 2204u);
+  EXPECT_EQ(sequence_hash(hardened), 0x8F1CCCFB9AA88D53ULL);
+}
+
+TEST(MultiSourceGolden, SingleSourceViewIsByteIdenticalLargeK) {
+  const auto plain = run_golden_stream_via_views(50, false, false);
+  EXPECT_EQ(plain.size(), 2250u);
+  EXPECT_EQ(sequence_hash(plain), 0x460BFE6B24A20D73ULL);
+  const auto hardened = run_golden_stream_via_views(50, true, true);
+  EXPECT_EQ(hardened.size(), 2250u);
+  EXPECT_EQ(sequence_hash(hardened), 0x3E17E4435E47AE8EULL);
+}
+
+/// The sim-level restatement of the same guarantee: run() with a bare
+/// PosgScheduler and run_multi() with an S = 1 MultiSourceScheduler must
+/// route the identical decision stream (same per-instance tuple counts,
+/// same makespan).
+TEST(MultiSourceSim, SingleSourceRunMultiMatchesClassicRun) {
+  sim::Simulator::Config config;
+  config.instances = 5;
+  config.inter_arrival = 0.8;
+  const auto cost = [](common::Item item, common::InstanceId, common::SeqNo) {
+    return 1.0 + static_cast<double>(item % 7);
+  };
+  std::vector<common::Item> stream(4000);
+  common::Xoshiro256StarStar rng(7);
+  for (auto& item : stream) {
+    item = rng.next_below(512);
+  }
+
+  core::PosgScheduler classic(config.instances, config.posg);
+  const auto classic_result = sim::Simulator(config, cost).run(stream, classic);
+
+  core::MultiSourceConfig multi;  // S = 1
+  core::MultiSourceScheduler views(config.instances, config.posg, multi);
+  const auto multi_result = sim::Simulator(config, cost).run_multi(stream, views);
+
+  EXPECT_EQ(multi_result.instance_tuples, classic_result.instance_tuples);
+  EXPECT_DOUBLE_EQ(multi_result.makespan, classic_result.makespan);
+  ASSERT_EQ(multi_result.source_routed.size(), 1u);
+  EXPECT_EQ(multi_result.source_routed[0], stream.size());
+}
+
+/// Conservation over the shared pool with S = 4: every tuple is routed by
+/// exactly one view and executed by exactly one instance, and the
+/// per-(source, instance) cells tie both margins together.
+TEST(MultiSourceSim, FourSourceConservation) {
+  for (const auto reconcile :
+       {core::ReconcileMode::kPerSourceGreedy, core::ReconcileMode::kGossipMerge}) {
+    sim::Simulator::Config config;
+    config.instances = 6;
+    config.inter_arrival = 0.5;
+    core::MultiSourceConfig multi;
+    multi.sources = 4;
+    multi.reconcile = reconcile;
+    multi.gossip_every_decisions = 128;
+    core::MultiSourceScheduler scheduler(config.instances, config.posg, multi);
+
+    std::vector<common::Item> stream(8000);
+    common::Xoshiro256StarStar rng(11);
+    for (auto& item : stream) {
+      item = rng.next_below(1024);
+    }
+    const auto cost = [](common::Item item, common::InstanceId, common::SeqNo) {
+      return 1.0 + static_cast<double>(item % 5);
+    };
+    const auto result = sim::Simulator(config, cost).run_multi(stream, scheduler);
+
+    std::uint64_t routed_total = 0;
+    ASSERT_EQ(result.source_routed.size(), 4u);
+    for (std::size_t s = 0; s < 4; ++s) {
+      // Round-robin assignment: each source owns every 4th tuple.
+      EXPECT_EQ(result.source_routed[s], stream.size() / 4);
+      routed_total += result.source_routed[s];
+      std::uint64_t row = 0;
+      for (common::InstanceId op = 0; op < config.instances; ++op) {
+        row += result.per_source_instance_tuples[s][op];
+      }
+      EXPECT_EQ(row, result.source_routed[s]) << "source " << s << " billed != routed";
+    }
+    std::uint64_t executed_total = 0;
+    for (common::InstanceId op = 0; op < config.instances; ++op) {
+      std::uint64_t column = 0;
+      for (std::size_t s = 0; s < 4; ++s) {
+        column += result.per_source_instance_tuples[s][op];
+      }
+      EXPECT_EQ(column, result.instance_tuples[op]) << "instance " << op;
+      executed_total += result.instance_tuples[op];
+    }
+    EXPECT_EQ(routed_total, stream.size());
+    EXPECT_EQ(executed_total, stream.size());
+    EXPECT_EQ(result.completions.size(), stream.size());
+    if (reconcile == core::ReconcileMode::kGossipMerge) {
+      EXPECT_GT(scheduler.gossip_rounds(), 0u);
+    } else {
+      EXPECT_EQ(scheduler.gossip_rounds(), 0u);
+    }
+  }
+}
+
+/// A membership transition initiated through ONE view is pool state: every
+/// sibling adopts it on its next decision and stops routing there; a
+/// rejoin through a *different* sibling restores the instance everywhere.
+TEST(MultiSourcePool, QuarantineAndRejoinPropagateAcrossViews) {
+  const std::size_t k = 4;
+  core::PosgConfig config;
+  core::MultiSourceConfig multi;
+  multi.sources = 3;
+  core::MultiSourceScheduler scheduler(k, config, multi);
+
+  common::SeqNo seq = 0;
+  // Warm every view past ROUND_ROBIN so decisions are greedy.
+  const auto dims = config.dims();
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (common::InstanceId op = 0; op < k; ++op) {
+      scheduler.schedule(static_cast<common::SourceId>(s), op, seq++);
+      sketch::DualSketch sketch(dims, config.sketch_seed);
+      sketch.update(op, 1.0);
+      scheduler.on_feedback(static_cast<common::SourceId>(s),
+                            core::FeedbackEvent{core::SketchShipment{op, sketch}});
+    }
+  }
+
+  const common::InstanceId victim = 2;
+  scheduler.mark_failed(/*source=*/0, victim);
+  EXPECT_EQ(scheduler.pool()->lifecycle(victim),
+            core::InstancePool::Lifecycle::kQuarantined);
+
+  // No sibling ever routes to the quarantined instance again.
+  for (int step = 0; step < 300; ++step) {
+    for (std::size_t s = 0; s < 3; ++s) {
+      const auto decision =
+          scheduler.schedule(static_cast<common::SourceId>(s), step % 97, seq++);
+      EXPECT_NE(decision.instance, victim) << "view " << s << " routed to a quarantined peer";
+    }
+  }
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(scheduler.view(static_cast<common::SourceId>(s)).pool_lag(), 0u);
+  }
+
+  // Rejoin through a different sibling: pool state flips back, every view
+  // eventually routes there again (the rejoin ramp paces, not blocks).
+  scheduler.rejoin(/*source=*/1, victim);
+  EXPECT_EQ(scheduler.pool()->lifecycle(victim), core::InstancePool::Lifecycle::kServing);
+  std::vector<bool> routed_again(3, false);
+  for (int step = 0; step < 5000; ++step) {
+    for (std::size_t s = 0; s < 3; ++s) {
+      if (scheduler.schedule(static_cast<common::SourceId>(s), step % 97, seq++).instance ==
+          victim) {
+        routed_again[s] = true;
+      }
+    }
+  }
+  EXPECT_TRUE(routed_again[0] && routed_again[1] && routed_again[2]);
+}
+
+/// Builds a view over `pool` for source `source`, routes `tuples` tuples
+/// into it, and returns it — shared-pool construction (private_pool =
+/// false), the S > 1 deployment shape.
+std::unique_ptr<core::PosgScheduler> make_view(std::shared_ptr<core::InstancePool> pool,
+                                               common::SourceId source, int tuples,
+                                               common::SeqNo& seq) {
+  core::PosgConfig config;
+  auto view = std::make_unique<core::PosgScheduler>(std::move(pool), config, source,
+                                                    /*private_pool=*/false);
+  for (int i = 0; i < tuples; ++i) {
+    view->schedule(static_cast<common::Item>(i % 64), seq++);
+  }
+  return view;
+}
+
+/// The checkpoint image carries its owning source, restores into a same-
+/// source replacement, and refuses any other source — the double-billing
+/// guard: source 2's Ĉ billed source 2's routed tuples only.
+TEST(MultiSourceCheckpoint, ImageCarriesSourceAndRejectsMismatch) {
+  auto pool = std::make_shared<core::InstancePool>(4);
+  common::SeqNo seq = 0;
+  auto view = make_view(pool, /*source=*/2, 500, seq);
+
+  const core::CheckpointState state = view->checkpoint_state();
+  EXPECT_EQ(state.source_id, 2u);
+
+  // Byte round-trip through the codec preserves the source.
+  const auto image = core::encode(state);
+  const core::CheckpointState decoded = core::decode(image);
+  EXPECT_EQ(decoded.source_id, 2u);
+
+  // Same source: restore succeeds and the replacement picks up the Ĉ view.
+  core::PosgConfig config;
+  core::PosgScheduler replacement(pool, config, /*source=*/2, /*private_pool=*/false);
+  replacement.restore(decoded);
+  EXPECT_EQ(replacement.estimated_loads(), state.c_est);
+  EXPECT_EQ(replacement.decisions(), state.decisions);
+
+  // Different source: rejected without mutating the cold start.
+  core::PosgScheduler wrong_source(pool, config, /*source=*/3, /*private_pool=*/false);
+  const auto cold_decisions = wrong_source.decisions();
+  EXPECT_THROW(wrong_source.restore(decoded), std::invalid_argument);
+  EXPECT_EQ(wrong_source.decisions(), cold_decisions);
+}
+
+/// Restoring over a SHARED pool must treat the pool as the membership
+/// authority: the image's flags are reconciled toward the pool's current
+/// state, never republished into it — a sibling's quarantine that landed
+/// while this source was down must survive its restart.
+TEST(MultiSourceCheckpoint, SharedPoolRestoreAdoptsPoolNotImage) {
+  auto pool = std::make_shared<core::InstancePool>(4);
+  common::SeqNo seq = 0;
+  auto view = make_view(pool, /*source=*/1, 300, seq);
+  const auto image = view->checkpoint_state();  // all 4 instances serving
+  view.reset();                                 // the source dies
+
+  // While source 1 is down, a sibling quarantines instance 3.
+  core::PosgConfig config;
+  core::PosgScheduler sibling(pool, config, /*source=*/0, /*private_pool=*/false);
+  sibling.mark_failed(3);
+  const auto pool_version = pool->version();
+
+  // The restarted source restores its pre-quarantine image: the pool's
+  // newer truth wins, and no membership events are republished.
+  core::PosgScheduler restarted(pool, config, /*source=*/1, /*private_pool=*/false);
+  restarted.restore(image);
+  EXPECT_EQ(pool->version(), pool_version) << "shared-pool restore republished membership";
+  EXPECT_EQ(pool->lifecycle(3), core::InstancePool::Lifecycle::kQuarantined);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_NE(restarted.schedule(i % 64, seq++).instance, 3u);
+  }
+}
+
+/// Source-stamped wire frames: every frame that now carries a SourceId
+/// round-trips it exactly, and every strict prefix of the encoding is
+/// rejected (the fuzz half — a truncated source field must never decode
+/// as a valid source-0 frame).
+TEST(MultiSourceProtocol, SourceStampedFramesRoundTripAndRejectTruncation) {
+  core::PosgConfig config;
+  sketch::DualSketch sketch(config.dims(), config.sketch_seed);
+  sketch.update(17, 2.5);
+  core::SketchShipment shipment{1, sketch};
+  shipment.source = 2;
+  core::SyncReply reply{3, 9, -0.25};
+  reply.source = 1;
+
+  const std::vector<net::Message> frames = {
+      net::Hello{7, 3},
+      net::SchedulerHello{2, 41, 1},
+      shipment,
+      reply,
+  };
+  for (const auto& frame : frames) {
+    const auto bytes = net::encode(frame);
+    net::debug_validate_frame(bytes);
+    const net::Message back = net::decode(bytes);
+    ASSERT_EQ(back.index(), frame.index());
+    if (const auto* hello = std::get_if<net::Hello>(&back)) {
+      EXPECT_EQ(hello->instance, 7u);
+      EXPECT_EQ(hello->source, 3u);
+    }
+    if (const auto* reattach = std::get_if<net::SchedulerHello>(&back)) {
+      EXPECT_EQ(reattach->instance, 2u);
+      EXPECT_EQ(reattach->recovery_epoch, 41u);
+      EXPECT_EQ(reattach->source, 1u);
+    }
+    if (const auto* shipped = std::get_if<core::SketchShipment>(&back)) {
+      EXPECT_EQ(shipped->instance, 1u);
+      EXPECT_EQ(shipped->source, 2u);
+    }
+    if (const auto* replied = std::get_if<core::SyncReply>(&back)) {
+      EXPECT_EQ(replied->instance, 3u);
+      EXPECT_EQ(replied->epoch, 9u);
+      EXPECT_EQ(replied->source, 1u);
+    }
+    // Truncation fuzz: no strict prefix may decode.
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      EXPECT_THROW(net::decode(std::span(bytes.data(), cut)), std::invalid_argument)
+          << "prefix of " << cut << " bytes decoded";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace posg

@@ -23,7 +23,8 @@ import sys
 import zlib
 
 MAGIC = 0x50434B50  # 'PKCP' little-endian on disk
-VERSION = 1
+MIN_VERSION = 1  # single-source images (their source id is implicitly 0)
+VERSION = 2  # multi-source tier: owning source id follows k
 HEADER = struct.Struct("<IIQI")  # magic, version, payload size, crc32
 
 STATE_NAMES = {0: "ROUND_ROBIN", 1: "SEND_ALL", 2: "WAIT_ALL", 3: "RUN"}
@@ -77,8 +78,9 @@ def main():
     magic, version, payload_size, crc = HEADER.unpack_from(blob)
     if magic != MAGIC:
         sys.exit(f"error: bad magic 0x{magic:08X} (not a POSG checkpoint)")
-    if version != VERSION:
-        sys.exit(f"error: unsupported checkpoint version {version} (tool speaks {VERSION})")
+    if not MIN_VERSION <= version <= VERSION:
+        sys.exit(f"error: unsupported checkpoint version {version} "
+                 f"(tool speaks {MIN_VERSION}..{VERSION})")
     payload = blob[HEADER.size:]
     if payload_size != len(payload):
         sys.exit(f"error: torn file — header promises {payload_size} payload bytes, "
@@ -90,6 +92,9 @@ def main():
 
     r = Reader(payload)
     k = r.take("Q")
+    # Version 1 predates the multi-source tier: its view belongs to the
+    # only source there was, id 0.
+    source_id = r.take("I") if version >= 2 else 0
     state = r.take("B")
     rr_next = r.take("Q")
     epoch = r.take("Q")
@@ -135,7 +140,8 @@ def main():
 
     print(f"{args.checkpoint}: valid checkpoint "
           f"({len(blob)} bytes, payload CRC 0x{crc:08X} ok)")
-    print(f"  k={k}  state={STATE_NAMES.get(state, state)}  rr_next={rr_next}")
+    print(f"  k={k}  source={source_id}  state={STATE_NAMES.get(state, state)}  "
+          f"rr_next={rr_next}")
     print(f"  epoch={epoch}  epochs_completed={epochs_completed}  decisions={decisions}")
     print(f"  rejoins={rejoin_count}  stale_replies={stale_replies}  "
           f"drains={drains_begun}  retires={retires}  drain_cancels={drain_cancels}")

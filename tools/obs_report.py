@@ -9,6 +9,13 @@ The snapshot comes from `--metrics-out` on examples/distributed_posg or
 examples/quickstart, from obs::Snapshot::to_json(), or from the chaos-soak
 artifact (CHAOS_METRICS_OUT). Histogram quantiles are bucket upper bounds
 (log2 buckets), matching obs::HistogramSnapshot::quantile in C++.
+
+Multi-source runs (--sources S on examples/distributed_posg, DESIGN.md
+§15) write one snapshot per line — one per scheduler view, JSONL. This
+tool accepts both shapes: a single-document file renders exactly as
+before (S = 1 stays backward-compatible), a multi-line file is merged
+into one table set plus a per-source lens and a reconciliation-lag table
+keyed on the `posg.s<id>.*` metric namespaces.
 """
 
 import argparse
@@ -58,6 +65,80 @@ def print_table(title, rows, headers):
     print(f"  {'-' * len(line)}")
     for row in rows:
         print("  " + "  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def source_of(name):
+    """Maps a metric name to (source id, unprefixed name).
+
+    Source 0 keeps the bare `posg.` namespace (single-source deployments
+    never see a source id in their metric names); source s > 0 publishes
+    under `posg.s<id>.` (runtime/scheduler_runtime.cpp).
+    """
+    if name.startswith("posg.s"):
+        head, _, rest = name[6:].partition(".")
+        if head.isdigit() and rest:
+            return int(head), "posg." + rest
+    return 0, name
+
+
+def report_multisource(counters, gauges):
+    """Per-source lens over the shared instance pool (DESIGN.md §15).
+
+    One row per scheduler view: its routed/decision counts, and the
+    reconciliation columns — pool_events_applied (membership events this
+    view adopted from the shared pool's log) and reconcile_lag (events
+    published that this view has not yet adopted; nonzero only in the
+    instant between a sibling's transition and this view's next
+    decision). Printed only when more than one source is present, so
+    single-source reports are unchanged.
+    """
+    sources = set()
+    for name in list(counters) + list(gauges):
+        sources.add(source_of(name)[0])
+    if len(sources) < 2:
+        return
+
+    by_source = {s: {} for s in sources}
+    for table in (counters, gauges):
+        for name, value in table.items():
+            s, bare = source_of(name)
+            by_source[s][bare] = value
+
+    def cell(s, bare):
+        value = by_source[s].get(bare)
+        return fmt_value(value) if value is not None else "-"
+
+    rows = [
+        (
+            s,
+            cell(s, "posg.runtime.routed"),
+            cell(s, "posg.scheduler.decisions"),
+            cell(s, "posg.scheduler.epochs_completed"),
+            cell(s, "posg.scheduler.rejoins"),
+            cell(s, "posg.runtime.quarantined"),
+        )
+        for s in sorted(sources)
+    ]
+    print_table(
+        "per-source views (shared instance pool)",
+        rows,
+        ("source", "routed", "decisions", "epochs", "rejoins", "quarantined"),
+    )
+
+    lag_rows = [
+        (
+            s,
+            cell(s, "posg.scheduler.source_id"),
+            cell(s, "posg.scheduler.pool_events_applied"),
+            cell(s, "posg.scheduler.reconcile_lag"),
+        )
+        for s in sorted(sources)
+    ]
+    print_table(
+        "pool reconciliation (membership event log)",
+        lag_rows,
+        ("source", "source_id", "pool_events_applied", "reconcile_lag"),
+    )
 
 
 def report_resilience(counters, gauges):
@@ -140,6 +221,7 @@ def report_metrics(snapshot):
     gauges = snapshot.get("gauges", {})
     histograms = snapshot.get("histograms", {})
 
+    report_multisource(counters, gauges)
     report_resilience(counters, gauges)
     report_recovery(counters)
     report_data_plane(counters, histograms)
@@ -280,19 +362,78 @@ def report_trace(path):
         )
 
 
+def load_snapshots(path):
+    """Reads one snapshot (classic) or a JSONL file of them (multi-source).
+
+    The multi-source example writes one Snapshot::to_json() document per
+    scheduler view, one per line. A plain single-document file (possibly
+    pretty-printed across lines) is still accepted first, so existing
+    artifacts parse exactly as before.
+    """
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    try:
+        return [json.loads(text)]
+    except json.JSONDecodeError:
+        docs = []
+        for lineno, line in enumerate(text.splitlines(), 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                docs.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                sys.exit(f"error: {path}:{lineno}: neither a JSON document "
+                         f"nor JSONL ({e})")
+        if not docs:
+            sys.exit(f"error: {path}: empty file")
+        return docs
+
+
+def merge_snapshots(docs):
+    """Folds per-view snapshots into one registry-shaped document.
+
+    Views publish under disjoint namespaces (`posg.*` for source 0,
+    `posg.s<id>.*` otherwise), so collisions only occur for genuinely
+    shared names — summed for counters and histogram mass, last-wins for
+    gauges, mirroring how a single registry would have accumulated them.
+    """
+    merged = {"schema": docs[0].get("schema"),
+              "counters": {}, "gauges": {}, "histograms": {}}
+    for doc in docs:
+        for name, value in doc.get("counters", {}).items():
+            merged["counters"][name] = merged["counters"].get(name, 0) + value
+        merged["gauges"].update(doc.get("gauges", {}))
+        for name, hist in doc.get("histograms", {}).items():
+            into = merged["histograms"].setdefault(
+                name, {"count": 0, "sum": 0, "buckets": {}})
+            into["count"] += hist.get("count", 0)
+            into["sum"] += hist.get("sum", 0)
+            for index, n in hist.get("buckets", {}).items():
+                into["buckets"][index] = into["buckets"].get(index, 0) + n
+    return merged
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("snapshot", help="posg-metrics/1 JSON file")
+    parser.add_argument("snapshot",
+                        help="posg-metrics/1 JSON file (or JSONL, one "
+                             "snapshot per scheduler view)")
     parser.add_argument("--trace", help="TraceRing JSONL dump to summarize")
     args = parser.parse_args()
 
-    with open(args.snapshot, encoding="utf-8") as f:
-        snapshot = json.load(f)
-    schema = snapshot.get("schema")
-    if schema != "posg-metrics/1":
-        sys.exit(f"error: {args.snapshot}: unexpected schema {schema!r}")
+    docs = load_snapshots(args.snapshot)
+    for doc in docs:
+        schema = doc.get("schema")
+        if schema != "posg-metrics/1":
+            sys.exit(f"error: {args.snapshot}: unexpected schema {schema!r}")
 
-    print(f"{args.snapshot}: schema {schema}")
+    snapshot = docs[0] if len(docs) == 1 else merge_snapshots(docs)
+    if len(docs) == 1:
+        print(f"{args.snapshot}: schema {snapshot.get('schema')}")
+    else:
+        print(f"{args.snapshot}: schema {snapshot.get('schema')} "
+              f"({len(docs)} snapshots merged)")
     report_metrics(snapshot)
     if args.trace:
         report_trace(args.trace)
